@@ -1,0 +1,129 @@
+// Experiment FIG1 — Figure 1 of the paper.
+//
+// "Some possible directions of increase of the perturbation parameter
+// pi_j, and the direction of the smallest increase. The curve plots the
+// set of points { pi_j : f_ij(pi_j) = beta_i^max }."
+//
+// We regenerate the figure's data for a 2-element perturbation vector:
+//  * the beta_max boundary curve (sampled), for a curved feature like the
+//    one sketched in the figure and for a linear feature;
+//  * the assumed point pi^orig, the nearest boundary element pi*(phi_i),
+//    and the robustness radius (the smallest-increase direction);
+//  * several "possible directions of increase" with their distances to
+//    the boundary, showing the radius is the minimum.
+// The beta_min boundary (the axes, for nonnegative parameters) is
+// reported via the orthant distance.
+//
+// Timings: closed-form linear radius vs numeric radius in 2-D.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "fepia.hpp"
+
+namespace {
+
+using namespace fepia;
+
+// The curved feature of the figure: phi(pi) = pi1*pi2/40 + pi1 + pi2
+// (superlinear interaction — its level set bows toward the origin like
+// the sketch). beta_max chosen to put the boundary near (20, 20).
+const ad::DualField kCurved = [](const std::vector<ad::Dual>& v) {
+  return v[0] * v[1] * (1.0 / 40.0) + v[0] + v[1];
+};
+
+constexpr double kBetaMax = 50.0;
+const la::Vector kOrig{8.0, 6.0};
+
+feature::GenericFeature curvedFeature() {
+  return feature::GenericFeature("phi (curved)", 2, kCurved);
+}
+
+void printExperiment() {
+  std::cout << "=== FIG1: boundary set, robustness radius, directions of "
+               "increase ===\n\n";
+  const feature::GenericFeature phi = curvedFeature();
+  std::cout << "feature  phi(pi) = pi1*pi2/40 + pi1 + pi2,  beta^max = "
+            << kBetaMax << ",  pi^orig = " << kOrig << "\n"
+            << "phi(pi^orig) = " << phi.evaluate(kOrig) << "\n\n";
+
+  // --- the boundary curve {phi = beta_max}, sampled over pi1 ---
+  std::cout << "boundary curve points (pi1, pi2) with phi = beta^max:\n";
+  report::Table curve({"pi1", "pi2"});
+  for (double x = 0.0; x <= 50.0; x += 2.5) {
+    // Solve phi(x, y) = beta for y: y (x/40 + 1) = beta − x.
+    const double y = (kBetaMax - x) / (x / 40.0 + 1.0);
+    if (y < 0.0) break;
+    curve.addRow({report::fixed(x, 2), report::fixed(y, 2)});
+  }
+  curve.print(std::cout);
+
+  // --- the robustness radius: smallest increase to the boundary ---
+  const auto r = radius::featureRadius(
+      phi, feature::FeatureBounds::upper(kBetaMax), kOrig);
+  std::cout << "\npi*(phi) = " << r.boundaryPoint
+            << "   robustness radius r = " << report::fixed(r.radius, 4)
+            << "\n";
+
+  // --- several directions of increase, as in the figure's arrows ---
+  std::cout << "\ndistance to the boundary along sample directions "
+               "(radius = minimum):\n";
+  report::Table dirs({"direction (deg)", "distance to boundary"});
+  const opt::FieldFn field = [&phi](const la::Vector& x) {
+    return phi.evaluate(x);
+  };
+  for (int deg = 0; deg <= 90; deg += 15) {
+    const double rad = deg * M_PI / 180.0;
+    const la::Vector d{std::cos(rad), std::sin(rad)};
+    const auto hit = opt::rayShootToLevel(field, kOrig, d, kBetaMax, 1e4);
+    dirs.addRow({std::to_string(deg),
+                 hit ? report::fixed(hit->t, 4) : "unreachable"});
+  }
+  dirs.print(std::cout);
+
+  // --- the beta_min boundary of the figure: the coordinate axes ---
+  std::cout << "\nbeta^min boundary (the axes, for nonnegative parameters): "
+               "distance from pi^orig = "
+            << report::fixed(la::distanceToNonnegativeOrthantBoundary(kOrig), 4)
+            << "\n";
+
+  // --- same construction for a linear feature: hyperplane boundary ---
+  const feature::LinearFeature lin("phi (linear)", la::Vector{1.0, 1.0});
+  const auto rLin = radius::featureRadius(
+      lin, feature::FeatureBounds::upper(28.0), kOrig);
+  std::cout << "\nlinear variant  phi = pi1 + pi2, beta^max = 28: radius = "
+            << report::fixed(rLin.radius, 4) << " (closed form |14 - 28|/sqrt(2) = "
+            << report::fixed(14.0 / std::sqrt(2.0), 4) << "), pi* = "
+            << rLin.boundaryPoint << "\n\n";
+}
+
+void BM_ClosedFormLinearRadius2D(benchmark::State& state) {
+  const feature::LinearFeature lin("phi", la::Vector{1.0, 1.0});
+  const feature::FeatureBounds b = feature::FeatureBounds::upper(28.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(radius::featureRadius(lin, b, kOrig));
+  }
+}
+BENCHMARK(BM_ClosedFormLinearRadius2D);
+
+void BM_NumericCurvedRadius2D(benchmark::State& state) {
+  const feature::GenericFeature phi = curvedFeature();
+  const feature::FeatureBounds b = feature::FeatureBounds::upper(kBetaMax);
+  radius::NumericOptions opts;
+  opts.solver.multistarts = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(radius::featureRadiusNumeric(phi, b, kOrig, opts));
+  }
+}
+BENCHMARK(BM_NumericCurvedRadius2D)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

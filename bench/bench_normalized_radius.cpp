@@ -1,0 +1,158 @@
+// Experiment S3.2 — the paper's proposed normalized robustness measure.
+//
+// With P = [pi_1/pi_1^orig ... pi_n/pi_n^orig], the radius of the linear
+// case is (beta−1)|sum k_j pi_j^orig| / sqrt(sum (k_m pi_m^orig)^2): it
+// "depends, as it should, on the values of k_j's, beta, and the original
+// values of pi_j's". The harness regenerates that dependence as three
+// series — radius vs beta, radius vs coefficient skew, radius vs
+// original-value skew — with the engine result checked against the
+// closed form and against the fully numeric solver on every row.
+//
+// Timings: normalized-scheme analysis cost vs n; closed form vs numeric.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "fepia.hpp"
+
+namespace {
+
+using namespace fepia;
+
+struct Instance {
+  perturb::PerturbationSpace space;
+  feature::FeatureSet phi;
+  la::Vector k;
+  la::Vector orig;
+  double beta;
+};
+
+Instance makeInstance(const la::Vector& k, const la::Vector& orig,
+                      double beta) {
+  Instance inst;
+  inst.k = k;
+  inst.orig = orig;
+  inst.beta = beta;
+  for (std::size_t j = 0; j < k.size(); ++j) {
+    inst.space.add(perturb::PerturbationParameter(
+        "pi" + std::to_string(j),
+        units::Unit::base(static_cast<units::Dimension>(j % 4)),
+        la::Vector{orig[j]}));
+  }
+  const auto lin = std::make_shared<feature::LinearFeature>("phi", k);
+  inst.phi.add(lin,
+               feature::FeatureBounds::upper(beta * lin->evaluate(orig)));
+  return inst;
+}
+
+double engineRho(const Instance& inst) {
+  return radius::MergedAnalysis(inst.phi, inst.space,
+                                radius::MergeScheme::NormalizedByOriginal)
+      .report()
+      .rho;
+}
+
+double numericRho(const Instance& inst) {
+  // Force the numeric boundary solver on the P-space feature.
+  const radius::DiagonalMap map = radius::normalizedMap(inst.space);
+  const auto fP = feature::precomposeDiagonal(inst.phi[0].feature,
+                                              map.inverseWeights());
+  const auto r = radius::featureRadiusNumeric(
+      *fP, inst.phi[0].bounds, map.toP(inst.space.concatenatedOriginal()));
+  return r.radius;
+}
+
+void printExperiment() {
+  std::cout << "=== S3.2: normalized radius responds to beta, k, pi^orig "
+               "===\n\n";
+
+  // Series 1: radius vs beta (fixed k, orig).
+  std::cout << "series 1 — radius vs beta  (k = [2,3,0.5], orig = [5,4,10]):\n";
+  const la::Vector k1{2.0, 3.0, 0.5};
+  const la::Vector o1{5.0, 4.0, 10.0};
+  report::Table s1({"beta", "rho engine", "closed form", "numeric solver"});
+  for (const double beta : {1.05, 1.1, 1.2, 1.5, 2.0, 2.5, 3.0}) {
+    const Instance inst = makeInstance(k1, o1, beta);
+    s1.addRow({report::fixed(beta, 2), report::fixed(engineRho(inst), 6),
+               report::fixed(radius::normalizedLinearRadius(k1, o1, beta), 6),
+               report::fixed(numericRho(inst), 6)});
+  }
+  s1.print(std::cout);
+  std::cout << "(linear in beta-1: the robustness requirement now moves the "
+               "measure)\n\n";
+
+  // Series 2: radius vs coefficient skew, beta fixed.
+  std::cout << "series 2 — radius vs coefficient skew  (k = [1, s], orig = "
+               "[1,1], beta = 1.5):\n";
+  report::Table s2({"skew s", "rho engine", "closed form"});
+  for (const double s : {1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+    const la::Vector k{1.0, s};
+    const la::Vector o{1.0, 1.0};
+    const Instance inst = makeInstance(k, o, 1.5);
+    s2.addRow({report::fixed(s, 0), report::fixed(engineRho(inst), 6),
+               report::fixed(radius::normalizedLinearRadius(k, o, 1.5), 6)});
+  }
+  s2.print(std::cout);
+  std::cout << "(one dominating term drives the radius toward (beta-1) = 0.5 "
+               "— balanced\n contributions are maximally robust at "
+               "(beta-1)*sqrt(2) ≈ 0.707)\n\n";
+
+  // Series 3: radius vs original-value skew, beta fixed.
+  std::cout << "series 3 — radius vs original-value skew  (k = [1,1], orig = "
+               "[1, s], beta = 1.5):\n";
+  report::Table s3({"skew s", "rho engine", "closed form"});
+  for (const double s : {1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+    const la::Vector k{1.0, 1.0};
+    const la::Vector o{1.0, s};
+    const Instance inst = makeInstance(k, o, 1.5);
+    s3.addRow({report::fixed(s, 0), report::fixed(engineRho(inst), 6),
+               report::fixed(radius::normalizedLinearRadius(k, o, 1.5), 6)});
+  }
+  s3.print(std::cout);
+  std::cout << "(the assumed operating point matters too — contrast all three "
+               "series with\n the constant 1/sqrt(n) column of "
+               "bench_sensitivity_invariance)\n\n";
+}
+
+void BM_NormalizedAnalysis(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Xoshiro256StarStar g(7);
+  la::Vector k(n);
+  la::Vector orig(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    k[j] = rng::uniform(g, 0.1, 3.0);
+    orig[j] = rng::uniform(g, 0.2, 20.0);
+  }
+  const Instance inst = makeInstance(k, orig, 1.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engineRho(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NormalizedAnalysis)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_NormalizedClosedFormOnly(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Xoshiro256StarStar g(7);
+  la::Vector k(n);
+  la::Vector orig(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    k[j] = rng::uniform(g, 0.1, 3.0);
+    orig[j] = rng::uniform(g, 0.2, 20.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(radius::normalizedLinearRadius(k, orig, 1.3));
+  }
+}
+BENCHMARK(BM_NormalizedClosedFormOnly)->Arg(8)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

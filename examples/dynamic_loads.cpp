@@ -1,0 +1,84 @@
+// Dynamic loads: how long does an allocation survive?
+//
+// The paper's opening scenario — an initially valid resource allocation
+// operating in "a dynamic environment, where the sensor loads are
+// expected to change unpredictably" — made operational: drive the
+// HiPer-D pipeline with random-walk and bursty load trajectories and
+// measure the time to the first QoS violation, next to the static
+// robustness radius that is supposed to predict it.
+//
+// Build & run:  ./build/examples/dynamic_loads
+#include <iostream>
+
+#include "fepia.hpp"
+
+int main() {
+  using namespace fepia;
+
+  const hiperd::ReferenceSystem ref = hiperd::makeReferenceSystem();
+  const feature::FeatureSet phi = ref.system.loadFeatureSet(ref.qos);
+  const la::Vector lambda = ref.system.originalLoads();
+  const radius::RobustnessReport rr = radius::robustness(phi, lambda);
+
+  std::cout << "static analysis: rho = " << report::fixed(rr.rho, 1)
+            << " objects/set (critical: "
+            << rr.featureNames[rr.criticalFeature] << ")\n\n";
+
+  // One illustrative random-walk trajectory.
+  trace::RandomWalkParams rw;
+  rw.steps = 500;
+  rw.volatility = 0.04;
+  rng::Xoshiro256StarStar g(20260705);
+  const trace::LoadTrace walk = trace::randomWalkTrace(lambda, rw, g);
+  if (const auto t = trace::firstViolation(phi, walk)) {
+    std::cout << "sample random-walk trajectory: first violation at step "
+              << *t << " (loads " << walk[*t] << ")\n";
+  } else {
+    std::cout << "sample random-walk trajectory: no violation in "
+              << rw.steps << " steps\n";
+  }
+
+  // Survival statistics across volatility levels.
+  std::cout << "\nsurvival over 100 random-walk trajectories (500 steps):\n";
+  report::Table table({"volatility/step", "violated", "median step of first "
+                                                      "violation"});
+  for (const double vol : {0.02, 0.04, 0.08}) {
+    trace::RandomWalkParams p;
+    p.steps = 500;
+    p.volatility = vol;
+    rng::Xoshiro256StarStar gs(7);
+    const trace::SurvivalSummary s = trace::survival(phi, lambda, p, 100, gs);
+    table.addRow({report::fixed(vol, 2),
+                  report::fixed(100.0 * s.violationFraction, 0) + "%",
+                  s.violated > 0 ? report::fixed(s.medianTimeToViolation, 0)
+                                 : "-"});
+  }
+  table.print(std::cout);
+
+  // Bursty environment.
+  std::cout << "\nbursty environment (one sensor at a time jumps 1.5-3x):\n";
+  report::Table burstTable({"bursts/step", "violated (of 100)"});
+  for (const double rate : {0.01, 0.05, 0.2}) {
+    trace::BurstParams p;
+    p.steps = 500;
+    p.burstsPerStep = rate;
+    p.factorMin = 1.5;
+    p.factorMax = 3.0;
+    rng::Xoshiro256StarStar gb(8);
+    int violated = 0;
+    for (int r = 0; r < 100; ++r) {
+      if (trace::firstViolation(phi, trace::burstTrace(lambda, p, gb))) {
+        ++violated;
+      }
+    }
+    burstTable.addRow({report::fixed(rate, 2), std::to_string(violated)});
+  }
+  burstTable.print(std::cout);
+
+  std::cout << "\nThe margin the static radius certifies is exactly what "
+               "these trajectories\nspend: low volatility stays within rho "
+               "and survives; higher volatility\nreaches the boundary "
+               "earlier and more often. See bench_time_to_violation\nfor "
+               "the controlled sweep tying rho to survival time.\n";
+  return 0;
+}

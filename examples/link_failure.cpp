@@ -1,0 +1,100 @@
+// Link-failure robustness: how much bandwidth degradation can the
+// HiPer-D pipeline absorb — alone and combined with drifting execution
+// times and message sizes?
+//
+// The paper lists "sudden machine or link failures" among the
+// uncertainties a generalized robustness metric must cover. Partial link
+// failure enters the model as a per-link bandwidth factor g (assumed 1),
+// which makes communication times m/(B·g) nonlinear: this example walks
+// the resulting three-kind analysis and cross-checks it against the
+// discrete-event simulator with per-link degradation applied.
+//
+// Build & run:  ./build/examples/link_failure
+#include <iostream>
+
+#include "fepia.hpp"
+
+int main() {
+  using namespace fepia;
+
+  const hiperd::ReferenceSystem ref = hiperd::makeReferenceSystem();
+  const radius::FepiaProblem problem =
+      ref.system.executionMessageBandwidthProblem(ref.qos);
+
+  std::cout << "three perturbation kinds:\n";
+  for (std::size_t j = 0; j < problem.space().kindCount(); ++j) {
+    const auto& p = problem.space().kind(j);
+    std::cout << "  " << p.name() << " [" << p.unit() << "], dim "
+              << p.size() << "\n";
+  }
+
+  const auto analysis =
+      problem.merged(radius::MergeScheme::NormalizedByOriginal);
+  const auto& rep = analysis.report();
+  std::cout << "\nrho = " << report::fixed(rep.rho, 4)
+            << " (largest tolerable relative drift across all three kinds "
+               "jointly)\ncritical constraint: "
+            << rep.features[rep.criticalFeature].featureName << "\n\n";
+
+  // How much pure degradation does each link tolerate (others nominal)?
+  const la::Vector orig = problem.space().concatenatedOriginal();
+  const std::size_t gOffset = problem.space().blockOffset(2);
+  report::Table frontier({"link", "min tolerable bandwidth factor",
+                          "i.e. survives losing"});
+  for (std::size_t l = 0; l < ref.system.linkCount(); ++l) {
+    double lo = 0.0, hi = 1.0;
+    for (int it = 0; it < 50; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      la::Vector probe = orig;
+      probe[gOffset + l] = mid;
+      (problem.features().allWithinBounds(probe) ? hi : lo) = mid;
+    }
+    frontier.addRow({ref.system.link(l).name, report::fixed(hi, 4),
+                     report::fixed(100.0 * (1.0 - hi), 1) + "% of capacity"});
+  }
+  frontier.print(std::cout);
+
+  // Cross-check one point with the DES: degrade the critical link to
+  // just above and just below its frontier and watch QoS flip.
+  std::cout << "\nDES cross-check on lan-c (the critical link):\n";
+  const std::size_t lanC = 2;
+  double lo = 0.0, hi = 1.0;
+  for (int it = 0; it < 50; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    la::Vector probe = orig;
+    probe[gOffset + lanC] = mid;
+    (problem.features().allWithinBounds(probe) ? hi : lo) = mid;
+  }
+  for (const double factor : {hi * 1.2, hi * 0.8}) {
+    // Apply the degradation by scaling that link's message sizes: the
+    // DES models m/(B·g) as (m/g)/B, identical service times.
+    la::Vector bytes = ref.system.originalMessageSizes();
+    for (std::size_t k = 0; k < ref.system.messageCount(); ++k) {
+      if (ref.system.message(k).link == lanC) bytes[k] /= factor;
+    }
+    const des::PipelineResult res = des::simulatePipeline(
+        ref.system, ref.system.originalExecutionTimes(), bytes,
+        ref.qos.minThroughput);
+    std::cout << "  bandwidth factor " << report::fixed(factor, 3)
+              << ": max latency " << report::fixed(res.maxObservedLatency, 4)
+              << " s -> QoS "
+              << (res.satisfies(ref.qos.maxLatencySeconds) ? "OK" : "VIOLATED")
+              << "\n";
+  }
+
+  std::cout << "\nOperating-point questions (paper's steps (a)-(c)):\n";
+  const auto ask = [&](const char* label, double execScale, double msgScale,
+                       double bwFactor) {
+    const la::Vector e = execScale * ref.system.originalExecutionTimes();
+    const la::Vector m = msgScale * ref.system.originalMessageSizes();
+    const la::Vector gvec(ref.system.linkCount(), bwFactor);
+    const std::vector<la::Vector> point = {e, m, gvec};
+    const radius::ToleranceCheck check = analysis.check(point);
+    std::cout << "  " << label << ": "
+              << (check.tolerated ? "TOLERATED" : "NOT tolerated")
+              << " (margin " << report::fixed(check.worstMargin, 3) << ")\n";
+  };
+  ask("exec +20%, msgs +20%, links at 90%", 1.2, 1.2, 0.9);
+  ask("exec +50%, msgs +50%, links at 50%", 1.5, 1.5, 0.5);
+  return 0;
+}

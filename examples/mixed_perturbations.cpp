@@ -1,0 +1,90 @@
+// The paper's Section 3 worked example, executed: a linear performance
+// feature of n one-element perturbation kinds, analysed under both merge
+// schemes to show (a) the sensitivity weighting degenerates to 1/sqrt(n)
+// and (b) the normalized formulation responds to the robustness
+// requirement, the coefficients, and the assumed values.
+//
+// Build & run:  ./build/examples/mixed_perturbations
+#include <iostream>
+
+#include "fepia.hpp"
+
+namespace {
+
+using namespace fepia;
+
+struct Case {
+  std::string label;
+  la::Vector k;
+  la::Vector orig;
+  double beta;
+};
+
+/// Builds the Section 3.1 setting for one case and returns both rho's.
+std::pair<double, double> analyse(const Case& c) {
+  perturb::PerturbationSpace space;
+  for (std::size_t j = 0; j < c.k.size(); ++j) {
+    space.add(perturb::PerturbationParameter(
+        "pi" + std::to_string(j + 1),
+        j % 2 == 0 ? units::Unit::seconds() : units::Unit::bytes(),
+        la::Vector{c.orig[j]}));
+  }
+  feature::FeatureSet phi;
+  const auto lin = std::make_shared<feature::LinearFeature>("phi", c.k);
+  phi.add(lin,
+          feature::FeatureBounds::upper(c.beta * lin->evaluate(c.orig)));
+
+  const double rhoSens =
+      radius::MergedAnalysis(phi, space, radius::MergeScheme::Sensitivity)
+          .report()
+          .rho;
+  const double rhoNorm =
+      radius::MergedAnalysis(phi, space,
+                             radius::MergeScheme::NormalizedByOriginal)
+          .report()
+          .rho;
+  return {rhoSens, rhoNorm};
+}
+
+}  // namespace
+
+int main() {
+  std::cout
+      << "phi = k1*pi1 + ... + kn*pin, constraint phi <= beta * phi(orig).\n"
+         "Each kind has its own unit; the merged metric works in P-space.\n\n";
+
+  const std::vector<Case> cases = {
+      {"baseline (n=2)", {1.0, 1.0}, {1.0, 1.0}, 1.2},
+      {"skewed k", {5.0, 0.2}, {1.0, 1.0}, 1.2},
+      {"skewed orig", {1.0, 1.0}, {10.0, 0.1}, 1.2},
+      {"looser beta", {1.0, 1.0}, {1.0, 1.0}, 2.0},
+      {"three kinds", {1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, 1.2},
+      {"four kinds", {1.0, 1.0, 1.0, 1.0}, {1.0, 1.0, 1.0, 1.0}, 1.2},
+  };
+
+  report::Table table({"case", "n", "beta", "rho sensitivity",
+                       "1/sqrt(n)", "rho normalized", "closed form"});
+  for (const Case& c : cases) {
+    const auto [rhoSens, rhoNorm] = analyse(c);
+    table.addRow(
+        {c.label, std::to_string(c.k.size()), report::fixed(c.beta, 2),
+         report::fixed(rhoSens, 6),
+         report::fixed(radius::sensitivityLinearRadius(c.k.size()), 6),
+         report::fixed(rhoNorm, 6),
+         report::fixed(radius::normalizedLinearRadius(c.k, c.orig, c.beta),
+                       6)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading the table:\n"
+         " * 'rho sensitivity' never moves within a given n — changing k,\n"
+         "   the originals, or even the robustness requirement beta leaves\n"
+         "   it at 1/sqrt(n). A metric blind to the requirement cannot rank\n"
+         "   systems (Section 3.1).\n"
+         " * 'rho normalized' tracks the closed form\n"
+         "   (beta-1)|sum k*pi| / ||k.*pi||: it grows with beta, and skewed\n"
+         "   coefficients or originals lower it, as a robustness measure\n"
+         "   should (Section 3.2).\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Forward-mode automatic differentiation with dynamically-sized duals.
+//
+// The numeric robustness-radius solver needs exact gradients of arbitrary
+// performance features phi_i(pi) to follow the constraint manifold
+// f_i(pi) = beta. Users write their feature once as a template over the
+// scalar type; instantiating it with ad::Dual yields machine-precision
+// gradients with no finite-difference tuning.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace fepia::ad {
+
+/// A scalar value paired with its vector of partial derivatives.
+///
+/// Partials are dynamically sized; binary operations require both
+/// operands to carry the same number of partials (or one operand to be a
+/// constant, represented by an empty partials vector).
+class Dual {
+ public:
+  /// A constant (zero derivative in every direction).
+  Dual(double value = 0.0) : value_(value) {}  // NOLINT(google-explicit-constructor)
+
+  /// A value with explicit partials.
+  Dual(double value, std::vector<double> partials)
+      : value_(value), partials_(std::move(partials)) {}
+
+  /// The `i`-th of `n` independent variables: partials = e_i.
+  static Dual variable(double value, std::size_t i, std::size_t n) {
+    if (i >= n) throw std::out_of_range("ad::Dual::variable: index out of range");
+    std::vector<double> p(n, 0.0);
+    p[i] = 1.0;
+    return Dual(value, std::move(p));
+  }
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+  /// Partial derivative with respect to variable `i` (0 for constants).
+  [[nodiscard]] double partial(std::size_t i) const {
+    return i < partials_.size() ? partials_[i] : 0.0;
+  }
+
+  [[nodiscard]] const std::vector<double>& partials() const noexcept {
+    return partials_;
+  }
+
+  /// True when this dual carries no derivative information.
+  [[nodiscard]] bool isConstant() const noexcept { return partials_.empty(); }
+
+  Dual& operator+=(const Dual& rhs);
+  Dual& operator-=(const Dual& rhs);
+  Dual& operator*=(const Dual& rhs);
+  Dual& operator/=(const Dual& rhs);
+
+ private:
+  // Combines partials elementwise: out = a*this' + b*rhs'.
+  void combine(const Dual& rhs, double a, double b);
+
+  double value_;
+  std::vector<double> partials_;  // empty == constant
+};
+
+[[nodiscard]] Dual operator+(Dual lhs, const Dual& rhs);
+[[nodiscard]] Dual operator-(Dual lhs, const Dual& rhs);
+[[nodiscard]] Dual operator*(Dual lhs, const Dual& rhs);
+[[nodiscard]] Dual operator/(Dual lhs, const Dual& rhs);
+[[nodiscard]] Dual operator-(const Dual& x);
+
+[[nodiscard]] bool operator<(const Dual& a, const Dual& b) noexcept;
+[[nodiscard]] bool operator>(const Dual& a, const Dual& b) noexcept;
+[[nodiscard]] bool operator<=(const Dual& a, const Dual& b) noexcept;
+[[nodiscard]] bool operator>=(const Dual& a, const Dual& b) noexcept;
+
+// Elementary functions with exact derivative propagation.
+[[nodiscard]] Dual sin(const Dual& x);
+[[nodiscard]] Dual cos(const Dual& x);
+[[nodiscard]] Dual exp(const Dual& x);
+[[nodiscard]] Dual log(const Dual& x);    // throws std::domain_error for x <= 0
+[[nodiscard]] Dual sqrt(const Dual& x);   // throws std::domain_error for x < 0
+[[nodiscard]] Dual pow(const Dual& x, double p);
+[[nodiscard]] Dual abs(const Dual& x);    // derivative is sign(x); 0 at x == 0
+[[nodiscard]] Dual max(const Dual& a, const Dual& b);
+[[nodiscard]] Dual min(const Dual& a, const Dual& b);
+
+}  // namespace fepia::ad

@@ -1,0 +1,157 @@
+#include "ad/gradient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fepia::ad {
+
+// ---------- Dual ----------
+
+void Dual::combine(const Dual& rhs, double a, double b) {
+  if (rhs.partials_.empty()) {
+    for (double& p : partials_) p *= a;
+    return;
+  }
+  if (partials_.empty()) {
+    partials_.assign(rhs.partials_.size(), 0.0);
+  } else if (partials_.size() != rhs.partials_.size()) {
+    throw std::invalid_argument("ad::Dual: mixing duals of different arity");
+  }
+  for (std::size_t i = 0; i < partials_.size(); ++i) {
+    partials_[i] = a * partials_[i] + b * rhs.partials_[i];
+  }
+}
+
+Dual& Dual::operator+=(const Dual& rhs) {
+  combine(rhs, 1.0, 1.0);
+  value_ += rhs.value_;
+  return *this;
+}
+
+Dual& Dual::operator-=(const Dual& rhs) {
+  combine(rhs, 1.0, -1.0);
+  value_ -= rhs.value_;
+  return *this;
+}
+
+Dual& Dual::operator*=(const Dual& rhs) {
+  // (uv)' = v u' + u v' ; must be computed before value_ changes.
+  combine(rhs, rhs.value_, value_);
+  value_ *= rhs.value_;
+  return *this;
+}
+
+Dual& Dual::operator/=(const Dual& rhs) {
+  if (rhs.value_ == 0.0) throw std::domain_error("ad::Dual: division by zero");
+  // (u/v)' = u'/v − u v'/v².
+  combine(rhs, 1.0 / rhs.value_, -value_ / (rhs.value_ * rhs.value_));
+  value_ /= rhs.value_;
+  return *this;
+}
+
+Dual operator+(Dual lhs, const Dual& rhs) { return lhs += rhs; }
+Dual operator-(Dual lhs, const Dual& rhs) { return lhs -= rhs; }
+Dual operator*(Dual lhs, const Dual& rhs) { return lhs *= rhs; }
+Dual operator/(Dual lhs, const Dual& rhs) { return lhs /= rhs; }
+
+Dual operator-(const Dual& x) {
+  std::vector<double> p = x.partials();
+  for (double& v : p) v = -v;
+  return Dual(-x.value(), std::move(p));
+}
+
+bool operator<(const Dual& a, const Dual& b) noexcept { return a.value() < b.value(); }
+bool operator>(const Dual& a, const Dual& b) noexcept { return a.value() > b.value(); }
+bool operator<=(const Dual& a, const Dual& b) noexcept { return a.value() <= b.value(); }
+bool operator>=(const Dual& a, const Dual& b) noexcept { return a.value() >= b.value(); }
+
+namespace {
+
+// Applies the chain rule: result value `v`, derivative scale `dv`.
+Dual chain(const Dual& x, double v, double dv) {
+  std::vector<double> p = x.partials();
+  for (double& pi : p) pi *= dv;
+  return Dual(v, std::move(p));
+}
+
+}  // namespace
+
+Dual sin(const Dual& x) { return chain(x, std::sin(x.value()), std::cos(x.value())); }
+Dual cos(const Dual& x) { return chain(x, std::cos(x.value()), -std::sin(x.value())); }
+Dual exp(const Dual& x) {
+  const double e = std::exp(x.value());
+  return chain(x, e, e);
+}
+
+Dual log(const Dual& x) {
+  if (x.value() <= 0.0) throw std::domain_error("ad::log: non-positive argument");
+  return chain(x, std::log(x.value()), 1.0 / x.value());
+}
+
+Dual sqrt(const Dual& x) {
+  if (x.value() < 0.0) throw std::domain_error("ad::sqrt: negative argument");
+  const double s = std::sqrt(x.value());
+  // Derivative is unbounded at 0; propagate 0 partials there by convention.
+  const double d = s == 0.0 ? 0.0 : 0.5 / s;
+  return chain(x, s, d);
+}
+
+Dual pow(const Dual& x, double p) {
+  const double v = std::pow(x.value(), p);
+  const double d = p * std::pow(x.value(), p - 1.0);
+  return chain(x, v, d);
+}
+
+Dual abs(const Dual& x) {
+  const double sign = x.value() > 0.0 ? 1.0 : (x.value() < 0.0 ? -1.0 : 0.0);
+  return chain(x, std::abs(x.value()), sign);
+}
+
+Dual max(const Dual& a, const Dual& b) { return a.value() >= b.value() ? a : b; }
+Dual min(const Dual& a, const Dual& b) { return a.value() <= b.value() ? a : b; }
+
+// ---------- gradient helpers ----------
+
+ValueAndGradient valueAndGradient(const DualField& f, const la::Vector& x) {
+  const std::size_t n = x.size();
+  std::vector<Dual> duals;
+  duals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) duals.push_back(Dual::variable(x[i], i, n));
+  const Dual out = f(duals);
+  ValueAndGradient vg;
+  vg.value = out.value();
+  vg.gradient = la::Vector(n);
+  for (std::size_t i = 0; i < n; ++i) vg.gradient[i] = out.partial(i);
+  return vg;
+}
+
+la::Vector gradient(const DualField& f, const la::Vector& x) {
+  return valueAndGradient(f, x).gradient;
+}
+
+double evaluate(const DualField& f, const la::Vector& x) {
+  std::vector<Dual> duals;
+  duals.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) duals.emplace_back(x[i]);
+  return f(duals).value();
+}
+
+la::Vector finiteDifferenceGradient(const ScalarField& f, const la::Vector& x,
+                                    double h) {
+  if (h <= 0.0) throw std::invalid_argument("ad::finiteDifferenceGradient: h <= 0");
+  la::Vector g(x.size());
+  la::Vector probe = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double step = h * std::max(1.0, std::abs(x[i]));
+    probe[i] = x[i] + step;
+    const double fp = f(probe);
+    probe[i] = x[i] - step;
+    const double fm = f(probe);
+    probe[i] = x[i];
+    g[i] = (fp - fm) / (2.0 * step);
+  }
+  return g;
+}
+
+}  // namespace fepia::ad

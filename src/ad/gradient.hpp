@@ -1,0 +1,38 @@
+// Gradient and directional-derivative helpers over ad::Dual, plus a
+// finite-difference fallback used to cross-check user-supplied features.
+#pragma once
+
+#include <functional>
+
+#include "ad/dual.hpp"
+#include "la/vector.hpp"
+
+namespace fepia::ad {
+
+/// A scalar field given in dual form: callable on a vector of duals.
+using DualField = std::function<Dual(const std::vector<Dual>&)>;
+
+/// A plain scalar field on doubles.
+using ScalarField = std::function<double(const la::Vector&)>;
+
+/// Value and exact gradient of `f` at `x` via one forward-mode sweep.
+struct ValueAndGradient {
+  double value = 0.0;
+  la::Vector gradient;
+};
+[[nodiscard]] ValueAndGradient valueAndGradient(const DualField& f,
+                                                const la::Vector& x);
+
+/// Exact gradient only.
+[[nodiscard]] la::Vector gradient(const DualField& f, const la::Vector& x);
+
+/// Evaluates a dual field on plain doubles (all inputs as constants).
+[[nodiscard]] double evaluate(const DualField& f, const la::Vector& x);
+
+/// Central finite-difference gradient of a plain scalar field; `h` is the
+/// relative step (scaled per coordinate by max(1,|x_i|)).
+[[nodiscard]] la::Vector finiteDifferenceGradient(const ScalarField& f,
+                                                  const la::Vector& x,
+                                                  double h = 1e-6);
+
+}  // namespace fepia::ad

@@ -1,0 +1,88 @@
+#include "alloc/allocation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fepia::alloc {
+
+Allocation::Allocation(std::vector<std::size_t> taskToMachine,
+                       std::size_t machineCount)
+    : assignment_(std::move(taskToMachine)), machines_(machineCount) {
+  if (assignment_.empty() || machines_ == 0) {
+    throw std::invalid_argument("alloc::Allocation: empty tasks or machines");
+  }
+  for (std::size_t m : assignment_) {
+    if (m >= machines_) {
+      throw std::invalid_argument("alloc::Allocation: assignment out of range");
+    }
+  }
+}
+
+std::vector<std::size_t> Allocation::tasksOn(std::size_t m) const {
+  std::vector<std::size_t> out;
+  for (std::size_t t = 0; t < assignment_.size(); ++t) {
+    if (assignment_[t] == m) out.push_back(t);
+  }
+  return out;
+}
+
+void Allocation::reassign(std::size_t t, std::size_t m) {
+  if (t >= assignment_.size()) {
+    throw std::out_of_range("alloc::Allocation::reassign: task index");
+  }
+  if (m >= machines_) {
+    throw std::invalid_argument("alloc::Allocation::reassign: machine index");
+  }
+  assignment_[t] = m;
+}
+
+namespace {
+
+void requireShapes(const Allocation& mu, const la::Matrix& etcMatrix,
+                   const char* fn) {
+  if (etcMatrix.rows() != mu.taskCount() || etcMatrix.cols() != mu.machineCount()) {
+    throw std::invalid_argument(std::string("alloc::") + fn +
+                                ": ETC shape does not match allocation");
+  }
+}
+
+}  // namespace
+
+la::Vector machineFinishTimes(const Allocation& mu, const la::Matrix& etcMatrix) {
+  requireShapes(mu, etcMatrix, "machineFinishTimes");
+  la::Vector f(mu.machineCount(), 0.0);
+  for (std::size_t t = 0; t < mu.taskCount(); ++t) {
+    f[mu.machineOf(t)] += etcMatrix(t, mu.machineOf(t));
+  }
+  return f;
+}
+
+double makespan(const Allocation& mu, const la::Matrix& etcMatrix) {
+  const la::Vector f = machineFinishTimes(mu, etcMatrix);
+  return *std::max_element(f.begin(), f.end());
+}
+
+la::Vector machineFinishTimesFromExecVector(const Allocation& mu,
+                                            const la::Vector& execTimes) {
+  if (execTimes.size() != mu.taskCount()) {
+    throw std::invalid_argument(
+        "alloc::machineFinishTimesFromExecVector: one time per task expected");
+  }
+  la::Vector f(mu.machineCount(), 0.0);
+  for (std::size_t t = 0; t < mu.taskCount(); ++t) {
+    f[mu.machineOf(t)] += execTimes[t];
+  }
+  return f;
+}
+
+la::Vector assignedExecutionTimes(const Allocation& mu,
+                                  const la::Matrix& etcMatrix) {
+  requireShapes(mu, etcMatrix, "assignedExecutionTimes");
+  la::Vector e(mu.taskCount());
+  for (std::size_t t = 0; t < mu.taskCount(); ++t) {
+    e[t] = etcMatrix(t, mu.machineOf(t));
+  }
+  return e;
+}
+
+}  // namespace fepia::alloc

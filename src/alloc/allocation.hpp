@@ -1,0 +1,73 @@
+// Independent-task resource allocation mu: a mapping of tasks to machines
+// evaluated against an ETC matrix.
+//
+// This is the object whose robustness the paper's metric measures — the
+// makespan case study of baseline [2] asks: "given a set of resource
+// allocations, which one tolerates the largest increase in execution
+// times before the makespan constraint is violated?"
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/vector.hpp"
+
+namespace fepia::alloc {
+
+/// A task → machine mapping.
+///
+/// Invariant: every assignment is a valid machine index (< machineCount).
+class Allocation {
+ public:
+  /// Creates an allocation; throws std::invalid_argument when empty or
+  /// an assignment exceeds `machineCount`.
+  Allocation(std::vector<std::size_t> taskToMachine, std::size_t machineCount);
+
+  [[nodiscard]] std::size_t taskCount() const noexcept {
+    return assignment_.size();
+  }
+  [[nodiscard]] std::size_t machineCount() const noexcept { return machines_; }
+
+  /// Machine assigned to task `t`.
+  [[nodiscard]] std::size_t machineOf(std::size_t t) const {
+    return assignment_.at(t);
+  }
+
+  /// Tasks assigned to machine `m`.
+  [[nodiscard]] std::vector<std::size_t> tasksOn(std::size_t m) const;
+
+  /// Underlying assignment vector.
+  [[nodiscard]] const std::vector<std::size_t>& assignment() const noexcept {
+    return assignment_;
+  }
+
+  /// Reassigns task `t`; throws std::out_of_range / std::invalid_argument.
+  void reassign(std::size_t t, std::size_t m);
+
+ private:
+  std::vector<std::size_t> assignment_;
+  std::size_t machines_;
+};
+
+/// Per-machine finish times F_m = sum of e(t, mu(t)) over tasks on m,
+/// given actual execution times from the ETC matrix.
+/// Throws std::invalid_argument when shapes disagree.
+[[nodiscard]] la::Vector machineFinishTimes(const Allocation& mu,
+                                            const la::Matrix& etcMatrix);
+
+/// Makespan = max_m F_m.
+[[nodiscard]] double makespan(const Allocation& mu, const la::Matrix& etcMatrix);
+
+/// Finish times when task execution times are the entries of `execTimes`
+/// (one per task, already on its assigned machine) instead of the ETC —
+/// the perturbation-space view where pi = execTimes.
+[[nodiscard]] la::Vector machineFinishTimesFromExecVector(
+    const Allocation& mu, const la::Vector& execTimes);
+
+/// The pi^orig of the makespan analysis: execution time of each task on
+/// its assigned machine, read from the ETC matrix.
+[[nodiscard]] la::Vector assignedExecutionTimes(const Allocation& mu,
+                                                const la::Matrix& etcMatrix);
+
+}  // namespace fepia::alloc

@@ -1,0 +1,137 @@
+#include "alloc/genetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+
+namespace fepia::alloc {
+
+namespace {
+
+using Chromosome = std::vector<std::size_t>;
+
+}  // namespace
+
+GeneticResult geneticSearch(const la::Matrix& etcMatrix,
+                            const AllocationObjective& objective,
+                            rng::Xoshiro256StarStar& g,
+                            const GeneticOptions& opts,
+                            const std::vector<Allocation>& seeds) {
+  if (!objective) {
+    throw std::invalid_argument("alloc::geneticSearch: null objective");
+  }
+  if (opts.populationSize < 2 || opts.tournamentSize == 0 ||
+      opts.crossoverRate < 0.0 || opts.crossoverRate > 1.0 ||
+      opts.mutationRate < 0.0 || opts.mutationRate > 1.0 ||
+      opts.eliteCount >= opts.populationSize) {
+    throw std::invalid_argument("alloc::geneticSearch: bad options");
+  }
+  const std::size_t tasks = etcMatrix.rows();
+  const std::size_t machines = etcMatrix.cols();
+  if (tasks == 0 || machines == 0) {
+    throw std::invalid_argument("alloc::geneticSearch: empty ETC");
+  }
+
+  GeneticResult res{Allocation(std::vector<std::size_t>(tasks, 0), machines),
+                    -std::numeric_limits<double>::infinity(), 0};
+
+  const auto evaluate = [&](const Chromosome& c) {
+    ++res.evaluations;
+    return objective(Allocation(c, machines), etcMatrix);
+  };
+
+  // Initial population: injected seeds first, random fill after.
+  std::vector<Chromosome> population;
+  population.reserve(opts.populationSize);
+  for (const Allocation& seed : seeds) {
+    if (seed.taskCount() != tasks || seed.machineCount() != machines) {
+      throw std::invalid_argument("alloc::geneticSearch: seed shape mismatch");
+    }
+    if (population.size() < opts.populationSize) {
+      population.push_back(seed.assignment());
+    }
+  }
+  while (population.size() < opts.populationSize) {
+    Chromosome c(tasks);
+    for (auto& gene : c) gene = rng::uniformIndex(g, 0, machines - 1);
+    population.push_back(std::move(c));
+  }
+
+  std::vector<double> fitness(opts.populationSize);
+  bool anyFinite = false;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    fitness[i] = evaluate(population[i]);
+    anyFinite = anyFinite || std::isfinite(fitness[i]);
+  }
+  if (!anyFinite) {
+    throw std::invalid_argument(
+        "alloc::geneticSearch: no initial chromosome has a finite objective");
+  }
+
+  const auto tournament = [&]() -> const Chromosome& {
+    std::size_t best = rng::uniformIndex(g, 0, opts.populationSize - 1);
+    for (std::size_t k = 1; k < opts.tournamentSize; ++k) {
+      const std::size_t challenger =
+          rng::uniformIndex(g, 0, opts.populationSize - 1);
+      if (fitness[challenger] > fitness[best]) best = challenger;
+    }
+    return population[best];
+  };
+
+  std::vector<std::size_t> order(opts.populationSize);
+  for (std::size_t gen = 0; gen < opts.generations; ++gen) {
+    // Track the incumbent.
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      if (fitness[i] > res.bestObjective) {
+        res.bestObjective = fitness[i];
+        res.best = Allocation(population[i], machines);
+      }
+    }
+
+    // Elites survive verbatim.
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return fitness[a] > fitness[b];
+    });
+    std::vector<Chromosome> next;
+    next.reserve(opts.populationSize);
+    for (std::size_t e = 0; e < opts.eliteCount; ++e) {
+      next.push_back(population[order[e]]);
+    }
+
+    // Offspring via tournament + uniform crossover + mutation.
+    while (next.size() < opts.populationSize) {
+      Chromosome child = tournament();
+      if (rng::uniform01(g) < opts.crossoverRate) {
+        const Chromosome& other = tournament();
+        for (std::size_t t = 0; t < tasks; ++t) {
+          if (rng::uniform01(g) < 0.5) child[t] = other[t];
+        }
+      }
+      for (std::size_t t = 0; t < tasks; ++t) {
+        if (rng::uniform01(g) < opts.mutationRate) {
+          child[t] = rng::uniformIndex(g, 0, machines - 1);
+        }
+      }
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      fitness[i] = evaluate(population[i]);
+    }
+  }
+
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (fitness[i] > res.bestObjective) {
+      res.bestObjective = fitness[i];
+      res.best = Allocation(population[i], machines);
+    }
+  }
+  return res;
+}
+
+}  // namespace fepia::alloc

@@ -1,0 +1,44 @@
+// Genetic-algorithm mapper.
+//
+// GAs are the standard metaheuristic for independent-task mapping in the
+// heterogeneous-computing literature the paper builds on. This one works
+// on assignment chromosomes with tournament selection, uniform
+// crossover, per-gene mutation and elitism, over the same pluggable
+// AllocationObjective as the other searches — so it can design for
+// makespan or directly for the robustness metric rho.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "alloc/search.hpp"
+
+namespace fepia::alloc {
+
+/// GA configuration.
+struct GeneticOptions {
+  std::size_t populationSize = 48;
+  std::size_t generations = 150;
+  std::size_t tournamentSize = 3;
+  double crossoverRate = 0.9;   ///< probability a child is a crossover
+  double mutationRate = 0.02;   ///< per-gene reassignment probability
+  std::size_t eliteCount = 2;   ///< best chromosomes copied verbatim
+};
+
+/// GA outcome.
+struct GeneticResult {
+  Allocation best;
+  double bestObjective = 0.0;
+  std::size_t evaluations = 0;  ///< objective evaluations performed
+};
+
+/// Runs the GA. `seeds` (optional) injects known-good allocations (e.g.
+/// heuristic results) into the initial population. Throws
+/// std::invalid_argument on an empty objective, bad rates, or when no
+/// initial chromosome has a finite objective.
+[[nodiscard]] GeneticResult geneticSearch(
+    const la::Matrix& etcMatrix, const AllocationObjective& objective,
+    rng::Xoshiro256StarStar& g, const GeneticOptions& opts = {},
+    const std::vector<Allocation>& seeds = {});
+
+}  // namespace fepia::alloc

@@ -1,0 +1,230 @@
+#include "alloc/heuristics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+
+namespace fepia::alloc {
+
+const char* heuristicName(Heuristic h) noexcept {
+  switch (h) {
+    case Heuristic::Olb:
+      return "olb";
+    case Heuristic::Met:
+      return "met";
+    case Heuristic::Mct:
+      return "mct";
+    case Heuristic::MinMin:
+      return "min-min";
+    case Heuristic::MaxMin:
+      return "max-min";
+    case Heuristic::Sufferage:
+      return "sufferage";
+    case Heuristic::Random:
+      return "random";
+  }
+  return "unknown";
+}
+
+const std::vector<Heuristic>& allHeuristics() {
+  static const std::vector<Heuristic> kAll = {
+      Heuristic::Olb,    Heuristic::Met,    Heuristic::Mct,
+      Heuristic::MinMin, Heuristic::MaxMin, Heuristic::Sufferage};
+  return kAll;
+}
+
+namespace {
+
+void requireNonEmpty(const la::Matrix& etcMatrix, const char* fn) {
+  if (etcMatrix.rows() == 0 || etcMatrix.cols() == 0) {
+    throw std::invalid_argument(std::string("alloc::") + fn + ": empty ETC");
+  }
+}
+
+/// Shared scaffolding for the list-scheduling heuristics (min-min family):
+/// at each round pick a task by `select`, assign to its best machine.
+/// `select` receives, per unscheduled task: best completion time, the
+/// best machine, and the second-best completion time.
+template <typename Select>
+Allocation listSchedule(const la::Matrix& etcMatrix, Select select) {
+  const std::size_t tasks = etcMatrix.rows();
+  const std::size_t machines = etcMatrix.cols();
+  std::vector<std::size_t> assignment(tasks, 0);
+  std::vector<bool> scheduled(tasks, false);
+  std::vector<double> ready(machines, 0.0);
+
+  for (std::size_t round = 0; round < tasks; ++round) {
+    std::size_t chosenTask = tasks;
+    std::size_t chosenMachine = 0;
+    double chosenKey = 0.0;
+    bool haveChoice = false;
+
+    for (std::size_t t = 0; t < tasks; ++t) {
+      if (scheduled[t]) continue;
+      double best = std::numeric_limits<double>::infinity();
+      double second = std::numeric_limits<double>::infinity();
+      std::size_t bestM = 0;
+      for (std::size_t m = 0; m < machines; ++m) {
+        const double ct = ready[m] + etcMatrix(t, m);
+        if (ct < best) {
+          second = best;
+          best = ct;
+          bestM = m;
+        } else if (ct < second) {
+          second = ct;
+        }
+      }
+      const double key = select(best, second);
+      if (!haveChoice || key < chosenKey) {
+        haveChoice = true;
+        chosenKey = key;
+        chosenTask = t;
+        chosenMachine = bestM;
+      }
+    }
+    scheduled[chosenTask] = true;
+    assignment[chosenTask] = chosenMachine;
+    ready[chosenMachine] += etcMatrix(chosenTask, chosenMachine);
+  }
+  return Allocation(std::move(assignment), machines);
+}
+
+}  // namespace
+
+Allocation olb(const la::Matrix& etcMatrix) {
+  requireNonEmpty(etcMatrix, "olb");
+  const std::size_t machines = etcMatrix.cols();
+  std::vector<std::size_t> assignment(etcMatrix.rows());
+  std::vector<double> ready(machines, 0.0);
+  for (std::size_t t = 0; t < etcMatrix.rows(); ++t) {
+    const auto m = static_cast<std::size_t>(
+        std::min_element(ready.begin(), ready.end()) - ready.begin());
+    assignment[t] = m;
+    ready[m] += etcMatrix(t, m);
+  }
+  return Allocation(std::move(assignment), machines);
+}
+
+Allocation met(const la::Matrix& etcMatrix) {
+  requireNonEmpty(etcMatrix, "met");
+  std::vector<std::size_t> assignment(etcMatrix.rows());
+  for (std::size_t t = 0; t < etcMatrix.rows(); ++t) {
+    std::size_t best = 0;
+    for (std::size_t m = 1; m < etcMatrix.cols(); ++m) {
+      if (etcMatrix(t, m) < etcMatrix(t, best)) best = m;
+    }
+    assignment[t] = best;
+  }
+  return Allocation(std::move(assignment), etcMatrix.cols());
+}
+
+Allocation mct(const la::Matrix& etcMatrix) {
+  requireNonEmpty(etcMatrix, "mct");
+  const std::size_t machines = etcMatrix.cols();
+  std::vector<std::size_t> assignment(etcMatrix.rows());
+  std::vector<double> ready(machines, 0.0);
+  for (std::size_t t = 0; t < etcMatrix.rows(); ++t) {
+    std::size_t best = 0;
+    double bestCt = std::numeric_limits<double>::infinity();
+    for (std::size_t m = 0; m < machines; ++m) {
+      const double ct = ready[m] + etcMatrix(t, m);
+      if (ct < bestCt) {
+        bestCt = ct;
+        best = m;
+      }
+    }
+    assignment[t] = best;
+    ready[best] += etcMatrix(t, best);
+  }
+  return Allocation(std::move(assignment), machines);
+}
+
+Allocation minMin(const la::Matrix& etcMatrix) {
+  requireNonEmpty(etcMatrix, "minMin");
+  // Smallest best completion time first.
+  return listSchedule(etcMatrix, [](double best, double) { return best; });
+}
+
+Allocation maxMin(const la::Matrix& etcMatrix) {
+  requireNonEmpty(etcMatrix, "maxMin");
+  // Largest best completion time first (negate for the min-select frame).
+  return listSchedule(etcMatrix, [](double best, double) { return -best; });
+}
+
+Allocation sufferage(const la::Matrix& etcMatrix) {
+  requireNonEmpty(etcMatrix, "sufferage");
+  // Largest (second − best) first.
+  return listSchedule(etcMatrix, [](double best, double second) {
+    const double suffer = std::isinf(second) ? 0.0 : second - best;
+    return -suffer;
+  });
+}
+
+Allocation randomAllocation(const la::Matrix& etcMatrix,
+                            rng::Xoshiro256StarStar& g) {
+  requireNonEmpty(etcMatrix, "randomAllocation");
+  std::vector<std::size_t> assignment(etcMatrix.rows());
+  for (auto& a : assignment) a = rng::uniformIndex(g, 0, etcMatrix.cols() - 1);
+  return Allocation(std::move(assignment), etcMatrix.cols());
+}
+
+Allocation runHeuristic(Heuristic h, const la::Matrix& etcMatrix,
+                        rng::Xoshiro256StarStar* g) {
+  switch (h) {
+    case Heuristic::Olb:
+      return olb(etcMatrix);
+    case Heuristic::Met:
+      return met(etcMatrix);
+    case Heuristic::Mct:
+      return mct(etcMatrix);
+    case Heuristic::MinMin:
+      return minMin(etcMatrix);
+    case Heuristic::MaxMin:
+      return maxMin(etcMatrix);
+    case Heuristic::Sufferage:
+      return sufferage(etcMatrix);
+    case Heuristic::Random:
+      if (g == nullptr) {
+        throw std::invalid_argument(
+            "alloc::runHeuristic: Random requires a generator");
+      }
+      return randomAllocation(etcMatrix, *g);
+  }
+  throw std::invalid_argument("alloc::runHeuristic: unknown heuristic");
+}
+
+Allocation localSearchMakespan(Allocation start, const la::Matrix& etcMatrix,
+                               std::size_t maxMoves) {
+  double current = makespan(start, etcMatrix);
+  for (std::size_t move = 0; move < maxMoves; ++move) {
+    la::Vector finish = machineFinishTimes(start, etcMatrix);
+    double bestGain = 0.0;
+    std::size_t bestTask = 0;
+    std::size_t bestMachine = 0;
+    for (std::size_t t = 0; t < start.taskCount(); ++t) {
+      const std::size_t from = start.machineOf(t);
+      for (std::size_t m = 0; m < start.machineCount(); ++m) {
+        if (m == from) continue;
+        la::Vector f = finish;
+        f[from] -= etcMatrix(t, from);
+        f[m] += etcMatrix(t, m);
+        const double candidate = *std::max_element(f.begin(), f.end());
+        const double gain = current - candidate;
+        if (gain > bestGain + 1e-12) {
+          bestGain = gain;
+          bestTask = t;
+          bestMachine = m;
+        }
+      }
+    }
+    if (bestGain <= 0.0) break;
+    start.reassign(bestTask, bestMachine);
+    current -= bestGain;
+  }
+  return start;
+}
+
+}  // namespace fepia::alloc

@@ -1,0 +1,67 @@
+// Mapping heuristics from the heterogeneous-computing literature.
+//
+// The paper's motivating question needs a *population* of candidate
+// allocations to rank by robustness. These are the canonical static
+// mapping heuristics used in the authors' prior work (OLB, MET, MCT,
+// Min-min, Max-min, Sufferage), plus random mappings and a
+// steepest-descent local search for ablations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "alloc/allocation.hpp"
+#include "la/matrix.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace fepia::alloc {
+
+/// Heuristic identifiers (for reports and parameterised sweeps).
+enum class Heuristic { Olb, Met, Mct, MinMin, MaxMin, Sufferage, Random };
+
+/// Name like "min-min".
+[[nodiscard]] const char* heuristicName(Heuristic h) noexcept;
+
+/// All deterministic heuristics, in a fixed order.
+[[nodiscard]] const std::vector<Heuristic>& allHeuristics();
+
+/// Opportunistic Load Balancing: next task to the machine that becomes
+/// idle earliest, ignoring execution time.
+[[nodiscard]] Allocation olb(const la::Matrix& etcMatrix);
+
+/// Minimum Execution Time: each task to its fastest machine.
+[[nodiscard]] Allocation met(const la::Matrix& etcMatrix);
+
+/// Minimum Completion Time: each task (arrival order) to the machine
+/// minimising its completion time.
+[[nodiscard]] Allocation mct(const la::Matrix& etcMatrix);
+
+/// Min-min: repeatedly schedule the (task, machine) pair with the
+/// smallest minimum completion time.
+[[nodiscard]] Allocation minMin(const la::Matrix& etcMatrix);
+
+/// Max-min: repeatedly schedule the task whose minimum completion time
+/// is largest.
+[[nodiscard]] Allocation maxMin(const la::Matrix& etcMatrix);
+
+/// Sufferage: repeatedly schedule the task that would "suffer" most
+/// (largest second-best minus best completion time).
+[[nodiscard]] Allocation sufferage(const la::Matrix& etcMatrix);
+
+/// Uniformly random assignment.
+[[nodiscard]] Allocation randomAllocation(const la::Matrix& etcMatrix,
+                                          rng::Xoshiro256StarStar& g);
+
+/// Dispatch by enum; Random requires `g` (throws std::invalid_argument
+/// when absent).
+[[nodiscard]] Allocation runHeuristic(Heuristic h, const la::Matrix& etcMatrix,
+                                      rng::Xoshiro256StarStar* g = nullptr);
+
+/// Steepest-descent local search on makespan: repeatedly applies the
+/// single-task reassignment that most reduces makespan until no move
+/// improves. Returns the improved allocation.
+[[nodiscard]] Allocation localSearchMakespan(Allocation start,
+                                             const la::Matrix& etcMatrix,
+                                             std::size_t maxMoves = 10000);
+
+}  // namespace fepia::alloc

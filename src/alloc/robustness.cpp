@@ -1,0 +1,88 @@
+#include "alloc/robustness.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "feature/linear.hpp"
+
+namespace fepia::alloc {
+
+perturb::PerturbationParameter executionTimeParameter(
+    const Allocation& mu, const la::Matrix& etcMatrix) {
+  std::vector<std::string> labels;
+  labels.reserve(mu.taskCount());
+  for (std::size_t t = 0; t < mu.taskCount(); ++t) {
+    labels.push_back("exec(task " + std::to_string(t) + " on m" +
+                     std::to_string(mu.machineOf(t)) + ")");
+  }
+  return perturb::PerturbationParameter("execution-times",
+                                        units::Unit::seconds(),
+                                        assignedExecutionTimes(mu, etcMatrix),
+                                        std::move(labels));
+}
+
+feature::FeatureSet makespanFeatureSet(const Allocation& mu,
+                                       const la::Matrix& etcMatrix, double tau) {
+  const la::Vector orig = assignedExecutionTimes(mu, etcMatrix);
+  const la::Vector finish = machineFinishTimesFromExecVector(mu, orig);
+
+  feature::FeatureSet phi;
+  for (std::size_t m = 0; m < mu.machineCount(); ++m) {
+    const std::vector<std::size_t> tasks = mu.tasksOn(m);
+    if (tasks.empty()) continue;
+    if (finish[m] >= tau) {
+      throw std::invalid_argument(
+          "alloc::makespanFeatureSet: machine " + std::to_string(m) +
+          " already violates tau (finish " + std::to_string(finish[m]) + ")");
+    }
+    la::Vector k(mu.taskCount(), 0.0);
+    for (std::size_t t : tasks) k[t] = 1.0;
+    phi.add(std::make_shared<feature::LinearFeature>(
+                "finish-time(m" + std::to_string(m) + ")", std::move(k), 0.0,
+                units::Unit::seconds()),
+            feature::FeatureBounds::upper(tau));
+  }
+  if (phi.empty()) {
+    throw std::invalid_argument("alloc::makespanFeatureSet: no loaded machines");
+  }
+  return phi;
+}
+
+radius::FepiaProblem makespanProblem(const Allocation& mu,
+                                     const la::Matrix& etcMatrix, double tau) {
+  radius::FepiaProblem problem;
+  problem.addPerturbation(executionTimeParameter(mu, etcMatrix));
+  const feature::FeatureSet phi = makespanFeatureSet(mu, etcMatrix, tau);
+  for (const feature::BoundedFeature& bf : phi) {
+    problem.addFeature(bf.feature, bf.bounds);
+  }
+  return problem;
+}
+
+radius::RobustnessReport makespanRobustness(const Allocation& mu,
+                                            const la::Matrix& etcMatrix,
+                                            double tau) {
+  const feature::FeatureSet phi = makespanFeatureSet(mu, etcMatrix, tau);
+  return radius::robustness(phi, assignedExecutionTimes(mu, etcMatrix));
+}
+
+double makespanRobustnessClosedForm(const Allocation& mu,
+                                    const la::Matrix& etcMatrix, double tau) {
+  const la::Vector finish = machineFinishTimes(mu, etcMatrix);
+  double rho = std::numeric_limits<double>::infinity();
+  for (std::size_t m = 0; m < mu.machineCount(); ++m) {
+    const auto n = mu.tasksOn(m).size();
+    if (n == 0) continue;
+    if (finish[m] >= tau) {
+      throw std::invalid_argument(
+          "alloc::makespanRobustnessClosedForm: tau already violated");
+    }
+    rho = std::min(rho,
+                   (tau - finish[m]) / std::sqrt(static_cast<double>(n)));
+  }
+  return rho;
+}
+
+}  // namespace fepia::alloc

@@ -1,0 +1,55 @@
+// The makespan robustness case study of baseline [2], expressed through
+// the library's FePIA machinery.
+//
+// Setting: independent tasks mapped by mu onto machines; the perturbation
+// parameter is the vector of actual task execution times on their
+// assigned machines (one kind, unit seconds). The performance features
+// are the per-machine finish times F_m(pi) = sum of pi_t over tasks on m
+// (linear), each bounded above by the makespan constraint tau. [2] gives
+// the closed-form radius
+//
+//     r_mu(F_m, pi) = (tau − F_m(pi^orig)) / sqrt(n_m)
+//
+// with n_m the number of tasks on machine m; rho is the minimum over
+// machines. These functions build the FeatureSet/FepiaProblem and also
+// provide the closed form for validation.
+#pragma once
+
+#include "alloc/allocation.hpp"
+#include "feature/feature.hpp"
+#include "perturb/parameter.hpp"
+#include "radius/fepia.hpp"
+#include "radius/rho.hpp"
+
+namespace fepia::alloc {
+
+/// The perturbation parameter of the makespan analysis: actual execution
+/// times of every task on its assigned machine (seconds), with pi^orig
+/// read from the ETC matrix.
+[[nodiscard]] perturb::PerturbationParameter executionTimeParameter(
+    const Allocation& mu, const la::Matrix& etcMatrix);
+
+/// Per-machine finish-time features F_m (machines with no tasks are
+/// skipped — their finish time cannot vary), each bounded by tau.
+/// Throws std::invalid_argument when tau does not exceed every original
+/// finish time (the allocation would already violate the constraint).
+[[nodiscard]] feature::FeatureSet makespanFeatureSet(const Allocation& mu,
+                                                     const la::Matrix& etcMatrix,
+                                                     double tau);
+
+/// Complete single-kind FePIA problem for the makespan case study.
+[[nodiscard]] radius::FepiaProblem makespanProblem(const Allocation& mu,
+                                                   const la::Matrix& etcMatrix,
+                                                   double tau);
+
+/// rho_mu(Phi, pi) for the makespan case study (closed form inside).
+[[nodiscard]] radius::RobustnessReport makespanRobustness(
+    const Allocation& mu, const la::Matrix& etcMatrix, double tau);
+
+/// [2]'s closed form (tau − F_m)/sqrt(n_m) minimised over machines —
+/// used by tests to validate the engine path.
+[[nodiscard]] double makespanRobustnessClosedForm(const Allocation& mu,
+                                                  const la::Matrix& etcMatrix,
+                                                  double tau);
+
+}  // namespace fepia::alloc

@@ -1,0 +1,113 @@
+#include "alloc/search.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "alloc/robustness.hpp"
+#include "rng/distributions.hpp"
+
+namespace fepia::alloc {
+
+AllocationObjective rhoObjective(double tau) {
+  return [tau](const Allocation& mu, const la::Matrix& etcMatrix) {
+    // Infeasible allocations (some machine already beyond tau) are
+    // dominated by any feasible one.
+    const la::Vector finish = machineFinishTimes(mu, etcMatrix);
+    for (std::size_t m = 0; m < mu.machineCount(); ++m) {
+      if (!mu.tasksOn(m).empty() && finish[m] >= tau) {
+        return -std::numeric_limits<double>::infinity();
+      }
+    }
+    return makespanRobustnessClosedForm(mu, etcMatrix, tau);
+  };
+}
+
+AllocationObjective makespanObjective() {
+  return [](const Allocation& mu, const la::Matrix& etcMatrix) {
+    return -makespan(mu, etcMatrix);
+  };
+}
+
+Allocation localSearch(Allocation start, const la::Matrix& etcMatrix,
+                       const AllocationObjective& objective,
+                       std::size_t maxMoves) {
+  if (!objective) throw std::invalid_argument("alloc::localSearch: objective");
+  double current = objective(start, etcMatrix);
+  for (std::size_t move = 0; move < maxMoves; ++move) {
+    double bestGain = 0.0;
+    std::size_t bestTask = 0;
+    std::size_t bestMachine = 0;
+    for (std::size_t t = 0; t < start.taskCount(); ++t) {
+      const std::size_t from = start.machineOf(t);
+      for (std::size_t m = 0; m < start.machineCount(); ++m) {
+        if (m == from) continue;
+        start.reassign(t, m);
+        const double candidate = objective(start, etcMatrix);
+        start.reassign(t, from);
+        const double gain = candidate - current;
+        if (gain > bestGain + 1e-12) {
+          bestGain = gain;
+          bestTask = t;
+          bestMachine = m;
+        }
+      }
+    }
+    if (bestGain <= 0.0) break;
+    start.reassign(bestTask, bestMachine);
+    current += bestGain;
+  }
+  return start;
+}
+
+AnnealResult simulatedAnnealing(Allocation start, const la::Matrix& etcMatrix,
+                                const AllocationObjective& objective,
+                                rng::Xoshiro256StarStar& g,
+                                const AnnealOptions& opts) {
+  if (!objective) {
+    throw std::invalid_argument("alloc::simulatedAnnealing: objective");
+  }
+  double current = objective(start, etcMatrix);
+  if (!std::isfinite(current)) {
+    throw std::invalid_argument(
+        "alloc::simulatedAnnealing: start allocation has non-finite objective");
+  }
+
+  AnnealResult res{start, current, 0, 0};
+  Allocation state = std::move(start);
+
+  double temperature =
+      opts.autoTemperatureFraction > 0.0
+          ? opts.autoTemperatureFraction * (std::abs(current) + 1.0)
+          : opts.initialTemperature;
+
+  for (std::size_t it = 0; it < opts.iterations; ++it) {
+    const std::size_t t = rng::uniformIndex(g, 0, state.taskCount() - 1);
+    const std::size_t from = state.machineOf(t);
+    std::size_t to = rng::uniformIndex(g, 0, state.machineCount() - 1);
+    if (to == from) to = (to + 1) % state.machineCount();
+
+    state.reassign(t, to);
+    const double candidate = objective(state, etcMatrix);
+    const double delta = candidate - current;
+    const bool accept =
+        std::isfinite(candidate) &&
+        (delta >= 0.0 ||
+         rng::uniform01(g) < std::exp(delta / std::max(temperature, 1e-12)));
+    if (accept) {
+      current = candidate;
+      ++res.accepted;
+      if (current > res.bestObjective) {
+        res.bestObjective = current;
+        res.best = state;
+        ++res.improved;
+      }
+    } else {
+      state.reassign(t, from);  // undo
+    }
+    temperature *= opts.coolingRate;
+  }
+  return res;
+}
+
+}  // namespace fepia::alloc

@@ -1,0 +1,69 @@
+// Robustness-aware allocation search.
+//
+// The paper's motivation: "One way of handling the unpredictable load
+// increases is to design a resource allocation that will tolerate as
+// much increase as possible before a QoS violation occurs." These
+// optimisers *design* such allocations by searching assignment space
+// directly for the robustness metric, instead of only evaluating
+// allocations produced by makespan heuristics:
+//
+//  * steepest-ascent local search on rho (single-task reassignments);
+//  * simulated annealing on a pluggable objective (rho, makespan, or a
+//    blend), with feasibility preserved via the tau constraint.
+#pragma once
+
+#include <functional>
+
+#include "alloc/allocation.hpp"
+#include "la/matrix.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace fepia::alloc {
+
+/// Objective evaluated on candidate allocations. Larger is better.
+using AllocationObjective =
+    std::function<double(const Allocation&, const la::Matrix& etcMatrix)>;
+
+/// Objective: the makespan-robustness rho (closed form) under constraint
+/// tau; allocations violating tau score -infinity.
+[[nodiscard]] AllocationObjective rhoObjective(double tau);
+
+/// Objective: negated makespan (so larger is better).
+[[nodiscard]] AllocationObjective makespanObjective();
+
+/// Steepest-ascent local search: applies the single-task reassignment
+/// with the best objective gain until no move improves.
+/// Throws std::invalid_argument on shape mismatch.
+[[nodiscard]] Allocation localSearch(Allocation start,
+                                     const la::Matrix& etcMatrix,
+                                     const AllocationObjective& objective,
+                                     std::size_t maxMoves = 10000);
+
+/// Simulated-annealing options.
+struct AnnealOptions {
+  std::size_t iterations = 20000;
+  double initialTemperature = 1.0;  ///< in objective units (auto-scaled below)
+  double coolingRate = 0.999;      ///< geometric cooling per iteration
+  /// When > 0, the initial temperature is set to this fraction of the
+  /// start objective's magnitude (overrides initialTemperature).
+  double autoTemperatureFraction = 0.05;
+};
+
+/// Result of an annealing run.
+struct AnnealResult {
+  Allocation best;
+  double bestObjective = 0.0;
+  std::size_t accepted = 0;
+  std::size_t improved = 0;
+};
+
+/// Simulated annealing over single-task reassignment moves.
+/// The start allocation must have a finite objective value; throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] AnnealResult simulatedAnnealing(Allocation start,
+                                              const la::Matrix& etcMatrix,
+                                              const AllocationObjective& objective,
+                                              rng::Xoshiro256StarStar& g,
+                                              const AnnealOptions& opts = {});
+
+}  // namespace fepia::alloc

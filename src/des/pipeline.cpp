@@ -1,0 +1,220 @@
+#include "des/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "des/simulator.hpp"
+#include "rng/distributions.hpp"
+
+namespace fepia::des {
+
+namespace {
+
+/// Least-squares slope of y against its index.
+double slope(const std::vector<double>& y) {
+  const std::size_t n = y.size();
+  if (n < 2) return 0.0;
+  const double nn = static_cast<double>(n);
+  const double meanX = (nn - 1.0) / 2.0;
+  double meanY = 0.0;
+  for (double v : y) meanY += v;
+  meanY /= nn;
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = static_cast<double>(i) - meanX;
+    sxy += dx * (y[i] - meanY);
+    sxx += dx * dx;
+  }
+  return sxx == 0.0 ? 0.0 : sxy / sxx;
+}
+
+}  // namespace
+
+PipelineResult simulatePipeline(const hiperd::System& sys,
+                                const la::Vector& execSeconds,
+                                const la::Vector& messageBytes,
+                                double arrivalRate,
+                                const PipelineOptions& opts) {
+  const std::size_t nA = sys.applicationCount();
+  const std::size_t nM = sys.messageCount();
+  if (execSeconds.size() != nA) {
+    throw std::invalid_argument("des::simulatePipeline: one time per app");
+  }
+  if (messageBytes.size() != nM) {
+    throw std::invalid_argument("des::simulatePipeline: one size per message");
+  }
+  if (arrivalRate <= 0.0 || !std::isfinite(arrivalRate)) {
+    throw std::invalid_argument("des::simulatePipeline: bad arrival rate");
+  }
+  if (opts.generations == 0) {
+    throw std::invalid_argument("des::simulatePipeline: zero generations");
+  }
+  for (double e : execSeconds) {
+    if (e < 0.0) throw std::invalid_argument("des::simulatePipeline: negative time");
+  }
+  for (double b : messageBytes) {
+    if (b < 0.0) throw std::invalid_argument("des::simulatePipeline: negative size");
+  }
+
+  if (opts.serviceJitterCov < 0.0) {
+    throw std::invalid_argument("des::simulatePipeline: negative jitter CoV");
+  }
+
+  const double period = 1.0 / arrivalRate;
+  const std::size_t gens = opts.generations;
+
+  // Per-job multiplicative service noise (mean 1); deterministic when
+  // the CoV is zero.
+  rng::Xoshiro256StarStar jitterGen(opts.jitterSeed);
+  const auto jitter = [&]() {
+    return opts.serviceJitterCov > 0.0
+               ? rng::gammaMeanCov(jitterGen, 1.0, opts.serviceJitterCov)
+               : 1.0;
+  };
+
+  Simulator sim;
+  std::vector<FifoResource> machines;
+  machines.reserve(sys.machineCount());
+  for (std::size_t m = 0; m < sys.machineCount(); ++m) {
+    machines.emplace_back(sim, sys.machine(m).name);
+  }
+  std::vector<FifoResource> links;
+  links.reserve(sys.linkCount());
+  for (std::size_t l = 0; l < sys.linkCount(); ++l) {
+    links.emplace_back(sim, sys.link(l).name);
+  }
+
+  // Static DAG wiring.
+  std::vector<std::size_t> inDegree(nA, 0);
+  std::vector<std::vector<std::size_t>> outgoing(nA);  // app -> message ids
+  for (std::size_t k = 0; k < nM; ++k) {
+    ++inDegree[sys.message(k).dstApp];
+    outgoing[sys.message(k).srcApp].push_back(k);
+  }
+
+  // The pipeline protocol requires an acyclic message graph: an app in a
+  // cycle would wait forever for its own downstream output (deadlock).
+  // Detect via Kahn's algorithm and fail loudly instead.
+  {
+    std::vector<std::size_t> degree = inDegree;
+    std::vector<std::size_t> ready;
+    for (std::size_t a = 0; a < nA; ++a) {
+      if (degree[a] == 0) ready.push_back(a);
+    }
+    std::size_t visited = 0;
+    while (!ready.empty()) {
+      const std::size_t a = ready.back();
+      ready.pop_back();
+      ++visited;
+      for (std::size_t k : outgoing[a]) {
+        if (--degree[sys.message(k).dstApp] == 0) {
+          ready.push_back(sys.message(k).dstApp);
+        }
+      }
+    }
+    if (visited != nA) {
+      throw std::invalid_argument(
+          "des::simulatePipeline: the message graph contains a cycle; the "
+          "pipeline protocol requires a DAG");
+    }
+  }
+
+  // Per-generation progress. arrived[a] counts input messages received
+  // for the generation currently pending at app a; finish[a][g] is the
+  // completion time of app a on generation g.
+  std::vector<std::vector<std::size_t>> arrived(nA,
+                                                std::vector<std::size_t>(gens, 0));
+  std::vector<std::vector<double>> finish(nA,
+                                          std::vector<double>(gens, -1.0));
+
+  // Forward declaration glue for the recursive event chain.
+  struct Hooks {
+    std::function<void(std::size_t, std::size_t)> startApp;
+    std::function<void(std::size_t, std::size_t)> appDone;
+  };
+  auto hooks = std::make_shared<Hooks>();
+
+  hooks->startApp = [&, hooks](std::size_t a, std::size_t g) {
+    machines[sys.application(a).machine].submit(
+        execSeconds[a] * jitter(), [&, hooks, a, g] { hooks->appDone(a, g); });
+  };
+
+  hooks->appDone = [&, hooks](std::size_t a, std::size_t g) {
+    finish[a][g] = sim.now();
+    for (std::size_t k : outgoing[a]) {
+      const std::size_t dst = sys.message(k).dstApp;
+      const double serviceTime =
+          messageBytes[k] / sys.link(sys.message(k).link).bandwidthBytesPerSec;
+      links[sys.message(k).link].submit(
+          serviceTime * jitter(), [&, hooks, dst, g] {
+            if (++arrived[dst][g] == inDegree[dst]) hooks->startApp(dst, g);
+          });
+    }
+  };
+
+  // Sensors emit synchronized generations; source apps (no message
+  // inputs) become eligible at the emission instant.
+  for (std::size_t g = 0; g < gens; ++g) {
+    const double emitTime = static_cast<double>(g) * period;
+    sim.schedule(emitTime, [&, hooks, g] {
+      for (std::size_t a = 0; a < nA; ++a) {
+        if (inDegree[a] == 0) hooks->startApp(a, g);
+      }
+    });
+  }
+
+  sim.run();
+
+  PipelineResult res;
+  res.generations = gens;
+  res.simulatedSeconds = sim.now();
+
+  const auto warmup = static_cast<std::size_t>(
+      opts.warmupFraction * static_cast<double>(gens));
+  double worstSlope = 0.0;
+  for (std::size_t p = 0; p < sys.pathCount(); ++p) {
+    const std::size_t lastApp = sys.path(p).apps.back();
+    std::vector<double> lat;
+    lat.reserve(gens - warmup);
+    for (std::size_t g = warmup; g < gens; ++g) {
+      if (finish[lastApp][g] < 0.0) {
+        ++res.incompleteObservations;  // should not happen on a DAG
+        continue;
+      }
+      lat.push_back(finish[lastApp][g] - static_cast<double>(g) * period);
+    }
+    worstSlope = std::max(worstSlope, slope(lat));
+    for (double v : lat) res.maxObservedLatency = std::max(res.maxObservedLatency, v);
+    res.pathLatencies.push_back(std::move(lat));
+  }
+  res.latencyGrowthPerGeneration = worstSlope;
+  res.throughputSustained =
+      worstSlope * static_cast<double>(gens) <= opts.driftTolerance * period;
+
+  const double span = res.simulatedSeconds > 0.0 ? res.simulatedSeconds : 1.0;
+  for (const FifoResource& r : machines) {
+    res.machineUtilization.push_back(r.busyTime() / span);
+  }
+  for (const FifoResource& r : links) {
+    res.linkUtilization.push_back(r.busyTime() / span);
+  }
+  return res;
+}
+
+PipelineResult simulateAtLoads(const hiperd::System& sys,
+                               const la::Vector& loads, double arrivalRate,
+                               const PipelineOptions& opts) {
+  la::Vector exec(sys.applicationCount());
+  for (std::size_t a = 0; a < exec.size(); ++a) {
+    exec[a] = sys.appComputeSeconds(a, loads);
+  }
+  la::Vector bytes(sys.messageCount());
+  for (std::size_t k = 0; k < bytes.size(); ++k) {
+    bytes[k] = sys.messageBytes(k, loads);
+  }
+  return simulatePipeline(sys, exec, bytes, arrivalRate, opts);
+}
+
+}  // namespace fepia::des

@@ -1,0 +1,79 @@
+// Queueing simulation of a HiPer-D pipeline.
+//
+// Sensors emit synchronized data-set generations at the required
+// throughput rate; each application processes a generation once all its
+// input messages have arrived, on its machine's FIFO server; messages
+// occupy their link's FIFO server for bytes/bandwidth seconds. The
+// simulation measures achieved end-to-end latency per path and whether
+// the pipeline sustains the input rate (stable queues) — the empirical
+// ground truth against which the analytic robustness radius is checked.
+#pragma once
+
+#include <vector>
+
+#include "hiperd/system.hpp"
+#include "la/vector.hpp"
+
+namespace fepia::des {
+
+/// Result of a pipeline simulation.
+struct PipelineResult {
+  /// Post-warmup end-to-end latencies, one vector per system path.
+  std::vector<std::vector<double>> pathLatencies;
+  /// busy / elapsed per machine and link (may exceed 1 only transiently).
+  std::vector<double> machineUtilization;
+  std::vector<double> linkUtilization;
+  /// Largest post-warmup latency across paths.
+  double maxObservedLatency = 0.0;
+  /// Least-squares slope of latency vs generation (seconds/generation),
+  /// maximised over paths. Positive slope => queues grow => the input
+  /// rate is not sustainable.
+  double latencyGrowthPerGeneration = 0.0;
+  /// True when the pipeline is stable at the offered rate.
+  bool throughputSustained = false;
+  double simulatedSeconds = 0.0;
+  std::size_t generations = 0;
+  /// Path-generation pairs whose terminal app never completed (should be
+  /// zero for a well-formed DAG pipeline; nonzero values indicate a
+  /// wiring problem upstream of the measured path).
+  std::size_t incompleteObservations = 0;
+
+  /// True when the run respects `maxLatency` and sustains throughput.
+  [[nodiscard]] bool satisfies(double maxLatencySeconds) const noexcept {
+    return throughputSustained && maxObservedLatency <= maxLatencySeconds;
+  }
+};
+
+/// Simulation parameters.
+struct PipelineOptions {
+  std::size_t generations = 400;   ///< data-set generations to emit
+  double warmupFraction = 0.25;    ///< fraction excluded from statistics
+  /// Stability threshold: sustained iff total post-warmup drift
+  /// (slope x generations) is below this fraction of one period.
+  double driftTolerance = 0.01;
+  /// Multiplicative gamma noise on every service time (compute and
+  /// transfer): each job's time is scaled by Gamma(mean 1, CoV = this).
+  /// 0 keeps the pipeline deterministic. Models run-to-run execution
+  /// time variability on top of the (e ⋆ m) operating point.
+  double serviceJitterCov = 0.0;
+  std::uint64_t jitterSeed = 0x1234ABCDull;
+};
+
+/// Simulates the pipeline with explicit per-app execution seconds and
+/// per-message sizes (the (e ⋆ m) perturbation realisation) at the given
+/// arrival rate (data sets per second per sensor generation).
+/// Throws std::invalid_argument on dimension mismatch or bad rate.
+[[nodiscard]] PipelineResult simulatePipeline(const hiperd::System& sys,
+                                              const la::Vector& execSeconds,
+                                              const la::Vector& messageBytes,
+                                              double arrivalRate,
+                                              const PipelineOptions& opts = {});
+
+/// Convenience: derives execution times and message sizes from the
+/// load-based model at `loads`, then simulates.
+[[nodiscard]] PipelineResult simulateAtLoads(const hiperd::System& sys,
+                                             const la::Vector& loads,
+                                             double arrivalRate,
+                                             const PipelineOptions& opts = {});
+
+}  // namespace fepia::des

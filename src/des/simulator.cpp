@@ -1,0 +1,47 @@
+#include "des/simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace fepia::des {
+
+void Simulator::schedule(double delay, Action action) {
+  if (delay < 0.0 || !std::isfinite(delay)) {
+    throw std::invalid_argument("des::Simulator::schedule: bad delay");
+  }
+  if (!action) {
+    throw std::invalid_argument("des::Simulator::schedule: null action");
+  }
+  queue_.push(Event{now_ + delay, nextSeq_++, std::move(action)});
+}
+
+std::size_t Simulator::run(std::size_t maxEvents) {
+  std::size_t processed = 0;
+  while (!queue_.empty() && processed < maxEvents) {
+    // priority_queue::top is const; the action must be moved out via a
+    // copy of the handle before pop.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++processed;
+  }
+  return processed;
+}
+
+FifoResource::FifoResource(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+void FifoResource::submit(double serviceTime, Simulator::Action onComplete) {
+  if (serviceTime < 0.0 || !std::isfinite(serviceTime)) {
+    throw std::invalid_argument("des::FifoResource::submit: bad service time");
+  }
+  const double start = std::max(sim_.now(), busyUntil_);
+  busyUntil_ = start + serviceTime;
+  busy_ += serviceTime;
+  ++jobs_;
+  sim_.schedule(busyUntil_ - sim_.now(), std::move(onComplete));
+}
+
+}  // namespace fepia::des

@@ -1,0 +1,79 @@
+// Minimal discrete-event simulation kernel: a time-ordered event queue
+// and single-server FIFO resources.
+//
+// The VAL experiment uses this to check the analytic robust region
+// empirically: the HiPer-D pipeline is executed as a real queueing
+// system, and QoS violations observed in simulation are compared with
+// the radius-based prediction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace fepia::des {
+
+/// Event-driven simulation clock and scheduler. Events at equal times
+/// fire in scheduling order (stable tie-break by sequence number).
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulation time (seconds).
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Schedules `action` to run `delay` seconds from now.
+  /// Throws std::invalid_argument for negative or non-finite delay.
+  void schedule(double delay, Action action);
+
+  /// Runs until the queue drains or `maxEvents` were processed.
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t maxEvents = static_cast<std::size_t>(-1));
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t nextSeq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// A single-server FIFO resource (a machine or a network link). Jobs are
+/// served in submission order; service starts when the server frees up.
+class FifoResource {
+ public:
+  FifoResource(Simulator& sim, std::string name);
+
+  /// Submits a job with the given service time; `onComplete` fires at
+  /// departure. Throws std::invalid_argument for negative service time.
+  void submit(double serviceTime, Simulator::Action onComplete);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Total busy (serving) time accumulated.
+  [[nodiscard]] double busyTime() const noexcept { return busy_; }
+  [[nodiscard]] std::size_t jobsServed() const noexcept { return jobs_; }
+  /// Time at which the server next becomes idle (>= now when busy).
+  [[nodiscard]] double busyUntil() const noexcept { return busyUntil_; }
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+  double busyUntil_ = 0.0;
+  double busy_ = 0.0;
+  std::size_t jobs_ = 0;
+};
+
+}  // namespace fepia::des

@@ -1,0 +1,60 @@
+#include "feature/feature.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fepia::feature {
+
+FeatureBounds::FeatureBounds(double betaMin, double betaMax)
+    : min_(betaMin), max_(betaMax) {
+  if (std::isnan(betaMin) || std::isnan(betaMax) || betaMin > betaMax) {
+    throw std::invalid_argument("feature::FeatureBounds: need betaMin <= betaMax");
+  }
+}
+
+FeatureBounds FeatureBounds::upper(double betaMax) {
+  return FeatureBounds(-std::numeric_limits<double>::infinity(), betaMax);
+}
+
+FeatureBounds FeatureBounds::lower(double betaMin) {
+  return FeatureBounds(betaMin, std::numeric_limits<double>::infinity());
+}
+
+FeatureBounds FeatureBounds::relativeUpper(double originalValue, double beta) {
+  if (beta <= 1.0) {
+    throw std::invalid_argument(
+        "feature::FeatureBounds::relativeUpper: beta must exceed 1");
+  }
+  return upper(beta * originalValue);
+}
+
+bool FeatureBounds::hasMin() const noexcept { return std::isfinite(min_); }
+bool FeatureBounds::hasMax() const noexcept { return std::isfinite(max_); }
+
+bool FeatureBounds::contains(double value) const noexcept {
+  return value >= min_ && value <= max_;
+}
+
+std::size_t FeatureSet::add(std::shared_ptr<const PerformanceFeature> feature,
+                            FeatureBounds bounds) {
+  if (!feature) throw std::invalid_argument("feature::FeatureSet::add: null");
+  if (items_.empty()) {
+    dimension_ = feature->dimension();
+  } else if (feature->dimension() != dimension_) {
+    throw std::invalid_argument(
+        "feature::FeatureSet::add: feature '" + feature->name() +
+        "' has dimension " + std::to_string(feature->dimension()) +
+        ", set expects " + std::to_string(dimension_));
+  }
+  items_.push_back(BoundedFeature{std::move(feature), bounds});
+  return items_.size() - 1;
+}
+
+bool FeatureSet::allWithinBounds(const la::Vector& pi) const {
+  for (const BoundedFeature& bf : items_) {
+    if (!bf.bounds.contains(bf.feature->evaluate(pi))) return false;
+  }
+  return true;
+}
+
+}  // namespace fepia::feature

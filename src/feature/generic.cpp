@@ -1,0 +1,69 @@
+#include "feature/generic.hpp"
+
+#include <stdexcept>
+
+namespace fepia::feature {
+
+GenericFeature::GenericFeature(std::string name, std::size_t dimension,
+                               ad::DualField field, units::Unit valueUnit)
+    : name_(std::move(name)), dim_(dimension), field_(std::move(field)),
+      unit_(valueUnit) {
+  if (!field_) {
+    throw std::invalid_argument("feature::GenericFeature '" + name_ +
+                                "': null field");
+  }
+  if (dim_ == 0) {
+    throw std::invalid_argument("feature::GenericFeature '" + name_ +
+                                "': zero dimension");
+  }
+}
+
+void GenericFeature::checkDim(const la::Vector& pi) const {
+  if (pi.size() != dim_) {
+    throw std::invalid_argument("feature::GenericFeature '" + name_ +
+                                "': dimension mismatch");
+  }
+}
+
+double GenericFeature::evaluate(const la::Vector& pi) const {
+  checkDim(pi);
+  return ad::evaluate(field_, pi);
+}
+
+la::Vector GenericFeature::gradient(const la::Vector& pi) const {
+  checkDim(pi);
+  return ad::gradient(field_, pi);
+}
+
+CallableFeature::CallableFeature(std::string name, std::size_t dimension, Fn fn,
+                                 units::Unit valueUnit)
+    : name_(std::move(name)), dim_(dimension), fn_(std::move(fn)),
+      unit_(valueUnit) {
+  if (!fn_) {
+    throw std::invalid_argument("feature::CallableFeature '" + name_ +
+                                "': null callable");
+  }
+  if (dim_ == 0) {
+    throw std::invalid_argument("feature::CallableFeature '" + name_ +
+                                "': zero dimension");
+  }
+}
+
+void CallableFeature::checkDim(const la::Vector& pi) const {
+  if (pi.size() != dim_) {
+    throw std::invalid_argument("feature::CallableFeature '" + name_ +
+                                "': dimension mismatch");
+  }
+}
+
+double CallableFeature::evaluate(const la::Vector& pi) const {
+  checkDim(pi);
+  return fn_(pi);
+}
+
+la::Vector CallableFeature::gradient(const la::Vector& pi) const {
+  checkDim(pi);
+  return ad::finiteDifferenceGradient(fn_, pi);
+}
+
+}  // namespace fepia::feature

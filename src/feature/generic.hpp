@@ -1,0 +1,63 @@
+// Generic performance feature defined by an arbitrary differentiable
+// expression in dual form (forward-mode AD) or, when only a plain scalar
+// callable is available, with finite-difference gradients.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ad/gradient.hpp"
+#include "feature/feature.hpp"
+
+namespace fepia::feature {
+
+/// phi(pi) given as an ad::DualField; gradients are exact (one forward
+/// sweep per call).
+class GenericFeature final : public PerformanceFeature {
+ public:
+  /// Throws std::invalid_argument on a null field or zero dimension.
+  GenericFeature(std::string name, std::size_t dimension, ad::DualField field,
+                 units::Unit valueUnit = units::Unit{});
+
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] std::size_t dimension() const noexcept override { return dim_; }
+  [[nodiscard]] double evaluate(const la::Vector& pi) const override;
+  [[nodiscard]] la::Vector gradient(const la::Vector& pi) const override;
+  [[nodiscard]] units::Unit unit() const override { return unit_; }
+
+ private:
+  void checkDim(const la::Vector& pi) const;
+
+  std::string name_;
+  std::size_t dim_;
+  ad::DualField field_;
+  units::Unit unit_;
+};
+
+/// phi(pi) given as a plain scalar callable; gradients use central
+/// finite differences (relative step 1e-6). Prefer GenericFeature when
+/// the expression can be written over duals.
+class CallableFeature final : public PerformanceFeature {
+ public:
+  using Fn = std::function<double(const la::Vector&)>;
+
+  /// Throws std::invalid_argument on a null callable or zero dimension.
+  CallableFeature(std::string name, std::size_t dimension, Fn fn,
+                  units::Unit valueUnit = units::Unit{});
+
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] std::size_t dimension() const noexcept override { return dim_; }
+  [[nodiscard]] double evaluate(const la::Vector& pi) const override;
+  [[nodiscard]] la::Vector gradient(const la::Vector& pi) const override;
+  [[nodiscard]] units::Unit unit() const override { return unit_; }
+
+ private:
+  void checkDim(const la::Vector& pi) const;
+
+  std::string name_;
+  std::size_t dim_;
+  Fn fn_;
+  units::Unit unit_;
+};
+
+}  // namespace fepia::feature

@@ -1,0 +1,50 @@
+#include "feature/quadratic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fepia::feature {
+
+QuadraticFeature::QuadraticFeature(std::string name, la::Matrix q, la::Vector k,
+                                   double c, units::Unit valueUnit)
+    : name_(std::move(name)),
+      q_(std::move(q)),
+      k_(std::move(k)),
+      c_(c),
+      unit_(valueUnit) {
+  if (k_.empty()) {
+    throw std::invalid_argument("feature::QuadraticFeature '" + name_ +
+                                "': empty linear term");
+  }
+  if (q_.rows() != k_.size() || q_.cols() != k_.size()) {
+    throw std::invalid_argument("feature::QuadraticFeature '" + name_ +
+                                "': Q shape does not match k");
+  }
+  const double scale = la::normFrobenius(q_) + 1.0;
+  for (std::size_t i = 0; i < q_.rows(); ++i) {
+    for (std::size_t j = i + 1; j < q_.cols(); ++j) {
+      if (std::abs(q_(i, j) - q_(j, i)) > 1e-12 * scale) {
+        throw std::invalid_argument("feature::QuadraticFeature '" + name_ +
+                                    "': Q must be symmetric");
+      }
+    }
+  }
+}
+
+double QuadraticFeature::evaluate(const la::Vector& pi) const {
+  if (pi.size() != k_.size()) {
+    throw std::invalid_argument("feature::QuadraticFeature '" + name_ +
+                                "': dimension mismatch");
+  }
+  return 0.5 * la::dot(pi, la::matvec(q_, pi)) + la::dot(k_, pi) + c_;
+}
+
+la::Vector QuadraticFeature::gradient(const la::Vector& pi) const {
+  if (pi.size() != k_.size()) {
+    throw std::invalid_argument("feature::QuadraticFeature '" + name_ +
+                                "': dimension mismatch");
+  }
+  return la::matvec(q_, pi) + k_;
+}
+
+}  // namespace fepia::feature

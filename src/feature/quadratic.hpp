@@ -1,0 +1,47 @@
+// Quadratic performance feature phi(pi) = pi^T Q pi / 2 + k · pi + c.
+//
+// Models curved boundary sets like the one sketched in Figure 1 of the
+// paper, and second-order corrections to computation-time models (e.g.
+// cache effects making execution time superlinear in load). The radius
+// against a quadratic boundary has no general closed form; the library
+// solves it numerically, with an exact special case for spherical Q used
+// to validate the solver.
+#pragma once
+
+#include <string>
+
+#include "feature/feature.hpp"
+#include "la/matrix.hpp"
+
+namespace fepia::feature {
+
+/// phi(pi) = 0.5 · pi^T Q pi + k · pi + c with symmetric Q.
+class QuadraticFeature final : public PerformanceFeature {
+ public:
+  /// Throws std::invalid_argument when shapes disagree or Q is not
+  /// symmetric (tolerance 1e-12 relative to its Frobenius norm).
+  QuadraticFeature(std::string name, la::Matrix q, la::Vector k, double c = 0.0,
+                   units::Unit valueUnit = units::Unit{});
+
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] std::size_t dimension() const noexcept override {
+    return k_.size();
+  }
+  [[nodiscard]] double evaluate(const la::Vector& pi) const override;
+  /// Exact gradient Q·pi + k.
+  [[nodiscard]] la::Vector gradient(const la::Vector& pi) const override;
+  [[nodiscard]] units::Unit unit() const override { return unit_; }
+
+  [[nodiscard]] const la::Matrix& q() const noexcept { return q_; }
+  [[nodiscard]] const la::Vector& k() const noexcept { return k_; }
+  [[nodiscard]] double c() const noexcept { return c_; }
+
+ private:
+  std::string name_;
+  la::Matrix q_;
+  la::Vector k_;
+  double c_;
+  units::Unit unit_;
+};
+
+}  // namespace fepia::feature

@@ -1,0 +1,340 @@
+#include "feature/transform.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "feature/linear.hpp"
+#include "feature/quadratic.hpp"
+#include "la/matrix.hpp"
+
+namespace fepia::feature {
+
+namespace {
+
+/// Delegating adaptor for y ↦ phi(A y + b).
+class GeneralAffineFeature final : public PerformanceFeature {
+ public:
+  GeneralAffineFeature(std::shared_ptr<const PerformanceFeature> inner,
+                       la::Matrix a, la::Vector b)
+      : name_(inner->name() + " (affine map)"),
+        inner_(std::move(inner)),
+        a_(std::move(a)),
+        b_(std::move(b)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] std::size_t dimension() const noexcept override {
+    return a_.cols();
+  }
+  [[nodiscard]] double evaluate(const la::Vector& y) const override {
+    return inner_->evaluate(la::matvec(a_, y) + b_);
+  }
+  [[nodiscard]] la::Vector gradient(const la::Vector& y) const override {
+    // ∇(phi ∘ (Ay + b))(y) = A^T ∇phi(Ay + b).
+    return la::matTvec(a_, inner_->gradient(la::matvec(a_, y) + b_));
+  }
+  [[nodiscard]] units::Unit unit() const override { return inner_->unit(); }
+
+ private:
+  std::string name_;
+  std::shared_ptr<const PerformanceFeature> inner_;
+  la::Matrix a_;
+  la::Vector b_;
+};
+
+/// Delegating adaptor for y ↦ phi(scale ⊙ y) when phi has no special form.
+class ScaledInputFeature final : public PerformanceFeature {
+ public:
+  ScaledInputFeature(std::shared_ptr<const PerformanceFeature> inner,
+                     la::Vector scale)
+      : name_(inner->name() + " (scaled inputs)"),
+        inner_(std::move(inner)),
+        scale_(std::move(scale)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] std::size_t dimension() const noexcept override {
+    return scale_.size();
+  }
+  [[nodiscard]] double evaluate(const la::Vector& y) const override {
+    return inner_->evaluate(la::cwiseMul(y, scale_));
+  }
+  [[nodiscard]] la::Vector gradient(const la::Vector& y) const override {
+    // d/dy phi(s ⊙ y) = s ⊙ ∇phi(s ⊙ y)
+    return la::cwiseMul(inner_->gradient(la::cwiseMul(y, scale_)), scale_);
+  }
+  [[nodiscard]] units::Unit unit() const override { return inner_->unit(); }
+
+ private:
+  std::string name_;
+  std::shared_ptr<const PerformanceFeature> inner_;
+  la::Vector scale_;
+};
+
+/// Delegating adaptor for y ↦ phi(scale ⊙ y + shift).
+class AffineInputFeature final : public PerformanceFeature {
+ public:
+  AffineInputFeature(std::shared_ptr<const PerformanceFeature> inner,
+                     la::Vector scale, la::Vector shift)
+      : name_(inner->name() + " (affine inputs)"),
+        inner_(std::move(inner)),
+        scale_(std::move(scale)),
+        shift_(std::move(shift)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] std::size_t dimension() const noexcept override {
+    return scale_.size();
+  }
+  [[nodiscard]] double evaluate(const la::Vector& y) const override {
+    return inner_->evaluate(la::cwiseMul(y, scale_) + shift_);
+  }
+  [[nodiscard]] la::Vector gradient(const la::Vector& y) const override {
+    return la::cwiseMul(inner_->gradient(la::cwiseMul(y, scale_) + shift_),
+                        scale_);
+  }
+  [[nodiscard]] units::Unit unit() const override { return inner_->unit(); }
+
+ private:
+  std::string name_;
+  std::shared_ptr<const PerformanceFeature> inner_;
+  la::Vector scale_;
+  la::Vector shift_;
+};
+
+/// Delegating adaptor for the per-block restriction of a generic phi.
+class BlockRestrictedFeature final : public PerformanceFeature {
+ public:
+  BlockRestrictedFeature(std::shared_ptr<const PerformanceFeature> inner,
+                         la::Vector base, std::size_t offset,
+                         std::size_t blockSize)
+      : name_(inner->name() + " (block restriction)"),
+        inner_(std::move(inner)),
+        base_(std::move(base)),
+        offset_(offset),
+        size_(blockSize) {}
+
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] std::size_t dimension() const noexcept override { return size_; }
+  [[nodiscard]] double evaluate(const la::Vector& z) const override {
+    return inner_->evaluate(embed(z));
+  }
+  [[nodiscard]] la::Vector gradient(const la::Vector& z) const override {
+    const la::Vector full = inner_->gradient(embed(z));
+    la::Vector out(size_);
+    for (std::size_t i = 0; i < size_; ++i) out[i] = full[offset_ + i];
+    return out;
+  }
+  [[nodiscard]] units::Unit unit() const override { return inner_->unit(); }
+
+ private:
+  [[nodiscard]] la::Vector embed(const la::Vector& z) const {
+    if (z.size() != size_) {
+      throw std::invalid_argument("feature::restrictToBlock: dimension mismatch");
+    }
+    la::Vector full = base_;
+    for (std::size_t i = 0; i < size_; ++i) full[offset_ + i] = z[i];
+    return full;
+  }
+
+  std::string name_;
+  std::shared_ptr<const PerformanceFeature> inner_;
+  la::Vector base_;
+  std::size_t offset_;
+  std::size_t size_;
+};
+
+/// Delegating adaptor for y ↦ phi(y) + delta.
+class ValueShiftedFeature final : public PerformanceFeature {
+ public:
+  ValueShiftedFeature(std::shared_ptr<const PerformanceFeature> inner,
+                      double delta)
+      : name_(inner->name() + " (shifted)"),
+        inner_(std::move(inner)),
+        delta_(delta) {}
+
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] std::size_t dimension() const noexcept override {
+    return inner_->dimension();
+  }
+  [[nodiscard]] double evaluate(const la::Vector& y) const override {
+    return inner_->evaluate(y) + delta_;
+  }
+  [[nodiscard]] la::Vector gradient(const la::Vector& y) const override {
+    return inner_->gradient(y);
+  }
+  [[nodiscard]] units::Unit unit() const override { return inner_->unit(); }
+
+ private:
+  std::string name_;
+  std::shared_ptr<const PerformanceFeature> inner_;
+  double delta_;
+};
+
+void requireNonNull(const std::shared_ptr<const PerformanceFeature>& phi,
+                    const char* fn) {
+  if (!phi) throw std::invalid_argument(std::string("feature::") + fn + ": null");
+}
+
+}  // namespace
+
+std::shared_ptr<const PerformanceFeature> precomposeDiagonal(
+    std::shared_ptr<const PerformanceFeature> phi, const la::Vector& scale) {
+  requireNonNull(phi, "precomposeDiagonal");
+  if (scale.size() != phi->dimension()) {
+    throw std::invalid_argument("feature::precomposeDiagonal: dimension mismatch");
+  }
+  for (double s : scale) {
+    if (s == 0.0) {
+      throw std::invalid_argument("feature::precomposeDiagonal: zero scale element");
+    }
+  }
+
+  if (const auto* lin = dynamic_cast<const LinearFeature*>(phi.get())) {
+    // (k · (s ⊙ y)) + c = (k ⊙ s) · y + c — stays linear.
+    return std::make_shared<LinearFeature>(
+        lin->name() + " (scaled inputs)", la::cwiseMul(lin->coefficients(), scale),
+        lin->offset(), lin->unit());
+  }
+  if (const auto* quad = dynamic_cast<const QuadraticFeature*>(phi.get())) {
+    // Q'_ij = s_i Q_ij s_j, k' = k ⊙ s — stays quadratic.
+    la::Matrix q = quad->q();
+    for (std::size_t i = 0; i < q.rows(); ++i) {
+      for (std::size_t j = 0; j < q.cols(); ++j) q(i, j) *= scale[i] * scale[j];
+    }
+    return std::make_shared<QuadraticFeature>(
+        quad->name() + " (scaled inputs)", std::move(q),
+        la::cwiseMul(quad->k(), scale), quad->c(), quad->unit());
+  }
+  return std::make_shared<ScaledInputFeature>(std::move(phi), scale);
+}
+
+std::shared_ptr<const PerformanceFeature> precomposeAffineDiagonal(
+    std::shared_ptr<const PerformanceFeature> phi, const la::Vector& scale,
+    const la::Vector& shift) {
+  requireNonNull(phi, "precomposeAffineDiagonal");
+  if (scale.size() != phi->dimension() || shift.size() != phi->dimension()) {
+    throw std::invalid_argument(
+        "feature::precomposeAffineDiagonal: dimension mismatch");
+  }
+
+  if (const auto* lin = dynamic_cast<const LinearFeature*>(phi.get())) {
+    // k · (s ⊙ y + b) + c = (k ⊙ s) · y + (c + k · b).
+    la::Vector k = la::cwiseMul(lin->coefficients(), scale);
+    const double c = lin->offset() + la::dot(lin->coefficients(), shift);
+    if (la::norm2(k) != 0.0) {
+      return std::make_shared<LinearFeature>(lin->name() + " (affine inputs)",
+                                             std::move(k), c, lin->unit());
+    }
+    // Fully pinned: constant feature — keep the delegating form so the
+    // caller can detect the missing boundary via the numeric engine.
+  } else if (const auto* quad =
+                 dynamic_cast<const QuadraticFeature*>(phi.get())) {
+    // With x = s ⊙ y + b:  0.5 x^T Q x + k·x + c becomes
+    // 0.5 y^T (S Q S) y + (S (Q b + k)) · y + (0.5 b^T Q b + k·b + c),
+    // which keeps the closed-form quadric radius engine applicable.
+    la::Matrix q = quad->q();
+    for (std::size_t i = 0; i < q.rows(); ++i) {
+      for (std::size_t j = 0; j < q.cols(); ++j) q(i, j) *= scale[i] * scale[j];
+    }
+    la::Vector k =
+        la::cwiseMul(la::matvec(quad->q(), shift) + quad->k(), scale);
+    const double c = 0.5 * la::dot(shift, la::matvec(quad->q(), shift)) +
+                     la::dot(quad->k(), shift) + quad->c();
+    return std::make_shared<QuadraticFeature>(quad->name() + " (affine inputs)",
+                                              std::move(q), std::move(k), c,
+                                              quad->unit());
+  }
+  return std::make_shared<AffineInputFeature>(std::move(phi), scale, shift);
+}
+
+std::shared_ptr<const PerformanceFeature> precomposeAffine(
+    std::shared_ptr<const PerformanceFeature> phi, const la::Matrix& a,
+    const la::Vector& b) {
+  requireNonNull(phi, "precomposeAffine");
+  if (a.rows() != phi->dimension() || b.size() != phi->dimension()) {
+    throw std::invalid_argument("feature::precomposeAffine: shape mismatch");
+  }
+  if (a.cols() == 0) {
+    throw std::invalid_argument("feature::precomposeAffine: zero-column map");
+  }
+
+  if (const auto* lin = dynamic_cast<const LinearFeature*>(phi.get())) {
+    // k · (A y + b) + c = (A^T k) · y + (c + k · b).
+    la::Vector k = la::matTvec(a, lin->coefficients());
+    const double c = lin->offset() + la::dot(lin->coefficients(), b);
+    if (la::norm2(k) != 0.0) {
+      return std::make_shared<LinearFeature>(lin->name() + " (affine map)",
+                                             std::move(k), c, lin->unit());
+    }
+    // Degenerate (A's columns orthogonal to k): keep the adaptor so the
+    // numeric engine can detect the missing boundary.
+  } else if (const auto* quad =
+                 dynamic_cast<const QuadraticFeature*>(phi.get())) {
+    // 0.5 (Ay+b)^T Q (Ay+b) + k·(Ay+b) + c
+    //   = 0.5 y^T (A^T Q A) y + (A^T (Q b + k)) · y + (0.5 b^T Q b + k·b + c).
+    const la::Matrix qa = la::matmul(quad->q(), a);
+    la::Matrix qPrime = la::matmul(la::transpose(a), qa);
+    // Symmetrise against round-off.
+    for (std::size_t i = 0; i < qPrime.rows(); ++i) {
+      for (std::size_t j = i + 1; j < qPrime.cols(); ++j) {
+        const double avg = 0.5 * (qPrime(i, j) + qPrime(j, i));
+        qPrime(i, j) = qPrime(j, i) = avg;
+      }
+    }
+    la::Vector kPrime =
+        la::matTvec(a, la::matvec(quad->q(), b) + quad->k());
+    const double cPrime = 0.5 * la::dot(b, la::matvec(quad->q(), b)) +
+                          la::dot(quad->k(), b) + quad->c();
+    return std::make_shared<QuadraticFeature>(quad->name() + " (affine map)",
+                                              std::move(qPrime),
+                                              std::move(kPrime), cPrime,
+                                              quad->unit());
+  }
+  return std::make_shared<GeneralAffineFeature>(std::move(phi), a, b);
+}
+
+std::shared_ptr<const PerformanceFeature> restrictToBlock(
+    std::shared_ptr<const PerformanceFeature> phi, const la::Vector& base,
+    std::size_t offset, std::size_t blockSize) {
+  requireNonNull(phi, "restrictToBlock");
+  if (base.size() != phi->dimension()) {
+    throw std::invalid_argument("feature::restrictToBlock: base dimension");
+  }
+  if (blockSize == 0 || offset + blockSize > base.size()) {
+    throw std::invalid_argument("feature::restrictToBlock: block out of range");
+  }
+
+  if (const auto* lin = dynamic_cast<const LinearFeature*>(phi.get())) {
+    // phi(base + block z) = k_block · z + (c + sum over others of k_m base_m).
+    la::Vector kBlock(blockSize);
+    double rest = lin->offset();
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      if (i >= offset && i < offset + blockSize) {
+        kBlock[i - offset] = lin->coefficients()[i];
+      } else {
+        rest += lin->coefficients()[i] * base[i];
+      }
+    }
+    if (la::norm2(kBlock) == 0.0) {
+      // This kind cannot move the feature at all; fall back to the
+      // delegating adaptor so callers can detect the unbounded radius.
+      return std::make_shared<BlockRestrictedFeature>(std::move(phi), base,
+                                                      offset, blockSize);
+    }
+    return std::make_shared<LinearFeature>(lin->name() + " (block restriction)",
+                                           std::move(kBlock), rest, lin->unit());
+  }
+  return std::make_shared<BlockRestrictedFeature>(std::move(phi), base, offset,
+                                                  blockSize);
+}
+
+std::shared_ptr<const PerformanceFeature> shiftValue(
+    std::shared_ptr<const PerformanceFeature> phi, double delta) {
+  requireNonNull(phi, "shiftValue");
+  if (const auto* lin = dynamic_cast<const LinearFeature*>(phi.get())) {
+    return std::make_shared<LinearFeature>(lin->name() + " (shifted)",
+                                           lin->coefficients(),
+                                           lin->offset() + delta, lin->unit());
+  }
+  return std::make_shared<ValueShiftedFeature>(std::move(phi), delta);
+}
+
+}  // namespace fepia::feature

@@ -1,0 +1,65 @@
+// Feature transformations used by the merge schemes.
+//
+// Both P-space constructions of the paper are diagonal changes of
+// variable P = D·pi (sensitivity weights alpha_j per block, or
+// 1/pi^orig per element). A feature phi over pi-space therefore induces
+// f_i over P-space by pre-composition with the inverse scaling:
+// f_i(P) = phi(D^{-1} P). Sensitivity weighting additionally needs the
+// per-kind "slice" of a feature — all other blocks pinned at pi^orig —
+// to compute the per-kind radii r_mu(phi_i, pi_j) that define alpha_j.
+//
+// Transformations preserve closed-form structure: scaling a
+// LinearFeature yields a LinearFeature (so the hyperplane radius engine
+// still applies), likewise for QuadraticFeature; only genuinely generic
+// features fall back to a delegating adaptor.
+#pragma once
+
+#include <memory>
+
+#include "feature/feature.hpp"
+#include "la/matrix.hpp"
+
+namespace fepia::feature {
+
+/// Returns the feature y ↦ phi(scale ⊙ y) (elementwise product).
+/// Throws std::invalid_argument on dimension mismatch, a zero scale
+/// element, or a null feature.
+[[nodiscard]] std::shared_ptr<const PerformanceFeature> precomposeDiagonal(
+    std::shared_ptr<const PerformanceFeature> phi, const la::Vector& scale);
+
+/// Returns the feature y ↦ phi(scale ⊙ y + shift). Zero scale elements
+/// are allowed: those input coordinates are pinned at their shift value
+/// and the composed feature is constant in them — exactly the semantics
+/// of a sensitivity weight alpha_j = 0 (a kind the feature ignores).
+/// Throws std::invalid_argument on dimension mismatch or a null feature.
+[[nodiscard]] std::shared_ptr<const PerformanceFeature> precomposeAffineDiagonal(
+    std::shared_ptr<const PerformanceFeature> phi, const la::Vector& scale,
+    const la::Vector& shift);
+
+/// Returns the feature y ↦ phi(A y + b) for a general matrix A (rows =
+/// phi's dimension, cols = the new input dimension). The workhorse of
+/// non-diagonal changes of variable such as Mahalanobis whitening.
+/// Linear and quadratic features transform exactly (k' = A^T k;
+/// Q' = A^T Q A); others get a delegating adaptor with chain-rule
+/// gradients. Throws std::invalid_argument on shape mismatch or a null
+/// feature.
+[[nodiscard]] std::shared_ptr<const PerformanceFeature> precomposeAffine(
+    std::shared_ptr<const PerformanceFeature> phi, const la::Matrix& a,
+    const la::Vector& b);
+
+/// Returns the |block|-dimensional feature z ↦ phi(base with the
+/// elements [offset, offset+blockSize) replaced by z) — phi restricted
+/// to one perturbation kind with all others held at their assumed
+/// values, as in Step 1 of the paper's Section 3.1 analysis.
+/// Throws std::invalid_argument when the block does not fit in `base`
+/// or `base` mismatches phi's dimension.
+[[nodiscard]] std::shared_ptr<const PerformanceFeature> restrictToBlock(
+    std::shared_ptr<const PerformanceFeature> phi, const la::Vector& base,
+    std::size_t offset, std::size_t blockSize);
+
+/// Returns the feature y ↦ phi(y) + delta (shifts values, not inputs);
+/// useful for expressing boundary equations f(pi) − beta = 0 as fields.
+[[nodiscard]] std::shared_ptr<const PerformanceFeature> shiftValue(
+    std::shared_ptr<const PerformanceFeature> phi, double delta);
+
+}  // namespace fepia::feature

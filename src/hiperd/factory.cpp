@@ -1,0 +1,180 @@
+#include "hiperd/factory.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "rng/distributions.hpp"
+
+namespace fepia::hiperd {
+
+ReferenceSystem makeReferenceSystem() {
+  System sys;
+
+  // Sensors (assumed loads in objects per data set).
+  sys.addSensor({"radar", 100.0});
+  sys.addSensor({"sonar", 80.0});
+  sys.addSensor({"ais", 40.0});
+
+  // Machines.
+  const std::size_t m0 = sys.addMachine({"m0"});
+  const std::size_t m1 = sys.addMachine({"m1"});
+  const std::size_t m2 = sys.addMachine({"m2"});
+  const std::size_t m3 = sys.addMachine({"m3"});
+
+  // Links (bytes/second).
+  const std::size_t lanA = sys.addLink({"lan-a", 5e7});
+  const std::size_t lanB = sys.addLink({"lan-b", 1e8});
+  const std::size_t lanC = sys.addLink({"lan-c", 2.5e7});
+
+  // Applications: compute seconds = base + coeff · [radar, sonar, ais].
+  const std::size_t filterR =
+      sys.addApplication({"filter-r", m0, 4e-3, {3e-4, 0.0, 0.0}});
+  const std::size_t filterS =
+      sys.addApplication({"filter-s", m1, 5e-3, {0.0, 2.5e-4, 0.0}});
+  const std::size_t fusion =
+      sys.addApplication({"fusion", m2, 6e-3, {2e-4, 1.5e-4, 0.0}});
+  const std::size_t evaluate =
+      sys.addApplication({"evaluate", m3, 8e-3, {1e-4, 1e-4, 2e-4}});
+  const std::size_t display =
+      sys.addApplication({"display", m0, 2e-3, {0.0, 0.0, 5e-5}});
+
+  // Messages: bytes = base + coeff · loads.
+  const std::size_t msgRf = sys.addMessage(
+      {"msg-rf", filterR, fusion, lanA, 2e3, {800.0, 0.0, 0.0}});
+  const std::size_t msgSf = sys.addMessage(
+      {"msg-sf", filterS, fusion, lanB, 1.5e3, {0.0, 600.0, 0.0}});
+  const std::size_t msgFe = sys.addMessage(
+      {"msg-fe", fusion, evaluate, lanC, 4e3, {500.0, 400.0, 0.0}});
+  const std::size_t msgEd = sys.addMessage(
+      {"msg-ed", evaluate, display, lanA, 1e3, {100.0, 100.0, 200.0}});
+
+  // Sensor-to-actuator paths.
+  sys.addPath({"path-radar",
+               {filterR, fusion, evaluate, display},
+               {msgRf, msgFe, msgEd}});
+  sys.addPath({"path-sonar",
+               {filterS, fusion, evaluate, display},
+               {msgSf, msgFe, msgEd}});
+  sys.addPath({"path-ais", {evaluate, display}, {msgEd}});
+
+  // QoS: 10 data sets/second (0.1 s budget per machine/link) and 0.2 s
+  // end-to-end latency. The assumed operating point sits well inside.
+  return ReferenceSystem{std::move(sys), QoS{10.0, 0.2}};
+}
+
+ReferenceSystem makeRandomSystem(const RandomSystemParams& params,
+                                 rng::Xoshiro256StarStar& g) {
+  if (params.sensors == 0 || params.machines == 0 || params.links == 0 ||
+      params.chainDepth == 0) {
+    throw std::invalid_argument("hiperd::makeRandomSystem: zero-size parameter");
+  }
+  System sys;
+  for (std::size_t s = 0; s < params.sensors; ++s) {
+    sys.addSensor({"sensor-" + std::to_string(s),
+                   rng::uniform(g, params.loadMin, params.loadMax)});
+  }
+  for (std::size_t m = 0; m < params.machines; ++m) {
+    sys.addMachine({"machine-" + std::to_string(m)});
+  }
+  for (std::size_t l = 0; l < params.links; ++l) {
+    sys.addLink({"link-" + std::to_string(l),
+                 rng::uniform(g, params.bandwidthMin, params.bandwidthMax)});
+  }
+
+  auto randomApp = [&](const std::string& name, std::size_t machine,
+                       std::size_t sensitiveSensor, bool allSensors) {
+    Application app;
+    app.name = name;
+    app.machine = machine;
+    app.baseComputeSeconds =
+        rng::uniform(g, params.baseComputeMin, params.baseComputeMax);
+    app.loadCoeffSeconds.assign(params.sensors, 0.0);
+    for (std::size_t s = 0; s < params.sensors; ++s) {
+      if (allSensors || s == sensitiveSensor) {
+        app.loadCoeffSeconds[s] =
+            rng::uniform(g, params.computeCoeffMin, params.computeCoeffMax);
+      }
+    }
+    return sys.addApplication(std::move(app));
+  };
+
+  std::size_t nextMachine = 0;
+  std::size_t nextLink = 0;
+  const auto takeMachine = [&] {
+    const std::size_t m = nextMachine;
+    nextMachine = (nextMachine + 1) % params.machines;
+    return m;
+  };
+  const auto takeLink = [&] {
+    const std::size_t l = nextLink;
+    nextLink = (nextLink + 1) % params.links;
+    return l;
+  };
+
+  // One chain of apps per sensor, all merging into a shared sink.
+  std::vector<std::vector<std::size_t>> chains(params.sensors);
+  for (std::size_t s = 0; s < params.sensors; ++s) {
+    for (std::size_t d = 0; d < params.chainDepth; ++d) {
+      chains[s].push_back(randomApp(
+          "app-s" + std::to_string(s) + "-d" + std::to_string(d), takeMachine(),
+          s, /*allSensors=*/false));
+    }
+  }
+  const std::size_t sink =
+      randomApp("sink", takeMachine(), 0, /*allSensors=*/true);
+
+  auto randomMessage = [&](const std::string& name, std::size_t src,
+                           std::size_t dst, std::size_t sensor) {
+    Message msg;
+    msg.name = name;
+    msg.srcApp = src;
+    msg.dstApp = dst;
+    msg.link = takeLink();
+    msg.baseBytes = rng::uniform(g, params.baseBytesMin, params.baseBytesMax);
+    msg.loadCoeffBytes.assign(params.sensors, 0.0);
+    msg.loadCoeffBytes[sensor] =
+        rng::uniform(g, params.bytesCoeffMin, params.bytesCoeffMax);
+    return sys.addMessage(std::move(msg));
+  };
+
+  std::vector<std::vector<std::size_t>> chainMsgs(params.sensors);
+  for (std::size_t s = 0; s < params.sensors; ++s) {
+    for (std::size_t d = 0; d + 1 < params.chainDepth; ++d) {
+      chainMsgs[s].push_back(randomMessage(
+          "msg-s" + std::to_string(s) + "-d" + std::to_string(d),
+          chains[s][d], chains[s][d + 1], s));
+    }
+    chainMsgs[s].push_back(randomMessage("msg-s" + std::to_string(s) + "-sink",
+                                         chains[s].back(), sink, s));
+  }
+
+  for (std::size_t s = 0; s < params.sensors; ++s) {
+    Path p;
+    p.name = "path-" + std::to_string(s);
+    p.apps = chains[s];
+    p.apps.push_back(sink);
+    p.messages = chainMsgs[s];
+    sys.addPath(std::move(p));
+  }
+
+  // Derive a QoS that the assumed operating point satisfies with the
+  // configured slack.
+  const la::Vector lambda = sys.originalLoads();
+  double worstBudget = 0.0;
+  for (std::size_t m = 0; m < sys.machineCount(); ++m) {
+    worstBudget = std::max(worstBudget, sys.machineComputeSeconds(m, lambda));
+  }
+  for (std::size_t l = 0; l < sys.linkCount(); ++l) {
+    worstBudget = std::max(worstBudget, sys.linkCommSeconds(l, lambda));
+  }
+  double worstLatency = 0.0;
+  for (std::size_t p = 0; p < sys.pathCount(); ++p) {
+    worstLatency = std::max(worstLatency, sys.pathLatencySeconds(p, lambda));
+  }
+  QoS qos;
+  qos.minThroughput = 1.0 / (params.qosSlack * worstBudget);
+  qos.maxLatencySeconds = params.qosSlack * worstLatency;
+  return ReferenceSystem{std::move(sys), qos};
+}
+
+}  // namespace fepia::hiperd

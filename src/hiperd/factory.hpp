@@ -1,0 +1,58 @@
+// Canonical and randomized HiPer-D topologies for the experiments.
+#pragma once
+
+#include <cstddef>
+
+#include "hiperd/system.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace fepia::hiperd {
+
+/// The reference topology used by the HPD/MIX/VAL experiments — a small
+/// fusion pipeline in the style of the HiPer-D examples of baseline [2]:
+///
+///   radar  ─ filter-r ─┐
+///                      ├─ fusion ── evaluate ── display
+///   sonar  ─ filter-s ─┘
+///   ais    ────────────────┘ (feeds evaluate directly)
+///
+/// 3 sensors, 4 machines, 3 links, 5 applications, 4 messages, 3
+/// sensor-to-actuator paths. Coefficients are chosen so the assumed
+/// operating point satisfies the returned QoS with moderate slack
+/// (robustness radii are finite and nontrivial).
+struct ReferenceSystem {
+  System system;
+  QoS qos;
+};
+[[nodiscard]] ReferenceSystem makeReferenceSystem();
+
+/// Parameters of the random pipeline generator.
+struct RandomSystemParams {
+  std::size_t sensors = 3;
+  std::size_t machines = 4;
+  std::size_t links = 3;
+  std::size_t chainDepth = 3;   ///< apps per sensor chain before the sink
+  double loadMin = 40.0;        ///< assumed sensor load range (objects/set)
+  double loadMax = 120.0;
+  double computeCoeffMin = 1e-4;  ///< seconds per object
+  double computeCoeffMax = 8e-4;
+  double baseComputeMin = 5e-3;   ///< seconds
+  double baseComputeMax = 2e-2;
+  double bytesCoeffMin = 200.0;   ///< bytes per object
+  double bytesCoeffMax = 1200.0;
+  double baseBytesMin = 1e3;
+  double baseBytesMax = 2e4;
+  double bandwidthMin = 1e7;      ///< bytes/second
+  double bandwidthMax = 1e8;
+  double qosSlack = 1.6;          ///< QoS bounds = slack x worst assumed value
+};
+
+/// Generates a layered pipeline: one chain of `chainDepth` applications
+/// per sensor, all merging into one sink application; one path per
+/// sensor. Apps round-robin over machines, messages round-robin over
+/// links. The QoS is derived from the assumed operating point with the
+/// configured slack, so the system always starts feasible.
+[[nodiscard]] ReferenceSystem makeRandomSystem(const RandomSystemParams& params,
+                                               rng::Xoshiro256StarStar& g);
+
+}  // namespace fepia::hiperd

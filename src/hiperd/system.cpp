@@ -1,0 +1,522 @@
+#include "hiperd/system.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "feature/generic.hpp"
+#include "feature/linear.hpp"
+
+namespace fepia::hiperd {
+
+std::size_t System::addSensor(Sensor s) {
+  if (s.load < 0.0) {
+    throw std::invalid_argument("hiperd::System::addSensor: negative load");
+  }
+  if (!apps_.empty() || !messages_.empty()) {
+    throw std::logic_error(
+        "hiperd::System::addSensor: add sensors before applications/messages "
+        "(load-coefficient vectors are sized by sensor count)");
+  }
+  sensors_.push_back(std::move(s));
+  return sensors_.size() - 1;
+}
+
+std::size_t System::addMachine(Machine m) {
+  machines_.push_back(std::move(m));
+  return machines_.size() - 1;
+}
+
+std::size_t System::addLink(Link l) {
+  if (l.bandwidthBytesPerSec <= 0.0) {
+    throw std::invalid_argument("hiperd::System::addLink: bandwidth must be > 0");
+  }
+  links_.push_back(std::move(l));
+  return links_.size() - 1;
+}
+
+std::size_t System::addApplication(Application a) {
+  if (a.machine >= machines_.size()) {
+    throw std::invalid_argument("hiperd::System::addApplication: bad machine");
+  }
+  if (a.loadCoeffSeconds.size() != sensors_.size()) {
+    throw std::invalid_argument(
+        "hiperd::System::addApplication: one load coefficient per sensor");
+  }
+  if (a.baseComputeSeconds < 0.0) {
+    throw std::invalid_argument(
+        "hiperd::System::addApplication: negative base compute");
+  }
+  apps_.push_back(std::move(a));
+  return apps_.size() - 1;
+}
+
+std::size_t System::addMessage(Message m) {
+  if (m.srcApp >= apps_.size() || m.dstApp >= apps_.size()) {
+    throw std::invalid_argument("hiperd::System::addMessage: bad app index");
+  }
+  if (m.link >= links_.size()) {
+    throw std::invalid_argument("hiperd::System::addMessage: bad link index");
+  }
+  if (m.loadCoeffBytes.size() != sensors_.size()) {
+    throw std::invalid_argument(
+        "hiperd::System::addMessage: one load coefficient per sensor");
+  }
+  if (m.baseBytes < 0.0) {
+    throw std::invalid_argument("hiperd::System::addMessage: negative base bytes");
+  }
+  messages_.push_back(std::move(m));
+  return messages_.size() - 1;
+}
+
+std::size_t System::addPath(Path p) {
+  if (p.apps.empty()) {
+    throw std::invalid_argument("hiperd::System::addPath: empty app list");
+  }
+  for (std::size_t a : p.apps) {
+    if (a >= apps_.size()) {
+      throw std::invalid_argument("hiperd::System::addPath: bad app index");
+    }
+  }
+  for (std::size_t k : p.messages) {
+    if (k >= messages_.size()) {
+      throw std::invalid_argument("hiperd::System::addPath: bad message index");
+    }
+  }
+  paths_.push_back(std::move(p));
+  return paths_.size() - 1;
+}
+
+la::Vector System::originalLoads() const {
+  la::Vector lambda(sensors_.size());
+  for (std::size_t s = 0; s < sensors_.size(); ++s) lambda[s] = sensors_[s].load;
+  return lambda;
+}
+
+void System::checkLoadsDim(const la::Vector& loads) const {
+  if (loads.size() != sensors_.size()) {
+    throw std::invalid_argument("hiperd::System: one load per sensor expected");
+  }
+}
+
+double System::appComputeSeconds(std::size_t a, const la::Vector& loads) const {
+  checkLoadsDim(loads);
+  const Application& app = apps_.at(a);
+  double c = app.baseComputeSeconds;
+  for (std::size_t s = 0; s < loads.size(); ++s) {
+    c += app.loadCoeffSeconds[s] * loads[s];
+  }
+  return c;
+}
+
+double System::messageBytes(std::size_t k, const la::Vector& loads) const {
+  checkLoadsDim(loads);
+  const Message& msg = messages_.at(k);
+  double b = msg.baseBytes;
+  for (std::size_t s = 0; s < loads.size(); ++s) {
+    b += msg.loadCoeffBytes[s] * loads[s];
+  }
+  return b;
+}
+
+double System::messageSeconds(std::size_t k, const la::Vector& loads) const {
+  return messageBytes(k, loads) / links_.at(messages_.at(k).link).bandwidthBytesPerSec;
+}
+
+double System::machineComputeSeconds(std::size_t m, const la::Vector& loads) const {
+  if (m >= machines_.size()) {
+    throw std::out_of_range("hiperd::System::machineComputeSeconds");
+  }
+  double total = 0.0;
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    if (apps_[a].machine == m) total += appComputeSeconds(a, loads);
+  }
+  return total;
+}
+
+double System::linkCommSeconds(std::size_t l, const la::Vector& loads) const {
+  if (l >= links_.size()) throw std::out_of_range("hiperd::System::linkCommSeconds");
+  double total = 0.0;
+  for (std::size_t k = 0; k < messages_.size(); ++k) {
+    if (messages_[k].link == l) total += messageSeconds(k, loads);
+  }
+  return total;
+}
+
+double System::pathLatencySeconds(std::size_t p, const la::Vector& loads) const {
+  const Path& path = paths_.at(p);
+  double total = 0.0;
+  for (std::size_t a : path.apps) total += appComputeSeconds(a, loads);
+  for (std::size_t k : path.messages) total += messageSeconds(k, loads);
+  return total;
+}
+
+bool System::satisfies(const QoS& qos, const la::Vector& loads) const {
+  const double budget = 1.0 / qos.minThroughput;
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    if (machineComputeSeconds(m, loads) > budget) return false;
+  }
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (linkCommSeconds(l, loads) > budget) return false;
+  }
+  for (std::size_t p = 0; p < paths_.size(); ++p) {
+    if (pathLatencySeconds(p, loads) > qos.maxLatencySeconds) return false;
+  }
+  return true;
+}
+
+perturb::PerturbationParameter System::loadParameter() const {
+  std::vector<std::string> labels;
+  labels.reserve(sensors_.size());
+  for (const Sensor& s : sensors_) labels.push_back("load(" + s.name + ")");
+  return perturb::PerturbationParameter(
+      "sensor-loads", units::Unit::objectsPerDataSet(), originalLoads(),
+      std::move(labels));
+}
+
+namespace {
+
+/// Adds a bounded linear feature, refusing constant (all-zero) rows —
+/// a machine with no load-dependent apps has no boundary in load space.
+void addLinearIfVarying(feature::FeatureSet& phi, const std::string& name,
+                        la::Vector k, double c, double bound, double origValue,
+                        units::Unit unit) {
+  if (la::norm2(k) == 0.0) return;  // insensitive: infinite radius, skip
+  if (origValue >= bound) {
+    throw std::invalid_argument("hiperd::System: feature '" + name +
+                                "' already violates its bound at the assumed "
+                                "operating point");
+  }
+  phi.add(std::make_shared<feature::LinearFeature>(name, std::move(k), c, unit),
+          feature::FeatureBounds::upper(bound));
+}
+
+}  // namespace
+
+feature::FeatureSet System::loadFeatureSet(const QoS& qos) const {
+  const la::Vector lambda = originalLoads();
+  const double budget = 1.0 / qos.minThroughput;
+  feature::FeatureSet phi;
+
+  // Per-machine compute time as a linear function of lambda.
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    la::Vector k(sensors_.size(), 0.0);
+    double c = 0.0;
+    bool hasApp = false;
+    for (const Application& app : apps_) {
+      if (app.machine != m) continue;
+      hasApp = true;
+      c += app.baseComputeSeconds;
+      for (std::size_t s = 0; s < sensors_.size(); ++s) {
+        k[s] += app.loadCoeffSeconds[s];
+      }
+    }
+    if (!hasApp) continue;
+    addLinearIfVarying(phi, "compute(" + machines_[m].name + ")", std::move(k),
+                       c, budget, machineComputeSeconds(m, lambda),
+                       units::Unit::seconds());
+  }
+
+  // Per-link communication time.
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    la::Vector k(sensors_.size(), 0.0);
+    double c = 0.0;
+    bool hasMsg = false;
+    for (const Message& msg : messages_) {
+      if (msg.link != l) continue;
+      hasMsg = true;
+      const double bw = links_[l].bandwidthBytesPerSec;
+      c += msg.baseBytes / bw;
+      for (std::size_t s = 0; s < sensors_.size(); ++s) {
+        k[s] += msg.loadCoeffBytes[s] / bw;
+      }
+    }
+    if (!hasMsg) continue;
+    addLinearIfVarying(phi, "comm(" + links_[l].name + ")", std::move(k), c,
+                       budget, linkCommSeconds(l, lambda),
+                       units::Unit::seconds());
+  }
+
+  // Per-path latency.
+  for (std::size_t p = 0; p < paths_.size(); ++p) {
+    la::Vector k(sensors_.size(), 0.0);
+    double c = 0.0;
+    for (std::size_t a : paths_[p].apps) {
+      c += apps_[a].baseComputeSeconds;
+      for (std::size_t s = 0; s < sensors_.size(); ++s) {
+        k[s] += apps_[a].loadCoeffSeconds[s];
+      }
+    }
+    for (std::size_t kk : paths_[p].messages) {
+      const double bw = links_[messages_[kk].link].bandwidthBytesPerSec;
+      c += messages_[kk].baseBytes / bw;
+      for (std::size_t s = 0; s < sensors_.size(); ++s) {
+        k[s] += messages_[kk].loadCoeffBytes[s] / bw;
+      }
+    }
+    addLinearIfVarying(phi, "latency(" + paths_[p].name + ")", std::move(k), c,
+                       qos.maxLatencySeconds, pathLatencySeconds(p, lambda),
+                       units::Unit::seconds());
+  }
+
+  if (phi.empty()) {
+    throw std::invalid_argument(
+        "hiperd::System::loadFeatureSet: no load-sensitive features");
+  }
+  return phi;
+}
+
+radius::FepiaProblem System::loadProblem(const QoS& qos) const {
+  radius::FepiaProblem problem;
+  problem.addPerturbation(loadParameter());
+  for (const feature::BoundedFeature& bf : loadFeatureSet(qos)) {
+    problem.addFeature(bf.feature, bf.bounds);
+  }
+  return problem;
+}
+
+la::Vector System::originalExecutionTimes() const {
+  const la::Vector lambda = originalLoads();
+  la::Vector e(apps_.size());
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    e[a] = appComputeSeconds(a, lambda);
+  }
+  return e;
+}
+
+la::Vector System::originalMessageSizes() const {
+  const la::Vector lambda = originalLoads();
+  la::Vector m(messages_.size());
+  for (std::size_t k = 0; k < messages_.size(); ++k) {
+    m[k] = messageBytes(k, lambda);
+  }
+  return m;
+}
+
+perturb::PerturbationSpace System::executionMessageSpace() const {
+  if (apps_.empty() || messages_.empty()) {
+    throw std::logic_error(
+        "hiperd::System::executionMessageSpace: needs apps and messages");
+  }
+  std::vector<std::string> execLabels;
+  execLabels.reserve(apps_.size());
+  for (const Application& a : apps_) execLabels.push_back("exec(" + a.name + ")");
+  std::vector<std::string> msgLabels;
+  msgLabels.reserve(messages_.size());
+  for (const Message& m : messages_) msgLabels.push_back("bytes(" + m.name + ")");
+
+  perturb::PerturbationSpace space;
+  space.add(perturb::PerturbationParameter("execution-times",
+                                           units::Unit::seconds(),
+                                           originalExecutionTimes(),
+                                           std::move(execLabels)));
+  space.add(perturb::PerturbationParameter("message-lengths",
+                                           units::Unit::bytes(),
+                                           originalMessageSizes(),
+                                           std::move(msgLabels)));
+  return space;
+}
+
+feature::FeatureSet System::executionMessageFeatureSet(const QoS& qos) const {
+  const std::size_t nA = apps_.size();
+  const std::size_t nM = messages_.size();
+  const std::size_t dim = nA + nM;
+  const double budget = 1.0 / qos.minThroughput;
+  const la::Vector lambda = originalLoads();
+  feature::FeatureSet phi;
+
+  // Per-machine compute: sum of e_a over apps on the machine.
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    la::Vector k(dim, 0.0);
+    bool hasApp = false;
+    for (std::size_t a = 0; a < nA; ++a) {
+      if (apps_[a].machine == m) {
+        k[a] = 1.0;
+        hasApp = true;
+      }
+    }
+    if (!hasApp) continue;
+    addLinearIfVarying(phi, "compute(" + machines_[m].name + ")", std::move(k),
+                       0.0, budget, machineComputeSeconds(m, lambda),
+                       units::Unit::seconds());
+  }
+
+  // Per-link communication: sum of m_k / bandwidth over messages on the link.
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    la::Vector k(dim, 0.0);
+    bool hasMsg = false;
+    for (std::size_t kk = 0; kk < nM; ++kk) {
+      if (messages_[kk].link == l) {
+        k[nA + kk] = 1.0 / links_[l].bandwidthBytesPerSec;
+        hasMsg = true;
+      }
+    }
+    if (!hasMsg) continue;
+    addLinearIfVarying(phi, "comm(" + links_[l].name + ")", std::move(k), 0.0,
+                       budget, linkCommSeconds(l, lambda),
+                       units::Unit::seconds());
+  }
+
+  // Per-path latency: sum of e_a plus m_k / bandwidth along the path.
+  for (std::size_t p = 0; p < paths_.size(); ++p) {
+    la::Vector k(dim, 0.0);
+    for (std::size_t a : paths_[p].apps) k[a] += 1.0;
+    for (std::size_t kk : paths_[p].messages) {
+      k[nA + kk] += 1.0 / links_[messages_[kk].link].bandwidthBytesPerSec;
+    }
+    addLinearIfVarying(phi, "latency(" + paths_[p].name + ")", std::move(k), 0.0,
+                       qos.maxLatencySeconds, pathLatencySeconds(p, lambda),
+                       units::Unit::seconds());
+  }
+
+  if (phi.empty()) {
+    throw std::invalid_argument(
+        "hiperd::System::executionMessageFeatureSet: no features");
+  }
+  return phi;
+}
+
+perturb::PerturbationSpace System::executionMessageBandwidthSpace() const {
+  perturb::PerturbationSpace space = executionMessageSpace();
+  if (links_.empty()) {
+    throw std::logic_error(
+        "hiperd::System::executionMessageBandwidthSpace: needs links");
+  }
+  std::vector<std::string> labels;
+  labels.reserve(links_.size());
+  for (const Link& l : links_) labels.push_back("bw-factor(" + l.name + ")");
+  space.add(perturb::PerturbationParameter(
+      "bandwidth-factors", units::Unit::dimensionless(),
+      la::Vector(links_.size(), 1.0), std::move(labels)));
+  return space;
+}
+
+feature::FeatureSet System::executionMessageBandwidthFeatureSet(
+    const QoS& qos) const {
+  const std::size_t nA = apps_.size();
+  const std::size_t nM = messages_.size();
+  const std::size_t nL = links_.size();
+  const std::size_t dim = nA + nM + nL;
+  const double budget = 1.0 / qos.minThroughput;
+  const la::Vector lambda = originalLoads();
+  feature::FeatureSet phi;
+
+  // Per-machine compute: linear, unchanged by bandwidth factors (padded
+  // with zero coefficients over the m and g blocks).
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    la::Vector k(dim, 0.0);
+    bool hasApp = false;
+    for (std::size_t a = 0; a < nA; ++a) {
+      if (apps_[a].machine == m) {
+        k[a] = 1.0;
+        hasApp = true;
+      }
+    }
+    if (!hasApp) continue;
+    addLinearIfVarying(phi, "compute(" + machines_[m].name + ")", std::move(k),
+                       0.0, budget, machineComputeSeconds(m, lambda),
+                       units::Unit::seconds());
+  }
+
+  // Pre-compute the static wiring the dual fields capture by value.
+  struct MsgInfo {
+    std::size_t msgIndex;   // within the m block
+    std::size_t linkIndex;  // within the g block
+    double bandwidth;       // nominal B_l
+  };
+  const auto msgInfoOnLink = [&](std::size_t l) {
+    std::vector<MsgInfo> out;
+    for (std::size_t k = 0; k < nM; ++k) {
+      if (messages_[k].link == l) {
+        out.push_back({k, l, links_[l].bandwidthBytesPerSec});
+      }
+    }
+    return out;
+  };
+
+  // Per-link communication time sum_k m_k / (B_l g_l): nonlinear in
+  // (m, g). Built as an AD field over the concatenated (e ⋆ m ⋆ g) space.
+  for (std::size_t l = 0; l < nL; ++l) {
+    const std::vector<MsgInfo> msgs = msgInfoOnLink(l);
+    if (msgs.empty()) continue;
+    const double origValue = linkCommSeconds(l, lambda);
+    if (origValue >= budget) {
+      throw std::invalid_argument("hiperd::System: link '" + links_[l].name +
+                                  "' already violates the throughput budget");
+    }
+    const ad::DualField field = [msgs, nA, nM](const std::vector<ad::Dual>& v) {
+      ad::Dual acc = 0.0;
+      for (const MsgInfo& mi : msgs) {
+        acc += v[nA + mi.msgIndex] /
+               (v[nA + nM + mi.linkIndex] * mi.bandwidth);
+      }
+      return acc;
+    };
+    phi.add(std::make_shared<feature::GenericFeature>(
+                "comm(" + links_[l].name + ")", dim, field,
+                units::Unit::seconds()),
+            feature::FeatureBounds::upper(budget));
+  }
+
+  // Per-path latency: sum of e_a plus the nonlinear message terms.
+  for (std::size_t p = 0; p < paths_.size(); ++p) {
+    std::vector<std::size_t> pathApps = paths_[p].apps;
+    std::vector<MsgInfo> pathMsgs;
+    for (std::size_t k : paths_[p].messages) {
+      pathMsgs.push_back({k, messages_[k].link,
+                          links_[messages_[k].link].bandwidthBytesPerSec});
+    }
+    const double origValue = pathLatencySeconds(p, lambda);
+    if (origValue >= qos.maxLatencySeconds) {
+      throw std::invalid_argument("hiperd::System: path '" + paths_[p].name +
+                                  "' already violates the latency bound");
+    }
+    const ad::DualField field =
+        [pathApps, pathMsgs, nA, nM](const std::vector<ad::Dual>& v) {
+          ad::Dual acc = 0.0;
+          for (std::size_t a : pathApps) acc += v[a];
+          for (const MsgInfo& mi : pathMsgs) {
+            acc += v[nA + mi.msgIndex] /
+                   (v[nA + nM + mi.linkIndex] * mi.bandwidth);
+          }
+          return acc;
+        };
+    phi.add(std::make_shared<feature::GenericFeature>(
+                "latency(" + paths_[p].name + ")", dim, field,
+                units::Unit::seconds()),
+            feature::FeatureBounds::upper(qos.maxLatencySeconds));
+  }
+
+  if (phi.empty()) {
+    throw std::invalid_argument(
+        "hiperd::System::executionMessageBandwidthFeatureSet: no features");
+  }
+  return phi;
+}
+
+radius::FepiaProblem System::executionMessageBandwidthProblem(
+    const QoS& qos) const {
+  radius::FepiaProblem problem;
+  const perturb::PerturbationSpace space = executionMessageBandwidthSpace();
+  for (std::size_t j = 0; j < space.kindCount(); ++j) {
+    problem.addPerturbation(space.kind(j));
+  }
+  for (const feature::BoundedFeature& bf :
+       executionMessageBandwidthFeatureSet(qos)) {
+    problem.addFeature(bf.feature, bf.bounds);
+  }
+  return problem;
+}
+
+radius::FepiaProblem System::executionMessageProblem(const QoS& qos) const {
+  radius::FepiaProblem problem;
+  const perturb::PerturbationSpace space = executionMessageSpace();
+  for (std::size_t j = 0; j < space.kindCount(); ++j) {
+    problem.addPerturbation(space.kind(j));
+  }
+  for (const feature::BoundedFeature& bf : executionMessageFeatureSet(qos)) {
+    problem.addFeature(bf.feature, bf.bounds);
+  }
+  return problem;
+}
+
+}  // namespace fepia::hiperd

@@ -1,0 +1,198 @@
+// HiPer-D-like streaming system model.
+//
+// "A typical HiPer-D computing system consists of a set of dedicated
+// machines interconnected by high-speed communication links. A set of
+// sensors sends streams of data sets to a set of communicating,
+// continuously running applications that process these data sets and
+// send their outputs to other applications or actuators." The system
+// must satisfy throughput and latency constraints; sensor loads (objects
+// per data set) change unpredictably, inflating computation and
+// communication times.
+//
+// Model (per data set):
+//   app compute seconds   c_a(lambda) = c0_a + sum_s gamma_{a,s} lambda_s
+//   message bytes         b_k(lambda) = b0_k + sum_s delta_{k,s} lambda_s
+//   message seconds       b_k / bandwidth(link(k))
+//   machine compute       sum of c_a over apps on the machine
+//   link communication    sum of b_k/bandwidth over messages on the link
+//   path latency          sum of c_a + message seconds along the path
+// QoS: every machine and link must keep its per-data-set time below 1/R
+// (throughput R data sets/second), and every sensor-to-actuator path
+// must keep latency below L_max.
+//
+// Two FePIA bridges are provided:
+//   * load space (single kind, objects/data-set) — the HiPer-D case
+//     study of baseline [2];
+//   * execution-time ⋆ message-size space (two kinds, seconds and
+//     bytes) — the multiple-kinds scenario of Section 3 of this paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "feature/feature.hpp"
+#include "la/vector.hpp"
+#include "perturb/space.hpp"
+#include "radius/fepia.hpp"
+
+namespace fepia::hiperd {
+
+/// A sensor stream; `load` is the assumed lambda (objects per data set).
+struct Sensor {
+  std::string name;
+  double load = 0.0;
+};
+
+/// A dedicated compute node.
+struct Machine {
+  std::string name;
+};
+
+/// A communication channel.
+struct Link {
+  std::string name;
+  double bandwidthBytesPerSec = 0.0;
+};
+
+/// A continuously running application pinned to one machine.
+/// Compute seconds per data set: baseComputeSeconds + loadCoeffSeconds·lambda.
+struct Application {
+  std::string name;
+  std::size_t machine = 0;
+  double baseComputeSeconds = 0.0;
+  std::vector<double> loadCoeffSeconds;  ///< one per sensor
+};
+
+/// A directed app-to-app transfer routed over one link.
+/// Bytes per data set: baseBytes + loadCoeffBytes·lambda.
+struct Message {
+  std::string name;
+  std::size_t srcApp = 0;
+  std::size_t dstApp = 0;
+  std::size_t link = 0;
+  double baseBytes = 0.0;
+  std::vector<double> loadCoeffBytes;  ///< one per sensor
+};
+
+/// A sensor-to-actuator chain for the latency constraint: latency is the
+/// sum of the listed apps' compute times and messages' transfer times.
+struct Path {
+  std::string name;
+  std::vector<std::size_t> apps;
+  std::vector<std::size_t> messages;
+};
+
+/// QoS requirement: throughput of at least `minThroughput` data sets per
+/// second (each machine/link per-data-set time <= 1/R) and path latency
+/// at most `maxLatencySeconds`.
+struct QoS {
+  double minThroughput = 1.0;
+  double maxLatencySeconds = 1.0;
+};
+
+/// The composed system. Build with the add* methods (each validates
+/// references against already-added entities and returns the new index),
+/// then query model values and FePIA bridges.
+class System {
+ public:
+  std::size_t addSensor(Sensor s);
+  std::size_t addMachine(Machine m);
+  std::size_t addLink(Link l);
+  /// Requires machine index valid and one load coefficient per sensor.
+  std::size_t addApplication(Application a);
+  /// Requires app/link indices valid and one load coefficient per sensor.
+  std::size_t addMessage(Message m);
+  /// Requires all app/message indices valid and a nonempty app list.
+  std::size_t addPath(Path p);
+
+  [[nodiscard]] std::size_t sensorCount() const noexcept { return sensors_.size(); }
+  [[nodiscard]] std::size_t machineCount() const noexcept { return machines_.size(); }
+  [[nodiscard]] std::size_t linkCount() const noexcept { return links_.size(); }
+  [[nodiscard]] std::size_t applicationCount() const noexcept { return apps_.size(); }
+  [[nodiscard]] std::size_t messageCount() const noexcept { return messages_.size(); }
+  [[nodiscard]] std::size_t pathCount() const noexcept { return paths_.size(); }
+
+  [[nodiscard]] const Sensor& sensor(std::size_t i) const { return sensors_.at(i); }
+  [[nodiscard]] const Machine& machine(std::size_t i) const { return machines_.at(i); }
+  [[nodiscard]] const Link& link(std::size_t i) const { return links_.at(i); }
+  [[nodiscard]] const Application& application(std::size_t i) const {
+    return apps_.at(i);
+  }
+  [[nodiscard]] const Message& message(std::size_t i) const {
+    return messages_.at(i);
+  }
+  [[nodiscard]] const Path& path(std::size_t i) const { return paths_.at(i); }
+
+  /// The assumed sensor loads lambda^orig.
+  [[nodiscard]] la::Vector originalLoads() const;
+
+  // ---- model evaluation at a load vector (one entry per sensor) ----
+  [[nodiscard]] double appComputeSeconds(std::size_t a, const la::Vector& loads) const;
+  [[nodiscard]] double messageBytes(std::size_t k, const la::Vector& loads) const;
+  [[nodiscard]] double messageSeconds(std::size_t k, const la::Vector& loads) const;
+  [[nodiscard]] double machineComputeSeconds(std::size_t m,
+                                             const la::Vector& loads) const;
+  [[nodiscard]] double linkCommSeconds(std::size_t l, const la::Vector& loads) const;
+  [[nodiscard]] double pathLatencySeconds(std::size_t p, const la::Vector& loads) const;
+
+  /// True when every machine, link and path constraint holds at `loads`.
+  [[nodiscard]] bool satisfies(const QoS& qos, const la::Vector& loads) const;
+
+  // ---- FePIA bridge: single kind (sensor loads) ----
+  /// pi = lambda, unit objects/data-set, pi^orig = assumed loads.
+  [[nodiscard]] perturb::PerturbationParameter loadParameter() const;
+  /// Machine-, link- and path-features as linear functions of lambda.
+  /// Throws std::invalid_argument when the system violates `qos` already
+  /// at the assumed loads.
+  [[nodiscard]] feature::FeatureSet loadFeatureSet(const QoS& qos) const;
+  /// Complete single-kind problem.
+  [[nodiscard]] radius::FepiaProblem loadProblem(const QoS& qos) const;
+
+  // ---- FePIA bridge: multiple kinds (execution times ⋆ message sizes) ----
+  /// pi_1 = per-app compute seconds (kind "execution-times", seconds),
+  /// pi_2 = per-message sizes (kind "message-lengths", bytes); originals
+  /// are the model values at lambda^orig.
+  [[nodiscard]] perturb::PerturbationSpace executionMessageSpace() const;
+  /// The same constraints as linear features over the concatenated
+  /// (e ⋆ m) space.
+  [[nodiscard]] feature::FeatureSet executionMessageFeatureSet(const QoS& qos) const;
+  /// Complete multi-kind problem (Section 3 of the paper).
+  [[nodiscard]] radius::FepiaProblem executionMessageProblem(const QoS& qos) const;
+
+  // ---- FePIA bridge: three kinds incl. a NONLINEAR one ----
+  // The paper lists "sudden machine or link failures" among the other
+  // uncertainties a general approach must cover. Partial link failure is
+  // modelled as a bandwidth-degradation factor per link: the effective
+  // bandwidth of link l becomes B_l · g_l with g_l^orig = 1 (g < 1 =
+  // degraded). Communication times m_k / (B_l g_l) are then NONLINEAR in
+  // the joint (m, g) perturbation, exercising the numeric radius engine
+  // on a real system feature.
+  /// pi_1 = execution times (s), pi_2 = message sizes (B),
+  /// pi_3 = per-link bandwidth factors (dimensionless, orig = 1).
+  [[nodiscard]] perturb::PerturbationSpace executionMessageBandwidthSpace() const;
+  /// Same constraints as executionMessageFeatureSet but with comm times
+  /// m_k / (B_l g_l): machine features stay linear, link and path
+  /// features become generic (AD-differentiated) nonlinear features.
+  [[nodiscard]] feature::FeatureSet executionMessageBandwidthFeatureSet(
+      const QoS& qos) const;
+  /// Complete three-kind problem.
+  [[nodiscard]] radius::FepiaProblem executionMessageBandwidthProblem(
+      const QoS& qos) const;
+
+  /// Per-app compute seconds at the assumed loads (the e^orig block).
+  [[nodiscard]] la::Vector originalExecutionTimes() const;
+  /// Per-message bytes at the assumed loads (the m^orig block).
+  [[nodiscard]] la::Vector originalMessageSizes() const;
+
+ private:
+  void checkLoadsDim(const la::Vector& loads) const;
+
+  std::vector<Sensor> sensors_;
+  std::vector<Machine> machines_;
+  std::vector<Link> links_;
+  std::vector<Application> apps_;
+  std::vector<Message> messages_;
+  std::vector<Path> paths_;
+};
+
+}  // namespace fepia::hiperd

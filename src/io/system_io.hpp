@@ -1,0 +1,41 @@
+// Plain-text HiPer-D system files: describe a full sensor/application/
+// machine/link topology plus its QoS so pipeline robustness analyses can
+// be run from the command line (tools/fepia_cli --hiperd).
+//
+// Format (line-oriented, '#' comments, blank lines ignored; entities are
+// referenced by NAME, so declare before use):
+//
+//   sensor  <name> <load>                       # objects per data set
+//   machine <name>
+//   link    <name> <bandwidth-bytes-per-sec>
+//   app     <name> <machine> <base-seconds> coeff <c_1> ... <c_#sensors>
+//   message <name> <src-app> <dst-app> <link> <base-bytes>
+//           coeff <c_1> ... <c_#sensors>
+//   path    <name> apps <app> ... messages <message> ...
+//   qos     <min-throughput-per-sec> <max-latency-seconds>
+//
+// Exactly one qos line is required. Names may be double-quoted to
+// contain spaces. Errors are io::ParseError with a 1-based line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hiperd/factory.hpp"
+#include "io/problem_io.hpp"
+
+namespace fepia::io {
+
+/// Parses a system+QoS description from a stream.
+[[nodiscard]] hiperd::ReferenceSystem parseSystem(std::istream& in);
+
+/// Parses from a string (convenience for tests).
+[[nodiscard]] hiperd::ReferenceSystem parseSystemString(const std::string& text);
+
+/// Loads from a file; throws std::runtime_error when unreadable.
+[[nodiscard]] hiperd::ReferenceSystem loadSystem(const std::string& path);
+
+/// Serializes a system+QoS to the same format.
+void writeSystem(std::ostream& out, const hiperd::ReferenceSystem& ref);
+
+}  // namespace fepia::io

@@ -1,0 +1,62 @@
+#include "la/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fepia::la {
+
+Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols(), 0.0) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("la::Cholesky: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (diag <= 0.0) {
+      failed_ = true;
+      return;
+    }
+    l_(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k);
+      l_(i, j) = acc / l_(j, j);
+    }
+  }
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  if (failed_) throw std::domain_error("la::Cholesky::solve: not SPD");
+  const std::size_t n = l_.rows();
+  if (b.size() != n) throw std::invalid_argument("la::Cholesky::solve: size");
+
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
+    y[i] = acc / l_(i, i);
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+Vector Cholesky::applyL(const Vector& y) const {
+  if (failed_) throw std::domain_error("la::Cholesky::applyL: not SPD");
+  const std::size_t n = l_.rows();
+  if (y.size() != n) throw std::invalid_argument("la::Cholesky::applyL: size");
+  Vector out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= i; ++k) acc += l_(i, k) * y[k];
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace fepia::la

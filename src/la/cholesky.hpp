@@ -1,0 +1,34 @@
+// Cholesky factorisation of symmetric positive-definite matrices.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "la/vector.hpp"
+
+namespace fepia::la {
+
+/// Cholesky factorisation `A = L L^T` of a symmetric positive-definite
+/// matrix. Used by the quadratic-feature radius engine (ellipsoidal
+/// boundary sets) and by multivariate samplers in the validation DES.
+class Cholesky {
+ public:
+  /// Factorises `a`; throws std::invalid_argument when non-square.
+  explicit Cholesky(const Matrix& a);
+
+  /// True when `a` was not (numerically) positive definite.
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  /// The lower-triangular factor L.
+  [[nodiscard]] const Matrix& l() const noexcept { return l_; }
+
+  /// Solves `A x = b` via the factor; throws std::domain_error on failure.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Applies `L y` — maps iid standard normals to correlated samples.
+  [[nodiscard]] Vector applyL(const Vector& y) const;
+
+ private:
+  Matrix l_;
+  bool failed_ = false;
+};
+
+}  // namespace fepia::la

@@ -1,0 +1,92 @@
+#include "la/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fepia::la {
+
+EigenDecomposition eigenSymmetric(const Matrix& a, int maxSweeps, double tol) {
+  const std::size_t n = a.rows();
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("la::eigenSymmetric: matrix must be square");
+  }
+  const double scale = normFrobenius(a) + 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (std::abs(a(i, j) - a(j, i)) > 1e-10 * scale) {
+        throw std::invalid_argument("la::eigenSymmetric: matrix not symmetric");
+      }
+    }
+  }
+
+  Matrix m = a;
+  Matrix v = identity(n);
+  EigenDecomposition out;
+
+  const auto offDiagonalNorm = [&m, n]() {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) acc += m(i, j) * m(i, j);
+    }
+    return std::sqrt(2.0 * acc);
+  };
+
+  for (out.sweeps = 0; out.sweeps < maxSweeps; ++out.sweeps) {
+    if (offDiagonalNorm() <= tol * scale) {
+      out.converged = true;
+      break;
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        // Jacobi rotation annihilating m(p, q).
+        const double theta = (m(q, q) - m(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mip = m(i, p);
+          const double miq = m(i, q);
+          m(i, p) = c * mip - s * miq;
+          m(i, q) = s * mip + c * miq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mpi = m(p, i);
+          const double mqi = m(q, i);
+          m(p, i) = c * mpi - s * mqi;
+          m(q, i) = s * mpi + c * mqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  if (!out.converged && offDiagonalNorm() <= tol * scale) {
+    out.converged = true;
+  }
+
+  // Sort eigenpairs ascending by value.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&m](std::size_t x, std::size_t y) {
+    return m(x, x) < m(y, y);
+  });
+  out.values = Vector(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = m(order[k], order[k]);
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, k) = v(i, order[k]);
+  }
+  return out;
+}
+
+}  // namespace fepia::la

@@ -1,0 +1,29 @@
+// Symmetric eigendecomposition (cyclic Jacobi).
+//
+// Needed by the closed-form quadratic radius engine: the nearest point
+// on a quadric level set { x : 0.5 x^T Q x + k^T x + c = beta } is found
+// in Q's eigenbasis, where the KKT stationarity condition becomes a
+// scalar secular equation.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "la/vector.hpp"
+
+namespace fepia::la {
+
+/// Eigendecomposition A = V diag(d) V^T of a symmetric matrix.
+struct EigenDecomposition {
+  Vector values;   ///< eigenvalues (ascending)
+  Matrix vectors;  ///< orthonormal eigenvectors, one per column
+  bool converged = false;
+  int sweeps = 0;  ///< Jacobi sweeps used
+};
+
+/// Decomposes a symmetric matrix by the cyclic Jacobi method.
+/// Throws std::invalid_argument when `a` is not square or not symmetric
+/// (tolerance 1e-10 relative to its Frobenius norm).
+[[nodiscard]] EigenDecomposition eigenSymmetric(const Matrix& a,
+                                                int maxSweeps = 64,
+                                                double tol = 1e-13);
+
+}  // namespace fepia::la

@@ -1,0 +1,94 @@
+#include "la/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fepia::la {
+
+namespace {
+constexpr double kPivotTol = 1e-13;
+}
+
+LU::LU(const Matrix& a) : lu_(a), perm_(a.rows()) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("la::LU: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |value| in column k at or below the diagonal.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best <= kPivotTol) {
+      singular_ = true;
+      continue;
+    }
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(pivot, j));
+      std::swap(perm_[k], perm_[pivot]);
+      permSign_ = -permSign_;
+    }
+    const double pivotVal = lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu_(i, k) / pivotVal;
+      lu_(i, k) = m;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+    }
+  }
+}
+
+Vector LU::solve(const Vector& b) const {
+  if (singular_) throw std::domain_error("la::LU::solve: singular matrix");
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw std::invalid_argument("la::LU::solve: size mismatch");
+
+  // Forward substitution on the permuted RHS (L has unit diagonal).
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
+    y[i] = acc;
+  }
+  // Back substitution with U.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LU::solve(const Matrix& b) const {
+  if (b.rows() != lu_.rows()) {
+    throw std::invalid_argument("la::LU::solve: row count mismatch");
+  }
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) x.setCol(c, solve(b.col(c)));
+  return x;
+}
+
+double LU::determinant() const noexcept {
+  if (singular_) return 0.0;
+  double det = static_cast<double>(permSign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Matrix LU::inverse() const {
+  if (singular_) throw std::domain_error("la::LU::inverse: singular matrix");
+  return solve(identity(lu_.rows()));
+}
+
+Vector solve(const Matrix& a, const Vector& b) { return LU(a).solve(b); }
+
+}  // namespace fepia::la

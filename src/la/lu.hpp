@@ -1,0 +1,47 @@
+// LU decomposition with partial pivoting; linear solves, determinant, inverse.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/vector.hpp"
+
+namespace fepia::la {
+
+/// LU factorisation with partial (row) pivoting of a square matrix:
+/// `P A = L U`, stored compactly in a single matrix.
+///
+/// Throws std::invalid_argument for non-square input. Singularity is
+/// detected lazily: `singular()` after construction, and `solve()` throws
+/// std::domain_error on a singular factor.
+class LU {
+ public:
+  explicit LU(const Matrix& a);
+
+  /// True when a zero (within tolerance) pivot was encountered.
+  [[nodiscard]] bool singular() const noexcept { return singular_; }
+
+  /// Solves `A x = b`; throws std::domain_error when singular,
+  /// std::invalid_argument on size mismatch.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solves `A X = B` column by column.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// Determinant of A (0 when singular).
+  [[nodiscard]] double determinant() const noexcept;
+
+  /// Inverse of A; throws std::domain_error when singular.
+  [[nodiscard]] Matrix inverse() const;
+
+ private:
+  Matrix lu_;                      // L below diagonal (unit diag implicit), U on/above
+  std::vector<std::size_t> perm_;  // row permutation
+  int permSign_ = 1;
+  bool singular_ = false;
+};
+
+/// Convenience one-shot solve of `A x = b`.
+[[nodiscard]] Vector solve(const Matrix& a, const Vector& b);
+
+}  // namespace fepia::la

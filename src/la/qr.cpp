@@ -1,0 +1,118 @@
+#include "la/qr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fepia::la {
+
+namespace {
+constexpr double kRankTol = 1e-12;
+}
+
+QR::QR(const Matrix& a)
+    : a_(a), beta_(a.cols(), 0.0), rDiag_(a.cols(), 0.0) {
+  const std::size_t m = a_.rows();
+  const std::size_t n = a_.cols();
+  if (m < n) {
+    throw std::invalid_argument("la::QR: requires rows >= cols");
+  }
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k below (and including) the diagonal.
+    double normx = 0.0;
+    for (std::size_t i = k; i < m; ++i) normx += a_(i, k) * a_(i, k);
+    normx = std::sqrt(normx);
+    if (normx <= kRankTol) {
+      rankDeficient_ = true;
+      beta_[k] = 0.0;
+      continue;
+    }
+    const double alpha = a_(k, k) >= 0.0 ? -normx : normx;
+    // v = x - alpha e1, stored in place; v_k kept explicitly.
+    const double vk = a_(k, k) - alpha;
+    a_(k, k) = vk;
+    double vtv = 0.0;
+    for (std::size_t i = k; i < m; ++i) vtv += a_(i, k) * a_(i, k);
+    beta_[k] = vtv > 0.0 ? 2.0 / vtv : 0.0;
+
+    // Apply the reflector to the trailing columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double dotv = 0.0;
+      for (std::size_t i = k; i < m; ++i) dotv += a_(i, k) * a_(i, j);
+      const double s = beta_[k] * dotv;
+      for (std::size_t i = k; i < m; ++i) a_(i, j) -= s * a_(i, k);
+    }
+    // Record R(k,k); the Householder vector stays on/below the diagonal.
+    rDiag_[k] = alpha;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    if (std::abs(rDiag_[k]) <= kRankTol) rankDeficient_ = true;
+  }
+}
+
+Matrix QR::r() const {
+  const std::size_t n = a_.cols();
+  Matrix out(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    out(i, i) = rDiag_[i];
+    for (std::size_t j = i + 1; j < n; ++j) out(i, j) = a_(i, j);
+  }
+  return out;
+}
+
+Vector QR::qTb(const Vector& b) const {
+  const std::size_t m = a_.rows();
+  const std::size_t n = a_.cols();
+  if (b.size() != m) throw std::invalid_argument("la::QR::qTb: size mismatch");
+  Vector y = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (beta_[k] == 0.0) continue;
+    double dotv = 0.0;
+    for (std::size_t i = k; i < m; ++i) dotv += a_(i, k) * y[i];
+    const double s = beta_[k] * dotv;
+    for (std::size_t i = k; i < m; ++i) y[i] -= s * a_(i, k);
+  }
+  return y;
+}
+
+Matrix QR::q() const {
+  const std::size_t m = a_.rows();
+  const std::size_t n = a_.cols();
+  Matrix out(m, m, 0.0);
+  // Q = H_0 H_1 ... H_{n-1}; build by applying reflectors to identity columns.
+  for (std::size_t c = 0; c < m; ++c) {
+    Vector e(m, 0.0);
+    e[c] = 1.0;
+    // Apply H_{n-1} ... H_0 in reverse to get Q e_c.
+    for (std::size_t kk = n; kk-- > 0;) {
+      if (beta_[kk] == 0.0) continue;
+      double dotv = 0.0;
+      for (std::size_t i = kk; i < m; ++i) dotv += a_(i, kk) * e[i];
+      const double s = beta_[kk] * dotv;
+      for (std::size_t i = kk; i < m; ++i) e[i] -= s * a_(i, kk);
+    }
+    out.setCol(c, e);
+  }
+  return out;
+}
+
+Vector QR::solveLeastSquares(const Vector& b) const {
+  if (rankDeficient_) {
+    throw std::domain_error("la::QR::solveLeastSquares: rank-deficient matrix");
+  }
+  const std::size_t n = a_.cols();
+  const Vector y = qTb(b);
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= a_(ii, j) * x[j];
+    x[ii] = acc / rDiag_[ii];
+  }
+  return x;
+}
+
+Vector leastSquares(const Matrix& a, const Vector& b) {
+  return QR(a).solveLeastSquares(b);
+}
+
+}  // namespace fepia::la

@@ -1,0 +1,47 @@
+// Householder QR decomposition and linear least squares.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/vector.hpp"
+
+namespace fepia::la {
+
+/// Householder QR factorisation of an m x n matrix with m >= n: `A = Q R`.
+///
+/// Used by the numeric radius solver to project Newton steps onto the
+/// tangent space of the constraint manifold, and for least-squares fits
+/// in the workload calibration utilities.
+class QR {
+ public:
+  /// Factorises `a`; throws std::invalid_argument when rows < cols.
+  explicit QR(const Matrix& a);
+
+  /// True when R has a (near-)zero diagonal entry, i.e. A is rank deficient.
+  [[nodiscard]] bool rankDeficient() const noexcept { return rankDeficient_; }
+
+  /// The upper-triangular n x n factor R.
+  [[nodiscard]] Matrix r() const;
+
+  /// Explicit m x m orthogonal factor Q (formed on demand).
+  [[nodiscard]] Matrix q() const;
+
+  /// Applies `Q^T b` without forming Q.
+  [[nodiscard]] Vector qTb(const Vector& b) const;
+
+  /// Minimum-norm least squares solution of `min ‖A x − b‖₂`;
+  /// throws std::domain_error when rank deficient.
+  [[nodiscard]] Vector solveLeastSquares(const Vector& b) const;
+
+ private:
+  Matrix a_;                   // Householder vectors below diag, R strictly above
+  std::vector<double> beta_;   // Householder scalars
+  std::vector<double> rDiag_;  // diagonal of R (the vectors occupy a_'s diagonal)
+  bool rankDeficient_ = false;
+};
+
+/// One-shot least squares `argmin_x ‖A x − b‖₂`.
+[[nodiscard]] Vector leastSquares(const Matrix& a, const Vector& b);
+
+}  // namespace fepia::la

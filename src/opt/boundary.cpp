@@ -1,0 +1,218 @@
+#include "opt/boundary.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ad/gradient.hpp"
+#include "opt/scalar.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace fepia::opt {
+
+std::optional<BoundaryHit> rayShootToLevel(const FieldFn& g,
+                                           const la::Vector& x0,
+                                           const la::Vector& direction,
+                                           double level, double tMax,
+                                           double xtol) {
+  if (direction.size() != x0.size()) {
+    throw std::invalid_argument("opt::rayShootToLevel: dimension mismatch");
+  }
+  if (la::norm2(direction) == 0.0) {
+    throw std::invalid_argument("opt::rayShootToLevel: zero direction");
+  }
+  const auto h = [&](double t) { return g(x0 + t * direction) - level; };
+  const auto bracket = bracketRoot(h, 0.0, tMax);
+  if (!bracket) return std::nullopt;
+  const auto [a, b] = *bracket;
+  if (a == b) return BoundaryHit{x0 + a * direction, a};
+  const RootResult root = brent(h, a, b, xtol);
+  if (!root.converged) return std::nullopt;
+  // A sign change across a pole (e.g. bandwidth-degradation features
+  // m/(B·g) near g = 0) brackets a discontinuity, not a root; reject
+  // "roots" whose residual did not actually vanish.
+  if (std::abs(root.fx) > 1e-6 * std::max(1.0, std::abs(level))) {
+    return std::nullopt;
+  }
+  return BoundaryHit{x0 + root.x * direction, root.x};
+}
+
+namespace {
+
+/// One alternating-projection polish from `start` (a point near the level
+/// set). Returns the refined point; `converged` reports tolerance reached.
+struct RefineOutcome {
+  la::Vector point;
+  bool converged = false;
+};
+
+RefineOutcome refineClosestPoint(const FieldFn& g, const GradFn& grad,
+                                 const la::Vector& x0, double level,
+                                 const BoundarySolverOptions& opts,
+                                 la::Vector start, std::size_t& fieldEvals,
+                                 std::size_t& gradEvals) {
+  la::Vector x = std::move(start);
+  const double scale = std::max(1.0, la::norm2(x0));
+  bool converged = false;
+
+  for (std::size_t it = 0; it < opts.maxRefineIterations; ++it) {
+    // A. Newton projection onto the level set along the gradient.
+    for (int inner = 0; inner < 8; ++inner) {
+      const double gv = g(x) - level;
+      ++fieldEvals;
+      if (!std::isfinite(gv)) return {x, false};  // left the domain
+      if (std::abs(gv) <= opts.tol * scale) break;
+      const la::Vector n = grad(x);
+      ++gradEvals;
+      const double nn = la::normSq(n);
+      if (nn <= 1e-300) return {x, false};  // stationary point: give up
+      x -= (gv / nn) * n;
+    }
+
+    // B. Tangential slide toward the origin point x0.
+    const la::Vector n = grad(x);
+    ++gradEvals;
+    const double nn = la::normSq(n);
+    if (nn <= 1e-300) return {x, false};
+    la::Vector v = x0 - x;
+    const double vn = la::dot(v, n) / nn;
+    la::Vector tangential = v - vn * n;
+    const double step = la::norm2(tangential);
+    if (step <= opts.tol * scale) {
+      converged = true;
+      break;
+    }
+    // Damped step: full tangential moves can overshoot on curved
+    // boundaries; halving preserves monotone progress in practice.
+    x += 0.5 * tangential;
+  }
+
+  // Final projection so the returned point satisfies the constraint.
+  for (int inner = 0; inner < 16; ++inner) {
+    const double gv = g(x) - level;
+    ++fieldEvals;
+    if (!std::isfinite(gv)) break;  // left the domain
+    if (std::abs(gv) <= opts.tol * scale) break;
+    const la::Vector n = grad(x);
+    ++gradEvals;
+    const double nn = la::normSq(n);
+    if (nn <= 1e-300) break;
+    x -= (gv / nn) * n;
+  }
+  return {std::move(x), converged};
+}
+
+}  // namespace
+
+BoundaryResult nearestPointOnLevelSet(const FieldFn& g, const GradFn& gradIn,
+                                      const la::Vector& x0, double level,
+                                      const BoundarySolverOptions& opts) {
+  if (x0.empty()) {
+    throw std::invalid_argument("opt::nearestPointOnLevelSet: empty origin");
+  }
+  BoundaryResult res;
+  res.point = x0;
+
+  // Domain robustness: a feature may be undefined at probe points (e.g.
+  // a pole at zero bandwidth factor). Failed evaluations become NaN —
+  // treated as "outside the domain" by the bracketing search — and failed
+  // gradients become zero vectors, which abort refinement gracefully.
+  const std::size_t dim = x0.size();
+  const FieldFn safeG = [&g](const la::Vector& x) {
+    try {
+      return g(x);
+    } catch (const std::exception&) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+  };
+  GradFn grad;
+  if (gradIn) {
+    grad = [&gradIn, dim](const la::Vector& x) {
+      try {
+        return gradIn(x);
+      } catch (const std::exception&) {
+        return la::Vector(dim, 0.0);
+      }
+    };
+  } else {
+    grad = [&safeG, dim](const la::Vector& x) {
+      const la::Vector fd = ad::finiteDifferenceGradient(
+          [&safeG](const la::Vector& y) { return safeG(y); }, x);
+      for (double v : fd) {
+        if (!std::isfinite(v)) return la::Vector(dim, 0.0);
+      }
+      return fd;
+    };
+  }
+
+  const std::size_t n = x0.size();
+  rng::Xoshiro256StarStar gen(opts.seed);
+
+  // Probe directions: random sphere points plus (optionally) the axes.
+  std::vector<la::Vector> directions;
+  directions.reserve(opts.multistarts + (opts.probeAxes ? 2 * n : 0));
+  for (std::size_t k = 0; k < opts.multistarts; ++k) {
+    const auto d = opts.nonnegativeDirectionsOnly
+                       ? rng::unitSphereNonnegative(gen, n)
+                       : rng::unitSphere(gen, n);
+    directions.emplace_back(la::Vector(std::vector<double>(d.begin(), d.end())));
+  }
+  if (opts.probeAxes) {
+    for (std::size_t i = 0; i < n; ++i) {
+      directions.push_back(la::unitAxis(n, i));
+      if (!opts.nonnegativeDirectionsOnly) {
+        directions.push_back(-la::unitAxis(n, i));
+      }
+    }
+  }
+
+  // Gradient direction is usually the best single probe: the level set of
+  // a monotone feature is first reached along ∇g.
+  {
+    const la::Vector g0 = grad(x0);
+    ++res.gradientEvaluations;
+    const double gn = la::norm2(g0);
+    if (gn > 0.0) {
+      directions.push_back(g0 / gn);
+      if (!opts.nonnegativeDirectionsOnly) directions.push_back(-(g0 / gn));
+    }
+  }
+
+  const auto countedField = [&](const la::Vector& x) {
+    ++res.fieldEvaluations;
+    return safeG(x);
+  };
+
+  double best = std::numeric_limits<double>::infinity();
+  la::Vector bestPoint;
+  const double tMax = opts.tMax * std::max(1.0, la::norm2(x0));
+  for (const la::Vector& d : directions) {
+    const auto hit = rayShootToLevel(countedField, x0, d, level, tMax);
+    if (!hit) continue;
+    res.foundBoundary = true;
+    if (hit->t < best) {
+      best = hit->t;
+      bestPoint = hit->point;
+    }
+  }
+  if (!res.foundBoundary) return res;
+
+  RefineOutcome refined =
+      refineClosestPoint(countedField, grad, x0, level, opts, bestPoint,
+                         res.fieldEvaluations, res.gradientEvaluations);
+  // gradEvals from refine are already counted through the lambda captures.
+  const double refinedDist = la::distance(refined.point, x0);
+  if (refinedDist <= best) {
+    res.point = std::move(refined.point);
+    res.distance = refinedDist;
+    res.converged = refined.converged;
+  } else {
+    // Refinement wandered to a worse branch; keep the raw ray hit.
+    res.point = std::move(bestPoint);
+    res.distance = best;
+    res.converged = false;
+  }
+  return res;
+}
+
+}  // namespace fepia::opt

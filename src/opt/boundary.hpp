@@ -1,0 +1,73 @@
+// Nearest-boundary-point solver.
+//
+// Step 4 of the FePIA procedure asks for the smallest collective
+// variation of the perturbation parameter that reaches the boundary set
+// { pi : f(pi) = beta }. For linear and quadratic features this has a
+// closed form (src/radius); for everything else this module solves
+//
+//     min ‖x − x0‖₂   subject to   g(x) = level
+//
+// by multistart ray shooting (global probe) followed by an alternating
+// projection refinement (local polish):
+//   A. Newton-project the iterate onto the level set along ∇g;
+//   B. slide it toward x0 inside the tangent plane.
+// The refinement is the classic closest-point-on-implicit-surface
+// iteration; ray shooting supplies starts on distinct boundary branches
+// so the global minimum is not missed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "la/vector.hpp"
+
+namespace fepia::opt {
+
+/// Scalar field value g(x).
+using FieldFn = std::function<double(const la::Vector&)>;
+/// Gradient ∇g(x).
+using GradFn = std::function<la::Vector(const la::Vector&)>;
+
+/// A ray/boundary intersection.
+struct BoundaryHit {
+  la::Vector point;   ///< the intersection x0 + t·direction
+  double t = 0.0;     ///< ray parameter (Euclidean distance for unit directions)
+};
+
+/// Finds the smallest t in (0, tMax] with g(x0 + t·d) = level by geometric
+/// bracketing plus Brent. Returns nullopt when the ray never crosses the
+/// level within tMax. `direction` need not be normalised; `t` is in units
+/// of ‖direction‖.
+[[nodiscard]] std::optional<BoundaryHit> rayShootToLevel(
+    const FieldFn& g, const la::Vector& x0, const la::Vector& direction,
+    double level, double tMax, double xtol = 1e-12);
+
+/// Options for `nearestPointOnLevelSet`.
+struct BoundarySolverOptions {
+  std::size_t multistarts = 64;     ///< random probe directions
+  bool probeAxes = true;            ///< also probe ±coordinate axes
+  std::size_t maxRefineIterations = 200;
+  double tol = 1e-10;               ///< convergence: tangential residual / step
+  double tMax = 1e6;                ///< ray search horizon (units of ‖x‖)
+  std::uint64_t seed = 0x5EEDF00Dull;
+  bool nonnegativeDirectionsOnly = false;  ///< restrict probes to growth directions
+};
+
+/// Result of the nearest-boundary search.
+struct BoundaryResult {
+  la::Vector point;                ///< argmin — the paper's pi*(phi_i)
+  double distance = 0.0;           ///< ‖point − x0‖₂ — the robustness radius
+  bool converged = false;          ///< refinement reached tolerance
+  bool foundBoundary = false;      ///< at least one probe crossed the level set
+  std::size_t fieldEvaluations = 0;
+  std::size_t gradientEvaluations = 0;
+};
+
+/// Solves min ‖x − x0‖ s.t. g(x) = level. `grad` may be empty, in which
+/// case a central finite-difference gradient is used for the refinement.
+[[nodiscard]] BoundaryResult nearestPointOnLevelSet(
+    const FieldFn& g, const GradFn& grad, const la::Vector& x0, double level,
+    const BoundarySolverOptions& opts = {});
+
+}  // namespace fepia::opt

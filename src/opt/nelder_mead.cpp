@@ -1,0 +1,104 @@
+#include "opt/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fepia::opt {
+
+NelderMeadResult nelderMead(const VectorFn& f, const la::Vector& x0,
+                            const NelderMeadOptions& opts) {
+  const std::size_t n = x0.size();
+  if (n == 0) throw std::invalid_argument("opt::nelderMead: empty start point");
+
+  NelderMeadResult res;
+
+  // Initial simplex: x0 plus one perturbed vertex per coordinate.
+  std::vector<la::Vector> simplex;
+  simplex.reserve(n + 1);
+  simplex.push_back(x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    la::Vector v = x0;
+    const double step = opts.initialStep * std::max(1.0, std::abs(x0[i]));
+    v[i] += step;
+    simplex.push_back(std::move(v));
+  }
+  std::vector<double> values(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    values[i] = f(simplex[i]);
+    ++res.evaluations;
+  }
+
+  std::vector<std::size_t> order(n + 1);
+  for (res.iterations = 0; res.iterations < opts.maxIterations;
+       ++res.iterations) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second = order[n - 1];
+
+    if (std::abs(values[worst] - values[best]) <=
+        opts.ftol * (std::abs(values[worst]) + std::abs(values[best]) + 1e-30)) {
+      res.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    la::Vector centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      centroid += simplex[i];
+    }
+    centroid *= 1.0 / static_cast<double>(n);
+
+    auto tryPoint = [&](double coeff) {
+      la::Vector p = centroid + coeff * (centroid - simplex[worst]);
+      const double fp = f(p);
+      ++res.evaluations;
+      return std::make_pair(std::move(p), fp);
+    };
+
+    auto [reflected, fReflected] = tryPoint(opts.reflection);
+    if (fReflected < values[best]) {
+      auto [expanded, fExpanded] = tryPoint(opts.expansion);
+      if (fExpanded < fReflected) {
+        simplex[worst] = std::move(expanded);
+        values[worst] = fExpanded;
+      } else {
+        simplex[worst] = std::move(reflected);
+        values[worst] = fReflected;
+      }
+      continue;
+    }
+    if (fReflected < values[second]) {
+      simplex[worst] = std::move(reflected);
+      values[worst] = fReflected;
+      continue;
+    }
+    auto [contracted, fContracted] = tryPoint(-opts.contraction);
+    if (fContracted < values[worst]) {
+      simplex[worst] = std::move(contracted);
+      values[worst] = fContracted;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      simplex[i] = simplex[best] + opts.shrink * (simplex[i] - simplex[best]);
+      values[i] = f(simplex[i]);
+      ++res.evaluations;
+    }
+  }
+
+  const auto bestIt = std::min_element(values.begin(), values.end());
+  const auto bestIdx = static_cast<std::size_t>(bestIt - values.begin());
+  res.x = simplex[bestIdx];
+  res.fx = values[bestIdx];
+  return res;
+}
+
+}  // namespace fepia::opt

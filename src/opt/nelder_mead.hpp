@@ -1,0 +1,40 @@
+// Derivative-free simplex minimisation (Nelder–Mead).
+//
+// Serves as the fallback engine for performance features that are not
+// differentiable (e.g. max-of-paths latency before smoothing) inside the
+// penalty formulation of the nearest-boundary problem.
+#pragma once
+
+#include <functional>
+
+#include "la/vector.hpp"
+
+namespace fepia::opt {
+
+using VectorFn = std::function<double(const la::Vector&)>;
+
+/// Options for `nelderMead`.
+struct NelderMeadOptions {
+  double initialStep = 0.5;   ///< initial simplex edge length (scaled per coord)
+  double ftol = 1e-12;        ///< spread-of-values convergence threshold
+  int maxIterations = 2000;
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+/// Result of a simplex minimisation.
+struct NelderMeadResult {
+  la::Vector x;          ///< best point found
+  double fx = 0.0;       ///< objective at `x`
+  int iterations = 0;
+  std::size_t evaluations = 0;
+  bool converged = false;
+};
+
+/// Minimises `f` starting from `x0`.
+[[nodiscard]] NelderMeadResult nelderMead(const VectorFn& f, const la::Vector& x0,
+                                          const NelderMeadOptions& opts = {});
+
+}  // namespace fepia::opt

@@ -1,0 +1,83 @@
+#include "opt/penalty.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fepia::opt {
+
+BoundaryResult nearestPointOnLevelSetPenalty(const FieldFn& g,
+                                             const la::Vector& x0,
+                                             double level,
+                                             const PenaltyOptions& opts) {
+  if (x0.empty()) {
+    throw std::invalid_argument(
+        "opt::nearestPointOnLevelSetPenalty: empty origin");
+  }
+  BoundaryResult res;
+  res.point = x0;
+
+  // Evaluation failures (field undefined at a probe point) become NaN
+  // for the ray search and +inf penalties for the inner minimiser.
+  const auto countedField = [&](const la::Vector& x) {
+    ++res.fieldEvaluations;
+    try {
+      return g(x);
+    } catch (const std::exception&) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+  };
+
+  const double scale = std::max(1.0, std::abs(level));
+
+  // Warm start: one ray shot along the steepest ascent proxy — here just
+  // the direction that changes g fastest among the coordinate axes, or
+  // simply toward increasing g along +1 vector; a crude probe is enough
+  // to start the simplex near the boundary.
+  la::Vector start = x0;
+  if (opts.warmStartWithRayShot) {
+    const la::Vector ones = la::ones(x0.size()) / std::sqrt(
+        static_cast<double>(x0.size()));
+    for (const la::Vector& dir : {ones, -ones}) {
+      const auto hit = rayShootToLevel(countedField, x0, dir, level,
+                                       opts.tMax * std::max(1.0, la::norm2(x0)));
+      if (hit) {
+        start = hit->point;
+        res.foundBoundary = true;
+        break;
+      }
+    }
+  }
+
+  double mu = opts.initialMu;
+  la::Vector best = start;
+  double bestResidual = std::abs(countedField(best) - level);
+  for (std::size_t outer = 0; outer < opts.maxOuterIterations; ++outer) {
+    const VectorFn objective = [&](const la::Vector& x) {
+      const double r = countedField(x) - level;
+      if (!std::isfinite(r)) return std::numeric_limits<double>::infinity();
+      double dist = 0.0;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        const double d = x[i] - x0[i];
+        dist += d * d;
+      }
+      return dist + mu * r * r;
+    };
+    const NelderMeadResult nm = nelderMead(objective, best, opts.inner);
+    best = nm.x;
+    bestResidual = std::abs(countedField(best) - level);
+    if (bestResidual <= opts.constraintTol * scale) {
+      res.converged = true;
+      break;
+    }
+    mu *= opts.muGrowth;
+  }
+
+  if (bestResidual <= 1e-3 * scale) res.foundBoundary = true;
+  if (!res.foundBoundary) return res;
+
+  res.point = std::move(best);
+  res.distance = la::distance(res.point, x0);
+  return res;
+}
+
+}  // namespace fepia::opt

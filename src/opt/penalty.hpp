@@ -1,0 +1,41 @@
+// Derivative-free nearest-boundary solver via quadratic penalty +
+// Nelder–Mead.
+//
+// An alternative to opt::nearestPointOnLevelSet for black-box features
+// whose gradients are unavailable or unreliable: minimise
+//
+//     F_mu(x) = ‖x − x0‖² + mu (g(x) − level)²
+//
+// with Nelder–Mead, increasing mu geometrically until the constraint
+// residual is within tolerance. Slower and less accurate than the
+// gradient-based engine (quantified in bench_nonlinear_kinds), but
+// requires nothing beyond function values.
+#pragma once
+
+#include "la/vector.hpp"
+#include "opt/boundary.hpp"
+#include "opt/nelder_mead.hpp"
+
+namespace fepia::opt {
+
+/// Options for the penalty solver.
+struct PenaltyOptions {
+  double initialMu = 1.0;
+  double muGrowth = 10.0;
+  std::size_t maxOuterIterations = 12;
+  double constraintTol = 1e-8;    ///< |g − level| target (relative to scale)
+  NelderMeadOptions inner{};      ///< inner minimisation settings
+  /// Starting point offset: the simplex starts from x0 nudged toward the
+  /// boundary by one ray-shot when possible, else from x0 itself.
+  bool warmStartWithRayShot = true;
+  double tMax = 1e6;              ///< ray horizon for the warm start
+};
+
+/// Solves min ‖x − x0‖ s.t. g(x) = level without gradients.
+/// Returns the same BoundaryResult structure as the gradient engine
+/// (`converged` = constraint satisfied within tolerance).
+[[nodiscard]] BoundaryResult nearestPointOnLevelSetPenalty(
+    const FieldFn& g, const la::Vector& x0, double level,
+    const PenaltyOptions& opts = {});
+
+}  // namespace fepia::opt

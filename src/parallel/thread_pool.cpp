@@ -1,0 +1,79 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+
+namespace fepia::parallel {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads;
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+void parallelFor(ThreadPool& pool, std::size_t count,
+                 const std::function<void(std::size_t)>& body) {
+  if (!body) throw std::invalid_argument("parallel::parallelFor: null body");
+  if (count == 0) return;
+
+  // Chunk the index range so tiny bodies don't drown in task overhead.
+  const std::size_t chunks =
+      std::min(count, std::max<std::size_t>(1, 4 * pool.threadCount()));
+  const std::size_t per = (count + chunks - 1) / chunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * per;
+    const std::size_t end = std::min(count, begin + per);
+    if (begin >= end) break;
+    futures.push_back(pool.submit([&body, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    }));
+  }
+  // Propagate the first failure (futures rethrow stored exceptions).
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace fepia::parallel

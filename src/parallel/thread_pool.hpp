@@ -1,0 +1,73 @@
+// Minimal fixed-size thread pool and a blocking parallel-for.
+//
+// The robustness analyses decompose naturally over independent units —
+// per-feature radii, per-direction probes, per-replication traces — so a
+// simple fork-join pool covers the library's parallel needs without
+// imposing a runtime. Exceptions thrown by tasks are captured and
+// rethrown to the caller (first one wins), keeping the error contract of
+// the serial code paths.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fepia::parallel {
+
+/// Fixed-size worker pool. Threads start in the constructor and join in
+/// the destructor (after draining the queue).
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 selects the hardware concurrency
+  /// (at least 1). Throws nothing beyond thread-creation failures.
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains pending work and joins the workers.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t threadCount() const noexcept {
+    return workers_.size();
+  }
+
+  /// Schedules a task; the future carries its result or exception.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> out = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return out;
+  }
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, count) across the pool and blocks until all
+/// complete. The first exception thrown by any iteration is rethrown.
+/// Iteration order across threads is unspecified; the body must not
+/// assume ordering. Throws std::invalid_argument on a null body.
+void parallelFor(ThreadPool& pool, std::size_t count,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace fepia::parallel

@@ -1,0 +1,99 @@
+#include "perturb/space.hpp"
+
+#include <stdexcept>
+
+namespace fepia::perturb {
+
+std::size_t PerturbationSpace::add(PerturbationParameter param) {
+  offsets_.push_back(total_);
+  total_ += param.size();
+  params_.push_back(std::move(param));
+  return params_.size() - 1;
+}
+
+const PerturbationParameter& PerturbationSpace::kind(std::size_t j) const {
+  if (j >= params_.size()) {
+    throw std::out_of_range("perturb::PerturbationSpace::kind");
+  }
+  return params_[j];
+}
+
+std::size_t PerturbationSpace::blockOffset(std::size_t j) const {
+  if (j >= offsets_.size()) {
+    throw std::out_of_range("perturb::PerturbationSpace::blockOffset");
+  }
+  return offsets_[j];
+}
+
+std::string PerturbationSpace::flatLabel(std::size_t i) const {
+  if (i >= total_) throw std::out_of_range("perturb::PerturbationSpace::flatLabel");
+  for (std::size_t j = params_.size(); j-- > 0;) {
+    if (i >= offsets_[j]) return params_[j].elementLabel(i - offsets_[j]);
+  }
+  throw std::logic_error("perturb::PerturbationSpace::flatLabel: bad layout");
+}
+
+la::Vector PerturbationSpace::concatenatedOriginal() const {
+  la::Vector out;
+  out.resize(total_);
+  for (std::size_t j = 0; j < params_.size(); ++j) {
+    const la::Vector& orig = params_[j].original();
+    for (std::size_t i = 0; i < orig.size(); ++i) out[offsets_[j] + i] = orig[i];
+  }
+  return out;
+}
+
+la::Vector PerturbationSpace::concatenate(std::span<const la::Vector> perKind) const {
+  if (!homogeneousUnits()) {
+    // Find a pair to name in the error.
+    for (std::size_t j = 1; j < params_.size(); ++j) {
+      units::requireSameUnit(params_[0].unit(), params_[j].unit(),
+                             "perturb::PerturbationSpace::concatenate");
+    }
+  }
+  return concatenateUnchecked(perKind);
+}
+
+la::Vector PerturbationSpace::concatenateUnchecked(
+    std::span<const la::Vector> perKind) const {
+  if (perKind.size() != params_.size()) {
+    throw std::invalid_argument(
+        "perturb::PerturbationSpace::concatenate: expected one vector per kind");
+  }
+  la::Vector out;
+  out.resize(total_);
+  for (std::size_t j = 0; j < params_.size(); ++j) {
+    if (perKind[j].size() != params_[j].size()) {
+      throw std::invalid_argument(
+          "perturb::PerturbationSpace::concatenate: block '" +
+          params_[j].name() + "' has wrong dimension");
+    }
+    for (std::size_t i = 0; i < perKind[j].size(); ++i) {
+      out[offsets_[j] + i] = perKind[j][i];
+    }
+  }
+  return out;
+}
+
+std::vector<la::Vector> PerturbationSpace::split(const la::Vector& flat) const {
+  if (flat.size() != total_) {
+    throw std::invalid_argument("perturb::PerturbationSpace::split: dimension");
+  }
+  std::vector<la::Vector> out;
+  out.reserve(params_.size());
+  for (std::size_t j = 0; j < params_.size(); ++j) {
+    la::Vector block(params_[j].size());
+    for (std::size_t i = 0; i < block.size(); ++i) block[i] = flat[offsets_[j] + i];
+    out.push_back(std::move(block));
+  }
+  return out;
+}
+
+bool PerturbationSpace::homogeneousUnits() const noexcept {
+  for (std::size_t j = 1; j < params_.size(); ++j) {
+    if (!(params_[j].unit() == params_[0].unit())) return false;
+  }
+  return true;
+}
+
+}  // namespace fepia::perturb

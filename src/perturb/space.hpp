@@ -1,0 +1,74 @@
+// The perturbation parameter set Pi and its concatenation layout.
+//
+// Section 3 of the paper: "Let P be a weighted concatenation of the
+// vectors pi_1, pi_2, ..., pi_|Pi|, where P-space has
+// n_{pi_1} + ... + n_{pi_|Pi|} dimensions." This class owns the ordering
+// and offsets of that concatenation, converts between per-kind vectors
+// and the flat pi-space vector, and enforces the units rule: a *plain*
+// (unweighted) concatenation is only legal when every kind shares one
+// unit — mixing seconds with bytes throws units::MismatchError, which is
+// precisely the paper's argument for introducing P-space.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "la/vector.hpp"
+#include "perturb/parameter.hpp"
+
+namespace fepia::perturb {
+
+/// An ordered collection of PerturbationParameter (the set Pi) with the
+/// block layout of the concatenated space.
+class PerturbationSpace {
+ public:
+  PerturbationSpace() = default;
+
+  /// Appends a parameter kind; returns its block index j.
+  std::size_t add(PerturbationParameter param);
+
+  /// Number of kinds |Pi|.
+  [[nodiscard]] std::size_t kindCount() const noexcept { return params_.size(); }
+
+  /// Total dimension of the concatenated space.
+  [[nodiscard]] std::size_t totalDimension() const noexcept { return total_; }
+
+  /// The j-th kind; throws std::out_of_range.
+  [[nodiscard]] const PerturbationParameter& kind(std::size_t j) const;
+
+  /// Offset of block j within the concatenated vector.
+  [[nodiscard]] std::size_t blockOffset(std::size_t j) const;
+
+  /// Flat label of concatenated element `i` (for reports).
+  [[nodiscard]] std::string flatLabel(std::size_t i) const;
+
+  /// pi^orig blocks concatenated: [pi_1^orig ⋆ pi_2^orig ⋆ ...].
+  [[nodiscard]] la::Vector concatenatedOriginal() const;
+
+  /// Plain concatenation `pi_1 ⋆ pi_2 ⋆ ...` of per-kind value vectors.
+  /// Throws units::MismatchError when the kinds carry different units
+  /// (the paper's Section 3 objection), std::invalid_argument on
+  /// count/dimension mismatch.
+  [[nodiscard]] la::Vector concatenate(std::span<const la::Vector> perKind) const;
+
+  /// Concatenation without the unit check — the building block for the
+  /// *weighted* merge schemes, which handle units themselves.
+  [[nodiscard]] la::Vector concatenateUnchecked(
+      std::span<const la::Vector> perKind) const;
+
+  /// Splits a flat pi-space vector back into per-kind blocks.
+  /// Throws std::invalid_argument on dimension mismatch.
+  [[nodiscard]] std::vector<la::Vector> split(const la::Vector& flat) const;
+
+  /// True when all kinds share one unit (plain concatenation legal).
+  [[nodiscard]] bool homogeneousUnits() const noexcept;
+
+ private:
+  std::vector<PerturbationParameter> params_;
+  std::vector<std::size_t> offsets_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fepia::perturb

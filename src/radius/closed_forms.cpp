@@ -1,0 +1,60 @@
+#include "radius/closed_forms.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fepia::radius {
+
+namespace {
+
+void requireLinearCase(const la::Vector& k, const la::Vector& piOrig,
+                       double beta, const char* fn) {
+  if (k.size() != piOrig.size() || k.empty()) {
+    throw std::invalid_argument(std::string("radius::") + fn +
+                                ": k and piOrig must be same nonzero size");
+  }
+  if (beta <= 1.0) {
+    throw std::invalid_argument(std::string("radius::") + fn +
+                                ": beta must exceed 1");
+  }
+}
+
+}  // namespace
+
+double perKindLinearRadius(const la::Vector& k, const la::Vector& piOrig,
+                           double beta, std::size_t j) {
+  requireLinearCase(k, piOrig, beta, "perKindLinearRadius");
+  if (j >= k.size()) {
+    throw std::invalid_argument("radius::perKindLinearRadius: j out of range");
+  }
+  if (k[j] == 0.0) {
+    throw std::invalid_argument("radius::perKindLinearRadius: k_j == 0");
+  }
+  return (beta - 1.0) / k[j] * la::dot(k, piOrig);
+}
+
+double sensitivityLinearRadius(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("radius::sensitivityLinearRadius: n == 0");
+  }
+  return 1.0 / std::sqrt(static_cast<double>(n));
+}
+
+double normalizedLinearRadius(const la::Vector& k, const la::Vector& piOrig,
+                              double beta) {
+  requireLinearCase(k, piOrig, beta, "normalizedLinearRadius");
+  double num = 0.0;
+  double denomSq = 0.0;
+  for (std::size_t m = 0; m < k.size(); ++m) {
+    const double km = k[m] * piOrig[m];
+    num += km;
+    denomSq += km * km;
+  }
+  if (denomSq == 0.0) {
+    throw std::invalid_argument(
+        "radius::normalizedLinearRadius: k ⊙ piOrig is identically zero");
+  }
+  return (beta - 1.0) * std::abs(num) / std::sqrt(denomSq);
+}
+
+}  // namespace fepia::radius

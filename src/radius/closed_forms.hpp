@@ -1,0 +1,37 @@
+// The paper's analytical results in closed form, used to validate the
+// engines and to regenerate the Section 3.1 / 3.2 derivations as
+// executable experiments.
+//
+// Setting (both sections): phi(pi_1..pi_n) = k_1 pi_1 + ... + k_n pi_n
+// with n one-element perturbation kinds, constraint phi = beta^max with
+// beta^max = beta * phi^orig, beta > 1.
+#pragma once
+
+#include <cstddef>
+
+#include "la/vector.hpp"
+
+namespace fepia::radius {
+
+/// Section 3.1, Step 1: the per-kind robustness radius
+///   r_mu(phi, pi_j) = (beta − 1)/k_j · sum_m k_m pi_m^orig.
+/// Throws std::invalid_argument on size mismatch, k_j == 0, beta <= 1.
+[[nodiscard]] double perKindLinearRadius(const la::Vector& k,
+                                         const la::Vector& piOrig, double beta,
+                                         std::size_t j);
+
+/// Section 3.1 final result: with sensitivity weighting the P-space
+/// radius collapses to 1/sqrt(n) — independent of k, beta and pi^orig.
+/// (Provided as a function of n to make the degeneracy explicit.)
+[[nodiscard]] double sensitivityLinearRadius(std::size_t n);
+
+/// Section 3.2 final result: with normalization by originals,
+///   r_mu(phi, P) = (beta − 1) · |sum_j k_j pi_j^orig|
+///                  / sqrt(sum_m (k_m pi_m^orig)^2).
+/// Throws std::invalid_argument on size mismatch, beta <= 1, or an
+/// all-zero k ⊙ pi^orig.
+[[nodiscard]] double normalizedLinearRadius(const la::Vector& k,
+                                            const la::Vector& piOrig,
+                                            double beta);
+
+}  // namespace fepia::radius

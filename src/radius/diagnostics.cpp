@@ -1,0 +1,60 @@
+#include "radius/diagnostics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fepia::radius {
+
+FragilityAttribution attributeFragility(const RadiusResult& r,
+                                        const la::Vector& orig) {
+  if (!r.finite() || r.boundaryPoint.empty()) {
+    throw std::invalid_argument(
+        "radius::attributeFragility: result has no boundary point");
+  }
+  if (r.boundaryPoint.size() != orig.size()) {
+    throw std::invalid_argument("radius::attributeFragility: dimensions");
+  }
+  FragilityAttribution out;
+  out.displacement = r.boundaryPoint - orig;
+  const double total = la::normSq(out.displacement);
+  out.share.resize(orig.size(), 0.0);
+  if (total > 0.0) {
+    double bestShare = -1.0;
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+      out.share[i] = out.displacement[i] * out.displacement[i] / total;
+      if (out.share[i] > bestShare) {
+        bestShare = out.share[i];
+        out.dominantElement = i;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SlackEntry> slackReport(const feature::FeatureSet& phi,
+                                    const la::Vector& orig) {
+  if (phi.empty()) {
+    throw std::invalid_argument("radius::slackReport: empty feature set");
+  }
+  if (orig.size() != phi.dimension()) {
+    throw std::invalid_argument("radius::slackReport: dimension mismatch");
+  }
+  std::vector<SlackEntry> out;
+  out.reserve(phi.size());
+  for (const feature::BoundedFeature& bf : phi) {
+    SlackEntry e;
+    e.featureName = bf.feature->name();
+    e.value = bf.feature->evaluate(orig);
+    e.slackToMax = bf.bounds.hasMax()
+                       ? bf.bounds.betaMax() - e.value
+                       : std::numeric_limits<double>::infinity();
+    e.slackToMin = bf.bounds.hasMin()
+                       ? e.value - bf.bounds.betaMin()
+                       : std::numeric_limits<double>::infinity();
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace fepia::radius

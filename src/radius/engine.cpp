@@ -1,0 +1,118 @@
+#include "radius/engine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "feature/linear.hpp"
+#include "la/geometry.hpp"
+#include "radius/quadratic.hpp"
+
+namespace fepia::radius {
+
+namespace {
+
+/// Closed-form radius for a linear feature: the boundary sets
+/// {pi : k·pi + c = beta} are hyperplanes, so Eq. (4) applies directly.
+RadiusResult linearRadius(const feature::LinearFeature& lin,
+                          const feature::FeatureBounds& bounds,
+                          const la::Vector& orig) {
+  RadiusResult res;
+  res.method = Method::ClosedFormLinear;
+  res.originWithinBounds = bounds.contains(lin.evaluate(orig));
+
+  const auto tryBound = [&](double beta, BoundSide side) {
+    // k·pi = beta − c
+    const la::Hyperplane plane(lin.coefficients(), beta - lin.offset());
+    const double d = plane.distance(orig);
+    if (d < res.radius) {
+      res.radius = d;
+      res.boundaryPoint = plane.closestPoint(orig);
+      res.side = side;
+      res.exact = true;
+    }
+  };
+
+  if (bounds.hasMax()) tryBound(bounds.betaMax(), BoundSide::Max);
+  if (bounds.hasMin()) tryBound(bounds.betaMin(), BoundSide::Min);
+  return res;
+}
+
+/// Closed-form radius for a quadratic feature via the secular equation
+/// in Q's eigenbasis (see radius/quadratic.hpp).
+RadiusResult quadraticRadius(const feature::QuadraticFeature& quad,
+                             const feature::FeatureBounds& bounds,
+                             const la::Vector& orig) {
+  RadiusResult res;
+  res.method = Method::ClosedFormQuadratic;
+  res.originWithinBounds = bounds.contains(quad.evaluate(orig));
+
+  const auto tryBound = [&](double beta, BoundSide side) {
+    const QuadricNearestResult q = nearestPointOnQuadric(quad, orig, beta);
+    if (q.found && q.distance < res.radius) {
+      res.radius = q.distance;
+      res.boundaryPoint = q.point;
+      res.side = side;
+      res.exact = true;
+    }
+  };
+
+  if (bounds.hasMax()) tryBound(bounds.betaMax(), BoundSide::Max);
+  if (bounds.hasMin()) tryBound(bounds.betaMin(), BoundSide::Min);
+  return res;
+}
+
+}  // namespace
+
+RadiusResult featureRadiusNumeric(const feature::PerformanceFeature& phi,
+                                  const feature::FeatureBounds& bounds,
+                                  const la::Vector& orig,
+                                  const NumericOptions& opts) {
+  if (orig.size() != phi.dimension()) {
+    throw std::invalid_argument("radius::featureRadius: dimension mismatch for '" +
+                                phi.name() + "'");
+  }
+  RadiusResult res;
+  res.method = Method::Numeric;
+  res.originWithinBounds = bounds.contains(phi.evaluate(orig));
+
+  const opt::FieldFn field = [&phi](const la::Vector& x) {
+    return phi.evaluate(x);
+  };
+  const opt::GradFn grad = [&phi](const la::Vector& x) {
+    return phi.gradient(x);
+  };
+
+  const auto tryLevel = [&](double level, BoundSide side) {
+    const opt::BoundaryResult b =
+        opt::nearestPointOnLevelSet(field, grad, orig, level, opts.solver);
+    res.evaluations += b.fieldEvaluations;
+    if (b.foundBoundary && b.distance < res.radius) {
+      res.radius = b.distance;
+      res.boundaryPoint = b.point;
+      res.side = side;
+      res.exact = b.converged;
+    }
+  };
+
+  if (bounds.hasMax()) tryLevel(bounds.betaMax(), BoundSide::Max);
+  if (bounds.hasMin()) tryLevel(bounds.betaMin(), BoundSide::Min);
+  return res;
+}
+
+RadiusResult featureRadius(const feature::PerformanceFeature& phi,
+                           const feature::FeatureBounds& bounds,
+                           const la::Vector& orig, const NumericOptions& opts) {
+  if (orig.size() != phi.dimension()) {
+    throw std::invalid_argument("radius::featureRadius: dimension mismatch for '" +
+                                phi.name() + "'");
+  }
+  if (const auto* lin = dynamic_cast<const feature::LinearFeature*>(&phi)) {
+    return linearRadius(*lin, bounds, orig);
+  }
+  if (const auto* quad = dynamic_cast<const feature::QuadraticFeature*>(&phi)) {
+    return quadraticRadius(*quad, bounds, orig);
+  }
+  return featureRadiusNumeric(phi, bounds, orig, opts);
+}
+
+}  // namespace fepia::radius

@@ -1,0 +1,67 @@
+// Single-feature robustness radius — Eq. (1)/(2) of the paper.
+//
+//   r_mu(phi_i, pi) = min over { pi : f(pi) = beta_min or beta_max } of
+//                     ‖pi − pi_orig‖₂
+//
+// Dispatch: LinearFeature boundaries are hyperplanes, so the radius is
+// the Eq. (4) point-to-plane distance (exact); every other feature goes
+// through the numeric nearest-boundary solver of src/opt.
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "feature/feature.hpp"
+#include "la/vector.hpp"
+#include "opt/boundary.hpp"
+
+namespace fepia::radius {
+
+/// Which bound of <beta_min, beta_max> produced the nearest boundary point.
+enum class BoundSide { Min, Max, None };
+
+/// How the radius was obtained.
+enum class Method { ClosedFormLinear, ClosedFormQuadratic, Numeric };
+
+/// Result of a single-feature radius computation.
+struct RadiusResult {
+  /// The robustness radius; +inf when no finite bound is reachable.
+  double radius = std::numeric_limits<double>::infinity();
+  /// The nearest boundary element pi*(phi_i) (empty when radius is +inf).
+  la::Vector boundaryPoint;
+  /// Which bound the nearest boundary point lies on.
+  BoundSide side = BoundSide::None;
+  Method method = Method::ClosedFormLinear;
+  /// True for closed forms and converged numeric solves.
+  bool exact = false;
+  /// Whether phi(pi_orig) was within bounds (the paper assumes it is; a
+  /// false here means the allocation is *already* violating QoS).
+  bool originWithinBounds = true;
+  /// Total feature evaluations spent (0 for closed forms).
+  std::size_t evaluations = 0;
+
+  [[nodiscard]] bool finite() const noexcept {
+    return radius < std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Options forwarded to the numeric boundary solver.
+struct NumericOptions {
+  opt::BoundarySolverOptions solver{};
+};
+
+/// Computes r_mu(phi, pi) for one bounded feature from the operating
+/// point `orig`. Throws std::invalid_argument on dimension mismatch.
+[[nodiscard]] RadiusResult featureRadius(const feature::PerformanceFeature& phi,
+                                         const feature::FeatureBounds& bounds,
+                                         const la::Vector& orig,
+                                         const NumericOptions& opts = {});
+
+/// Forces the numeric engine even for closed-form features — used by the
+/// SOLV ablation to measure solver accuracy against the exact answer.
+[[nodiscard]] RadiusResult featureRadiusNumeric(
+    const feature::PerformanceFeature& phi,
+    const feature::FeatureBounds& bounds, const la::Vector& orig,
+    const NumericOptions& opts = {});
+
+}  // namespace fepia::radius

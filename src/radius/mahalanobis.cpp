@@ -1,0 +1,66 @@
+#include "radius/mahalanobis.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "feature/transform.hpp"
+#include "la/cholesky.hpp"
+
+namespace fepia::radius {
+
+RadiusResult mahalanobisRadius(const feature::PerformanceFeature& phi,
+                               const feature::FeatureBounds& bounds,
+                               const la::Vector& orig,
+                               const la::Matrix& covariance,
+                               const NumericOptions& opts) {
+  const std::size_t n = phi.dimension();
+  if (orig.size() != n || covariance.rows() != n || covariance.cols() != n) {
+    throw std::invalid_argument("radius::mahalanobisRadius: shape mismatch");
+  }
+  const la::Cholesky chol(covariance);
+  if (chol.failed()) {
+    throw std::domain_error(
+        "radius::mahalanobisRadius: covariance is not positive definite");
+  }
+
+  // Whitened space: pi = L y + orig, so y0 = 0 and Euclidean distance in
+  // y equals Mahalanobis distance in pi.
+  const std::shared_ptr<const feature::PerformanceFeature> alias(
+      std::shared_ptr<const feature::PerformanceFeature>{}, &phi);
+  const auto phiY = feature::precomposeAffine(alias, chol.l(), orig);
+
+  RadiusResult res = featureRadius(*phiY, bounds, la::Vector(n, 0.0), opts);
+  if (res.finite()) {
+    // Map the boundary element back to pi-space.
+    res.boundaryPoint = la::matvec(chol.l(), res.boundaryPoint) + orig;
+  }
+  return res;
+}
+
+double mahalanobisLinearRadius(const la::Vector& k, double offset,
+                               const feature::FeatureBounds& bounds,
+                               const la::Vector& orig,
+                               const la::Matrix& covariance) {
+  if (k.size() != orig.size() || covariance.rows() != k.size() ||
+      covariance.cols() != k.size()) {
+    throw std::invalid_argument(
+        "radius::mahalanobisLinearRadius: shape mismatch");
+  }
+  const double denomSq = la::dot(k, la::matvec(covariance, k));
+  if (denomSq <= 0.0) {
+    throw std::domain_error(
+        "radius::mahalanobisLinearRadius: k^T Sigma k must be positive");
+  }
+  const double value = la::dot(k, orig) + offset;
+  double best = std::numeric_limits<double>::infinity();
+  if (bounds.hasMax()) {
+    best = std::min(best, std::abs(value - bounds.betaMax()));
+  }
+  if (bounds.hasMin()) {
+    best = std::min(best, std::abs(value - bounds.betaMin()));
+  }
+  return best / std::sqrt(denomSq);
+}
+
+}  // namespace fepia::radius

@@ -1,0 +1,48 @@
+// Robustness radius under correlated perturbations (Mahalanobis metric).
+//
+// The Euclidean radius of Eq. (1) implicitly assumes the perturbation
+// parameter's elements vary independently and on comparable scales. When
+// a covariance model Sigma of the joint variability is available (e.g.
+// correlated sensor loads: ships seen by the radar are also heard by the
+// sonar), the natural distance is Mahalanobis:
+//
+//   r_Sigma = min over boundary pi of sqrt((pi − pi0)^T Sigma^{-1} (pi − pi0)),
+//
+// i.e. the Euclidean radius in the whitened space y = L^{-1}(pi − pi0)
+// with Sigma = L L^T. A radius of r_Sigma means the feature survives
+// every perturbation within r_Sigma "standard deviations" of the assumed
+// point, whatever direction the correlation structure favours.
+//
+// For linear features the closed form is
+//   r_Sigma = |k·pi0 + c − beta| / sqrt(k^T Sigma k),
+// which the engine reproduces through the whitening map automatically
+// (L^T k is the whitened-space normal).
+#pragma once
+
+#include "feature/feature.hpp"
+#include "la/matrix.hpp"
+#include "radius/engine.hpp"
+
+namespace fepia::radius {
+
+/// Computes the Mahalanobis-metric robustness radius of one bounded
+/// feature. `covariance` must be symmetric positive definite (its
+/// Cholesky factor defines the whitening); throws std::invalid_argument
+/// on shape mismatch and std::domain_error when not SPD.
+///
+/// The returned RadiusResult's `radius` is in standard-deviation units;
+/// `boundaryPoint` is mapped back to pi-space.
+[[nodiscard]] RadiusResult mahalanobisRadius(
+    const feature::PerformanceFeature& phi,
+    const feature::FeatureBounds& bounds, const la::Vector& orig,
+    const la::Matrix& covariance, const NumericOptions& opts = {});
+
+/// Closed form for a linear feature: (distance to the nearer bound)
+/// divided by sqrt(k^T Sigma k). Throws like the engine; used by tests
+/// and benches for validation.
+[[nodiscard]] double mahalanobisLinearRadius(const la::Vector& k, double offset,
+                                             const feature::FeatureBounds& bounds,
+                                             const la::Vector& orig,
+                                             const la::Matrix& covariance);
+
+}  // namespace fepia::radius

@@ -1,0 +1,37 @@
+#include "radius/parallel_rho.hpp"
+
+#include <stdexcept>
+
+namespace fepia::radius {
+
+RobustnessReport robustnessParallel(const feature::FeatureSet& phi,
+                                    const la::Vector& orig,
+                                    parallel::ThreadPool& pool,
+                                    const NumericOptions& opts) {
+  if (phi.empty()) {
+    throw std::invalid_argument("radius::robustnessParallel: empty feature set");
+  }
+  if (orig.size() != phi.dimension()) {
+    throw std::invalid_argument(
+        "radius::robustnessParallel: origin dimension mismatch");
+  }
+  RobustnessReport report;
+  report.perFeature.resize(phi.size());
+  report.featureNames.resize(phi.size());
+
+  parallel::parallelFor(pool, phi.size(), [&](std::size_t i) {
+    const feature::BoundedFeature& bf = phi[i];
+    report.perFeature[i] = featureRadius(*bf.feature, bf.bounds, orig, opts);
+    report.featureNames[i] = bf.feature->name();
+  });
+
+  for (std::size_t i = 0; i < phi.size(); ++i) {
+    if (report.perFeature[i].radius < report.rho) {
+      report.rho = report.perFeature[i].radius;
+      report.criticalFeature = i;
+    }
+  }
+  return report;
+}
+
+}  // namespace fepia::radius

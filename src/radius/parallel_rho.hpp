@@ -1,0 +1,23 @@
+// Parallel evaluation of the robustness metric.
+//
+// The per-feature radii that make up rho are independent computations,
+// so a feature set with many constraints (large HiPer-D deployments,
+// many-machine makespan problems) parallelises trivially across a
+// thread pool. Results are bit-identical to the serial
+// radius::robustness — each feature's computation is untouched, only the
+// scheduling changes.
+#pragma once
+
+#include "parallel/thread_pool.hpp"
+#include "radius/rho.hpp"
+
+namespace fepia::radius {
+
+/// Computes rho_mu(Phi, pi) with per-feature radii evaluated on `pool`.
+/// Semantics (including exceptions from feature evaluation) match
+/// radius::robustness exactly.
+[[nodiscard]] RobustnessReport robustnessParallel(
+    const feature::FeatureSet& phi, const la::Vector& orig,
+    parallel::ThreadPool& pool, const NumericOptions& opts = {});
+
+}  // namespace fepia::radius

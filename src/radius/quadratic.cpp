@@ -1,0 +1,233 @@
+#include "radius/quadratic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "la/eigen.hpp"
+#include "opt/scalar.hpp"
+
+namespace fepia::radius {
+
+namespace {
+
+/// The candidate x(lambda) in the original basis and its constraint
+/// residual, all computed in the eigenbasis (y coordinates).
+struct Secular {
+  const la::Vector& d;   // eigenvalues of Q
+  const la::Vector& y0;  // V^T x0
+  const la::Vector& kq;  // V^T k
+  double cMinusLevel;
+
+  /// y_i(lambda) = (y0_i − lambda kq_i) / (1 + lambda d_i).
+  [[nodiscard]] la::Vector y(double lambda) const {
+    la::Vector out(d.size());
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      out[i] = (y0[i] - lambda * kq[i]) / (1.0 + lambda * d[i]);
+    }
+    return out;
+  }
+
+  /// Constraint residual h(lambda) = g(x(lambda)) − level.
+  [[nodiscard]] double h(double lambda) const {
+    const la::Vector yy = y(lambda);
+    double acc = cMinusLevel;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      acc += 0.5 * d[i] * yy[i] * yy[i] + kq[i] * yy[i];
+    }
+    return acc;
+  }
+
+  /// Squared distance ‖x(lambda) − x0‖² (orthogonal V preserves norms).
+  [[nodiscard]] double distSq(double lambda) const {
+    const la::Vector yy = y(lambda);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const double dd = yy[i] - y0[i];
+      acc += dd * dd;
+    }
+    return acc;
+  }
+};
+
+}  // namespace
+
+QuadricNearestResult nearestPointOnQuadric(const feature::QuadraticFeature& phi,
+                                           const la::Vector& x0, double level) {
+  const std::size_t n = phi.dimension();
+  if (x0.size() != n) {
+    throw std::invalid_argument("radius::nearestPointOnQuadric: dimensions");
+  }
+  QuadricNearestResult res;
+
+  const la::EigenDecomposition eig = la::eigenSymmetric(phi.q());
+  const la::Vector y0 = la::matTvec(eig.vectors, x0);
+  const la::Vector kq = la::matTvec(eig.vectors, phi.k());
+  const Secular sec{eig.values, y0, kq, phi.c() - level};
+
+  // lambda = 0 means x0 itself lies on the level set.
+  if (std::abs(sec.h(0.0)) == 0.0) {
+    res.point = x0;
+    res.distance = 0.0;
+    res.found = true;
+    return res;
+  }
+
+  // Pole positions lambda = −1/d_i for nonzero eigenvalues.
+  std::vector<double> poles;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(eig.values[i]) > 1e-14) poles.push_back(-1.0 / eig.values[i]);
+  }
+  std::sort(poles.begin(), poles.end());
+  poles.erase(std::unique(poles.begin(), poles.end()), poles.end());
+
+  // Interval endpoints: between consecutive poles, plus outer intervals.
+  // The scale of interesting lambda is set by the poles and by 1.
+  double scale = 1.0;
+  for (double p : poles) scale = std::max(scale, std::abs(p));
+  const double outer = 1e8 * scale;
+  std::vector<std::pair<double, double>> intervals;
+  const double eps = 1e-9 * scale;
+  if (poles.empty()) {
+    intervals.emplace_back(-outer, outer);
+  } else {
+    intervals.emplace_back(-outer, poles.front() - eps);
+    for (std::size_t i = 0; i + 1 < poles.size(); ++i) {
+      intervals.emplace_back(poles[i] + eps, poles[i + 1] - eps);
+    }
+    intervals.emplace_back(poles.back() + eps, outer);
+  }
+
+  double bestDistSq = std::numeric_limits<double>::infinity();
+  la::Vector bestY;
+  const auto hFn = [&sec](double l) { return sec.h(l); };
+
+  for (const auto& [a, b] : intervals) {
+    if (!(a < b)) continue;
+    // Sample the interval densely enough to catch sign changes; h is
+    // smooth between poles with at most a few monotone pieces, so a
+    // few hundred probes per interval is ample. Near poles h blows up,
+    // so geometric spacing toward both ends helps.
+    constexpr int kSamples = 512;
+    double prevL = a;
+    double prevH = sec.h(a);
+    for (int s = 1; s <= kSamples; ++s) {
+      const double t = static_cast<double>(s) / kSamples;
+      // Symmetric geometric warp: denser near both endpoints.
+      const double warped = 0.5 - 0.5 * std::cos(t * M_PI);
+      const double l = a + (b - a) * warped;
+      const double hv = sec.h(l);
+      if (std::isfinite(prevH) && std::isfinite(hv) &&
+          (prevH < 0.0) != (hv < 0.0)) {
+        const opt::RootResult root = opt::brent(hFn, prevL, l, 1e-14);
+        if (root.converged) {
+          ++res.rootsExamined;
+          const double dsq = sec.distSq(root.x);
+          if (dsq < bestDistSq) {
+            bestDistSq = dsq;
+            bestY = sec.y(root.x);
+          }
+        }
+      }
+      prevL = l;
+      prevH = hv;
+    }
+  }
+
+  // Hard case (trust-region terminology): when x0 sits on a symmetry
+  // locus of the quadric, the blocking components have zero numerator
+  // y0_j − lambda* kq_j at the pole lambda* = −1/d, and the solution has
+  // a free magnitude along that eigenblock. Within the block the
+  // constraint becomes a sphere in t-space, whose nearest point to y0 is
+  // closed-form. Examine every pole's eigenblock.
+  {
+    std::vector<bool> used(n, false);
+    for (std::size_t lead = 0; lead < n; ++lead) {
+      if (used[lead] || std::abs(eig.values[lead]) <= 1e-14) continue;
+      const double d = eig.values[lead];
+      const double lambdaStar = -1.0 / d;
+      // Gather the eigenblock of (numerically) equal eigenvalues.
+      std::vector<std::size_t> block;
+      for (std::size_t i = lead; i < n; ++i) {
+        if (!used[i] &&
+            std::abs(eig.values[i] - d) <= 1e-10 * (1.0 + std::abs(d))) {
+          block.push_back(i);
+          used[i] = true;
+        }
+      }
+      // The pole admits a solution only when every block numerator
+      // vanishes (otherwise h blows up and the regular scan covers it).
+      bool degenerate = true;
+      const double numScale =
+          1.0 + la::normInf(y0) + std::abs(lambdaStar) * la::normInf(kq);
+      for (std::size_t i : block) {
+        if (std::abs(y0[i] - lambdaStar * kq[i]) > 1e-9 * numScale) {
+          degenerate = false;
+          break;
+        }
+      }
+      if (!degenerate) continue;
+
+      // Components outside the block take their lambda* values.
+      la::Vector yCand(n, 0.0);
+      double rest = sec.cMinusLevel;
+      bool finite = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (std::find(block.begin(), block.end(), i) != block.end()) continue;
+        const double denom = 1.0 + lambdaStar * eig.values[i];
+        if (std::abs(denom) <= 1e-12) {
+          finite = false;  // another pole coincides without degeneracy
+          break;
+        }
+        yCand[i] = (y0[i] - lambdaStar * kq[i]) / denom;
+        rest += 0.5 * eig.values[i] * yCand[i] * yCand[i] + kq[i] * yCand[i];
+      }
+      if (!finite) continue;
+
+      // Within the block: 0.5 d ‖t‖² + kq_B·t + rest = 0, i.e. a sphere
+      // ‖t + kq_B/d‖² = ‖kq_B‖²/d² − 2·rest/d.
+      double kqNormSq = 0.0;
+      for (std::size_t i : block) kqNormSq += kq[i] * kq[i];
+      const double rhs = kqNormSq / (d * d) - 2.0 * rest / d;
+      if (rhs < 0.0) continue;  // no real solution at this pole
+      const double sphereR = std::sqrt(rhs);
+
+      // Nearest point on that sphere to y0_B (center q = −kq_B/d).
+      double diffNorm = 0.0;
+      for (std::size_t i : block) {
+        const double diff = y0[i] + kq[i] / d;
+        diffNorm += diff * diff;
+      }
+      diffNorm = std::sqrt(diffNorm);
+      for (std::size_t idx = 0; idx < block.size(); ++idx) {
+        const std::size_t i = block[idx];
+        const double center = -kq[i] / d;
+        if (diffNorm > 1e-14) {
+          yCand[i] = center + sphereR * (y0[i] - center) / diffNorm;
+        } else {
+          // y0 at the sphere center: any direction; pick the first axis.
+          yCand[i] = center + (idx == 0 ? sphereR : 0.0);
+        }
+      }
+      double dsq = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dsq += (yCand[i] - y0[i]) * (yCand[i] - y0[i]);
+      }
+      ++res.rootsExamined;
+      if (dsq < bestDistSq) {
+        bestDistSq = dsq;
+        bestY = yCand;
+      }
+    }
+  }
+
+  if (!std::isfinite(bestDistSq)) return res;  // level unreachable
+
+  res.point = la::matvec(eig.vectors, bestY);
+  res.distance = std::sqrt(bestDistSq);
+  res.found = true;
+  return res;
+}
+
+}  // namespace fepia::radius

@@ -1,0 +1,34 @@
+// Closed-form(ish) nearest point on a quadric level set.
+//
+// The boundary of a QuadraticFeature, { x : 0.5 x^T Q x + k·x + c = beta },
+// is a quadric — the curved boundary sketched in Figure 1 of the paper.
+// The KKT conditions of  min ‖x − x0‖  s.t.  g(x) = beta  reduce, in Q's
+// eigenbasis, to the scalar secular equation
+//
+//   h(lambda) = g( (I + lambda Q)^{-1} (x0 − lambda k) ) − beta = 0,
+//
+// whose roots lie between the poles lambda = −1/d_i. This engine finds
+// every root by bracketing + Brent per pole interval and returns the
+// root realising the smallest distance — machine-precision accurate and
+// orders of magnitude cheaper than the generic numeric solver.
+#pragma once
+
+#include "feature/quadratic.hpp"
+#include "la/vector.hpp"
+
+namespace fepia::radius {
+
+/// Result of the quadric nearest-point computation.
+struct QuadricNearestResult {
+  la::Vector point;        ///< nearest boundary element (valid when found)
+  double distance = 0.0;   ///< ‖point − x0‖₂
+  bool found = false;      ///< false when the level is unreachable
+  std::size_t rootsExamined = 0;  ///< secular-equation roots considered
+};
+
+/// Finds the point on { x : phi(x) = level } nearest to `x0`.
+/// Throws std::invalid_argument on dimension mismatch.
+[[nodiscard]] QuadricNearestResult nearestPointOnQuadric(
+    const feature::QuadraticFeature& phi, const la::Vector& x0, double level);
+
+}  // namespace fepia::radius

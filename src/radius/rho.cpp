@@ -1,0 +1,31 @@
+#include "radius/rho.hpp"
+
+#include <stdexcept>
+
+namespace fepia::radius {
+
+RobustnessReport robustness(const feature::FeatureSet& phi,
+                            const la::Vector& orig, const NumericOptions& opts) {
+  if (phi.empty()) {
+    throw std::invalid_argument("radius::robustness: empty feature set");
+  }
+  if (orig.size() != phi.dimension()) {
+    throw std::invalid_argument("radius::robustness: origin dimension mismatch");
+  }
+  RobustnessReport report;
+  report.perFeature.reserve(phi.size());
+  report.featureNames.reserve(phi.size());
+  for (std::size_t i = 0; i < phi.size(); ++i) {
+    const feature::BoundedFeature& bf = phi[i];
+    report.perFeature.push_back(
+        featureRadius(*bf.feature, bf.bounds, orig, opts));
+    report.featureNames.push_back(bf.feature->name());
+    if (report.perFeature.back().radius < report.rho) {
+      report.rho = report.perFeature.back().radius;
+      report.criticalFeature = i;
+    }
+  }
+  return report;
+}
+
+}  // namespace fepia::radius

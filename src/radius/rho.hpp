@@ -1,0 +1,35 @@
+// Aggregation over the feature set — the robustness metric
+// rho_mu(Phi, ·) = min over phi_i in Phi of r_mu(phi_i, ·).
+#pragma once
+
+#include <vector>
+
+#include "feature/feature.hpp"
+#include "radius/engine.hpp"
+
+namespace fepia::radius {
+
+/// rho with per-feature detail.
+struct RobustnessReport {
+  /// rho_mu(Phi, pi): the smallest per-feature radius.
+  double rho = std::numeric_limits<double>::infinity();
+  /// Index into `perFeature` of the radius-determining (critical) feature.
+  std::size_t criticalFeature = 0;
+  /// Per-feature radii, one per element of Phi in order.
+  std::vector<RadiusResult> perFeature;
+  /// Names matching `perFeature` (for reports).
+  std::vector<std::string> featureNames;
+
+  [[nodiscard]] bool finite() const noexcept {
+    return rho < std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Computes rho_mu(Phi, pi) from the operating point `orig` in the
+/// feature set's native perturbation space.
+/// Throws std::invalid_argument when `phi` is empty or dimensions differ.
+[[nodiscard]] RobustnessReport robustness(const feature::FeatureSet& phi,
+                                          const la::Vector& orig,
+                                          const NumericOptions& opts = {});
+
+}  // namespace fepia::radius

@@ -1,0 +1,62 @@
+#include "rng/xoshiro.hpp"
+
+namespace fepia::rng {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64::next() noexcept {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+  // All-zero state is invalid for xoshiro; splitmix cannot produce four
+  // consecutive zeros in practice, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9E3779B97F4A7C15ull;
+}
+
+Xoshiro256StarStar::result_type Xoshiro256StarStar::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256StarStar::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAull, 0xD5A61266F0C9392Cull,
+      0xA9582618E03FC9AAull, 0x39ABDC4529B1661Cull};
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= s_[i];
+      }
+      (void)(*this)();
+    }
+  }
+  s_ = acc;
+}
+
+Xoshiro256StarStar Xoshiro256StarStar::substream(unsigned k) const noexcept {
+  Xoshiro256StarStar out = *this;
+  for (unsigned i = 0; i <= k; ++i) out.jump();
+  return out;
+}
+
+}  // namespace fepia::rng

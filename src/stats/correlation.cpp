@@ -1,0 +1,104 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fepia::stats {
+
+namespace {
+
+void requirePaired(std::span<const double> x, std::span<const double> y,
+                   const char* fn) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument(std::string("stats::") + fn + ": size mismatch");
+  }
+  if (x.size() < 2) {
+    throw std::invalid_argument(std::string("stats::") + fn +
+                                ": need at least 2 pairs");
+  }
+}
+
+}  // namespace
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  requirePaired(x, y, "pearson");
+  const auto n = static_cast<double>(x.size());
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    throw std::domain_error("stats::pearson: zero variance sample");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> midRanks(std::span<const double> xs) {
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average 1-based rank over the tie group [i, j].
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  requirePaired(x, y, "spearman");
+  const std::vector<double> rx = midRanks(x);
+  const std::vector<double> ry = midRanks(y);
+  return pearson(rx, ry);
+}
+
+double kendallTauB(std::span<const double> x, std::span<const double> y) {
+  requirePaired(x, y, "kendallTauB");
+  long long concordant = 0, discordant = 0, tiesX = 0, tiesY = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = i + 1; j < x.size(); ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) {
+        // Joint tie contributes to neither ties count in tau-b's denominator.
+        continue;
+      }
+      if (dx == 0.0) {
+        ++tiesX;
+      } else if (dy == 0.0) {
+        ++tiesY;
+      } else if ((dx > 0.0) == (dy > 0.0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(concordant + discordant + tiesX) *
+                    static_cast<double>(concordant + discordant + tiesY);
+  if (n0 <= 0.0) {
+    throw std::domain_error("stats::kendallTauB: degenerate (all ties)");
+  }
+  return static_cast<double>(concordant - discordant) / std::sqrt(n0);
+}
+
+}  // namespace fepia::stats

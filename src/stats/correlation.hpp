@@ -1,0 +1,26 @@
+// Correlation measures for the scheme-ranking experiment (RANK in
+// DESIGN.md): do the sensitivity-weighted and the normalized merge
+// schemes order a population of resource allocations the same way?
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fepia::stats {
+
+/// Pearson product-moment correlation; throws std::invalid_argument on
+/// size mismatch / fewer than two points, std::domain_error when either
+/// sample has zero variance.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson on mid-ranks; ties averaged).
+[[nodiscard]] double spearman(std::span<const double> x, std::span<const double> y);
+
+/// Kendall tau-b (tie-corrected), O(n²) — fine for allocation populations.
+[[nodiscard]] double kendallTauB(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// Mid-ranks of a sample (1-based, ties share the average rank).
+[[nodiscard]] std::vector<double> midRanks(std::span<const double> xs);
+
+}  // namespace fepia::stats

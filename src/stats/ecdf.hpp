@@ -1,0 +1,49 @@
+// Empirical CDF and two-sample Kolmogorov–Smirnov distance.
+//
+// Used to compare simulated latency distributions across operating
+// points and jitter levels: the KS distance quantifies how much an
+// operating-point change displaces the whole latency distribution, not
+// just its maximum.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fepia::stats {
+
+/// Empirical cumulative distribution function of a sample.
+class Ecdf {
+ public:
+  /// Builds from a sample (copied and sorted); throws
+  /// std::invalid_argument when empty.
+  explicit Ecdf(std::span<const double> sample);
+
+  /// F(x) = fraction of observations <= x.
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// Number of observations.
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// Smallest / largest observation.
+  [[nodiscard]] double min() const noexcept { return sorted_.front(); }
+  [[nodiscard]] double max() const noexcept { return sorted_.back(); }
+
+  /// The sorted sample (for quantile-style inspection).
+  [[nodiscard]] const std::vector<double>& sorted() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Two-sample Kolmogorov–Smirnov statistic sup_x |F1(x) − F2(x)|.
+/// Throws std::invalid_argument when either sample is empty.
+[[nodiscard]] double ksDistance(std::span<const double> a,
+                                std::span<const double> b);
+
+/// Asymptotic two-sample KS p-value approximation (Kolmogorov
+/// distribution): small values reject "same distribution".
+[[nodiscard]] double ksPValue(double distance, std::size_t nA, std::size_t nB);
+
+}  // namespace fepia::stats

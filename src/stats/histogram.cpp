@@ -1,0 +1,56 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace fepia::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("stats::Histogram: bins == 0");
+  if (!(lo < hi)) throw std::invalid_argument("stats::Histogram: lo >= hi");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x > hi_) {
+    ++overflow_;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((x - lo_) / width);
+  bin = std::min(bin, counts_.size() - 1);  // x == hi_ lands in the last bin
+  ++counts_[bin];
+}
+
+void Histogram::addAll(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+double Histogram::binCenter(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("stats::Histogram::binCenter");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * width;
+}
+
+void Histogram::render(std::ostream& os, std::size_t barWidth) const {
+  const std::size_t peak = counts_.empty()
+                               ? 0
+                               : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t len =
+        peak == 0 ? 0 : counts_[i] * barWidth / std::max<std::size_t>(peak, 1);
+    os << binCenter(i) << "\t" << counts_[i] << "\t" << std::string(len, '#')
+       << "\n";
+  }
+  if (underflow_ != 0) os << "underflow\t" << underflow_ << "\n";
+  if (overflow_ != 0) os << "overflow\t" << overflow_ << "\n";
+}
+
+}  // namespace fepia::stats

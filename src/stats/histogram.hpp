@@ -1,0 +1,46 @@
+// Fixed-bin histogram for bench output (e.g. the distribution of
+// boundary-hit distances across random directions in the VAL experiment).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace fepia::stats {
+
+/// Equal-width histogram over [lo, hi] with values outside the range
+/// accumulated in underflow/overflow counters.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument when bins == 0 or lo >= hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Adds a batch of observations.
+  void addAll(std::span<const double> xs) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Center of bin `i`.
+  [[nodiscard]] double binCenter(std::size_t i) const;
+
+  /// ASCII rendering, one bin per line with a proportional bar.
+  void render(std::ostream& os, std::size_t barWidth = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fepia::stats

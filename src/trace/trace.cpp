@@ -1,0 +1,127 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+#include "stats/descriptive.hpp"
+
+namespace fepia::trace {
+
+namespace {
+
+void requirePositiveOrigin(const la::Vector& origin, const char* fn) {
+  if (origin.empty()) {
+    throw std::invalid_argument(std::string("trace::") + fn + ": empty origin");
+  }
+  for (double v : origin) {
+    if (v <= 0.0) {
+      throw std::invalid_argument(std::string("trace::") + fn +
+                                  ": origin loads must be positive");
+    }
+  }
+}
+
+}  // namespace
+
+LoadTrace randomWalkTrace(const la::Vector& origin,
+                          const RandomWalkParams& params,
+                          rng::Xoshiro256StarStar& g) {
+  requirePositiveOrigin(origin, "randomWalkTrace");
+  if (params.steps == 0 || params.volatility < 0.0 ||
+      params.meanReversion < 0.0 || params.meanReversion > 1.0) {
+    throw std::invalid_argument("trace::randomWalkTrace: bad parameters");
+  }
+  LoadTrace out;
+  out.reserve(params.steps);
+  // Work in log space relative to the origin so positivity is automatic.
+  la::Vector logRel(origin.size(), 0.0);
+  for (std::size_t t = 0; t < params.steps; ++t) {
+    for (std::size_t s = 0; s < logRel.size(); ++s) {
+      logRel[s] = (1.0 - params.meanReversion) * logRel[s] +
+                  rng::normal(g, params.drift, params.volatility);
+    }
+    la::Vector lambda(origin.size());
+    for (std::size_t s = 0; s < lambda.size(); ++s) {
+      lambda[s] = origin[s] * std::exp(logRel[s]);
+    }
+    out.push_back(std::move(lambda));
+  }
+  return out;
+}
+
+LoadTrace burstTrace(const la::Vector& origin, const BurstParams& params,
+                     rng::Xoshiro256StarStar& g) {
+  requirePositiveOrigin(origin, "burstTrace");
+  if (params.steps == 0 || params.burstsPerStep < 0.0 ||
+      params.factorMin < 1.0 || params.factorMax < params.factorMin ||
+      params.durationMin == 0 || params.durationMax < params.durationMin) {
+    throw std::invalid_argument("trace::burstTrace: bad parameters");
+  }
+  // Active burst multipliers per sensor, as (endStep, factor) pairs.
+  std::vector<std::vector<std::pair<std::size_t, double>>> active(
+      origin.size());
+  LoadTrace out;
+  out.reserve(params.steps);
+  for (std::size_t t = 0; t < params.steps; ++t) {
+    // Poisson(burstsPerStep) arrivals this step (thin: rate is small).
+    if (rng::uniform01(g) < params.burstsPerStep) {
+      const std::size_t sensor = rng::uniformIndex(g, 0, origin.size() - 1);
+      const double factor = rng::uniform(g, params.factorMin, params.factorMax);
+      const std::size_t duration =
+          rng::uniformIndex(g, params.durationMin, params.durationMax);
+      active[sensor].emplace_back(t + duration, factor);
+    }
+    la::Vector lambda = origin;
+    for (std::size_t s = 0; s < origin.size(); ++s) {
+      auto& bursts = active[s];
+      bursts.erase(std::remove_if(bursts.begin(), bursts.end(),
+                                  [t](const auto& b) { return b.first <= t; }),
+                   bursts.end());
+      for (const auto& [end, factor] : bursts) lambda[s] *= factor;
+    }
+    out.push_back(std::move(lambda));
+  }
+  return out;
+}
+
+std::optional<std::size_t> firstViolation(const feature::FeatureSet& phi,
+                                          const LoadTrace& trace) {
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    if (trace[t].size() != phi.dimension()) {
+      throw std::invalid_argument("trace::firstViolation: dimension mismatch");
+    }
+    if (!phi.allWithinBounds(trace[t])) return t;
+  }
+  return std::nullopt;
+}
+
+SurvivalSummary survival(const feature::FeatureSet& phi,
+                         const la::Vector& origin,
+                         const RandomWalkParams& params,
+                         std::size_t replications,
+                         rng::Xoshiro256StarStar& g) {
+  if (replications == 0) {
+    throw std::invalid_argument("trace::survival: zero replications");
+  }
+  SurvivalSummary out;
+  out.replications = replications;
+  std::vector<double> times;
+  for (std::size_t r = 0; r < replications; ++r) {
+    const LoadTrace tr = randomWalkTrace(origin, params, g);
+    if (const auto t = firstViolation(phi, tr)) {
+      ++out.violated;
+      times.push_back(static_cast<double>(*t));
+    }
+  }
+  out.violationFraction =
+      static_cast<double>(out.violated) / static_cast<double>(replications);
+  if (!times.empty()) {
+    out.meanTimeToViolation = stats::mean(times);
+    out.medianTimeToViolation = stats::median(times);
+  }
+  return out;
+}
+
+}  // namespace fepia::trace

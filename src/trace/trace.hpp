@@ -1,0 +1,85 @@
+// Dynamic load traces and time-to-violation analysis.
+//
+// The paper motivates the metric with systems that "operate in a dynamic
+// environment, where the sensor loads are expected to change
+// unpredictably": the initial allocation is valid until the drifting
+// loads first leave the robust region. This module makes that lifetime
+// measurable — synthetic load trajectories (geometric random walk with
+// optional mean reversion, and a burst model) plus survival analysis —
+// so the static radius can be checked against the dynamic quantity it is
+// supposed to predict: a larger rho should buy a longer expected time to
+// the first QoS violation.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "feature/feature.hpp"
+#include "la/vector.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace fepia::trace {
+
+/// A load trajectory: one lambda vector per time step.
+using LoadTrace = std::vector<la::Vector>;
+
+/// Geometric random walk: log-load of every sensor takes iid normal
+/// steps, optionally mean-reverting toward the starting point.
+struct RandomWalkParams {
+  std::size_t steps = 1000;
+  double drift = 0.0;          ///< per-step mean of the log increment
+  double volatility = 0.02;    ///< per-step std-dev of the log increment
+  double meanReversion = 0.0;  ///< pull of log-load toward the origin, in [0,1]
+};
+
+/// Generates a trace starting at `origin` (loads stay positive by
+/// construction). Throws std::invalid_argument for empty origin,
+/// non-positive entries, zero steps, negative volatility, or
+/// meanReversion outside [0, 1].
+[[nodiscard]] LoadTrace randomWalkTrace(const la::Vector& origin,
+                                        const RandomWalkParams& params,
+                                        rng::Xoshiro256StarStar& g);
+
+/// Burst model: loads sit at the origin and occasionally jump to a
+/// multiple of it for a random duration (overlapping bursts multiply).
+struct BurstParams {
+  std::size_t steps = 1000;
+  double burstsPerStep = 0.01;     ///< Poisson arrival rate of bursts
+  double factorMin = 1.2;          ///< burst multiplier range
+  double factorMax = 2.0;
+  std::size_t durationMin = 10;    ///< burst length range (steps)
+  std::size_t durationMax = 50;
+};
+
+/// Generates a burst trace; bursts hit a uniformly chosen single sensor.
+/// Throws std::invalid_argument on inconsistent parameters.
+[[nodiscard]] LoadTrace burstTrace(const la::Vector& origin,
+                                   const BurstParams& params,
+                                   rng::Xoshiro256StarStar& g);
+
+/// First step at which some feature leaves its bounds, or nullopt when
+/// the whole trace stays robust. Throws on dimension mismatch.
+[[nodiscard]] std::optional<std::size_t> firstViolation(
+    const feature::FeatureSet& phi, const LoadTrace& trace);
+
+/// Survival statistics over many trace replications.
+struct SurvivalSummary {
+  std::size_t replications = 0;
+  std::size_t violated = 0;        ///< traces that violated at least once
+  double violationFraction = 0.0;
+  /// Mean/median first-violation step over the violated traces
+  /// (censored traces excluded; see `violationFraction` for censoring).
+  double meanTimeToViolation = 0.0;
+  double medianTimeToViolation = 0.0;
+};
+
+/// Runs `replications` random-walk traces from `origin` and summarises
+/// time-to-violation of the feature set.
+[[nodiscard]] SurvivalSummary survival(const feature::FeatureSet& phi,
+                                       const la::Vector& origin,
+                                       const RandomWalkParams& params,
+                                       std::size_t replications,
+                                       rng::Xoshiro256StarStar& g);
+
+}  // namespace fepia::trace

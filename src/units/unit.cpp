@@ -1,0 +1,64 @@
+#include "units/unit.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fepia::units {
+
+Unit Unit::base(Dimension d, int power) {
+  Unit u;
+  u.exps_[static_cast<std::size_t>(d)] = power;
+  return u;
+}
+
+bool Unit::isDimensionless() const noexcept {
+  for (int e : exps_) {
+    if (e != 0) return false;
+  }
+  return true;
+}
+
+Unit Unit::operator*(const Unit& rhs) const noexcept {
+  Unit out = *this;
+  for (std::size_t i = 0; i < kDimensionCount; ++i) out.exps_[i] += rhs.exps_[i];
+  return out;
+}
+
+Unit Unit::operator/(const Unit& rhs) const noexcept {
+  Unit out = *this;
+  for (std::size_t i = 0; i < kDimensionCount; ++i) out.exps_[i] -= rhs.exps_[i];
+  return out;
+}
+
+Unit Unit::pow(int p) const noexcept {
+  Unit out = *this;
+  for (int& e : out.exps_) e *= p;
+  return out;
+}
+
+std::string Unit::str() const {
+  static constexpr const char* kNames[kDimensionCount] = {"s", "B", "obj", "ds"};
+  std::ostringstream os;
+  bool any = false;
+  for (std::size_t i = 0; i < kDimensionCount; ++i) {
+    const int e = exps_[i];
+    if (e == 0) continue;
+    if (any) os << "·";
+    os << kNames[i];
+    if (e != 1) os << '^' << e;
+    any = true;
+  }
+  return any ? os.str() : "1";
+}
+
+std::ostream& operator<<(std::ostream& os, const Unit& u) { return os << u.str(); }
+
+void requireSameUnit(const Unit& a, const Unit& b, const char* context) {
+  if (a != b) {
+    throw MismatchError(std::string(context) + ": incompatible units '" +
+                        a.str() + "' vs '" + b.str() + "'");
+  }
+}
+
+}  // namespace fepia::units

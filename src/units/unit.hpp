@@ -1,0 +1,85 @@
+// Runtime dimensional analysis.
+//
+// Section 3 of the paper hinges on a units argument: execution times
+// (seconds) and message lengths (bytes) "have different units, [so] one
+// cannot assemble all of them in one perturbation parameter" without
+// first making the merged vector dimensionless. This module makes that
+// rule enforceable: a PerturbationVector carries a Unit, the plain
+// concatenation refuses mixed units, and both merge schemes are checked
+// to produce Dimensionless results.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+namespace fepia::units {
+
+/// Base dimensions appearing in the paper's systems. `Object` models the
+/// HiPer-D "objects per data set" sensor-load unit.
+enum class Dimension : std::uint8_t { Time = 0, Byte = 1, Object = 2, DataSet = 3 };
+
+inline constexpr std::size_t kDimensionCount = 4;
+
+/// A product of integer powers of the base dimensions, e.g.
+/// bytes/second = Byte^1 · Time^-1. Value-semantic and hashable-light.
+class Unit {
+ public:
+  /// The dimensionless unit (all exponents zero).
+  constexpr Unit() = default;
+
+  /// A single base dimension to the given power.
+  static Unit base(Dimension d, int power = 1);
+
+  /// Common units.
+  static Unit dimensionless() { return Unit{}; }
+  static Unit seconds() { return base(Dimension::Time); }
+  static Unit bytes() { return base(Dimension::Byte); }
+  static Unit objects() { return base(Dimension::Object); }
+  static Unit dataSets() { return base(Dimension::DataSet); }
+  static Unit objectsPerDataSet() {
+    return base(Dimension::Object) / base(Dimension::DataSet);
+  }
+  static Unit dataSetsPerSecond() {  // throughput
+    return base(Dimension::DataSet) / base(Dimension::Time);
+  }
+  static Unit bytesPerSecond() { return base(Dimension::Byte) / base(Dimension::Time); }
+
+  [[nodiscard]] int exponent(Dimension d) const noexcept {
+    return exps_[static_cast<std::size_t>(d)];
+  }
+
+  [[nodiscard]] bool isDimensionless() const noexcept;
+
+  /// Product / quotient of units (exponents add / subtract).
+  [[nodiscard]] Unit operator*(const Unit& rhs) const noexcept;
+  [[nodiscard]] Unit operator/(const Unit& rhs) const noexcept;
+
+  /// Unit raised to an integer power.
+  [[nodiscard]] Unit pow(int p) const noexcept;
+
+  friend bool operator==(const Unit&, const Unit&) = default;
+
+  /// Human-readable form like "s·B^-1" or "1" for dimensionless.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::array<int, kDimensionCount> exps_{};
+};
+
+std::ostream& operator<<(std::ostream& os, const Unit& u);
+
+/// Throws units::MismatchError unless `a == b`. `context` names the
+/// operation for the error message.
+void requireSameUnit(const Unit& a, const Unit& b, const char* context);
+
+/// Error thrown when an operation would mix incompatible units — e.g.
+/// concatenating seconds with bytes without a weighting scheme.
+class MismatchError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+}  // namespace fepia::units

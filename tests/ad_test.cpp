@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ad/dual.hpp"
+#include "ad/gradient.hpp"
+
+namespace ad = fepia::ad;
+namespace la = fepia::la;
+
+TEST(AdDual, VariableCarriesUnitPartial) {
+  const ad::Dual x = ad::Dual::variable(3.0, 1, 3);
+  EXPECT_DOUBLE_EQ(x.value(), 3.0);
+  EXPECT_DOUBLE_EQ(x.partial(0), 0.0);
+  EXPECT_DOUBLE_EQ(x.partial(1), 1.0);
+  EXPECT_THROW((void)ad::Dual::variable(0.0, 3, 3), std::out_of_range);
+}
+
+TEST(AdDual, ConstantsHaveNoPartials) {
+  const ad::Dual c = 7.0;
+  EXPECT_TRUE(c.isConstant());
+  EXPECT_DOUBLE_EQ(c.partial(5), 0.0);
+}
+
+TEST(AdDual, SumProductRules) {
+  const ad::Dual x = ad::Dual::variable(2.0, 0, 2);
+  const ad::Dual y = ad::Dual::variable(5.0, 1, 2);
+  const ad::Dual s = x + y;
+  EXPECT_DOUBLE_EQ(s.value(), 7.0);
+  EXPECT_DOUBLE_EQ(s.partial(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.partial(1), 1.0);
+
+  const ad::Dual p = x * y;  // d(xy)/dx = y, /dy = x
+  EXPECT_DOUBLE_EQ(p.value(), 10.0);
+  EXPECT_DOUBLE_EQ(p.partial(0), 5.0);
+  EXPECT_DOUBLE_EQ(p.partial(1), 2.0);
+}
+
+TEST(AdDual, QuotientRule) {
+  const ad::Dual x = ad::Dual::variable(6.0, 0, 2);
+  const ad::Dual y = ad::Dual::variable(2.0, 1, 2);
+  const ad::Dual q = x / y;
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);
+  EXPECT_DOUBLE_EQ(q.partial(0), 0.5);        // 1/y
+  EXPECT_DOUBLE_EQ(q.partial(1), -1.5);       // -x/y^2
+  EXPECT_THROW((void)(x / ad::Dual(0.0)), std::domain_error);
+}
+
+TEST(AdDual, MixedArityThrows) {
+  const ad::Dual a = ad::Dual::variable(1.0, 0, 2);
+  const ad::Dual b = ad::Dual::variable(1.0, 0, 3);
+  EXPECT_THROW((void)(a + b), std::invalid_argument);
+}
+
+TEST(AdDual, ElementaryFunctions) {
+  const ad::Dual x = ad::Dual::variable(0.5, 0, 1);
+  EXPECT_NEAR(ad::sin(x).partial(0), std::cos(0.5), 1e-15);
+  EXPECT_NEAR(ad::cos(x).partial(0), -std::sin(0.5), 1e-15);
+  EXPECT_NEAR(ad::exp(x).partial(0), std::exp(0.5), 1e-15);
+  EXPECT_NEAR(ad::log(x).partial(0), 2.0, 1e-15);
+  EXPECT_NEAR(ad::sqrt(x).partial(0), 0.5 / std::sqrt(0.5), 1e-15);
+  EXPECT_NEAR(ad::pow(x, 3.0).partial(0), 3.0 * 0.25, 1e-15);
+  EXPECT_THROW((void)ad::log(ad::Dual::variable(-1.0, 0, 1)), std::domain_error);
+  EXPECT_THROW((void)ad::sqrt(ad::Dual::variable(-1.0, 0, 1)), std::domain_error);
+}
+
+TEST(AdDual, AbsMinMax) {
+  const ad::Dual x = ad::Dual::variable(-2.0, 0, 1);
+  EXPECT_DOUBLE_EQ(ad::abs(x).value(), 2.0);
+  EXPECT_DOUBLE_EQ(ad::abs(x).partial(0), -1.0);
+  const ad::Dual y = ad::Dual::variable(3.0, 0, 1);
+  EXPECT_DOUBLE_EQ(ad::max(x, y).value(), 3.0);
+  EXPECT_DOUBLE_EQ(ad::min(x, y).value(), -2.0);
+}
+
+TEST(AdGradient, MatchesHandDerivative) {
+  // f(x, y) = x^2 y + sin(y); df/dx = 2xy, df/dy = x^2 + cos(y).
+  const ad::DualField f = [](const std::vector<ad::Dual>& v) {
+    return v[0] * v[0] * v[1] + ad::sin(v[1]);
+  };
+  const la::Vector x{2.0, 0.5};
+  const ad::ValueAndGradient vg = ad::valueAndGradient(f, x);
+  EXPECT_NEAR(vg.value, 4.0 * 0.5 + std::sin(0.5), 1e-15);
+  EXPECT_NEAR(vg.gradient[0], 2.0 * 2.0 * 0.5, 1e-15);
+  EXPECT_NEAR(vg.gradient[1], 4.0 + std::cos(0.5), 1e-15);
+}
+
+TEST(AdGradient, EvaluateOnConstants) {
+  const ad::DualField f = [](const std::vector<ad::Dual>& v) {
+    return v[0] * 3.0 + v[1];
+  };
+  EXPECT_DOUBLE_EQ(ad::evaluate(f, la::Vector{2.0, 1.0}), 7.0);
+}
+
+TEST(AdGradient, FiniteDifferenceAgreesWithAd) {
+  const ad::DualField f = [](const std::vector<ad::Dual>& v) {
+    return ad::exp(v[0] * v[1]) + v[2] * v[2];
+  };
+  const la::Vector x{0.3, -0.7, 2.0};
+  const la::Vector exact = ad::gradient(f, x);
+  const la::Vector approx = ad::finiteDifferenceGradient(
+      [&f](const la::Vector& y) { return ad::evaluate(f, y); }, x);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(approx[i], exact[i], 1e-7) << "coordinate " << i;
+  }
+  EXPECT_THROW((void)ad::finiteDifferenceGradient(
+                   [](const la::Vector&) { return 0.0; }, x, -1.0),
+               std::invalid_argument);
+}

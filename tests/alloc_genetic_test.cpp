@@ -1,0 +1,133 @@
+#include "alloc/genetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "alloc/heuristics.hpp"
+#include "alloc/robustness.hpp"
+#include "etc/etc.hpp"
+
+namespace alloc = fepia::alloc;
+namespace etcns = fepia::etc;
+namespace rng = fepia::rng;
+namespace la = fepia::la;
+
+namespace {
+
+la::Matrix workload(std::uint64_t seed, std::size_t tasks = 25,
+                    std::size_t machines = 4) {
+  rng::Xoshiro256StarStar g(seed);
+  return etcns::generateCvb(tasks, machines, etcns::CvbParams{}, g);
+}
+
+alloc::GeneticOptions smallGa() {
+  alloc::GeneticOptions o;
+  o.populationSize = 24;
+  o.generations = 40;
+  return o;
+}
+
+}  // namespace
+
+TEST(AllocGenetic, ImprovesMakespanOverRandom) {
+  const la::Matrix e = workload(11);
+  rng::Xoshiro256StarStar g(11);
+  const alloc::Allocation randomStart = alloc::randomAllocation(e, g);
+  const alloc::GeneticResult res = alloc::geneticSearch(
+      e, alloc::makespanObjective(), g, smallGa());
+  EXPECT_LT(alloc::makespan(res.best, e), alloc::makespan(randomStart, e));
+  EXPECT_GT(res.evaluations, 0u);
+  // Returned objective is consistent with the returned allocation.
+  EXPECT_DOUBLE_EQ(res.bestObjective, -alloc::makespan(res.best, e));
+}
+
+TEST(AllocGenetic, SeededRunNeverWorseThanSeed) {
+  const la::Matrix e = workload(12);
+  rng::Xoshiro256StarStar g(12);
+  const alloc::Allocation seed = alloc::minMin(e);
+  const alloc::GeneticResult res = alloc::geneticSearch(
+      e, alloc::makespanObjective(), g, smallGa(), {seed});
+  // Elitism + seeding guarantee monotonicity w.r.t. the seed.
+  EXPECT_LE(alloc::makespan(res.best, e), alloc::makespan(seed, e) + 1e-12);
+}
+
+TEST(AllocGenetic, OptimisesRhoDirectly) {
+  const la::Matrix e = workload(13);
+  rng::Xoshiro256StarStar g(13);
+  const alloc::Allocation seed = alloc::mct(e);
+  const double tau = 1.4 * alloc::makespan(seed, e);
+  const alloc::GeneticResult res = alloc::geneticSearch(
+      e, alloc::rhoObjective(tau), g, smallGa(), {seed});
+  const double seedRho = alloc::makespanRobustnessClosedForm(seed, e, tau);
+  EXPECT_GE(res.bestObjective, seedRho);
+  // The winner is feasible.
+  EXPECT_LT(alloc::makespan(res.best, e), tau);
+}
+
+TEST(AllocGenetic, DeterministicGivenSeedState) {
+  const la::Matrix e = workload(14);
+  rng::Xoshiro256StarStar g1(99);
+  rng::Xoshiro256StarStar g2(99);
+  const alloc::GeneticResult a =
+      alloc::geneticSearch(e, alloc::makespanObjective(), g1, smallGa());
+  const alloc::GeneticResult b =
+      alloc::geneticSearch(e, alloc::makespanObjective(), g2, smallGa());
+  EXPECT_DOUBLE_EQ(a.bestObjective, b.bestObjective);
+  EXPECT_EQ(a.best.assignment(), b.best.assignment());
+}
+
+TEST(AllocGenetic, ValidatesOptions) {
+  const la::Matrix e = workload(15);
+  rng::Xoshiro256StarStar g(15);
+  EXPECT_THROW((void)alloc::geneticSearch(e, alloc::AllocationObjective{}, g),
+               std::invalid_argument);
+  alloc::GeneticOptions bad = smallGa();
+  bad.populationSize = 1;
+  EXPECT_THROW(
+      (void)alloc::geneticSearch(e, alloc::makespanObjective(), g, bad),
+      std::invalid_argument);
+  bad = smallGa();
+  bad.eliteCount = bad.populationSize;
+  EXPECT_THROW(
+      (void)alloc::geneticSearch(e, alloc::makespanObjective(), g, bad),
+      std::invalid_argument);
+  bad = smallGa();
+  bad.mutationRate = 1.5;
+  EXPECT_THROW(
+      (void)alloc::geneticSearch(e, alloc::makespanObjective(), g, bad),
+      std::invalid_argument);
+}
+
+TEST(AllocGenetic, RejectsMismatchedSeedAndAllInfeasible) {
+  const la::Matrix e = workload(16);
+  rng::Xoshiro256StarStar g(16);
+  const la::Matrix other = workload(16, 10, 3);
+  const alloc::Allocation wrongShape = alloc::minMin(other);
+  EXPECT_THROW((void)alloc::geneticSearch(e, alloc::makespanObjective(), g,
+                                          smallGa(), {wrongShape}),
+               std::invalid_argument);
+  // An objective that is -inf everywhere must be rejected.
+  const alloc::AllocationObjective never =
+      [](const alloc::Allocation&, const la::Matrix&) {
+        return -std::numeric_limits<double>::infinity();
+      };
+  EXPECT_THROW((void)alloc::geneticSearch(e, never, g, smallGa()),
+               std::invalid_argument);
+}
+
+TEST(AllocGenetic, GaAtLeastMatchesGreedyLocalSearchOnSmallInstance) {
+  const la::Matrix e = workload(17, 15, 3);
+  rng::Xoshiro256StarStar g(17);
+  const alloc::Allocation seed = alloc::mct(e);
+  const double tau = 1.5 * alloc::makespan(seed, e);
+  const auto obj = alloc::rhoObjective(tau);
+
+  alloc::GeneticOptions ga = smallGa();
+  ga.generations = 120;
+  const alloc::GeneticResult gaRes =
+      alloc::geneticSearch(e, obj, g, ga, {seed});
+  const alloc::Allocation greedy = alloc::localSearch(seed, e, obj);
+  EXPECT_GE(gaRes.bestObjective, 0.9 * obj(greedy, e));
+}

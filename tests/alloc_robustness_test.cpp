@@ -1,0 +1,119 @@
+// The makespan case study of baseline [2]: engine vs closed form
+// (tau − F_m)/sqrt(n_m).
+#include "alloc/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "alloc/heuristics.hpp"
+#include "etc/etc.hpp"
+
+namespace alloc = fepia::alloc;
+namespace radius = fepia::radius;
+namespace etcns = fepia::etc;
+namespace rng = fepia::rng;
+namespace la = fepia::la;
+
+namespace {
+
+la::Matrix tinyEtc() {
+  // 4 tasks x 2 machines.
+  return la::Matrix{{2.0, 5.0}, {3.0, 2.0}, {1.0, 2.0}, {4.0, 1.0}};
+}
+
+}  // namespace
+
+TEST(AllocRobustness, ClosedFormHandChecked) {
+  // mu = (0, 0, 1, 1): F = (5, 3); tau = 10.
+  // r_0 = (10−5)/√2, r_1 = (10−3)/√2; rho = 5/√2.
+  const alloc::Allocation mu({0, 0, 1, 1}, 2);
+  const double rho = alloc::makespanRobustnessClosedForm(mu, tinyEtc(), 10.0);
+  EXPECT_NEAR(rho, 5.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(AllocRobustness, EngineMatchesClosedForm) {
+  const alloc::Allocation mu({0, 0, 1, 1}, 2);
+  const radius::RobustnessReport report =
+      alloc::makespanRobustness(mu, tinyEtc(), 10.0);
+  EXPECT_NEAR(report.rho,
+              alloc::makespanRobustnessClosedForm(mu, tinyEtc(), 10.0), 1e-12);
+  // Machine 0 (higher finish time) is the critical feature.
+  EXPECT_EQ(report.featureNames[report.criticalFeature], "finish-time(m0)");
+}
+
+TEST(AllocRobustness, EngineMatchesClosedFormOnRandomInstances) {
+  rng::Xoshiro256StarStar g(51);
+  for (int trial = 0; trial < 8; ++trial) {
+    const la::Matrix e = etcns::generateCvb(20, 4, etcns::CvbParams{}, g);
+    const alloc::Allocation mu = alloc::minMin(e);
+    const double tau = 1.3 * alloc::makespan(mu, e);
+    const double closed = alloc::makespanRobustnessClosedForm(mu, e, tau);
+    const radius::RobustnessReport report =
+        alloc::makespanRobustness(mu, e, tau);
+    EXPECT_NEAR(report.rho, closed, 1e-9 * closed) << "trial " << trial;
+  }
+}
+
+TEST(AllocRobustness, EmptyMachinesAreSkipped) {
+  // All tasks on machine 0 of 3: features exist only for machine 0.
+  const la::Matrix e{{1.0, 9.0, 9.0}, {1.0, 9.0, 9.0}};
+  const alloc::Allocation mu({0, 0}, 3);
+  const auto phi = alloc::makespanFeatureSet(mu, e, 5.0);
+  EXPECT_EQ(phi.size(), 1u);
+  const double rho = alloc::makespanRobustnessClosedForm(mu, e, 5.0);
+  EXPECT_NEAR(rho, 3.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(AllocRobustness, ThrowsWhenTauAlreadyViolated) {
+  const alloc::Allocation mu({0, 0, 1, 1}, 2);
+  EXPECT_THROW((void)alloc::makespanFeatureSet(mu, tinyEtc(), 4.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)alloc::makespanRobustnessClosedForm(mu, tinyEtc(), 4.0),
+               std::invalid_argument);
+}
+
+TEST(AllocRobustness, ProblemFacadeAgrees) {
+  const alloc::Allocation mu({0, 0, 1, 1}, 2);
+  const radius::FepiaProblem problem =
+      alloc::makespanProblem(mu, tinyEtc(), 10.0);
+  const radius::RobustnessReport report = problem.robustnessSameUnits();
+  EXPECT_NEAR(report.rho,
+              alloc::makespanRobustnessClosedForm(mu, tinyEtc(), 10.0), 1e-12);
+}
+
+TEST(AllocRobustness, ExecutionTimeParameterIsLabelled) {
+  const alloc::Allocation mu({0, 1}, 2);
+  const la::Matrix e{{2.0, 3.0}, {4.0, 5.0}};
+  const auto param = alloc::executionTimeParameter(mu, e);
+  EXPECT_EQ(param.size(), 2u);
+  EXPECT_DOUBLE_EQ(param.original()[1], 5.0);
+  EXPECT_EQ(param.elementLabel(0), "exec(task 0 on m0)");
+}
+
+TEST(AllocRobustness, RobustnessRanksCanDisagreeWithMakespanRanks) {
+  // The qualitative finding of [2]: the best-makespan allocation is not
+  // necessarily the most robust one under a shared absolute tau, because
+  // the radius divides each machine's slack by sqrt(#tasks on it).
+  // 8 tasks, 5 machines; every task costs 1 on m0 and 8 elsewhere.
+  la::Matrix e(8, 5, 8.0);
+  for (std::size_t t = 0; t < 8; ++t) e(t, 0) = 1.0;
+
+  // mu_A piles everything on the cheap machine: makespan 8, 8 tasks on m0.
+  const alloc::Allocation muA(std::vector<std::size_t>(8, 0), 5);
+  // mu_B spreads pairs over m1..m4: makespan 16, 2 tasks per machine.
+  const alloc::Allocation muB({1, 1, 2, 2, 3, 3, 4, 4}, 5);
+
+  const double msA = alloc::makespan(muA, e);
+  const double msB = alloc::makespan(muB, e);
+  ASSERT_LT(msA, msB);  // A wins on makespan (8 vs 16)
+
+  const double tau = 40.0;
+  const double rhoA = alloc::makespanRobustnessClosedForm(muA, e, tau);
+  const double rhoB = alloc::makespanRobustnessClosedForm(muB, e, tau);
+  // Closed forms: rhoA = 32/sqrt(8) ≈ 11.3, rhoB = 24/sqrt(2) ≈ 17.0.
+  EXPECT_NEAR(rhoA, 32.0 / std::sqrt(8.0), 1e-12);
+  EXPECT_NEAR(rhoB, 24.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_GT(rhoB, rhoA);  // B is more robust despite the worse makespan
+}

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "alloc/allocation.hpp"
+#include "alloc/heuristics.hpp"
+#include "etc/etc.hpp"
+
+namespace alloc = fepia::alloc;
+namespace etcns = fepia::etc;
+namespace rng = fepia::rng;
+namespace la = fepia::la;
+
+namespace {
+
+// 3 tasks x 2 machines with easily hand-checked values.
+la::Matrix tinyEtc() {
+  return la::Matrix{{1.0, 4.0}, {2.0, 1.0}, {3.0, 3.0}};
+}
+
+}  // namespace
+
+TEST(Allocation, ValidationAndAccessors) {
+  alloc::Allocation mu({0, 1, 0}, 2);
+  EXPECT_EQ(mu.taskCount(), 3u);
+  EXPECT_EQ(mu.machineCount(), 2u);
+  EXPECT_EQ(mu.machineOf(1), 1u);
+  const auto onM0 = mu.tasksOn(0);
+  ASSERT_EQ(onM0.size(), 2u);
+  EXPECT_EQ(onM0[0], 0u);
+  EXPECT_EQ(onM0[1], 2u);
+  EXPECT_THROW(alloc::Allocation({0, 2}, 2), std::invalid_argument);
+  EXPECT_THROW(alloc::Allocation({}, 2), std::invalid_argument);
+}
+
+TEST(Allocation, Reassign) {
+  alloc::Allocation mu({0, 1}, 2);
+  mu.reassign(0, 1);
+  EXPECT_EQ(mu.machineOf(0), 1u);
+  EXPECT_THROW(mu.reassign(5, 0), std::out_of_range);
+  EXPECT_THROW(mu.reassign(0, 9), std::invalid_argument);
+}
+
+TEST(Allocation, FinishTimesAndMakespan) {
+  const la::Matrix e = tinyEtc();
+  const alloc::Allocation mu({0, 1, 0}, 2);
+  const la::Vector f = alloc::machineFinishTimes(mu, e);
+  EXPECT_DOUBLE_EQ(f[0], 4.0);  // tasks 0 and 2: 1 + 3
+  EXPECT_DOUBLE_EQ(f[1], 1.0);  // task 1 on machine 1
+  EXPECT_DOUBLE_EQ(alloc::makespan(mu, e), 4.0);
+}
+
+TEST(Allocation, ExecVectorPathMatchesEtcPath) {
+  const la::Matrix e = tinyEtc();
+  const alloc::Allocation mu({0, 1, 1}, 2);
+  const la::Vector exec = alloc::assignedExecutionTimes(mu, e);
+  EXPECT_DOUBLE_EQ(exec[2], 3.0);
+  const la::Vector f1 = alloc::machineFinishTimes(mu, e);
+  const la::Vector f2 = alloc::machineFinishTimesFromExecVector(mu, exec);
+  EXPECT_TRUE(la::approxEqual(f1, f2, 0.0));
+}
+
+TEST(Heuristics, MetPicksFastestMachine) {
+  const alloc::Allocation mu = alloc::met(tinyEtc());
+  EXPECT_EQ(mu.machineOf(0), 0u);  // 1 < 4
+  EXPECT_EQ(mu.machineOf(1), 1u);  // 1 < 2
+  EXPECT_EQ(mu.machineOf(2), 0u);  // tie → first
+}
+
+TEST(Heuristics, OlbBalancesReadyTimes) {
+  // OLB ignores execution times; it only chases the earliest-idle machine.
+  const la::Matrix e{{10.0, 10.0}, {10.0, 10.0}, {10.0, 10.0}, {10.0, 10.0}};
+  const alloc::Allocation mu = alloc::olb(e);
+  EXPECT_EQ(mu.tasksOn(0).size(), 2u);
+  EXPECT_EQ(mu.tasksOn(1).size(), 2u);
+}
+
+TEST(Heuristics, MctNeverWorseThanSingleMachine) {
+  rng::Xoshiro256StarStar g(41);
+  const la::Matrix e = etcns::generateCvb(30, 5, etcns::CvbParams{}, g);
+  const alloc::Allocation mu = alloc::mct(e);
+  double allOnOne = 0.0;
+  for (std::size_t t = 0; t < e.rows(); ++t) allOnOne += e(t, 0);
+  EXPECT_LT(alloc::makespan(mu, e), allOnOne);
+}
+
+TEST(Heuristics, MinMinBeatsRandomOnAverage) {
+  rng::Xoshiro256StarStar g(42);
+  int wins = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const la::Matrix e = etcns::generateCvb(40, 6, etcns::CvbParams{}, g);
+    const double mmSpan = alloc::makespan(alloc::minMin(e), e);
+    const double randSpan =
+        alloc::makespan(alloc::randomAllocation(e, g), e);
+    if (mmSpan < randSpan) ++wins;
+  }
+  EXPECT_GE(wins, 8);
+}
+
+TEST(Heuristics, MaxMinAndSufferageProduceValidAllocations) {
+  rng::Xoshiro256StarStar g(43);
+  const la::Matrix e = etcns::generateCvb(25, 4, etcns::CvbParams{}, g);
+  for (const auto h : alloc::allHeuristics()) {
+    const alloc::Allocation mu = alloc::runHeuristic(h, e);
+    EXPECT_EQ(mu.taskCount(), 25u) << alloc::heuristicName(h);
+    EXPECT_GT(alloc::makespan(mu, e), 0.0);
+  }
+}
+
+TEST(Heuristics, RandomRequiresGenerator) {
+  EXPECT_THROW((void)alloc::runHeuristic(alloc::Heuristic::Random, tinyEtc()),
+               std::invalid_argument);
+  rng::Xoshiro256StarStar g(44);
+  const alloc::Allocation mu =
+      alloc::runHeuristic(alloc::Heuristic::Random, tinyEtc(), &g);
+  EXPECT_EQ(mu.taskCount(), 3u);
+}
+
+TEST(Heuristics, LocalSearchNeverIncreasesMakespan) {
+  rng::Xoshiro256StarStar g(45);
+  const la::Matrix e = etcns::generateCvb(30, 5, etcns::CvbParams{}, g);
+  const alloc::Allocation start = alloc::randomAllocation(e, g);
+  const double before = alloc::makespan(start, e);
+  const alloc::Allocation improved = alloc::localSearchMakespan(start, e);
+  const double after = alloc::makespan(improved, e);
+  EXPECT_LE(after, before);
+  // A random start on a 30x5 instance virtually always improves.
+  EXPECT_LT(after, before);
+}
+
+TEST(Heuristics, LocalSearchReachesLocalOptimum) {
+  rng::Xoshiro256StarStar g(46);
+  const la::Matrix e = etcns::generateCvb(15, 3, etcns::CvbParams{}, g);
+  const alloc::Allocation opt =
+      alloc::localSearchMakespan(alloc::randomAllocation(e, g), e);
+  const double span = alloc::makespan(opt, e);
+  // No single reassignment improves further.
+  for (std::size_t t = 0; t < opt.taskCount(); ++t) {
+    for (std::size_t m = 0; m < opt.machineCount(); ++m) {
+      alloc::Allocation probe = opt;
+      probe.reassign(t, m);
+      EXPECT_GE(alloc::makespan(probe, e), span - 1e-9);
+    }
+  }
+}
+
+TEST(Heuristics, Names) {
+  EXPECT_STREQ(alloc::heuristicName(alloc::Heuristic::MinMin), "min-min");
+  EXPECT_STREQ(alloc::heuristicName(alloc::Heuristic::Sufferage), "sufferage");
+}

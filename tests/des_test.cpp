@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "des/pipeline.hpp"
+#include "des/simulator.hpp"
+#include "hiperd/factory.hpp"
+
+namespace des = fepia::des;
+namespace hiperd = fepia::hiperd;
+namespace la = fepia::la;
+
+TEST(DesSimulator, EventsFireInTimeOrder) {
+  des::Simulator sim;
+  std::vector<int> order;
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(DesSimulator, EqualTimesFifoBySchedulingOrder) {
+  des::Simulator sim;
+  std::vector<int> order;
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(1.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(DesSimulator, NestedScheduling) {
+  des::Simulator sim;
+  double innerTime = -1.0;
+  sim.schedule(1.0, [&] {
+    sim.schedule(0.5, [&] { innerTime = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(innerTime, 1.5);
+}
+
+TEST(DesSimulator, ValidatesInputs) {
+  des::Simulator sim;
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule(1.0, des::Simulator::Action{}),
+               std::invalid_argument);
+}
+
+TEST(DesSimulator, MaxEventsBudget) {
+  des::Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule(static_cast<double>(i), [] {});
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_FALSE(sim.empty());
+}
+
+TEST(DesFifoResource, QueuesJobsSequentially) {
+  des::Simulator sim;
+  des::FifoResource server(sim, "cpu");
+  std::vector<double> completions;
+  sim.schedule(0.0, [&] {
+    server.submit(2.0, [&] { completions.push_back(sim.now()); });
+    server.submit(3.0, [&] { completions.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 2.0);
+  EXPECT_DOUBLE_EQ(completions[1], 5.0);  // waits for the first job
+  EXPECT_DOUBLE_EQ(server.busyTime(), 5.0);
+  EXPECT_EQ(server.jobsServed(), 2u);
+}
+
+TEST(DesFifoResource, IdleGapsDoNotAccumulateBusyTime) {
+  des::Simulator sim;
+  des::FifoResource server(sim, "cpu");
+  sim.schedule(0.0, [&] { server.submit(1.0, [] {}); });
+  sim.schedule(10.0, [&] { server.submit(1.0, [] {}); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(server.busyTime(), 2.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 11.0);
+}
+
+TEST(DesFifoResource, RejectsNegativeService) {
+  des::Simulator sim;
+  des::FifoResource server(sim, "cpu");
+  EXPECT_THROW(server.submit(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(DesPipeline, ReferenceSystemAtAssumedLoadsIsStable) {
+  const auto ref = hiperd::makeReferenceSystem();
+  const des::PipelineResult res = des::simulateAtLoads(
+      ref.system, ref.system.originalLoads(), ref.qos.minThroughput);
+  EXPECT_TRUE(res.throughputSustained);
+  EXPECT_LE(res.maxObservedLatency, ref.qos.maxLatencySeconds);
+  EXPECT_TRUE(res.satisfies(ref.qos.maxLatencySeconds));
+  // Utilisations must be below 1 at a sustainable rate.
+  for (double u : res.machineUtilization) EXPECT_LT(u, 1.0);
+  for (double u : res.linkUtilization) EXPECT_LT(u, 1.0);
+}
+
+TEST(DesPipeline, LatencyMatchesAnalyticModelWhenUncontended) {
+  // At a very low rate there is no queueing: the simulated latency must
+  // equal the analytic path latency (sum of stage times).
+  const auto ref = hiperd::makeReferenceSystem();
+  const la::Vector lambda = ref.system.originalLoads();
+  des::PipelineOptions opts;
+  opts.generations = 50;
+  const des::PipelineResult res =
+      des::simulateAtLoads(ref.system, lambda, 0.1, opts);
+  for (std::size_t p = 0; p < ref.system.pathCount(); ++p) {
+    const double analytic = ref.system.pathLatencySeconds(p, lambda);
+    ASSERT_FALSE(res.pathLatencies[p].empty());
+    for (double lat : res.pathLatencies[p]) {
+      // Queueing and upstream dependencies can only add latency.
+      EXPECT_GE(lat, analytic - 1e-9);
+    }
+  }
+  // Exact equality holds for the critical chain — the path that is the
+  // slowest input branch at every join (path-radar here). Other paths
+  // wait at the fusion join for the radar branch (path-sonar) or join
+  // mid-pipeline (path-ais), so they can only exceed their stage sums.
+  std::size_t slowest = 0;
+  for (std::size_t p = 1; p < ref.system.pathCount(); ++p) {
+    if (ref.system.pathLatencySeconds(p, lambda) >
+        ref.system.pathLatencySeconds(slowest, lambda)) {
+      slowest = p;
+    }
+  }
+  EXPECT_NEAR(res.pathLatencies[slowest].front(),
+              ref.system.pathLatencySeconds(slowest, lambda), 1e-9);
+}
+
+TEST(DesPipeline, OverloadedMachineIsDetected) {
+  // Push execution times beyond the throughput budget: queues must grow.
+  const auto ref = hiperd::makeReferenceSystem();
+  la::Vector exec = ref.system.originalExecutionTimes();
+  const la::Vector bytes = ref.system.originalMessageSizes();
+  // Machine budget is 1/R = 0.1 s; set one app to 0.2 s.
+  exec[2] = 0.2;
+  const des::PipelineResult res = des::simulatePipeline(
+      ref.system, exec, bytes, ref.qos.minThroughput);
+  EXPECT_FALSE(res.throughputSustained);
+  EXPECT_GT(res.latencyGrowthPerGeneration, 0.0);
+}
+
+TEST(DesPipeline, ValidatesArguments) {
+  const auto ref = hiperd::makeReferenceSystem();
+  const la::Vector exec = ref.system.originalExecutionTimes();
+  const la::Vector bytes = ref.system.originalMessageSizes();
+  EXPECT_THROW((void)des::simulatePipeline(ref.system, la::Vector{1.0}, bytes,
+                                           10.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)des::simulatePipeline(ref.system, exec, la::Vector{1.0}, 10.0),
+      std::invalid_argument);
+  EXPECT_THROW((void)des::simulatePipeline(ref.system, exec, bytes, 0.0),
+               std::invalid_argument);
+  des::PipelineOptions opts;
+  opts.generations = 0;
+  EXPECT_THROW((void)des::simulatePipeline(ref.system, exec, bytes, 10.0, opts),
+               std::invalid_argument);
+}
+
+TEST(DesPipeline, HigherLoadRaisesLatency) {
+  const auto ref = hiperd::makeReferenceSystem();
+  la::Vector lambda = ref.system.originalLoads();
+  const des::PipelineResult base =
+      des::simulateAtLoads(ref.system, lambda, ref.qos.minThroughput);
+  for (auto& v : lambda) v *= 1.5;
+  const des::PipelineResult loaded =
+      des::simulateAtLoads(ref.system, lambda, ref.qos.minThroughput);
+  EXPECT_GT(loaded.maxObservedLatency, base.maxObservedLatency);
+}
+
+TEST(DesPipeline, CyclicMessageGraphRejected) {
+  // Two apps exchanging messages in a loop deadlock the generation
+  // protocol; the simulator must refuse the topology up front.
+  hiperd::System sys;
+  sys.addSensor({"s", 1.0});
+  const std::size_t m = sys.addMachine({"m"});
+  const std::size_t l = sys.addLink({"l", 1e6});
+  const std::size_t a0 = sys.addApplication({"a0", m, 0.01, {0.0}});
+  const std::size_t a1 = sys.addApplication({"a1", m, 0.01, {0.0}});
+  sys.addMessage({"fwd", a0, a1, l, 10.0, {0.0}});
+  sys.addMessage({"back", a1, a0, l, 10.0, {0.0}});
+  sys.addPath({"p", {a0, a1}, {0}});
+  EXPECT_THROW((void)des::simulatePipeline(sys, la::Vector{0.01, 0.01},
+                                           la::Vector{10.0, 10.0}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(DesPipeline, CompleteDagHasNoIncompleteObservations) {
+  const auto ref = hiperd::makeReferenceSystem();
+  const des::PipelineResult res = des::simulateAtLoads(
+      ref.system, ref.system.originalLoads(), ref.qos.minThroughput);
+  EXPECT_EQ(res.incompleteObservations, 0u);
+}

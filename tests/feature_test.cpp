@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "feature/feature.hpp"
+#include "feature/generic.hpp"
+#include "feature/linear.hpp"
+#include "feature/quadratic.hpp"
+
+namespace feature = fepia::feature;
+namespace la = fepia::la;
+namespace ad = fepia::ad;
+namespace units = fepia::units;
+
+TEST(FeatureBounds, TwoSidedContainment) {
+  const feature::FeatureBounds b(1.0, 3.0);
+  EXPECT_TRUE(b.contains(1.0));
+  EXPECT_TRUE(b.contains(2.0));
+  EXPECT_TRUE(b.contains(3.0));
+  EXPECT_FALSE(b.contains(0.99));
+  EXPECT_FALSE(b.contains(3.01));
+  EXPECT_TRUE(b.hasMin());
+  EXPECT_TRUE(b.hasMax());
+  EXPECT_THROW(feature::FeatureBounds(3.0, 1.0), std::invalid_argument);
+}
+
+TEST(FeatureBounds, OneSidedForms) {
+  const auto upper = feature::FeatureBounds::upper(5.0);
+  EXPECT_FALSE(upper.hasMin());
+  EXPECT_TRUE(upper.contains(-1e12));
+  EXPECT_FALSE(upper.contains(5.1));
+
+  const auto lower = feature::FeatureBounds::lower(2.0);
+  EXPECT_FALSE(lower.hasMax());
+  EXPECT_TRUE(lower.contains(1e12));
+  EXPECT_FALSE(lower.contains(1.9));
+}
+
+TEST(FeatureBounds, RelativeUpperIsBetaTimesOriginal) {
+  // The paper's beta^max = beta * phi^orig form.
+  const auto b = feature::FeatureBounds::relativeUpper(10.0, 1.2);
+  EXPECT_DOUBLE_EQ(b.betaMax(), 12.0);
+  EXPECT_THROW(feature::FeatureBounds::relativeUpper(10.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(FeatureLinear, EvaluatesAndDifferentiates) {
+  const feature::LinearFeature f("phi", la::Vector{2.0, -1.0}, 3.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(la::Vector{1.0, 1.0}), 4.0);
+  const la::Vector g = f.gradient(la::Vector{5.0, 5.0});
+  EXPECT_DOUBLE_EQ(g[0], 2.0);
+  EXPECT_DOUBLE_EQ(g[1], -1.0);
+  EXPECT_EQ(f.dimension(), 2u);
+  EXPECT_THROW((void)f.evaluate(la::Vector{1.0}), std::invalid_argument);
+}
+
+TEST(FeatureLinear, RejectsDegenerateCoefficients) {
+  EXPECT_THROW(feature::LinearFeature("x", la::Vector{}), std::invalid_argument);
+  EXPECT_THROW(feature::LinearFeature("x", la::Vector{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(FeatureQuadratic, EvaluatesAndDifferentiates) {
+  // phi = 0.5 x^T I x + 0·x + 1 = 0.5‖x‖² + 1.
+  const feature::QuadraticFeature f("q", la::identity(2),
+                                    la::Vector{0.0, 1.0}, 1.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(la::Vector{2.0, 2.0}), 0.5 * 8.0 + 2.0 + 1.0);
+  const la::Vector g = f.gradient(la::Vector{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(g[0], 3.0);       // Qx + k
+  EXPECT_DOUBLE_EQ(g[1], 5.0);
+}
+
+TEST(FeatureQuadratic, RejectsAsymmetricQ) {
+  la::Matrix q{{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_THROW(feature::QuadraticFeature("q", q, la::Vector{1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(feature::QuadraticFeature("q", la::identity(3),
+                                         la::Vector{1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(FeatureGeneric, AdBackedGradient) {
+  const feature::GenericFeature f(
+      "posynomial", 2,
+      [](const std::vector<ad::Dual>& v) {
+        return v[0] * v[1] + ad::exp(v[0]);
+      });
+  const la::Vector x{0.5, 2.0};
+  EXPECT_NEAR(f.evaluate(x), 1.0 + std::exp(0.5), 1e-14);
+  const la::Vector g = f.gradient(x);
+  EXPECT_NEAR(g[0], 2.0 + std::exp(0.5), 1e-14);
+  EXPECT_NEAR(g[1], 0.5, 1e-14);
+  EXPECT_THROW(feature::GenericFeature("n", 0, [](const auto& v) { return v[0]; }),
+               std::invalid_argument);
+}
+
+TEST(FeatureCallable, FiniteDifferenceGradient) {
+  const feature::CallableFeature f("blackbox", 2, [](const la::Vector& x) {
+    return x[0] * x[0] * x[1];
+  });
+  const la::Vector x{2.0, 3.0};
+  const la::Vector g = f.gradient(x);
+  EXPECT_NEAR(g[0], 12.0, 1e-5);
+  EXPECT_NEAR(g[1], 4.0, 1e-5);
+  EXPECT_THROW(feature::CallableFeature("n", 2, feature::CallableFeature::Fn{}),
+               std::invalid_argument);
+}
+
+TEST(FeatureSet, EnforcesSharedDimension) {
+  feature::FeatureSet phi;
+  phi.add(std::make_shared<feature::LinearFeature>("a", la::Vector{1.0, 0.0}),
+          feature::FeatureBounds::upper(1.0));
+  EXPECT_EQ(phi.dimension(), 2u);
+  EXPECT_THROW(
+      phi.add(std::make_shared<feature::LinearFeature>("b", la::Vector{1.0}),
+              feature::FeatureBounds::upper(1.0)),
+      std::invalid_argument);
+  EXPECT_THROW(phi.add(nullptr, feature::FeatureBounds::upper(1.0)),
+               std::invalid_argument);
+}
+
+TEST(FeatureSet, AllWithinBounds) {
+  feature::FeatureSet phi;
+  phi.add(std::make_shared<feature::LinearFeature>("sum", la::Vector{1.0, 1.0}),
+          feature::FeatureBounds::upper(10.0));
+  phi.add(std::make_shared<feature::LinearFeature>("diff", la::Vector{1.0, -1.0}),
+          feature::FeatureBounds(-2.0, 2.0));
+  EXPECT_TRUE(phi.allWithinBounds(la::Vector{4.0, 5.0}));
+  EXPECT_FALSE(phi.allWithinBounds(la::Vector{8.0, 5.0}));   // sum 13 > 10
+  EXPECT_FALSE(phi.allWithinBounds(la::Vector{4.0, 0.5}));   // diff 3.5 > 2
+}

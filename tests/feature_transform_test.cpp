@@ -1,0 +1,133 @@
+// Feature transformations must preserve both values and closed-form
+// structure (linear stays linear, quadratic stays quadratic).
+#include "feature/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "feature/generic.hpp"
+#include "feature/linear.hpp"
+#include "feature/quadratic.hpp"
+
+namespace feature = fepia::feature;
+namespace la = fepia::la;
+namespace ad = fepia::ad;
+
+TEST(FeatureTransform, PrecomposeLinearStaysLinear) {
+  const auto phi = std::make_shared<feature::LinearFeature>(
+      "phi", la::Vector{2.0, 3.0}, 1.0);
+  const la::Vector scale{0.5, 4.0};
+  const auto scaled = feature::precomposeDiagonal(phi, scale);
+  ASSERT_NE(dynamic_cast<const feature::LinearFeature*>(scaled.get()), nullptr);
+  // scaled(y) must equal phi(scale ⊙ y).
+  const la::Vector y{3.0, -2.0};
+  EXPECT_DOUBLE_EQ(scaled->evaluate(y), phi->evaluate(la::cwiseMul(scale, y)));
+}
+
+TEST(FeatureTransform, PrecomposeQuadraticStaysQuadratic) {
+  const auto phi = std::make_shared<feature::QuadraticFeature>(
+      "q", la::Matrix{{2.0, 1.0}, {1.0, 4.0}}, la::Vector{1.0, -1.0}, 0.5);
+  const la::Vector scale{2.0, 0.25};
+  const auto scaled = feature::precomposeDiagonal(phi, scale);
+  ASSERT_NE(dynamic_cast<const feature::QuadraticFeature*>(scaled.get()),
+            nullptr);
+  const la::Vector y{1.5, 8.0};
+  EXPECT_NEAR(scaled->evaluate(y), phi->evaluate(la::cwiseMul(scale, y)), 1e-12);
+  // Gradient chain rule: ∇(phi∘S)(y) = S ∇phi(Sy).
+  const la::Vector g = scaled->gradient(y);
+  const la::Vector expected =
+      la::cwiseMul(phi->gradient(la::cwiseMul(scale, y)), scale);
+  EXPECT_TRUE(la::approxEqual(g, expected, 1e-12));
+}
+
+TEST(FeatureTransform, PrecomposeGenericDelegates) {
+  const auto phi = std::make_shared<feature::GenericFeature>(
+      "g", 2, [](const std::vector<ad::Dual>& v) { return v[0] * v[0] * v[1]; });
+  const la::Vector scale{3.0, 2.0};
+  const auto scaled = feature::precomposeDiagonal(
+      std::static_pointer_cast<const feature::PerformanceFeature>(phi), scale);
+  const la::Vector y{1.0, 1.0};
+  EXPECT_NEAR(scaled->evaluate(y), 9.0 * 2.0, 1e-12);
+  const la::Vector g = scaled->gradient(y);
+  EXPECT_NEAR(g[0], 2.0 * 3.0 * 1.0 * 2.0 * 3.0, 1e-10);  // s0·(2 s0 y0 · s1 y1)
+}
+
+TEST(FeatureTransform, PrecomposeValidates) {
+  const auto phi = std::make_shared<feature::LinearFeature>(
+      "phi", la::Vector{1.0, 1.0});
+  EXPECT_THROW((void)feature::precomposeDiagonal(phi, la::Vector{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)feature::precomposeDiagonal(phi, la::Vector{1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)feature::precomposeDiagonal(nullptr, la::Vector{1.0}),
+               std::invalid_argument);
+}
+
+TEST(FeatureTransform, RestrictLinearToBlockIsExact) {
+  // phi = 1·x0 + 2·x1 + 3·x2 + 10; restrict to block [1, 3) at base
+  // (5, _, _): phi_block(z) = 2 z0 + 3 z1 + (10 + 5).
+  const auto phi = std::make_shared<feature::LinearFeature>(
+      "phi", la::Vector{1.0, 2.0, 3.0}, 10.0);
+  const la::Vector base{5.0, 0.0, 0.0};
+  const auto restricted = feature::restrictToBlock(phi, base, 1, 2);
+  ASSERT_NE(dynamic_cast<const feature::LinearFeature*>(restricted.get()),
+            nullptr);
+  EXPECT_EQ(restricted->dimension(), 2u);
+  EXPECT_DOUBLE_EQ(restricted->evaluate(la::Vector{1.0, 1.0}), 2.0 + 3.0 + 15.0);
+}
+
+TEST(FeatureTransform, RestrictGenericDelegatesWithGradientBlock) {
+  const auto phi = std::make_shared<feature::GenericFeature>(
+      "g", 3, [](const std::vector<ad::Dual>& v) {
+        return v[0] * v[1] + v[2] * v[2];
+      });
+  const la::Vector base{2.0, 3.0, 4.0};
+  const auto restricted = feature::restrictToBlock(
+      std::static_pointer_cast<const feature::PerformanceFeature>(phi), base, 1,
+      2);
+  // restricted(z) = 2·z0 + z1².
+  EXPECT_DOUBLE_EQ(restricted->evaluate(la::Vector{3.0, 4.0}), 6.0 + 16.0);
+  const la::Vector g = restricted->gradient(la::Vector{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(g[0], 2.0);
+  EXPECT_DOUBLE_EQ(g[1], 8.0);
+}
+
+TEST(FeatureTransform, RestrictValidatesBlock) {
+  const auto phi = std::make_shared<feature::LinearFeature>(
+      "phi", la::Vector{1.0, 1.0});
+  EXPECT_THROW(
+      (void)feature::restrictToBlock(phi, la::Vector{0.0, 0.0}, 1, 2),
+      std::invalid_argument);
+  EXPECT_THROW((void)feature::restrictToBlock(phi, la::Vector{0.0}, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)feature::restrictToBlock(phi, la::Vector{0.0, 0.0}, 0, 0),
+      std::invalid_argument);
+}
+
+TEST(FeatureTransform, RestrictInsensitiveBlockKeepsWorking) {
+  // Coefficient of block is zero: the restriction is constant; the
+  // delegating adaptor must still evaluate correctly.
+  const auto phi = std::make_shared<feature::LinearFeature>(
+      "phi", la::Vector{1.0, 0.0}, 0.0);
+  const la::Vector base{7.0, 9.0};
+  const auto restricted = feature::restrictToBlock(phi, base, 1, 1);
+  EXPECT_DOUBLE_EQ(restricted->evaluate(la::Vector{100.0}), 7.0);
+}
+
+TEST(FeatureTransform, ShiftValue) {
+  const auto phi = std::make_shared<feature::LinearFeature>(
+      "phi", la::Vector{1.0, 1.0}, 2.0);
+  const auto shifted = feature::shiftValue(phi, -5.0);
+  ASSERT_NE(dynamic_cast<const feature::LinearFeature*>(shifted.get()), nullptr);
+  EXPECT_DOUBLE_EQ(shifted->evaluate(la::Vector{1.0, 1.0}), -1.0);
+
+  const auto gen = std::make_shared<feature::GenericFeature>(
+      "g", 1, [](const std::vector<ad::Dual>& v) { return v[0] * v[0]; });
+  const auto gShift = feature::shiftValue(
+      std::static_pointer_cast<const feature::PerformanceFeature>(gen), 1.0);
+  EXPECT_DOUBLE_EQ(gShift->evaluate(la::Vector{3.0}), 10.0);
+  EXPECT_DOUBLE_EQ(gShift->gradient(la::Vector{3.0})[0], 6.0);
+}

@@ -1,0 +1,138 @@
+// The three-kind, nonlinear bandwidth-degradation scenario: comm times
+// m_k / (B_l g_l) make link and path features nonlinear in the joint
+// perturbation; the numeric radius engine must handle them end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hiperd/factory.hpp"
+#include "radius/fepia.hpp"
+
+namespace hiperd = fepia::hiperd;
+namespace radius = fepia::radius;
+namespace la = fepia::la;
+namespace units = fepia::units;
+
+namespace {
+
+struct Fixture {
+  hiperd::ReferenceSystem ref = hiperd::makeReferenceSystem();
+  radius::FepiaProblem problem =
+      ref.system.executionMessageBandwidthProblem(ref.qos);
+};
+
+}  // namespace
+
+TEST(HiperdBandwidth, SpaceHasThreeKindsWithDimensionlessFactors) {
+  Fixture fx;
+  const auto& space = fx.problem.space();
+  ASSERT_EQ(space.kindCount(), 3u);
+  EXPECT_EQ(space.kind(2).name(), "bandwidth-factors");
+  EXPECT_TRUE(space.kind(2).unit().isDimensionless());
+  // g^orig = 1 for every link.
+  EXPECT_TRUE(la::approxEqual(space.kind(2).original(),
+                              la::ones(fx.ref.system.linkCount()), 0.0));
+  EXPECT_EQ(space.totalDimension(), fx.ref.system.applicationCount() +
+                                        fx.ref.system.messageCount() +
+                                        fx.ref.system.linkCount());
+}
+
+TEST(HiperdBandwidth, FeatureValuesMatchModelAtOrigin) {
+  Fixture fx;
+  const la::Vector orig = fx.problem.space().concatenatedOriginal();
+  const la::Vector lambda = fx.ref.system.originalLoads();
+  for (const auto& bf : fx.problem.features()) {
+    const double value = bf.feature->evaluate(orig);
+    // Every feature at the origin equals the corresponding load-model
+    // quantity (g = 1 leaves comm times unchanged).
+    EXPECT_TRUE(bf.bounds.contains(value)) << bf.feature->name();
+    if (bf.feature->name().rfind("latency", 0) == 0) {
+      bool matched = false;
+      for (std::size_t p = 0; p < fx.ref.system.pathCount(); ++p) {
+        if (std::abs(value - fx.ref.system.pathLatencySeconds(p, lambda)) <
+            1e-12) {
+          matched = true;
+        }
+      }
+      EXPECT_TRUE(matched) << bf.feature->name();
+    }
+  }
+}
+
+TEST(HiperdBandwidth, HalvingBandwidthDoublesCommTime) {
+  Fixture fx;
+  la::Vector probe = fx.problem.space().concatenatedOriginal();
+  const std::size_t gOffset = fx.problem.space().blockOffset(2);
+  // Find a pure comm feature and halve its links' factors.
+  for (const auto& bf : fx.problem.features()) {
+    if (bf.feature->name().rfind("comm", 0) != 0) continue;
+    const double base = bf.feature->evaluate(probe);
+    la::Vector degraded = probe;
+    for (std::size_t l = 0; l < fx.ref.system.linkCount(); ++l) {
+      degraded[gOffset + l] = 0.5;
+    }
+    EXPECT_NEAR(bf.feature->evaluate(degraded), 2.0 * base, 1e-12)
+        << bf.feature->name();
+  }
+}
+
+TEST(HiperdBandwidth, GradientsAreExactViaAd) {
+  Fixture fx;
+  const la::Vector orig = fx.problem.space().concatenatedOriginal();
+  for (const auto& bf : fx.problem.features()) {
+    const la::Vector g = bf.feature->gradient(orig);
+    // Finite-difference cross-check on a few coordinates.
+    for (std::size_t i = 0; i < orig.size(); i += 3) {
+      la::Vector probe = orig;
+      const double h = 1e-6 * std::max(1.0, std::abs(orig[i]));
+      probe[i] = orig[i] + h;
+      const double fp = bf.feature->evaluate(probe);
+      probe[i] = orig[i] - h;
+      const double fm = bf.feature->evaluate(probe);
+      EXPECT_NEAR(g[i], (fp - fm) / (2.0 * h),
+                  1e-4 * (1.0 + std::abs(g[i])))
+          << bf.feature->name() << " coord " << i;
+    }
+  }
+}
+
+TEST(HiperdBandwidth, MergedNormalizedRadiusIsFiniteAndValidated) {
+  Fixture fx;
+  const auto analysis =
+      fx.problem.merged(radius::MergeScheme::NormalizedByOriginal);
+  const auto& rep = analysis.report();
+  ASSERT_TRUE(rep.finite());
+  EXPECT_GT(rep.rho, 0.0);
+  // Every finite per-feature boundary point actually sits on its bound.
+  for (std::size_t i = 0; i < rep.features.size(); ++i) {
+    const auto& fr = rep.features[i];
+    if (!fr.radius.finite()) continue;
+    const radius::DiagonalMap map(fr.mapWeights);
+    const la::Vector pi = map.fromP(fr.radius.boundaryPoint);
+    const double value = fx.problem.features()[i].feature->evaluate(pi);
+    const auto& bounds = fx.problem.features()[i].bounds;
+    const double target = fr.radius.side == radius::BoundSide::Max
+                              ? bounds.betaMax()
+                              : bounds.betaMin();
+    EXPECT_NEAR(value, target, 1e-5 * std::max(1.0, std::abs(target)))
+        << fr.featureName;
+  }
+}
+
+TEST(HiperdBandwidth, PureBandwidthDegradationCrossesPredictedBoundary) {
+  // Degrade all links uniformly: the analytic QoS must hold inside the
+  // merged radius and fail for a strong enough degradation.
+  Fixture fx;
+  const la::Vector orig = fx.problem.space().concatenatedOriginal();
+  const std::size_t gOffset = fx.problem.space().blockOffset(2);
+  const auto withFactor = [&](double g) {
+    la::Vector v = orig;
+    for (std::size_t l = 0; l < fx.ref.system.linkCount(); ++l) {
+      v[gOffset + l] = g;
+    }
+    return v;
+  };
+  EXPECT_TRUE(fx.problem.features().allWithinBounds(withFactor(0.9)));
+  // At g = 0.02 the radar path's comm time alone exceeds the bounds.
+  EXPECT_FALSE(fx.problem.features().allWithinBounds(withFactor(0.02)));
+}

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hiperd/factory.hpp"
+#include "hiperd/system.hpp"
+#include "radius/merge.hpp"
+
+namespace hiperd = fepia::hiperd;
+namespace la = fepia::la;
+namespace radius = fepia::radius;
+namespace units = fepia::units;
+namespace rng = fepia::rng;
+
+TEST(HiperdSystem, BuildValidation) {
+  hiperd::System sys;
+  sys.addSensor({"s0", 10.0});
+  const std::size_t m0 = sys.addMachine({"m0"});
+  EXPECT_THROW(sys.addLink({"bad", 0.0}), std::invalid_argument);
+  const std::size_t l0 = sys.addLink({"l0", 1e6});
+  EXPECT_THROW(sys.addApplication({"a", 7, 0.1, {1.0}}), std::invalid_argument);
+  EXPECT_THROW(sys.addApplication({"a", m0, 0.1, {}}), std::invalid_argument);
+  const std::size_t a0 = sys.addApplication({"a0", m0, 0.1, {0.01}});
+  const std::size_t a1 = sys.addApplication({"a1", m0, 0.1, {0.0}});
+  EXPECT_THROW(sys.addMessage({"m", a0, 9, l0, 10.0, {1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(sys.addMessage({"m", a0, a1, 9, 10.0, {1.0}}),
+               std::invalid_argument);
+  const std::size_t k0 = sys.addMessage({"m0", a0, a1, l0, 10.0, {1.0}});
+  EXPECT_THROW(sys.addPath({"p", {}, {}}), std::invalid_argument);
+  EXPECT_THROW(sys.addPath({"p", {9}, {}}), std::invalid_argument);
+  sys.addPath({"p0", {a0, a1}, {k0}});
+  // Sensors may not be added after apps exist (coefficient sizing).
+  EXPECT_THROW(sys.addSensor({"late", 1.0}), std::logic_error);
+}
+
+TEST(HiperdSystem, ModelEvaluationIsLinearInLoads) {
+  const auto ref = hiperd::makeReferenceSystem();
+  const hiperd::System& sys = ref.system;
+  const la::Vector l0 = sys.originalLoads();
+  la::Vector l2 = l0;
+  for (auto& v : l2) v *= 2.0;
+
+  for (std::size_t a = 0; a < sys.applicationCount(); ++a) {
+    const double base = sys.application(a).baseComputeSeconds;
+    const double c0 = sys.appComputeSeconds(a, l0);
+    const double c2 = sys.appComputeSeconds(a, l2);
+    // c(2λ) − base == 2·(c(λ) − base) by linearity.
+    EXPECT_NEAR(c2 - base, 2.0 * (c0 - base), 1e-12);
+  }
+}
+
+TEST(HiperdSystem, ReferenceSystemHandCheckedValues) {
+  const auto ref = hiperd::makeReferenceSystem();
+  const hiperd::System& sys = ref.system;
+  const la::Vector lambda = sys.originalLoads();
+  // filter-r: 0.004 + 3e-4 * 100 = 0.034 s.
+  EXPECT_NEAR(sys.appComputeSeconds(0, lambda), 0.034, 1e-12);
+  // msg-rf: 2e3 + 800*100 = 82e3 bytes over 5e7 B/s = 1.64 ms.
+  EXPECT_NEAR(sys.messageBytes(0, lambda), 82e3, 1e-9);
+  EXPECT_NEAR(sys.messageSeconds(0, lambda), 82e3 / 5e7, 1e-12);
+  // Machine m0 hosts filter-r and display: 0.034 + 0.004 = 0.038.
+  EXPECT_NEAR(sys.machineComputeSeconds(0, lambda), 0.038, 1e-12);
+  // Path-radar latency: apps 0.034+0.038+0.034+0.004 plus msgs.
+  const double expectLat = 0.034 + 0.038 + 0.034 + 0.004 + 82e3 / 5e7 +
+                           86e3 / 2.5e7 + 27e3 / 5e7;
+  EXPECT_NEAR(sys.pathLatencySeconds(0, lambda), expectLat, 1e-12);
+}
+
+TEST(HiperdSystem, ReferenceSystemSatisfiesItsQoS) {
+  const auto ref = hiperd::makeReferenceSystem();
+  EXPECT_TRUE(ref.system.satisfies(ref.qos, ref.system.originalLoads()));
+  // And stops satisfying it under a 10x load surge.
+  la::Vector surge = ref.system.originalLoads();
+  for (auto& v : surge) v *= 10.0;
+  EXPECT_FALSE(ref.system.satisfies(ref.qos, surge));
+}
+
+TEST(HiperdSystem, LoadProblemSingleKindRadius) {
+  const auto ref = hiperd::makeReferenceSystem();
+  const radius::FepiaProblem problem = ref.system.loadProblem(ref.qos);
+  // Single kind (sensor loads): plain same-unit analysis is legal.
+  const radius::RobustnessReport report = problem.robustnessSameUnits();
+  EXPECT_GT(report.rho, 0.0);
+  EXPECT_TRUE(report.finite());
+  // The radius is in objects/data-set; verify the boundary point of the
+  // critical feature actually violates the QoS.
+  const auto& critical = report.perFeature[report.criticalFeature];
+  la::Vector boundary = critical.boundaryPoint;
+  // Nudge slightly beyond the boundary along the increase direction.
+  const la::Vector orig = ref.system.originalLoads();
+  la::Vector beyond = orig + 1.0001 * (boundary - orig);
+  EXPECT_FALSE(ref.system.satisfies(ref.qos, beyond));
+}
+
+TEST(HiperdSystem, LoadFeatureSetThrowsWhenAlreadyViolating) {
+  auto ref = hiperd::makeReferenceSystem();
+  hiperd::QoS tight = ref.qos;
+  tight.maxLatencySeconds = 0.01;  // below the assumed-latency of any path
+  EXPECT_THROW((void)ref.system.loadFeatureSet(tight), std::invalid_argument);
+}
+
+TEST(HiperdSystem, ExecutionMessageSpaceHasTwoKinds) {
+  const auto ref = hiperd::makeReferenceSystem();
+  const auto space = ref.system.executionMessageSpace();
+  EXPECT_EQ(space.kindCount(), 2u);
+  EXPECT_TRUE(space.kind(0).unit() == units::Unit::seconds());
+  EXPECT_TRUE(space.kind(1).unit() == units::Unit::bytes());
+  EXPECT_EQ(space.totalDimension(),
+            ref.system.applicationCount() + ref.system.messageCount());
+  EXPECT_FALSE(space.homogeneousUnits());
+}
+
+TEST(HiperdSystem, ExecutionMessageOriginalsMatchLoadModel) {
+  const auto ref = hiperd::makeReferenceSystem();
+  const la::Vector e = ref.system.originalExecutionTimes();
+  const la::Vector m = ref.system.originalMessageSizes();
+  const la::Vector lambda = ref.system.originalLoads();
+  for (std::size_t a = 0; a < e.size(); ++a) {
+    EXPECT_DOUBLE_EQ(e[a], ref.system.appComputeSeconds(a, lambda));
+  }
+  for (std::size_t k = 0; k < m.size(); ++k) {
+    EXPECT_DOUBLE_EQ(m[k], ref.system.messageBytes(k, lambda));
+  }
+}
+
+TEST(HiperdSystem, ExecutionMessageProblemMergedAnalysis) {
+  const auto ref = hiperd::makeReferenceSystem();
+  const radius::FepiaProblem problem = ref.system.executionMessageProblem(ref.qos);
+  // Mixed kinds: raw concatenation must refuse...
+  EXPECT_THROW((void)problem.robustnessSameUnits(), units::MismatchError);
+  // ...while both merge schemes produce finite dimensionless radii.
+  const double rhoNorm = problem.rho(radius::MergeScheme::NormalizedByOriginal);
+  EXPECT_GT(rhoNorm, 0.0);
+  EXPECT_LT(rhoNorm, 10.0);  // relative radius of a feasible system is modest
+}
+
+TEST(HiperdFactory, RandomSystemIsFeasibleAndAnalysable) {
+  rng::Xoshiro256StarStar g(61);
+  hiperd::RandomSystemParams params;
+  const auto ref = hiperd::makeRandomSystem(params, g);
+  EXPECT_TRUE(ref.system.satisfies(ref.qos, ref.system.originalLoads()));
+  EXPECT_EQ(ref.system.pathCount(), params.sensors);
+  const radius::FepiaProblem problem = ref.system.loadProblem(ref.qos);
+  EXPECT_GT(problem.robustnessSameUnits().rho, 0.0);
+}
+
+TEST(HiperdFactory, RandomSystemRejectsZeroSizes) {
+  rng::Xoshiro256StarStar g(62);
+  hiperd::RandomSystemParams bad;
+  bad.sensors = 0;
+  EXPECT_THROW((void)hiperd::makeRandomSystem(bad, g), std::invalid_argument);
+}

@@ -1,0 +1,138 @@
+// End-to-end three-kind (nonlinear) analysis: tolerance checks against
+// ground truth, and DES agreement on bandwidth-degradation points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "des/pipeline.hpp"
+#include "hiperd/factory.hpp"
+#include "radius/fepia.hpp"
+#include "rng/distributions.hpp"
+
+namespace hiperd = fepia::hiperd;
+namespace radius = fepia::radius;
+namespace des = fepia::des;
+namespace la = fepia::la;
+namespace rng = fepia::rng;
+
+namespace {
+
+struct Fixture {
+  hiperd::ReferenceSystem ref = hiperd::makeReferenceSystem();
+  radius::FepiaProblem problem =
+      ref.system.executionMessageBandwidthProblem(ref.qos);
+  radius::MergedAnalysis analysis =
+      problem.merged(radius::MergeScheme::NormalizedByOriginal);
+};
+
+}  // namespace
+
+TEST(IntegrationBandwidth, ToleratedPointsNeverViolateGroundTruth) {
+  Fixture fx;
+  const la::Vector e0 = fx.ref.system.originalExecutionTimes();
+  const la::Vector m0 = fx.ref.system.originalMessageSizes();
+  const std::size_t nL = fx.ref.system.linkCount();
+  const std::size_t dim = e0.size() + m0.size() + nL;
+
+  rng::Xoshiro256StarStar g(31415);
+  int tolerated = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    const auto dir = rng::unitSphere(g, dim);
+    const double rel = rng::uniform(g, 0.0, 2.0 * fx.analysis.report().rho);
+    la::Vector e = e0;
+    la::Vector m = m0;
+    la::Vector gvec(nL, 1.0);
+    for (std::size_t i = 0; i < e.size(); ++i) e[i] *= 1.0 + rel * dir[i];
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      m[i] *= 1.0 + rel * dir[e.size() + i];
+    }
+    bool domainOk = true;
+    for (std::size_t l = 0; l < nL; ++l) {
+      gvec[l] = 1.0 + rel * dir[e.size() + m.size() + l];
+      if (gvec[l] <= 0.0) domainOk = false;  // beyond total link failure
+    }
+    if (!domainOk) continue;
+
+    const std::vector<la::Vector> point = {e, m, gvec};
+    if (!fx.analysis.check(point).tolerated) continue;
+    ++tolerated;
+    const la::Vector flat = fx.problem.space().concatenateUnchecked(point);
+    EXPECT_TRUE(fx.problem.features().allWithinBounds(flat))
+        << "trial " << trial;
+  }
+  EXPECT_GT(tolerated, 10);
+}
+
+TEST(IntegrationBandwidth, RhoMatchesDirectionalGroundTruthScan) {
+  // rho must lower-bound the empirical nearest violation distance over
+  // random directions, and come close to it over many directions (the
+  // scan brackets the true minimum from above).
+  Fixture fx;
+  const double rho = fx.analysis.report().rho;
+  const la::Vector orig = fx.problem.space().concatenatedOriginal();
+  const std::size_t dim = orig.size();
+
+  // Empirical: for random relative directions, bisect the violation
+  // threshold in units of relative distance.
+  rng::Xoshiro256StarStar g(2718);
+  double minThreshold = std::numeric_limits<double>::infinity();
+  for (int trial = 0; trial < 120; ++trial) {
+    const auto dir = rng::unitSphere(g, dim);
+    const auto pointAt = [&](double rel) {
+      la::Vector v = orig;
+      for (std::size_t i = 0; i < dim; ++i) v[i] *= 1.0 + rel * dir[i];
+      return v;
+    };
+    // Skip directions that exit the g > 0 domain before violating.
+    double lo = 0.0, hi = 4.0 * rho;
+    if (fx.problem.features().allWithinBounds(pointAt(hi))) continue;
+    bool domainIssue = false;
+    const std::size_t gOffset = fx.problem.space().blockOffset(2);
+    for (std::size_t l = 0; l < fx.ref.system.linkCount(); ++l) {
+      if (pointAt(hi)[gOffset + l] <= 0.0) domainIssue = true;
+    }
+    if (domainIssue) continue;
+    for (int it = 0; it < 50; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      (fx.problem.features().allWithinBounds(pointAt(mid)) ? lo : hi) = mid;
+    }
+    minThreshold = std::min(minThreshold, hi);
+  }
+  ASSERT_TRUE(std::isfinite(minThreshold));
+  // rho is the minimum over ALL directions, so it cannot exceed any
+  // directional threshold...
+  EXPECT_LE(rho, minThreshold + 1e-6);
+  // ...and with 120 directions the scan should come within 3x of it.
+  EXPECT_LT(minThreshold, 3.0 * rho);
+}
+
+TEST(IntegrationBandwidth, DesConfirmsDegradationBoundary) {
+  // Push one link's degradation just past the analytic frontier and
+  // check the simulated pipeline violates; just inside, it must hold.
+  Fixture fx;
+  const la::Vector orig = fx.problem.space().concatenatedOriginal();
+  const std::size_t gOffset = fx.problem.space().blockOffset(2);
+  const std::size_t lanC = 2;
+
+  double lo = 0.0, hi = 1.0;
+  for (int it = 0; it < 50; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    la::Vector probe = orig;
+    probe[gOffset + lanC] = mid;
+    (fx.problem.features().allWithinBounds(probe) ? hi : lo) = mid;
+  }
+  // The DES sees degradation as inflated message sizes on that link.
+  const auto simulateAtFactor = [&](double factor) {
+    la::Vector bytes = fx.ref.system.originalMessageSizes();
+    for (std::size_t k = 0; k < fx.ref.system.messageCount(); ++k) {
+      if (fx.ref.system.message(k).link == lanC) bytes[k] /= factor;
+    }
+    return des::simulatePipeline(fx.ref.system,
+                                 fx.ref.system.originalExecutionTimes(), bytes,
+                                 fx.ref.qos.minThroughput);
+  };
+  EXPECT_TRUE(simulateAtFactor(hi * 1.3)
+                  .satisfies(fx.ref.qos.maxLatencySeconds));
+  EXPECT_FALSE(simulateAtFactor(hi * 0.7)
+                   .satisfies(fx.ref.qos.maxLatencySeconds));
+}

@@ -1,0 +1,127 @@
+// VAL experiment as a test: the analytic robust region, computed by the
+// merged metric in (execution-time ⋆ message-size) space, is validated
+// against the discrete-event simulation of the same pipeline.
+//
+// Correspondence used:
+//  * "compute/comm time <= 1/R" features <-> DES queue stability at rate R;
+//  * "path latency <= L_max" features: DES latency >= the analytic sum of
+//    stage times (queueing only adds), so an analytic violation implies a
+//    simulated violation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "des/pipeline.hpp"
+#include "hiperd/factory.hpp"
+#include "radius/fepia.hpp"
+#include "rng/distributions.hpp"
+
+namespace hiperd = fepia::hiperd;
+namespace des = fepia::des;
+namespace radius = fepia::radius;
+namespace la = fepia::la;
+namespace rng = fepia::rng;
+
+namespace {
+
+struct Fixture {
+  hiperd::ReferenceSystem ref = hiperd::makeReferenceSystem();
+  radius::FepiaProblem problem = ref.system.executionMessageProblem(ref.qos);
+  radius::MergedAnalysis analysis =
+      problem.merged(radius::MergeScheme::NormalizedByOriginal);
+
+  la::Vector e0 = ref.system.originalExecutionTimes();
+  la::Vector m0 = ref.system.originalMessageSizes();
+
+  // Applies a relative perturbation of magnitude `rel` along unit
+  // direction `dir` (in relative coordinates) to (e, m).
+  std::pair<la::Vector, la::Vector> perturb(const std::vector<double>& dir,
+                                            double rel) const {
+    la::Vector e = e0;
+    la::Vector m = m0;
+    for (std::size_t i = 0; i < e.size(); ++i) e[i] *= 1.0 + rel * dir[i];
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      m[i] *= 1.0 + rel * dir[e.size() + i];
+    }
+    return {std::move(e), std::move(m)};
+  }
+};
+
+}  // namespace
+
+TEST(IntegrationDesValidation, InsideRadiusSustainsThroughput) {
+  Fixture fx;
+  const double rho = fx.analysis.report().rho;
+  ASSERT_GT(rho, 0.0);
+
+  rng::Xoshiro256StarStar g(91);
+  int simulated = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    // Growth directions at 90% of the radius.
+    const auto dir =
+        rng::unitSphereNonnegative(g, fx.e0.size() + fx.m0.size());
+    auto [e, m] = fx.perturb(dir, 0.9 * rho);
+    // Nonnegative service times are required by the DES (and physics).
+    const des::PipelineResult res = des::simulatePipeline(
+        fx.ref.system, e, m, fx.ref.qos.minThroughput);
+    EXPECT_TRUE(res.throughputSustained)
+        << "trial " << trial << ": inside-radius point broke throughput";
+    ++simulated;
+  }
+  EXPECT_EQ(simulated, 12);
+}
+
+TEST(IntegrationDesValidation, BeyondCriticalBoundaryViolatesQoS) {
+  Fixture fx;
+  const auto& report = fx.analysis.report();
+  const auto& critical = report.features[report.criticalFeature];
+  ASSERT_TRUE(critical.radius.finite());
+
+  // Map the P-space boundary point back to (e, m) and step 5% beyond.
+  const radius::DiagonalMap map(critical.mapWeights);
+  const la::Vector piBoundary = map.fromP(critical.radius.boundaryPoint);
+  const la::Vector piOrig = fx.problem.space().concatenatedOriginal();
+  const la::Vector beyond = piOrig + 1.05 * (piBoundary - piOrig);
+  const auto parts = fx.problem.space().split(beyond);
+
+  // Analytic check: the feature set must be violated there.
+  EXPECT_FALSE(fx.problem.features().allWithinBounds(beyond));
+
+  // Simulated check: the pipeline must violate either latency or
+  // throughput at that operating point.
+  const des::PipelineResult res = des::simulatePipeline(
+      fx.ref.system, parts[0], parts[1], fx.ref.qos.minThroughput);
+  EXPECT_FALSE(res.satisfies(fx.ref.qos.maxLatencySeconds));
+}
+
+TEST(IntegrationDesValidation, SimulatedLatencyDominatesAnalyticSum) {
+  // Queueing can only add to the sum of stage times, which is what the
+  // analytic latency feature measures.
+  Fixture fx;
+  const des::PipelineResult res = des::simulatePipeline(
+      fx.ref.system, fx.e0, fx.m0, fx.ref.qos.minThroughput);
+  const la::Vector lambda = fx.ref.system.originalLoads();
+  for (std::size_t p = 0; p < fx.ref.system.pathCount(); ++p) {
+    const double analytic = fx.ref.system.pathLatencySeconds(p, lambda);
+    for (double lat : res.pathLatencies[p]) {
+      EXPECT_GE(lat, analytic - 1e-9) << "path " << p;
+    }
+  }
+}
+
+TEST(IntegrationDesValidation, RadiusIsSharpWithinTolerance) {
+  // The empirical critical magnitude along the nearest-boundary direction
+  // brackets the analytic radius: 0.99x stays feasible (analytically and
+  // in simulation for throughput), 1.05x violates.
+  Fixture fx;
+  const auto& report = fx.analysis.report();
+  const auto& critical = report.features[report.criticalFeature];
+  const radius::DiagonalMap map(critical.mapWeights);
+  const la::Vector piBoundary = map.fromP(critical.radius.boundaryPoint);
+  const la::Vector piOrig = fx.problem.space().concatenatedOriginal();
+
+  const la::Vector inside = piOrig + 0.99 * (piBoundary - piOrig);
+  EXPECT_TRUE(fx.problem.features().allWithinBounds(inside));
+  const la::Vector outside = piOrig + 1.05 * (piBoundary - piOrig);
+  EXPECT_FALSE(fx.problem.features().allWithinBounds(outside));
+}

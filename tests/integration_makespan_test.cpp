@@ -1,0 +1,123 @@
+// End-to-end makespan study: heuristic populations over CVB workloads,
+// robustness vs makespan, and consistency of the engine across paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "alloc/heuristics.hpp"
+#include "alloc/robustness.hpp"
+#include "etc/etc.hpp"
+#include "stats/correlation.hpp"
+
+namespace alloc = fepia::alloc;
+namespace etcns = fepia::etc;
+namespace rng = fepia::rng;
+namespace la = fepia::la;
+namespace stats = fepia::stats;
+namespace radius = fepia::radius;
+
+TEST(IntegrationMakespan, HeuristicPopulationRanking) {
+  rng::Xoshiro256StarStar g(81);
+  const la::Matrix e =
+      etcns::generateCvb(60, 8, etcns::cvbPreset(etcns::Heterogeneity::HiHi), g);
+
+  // Shared absolute makespan constraint: generous enough for all
+  // heuristics (random excluded — it may violate).
+  double worst = 0.0;
+  std::vector<alloc::Allocation> population;
+  for (const auto h : alloc::allHeuristics()) {
+    population.push_back(alloc::runHeuristic(h, e));
+    worst = std::max(worst, alloc::makespan(population.back(), e));
+  }
+  const double tau = 1.3 * worst;
+
+  std::vector<double> makespans;
+  std::vector<double> rhos;
+  for (const alloc::Allocation& mu : population) {
+    makespans.push_back(alloc::makespan(mu, e));
+    const radius::RobustnessReport report =
+        alloc::makespanRobustness(mu, e, tau);
+    rhos.push_back(report.rho);
+    // Engine equals closed form on every allocation.
+    EXPECT_NEAR(report.rho, alloc::makespanRobustnessClosedForm(mu, e, tau),
+                1e-9 * report.rho);
+  }
+  // All heuristics produce positive robustness under the generous tau.
+  for (double r : rhos) EXPECT_GT(r, 0.0);
+  // Robustness is negatively associated with makespan here (more slack →
+  // larger radius), but the association need not be perfect — compute it
+  // to ensure the population is not degenerate.
+  const double rho1 = stats::spearman(makespans, rhos);
+  EXPECT_LE(std::abs(rho1), 1.0);
+}
+
+TEST(IntegrationMakespan, LocalSearchImprovesRobustnessViaSlack) {
+  rng::Xoshiro256StarStar g(82);
+  const la::Matrix e =
+      etcns::generateCvb(40, 6, etcns::cvbPreset(etcns::Heterogeneity::LoLo), g);
+  const alloc::Allocation start = alloc::randomAllocation(e, g);
+  const alloc::Allocation improved = alloc::localSearchMakespan(start, e);
+  const double tau = 1.2 * alloc::makespan(start, e);
+  const double rhoStart = alloc::makespanRobustnessClosedForm(start, e, tau);
+  const double rhoImproved =
+      alloc::makespanRobustnessClosedForm(improved, e, tau);
+  // Reducing the peak finish time under a fixed tau increases the
+  // critical machine's slack, so the minimum radius cannot get worse in
+  // a way that makes the allocation infeasible.
+  EXPECT_GT(rhoImproved, 0.0);
+  EXPECT_GE(rhoImproved, rhoStart * 0.5);  // sanity: no catastrophic loss
+}
+
+TEST(IntegrationMakespan, BoundaryPointViolatesExactlyAtTau) {
+  rng::Xoshiro256StarStar g(83);
+  const la::Matrix e = etcns::generateCvb(30, 5, etcns::CvbParams{}, g);
+  const alloc::Allocation mu = alloc::minMin(e);
+  const double tau = 1.25 * alloc::makespan(mu, e);
+  const radius::RobustnessReport report = alloc::makespanRobustness(mu, e, tau);
+  const auto& critical = report.perFeature[report.criticalFeature];
+  // The boundary point makes the critical machine hit tau exactly.
+  const la::Vector finish =
+      alloc::machineFinishTimesFromExecVector(mu, critical.boundaryPoint);
+  const double maxFinish = *std::max_element(finish.begin(), finish.end());
+  EXPECT_NEAR(maxFinish, tau, 1e-9 * tau);
+}
+
+TEST(IntegrationMakespan, UniformDegradationInterpretation) {
+  // [2]'s interpretation: if every task's execution time inflates by the
+  // same absolute amount d, the allocation stays feasible as long as the
+  // collective perturbation stays within the radius. For machine m with
+  // n_m tasks the collective change has norm d·sqrt(N); feasibility is
+  // governed by the critical machine.
+  rng::Xoshiro256StarStar g(84);
+  const la::Matrix e = etcns::generateCvb(24, 4, etcns::CvbParams{}, g);
+  const alloc::Allocation mu = alloc::mct(e);
+  const double tau = 1.3 * alloc::makespan(mu, e);
+  const radius::RobustnessReport report = alloc::makespanRobustness(mu, e, tau);
+
+  const la::Vector orig = alloc::assignedExecutionTimes(mu, e);
+  const la::Vector finish = alloc::machineFinishTimes(mu, e);
+  // Largest uniform inflation d* that keeps all machines under tau:
+  // d* = min_m (tau − F_m)/n_m.
+  double dStar = std::numeric_limits<double>::infinity();
+  for (std::size_t m = 0; m < mu.machineCount(); ++m) {
+    const auto n = mu.tasksOn(m).size();
+    if (n == 0) continue;
+    dStar = std::min(dStar, (tau - finish[m]) / static_cast<double>(n));
+  }
+  // Uniform inflation by 0.999·d* keeps every feature within bounds.
+  la::Vector inflated = orig;
+  for (auto& v : inflated) v += 0.999 * dStar;
+  const la::Vector f = alloc::machineFinishTimesFromExecVector(mu, inflated);
+  for (std::size_t m = 0; m < mu.machineCount(); ++m) {
+    EXPECT_LE(f[m], tau + 1e-9);
+  }
+  // And the uniform-direction tolerance is at least the radius in the
+  // worst direction: d*·sqrt(n_crit) >= rho.
+  const auto nCrit =
+      mu.tasksOn(std::distance(
+                     finish.begin(),
+                     std::max_element(finish.begin(), finish.end())))
+          .size();
+  EXPECT_GE(dStar * std::sqrt(static_cast<double>(nCrit)), report.rho - 1e-9);
+}

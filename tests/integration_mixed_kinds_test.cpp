@@ -1,0 +1,144 @@
+// End-to-end: the paper's Section 3 scenario on the HiPer-D reference
+// system — execution times and message lengths perturbed together,
+// merged into P-space, radii computed, and the operating-point test
+// cross-checked against the raw feature bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hiperd/factory.hpp"
+#include "radius/fepia.hpp"
+#include "rng/distributions.hpp"
+
+namespace hiperd = fepia::hiperd;
+namespace radius = fepia::radius;
+namespace la = fepia::la;
+namespace rng = fepia::rng;
+namespace units = fepia::units;
+
+namespace {
+
+struct Fixture {
+  hiperd::ReferenceSystem ref = hiperd::makeReferenceSystem();
+  radius::FepiaProblem problem = ref.system.executionMessageProblem(ref.qos);
+};
+
+}  // namespace
+
+TEST(IntegrationMixedKinds, RawConcatenationRefused) {
+  Fixture fx;
+  EXPECT_THROW((void)fx.problem.robustnessSameUnits(), units::MismatchError);
+}
+
+TEST(IntegrationMixedKinds, BothSchemesProduceFiniteDimensionlessRho) {
+  Fixture fx;
+  const auto normalized =
+      fx.problem.merged(radius::MergeScheme::NormalizedByOriginal);
+  const auto sensitivity = fx.problem.merged(radius::MergeScheme::Sensitivity);
+  EXPECT_TRUE(normalized.report().finite());
+  EXPECT_TRUE(sensitivity.report().finite());
+  EXPECT_GT(normalized.report().rho, 0.0);
+  // The generalised Section 3.1 degeneracy: a linear feature's
+  // sensitivity radius is 1/sqrt(#kinds it depends on) — machine features
+  // depend only on execution times (radius 1), link features only on
+  // message sizes (radius 1), path features on both (radius 1/sqrt(2)).
+  // The scheme collapses every constraint onto two values.
+  EXPECT_NEAR(sensitivity.report().rho, 1.0 / std::sqrt(2.0), 1e-9);
+  for (const auto& f : sensitivity.report().features) {
+    std::size_t sensitiveKinds = 0;
+    for (double a : f.alphasPerKind) sensitiveKinds += a != 0.0 ? 1 : 0;
+    EXPECT_NEAR(f.radius.radius,
+                1.0 / std::sqrt(static_cast<double>(sensitiveKinds)), 1e-9)
+        << f.featureName;
+  }
+  // Every feature entry carries its map weights and (sensitivity only)
+  // per-kind alphas.
+  for (const auto& f : sensitivity.report().features) {
+    EXPECT_EQ(f.alphasPerKind.size(), 2u);
+    EXPECT_EQ(f.mapWeights.size(), fx.problem.space().totalDimension());
+  }
+  for (const auto& f : normalized.report().features) {
+    EXPECT_TRUE(f.alphasPerKind.empty());
+  }
+}
+
+TEST(IntegrationMixedKinds, ToleranceCheckAgreesWithGroundTruth) {
+  // For many random perturbation directions and magnitudes, whenever the
+  // merged metric says "tolerated", the raw QoS features must indeed all
+  // hold. (The converse need not hold — the radius is conservative in
+  // directions pointing away from the nearest boundary.)
+  Fixture fx;
+  const auto analysis =
+      fx.problem.merged(radius::MergeScheme::NormalizedByOriginal);
+  const la::Vector e0 = fx.ref.system.originalExecutionTimes();
+  const la::Vector m0 = fx.ref.system.originalMessageSizes();
+  const std::size_t nE = e0.size();
+  const std::size_t nM = m0.size();
+
+  rng::Xoshiro256StarStar g(71);
+  int toleratedCount = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto dir = rng::unitSphere(g, nE + nM);
+    const double relMag = rng::uniform(g, 0.0, 3.0 * analysis.report().rho);
+    la::Vector e = e0;
+    la::Vector m = m0;
+    for (std::size_t i = 0; i < nE; ++i) e[i] *= 1.0 + relMag * dir[i];
+    for (std::size_t i = 0; i < nM; ++i) m[i] *= 1.0 + relMag * dir[nE + i];
+
+    const std::vector<la::Vector> perKind = {e, m};
+    const radius::ToleranceCheck check = analysis.check(perKind);
+    if (!check.tolerated) continue;
+    ++toleratedCount;
+    // Ground truth: evaluate the raw feature set at the perturbed point.
+    const la::Vector flat = fx.problem.space().concatenateUnchecked(perKind);
+    EXPECT_TRUE(fx.problem.features().allWithinBounds(flat))
+        << "trial " << trial << ": metric accepted a QoS-violating point";
+  }
+  // The sweep must actually exercise the accepting branch.
+  EXPECT_GT(toleratedCount, 10);
+}
+
+TEST(IntegrationMixedKinds, WorstCaseDirectionIsTight) {
+  // Moving exactly to the critical feature's boundary point must sit on
+  // the boundary of the robust region: a tiny step beyond violates QoS.
+  Fixture fx;
+  const auto analysis =
+      fx.problem.merged(radius::MergeScheme::NormalizedByOriginal);
+  const auto& report = analysis.report();
+  const auto& critical = report.features[report.criticalFeature];
+  ASSERT_TRUE(critical.radius.finite());
+
+  // The boundary point lives in P-space; convert back to pi-space.
+  const radius::DiagonalMap map(critical.mapWeights);
+  const la::Vector piBoundary = map.fromP(critical.radius.boundaryPoint);
+  const la::Vector piOrig = fx.problem.space().concatenatedOriginal();
+
+  const la::Vector justInside = piOrig + 0.999 * (piBoundary - piOrig);
+  const la::Vector justBeyond = piOrig + 1.001 * (piBoundary - piOrig);
+  EXPECT_TRUE(fx.problem.features().allWithinBounds(justInside));
+  EXPECT_FALSE(fx.problem.features().allWithinBounds(justBeyond));
+}
+
+TEST(IntegrationMixedKinds, SchemesDisagreeOnRankingInGeneral) {
+  // Build two variants of the reference system with different QoS slack
+  // and check the schemes do not produce identical rho ratios — i.e. the
+  // choice of merge scheme matters, which is the paper's point.
+  hiperd::ReferenceSystem a = hiperd::makeReferenceSystem();
+  hiperd::ReferenceSystem b = hiperd::makeReferenceSystem();
+  b.qos.maxLatencySeconds *= 2.0;  // relax only the latency constraint
+
+  const auto rhoOf = [](const hiperd::ReferenceSystem& s,
+                        radius::MergeScheme scheme) {
+    return s.system.executionMessageProblem(s.qos).rho(scheme);
+  };
+  const double normA = rhoOf(a, radius::MergeScheme::NormalizedByOriginal);
+  const double normB = rhoOf(b, radius::MergeScheme::NormalizedByOriginal);
+  const double sensA = rhoOf(a, radius::MergeScheme::Sensitivity);
+  const double sensB = rhoOf(b, radius::MergeScheme::Sensitivity);
+  // Relaxing a constraint cannot reduce robustness under either scheme.
+  EXPECT_GE(normB, normA - 1e-12);
+  EXPECT_GE(sensB, sensA - 1e-12);
+  // But the *amount* of change differs between schemes.
+  EXPECT_NE(std::abs(normB / normA - sensB / sensA) < 1e-9, true)
+      << "schemes responded identically — unexpected degeneracy";
+}

@@ -1,0 +1,124 @@
+// Problem-file parser/writer: grammar coverage, error locations, and
+// round-trip fidelity.
+#include "io/problem_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace io = fepia::io;
+namespace radius = fepia::radius;
+namespace units = fepia::units;
+namespace la = fepia::la;
+
+namespace {
+
+constexpr const char* kSample = R"(
+# comment line
+kind execution-times s 2.0 3.0
+kind message-lengths B 1e6
+
+feature "end-to-end delay" upper 9.0 coeff 1.0 1.0 1e-6
+feature tight lower 4.0 coeff 1.0 1.0 0.0
+)";
+
+}  // namespace
+
+TEST(IoProblem, ParsesKindsAndFeatures) {
+  const radius::FepiaProblem p = io::parseProblemString(kSample);
+  ASSERT_EQ(p.space().kindCount(), 2u);
+  EXPECT_EQ(p.space().kind(0).name(), "execution-times");
+  EXPECT_TRUE(p.space().kind(0).unit() == units::Unit::seconds());
+  EXPECT_DOUBLE_EQ(p.space().kind(1).original()[0], 1e6);
+  ASSERT_EQ(p.features().size(), 2u);
+  EXPECT_EQ(p.features()[0].feature->name(), "end-to-end delay");
+  EXPECT_DOUBLE_EQ(p.features()[0].bounds.betaMax(), 9.0);
+  EXPECT_FALSE(p.features()[1].bounds.hasMax());
+  EXPECT_DOUBLE_EQ(p.features()[1].bounds.betaMin(), 4.0);
+}
+
+TEST(IoProblem, ParsedProblemAnalyses) {
+  const radius::FepiaProblem p = io::parseProblemString(kSample);
+  const double rho = p.rho(radius::MergeScheme::NormalizedByOriginal);
+  EXPECT_GT(rho, 0.0);
+  EXPECT_TRUE(std::isfinite(rho));
+}
+
+TEST(IoProblem, BetweenAndOffsetAndRelupper) {
+  const radius::FepiaProblem p = io::parseProblemString(R"(
+kind loads obj/ds 10.0 20.0
+feature f1 between 1.0 40.0 coeff 1.0 1.0 offset 0.5
+feature f2 relupper 1.5 coeff 2.0 1.0
+)");
+  EXPECT_DOUBLE_EQ(p.features()[0].bounds.betaMin(), 1.0);
+  EXPECT_DOUBLE_EQ(p.features()[0].bounds.betaMax(), 40.0);
+  // f2: orig value = 2*10 + 20 = 40; relupper 1.5 → betaMax = 60.
+  EXPECT_DOUBLE_EQ(p.features()[1].bounds.betaMax(), 60.0);
+}
+
+TEST(IoProblem, ErrorsCarryLineNumbers) {
+  const auto expectErrorAt = [](const std::string& text, std::size_t line) {
+    try {
+      (void)io::parseProblemString(text);
+      FAIL() << "expected ParseError";
+    } catch (const io::ParseError& e) {
+      EXPECT_EQ(e.line(), line) << e.what();
+    }
+  };
+  expectErrorAt("bogus directive\n", 1);
+  expectErrorAt("kind x s\n", 1);                       // no originals
+  expectErrorAt("kind x parsecs 1.0\n", 1);             // unknown unit
+  expectErrorAt("kind x s 1.0\nfeature f upper nan-ish coeff 1\n", 2);
+  expectErrorAt("kind x s 1.0\nfeature f sideways 2 coeff 1\n", 2);
+  expectErrorAt("kind x s 1.0\nfeature f upper 2 coeff 1 1\n", 2);  // dim
+  expectErrorAt("kind x s 1.0\nfeature f upper 2 coeff 1\nkind y B 1\n", 3);
+  expectErrorAt("kind x s 1.0\nfeature f relupper 0.5 coeff 1\n", 2);
+  expectErrorAt("kind x s 1.0\n", 1);                   // no features
+  expectErrorAt("kind x s 1.0\nfeature \"unterminated upper 2 coeff 1\n", 2);
+}
+
+TEST(IoProblem, UnitTokensRoundTrip) {
+  for (const char* tok :
+       {"1", "s", "B", "obj", "ds", "obj/ds", "ds/s", "B/s"}) {
+    EXPECT_EQ(io::unitToken(io::parseUnitToken(tok)), tok);
+  }
+  EXPECT_THROW((void)io::parseUnitToken("furlongs"), std::invalid_argument);
+  EXPECT_THROW((void)io::unitToken(units::Unit::seconds().pow(3)),
+               std::invalid_argument);
+}
+
+TEST(IoProblem, WriteParseRoundTrip) {
+  const radius::FepiaProblem original = io::parseProblemString(kSample);
+  std::ostringstream out;
+  io::writeProblem(out, original);
+  const radius::FepiaProblem reparsed = io::parseProblemString(out.str());
+
+  ASSERT_EQ(reparsed.space().kindCount(), original.space().kindCount());
+  EXPECT_TRUE(la::approxEqual(reparsed.space().concatenatedOriginal(),
+                              original.space().concatenatedOriginal(), 0.0));
+  ASSERT_EQ(reparsed.features().size(), original.features().size());
+  // Semantics preserved: identical rho under both schemes.
+  for (const auto scheme : {radius::MergeScheme::NormalizedByOriginal,
+                            radius::MergeScheme::Sensitivity}) {
+    EXPECT_NEAR(reparsed.rho(scheme), original.rho(scheme), 1e-12);
+  }
+}
+
+TEST(IoProblem, LoadProblemMissingFile) {
+  EXPECT_THROW((void)io::loadProblem("/nonexistent/path.fepia"),
+               std::runtime_error);
+}
+
+TEST(IoProblem, QuotedNamesWithSpaces) {
+  const radius::FepiaProblem p = io::parseProblemString(R"(
+kind "sensor loads" obj/ds 5.0
+feature "my feature" upper 10.0 coeff 1.0
+)");
+  EXPECT_EQ(p.space().kind(0).name(), "sensor loads");
+  EXPECT_EQ(p.features()[0].feature->name(), "my feature");
+  // Writer quotes them back.
+  std::ostringstream out;
+  io::writeProblem(out, p);
+  EXPECT_NE(out.str().find("\"sensor loads\""), std::string::npos);
+}

@@ -1,0 +1,115 @@
+// HiPer-D system-file parser/writer.
+#include "io/system_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "hiperd/factory.hpp"
+
+namespace io = fepia::io;
+namespace hiperd = fepia::hiperd;
+namespace radius = fepia::radius;
+namespace la = fepia::la;
+
+namespace {
+
+constexpr const char* kTiny = R"(
+sensor s0 10
+machine m0
+machine m1
+link l0 1e6
+app a0 m0 0.01 coeff 1e-4
+app a1 m1 0.02 coeff 2e-4
+message k0 a0 a1 l0 100 coeff 10
+path p0 apps a0 a1 messages k0
+qos 5 0.5
+)";
+
+}  // namespace
+
+TEST(IoSystem, ParsesTinyPipeline) {
+  const hiperd::ReferenceSystem ref = io::parseSystemString(kTiny);
+  EXPECT_EQ(ref.system.sensorCount(), 1u);
+  EXPECT_EQ(ref.system.machineCount(), 2u);
+  EXPECT_EQ(ref.system.applicationCount(), 2u);
+  EXPECT_EQ(ref.system.messageCount(), 1u);
+  EXPECT_EQ(ref.system.pathCount(), 1u);
+  EXPECT_DOUBLE_EQ(ref.qos.minThroughput, 5.0);
+  EXPECT_DOUBLE_EQ(ref.qos.maxLatencySeconds, 0.5);
+  // Model evaluation: a0 compute = 0.01 + 1e-4*10 = 0.011.
+  EXPECT_NEAR(ref.system.appComputeSeconds(0, ref.system.originalLoads()),
+              0.011, 1e-12);
+  EXPECT_TRUE(ref.system.satisfies(ref.qos, ref.system.originalLoads()));
+}
+
+TEST(IoSystem, ParsedSystemMatchesFactoryReference) {
+  // The shipped sample file reproduces makeReferenceSystem exactly: same
+  // radii from both constructions.
+  const hiperd::ReferenceSystem fromFactory = hiperd::makeReferenceSystem();
+  std::ostringstream out;
+  io::writeSystem(out, fromFactory);
+  const hiperd::ReferenceSystem fromFile = io::parseSystemString(out.str());
+
+  const double rhoFactory =
+      fromFactory.system.loadProblem(fromFactory.qos).robustnessSameUnits().rho;
+  const double rhoFile =
+      fromFile.system.loadProblem(fromFile.qos).robustnessSameUnits().rho;
+  EXPECT_NEAR(rhoFile, rhoFactory, 1e-12);
+
+  const double mixedFactory = fromFactory.system
+                                  .executionMessageProblem(fromFactory.qos)
+                                  .rho(radius::MergeScheme::NormalizedByOriginal);
+  const double mixedFile = fromFile.system
+                               .executionMessageProblem(fromFile.qos)
+                               .rho(radius::MergeScheme::NormalizedByOriginal);
+  EXPECT_NEAR(mixedFile, mixedFactory, 1e-12);
+}
+
+TEST(IoSystem, ErrorsCarryLineNumbers) {
+  const auto expectErrorAt = [](const std::string& text, std::size_t line) {
+    try {
+      (void)io::parseSystemString(text);
+      FAIL() << "expected ParseError for:\n" << text;
+    } catch (const io::ParseError& e) {
+      EXPECT_EQ(e.line(), line) << e.what();
+    }
+  };
+  expectErrorAt("bogus\n", 1);
+  expectErrorAt("sensor s\n", 1);                    // missing load
+  expectErrorAt("sensor s ten\n", 1);                // not a number
+  expectErrorAt("sensor s 1\nmachine m\napp a mX 0.1 coeff 1\n", 3);
+  expectErrorAt("sensor s 1\nmachine m\napp a m 0.1 coeff 1 2\n", 3);
+  // message before its apps exist.
+  expectErrorAt("sensor s 1\nmachine m\nlink l 10\nmessage k a b l 1 coeff 1\n",
+                4);
+  // missing qos.
+  expectErrorAt("sensor s 1\nmachine m\napp a m 0.1 coeff 1\n", 3);
+  // bad qos values.
+  expectErrorAt("sensor s 1\nmachine m\napp a m 0.1 coeff 1\nqos 0 1\n", 4);
+}
+
+TEST(IoSystem, LoadSystemMissingFile) {
+  EXPECT_THROW((void)io::loadSystem("/nonexistent/x.hiperd"),
+               std::runtime_error);
+}
+
+TEST(IoSystem, QuotedNamesRoundTrip) {
+  const hiperd::ReferenceSystem ref = io::parseSystemString(R"(
+sensor "long range radar" 10
+machine "rack 1"
+link l0 1e6
+app a0 "rack 1" 0.01 coeff 1e-4
+app a1 "rack 1" 0.01 coeff 0
+message k0 a0 a1 l0 10 coeff 1
+path p apps a0 a1 messages k0
+qos 2 1
+)");
+  EXPECT_EQ(ref.system.sensor(0).name, "long range radar");
+  std::ostringstream out;
+  io::writeSystem(out, ref);
+  const hiperd::ReferenceSystem again = io::parseSystemString(out.str());
+  EXPECT_EQ(again.system.sensor(0).name, "long range radar");
+  EXPECT_EQ(again.system.machine(0).name, "rack 1");
+}

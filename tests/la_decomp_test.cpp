@@ -1,0 +1,159 @@
+// LU / QR / Cholesky decomposition tests, including randomized
+// reconstruction checks with a fixed seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/cholesky.hpp"
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+#include "la/qr.hpp"
+#include "rng/distributions.hpp"
+
+namespace la = fepia::la;
+namespace rng = fepia::rng;
+
+namespace {
+
+la::Matrix randomMatrix(std::size_t r, std::size_t c,
+                        rng::Xoshiro256StarStar& g) {
+  la::Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng::uniform(g, -2.0, 2.0);
+  }
+  return m;
+}
+
+}  // namespace
+
+TEST(LaLu, SolvesHandPickedSystem) {
+  const la::Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const la::Vector b{5.0, 10.0};
+  const la::Vector x = la::solve(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LaLu, DeterminantAndInverse) {
+  const la::Matrix a{{4.0, 7.0}, {2.0, 6.0}};
+  la::LU lu(a);
+  EXPECT_NEAR(lu.determinant(), 10.0, 1e-12);
+  const la::Matrix inv = lu.inverse();
+  EXPECT_TRUE(la::approxEqual(la::matmul(a, inv), la::identity(2), 1e-12));
+}
+
+TEST(LaLu, DetectsSingularity) {
+  const la::Matrix s{{1.0, 2.0}, {2.0, 4.0}};
+  la::LU lu(s);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_DOUBLE_EQ(lu.determinant(), 0.0);
+  EXPECT_THROW((void)lu.solve(la::Vector{1.0, 1.0}), std::domain_error);
+  EXPECT_THROW((void)lu.inverse(), std::domain_error);
+}
+
+TEST(LaLu, RejectsNonSquare) {
+  EXPECT_THROW(la::LU(la::Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(LaLu, RandomizedResidualsAreTiny) {
+  rng::Xoshiro256StarStar g(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(trial % 7);
+    la::Matrix a = randomMatrix(n, n, g);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 3.0;  // keep well-conditioned
+    la::Vector b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = rng::uniform(g, -1.0, 1.0);
+    const la::Vector x = la::solve(a, b);
+    const la::Vector residual = la::matvec(a, x) - b;
+    EXPECT_LT(la::norm2(residual), 1e-10) << "trial " << trial;
+  }
+}
+
+TEST(LaQr, ReconstructsMatrix) {
+  rng::Xoshiro256StarStar g(7);
+  const la::Matrix a = randomMatrix(5, 3, g);
+  la::QR qr(a);
+  ASSERT_FALSE(qr.rankDeficient());
+  const la::Matrix q = qr.q();
+  const la::Matrix r = qr.r();
+  // Q is orthogonal.
+  EXPECT_TRUE(la::approxEqual(la::matmul(la::transpose(q), q), la::identity(5),
+                              1e-10));
+  // Q (first 3 cols) * R == A.
+  la::Matrix qr3(5, 3);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) acc += q(i, k) * r(k, j);
+      qr3(i, j) = acc;
+    }
+  }
+  EXPECT_TRUE(la::approxEqual(qr3, a, 1e-10));
+}
+
+TEST(LaQr, LeastSquaresMatchesNormalEquations) {
+  // Overdetermined fit y = 2x + 1 with exact data: residual must be 0.
+  la::Matrix a(4, 2);
+  la::Vector b(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double x = static_cast<double>(i);
+    a(i, 0) = x;
+    a(i, 1) = 1.0;
+    b[i] = 2.0 * x + 1.0;
+  }
+  const la::Vector coef = la::leastSquares(a, b);
+  EXPECT_NEAR(coef[0], 2.0, 1e-12);
+  EXPECT_NEAR(coef[1], 1.0, 1e-12);
+}
+
+TEST(LaQr, LeastSquaresMinimizesResidual) {
+  rng::Xoshiro256StarStar g(11);
+  const la::Matrix a = randomMatrix(8, 3, g);
+  la::Vector b(8);
+  for (std::size_t i = 0; i < 8; ++i) b[i] = rng::uniform(g, -1.0, 1.0);
+  const la::Vector x = la::leastSquares(a, b);
+  // Normal equations: A^T (A x − b) == 0 at the minimiser.
+  const la::Vector grad = la::matTvec(a, la::matvec(a, x) - b);
+  EXPECT_LT(la::norm2(grad), 1e-10);
+}
+
+TEST(LaQr, RejectsUnderdetermined) {
+  EXPECT_THROW(la::QR(la::Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(LaQr, FlagsRankDeficiency) {
+  // Second column is a multiple of the first.
+  const la::Matrix a{{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};
+  la::QR qr(a);
+  EXPECT_TRUE(qr.rankDeficient());
+  EXPECT_THROW((void)qr.solveLeastSquares(la::Vector{1.0, 1.0, 1.0}),
+               std::domain_error);
+}
+
+TEST(LaCholesky, FactorsSpdMatrix) {
+  const la::Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  la::Cholesky chol(a);
+  ASSERT_FALSE(chol.failed());
+  const la::Matrix l = chol.l();
+  EXPECT_TRUE(la::approxEqual(la::matmul(l, la::transpose(l)), a, 1e-12));
+  const la::Vector x = chol.solve(la::Vector{8.0, 7.0});
+  const la::Vector residual = la::matvec(a, x) - la::Vector{8.0, 7.0};
+  EXPECT_LT(la::norm2(residual), 1e-12);
+}
+
+TEST(LaCholesky, FailsOnIndefinite) {
+  const la::Matrix notSpd{{1.0, 2.0}, {2.0, 1.0}};
+  la::Cholesky chol(notSpd);
+  EXPECT_TRUE(chol.failed());
+  EXPECT_THROW((void)chol.solve(la::Vector{1.0, 1.0}), std::domain_error);
+}
+
+TEST(LaCholesky, ApplyLMapsUnitNormals) {
+  const la::Matrix a{{4.0, 0.0}, {0.0, 9.0}};
+  la::Cholesky chol(a);
+  ASSERT_FALSE(chol.failed());
+  const la::Vector mapped = chol.applyL(la::Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(mapped[0], 2.0);
+  EXPECT_DOUBLE_EQ(mapped[1], 3.0);
+}

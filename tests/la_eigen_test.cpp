@@ -1,0 +1,89 @@
+#include "la/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+
+namespace la = fepia::la;
+namespace rng = fepia::rng;
+
+TEST(LaEigen, DiagonalMatrixIsItsOwnDecomposition) {
+  const la::Matrix d{{3.0, 0.0}, {0.0, 1.0}};
+  const la::EigenDecomposition e = la::eigenSymmetric(d);
+  ASSERT_TRUE(e.converged);
+  EXPECT_DOUBLE_EQ(e.values[0], 1.0);  // ascending
+  EXPECT_DOUBLE_EQ(e.values[1], 3.0);
+}
+
+TEST(LaEigen, HandComputed2x2) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  const la::Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  const la::EigenDecomposition e = la::eigenSymmetric(a);
+  ASSERT_TRUE(e.converged);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-12);
+}
+
+TEST(LaEigen, ReconstructionAndOrthogonality) {
+  rng::Xoshiro256StarStar g(314);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(trial % 6);
+    la::Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        a(i, j) = a(j, i) = rng::uniform(g, -2.0, 2.0);
+      }
+    }
+    const la::EigenDecomposition e = la::eigenSymmetric(a);
+    ASSERT_TRUE(e.converged) << "trial " << trial;
+    // V^T V = I.
+    EXPECT_TRUE(la::approxEqual(
+        la::matmul(la::transpose(e.vectors), e.vectors), la::identity(n),
+        1e-10));
+    // V diag(d) V^T = A.
+    la::Matrix vd = e.vectors;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) vd(i, k) *= e.values[k];
+    }
+    EXPECT_TRUE(la::approxEqual(la::matmul(vd, la::transpose(e.vectors)), a,
+                                1e-9))
+        << "trial " << trial;
+    // Eigenvalues ascending.
+    for (std::size_t k = 1; k < n; ++k) EXPECT_LE(e.values[k - 1], e.values[k]);
+  }
+}
+
+TEST(LaEigen, TraceAndDeterminantInvariants) {
+  rng::Xoshiro256StarStar g(99);
+  const std::size_t n = 5;
+  la::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = a(j, i) = rng::uniform(g, -1.0, 1.0);
+    }
+  }
+  const la::EigenDecomposition e = la::eigenSymmetric(a);
+  double trace = 0.0, eigSum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace += a(i, i);
+    eigSum += e.values[i];
+  }
+  EXPECT_NEAR(trace, eigSum, 1e-10);
+}
+
+TEST(LaEigen, RejectsNonSymmetricAndNonSquare) {
+  EXPECT_THROW((void)la::eigenSymmetric(la::Matrix(2, 3)),
+               std::invalid_argument);
+  const la::Matrix notSym{{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_THROW((void)la::eigenSymmetric(notSym), std::invalid_argument);
+}
+
+TEST(LaEigen, IndefiniteMatrixNegativeEigenvalue) {
+  const la::Matrix a{{0.0, 1.0}, {1.0, 0.0}};  // eigenvalues ±1
+  const la::EigenDecomposition e = la::eigenSymmetric(a);
+  EXPECT_NEAR(e.values[0], -1.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+}

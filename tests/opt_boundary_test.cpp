@@ -1,0 +1,163 @@
+// Nearest-boundary solver: validated against closed-form distances to
+// hyperplanes and spheres.
+#include "opt/boundary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/geometry.hpp"
+
+namespace opt = fepia::opt;
+namespace la = fepia::la;
+
+namespace {
+
+// Linear field k·x with exact gradient.
+opt::FieldFn linearField(la::Vector k) {
+  return [k = std::move(k)](const la::Vector& x) { return la::dot(k, x); };
+}
+opt::GradFn linearGrad(la::Vector k) {
+  return [k = std::move(k)](const la::Vector&) { return k; };
+}
+
+}  // namespace
+
+TEST(OptRayShoot, HitsHyperplane) {
+  const auto g = linearField(la::Vector{1.0, 1.0});
+  const auto hit = opt::rayShootToLevel(g, la::Vector{0.0, 0.0},
+                                        la::Vector{1.0, 0.0}, 3.0, 100.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->t, 3.0, 1e-9);
+  EXPECT_NEAR(hit->point[0], 3.0, 1e-9);
+}
+
+TEST(OptRayShoot, MissesWhenLevelUnreachable) {
+  const auto g = linearField(la::Vector{1.0, 0.0});
+  // Moving along y never changes x.
+  EXPECT_FALSE(opt::rayShootToLevel(g, la::Vector{0.0, 0.0},
+                                    la::Vector{0.0, 1.0}, 5.0, 100.0)
+                   .has_value());
+}
+
+TEST(OptRayShoot, RejectsBadInputs) {
+  const auto g = linearField(la::Vector{1.0, 1.0});
+  EXPECT_THROW((void)opt::rayShootToLevel(g, la::Vector{0.0, 0.0},
+                                          la::Vector{0.0, 0.0}, 1.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)opt::rayShootToLevel(g, la::Vector{0.0, 0.0},
+                                          la::Vector{1.0}, 1.0, 10.0),
+               std::invalid_argument);
+}
+
+TEST(OptBoundary, MatchesHyperplaneDistance2D) {
+  // g(x) = 2x + y, level 10, from (1, 1): closed form via Eq. (4).
+  const la::Vector k{2.0, 1.0};
+  const la::Vector x0{1.0, 1.0};
+  const la::Hyperplane plane(k, 10.0);
+  const opt::BoundaryResult r = opt::nearestPointOnLevelSet(
+      linearField(k), linearGrad(k), x0, 10.0);
+  ASSERT_TRUE(r.foundBoundary);
+  EXPECT_NEAR(r.distance, plane.distance(x0), 1e-8);
+  EXPECT_NEAR(la::dot(k, r.point), 10.0, 1e-8);
+}
+
+TEST(OptBoundary, MatchesHyperplaneDistanceHighDim) {
+  const std::size_t n = 12;
+  la::Vector k(n);
+  la::Vector x0(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k[i] = 1.0 + static_cast<double>(i % 3);
+    x0[i] = 0.5 * static_cast<double>(i);
+  }
+  const double level = la::dot(k, x0) + 25.0;
+  const la::Hyperplane plane(k, level);
+  const opt::BoundaryResult r = opt::nearestPointOnLevelSet(
+      linearField(k), linearGrad(k), x0, level);
+  ASSERT_TRUE(r.foundBoundary);
+  EXPECT_NEAR(r.distance, plane.distance(x0), 1e-7);
+}
+
+TEST(OptBoundary, SphereLevelSetFromOutsideAndInside) {
+  // g(x) = ‖x‖², level R²: boundary is a sphere, closed form |‖x0‖ − R|.
+  const opt::FieldFn g = [](const la::Vector& x) { return la::normSq(x); };
+  const opt::GradFn grad = [](const la::Vector& x) { return 2.0 * x; };
+  const la::Vector inside{0.5, 0.0, 0.0};
+  const opt::BoundaryResult rIn =
+      opt::nearestPointOnLevelSet(g, grad, inside, 4.0);
+  ASSERT_TRUE(rIn.foundBoundary);
+  EXPECT_NEAR(rIn.distance, 1.5, 1e-7);
+
+  const la::Vector outside{5.0, 0.0, 0.0};
+  const opt::BoundaryResult rOut =
+      opt::nearestPointOnLevelSet(g, grad, outside, 4.0);
+  ASSERT_TRUE(rOut.foundBoundary);
+  EXPECT_NEAR(rOut.distance, 3.0, 1e-7);
+}
+
+TEST(OptBoundary, CurvedNonSymmetricBoundary) {
+  // g(x, y) = x² + 4y², level 4 (ellipse). From the origin the nearest
+  // boundary point is (0, ±1) at distance 1.
+  const opt::FieldFn g = [](const la::Vector& x) {
+    return x[0] * x[0] + 4.0 * x[1] * x[1];
+  };
+  const opt::GradFn grad = [](const la::Vector& x) {
+    return la::Vector{2.0 * x[0], 8.0 * x[1]};
+  };
+  const opt::BoundaryResult r =
+      opt::nearestPointOnLevelSet(g, grad, la::Vector{0.0, 0.0}, 4.0);
+  ASSERT_TRUE(r.foundBoundary);
+  EXPECT_NEAR(r.distance, 1.0, 1e-6);
+  EXPECT_NEAR(std::abs(r.point[1]), 1.0, 1e-5);
+}
+
+TEST(OptBoundary, FiniteDifferenceFallbackWhenNoGradient) {
+  const la::Vector k{1.0, 3.0};
+  const la::Vector x0{0.0, 0.0};
+  const la::Hyperplane plane(k, 6.0);
+  const opt::BoundaryResult r =
+      opt::nearestPointOnLevelSet(linearField(k), opt::GradFn{}, x0, 6.0);
+  ASSERT_TRUE(r.foundBoundary);
+  EXPECT_NEAR(r.distance, plane.distance(x0), 1e-6);
+}
+
+TEST(OptBoundary, ReportsNoBoundaryWhenUnreachable) {
+  // Bounded field sup g = 1 < level 2: no boundary exists.
+  const opt::FieldFn g = [](const la::Vector& x) {
+    return 1.0 / (1.0 + la::normSq(x));
+  };
+  opt::BoundarySolverOptions o;
+  o.tMax = 1e3;
+  o.multistarts = 8;
+  const opt::BoundaryResult r =
+      opt::nearestPointOnLevelSet(g, opt::GradFn{}, la::Vector{0.0, 0.0}, 2.0, o);
+  EXPECT_FALSE(r.foundBoundary);
+  EXPECT_FALSE(std::isfinite(r.distance) && r.distance > 0.0);
+}
+
+TEST(OptBoundary, NonnegativeDirectionsOnlyStillFindsGrowthBoundary) {
+  // Monotone increasing field: boundary reachable by growth directions.
+  const la::Vector k{1.0, 1.0};
+  opt::BoundarySolverOptions o;
+  o.nonnegativeDirectionsOnly = true;
+  const opt::BoundaryResult r = opt::nearestPointOnLevelSet(
+      linearField(k), linearGrad(k), la::Vector{1.0, 1.0}, 6.0, o);
+  ASSERT_TRUE(r.foundBoundary);
+  EXPECT_NEAR(r.distance, la::Hyperplane(k, 6.0).distance(la::Vector{1.0, 1.0}),
+              1e-7);
+}
+
+TEST(OptBoundary, EmptyOriginThrows) {
+  EXPECT_THROW((void)opt::nearestPointOnLevelSet(
+                   [](const la::Vector&) { return 0.0; }, opt::GradFn{},
+                   la::Vector{}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(OptBoundary, CountsEvaluations) {
+  const la::Vector k{1.0, 2.0};
+  const opt::BoundaryResult r = opt::nearestPointOnLevelSet(
+      linearField(k), linearGrad(k), la::Vector{0.0, 0.0}, 5.0);
+  EXPECT_GT(r.fieldEvaluations, 0u);
+}

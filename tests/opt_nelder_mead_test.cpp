@@ -1,0 +1,72 @@
+#include "opt/nelder_mead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace opt = fepia::opt;
+namespace la = fepia::la;
+
+TEST(OptNelderMead, MinimizesQuadraticBowl) {
+  const opt::VectorFn f = [](const la::Vector& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + 2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  const opt::NelderMeadResult r = opt::nelderMead(f, la::Vector{0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-4);
+  EXPECT_NEAR(r.fx, 0.0, 1e-7);
+}
+
+TEST(OptNelderMead, MinimizesRosenbrock2D) {
+  const opt::VectorFn rosen = [](const la::Vector& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  opt::NelderMeadOptions o;
+  o.maxIterations = 5000;
+  const opt::NelderMeadResult r =
+      opt::nelderMead(rosen, la::Vector{-1.2, 1.0}, o);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(OptNelderMead, OneDimensional) {
+  const opt::VectorFn f = [](const la::Vector& x) {
+    return std::cosh(x[0] - 0.7);
+  };
+  const opt::NelderMeadResult r = opt::nelderMead(f, la::Vector{5.0});
+  EXPECT_NEAR(r.x[0], 0.7, 1e-4);
+}
+
+TEST(OptNelderMead, CountsEvaluations) {
+  std::size_t calls = 0;
+  const opt::VectorFn f = [&calls](const la::Vector& x) {
+    ++calls;
+    return la::normSq(x);
+  };
+  const opt::NelderMeadResult r = opt::nelderMead(f, la::Vector{1.0, 1.0});
+  EXPECT_EQ(r.evaluations, calls);
+  EXPECT_GT(r.evaluations, 0u);
+}
+
+TEST(OptNelderMead, EmptyStartThrows) {
+  const opt::VectorFn f = [](const la::Vector&) { return 0.0; };
+  EXPECT_THROW((void)opt::nelderMead(f, la::Vector{}), std::invalid_argument);
+}
+
+TEST(OptNelderMead, RespectsIterationBudget) {
+  const opt::VectorFn rosen = [](const la::Vector& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  opt::NelderMeadOptions o;
+  o.maxIterations = 3;
+  const opt::NelderMeadResult r =
+      opt::nelderMead(rosen, la::Vector{-1.2, 1.0}, o);
+  EXPECT_FALSE(r.converged);
+  EXPECT_LE(r.iterations, 3);
+}

@@ -1,0 +1,70 @@
+// Derivative-free penalty boundary solver: validated against the same
+// closed forms as the gradient engine.
+#include "opt/penalty.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/geometry.hpp"
+
+namespace opt = fepia::opt;
+namespace la = fepia::la;
+
+TEST(OptPenalty, MatchesHyperplaneDistance) {
+  const la::Vector k{2.0, 1.0};
+  const la::Vector x0{1.0, 1.0};
+  const opt::FieldFn g = [k](const la::Vector& x) { return la::dot(k, x); };
+  const opt::BoundaryResult r =
+      opt::nearestPointOnLevelSetPenalty(g, x0, 10.0);
+  ASSERT_TRUE(r.foundBoundary);
+  EXPECT_TRUE(r.converged);
+  const double expected = la::Hyperplane(k, 10.0).distance(x0);
+  EXPECT_NEAR(r.distance, expected, 1e-4 * expected);
+  EXPECT_NEAR(la::dot(k, r.point), 10.0, 1e-5);
+}
+
+TEST(OptPenalty, SphereFromInside) {
+  const opt::FieldFn g = [](const la::Vector& x) { return la::normSq(x); };
+  const opt::BoundaryResult r = opt::nearestPointOnLevelSetPenalty(
+      g, la::Vector{0.5, 0.0, 0.0}, 4.0);
+  ASSERT_TRUE(r.foundBoundary);
+  EXPECT_NEAR(r.distance, 1.5, 1e-3);
+}
+
+TEST(OptPenalty, DecreasingFieldBoundary) {
+  // g decreasing along +1: warm start needs the −1 direction.
+  const opt::FieldFn g = [](const la::Vector& x) {
+    return 10.0 - x[0] - x[1];
+  };
+  const opt::BoundaryResult r = opt::nearestPointOnLevelSetPenalty(
+      g, la::Vector{1.0, 1.0}, 12.0);
+  ASSERT_TRUE(r.foundBoundary);
+  // Boundary x0+x1 = −2; distance from (1,1) is 4/√2.
+  EXPECT_NEAR(r.distance, 4.0 / std::sqrt(2.0), 1e-3);
+}
+
+TEST(OptPenalty, UnreachableLevel) {
+  const opt::FieldFn g = [](const la::Vector& x) {
+    return 1.0 / (1.0 + la::normSq(x));
+  };
+  opt::PenaltyOptions o;
+  o.tMax = 1e3;
+  const opt::BoundaryResult r = opt::nearestPointOnLevelSetPenalty(
+      g, la::Vector{0.0, 0.0}, 5.0, o);
+  EXPECT_FALSE(r.foundBoundary);
+}
+
+TEST(OptPenalty, EmptyOriginThrows) {
+  EXPECT_THROW((void)opt::nearestPointOnLevelSetPenalty(
+                   [](const la::Vector&) { return 0.0; }, la::Vector{}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(OptPenalty, CountsEvaluations) {
+  const opt::FieldFn g = [](const la::Vector& x) { return la::sum(x); };
+  const opt::BoundaryResult r = opt::nearestPointOnLevelSetPenalty(
+      g, la::Vector{0.0, 0.0}, 3.0);
+  EXPECT_GT(r.fieldEvaluations, 0u);
+}

@@ -1,0 +1,104 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "hiperd/factory.hpp"
+#include "radius/parallel_rho.hpp"
+
+namespace parallel = fepia::parallel;
+namespace radius = fepia::radius;
+namespace hiperd = fepia::hiperd;
+namespace la = fepia::la;
+
+TEST(ParallelPool, RunsSubmittedTasksAndReturnsValues) {
+  parallel::ThreadPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4u);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("done"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "done");
+}
+
+TEST(ParallelPool, DefaultsToHardwareConcurrency) {
+  parallel::ThreadPool pool;
+  EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ParallelPool, ExceptionsTravelThroughFutures) {
+  parallel::ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(ParallelPool, ManyTasksAllComplete) {
+  parallel::ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  parallel::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel::parallelFor(pool, hits.size(),
+                        [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  parallel::ThreadPool pool(2);
+  bool touched = false;
+  parallel::parallelFor(pool, 0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+  EXPECT_THROW(parallel::parallelFor(pool, 5, nullptr), std::invalid_argument);
+}
+
+TEST(ParallelFor, FirstExceptionPropagates) {
+  parallel::ThreadPool pool(4);
+  EXPECT_THROW(parallel::parallelFor(pool, 100,
+                                     [](std::size_t i) {
+                                       if (i == 37) {
+                                         throw std::domain_error("bad index");
+                                       }
+                                     }),
+               std::domain_error);
+}
+
+TEST(ParallelRho, MatchesSerialExactly) {
+  const hiperd::ReferenceSystem ref = hiperd::makeReferenceSystem();
+  const auto phi = ref.system.loadFeatureSet(ref.qos);
+  const la::Vector lambda = ref.system.originalLoads();
+
+  const radius::RobustnessReport serial = radius::robustness(phi, lambda);
+  parallel::ThreadPool pool(4);
+  const radius::RobustnessReport par =
+      radius::robustnessParallel(phi, lambda, pool);
+
+  EXPECT_DOUBLE_EQ(par.rho, serial.rho);
+  EXPECT_EQ(par.criticalFeature, serial.criticalFeature);
+  ASSERT_EQ(par.perFeature.size(), serial.perFeature.size());
+  for (std::size_t i = 0; i < par.perFeature.size(); ++i) {
+    EXPECT_DOUBLE_EQ(par.perFeature[i].radius, serial.perFeature[i].radius);
+    EXPECT_EQ(par.featureNames[i], serial.featureNames[i]);
+  }
+}
+
+TEST(ParallelRho, Validation) {
+  parallel::ThreadPool pool(2);
+  fepia::feature::FeatureSet empty;
+  EXPECT_THROW(
+      (void)radius::robustnessParallel(empty, la::Vector{1.0}, pool),
+      std::invalid_argument);
+  const hiperd::ReferenceSystem ref = hiperd::makeReferenceSystem();
+  const auto phi = ref.system.loadFeatureSet(ref.qos);
+  EXPECT_THROW((void)radius::robustnessParallel(phi, la::Vector{1.0}, pool),
+               std::invalid_argument);
+}

@@ -1,0 +1,87 @@
+// The paper's Section 3.1 / 3.2 closed forms.
+#include "radius/closed_forms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace radius = fepia::radius;
+namespace la = fepia::la;
+
+TEST(ClosedForms, PerKindLinearRadiusExample) {
+  // Section 3.1 Step 1: r_mu(phi, pi_1) = (beta−1)/k_1 · Σ k_m pi_m^orig.
+  const la::Vector k{2.0, 3.0};
+  const la::Vector orig{5.0, 4.0};
+  const double beta = 1.5;
+  // Σ k·orig = 22; r_1 = 0.5/2 · 22 = 5.5; r_2 = 0.5/3 · 22 = 11/3.
+  EXPECT_NEAR(radius::perKindLinearRadius(k, orig, beta, 0), 5.5, 1e-12);
+  EXPECT_NEAR(radius::perKindLinearRadius(k, orig, beta, 1), 11.0 / 3.0, 1e-12);
+}
+
+TEST(ClosedForms, PerKindLinearRadiusValidation) {
+  const la::Vector k{1.0, 0.0};
+  const la::Vector orig{1.0, 1.0};
+  EXPECT_THROW((void)radius::perKindLinearRadius(k, orig, 1.5, 1),
+               std::invalid_argument);  // k_j == 0
+  EXPECT_THROW((void)radius::perKindLinearRadius(k, orig, 1.0, 0),
+               std::invalid_argument);  // beta <= 1
+  EXPECT_THROW((void)radius::perKindLinearRadius(k, la::Vector{1.0}, 1.5, 0),
+               std::invalid_argument);  // size mismatch
+  EXPECT_THROW((void)radius::perKindLinearRadius(k, orig, 1.5, 2),
+               std::invalid_argument);  // j out of range
+}
+
+TEST(ClosedForms, SensitivityRadiusIsOneOverSqrtN) {
+  EXPECT_DOUBLE_EQ(radius::sensitivityLinearRadius(1), 1.0);
+  EXPECT_DOUBLE_EQ(radius::sensitivityLinearRadius(4), 0.5);
+  EXPECT_NEAR(radius::sensitivityLinearRadius(2), 1.0 / std::sqrt(2.0), 1e-15);
+  EXPECT_THROW((void)radius::sensitivityLinearRadius(0), std::invalid_argument);
+}
+
+TEST(ClosedForms, NormalizedLinearRadiusExample) {
+  // r = (beta−1)·|Σ k π| / sqrt(Σ (kπ)²).
+  const la::Vector k{2.0, 3.0};
+  const la::Vector orig{5.0, 4.0};  // kπ = (10, 12)
+  const double beta = 1.5;
+  const double expected = 0.5 * 22.0 / std::sqrt(100.0 + 144.0);
+  EXPECT_NEAR(radius::normalizedLinearRadius(k, orig, beta), expected, 1e-12);
+}
+
+TEST(ClosedForms, NormalizedRadiusDependsOnBeta) {
+  // Unlike the sensitivity scheme, increasing the tolerance beta must
+  // increase the normalized radius (the paper's motivating property).
+  const la::Vector k{1.0, 2.0, 3.0};
+  const la::Vector orig{4.0, 5.0, 6.0};
+  const double r12 = radius::normalizedLinearRadius(k, orig, 1.2);
+  const double r15 = radius::normalizedLinearRadius(k, orig, 1.5);
+  const double r30 = radius::normalizedLinearRadius(k, orig, 3.0);
+  EXPECT_LT(r12, r15);
+  EXPECT_LT(r15, r30);
+  // Linearity in (beta − 1).
+  EXPECT_NEAR(r30 / r12, 2.0 / 0.2, 1e-12);
+}
+
+TEST(ClosedForms, NormalizedRadiusDependsOnCoefficients) {
+  const la::Vector orig{1.0, 1.0};
+  const double rEqual =
+      radius::normalizedLinearRadius(la::Vector{1.0, 1.0}, orig, 1.5);
+  const double rSkewed =
+      radius::normalizedLinearRadius(la::Vector{1.0, 9.0}, orig, 1.5);
+  EXPECT_NE(rEqual, rSkewed);
+  // Equal contributions maximise |Σ|/‖·‖: equal case = (β−1)·√n.
+  EXPECT_NEAR(rEqual, 0.5 * std::sqrt(2.0), 1e-12);
+  EXPECT_LT(rSkewed, rEqual);
+}
+
+TEST(ClosedForms, NormalizedRadiusValidation) {
+  EXPECT_THROW((void)radius::normalizedLinearRadius(la::Vector{1.0},
+                                                    la::Vector{1.0}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)radius::normalizedLinearRadius(la::Vector{1.0, 1.0},
+                                                    la::Vector{0.0, 0.0}, 1.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)radius::normalizedLinearRadius(la::Vector{},
+                                                    la::Vector{}, 1.5),
+               std::invalid_argument);
+}

@@ -1,0 +1,127 @@
+// Single-feature robustness radius — Eq. (1) of the paper — for linear
+// (closed-form) and nonlinear (numeric) boundary sets.
+#include "radius/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "feature/generic.hpp"
+#include "feature/linear.hpp"
+#include "feature/quadratic.hpp"
+
+namespace radius = fepia::radius;
+namespace feature = fepia::feature;
+namespace la = fepia::la;
+namespace ad = fepia::ad;
+
+TEST(RadiusEngine, LinearUpperBoundMatchesEq4) {
+  // phi = x + y, beta_max = 10, orig (2, 2): r = |4 − 10|/√2 = 3√2.
+  const feature::LinearFeature phi("phi", la::Vector{1.0, 1.0});
+  const auto r = radius::featureRadius(phi, feature::FeatureBounds::upper(10.0),
+                                       la::Vector{2.0, 2.0});
+  EXPECT_EQ(r.method, radius::Method::ClosedFormLinear);
+  EXPECT_TRUE(r.exact);
+  EXPECT_TRUE(r.originWithinBounds);
+  EXPECT_EQ(r.side, radius::BoundSide::Max);
+  EXPECT_NEAR(r.radius, 6.0 / std::sqrt(2.0), 1e-14);
+  // The boundary point pi* satisfies the boundary equation.
+  EXPECT_NEAR(phi.evaluate(r.boundaryPoint), 10.0, 1e-12);
+}
+
+TEST(RadiusEngine, LinearTwoSidedPicksNearerBound) {
+  // phi = x, bounds <0, 10>, orig 3: min side at distance 3.
+  const feature::LinearFeature phi("phi", la::Vector{1.0});
+  const auto r = radius::featureRadius(phi, feature::FeatureBounds(0.0, 10.0),
+                                       la::Vector{3.0});
+  EXPECT_EQ(r.side, radius::BoundSide::Min);
+  EXPECT_NEAR(r.radius, 3.0, 1e-14);
+
+  const auto r2 = radius::featureRadius(phi, feature::FeatureBounds(0.0, 10.0),
+                                        la::Vector{8.0});
+  EXPECT_EQ(r2.side, radius::BoundSide::Max);
+  EXPECT_NEAR(r2.radius, 2.0, 1e-14);
+}
+
+TEST(RadiusEngine, UnboundedFeatureHasInfiniteRadius) {
+  const feature::LinearFeature phi("phi", la::Vector{1.0, 1.0});
+  const feature::FeatureBounds unbounded(
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::infinity());
+  const auto r = radius::featureRadius(phi, unbounded, la::Vector{0.0, 0.0});
+  EXPECT_FALSE(r.finite());
+  EXPECT_EQ(r.side, radius::BoundSide::None);
+}
+
+TEST(RadiusEngine, OriginOutsideBoundsIsFlagged) {
+  const feature::LinearFeature phi("phi", la::Vector{1.0});
+  const auto r = radius::featureRadius(phi, feature::FeatureBounds::upper(1.0),
+                                       la::Vector{5.0});
+  EXPECT_FALSE(r.originWithinBounds);
+  // The distance to the boundary is still well-defined.
+  EXPECT_NEAR(r.radius, 4.0, 1e-14);
+}
+
+TEST(RadiusEngine, DimensionMismatchThrows) {
+  const feature::LinearFeature phi("phi", la::Vector{1.0, 1.0});
+  EXPECT_THROW((void)radius::featureRadius(
+                   phi, feature::FeatureBounds::upper(1.0), la::Vector{0.0}),
+               std::invalid_argument);
+}
+
+TEST(RadiusEngine, NumericMatchesClosedFormOnLinear) {
+  const la::Vector k{3.0, -1.0, 2.0};
+  const la::Vector orig{1.0, 4.0, 0.5};
+  const feature::LinearFeature phi("phi", k, 0.7);
+  const feature::FeatureBounds b = feature::FeatureBounds::upper(25.0);
+  const auto exact = radius::featureRadius(phi, b, orig);
+  const auto numeric = radius::featureRadiusNumeric(phi, b, orig);
+  EXPECT_EQ(numeric.method, radius::Method::Numeric);
+  EXPECT_NEAR(numeric.radius, exact.radius, 1e-6 * exact.radius);
+  EXPECT_GT(numeric.evaluations, 0u);
+}
+
+TEST(RadiusEngine, QuadraticSphericalHasKnownRadius) {
+  // phi = 0.5‖x‖², beta_max = 8 → boundary sphere of radius 4.
+  // From orig = (1, 0): radius = 3.
+  const feature::QuadraticFeature phi("q", la::identity(2),
+                                      la::Vector{0.0, 0.0});
+  // The linear term must be nonzero per class contract; use tiny k and a
+  // pure quadratic via Q only: instead build with k = (0,0) is rejected,
+  // so use the generic feature for the pure sphere.
+  (void)phi;
+  const feature::GenericFeature sphere(
+      "sphere", 2, [](const std::vector<ad::Dual>& v) {
+        return (v[0] * v[0] + v[1] * v[1]) * 0.5;
+      });
+  const auto r = radius::featureRadius(
+      sphere, feature::FeatureBounds::upper(8.0), la::Vector{1.0, 0.0});
+  ASSERT_TRUE(r.finite());
+  EXPECT_NEAR(r.radius, 3.0, 1e-5);
+  EXPECT_NEAR(la::norm2(r.boundaryPoint), 4.0, 1e-5);
+}
+
+TEST(RadiusEngine, LowerBoundBoundary) {
+  // Throughput-style feature: phi = x, must stay >= 2; orig 5 → radius 3.
+  const feature::LinearFeature phi("throughput", la::Vector{1.0});
+  const auto r = radius::featureRadius(phi, feature::FeatureBounds::lower(2.0),
+                                       la::Vector{5.0});
+  EXPECT_EQ(r.side, radius::BoundSide::Min);
+  EXPECT_NEAR(r.radius, 3.0, 1e-14);
+}
+
+TEST(RadiusEngine, NumericHandlesCurvedBoundaryFigure1Style) {
+  // Figure 1 sketches a curved beta_max boundary: use an ellipse-like
+  // feature phi = x² + 4y² from the origin with beta_max = 4; the
+  // nearest boundary point is (0, ±1).
+  const feature::GenericFeature ellipse(
+      "ellipse", 2, [](const std::vector<ad::Dual>& v) {
+        return v[0] * v[0] + 4.0 * v[1] * v[1];
+      });
+  const auto r = radius::featureRadius(
+      ellipse, feature::FeatureBounds::upper(4.0), la::Vector{0.0, 0.0});
+  ASSERT_TRUE(r.finite());
+  EXPECT_NEAR(r.radius, 1.0, 1e-5);
+}

@@ -1,0 +1,151 @@
+// The FepiaProblem facade: build order, same-unit analysis, merged
+// analysis and the operating-point tolerance test.
+#include "radius/fepia.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "feature/linear.hpp"
+
+namespace radius = fepia::radius;
+namespace feature = fepia::feature;
+namespace perturb = fepia::perturb;
+namespace la = fepia::la;
+namespace units = fepia::units;
+
+namespace {
+
+radius::FepiaProblem mixedProblem() {
+  radius::FepiaProblem problem;
+  problem.addPerturbation(perturb::PerturbationParameter(
+      "execution-times", units::Unit::seconds(), la::Vector{2.0, 3.0}));
+  problem.addPerturbation(perturb::PerturbationParameter(
+      "message-lengths", units::Unit::bytes(), la::Vector{100.0}));
+  // latency-like feature over (e1, e2, m): e1 + e2 + m/100.
+  const auto lat = std::make_shared<feature::LinearFeature>(
+      "latency", la::Vector{1.0, 1.0, 0.01}, 0.0, units::Unit::seconds());
+  problem.addFeature(lat, feature::FeatureBounds::upper(9.0));  // orig 6
+  return problem;
+}
+
+}  // namespace
+
+TEST(FepiaProblem, EnforcesBuildOrder) {
+  radius::FepiaProblem problem;
+  EXPECT_THROW(problem.addFeature(
+                   std::make_shared<feature::LinearFeature>("f", la::Vector{1.0}),
+                   feature::FeatureBounds::upper(1.0)),
+               std::logic_error);
+  problem.addPerturbation(perturb::PerturbationParameter(
+      "e", units::Unit::seconds(), la::Vector{1.0}));
+  problem.addFeature(std::make_shared<feature::LinearFeature>("f", la::Vector{1.0}),
+                     feature::FeatureBounds::upper(2.0));
+  EXPECT_THROW(problem.addPerturbation(perturb::PerturbationParameter(
+                   "late", units::Unit::seconds(), la::Vector{1.0})),
+               std::logic_error);
+}
+
+TEST(FepiaProblem, RejectsDimensionMismatch) {
+  radius::FepiaProblem problem;
+  problem.addPerturbation(perturb::PerturbationParameter(
+      "e", units::Unit::seconds(), la::Vector{1.0, 2.0}));
+  EXPECT_THROW(problem.addFeature(
+                   std::make_shared<feature::LinearFeature>("f", la::Vector{1.0}),
+                   feature::FeatureBounds::upper(1.0)),
+               std::invalid_argument);
+}
+
+TEST(FepiaProblem, SameUnitsAnalysisWorksWhenHomogeneous) {
+  radius::FepiaProblem problem;
+  problem.addPerturbation(perturb::PerturbationParameter(
+      "e", units::Unit::seconds(), la::Vector{1.0, 1.0}));
+  problem.addFeature(
+      std::make_shared<feature::LinearFeature>("sum", la::Vector{1.0, 1.0}),
+      feature::FeatureBounds::upper(4.0));
+  const radius::RobustnessReport report = problem.robustnessSameUnits();
+  EXPECT_NEAR(report.rho, 2.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_EQ(report.featureNames[0], "sum");
+}
+
+TEST(FepiaProblem, SameUnitsAnalysisThrowsOnMixedKinds) {
+  // The paper's objection, enforced by the facade.
+  const radius::FepiaProblem problem = mixedProblem();
+  EXPECT_THROW((void)problem.robustnessSameUnits(), units::MismatchError);
+}
+
+TEST(FepiaProblem, MergedAnalysisWorksOnMixedKinds) {
+  const radius::FepiaProblem problem = mixedProblem();
+  const double rhoNorm = problem.rho(radius::MergeScheme::NormalizedByOriginal);
+  EXPECT_GT(rhoNorm, 0.0);
+  EXPECT_TRUE(std::isfinite(rhoNorm));
+  const double rhoSens = problem.rho(radius::MergeScheme::Sensitivity);
+  // Section 3.1 generalises: for ANY linear feature the sensitivity-
+  // weighted P-space radius equals 1/sqrt(|Pi|) — each kind contributes
+  // exactly one unit to the normal's norm because alpha_j = ‖k_j‖/slack.
+  // Here |Pi| = 2 kinds, so rho = 1/sqrt(2) regardless of coefficients.
+  EXPECT_NEAR(rhoSens, 1.0 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(FepiaProblem, SingleKindRadius) {
+  const radius::FepiaProblem problem = mixedProblem();
+  // Kind 0 (execution times): boundary e1 + e2 = 9 − 1 (m at orig adds 1);
+  // orig (2, 3) → distance |5 − 8|/√2.
+  const radius::RadiusResult r0 = problem.singleKindRadius(0, 0);
+  EXPECT_NEAR(r0.radius, 3.0 / std::sqrt(2.0), 1e-12);
+  // Kind 1 (message lengths): 0.01·m = 9 − 5 → m = 400, orig 100 → 300.
+  const radius::RadiusResult r1 = problem.singleKindRadius(0, 1);
+  EXPECT_NEAR(r1.radius, 300.0, 1e-9);
+  EXPECT_THROW((void)problem.singleKindRadius(5, 0), std::out_of_range);
+}
+
+TEST(FepiaProblem, WouldTolerateMatchesManualDistance) {
+  const radius::FepiaProblem problem = mixedProblem();
+  const auto analysis = problem.merged(radius::MergeScheme::NormalizedByOriginal);
+  const double rho = analysis.report().rho;
+
+  // Nudge only the message size: relative change must stay below rho.
+  const double mRel = 0.5 * rho;
+  const std::vector<la::Vector> inside = {la::Vector{2.0, 3.0},
+                                          la::Vector{100.0 * (1.0 + mRel)}};
+  EXPECT_TRUE(problem
+                  .wouldTolerate(inside,
+                                 radius::MergeScheme::NormalizedByOriginal)
+                  .tolerated);
+
+  const double mRelBig = 2.0 * rho;
+  const std::vector<la::Vector> outside = {la::Vector{2.0, 3.0},
+                                           la::Vector{100.0 * (1.0 + mRelBig)}};
+  EXPECT_FALSE(problem
+                   .wouldTolerate(outside,
+                                  radius::MergeScheme::NormalizedByOriginal)
+                   .tolerated);
+}
+
+TEST(FepiaProblem, ToleranceCheckConsistentWithFeatureBounds) {
+  // Any point declared tolerated must actually satisfy every feature
+  // bound (the metric is conservative: within the radius no violation).
+  const radius::FepiaProblem problem = mixedProblem();
+  const auto analysis = problem.merged(radius::MergeScheme::NormalizedByOriginal);
+  const double rho = analysis.report().rho;
+  // Walk a few directions at 0.9x the radius (in relative terms).
+  for (const double fe : {0.0, 0.5, 1.0}) {
+    for (const double fm : {0.0, 0.5, 1.0}) {
+      const double norm = std::sqrt(2.0 * fe * fe + fm * fm);
+      if (norm == 0.0) continue;
+      const double s = 0.9 * rho / norm;
+      const std::vector<la::Vector> point = {
+          la::Vector{2.0 * (1.0 + s * fe), 3.0 * (1.0 + s * fe)},
+          la::Vector{100.0 * (1.0 + s * fm)}};
+      const auto check =
+          problem.wouldTolerate(point, radius::MergeScheme::NormalizedByOriginal);
+      ASSERT_TRUE(check.tolerated);
+      // Verify with the raw feature: latency <= 9.
+      const double latency = 2.0 * (1.0 + s * fe) + 3.0 * (1.0 + s * fe) +
+                             0.01 * 100.0 * (1.0 + s * fm);
+      EXPECT_LE(latency, 9.0 + 1e-9);
+    }
+  }
+}

@@ -1,0 +1,149 @@
+// Mahalanobis (correlated-perturbation) robustness radius.
+#include "radius/mahalanobis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "feature/generic.hpp"
+#include "feature/quadratic.hpp"
+#include "feature/linear.hpp"
+#include "feature/transform.hpp"
+
+namespace radius = fepia::radius;
+namespace feature = fepia::feature;
+namespace la = fepia::la;
+namespace ad = fepia::ad;
+
+TEST(RadiusMahalanobis, IdentityCovarianceEqualsEuclidean) {
+  const feature::LinearFeature phi("phi", la::Vector{1.0, 2.0}, 0.5);
+  const feature::FeatureBounds b = feature::FeatureBounds::upper(10.0);
+  const la::Vector orig{1.0, 1.0};
+  const auto euclid = radius::featureRadius(phi, b, orig);
+  const auto mahal =
+      radius::mahalanobisRadius(phi, b, orig, la::identity(2));
+  EXPECT_NEAR(mahal.radius, euclid.radius, 1e-12);
+}
+
+TEST(RadiusMahalanobis, LinearClosedFormWithCorrelation) {
+  // k = (1, 1), Sigma with strong positive correlation: variability
+  // aligned WITH k shortens the radius relative to independence.
+  const la::Vector k{1.0, 1.0};
+  const la::Matrix corr{{1.0, 0.8}, {0.8, 1.0}};
+  const la::Matrix indep = la::identity(2);
+  const la::Vector orig{2.0, 3.0};
+  const feature::FeatureBounds b = feature::FeatureBounds::upper(9.0);
+  const feature::LinearFeature phi("phi", k);
+
+  const auto rCorr = radius::mahalanobisRadius(phi, b, orig, corr);
+  const auto rIndep = radius::mahalanobisRadius(phi, b, orig, indep);
+  EXPECT_LT(rCorr.radius, rIndep.radius);
+
+  // Closed forms: |value − beta| / sqrt(k' Sigma k).
+  EXPECT_NEAR(rCorr.radius,
+              radius::mahalanobisLinearRadius(k, 0.0, b, orig, corr), 1e-12);
+  EXPECT_NEAR(rIndep.radius, 4.0 / std::sqrt(2.0), 1e-12);
+  // k' Sigma k = 2 + 2·0.8 = 3.6.
+  EXPECT_NEAR(rCorr.radius, 4.0 / std::sqrt(3.6), 1e-12);
+}
+
+TEST(RadiusMahalanobis, AntiCorrelationLengthensRadius) {
+  // Negative correlation moves variability ACROSS the constraint normal:
+  // the system becomes more robust than under independence.
+  const la::Vector k{1.0, 1.0};
+  const la::Matrix anti{{1.0, -0.8}, {-0.8, 1.0}};
+  const la::Vector orig{2.0, 3.0};
+  const feature::FeatureBounds b = feature::FeatureBounds::upper(9.0);
+  const feature::LinearFeature phi("phi", k);
+  const auto r = radius::mahalanobisRadius(phi, b, orig, anti);
+  EXPECT_GT(r.radius, 4.0 / std::sqrt(2.0));
+  EXPECT_NEAR(r.radius, 4.0 / std::sqrt(0.4), 1e-12);
+}
+
+TEST(RadiusMahalanobis, ScalingCovarianceScalesRadiusInversely) {
+  const feature::LinearFeature phi("phi", la::Vector{2.0, -1.0});
+  const feature::FeatureBounds b = feature::FeatureBounds::upper(5.0);
+  const la::Vector orig{1.0, 0.0};
+  const la::Matrix sigma{{1.5, 0.3}, {0.3, 0.9}};
+  const auto r1 = radius::mahalanobisRadius(phi, b, orig, sigma);
+  const auto r4 = radius::mahalanobisRadius(phi, b, orig, 4.0 * sigma);
+  // Quadrupling variances halves the radius (distances in std-devs).
+  EXPECT_NEAR(r4.radius, 0.5 * r1.radius, 1e-10);
+}
+
+TEST(RadiusMahalanobis, BoundaryPointLiesOnBoundaryInPiSpace) {
+  const feature::LinearFeature phi("phi", la::Vector{1.0, 2.0}, -1.0);
+  const feature::FeatureBounds b = feature::FeatureBounds::upper(8.0);
+  const la::Vector orig{1.0, 1.0};
+  const la::Matrix sigma{{2.0, 0.5}, {0.5, 1.0}};
+  const auto r = radius::mahalanobisRadius(phi, b, orig, sigma);
+  ASSERT_TRUE(r.finite());
+  EXPECT_NEAR(phi.evaluate(r.boundaryPoint), 8.0, 1e-9);
+}
+
+TEST(RadiusMahalanobis, NonlinearFeatureThroughWhitening) {
+  // Sphere ‖x‖² with anisotropic covariance diag(4, 1): whitened feature
+  // boundary nearest point is along the high-variance axis.
+  const feature::GenericFeature phi(
+      "sphere", 2, [](const std::vector<ad::Dual>& v) {
+        return v[0] * v[0] + v[1] * v[1];
+      });
+  const la::Matrix sigma{{4.0, 0.0}, {0.0, 1.0}};
+  const auto r = radius::mahalanobisRadius(
+      phi, feature::FeatureBounds::upper(9.0), la::Vector{0.0, 0.0}, sigma);
+  ASSERT_TRUE(r.finite());
+  // Boundary ‖x‖ = 3: along x (std 2) costs 1.5 sigmas; along y, 3.
+  EXPECT_NEAR(r.radius, 1.5, 1e-4);
+  EXPECT_NEAR(std::abs(r.boundaryPoint[0]), 3.0, 1e-3);
+}
+
+TEST(RadiusMahalanobis, Validation) {
+  const feature::LinearFeature phi("phi", la::Vector{1.0, 1.0});
+  const feature::FeatureBounds b = feature::FeatureBounds::upper(5.0);
+  EXPECT_THROW((void)radius::mahalanobisRadius(phi, b, la::Vector{0.0},
+                                               la::identity(2)),
+               std::invalid_argument);
+  const la::Matrix notSpd{{1.0, 2.0}, {2.0, 1.0}};
+  EXPECT_THROW((void)radius::mahalanobisRadius(phi, b,
+                                               la::Vector{0.0, 0.0}, notSpd),
+               std::domain_error);
+  EXPECT_THROW((void)radius::mahalanobisLinearRadius(
+                   la::Vector{0.0, 0.0}, 0.0, b, la::Vector{0.0, 0.0},
+                   la::identity(2)),
+               std::domain_error);
+}
+
+TEST(FeatureTransform, PrecomposeAffineGeneralMatrix) {
+  // Generic feature through a rotation: values must match composition.
+  const auto phi = std::make_shared<feature::GenericFeature>(
+      "g", 2, [](const std::vector<ad::Dual>& v) {
+        return v[0] * v[0] + 2.0 * v[1];
+      });
+  const double c = std::cos(0.3), s = std::sin(0.3);
+  const la::Matrix rot{{c, -s}, {s, c}};
+  const la::Vector shift{0.5, -1.0};
+  const auto composed = feature::precomposeAffine(
+      std::static_pointer_cast<const feature::PerformanceFeature>(phi), rot,
+      shift);
+  const la::Vector y{1.0, 2.0};
+  const la::Vector x = la::matvec(rot, y) + shift;
+  EXPECT_NEAR(composed->evaluate(y), phi->evaluate(x), 1e-14);
+  // Chain rule: grad = rot^T grad_phi(x).
+  EXPECT_TRUE(la::approxEqual(composed->gradient(y),
+                              la::matTvec(rot, phi->gradient(x)), 1e-12));
+}
+
+TEST(FeatureTransform, PrecomposeAffineQuadraticExact) {
+  const auto quad = std::make_shared<feature::QuadraticFeature>(
+      "q", la::Matrix{{2.0, 0.5}, {0.5, 1.0}}, la::Vector{1.0, -1.0}, 0.3);
+  const la::Matrix a{{1.0, 2.0}, {0.0, 1.0}};
+  const la::Vector b{0.2, -0.4};
+  const auto composed = feature::precomposeAffine(quad, a, b);
+  ASSERT_NE(dynamic_cast<const feature::QuadraticFeature*>(composed.get()),
+            nullptr);
+  const la::Vector y{0.7, -1.3};
+  EXPECT_NEAR(composed->evaluate(y),
+              quad->evaluate(la::matvec(a, y) + b), 1e-12);
+}

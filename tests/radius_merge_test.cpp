@@ -1,0 +1,273 @@
+// The paper's core claims, executed through the engine:
+//  Section 3.1 — sensitivity weighting degenerates to 1/sqrt(n);
+//  Section 3.2 — normalization by originals restores dependence on k,
+//  beta and pi^orig.
+#include "radius/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "feature/linear.hpp"
+#include "radius/closed_forms.hpp"
+
+namespace radius = fepia::radius;
+namespace feature = fepia::feature;
+namespace perturb = fepia::perturb;
+namespace la = fepia::la;
+namespace units = fepia::units;
+
+namespace {
+
+/// Builds the Section 3 setting: n one-element perturbation kinds of
+/// different units and the linear feature phi = k · pi with
+/// beta^max = beta · phi(pi^orig).
+struct LinearCase {
+  perturb::PerturbationSpace space;
+  feature::FeatureSet phi;
+};
+
+LinearCase makeLinearCase(const la::Vector& k, const la::Vector& orig,
+                          double beta) {
+  LinearCase c;
+  for (std::size_t j = 0; j < k.size(); ++j) {
+    // Alternate units to exercise genuinely mixed kinds.
+    const units::Unit u = (j % 2 == 0) ? units::Unit::seconds()
+                                       : units::Unit::bytes();
+    c.space.add(perturb::PerturbationParameter(
+        "pi" + std::to_string(j), u, la::Vector{orig[j]}));
+  }
+  const auto lin = std::make_shared<feature::LinearFeature>("phi", k);
+  const double boundValue = beta * lin->evaluate(orig);
+  c.phi.add(lin, feature::FeatureBounds::upper(boundValue));
+  return c;
+}
+
+}  // namespace
+
+TEST(RadiusMerge, DiagonalMapRoundTrip) {
+  const radius::DiagonalMap map(la::Vector{2.0, 0.5, -4.0});
+  const la::Vector pi{1.0, 8.0, 0.25};
+  const la::Vector p = map.toP(pi);
+  EXPECT_DOUBLE_EQ(p[0], 2.0);
+  EXPECT_DOUBLE_EQ(p[1], 4.0);
+  EXPECT_DOUBLE_EQ(p[2], -1.0);
+  EXPECT_TRUE(la::approxEqual(map.fromP(p), pi, 1e-14));
+  EXPECT_THROW(radius::DiagonalMap(la::Vector{}), std::invalid_argument);
+  EXPECT_THROW(radius::DiagonalMap(la::Vector{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(RadiusMerge, DiagonalMapZeroWeightSemantics) {
+  // Zero weights model alpha_j = 0 (insensitive kind): the coordinate is
+  // dropped by toP, cannot be inverted by fromP, and is restored from the
+  // base point by fromPOnto.
+  const radius::DiagonalMap map(la::Vector{2.0, 0.0});
+  EXPECT_FALSE(map.invertible());
+  const la::Vector p = map.toP(la::Vector{3.0, 7.0});
+  EXPECT_DOUBLE_EQ(p[0], 6.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+  EXPECT_THROW((void)map.fromP(p), std::domain_error);
+  EXPECT_THROW((void)map.inverseWeights(), std::domain_error);
+  const la::Vector back = map.fromPOnto(p, la::Vector{9.0, 11.0});
+  EXPECT_DOUBLE_EQ(back[0], 3.0);
+  EXPECT_DOUBLE_EQ(back[1], 11.0);  // restored from base
+}
+
+TEST(RadiusMerge, NormalizedMapIsOneOverOriginal) {
+  perturb::PerturbationSpace space;
+  space.add(perturb::PerturbationParameter("e", units::Unit::seconds(),
+                                           la::Vector{2.0, 4.0}));
+  const radius::DiagonalMap map = radius::normalizedMap(space);
+  // P^orig must be [1, 1].
+  EXPECT_TRUE(la::approxEqual(map.toP(space.concatenatedOriginal()),
+                              la::ones(2), 1e-14));
+}
+
+TEST(RadiusMerge, NormalizedMapRejectsZeroOriginal) {
+  perturb::PerturbationSpace space;
+  space.add(perturb::PerturbationParameter("e", units::Unit::seconds(),
+                                           la::Vector{2.0, 0.0}));
+  EXPECT_THROW((void)radius::normalizedMap(space), std::domain_error);
+}
+
+TEST(RadiusMerge, SensitivityWeightsMatchClosedForm) {
+  const la::Vector k{2.0, 3.0};
+  const la::Vector orig{5.0, 4.0};
+  const double beta = 1.5;
+  const LinearCase c = makeLinearCase(k, orig, beta);
+  const radius::SensitivityWeights w = radius::sensitivityWeights(
+      *c.phi[0].feature, c.phi[0].bounds, c.space);
+  ASSERT_EQ(w.alphas.size(), 2u);
+  for (std::size_t j = 0; j < 2; ++j) {
+    const double expectedRadius = radius::perKindLinearRadius(k, orig, beta, j);
+    EXPECT_NEAR(w.perKindRadius[j].radius, expectedRadius,
+                1e-10 * expectedRadius)
+        << "kind " << j;
+    EXPECT_NEAR(w.alphas[j], 1.0 / expectedRadius, 1e-10 / expectedRadius);
+  }
+}
+
+TEST(RadiusMerge, SensitivitySchemeDegeneratesToOneOverSqrtN) {
+  // The Section 3.1 negative result, via the actual engine: the merged
+  // radius is 1/sqrt(n) REGARDLESS of k, beta, pi^orig.
+  struct Config {
+    la::Vector k;
+    la::Vector orig;
+    double beta;
+  };
+  const std::vector<Config> configs = {
+      {{1.0, 1.0}, {1.0, 1.0}, 1.2},
+      {{5.0, 0.3}, {2.0, 40.0}, 1.2},
+      {{5.0, 0.3}, {2.0, 40.0}, 2.5},       // beta changes: radius must not
+      {{0.01, 100.0}, {7.0, 0.02}, 1.05},
+      {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, 1.7},
+      {{9.0, 0.1, 3.0, 2.0}, {1.0, 8.0, 2.0, 5.0}, 1.3},
+  };
+  for (const Config& cfg : configs) {
+    const LinearCase c = makeLinearCase(cfg.k, cfg.orig, cfg.beta);
+    const radius::MergedAnalysis analysis(c.phi, c.space,
+                                          radius::MergeScheme::Sensitivity);
+    const double expected = radius::sensitivityLinearRadius(cfg.k.size());
+    EXPECT_NEAR(analysis.report().rho, expected, 1e-9)
+        << "n=" << cfg.k.size() << " beta=" << cfg.beta;
+  }
+}
+
+TEST(RadiusMerge, NormalizedSchemeMatchesClosedForm) {
+  const la::Vector k{2.0, 3.0, 0.5};
+  const la::Vector orig{5.0, 4.0, 10.0};
+  const double beta = 1.4;
+  const LinearCase c = makeLinearCase(k, orig, beta);
+  const radius::MergedAnalysis analysis(
+      c.phi, c.space, radius::MergeScheme::NormalizedByOriginal);
+  const double expected = radius::normalizedLinearRadius(k, orig, beta);
+  EXPECT_NEAR(analysis.report().rho, expected, 1e-10 * expected);
+  EXPECT_EQ(analysis.report().scheme,
+            radius::MergeScheme::NormalizedByOriginal);
+}
+
+TEST(RadiusMerge, NormalizedSchemeRespondsToBeta) {
+  // The property the sensitivity scheme lacks.
+  const la::Vector k{2.0, 3.0};
+  const la::Vector orig{5.0, 4.0};
+  const LinearCase low = makeLinearCase(k, orig, 1.2);
+  const LinearCase high = makeLinearCase(k, orig, 1.8);
+  const double rhoLow =
+      radius::MergedAnalysis(low.phi, low.space,
+                             radius::MergeScheme::NormalizedByOriginal)
+          .report()
+          .rho;
+  const double rhoHigh =
+      radius::MergedAnalysis(high.phi, high.space,
+                             radius::MergeScheme::NormalizedByOriginal)
+          .report()
+          .rho;
+  EXPECT_GT(rhoHigh, rhoLow);
+}
+
+TEST(RadiusMerge, MultiElementKindsNormalized) {
+  // Two kinds with 2 elements each; the normalized radius must match the
+  // generic hyperplane computation in P-space done by hand.
+  perturb::PerturbationSpace space;
+  space.add(perturb::PerturbationParameter("e", units::Unit::seconds(),
+                                           la::Vector{2.0, 3.0}));
+  space.add(perturb::PerturbationParameter("m", units::Unit::bytes(),
+                                           la::Vector{10.0, 20.0}));
+  const la::Vector k{1.0, 2.0, 0.1, 0.05};
+  feature::FeatureSet phi;
+  const auto lin = std::make_shared<feature::LinearFeature>("phi", k);
+  const double orig = lin->evaluate(space.concatenatedOriginal());
+  phi.add(lin, feature::FeatureBounds::upper(1.5 * orig));
+
+  const radius::MergedAnalysis analysis(
+      phi, space, radius::MergeScheme::NormalizedByOriginal);
+  // P-space feature: Σ k_i π_i^orig P_i = 1.5 Σ k π^orig; distance from
+  // P^orig = 1 (all ones): 0.5·Σkπ / ‖kπ‖.
+  const la::Vector kp = la::cwiseMul(k, space.concatenatedOriginal());
+  const double expected = 0.5 * la::sum(kp) / la::norm2(kp);
+  EXPECT_NEAR(analysis.report().rho, expected, 1e-12);
+}
+
+TEST(RadiusMerge, CheckAcceptsInsideRejectsOutside) {
+  // Normalized scheme on a simple case; probe the paper's (a)-(c)
+  // operating-point procedure at points inside and outside the radius.
+  const la::Vector k{1.0, 1.0};
+  const la::Vector orig{10.0, 10.0};
+  const LinearCase c = makeLinearCase(k, orig, 1.5);
+  const radius::MergedAnalysis analysis(
+      c.phi, c.space, radius::MergeScheme::NormalizedByOriginal);
+  const double rho = analysis.report().rho;
+  ASSERT_GT(rho, 0.0);
+
+  // Inside: scale both parameters by a relative step well below rho/√2.
+  const double small = 0.4 * rho / std::sqrt(2.0);
+  const std::vector<la::Vector> inside = {la::Vector{10.0 * (1.0 + small)},
+                                          la::Vector{10.0 * (1.0 + small)}};
+  const radius::ToleranceCheck okCheck = analysis.check(inside);
+  EXPECT_TRUE(okCheck.tolerated);
+  EXPECT_GT(okCheck.worstMargin, 0.0);
+
+  // Outside: overshoot the radius.
+  const double big = 2.0 * rho;
+  const std::vector<la::Vector> outside = {la::Vector{10.0 * (1.0 + big)},
+                                           la::Vector{10.0 * (1.0 + big)}};
+  const radius::ToleranceCheck badCheck = analysis.check(outside);
+  EXPECT_FALSE(badCheck.tolerated);
+  EXPECT_LT(badCheck.worstMargin, 0.0);
+}
+
+TEST(RadiusMerge, SensitivityInsensitiveKindGetsZeroAlpha) {
+  // A kind the feature ignores has infinite per-kind radius: alpha takes
+  // its limit value 0, the kind drops out of this feature's P-space, and
+  // the merged radius is 1/sqrt(#sensitive kinds) = 1 here.
+  perturb::PerturbationSpace space;
+  space.add(perturb::PerturbationParameter("used", units::Unit::seconds(),
+                                           la::Vector{1.0}));
+  space.add(perturb::PerturbationParameter("ignored", units::Unit::bytes(),
+                                           la::Vector{1.0}));
+  feature::FeatureSet phi;
+  const auto lin = std::make_shared<feature::LinearFeature>(
+      "phi", la::Vector{1.0, 0.0});
+  phi.add(lin, feature::FeatureBounds::upper(2.0));
+  const radius::MergedAnalysis analysis(phi, space,
+                                        radius::MergeScheme::Sensitivity);
+  EXPECT_NEAR(analysis.report().rho, 1.0, 1e-10);
+  EXPECT_DOUBLE_EQ(analysis.report().features[0].alphasPerKind[1], 0.0);
+
+  // Perturbing only the ignored kind never breaches this feature.
+  const std::vector<la::Vector> farOnIgnored = {la::Vector{1.0},
+                                                la::Vector{100.0}};
+  EXPECT_TRUE(analysis.check(farOnIgnored).tolerated);
+  // Perturbing the sensitive kind past its boundary does.
+  const std::vector<la::Vector> farOnUsed = {la::Vector{5.0}, la::Vector{1.0}};
+  EXPECT_FALSE(analysis.check(farOnUsed).tolerated);
+}
+
+TEST(RadiusMerge, MinAggregationAcrossFeatures) {
+  // Two features; rho must be the smaller per-feature radius and the
+  // critical index must point at it.
+  perturb::PerturbationSpace space;
+  space.add(perturb::PerturbationParameter("e", units::Unit::seconds(),
+                                           la::Vector{1.0, 1.0}));
+  feature::FeatureSet phi;
+  phi.add(std::make_shared<feature::LinearFeature>("tight", la::Vector{1.0, 1.0}),
+          feature::FeatureBounds::upper(2.2));  // close bound
+  phi.add(std::make_shared<feature::LinearFeature>("loose", la::Vector{1.0, 1.0}),
+          feature::FeatureBounds::upper(10.0));  // far bound
+  const radius::MergedAnalysis analysis(
+      phi, space, radius::MergeScheme::NormalizedByOriginal);
+  EXPECT_EQ(analysis.report().criticalFeature, 0u);
+  EXPECT_LT(analysis.report().rho,
+            analysis.report().features[1].radius.radius);
+}
+
+TEST(RadiusMerge, SchemeNames) {
+  EXPECT_STREQ(radius::mergeSchemeName(radius::MergeScheme::Sensitivity),
+               "sensitivity");
+  EXPECT_STREQ(
+      radius::mergeSchemeName(radius::MergeScheme::NormalizedByOriginal),
+      "normalized");
+}

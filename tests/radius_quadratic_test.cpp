@@ -1,0 +1,142 @@
+// Closed-form quadric radius engine: validated against geometric closed
+// forms (spheres, ellipses) and against the generic numeric solver on
+// random quadrics, including indefinite (saddle) boundaries.
+#include "radius/quadratic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "radius/engine.hpp"
+#include "rng/distributions.hpp"
+
+namespace radius = fepia::radius;
+namespace feature = fepia::feature;
+namespace la = fepia::la;
+namespace rng = fepia::rng;
+
+namespace {
+
+/// 0.5 x^T (2I) x = ‖x‖²: sphere of radius sqrt(level).
+feature::QuadraticFeature sphereFeature(std::size_t n) {
+  return feature::QuadraticFeature("sphere", 2.0 * la::identity(n),
+                                   la::Vector(n, 0.0));
+}
+
+}  // namespace
+
+TEST(RadiusQuadratic, SphereFromInsideAndOutside) {
+  const feature::QuadraticFeature phi = sphereFeature(3);
+  // Level 16 → sphere radius 4.
+  const auto inside =
+      radius::nearestPointOnQuadric(phi, la::Vector{1.0, 0.0, 0.0}, 16.0);
+  ASSERT_TRUE(inside.found);
+  EXPECT_NEAR(inside.distance, 3.0, 1e-10);
+  EXPECT_NEAR(la::norm2(inside.point), 4.0, 1e-10);
+
+  const auto outside =
+      radius::nearestPointOnQuadric(phi, la::Vector{0.0, 10.0, 0.0}, 16.0);
+  ASSERT_TRUE(outside.found);
+  EXPECT_NEAR(outside.distance, 6.0, 1e-10);
+}
+
+TEST(RadiusQuadratic, EllipseNearestAxis) {
+  // x² + 4y² = 4: from the origin the nearest points are (0, ±1).
+  const feature::QuadraticFeature phi(
+      "ellipse", la::Matrix{{2.0, 0.0}, {0.0, 8.0}}, la::Vector{0.0, 0.0});
+  const auto r = radius::nearestPointOnQuadric(phi, la::Vector{0.0, 0.0}, 4.0);
+  ASSERT_TRUE(r.found);
+  EXPECT_NEAR(r.distance, 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(r.point[1]), 1.0, 1e-8);
+  EXPECT_NEAR(r.point[0], 0.0, 1e-8);
+}
+
+TEST(RadiusQuadratic, UnreachableLevelReportsNotFound) {
+  // ‖x‖² = −1 has no solutions.
+  const feature::QuadraticFeature phi = sphereFeature(2);
+  const auto r = radius::nearestPointOnQuadric(phi, la::Vector{1.0, 1.0}, -1.0);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(RadiusQuadratic, PointAlreadyOnBoundary) {
+  const feature::QuadraticFeature phi = sphereFeature(2);
+  const auto r = radius::nearestPointOnQuadric(phi, la::Vector{2.0, 0.0}, 4.0);
+  ASSERT_TRUE(r.found);
+  EXPECT_NEAR(r.distance, 0.0, 1e-7);
+}
+
+TEST(RadiusQuadratic, IndefiniteSaddleBoundary) {
+  // 0.5(x² − y²)·2 = x² − y² = 1 (hyperbola). From the origin the nearest
+  // points are (±1, 0) at distance 1.
+  const feature::QuadraticFeature phi(
+      "saddle", la::Matrix{{2.0, 0.0}, {0.0, -2.0}}, la::Vector{0.0, 0.0});
+  const auto r = radius::nearestPointOnQuadric(phi, la::Vector{0.0, 0.0}, 1.0);
+  ASSERT_TRUE(r.found);
+  EXPECT_NEAR(r.distance, 1.0, 1e-8);
+}
+
+TEST(RadiusQuadratic, WithLinearTermMatchesNumeric) {
+  rng::Xoshiro256StarStar g(555);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(trial % 3);
+    la::Matrix q(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        q(i, j) = q(j, i) = rng::uniform(g, -1.0, 1.0);
+      }
+      q(i, i) += 2.0;  // keep mostly positive curvature
+    }
+    la::Vector k(n), x0(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      k[i] = rng::uniform(g, -1.0, 1.0);
+      x0[i] = rng::uniform(g, -1.0, 1.0);
+    }
+    const feature::QuadraticFeature phi("q", q, k, 0.3);
+    const double level = phi.evaluate(x0) + rng::uniform(g, 0.5, 3.0);
+
+    const auto closed = radius::nearestPointOnQuadric(phi, x0, level);
+    ASSERT_TRUE(closed.found) << "trial " << trial;
+    // Boundary membership.
+    EXPECT_NEAR(phi.evaluate(closed.point), level, 1e-8) << "trial " << trial;
+
+    const auto numeric = radius::featureRadiusNumeric(
+        phi, feature::FeatureBounds::upper(level), x0);
+    ASSERT_TRUE(numeric.finite()) << "trial " << trial;
+    // Closed form can never be worse than numeric, and they should agree.
+    EXPECT_LE(closed.distance, numeric.radius + 1e-6) << "trial " << trial;
+    EXPECT_NEAR(closed.distance, numeric.radius,
+                1e-4 * (1.0 + numeric.radius))
+        << "trial " << trial;
+  }
+}
+
+TEST(RadiusQuadratic, EngineDispatchesToClosedForm) {
+  const feature::QuadraticFeature phi = sphereFeature(2);
+  const auto r = radius::featureRadius(
+      phi, feature::FeatureBounds::upper(16.0), la::Vector{1.0, 0.0});
+  EXPECT_EQ(r.method, radius::Method::ClosedFormQuadratic);
+  EXPECT_TRUE(r.exact);
+  EXPECT_NEAR(r.radius, 3.0, 1e-10);
+}
+
+TEST(RadiusQuadratic, EngineTwoSidedQuadraticBounds) {
+  // 1 <= ‖x‖² <= 16 from (2.5, 0): inner boundary at 1.5, outer at 1.5 —
+  // shift origin to (3, 0): inner 2.0, outer 1.0 → outer side wins.
+  const feature::QuadraticFeature phi = sphereFeature(2);
+  const auto r = radius::featureRadius(phi, feature::FeatureBounds(1.0, 16.0),
+                                       la::Vector{3.0, 0.0});
+  EXPECT_EQ(r.side, radius::BoundSide::Max);
+  EXPECT_NEAR(r.radius, 1.0, 1e-10);
+
+  const auto r2 = radius::featureRadius(phi, feature::FeatureBounds(1.0, 16.0),
+                                        la::Vector{1.5, 0.0});
+  EXPECT_EQ(r2.side, radius::BoundSide::Min);
+  EXPECT_NEAR(r2.radius, 0.5, 1e-10);
+}
+
+TEST(RadiusQuadratic, DimensionMismatchThrows) {
+  const feature::QuadraticFeature phi = sphereFeature(2);
+  EXPECT_THROW((void)radius::nearestPointOnQuadric(phi, la::Vector{1.0}, 4.0),
+               std::invalid_argument);
+}

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+
+namespace stats = fepia::stats;
+namespace rng = fepia::rng;
+
+TEST(StatsDescriptive, MeanVarianceSd) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 5.0);
+  EXPECT_NEAR(stats::variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_THROW((void)stats::mean(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW((void)stats::variance(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(StatsDescriptive, QuantileInterpolates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(stats::median(xs), 2.5);
+  EXPECT_THROW((void)stats::quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(StatsDescriptive, QuantileUnsortedInput) {
+  const std::vector<double> xs = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(stats::median(xs), 5.0);
+}
+
+TEST(StatsDescriptive, SummarizeAllFields) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0};
+  const stats::Summary s = stats::summarize(xs);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_DOUBLE_EQ(s.sd, 1.0);
+}
+
+TEST(StatsDescriptive, CoefficientOfVariation) {
+  const std::vector<double> xs = {1.0, 3.0};
+  EXPECT_NEAR(stats::coefficientOfVariation(xs), std::sqrt(2.0) / 2.0, 1e-12);
+}
+
+TEST(StatsDescriptive, BootstrapCICoversTrueMean) {
+  rng::Xoshiro256StarStar g(21);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng::uniform(g, 0.0, 10.0));
+  const stats::Interval ci = stats::bootstrapMeanCI(xs, 0.95, 2000, g);
+  EXPECT_LT(ci.lo, ci.hi);
+  EXPECT_LT(ci.lo, 5.3);
+  EXPECT_GT(ci.hi, 4.7);
+  EXPECT_THROW((void)stats::bootstrapMeanCI(xs, 1.5, 100, g),
+               std::invalid_argument);
+}
+
+TEST(StatsCorrelation, PearsonPerfectAndAnti) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(stats::pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> yneg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(stats::pearson(x, yneg), -1.0, 1e-12);
+  EXPECT_THROW((void)stats::pearson(x, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)stats::pearson(x, std::vector<double>{1.0, 1.0, 1.0, 1.0}),
+      std::domain_error);
+}
+
+TEST(StatsCorrelation, MidRanksHandleTies) {
+  const std::vector<double> xs = {10.0, 20.0, 20.0, 30.0};
+  const std::vector<double> r = stats::midRanks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(StatsCorrelation, SpearmanIsRankInvariant) {
+  // Monotone transform leaves Spearman at 1.
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y = {1.0, 8.0, 27.0, 64.0, 125.0};
+  EXPECT_NEAR(stats::spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(StatsCorrelation, KendallTauBasics) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(stats::kendallTauB(x, y), 1.0, 1e-12);
+  const std::vector<double> yRev = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(stats::kendallTauB(x, yRev), -1.0, 1e-12);
+  const std::vector<double> allTies = {1.0, 1.0, 1.0};
+  EXPECT_THROW((void)stats::kendallTauB(allTies, allTies), std::domain_error);
+}
+
+TEST(StatsCorrelation, KendallTieCorrection) {
+  const std::vector<double> x = {1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  const double tau = stats::kendallTauB(x, y);
+  EXPECT_GT(tau, 0.8);
+  EXPECT_LT(tau, 1.0);  // the tie keeps it below perfect
+}
+
+TEST(StatsHistogram, BinningAndOverflow) {
+  stats::Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(0.5);
+  h.add(9.9);
+  h.add(10.0);  // boundary value lands in the last bin
+  h.add(11.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+  EXPECT_THROW(stats::Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(stats::Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(StatsHistogram, RenderProducesOneLinePerBin) {
+  stats::Histogram h(0.0, 4.0, 4);
+  const std::vector<double> xs = {0.5, 1.5, 1.6, 3.5};
+  h.addAll(xs);
+  std::ostringstream os;
+  h.render(os);
+  int lines = 0;
+  for (char c : os.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+}

@@ -1,0 +1,168 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "feature/linear.hpp"
+#include "hiperd/factory.hpp"
+
+namespace trace = fepia::trace;
+namespace feature = fepia::feature;
+namespace hiperd = fepia::hiperd;
+namespace rng = fepia::rng;
+namespace la = fepia::la;
+
+TEST(TraceRandomWalk, ShapePositivityDeterminism) {
+  rng::Xoshiro256StarStar g1(1), g2(1);
+  const la::Vector origin{10.0, 20.0};
+  trace::RandomWalkParams p;
+  p.steps = 200;
+  const trace::LoadTrace a = trace::randomWalkTrace(origin, p, g1);
+  const trace::LoadTrace b = trace::randomWalkTrace(origin, p, g2);
+  ASSERT_EQ(a.size(), 200u);
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    ASSERT_EQ(a[t].size(), 2u);
+    for (double v : a[t]) EXPECT_GT(v, 0.0);
+    EXPECT_TRUE(la::approxEqual(a[t], b[t], 0.0));  // same seed, same trace
+  }
+}
+
+TEST(TraceRandomWalk, ZeroVolatilityNoDriftStaysPut) {
+  rng::Xoshiro256StarStar g(2);
+  trace::RandomWalkParams p;
+  p.steps = 50;
+  p.volatility = 0.0;
+  const la::Vector origin{5.0};
+  const trace::LoadTrace tr = trace::randomWalkTrace(origin, p, g);
+  for (const auto& lambda : tr) EXPECT_DOUBLE_EQ(lambda[0], 5.0);
+}
+
+TEST(TraceRandomWalk, PositiveDriftGrowsLoads) {
+  rng::Xoshiro256StarStar g(3);
+  trace::RandomWalkParams p;
+  p.steps = 400;
+  p.drift = 0.01;
+  p.volatility = 0.005;
+  const trace::LoadTrace tr = trace::randomWalkTrace(la::Vector{10.0}, p, g);
+  // After 400 steps of +1% log drift the load is around e^4 times bigger.
+  EXPECT_GT(tr.back()[0], 10.0 * std::exp(4.0) * 0.5);
+}
+
+TEST(TraceRandomWalk, MeanReversionBoundsExcursions) {
+  rng::Xoshiro256StarStar g1(4), g2(4);
+  trace::RandomWalkParams free;
+  free.steps = 2000;
+  free.volatility = 0.05;
+  trace::RandomWalkParams reverting = free;
+  reverting.meanReversion = 0.1;
+  const trace::LoadTrace a =
+      trace::randomWalkTrace(la::Vector{10.0}, free, g1);
+  const trace::LoadTrace b =
+      trace::randomWalkTrace(la::Vector{10.0}, reverting, g2);
+  const auto maxLoad = [](const trace::LoadTrace& tr) {
+    double m = 0.0;
+    for (const auto& l : tr) m = std::max(m, l[0]);
+    return m;
+  };
+  EXPECT_LT(maxLoad(b), maxLoad(a));
+}
+
+TEST(TraceRandomWalk, Validation) {
+  rng::Xoshiro256StarStar g(5);
+  trace::RandomWalkParams p;
+  EXPECT_THROW((void)trace::randomWalkTrace(la::Vector{}, p, g),
+               std::invalid_argument);
+  EXPECT_THROW((void)trace::randomWalkTrace(la::Vector{0.0}, p, g),
+               std::invalid_argument);
+  p.steps = 0;
+  EXPECT_THROW((void)trace::randomWalkTrace(la::Vector{1.0}, p, g),
+               std::invalid_argument);
+  p.steps = 10;
+  p.meanReversion = 2.0;
+  EXPECT_THROW((void)trace::randomWalkTrace(la::Vector{1.0}, p, g),
+               std::invalid_argument);
+}
+
+TEST(TraceBurst, BaselineBetweenBurstsAndElevationDuring) {
+  rng::Xoshiro256StarStar g(6);
+  trace::BurstParams p;
+  p.steps = 2000;
+  p.burstsPerStep = 0.02;
+  const la::Vector origin{10.0, 10.0};
+  const trace::LoadTrace tr = trace::burstTrace(origin, p, g);
+  bool sawBaseline = false;
+  bool sawElevated = false;
+  for (const auto& lambda : tr) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      if (lambda[s] == 10.0) sawBaseline = true;
+      if (lambda[s] > 11.0) sawElevated = true;
+      EXPECT_GE(lambda[s], 10.0);  // bursts only raise loads
+    }
+  }
+  EXPECT_TRUE(sawBaseline);
+  EXPECT_TRUE(sawElevated);
+}
+
+TEST(TraceBurst, Validation) {
+  rng::Xoshiro256StarStar g(7);
+  trace::BurstParams p;
+  p.factorMin = 0.5;  // bursts may not shrink loads
+  EXPECT_THROW((void)trace::burstTrace(la::Vector{1.0}, p, g),
+               std::invalid_argument);
+  p = trace::BurstParams{};
+  p.durationMin = 0;
+  EXPECT_THROW((void)trace::burstTrace(la::Vector{1.0}, p, g),
+               std::invalid_argument);
+}
+
+TEST(TraceViolation, FirstViolationIndexIsExact) {
+  feature::FeatureSet phi;
+  phi.add(std::make_shared<feature::LinearFeature>("sum", la::Vector{1.0, 1.0}),
+          feature::FeatureBounds::upper(25.0));
+  trace::LoadTrace tr = {la::Vector{10.0, 10.0}, la::Vector{12.0, 12.0},
+                         la::Vector{13.0, 13.0}, la::Vector{11.0, 11.0}};
+  const auto t = trace::firstViolation(phi, tr);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 2u);  // 26 > 25 at step 2
+
+  tr.pop_back();
+  tr.pop_back();
+  EXPECT_FALSE(trace::firstViolation(phi, tr).has_value());
+  EXPECT_THROW(
+      (void)trace::firstViolation(phi, trace::LoadTrace{la::Vector{1.0}}),
+      std::invalid_argument);
+}
+
+TEST(TraceSurvival, LargerRadiusSurvivesLonger) {
+  // The HiPer-D load problem under two QoS slacks: the roomier system
+  // must violate less often and later under identical traces.
+  const auto mk = [](double latencyScale) {
+    auto ref = hiperd::makeReferenceSystem();
+    ref.qos.maxLatencySeconds *= latencyScale;
+    return ref;
+  };
+  const auto tight = mk(1.0);
+  const auto roomy = mk(1.5);
+
+  trace::RandomWalkParams p;
+  p.steps = 300;
+  p.volatility = 0.05;
+
+  rng::Xoshiro256StarStar g1(99), g2(99);  // common random numbers
+  const trace::SurvivalSummary sTight = trace::survival(
+      tight.system.loadFeatureSet(tight.qos),
+      tight.system.originalLoads(), p, 60, g1);
+  const trace::SurvivalSummary sRoomy = trace::survival(
+      roomy.system.loadFeatureSet(roomy.qos),
+      roomy.system.originalLoads(), p, 60, g2);
+  EXPECT_LE(sRoomy.violationFraction, sTight.violationFraction);
+  if (sTight.violated > 0 && sRoomy.violated > 0) {
+    EXPECT_GE(sRoomy.meanTimeToViolation, sTight.meanTimeToViolation);
+  }
+  EXPECT_THROW((void)trace::survival(tight.system.loadFeatureSet(tight.qos),
+                                     tight.system.originalLoads(), p, 0, g1),
+               std::invalid_argument);
+}

@@ -1,0 +1,67 @@
+#include "units/unit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace units = fepia::units;
+
+TEST(Units, DefaultIsDimensionless) {
+  const units::Unit u;
+  EXPECT_TRUE(u.isDimensionless());
+  EXPECT_EQ(u.str(), "1");
+}
+
+TEST(Units, BaseUnitsDistinct) {
+  EXPECT_FALSE(units::Unit::seconds() == units::Unit::bytes());
+  EXPECT_FALSE(units::Unit::seconds() == units::Unit::objects());
+  EXPECT_TRUE(units::Unit::seconds() == units::Unit::seconds());
+}
+
+TEST(Units, ProductAndQuotientExponents) {
+  const units::Unit bps = units::Unit::bytesPerSecond();
+  EXPECT_EQ(bps.exponent(units::Dimension::Byte), 1);
+  EXPECT_EQ(bps.exponent(units::Dimension::Time), -1);
+  // bytes/second * seconds == bytes.
+  EXPECT_TRUE(bps * units::Unit::seconds() == units::Unit::bytes());
+  // bytes / bytes == dimensionless.
+  EXPECT_TRUE((units::Unit::bytes() / units::Unit::bytes()).isDimensionless());
+}
+
+TEST(Units, PowScalesExponents) {
+  const units::Unit s2 = units::Unit::seconds().pow(2);
+  EXPECT_EQ(s2.exponent(units::Dimension::Time), 2);
+  EXPECT_TRUE(s2.pow(0).isDimensionless());
+}
+
+TEST(Units, ObjectsPerDataSet) {
+  const units::Unit u = units::Unit::objectsPerDataSet();
+  EXPECT_EQ(u.exponent(units::Dimension::Object), 1);
+  EXPECT_EQ(u.exponent(units::Dimension::DataSet), -1);
+}
+
+TEST(Units, StringRendering) {
+  EXPECT_EQ(units::Unit::seconds().str(), "s");
+  // Dimensions render in declaration order (Time before Byte).
+  EXPECT_EQ(units::Unit::bytesPerSecond().str(), "s^-1·B");
+  EXPECT_EQ(units::Unit::objectsPerDataSet().str(), "obj·ds^-1");
+}
+
+TEST(Units, RequireSameUnitPassesAndThrows) {
+  EXPECT_NO_THROW(units::requireSameUnit(units::Unit::seconds(),
+                                         units::Unit::seconds(), "test"));
+  // The paper's core objection: seconds cannot be concatenated with bytes.
+  EXPECT_THROW(units::requireSameUnit(units::Unit::seconds(),
+                                      units::Unit::bytes(), "test"),
+               units::MismatchError);
+}
+
+TEST(Units, MismatchErrorNamesBothUnits) {
+  try {
+    units::requireSameUnit(units::Unit::seconds(), units::Unit::bytes(), "ctx");
+    FAIL() << "expected MismatchError";
+  } catch (const units::MismatchError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("ctx"), std::string::npos);
+    EXPECT_NE(msg.find("s"), std::string::npos);
+    EXPECT_NE(msg.find("B"), std::string::npos);
+  }
+}

@@ -1,0 +1,217 @@
+// fepia_cli — run a FePIA robustness analysis from a problem file.
+//
+// Usage:
+//   fepia_cli <problem-file> [options]
+//   fepia_cli --hiperd <system-file> [--csv]
+//
+// Options (problem-file mode):
+//   --scheme normalized|sensitivity|both   merge scheme(s) (default both)
+//   --check v1,v2,...                      operating-point test: one
+//                                          comma-separated value list per
+//                                          kind, repeated per kind in order
+//   --csv                                  emit tables as CSV
+//   --echo                                 re-serialize the parsed problem
+//
+// --hiperd mode loads a HiPer-D topology (see src/io/system_io.hpp and
+// examples/data/fusion_pipeline.hiperd) and runs the load-space analysis
+// plus the merged multi-kind (execution times ⋆ message sizes) analysis.
+//
+// Exit status: 0 on success (and, with --check, when the point is
+// tolerated), 2 when a --check point is not tolerated, 1 on errors.
+//
+// See src/io/problem_io.hpp for the problem-file format; a worked sample
+// lives at examples/data/streaming_stage.fepia.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "io/problem_io.hpp"
+#include "io/system_io.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace fepia;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <problem-file> [--scheme normalized|sensitivity|both]"
+               " [--check v1,v2,... ...] [--csv] [--echo]\n"
+            << "       " << argv0 << " --hiperd <system-file> [--csv]\n";
+  return 1;
+}
+
+la::Vector parseValueList(const std::string& csv) {
+  la::Vector out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+void emit(const report::Table& table, bool csv) {
+  if (csv) {
+    table.printCsv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << '\n';
+}
+
+void printMerged(const radius::FepiaProblem& problem,
+                 radius::MergeScheme scheme, bool csv) {
+  const radius::MergedAnalysis analysis = problem.merged(scheme);
+  const auto& rep = analysis.report();
+  std::cout << "scheme: " << radius::mergeSchemeName(scheme) << "\n";
+  report::Table table({"feature", "radius (P-space)", "bound side", "exact"});
+  for (const auto& f : rep.features) {
+    table.addRow({f.featureName, report::num(f.radius.radius, 8),
+                  f.radius.side == radius::BoundSide::Max
+                      ? "upper"
+                      : (f.radius.side == radius::BoundSide::Min ? "lower"
+                                                                 : "none"),
+                  f.radius.exact ? "yes" : "no"});
+  }
+  emit(table, csv);
+  std::cout << "rho = " << report::num(rep.rho, 8) << "  (critical: "
+            << rep.features[rep.criticalFeature].featureName << ")\n\n";
+}
+
+int runHiperdMode(const std::string& path, bool csv) {
+  const hiperd::ReferenceSystem ref = io::loadSystem(path);
+  const hiperd::System& sys = ref.system;
+  std::cout << "HiPer-D system: " << sys.sensorCount() << " sensors, "
+            << sys.machineCount() << " machines, " << sys.linkCount()
+            << " links, " << sys.applicationCount() << " apps, "
+            << sys.messageCount() << " messages, " << sys.pathCount()
+            << " paths\nQoS: throughput >= " << ref.qos.minThroughput
+            << "/s, latency <= " << ref.qos.maxLatencySeconds << " s\n\n";
+
+  // Load-space (single-kind) analysis.
+  const radius::RobustnessReport load =
+      sys.loadProblem(ref.qos).robustnessSameUnits();
+  report::Table table({"feature", "radius (objects/set)"});
+  for (std::size_t i = 0; i < load.perFeature.size(); ++i) {
+    table.addRow({load.featureNames[i],
+                  load.perFeature[i].finite()
+                      ? report::num(load.perFeature[i].radius, 6)
+                      : "inf"});
+  }
+  emit(table, csv);
+  std::cout << "rho (sensor loads) = " << report::num(load.rho, 6)
+            << " objects/set, critical: "
+            << load.featureNames[load.criticalFeature] << "\n\n";
+
+  // Multi-kind (execution times ⋆ message sizes) analysis.
+  const radius::FepiaProblem mixed = sys.executionMessageProblem(ref.qos);
+  printMerged(mixed, radius::MergeScheme::NormalizedByOriginal, csv);
+  printMerged(mixed, radius::MergeScheme::Sensitivity, csv);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+
+  if (std::strcmp(argv[1], "--hiperd") == 0) {
+    if (argc < 3) return usage(argv[0]);
+    const bool csv = argc > 3 && std::strcmp(argv[3], "--csv") == 0;
+    try {
+      return runHiperdMode(argv[2], csv);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+  }
+
+  std::string schemeArg = "both";
+  std::vector<la::Vector> checkPoint;
+  bool csv = false;
+  bool echo = false;
+  const std::string path = argv[1];
+
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
+      schemeArg = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      try {
+        checkPoint.push_back(parseValueList(argv[++i]));
+      } catch (const std::exception&) {
+        std::cerr << "error: bad --check value list\n";
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (std::strcmp(argv[i], "--echo") == 0) {
+      echo = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (schemeArg != "both" && schemeArg != "normalized" &&
+      schemeArg != "sensitivity") {
+    return usage(argv[0]);
+  }
+
+  try {
+    const radius::FepiaProblem problem = io::loadProblem(path);
+
+    if (echo) {
+      io::writeProblem(std::cout, problem);
+      std::cout << '\n';
+    }
+
+    // Problem summary.
+    report::Table kinds({"kind", "unit", "dim", "original values"});
+    for (std::size_t j = 0; j < problem.space().kindCount(); ++j) {
+      const auto& p = problem.space().kind(j);
+      std::ostringstream vals;
+      vals << p.original();
+      kinds.addRow({p.name(), p.unit().str(), std::to_string(p.size()),
+                    vals.str()});
+    }
+    emit(kinds, csv);
+
+    // Per-kind radii (always legal, one kind at a time).
+    report::Table perKind({"feature", "kind", "radius (kind units)"});
+    for (std::size_t i = 0; i < problem.features().size(); ++i) {
+      for (std::size_t j = 0; j < problem.space().kindCount(); ++j) {
+        const radius::RadiusResult r = problem.singleKindRadius(i, j);
+        perKind.addRow({problem.features()[i].feature->name(),
+                        problem.space().kind(j).name(),
+                        r.finite() ? report::num(r.radius, 8) : "inf"});
+      }
+    }
+    emit(perKind, csv);
+
+    if (schemeArg == "both" || schemeArg == "normalized") {
+      printMerged(problem, radius::MergeScheme::NormalizedByOriginal, csv);
+    }
+    if (schemeArg == "both" || schemeArg == "sensitivity") {
+      printMerged(problem, radius::MergeScheme::Sensitivity, csv);
+    }
+
+    if (!checkPoint.empty()) {
+      const radius::MergeScheme scheme =
+          schemeArg == "sensitivity" ? radius::MergeScheme::Sensitivity
+                                     : radius::MergeScheme::NormalizedByOriginal;
+      const radius::ToleranceCheck check =
+          problem.wouldTolerate(checkPoint, scheme);
+      std::cout << "operating point "
+                << (check.tolerated ? "TOLERATED" : "NOT tolerated")
+                << " under the " << radius::mergeSchemeName(scheme)
+                << " scheme (worst margin " << report::num(check.worstMargin, 6)
+                << ")\n";
+      return check.tolerated ? 0 : 2;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
