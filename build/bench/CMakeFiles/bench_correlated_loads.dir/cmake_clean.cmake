@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_correlated_loads.dir/bench_correlated_loads.cpp.o"
+  "CMakeFiles/bench_correlated_loads.dir/bench_correlated_loads.cpp.o.d"
+  "bench_correlated_loads"
+  "bench_correlated_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_correlated_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failure_analysis.dir/bench_failure_analysis.cpp.o"
+  "CMakeFiles/bench_failure_analysis.dir/bench_failure_analysis.cpp.o.d"
+  "bench_failure_analysis"
+  "bench_failure_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

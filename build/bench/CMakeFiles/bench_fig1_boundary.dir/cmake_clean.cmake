@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_boundary.dir/bench_fig1_boundary.cpp.o"
+  "CMakeFiles/bench_fig1_boundary.dir/bench_fig1_boundary.cpp.o.d"
+  "bench_fig1_boundary"
+  "bench_fig1_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hiperd_case.dir/bench_hiperd_case.cpp.o"
+  "CMakeFiles/bench_hiperd_case.dir/bench_hiperd_case.cpp.o.d"
+  "bench_hiperd_case"
+  "bench_hiperd_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hiperd_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

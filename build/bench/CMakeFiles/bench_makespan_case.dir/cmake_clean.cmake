@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_makespan_case.dir/bench_makespan_case.cpp.o"
+  "CMakeFiles/bench_makespan_case.dir/bench_makespan_case.cpp.o.d"
+  "bench_makespan_case"
+  "bench_makespan_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_makespan_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

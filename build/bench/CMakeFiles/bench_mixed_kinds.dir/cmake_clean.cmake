@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixed_kinds.dir/bench_mixed_kinds.cpp.o"
+  "CMakeFiles/bench_mixed_kinds.dir/bench_mixed_kinds.cpp.o.d"
+  "bench_mixed_kinds"
+  "bench_mixed_kinds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixed_kinds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

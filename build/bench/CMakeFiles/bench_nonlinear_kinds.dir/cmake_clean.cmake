@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nonlinear_kinds.dir/bench_nonlinear_kinds.cpp.o"
+  "CMakeFiles/bench_nonlinear_kinds.dir/bench_nonlinear_kinds.cpp.o.d"
+  "bench_nonlinear_kinds"
+  "bench_nonlinear_kinds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nonlinear_kinds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

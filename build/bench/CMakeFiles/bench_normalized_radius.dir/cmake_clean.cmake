@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_normalized_radius.dir/bench_normalized_radius.cpp.o"
+  "CMakeFiles/bench_normalized_radius.dir/bench_normalized_radius.cpp.o.d"
+  "bench_normalized_radius"
+  "bench_normalized_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_normalized_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

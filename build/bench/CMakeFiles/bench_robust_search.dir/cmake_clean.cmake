@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robust_search.dir/bench_robust_search.cpp.o"
+  "CMakeFiles/bench_robust_search.dir/bench_robust_search.cpp.o.d"
+  "bench_robust_search"
+  "bench_robust_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robust_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheme_ranking.dir/bench_scheme_ranking.cpp.o"
+  "CMakeFiles/bench_scheme_ranking.dir/bench_scheme_ranking.cpp.o.d"
+  "bench_scheme_ranking"
+  "bench_scheme_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheme_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_invariance.dir/bench_sensitivity_invariance.cpp.o"
+  "CMakeFiles/bench_sensitivity_invariance.dir/bench_sensitivity_invariance.cpp.o.d"
+  "bench_sensitivity_invariance"
+  "bench_sensitivity_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_time_to_violation.dir/bench_time_to_violation.cpp.o"
+  "CMakeFiles/bench_time_to_violation.dir/bench_time_to_violation.cpp.o.d"
+  "bench_time_to_violation"
+  "bench_time_to_violation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_time_to_violation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

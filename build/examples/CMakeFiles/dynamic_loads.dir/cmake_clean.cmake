@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_loads.dir/dynamic_loads.cpp.o"
+  "CMakeFiles/dynamic_loads.dir/dynamic_loads.cpp.o.d"
+  "dynamic_loads"
+  "dynamic_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

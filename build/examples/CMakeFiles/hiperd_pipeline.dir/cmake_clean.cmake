@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hiperd_pipeline.dir/hiperd_pipeline.cpp.o"
+  "CMakeFiles/hiperd_pipeline.dir/hiperd_pipeline.cpp.o.d"
+  "hiperd_pipeline"
+  "hiperd_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hiperd_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

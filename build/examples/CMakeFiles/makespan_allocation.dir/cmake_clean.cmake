@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makespan_allocation.dir/makespan_allocation.cpp.o"
+  "CMakeFiles/makespan_allocation.dir/makespan_allocation.cpp.o.d"
+  "makespan_allocation"
+  "makespan_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makespan_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_perturbations.dir/mixed_perturbations.cpp.o"
+  "CMakeFiles/mixed_perturbations.dir/mixed_perturbations.cpp.o.d"
+  "mixed_perturbations"
+  "mixed_perturbations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_perturbations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

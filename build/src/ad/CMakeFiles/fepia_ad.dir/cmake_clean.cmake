@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_ad.dir/gradient.cpp.o"
+  "CMakeFiles/fepia_ad.dir/gradient.cpp.o.d"
+  "libfepia_ad.a"
+  "libfepia_ad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_ad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

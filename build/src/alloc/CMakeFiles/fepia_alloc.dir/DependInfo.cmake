@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocation.cpp" "src/alloc/CMakeFiles/fepia_alloc.dir/allocation.cpp.o" "gcc" "src/alloc/CMakeFiles/fepia_alloc.dir/allocation.cpp.o.d"
+  "/root/repo/src/alloc/failure.cpp" "src/alloc/CMakeFiles/fepia_alloc.dir/failure.cpp.o" "gcc" "src/alloc/CMakeFiles/fepia_alloc.dir/failure.cpp.o.d"
+  "/root/repo/src/alloc/genetic.cpp" "src/alloc/CMakeFiles/fepia_alloc.dir/genetic.cpp.o" "gcc" "src/alloc/CMakeFiles/fepia_alloc.dir/genetic.cpp.o.d"
+  "/root/repo/src/alloc/heuristics.cpp" "src/alloc/CMakeFiles/fepia_alloc.dir/heuristics.cpp.o" "gcc" "src/alloc/CMakeFiles/fepia_alloc.dir/heuristics.cpp.o.d"
+  "/root/repo/src/alloc/robustness.cpp" "src/alloc/CMakeFiles/fepia_alloc.dir/robustness.cpp.o" "gcc" "src/alloc/CMakeFiles/fepia_alloc.dir/robustness.cpp.o.d"
+  "/root/repo/src/alloc/search.cpp" "src/alloc/CMakeFiles/fepia_alloc.dir/search.cpp.o" "gcc" "src/alloc/CMakeFiles/fepia_alloc.dir/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/fepia_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/fepia_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/feature/CMakeFiles/fepia_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/perturb/CMakeFiles/fepia_perturb.dir/DependInfo.cmake"
+  "/root/repo/build/src/radius/CMakeFiles/fepia_radius.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/fepia_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/fepia_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ad/CMakeFiles/fepia_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fepia_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_alloc.dir/allocation.cpp.o"
+  "CMakeFiles/fepia_alloc.dir/allocation.cpp.o.d"
+  "CMakeFiles/fepia_alloc.dir/failure.cpp.o"
+  "CMakeFiles/fepia_alloc.dir/failure.cpp.o.d"
+  "CMakeFiles/fepia_alloc.dir/genetic.cpp.o"
+  "CMakeFiles/fepia_alloc.dir/genetic.cpp.o.d"
+  "CMakeFiles/fepia_alloc.dir/heuristics.cpp.o"
+  "CMakeFiles/fepia_alloc.dir/heuristics.cpp.o.d"
+  "CMakeFiles/fepia_alloc.dir/robustness.cpp.o"
+  "CMakeFiles/fepia_alloc.dir/robustness.cpp.o.d"
+  "CMakeFiles/fepia_alloc.dir/search.cpp.o"
+  "CMakeFiles/fepia_alloc.dir/search.cpp.o.d"
+  "libfepia_alloc.a"
+  "libfepia_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_des.dir/pipeline.cpp.o"
+  "CMakeFiles/fepia_des.dir/pipeline.cpp.o.d"
+  "CMakeFiles/fepia_des.dir/simulator.cpp.o"
+  "CMakeFiles/fepia_des.dir/simulator.cpp.o.d"
+  "libfepia_des.a"
+  "libfepia_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

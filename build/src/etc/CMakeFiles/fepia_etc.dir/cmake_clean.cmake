@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_etc.dir/etc.cpp.o"
+  "CMakeFiles/fepia_etc.dir/etc.cpp.o.d"
+  "libfepia_etc.a"
+  "libfepia_etc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_etc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

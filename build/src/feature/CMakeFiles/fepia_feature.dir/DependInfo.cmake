@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/feature/feature.cpp" "src/feature/CMakeFiles/fepia_feature.dir/feature.cpp.o" "gcc" "src/feature/CMakeFiles/fepia_feature.dir/feature.cpp.o.d"
+  "/root/repo/src/feature/generic.cpp" "src/feature/CMakeFiles/fepia_feature.dir/generic.cpp.o" "gcc" "src/feature/CMakeFiles/fepia_feature.dir/generic.cpp.o.d"
+  "/root/repo/src/feature/linear.cpp" "src/feature/CMakeFiles/fepia_feature.dir/linear.cpp.o" "gcc" "src/feature/CMakeFiles/fepia_feature.dir/linear.cpp.o.d"
+  "/root/repo/src/feature/quadratic.cpp" "src/feature/CMakeFiles/fepia_feature.dir/quadratic.cpp.o" "gcc" "src/feature/CMakeFiles/fepia_feature.dir/quadratic.cpp.o.d"
+  "/root/repo/src/feature/transform.cpp" "src/feature/CMakeFiles/fepia_feature.dir/transform.cpp.o" "gcc" "src/feature/CMakeFiles/fepia_feature.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/fepia_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/ad/CMakeFiles/fepia_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/fepia_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_feature.dir/feature.cpp.o"
+  "CMakeFiles/fepia_feature.dir/feature.cpp.o.d"
+  "CMakeFiles/fepia_feature.dir/generic.cpp.o"
+  "CMakeFiles/fepia_feature.dir/generic.cpp.o.d"
+  "CMakeFiles/fepia_feature.dir/linear.cpp.o"
+  "CMakeFiles/fepia_feature.dir/linear.cpp.o.d"
+  "CMakeFiles/fepia_feature.dir/quadratic.cpp.o"
+  "CMakeFiles/fepia_feature.dir/quadratic.cpp.o.d"
+  "CMakeFiles/fepia_feature.dir/transform.cpp.o"
+  "CMakeFiles/fepia_feature.dir/transform.cpp.o.d"
+  "libfepia_feature.a"
+  "libfepia_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fepia_feature.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_hiperd.dir/factory.cpp.o"
+  "CMakeFiles/fepia_hiperd.dir/factory.cpp.o.d"
+  "CMakeFiles/fepia_hiperd.dir/system.cpp.o"
+  "CMakeFiles/fepia_hiperd.dir/system.cpp.o.d"
+  "libfepia_hiperd.a"
+  "libfepia_hiperd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_hiperd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

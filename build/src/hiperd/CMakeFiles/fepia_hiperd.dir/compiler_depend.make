@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fepia_hiperd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_io.dir/problem_io.cpp.o"
+  "CMakeFiles/fepia_io.dir/problem_io.cpp.o.d"
+  "CMakeFiles/fepia_io.dir/system_io.cpp.o"
+  "CMakeFiles/fepia_io.dir/system_io.cpp.o.d"
+  "libfepia_io.a"
+  "libfepia_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_la.dir/cholesky.cpp.o"
+  "CMakeFiles/fepia_la.dir/cholesky.cpp.o.d"
+  "CMakeFiles/fepia_la.dir/eigen.cpp.o"
+  "CMakeFiles/fepia_la.dir/eigen.cpp.o.d"
+  "CMakeFiles/fepia_la.dir/geometry.cpp.o"
+  "CMakeFiles/fepia_la.dir/geometry.cpp.o.d"
+  "CMakeFiles/fepia_la.dir/lu.cpp.o"
+  "CMakeFiles/fepia_la.dir/lu.cpp.o.d"
+  "CMakeFiles/fepia_la.dir/matrix.cpp.o"
+  "CMakeFiles/fepia_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/fepia_la.dir/qr.cpp.o"
+  "CMakeFiles/fepia_la.dir/qr.cpp.o.d"
+  "CMakeFiles/fepia_la.dir/vector.cpp.o"
+  "CMakeFiles/fepia_la.dir/vector.cpp.o.d"
+  "libfepia_la.a"
+  "libfepia_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

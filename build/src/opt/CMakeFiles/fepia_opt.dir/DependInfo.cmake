@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/boundary.cpp" "src/opt/CMakeFiles/fepia_opt.dir/boundary.cpp.o" "gcc" "src/opt/CMakeFiles/fepia_opt.dir/boundary.cpp.o.d"
+  "/root/repo/src/opt/nelder_mead.cpp" "src/opt/CMakeFiles/fepia_opt.dir/nelder_mead.cpp.o" "gcc" "src/opt/CMakeFiles/fepia_opt.dir/nelder_mead.cpp.o.d"
+  "/root/repo/src/opt/penalty.cpp" "src/opt/CMakeFiles/fepia_opt.dir/penalty.cpp.o" "gcc" "src/opt/CMakeFiles/fepia_opt.dir/penalty.cpp.o.d"
+  "/root/repo/src/opt/scalar.cpp" "src/opt/CMakeFiles/fepia_opt.dir/scalar.cpp.o" "gcc" "src/opt/CMakeFiles/fepia_opt.dir/scalar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/fepia_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/ad/CMakeFiles/fepia_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/fepia_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_opt.dir/boundary.cpp.o"
+  "CMakeFiles/fepia_opt.dir/boundary.cpp.o.d"
+  "CMakeFiles/fepia_opt.dir/nelder_mead.cpp.o"
+  "CMakeFiles/fepia_opt.dir/nelder_mead.cpp.o.d"
+  "CMakeFiles/fepia_opt.dir/penalty.cpp.o"
+  "CMakeFiles/fepia_opt.dir/penalty.cpp.o.d"
+  "CMakeFiles/fepia_opt.dir/scalar.cpp.o"
+  "CMakeFiles/fepia_opt.dir/scalar.cpp.o.d"
+  "libfepia_opt.a"
+  "libfepia_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

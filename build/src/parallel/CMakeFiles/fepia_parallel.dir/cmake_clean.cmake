@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/fepia_parallel.dir/thread_pool.cpp.o.d"
+  "libfepia_parallel.a"
+  "libfepia_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perturb/parameter.cpp" "src/perturb/CMakeFiles/fepia_perturb.dir/parameter.cpp.o" "gcc" "src/perturb/CMakeFiles/fepia_perturb.dir/parameter.cpp.o.d"
+  "/root/repo/src/perturb/space.cpp" "src/perturb/CMakeFiles/fepia_perturb.dir/space.cpp.o" "gcc" "src/perturb/CMakeFiles/fepia_perturb.dir/space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/fepia_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/fepia_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_perturb.dir/parameter.cpp.o"
+  "CMakeFiles/fepia_perturb.dir/parameter.cpp.o.d"
+  "CMakeFiles/fepia_perturb.dir/space.cpp.o"
+  "CMakeFiles/fepia_perturb.dir/space.cpp.o.d"
+  "libfepia_perturb.a"
+  "libfepia_perturb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_perturb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radius/closed_forms.cpp" "src/radius/CMakeFiles/fepia_radius.dir/closed_forms.cpp.o" "gcc" "src/radius/CMakeFiles/fepia_radius.dir/closed_forms.cpp.o.d"
+  "/root/repo/src/radius/diagnostics.cpp" "src/radius/CMakeFiles/fepia_radius.dir/diagnostics.cpp.o" "gcc" "src/radius/CMakeFiles/fepia_radius.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/radius/engine.cpp" "src/radius/CMakeFiles/fepia_radius.dir/engine.cpp.o" "gcc" "src/radius/CMakeFiles/fepia_radius.dir/engine.cpp.o.d"
+  "/root/repo/src/radius/fepia.cpp" "src/radius/CMakeFiles/fepia_radius.dir/fepia.cpp.o" "gcc" "src/radius/CMakeFiles/fepia_radius.dir/fepia.cpp.o.d"
+  "/root/repo/src/radius/mahalanobis.cpp" "src/radius/CMakeFiles/fepia_radius.dir/mahalanobis.cpp.o" "gcc" "src/radius/CMakeFiles/fepia_radius.dir/mahalanobis.cpp.o.d"
+  "/root/repo/src/radius/merge.cpp" "src/radius/CMakeFiles/fepia_radius.dir/merge.cpp.o" "gcc" "src/radius/CMakeFiles/fepia_radius.dir/merge.cpp.o.d"
+  "/root/repo/src/radius/parallel_rho.cpp" "src/radius/CMakeFiles/fepia_radius.dir/parallel_rho.cpp.o" "gcc" "src/radius/CMakeFiles/fepia_radius.dir/parallel_rho.cpp.o.d"
+  "/root/repo/src/radius/quadratic.cpp" "src/radius/CMakeFiles/fepia_radius.dir/quadratic.cpp.o" "gcc" "src/radius/CMakeFiles/fepia_radius.dir/quadratic.cpp.o.d"
+  "/root/repo/src/radius/rho.cpp" "src/radius/CMakeFiles/fepia_radius.dir/rho.cpp.o" "gcc" "src/radius/CMakeFiles/fepia_radius.dir/rho.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/fepia_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/feature/CMakeFiles/fepia_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/perturb/CMakeFiles/fepia_perturb.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/fepia_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fepia_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/fepia_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/ad/CMakeFiles/fepia_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/fepia_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

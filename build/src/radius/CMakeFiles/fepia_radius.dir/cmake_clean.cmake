@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_radius.dir/closed_forms.cpp.o"
+  "CMakeFiles/fepia_radius.dir/closed_forms.cpp.o.d"
+  "CMakeFiles/fepia_radius.dir/diagnostics.cpp.o"
+  "CMakeFiles/fepia_radius.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/fepia_radius.dir/engine.cpp.o"
+  "CMakeFiles/fepia_radius.dir/engine.cpp.o.d"
+  "CMakeFiles/fepia_radius.dir/fepia.cpp.o"
+  "CMakeFiles/fepia_radius.dir/fepia.cpp.o.d"
+  "CMakeFiles/fepia_radius.dir/mahalanobis.cpp.o"
+  "CMakeFiles/fepia_radius.dir/mahalanobis.cpp.o.d"
+  "CMakeFiles/fepia_radius.dir/merge.cpp.o"
+  "CMakeFiles/fepia_radius.dir/merge.cpp.o.d"
+  "CMakeFiles/fepia_radius.dir/parallel_rho.cpp.o"
+  "CMakeFiles/fepia_radius.dir/parallel_rho.cpp.o.d"
+  "CMakeFiles/fepia_radius.dir/quadratic.cpp.o"
+  "CMakeFiles/fepia_radius.dir/quadratic.cpp.o.d"
+  "CMakeFiles/fepia_radius.dir/rho.cpp.o"
+  "CMakeFiles/fepia_radius.dir/rho.cpp.o.d"
+  "libfepia_radius.a"
+  "libfepia_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_report.dir/table.cpp.o"
+  "CMakeFiles/fepia_report.dir/table.cpp.o.d"
+  "libfepia_report.a"
+  "libfepia_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_rng.dir/distributions.cpp.o"
+  "CMakeFiles/fepia_rng.dir/distributions.cpp.o.d"
+  "CMakeFiles/fepia_rng.dir/xoshiro.cpp.o"
+  "CMakeFiles/fepia_rng.dir/xoshiro.cpp.o.d"
+  "libfepia_rng.a"
+  "libfepia_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

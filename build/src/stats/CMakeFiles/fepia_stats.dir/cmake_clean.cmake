@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_stats.dir/correlation.cpp.o"
+  "CMakeFiles/fepia_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/fepia_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/fepia_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/fepia_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/fepia_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/fepia_stats.dir/histogram.cpp.o"
+  "CMakeFiles/fepia_stats.dir/histogram.cpp.o.d"
+  "libfepia_stats.a"
+  "libfepia_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

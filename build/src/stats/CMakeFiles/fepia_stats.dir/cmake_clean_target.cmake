@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfepia_stats.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/fepia_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/fepia_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/fepia_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/feature/CMakeFiles/fepia_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/fepia_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fepia_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ad/CMakeFiles/fepia_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/fepia_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

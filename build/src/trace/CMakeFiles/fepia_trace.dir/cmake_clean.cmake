@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_trace.dir/trace.cpp.o"
+  "CMakeFiles/fepia_trace.dir/trace.cpp.o.d"
+  "libfepia_trace.a"
+  "libfepia_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

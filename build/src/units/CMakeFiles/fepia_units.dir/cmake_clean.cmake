@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_units.dir/unit.cpp.o"
+  "CMakeFiles/fepia_units.dir/unit.cpp.o.d"
+  "libfepia_units.a"
+  "libfepia_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alloc_failure_test.cpp" "tests/CMakeFiles/alloc_failure_test.dir/alloc_failure_test.cpp.o" "gcc" "tests/CMakeFiles/alloc_failure_test.dir/alloc_failure_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/fepia_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/fepia_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fepia_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ad/CMakeFiles/fepia_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/fepia_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/fepia_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/perturb/CMakeFiles/fepia_perturb.dir/DependInfo.cmake"
+  "/root/repo/build/src/feature/CMakeFiles/fepia_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/radius/CMakeFiles/fepia_radius.dir/DependInfo.cmake"
+  "/root/repo/build/src/etc/CMakeFiles/fepia_etc.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/fepia_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hiperd/CMakeFiles/fepia_hiperd.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/fepia_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/fepia_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/fepia_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fepia_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fepia_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_genetic_test.dir/alloc_genetic_test.cpp.o"
+  "CMakeFiles/alloc_genetic_test.dir/alloc_genetic_test.cpp.o.d"
+  "alloc_genetic_test"
+  "alloc_genetic_test.pdb"
+  "alloc_genetic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_genetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

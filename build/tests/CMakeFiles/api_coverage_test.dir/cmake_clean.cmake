@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_coverage_test.dir/api_coverage_test.cpp.o"
+  "CMakeFiles/api_coverage_test.dir/api_coverage_test.cpp.o.d"
+  "api_coverage_test"
+  "api_coverage_test.pdb"
+  "api_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_jitter_test.dir/des_jitter_test.cpp.o"
+  "CMakeFiles/des_jitter_test.dir/des_jitter_test.cpp.o.d"
+  "des_jitter_test"
+  "des_jitter_test.pdb"
+  "des_jitter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_jitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

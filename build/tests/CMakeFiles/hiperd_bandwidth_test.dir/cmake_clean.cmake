@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hiperd_bandwidth_test.dir/hiperd_bandwidth_test.cpp.o"
+  "CMakeFiles/hiperd_bandwidth_test.dir/hiperd_bandwidth_test.cpp.o.d"
+  "hiperd_bandwidth_test"
+  "hiperd_bandwidth_test.pdb"
+  "hiperd_bandwidth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hiperd_bandwidth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

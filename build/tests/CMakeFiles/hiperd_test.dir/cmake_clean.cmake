@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hiperd_test.dir/hiperd_test.cpp.o"
+  "CMakeFiles/hiperd_test.dir/hiperd_test.cpp.o.d"
+  "hiperd_test"
+  "hiperd_test.pdb"
+  "hiperd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hiperd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_bandwidth_test.dir/integration_bandwidth_test.cpp.o"
+  "CMakeFiles/integration_bandwidth_test.dir/integration_bandwidth_test.cpp.o.d"
+  "integration_bandwidth_test"
+  "integration_bandwidth_test.pdb"
+  "integration_bandwidth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_bandwidth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_makespan_test.dir/integration_makespan_test.cpp.o"
+  "CMakeFiles/integration_makespan_test.dir/integration_makespan_test.cpp.o.d"
+  "integration_makespan_test"
+  "integration_makespan_test.pdb"
+  "integration_makespan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_makespan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_mixed_kinds_test.dir/integration_mixed_kinds_test.cpp.o"
+  "CMakeFiles/integration_mixed_kinds_test.dir/integration_mixed_kinds_test.cpp.o.d"
+  "integration_mixed_kinds_test"
+  "integration_mixed_kinds_test.pdb"
+  "integration_mixed_kinds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_mixed_kinds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_problem_test.dir/io_problem_test.cpp.o"
+  "CMakeFiles/io_problem_test.dir/io_problem_test.cpp.o.d"
+  "io_problem_test"
+  "io_problem_test.pdb"
+  "io_problem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_problem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

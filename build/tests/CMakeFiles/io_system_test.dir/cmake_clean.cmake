@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_system_test.dir/io_system_test.cpp.o"
+  "CMakeFiles/io_system_test.dir/io_system_test.cpp.o.d"
+  "io_system_test"
+  "io_system_test.pdb"
+  "io_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

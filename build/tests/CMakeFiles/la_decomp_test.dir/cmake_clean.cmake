@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_decomp_test.dir/la_decomp_test.cpp.o"
+  "CMakeFiles/la_decomp_test.dir/la_decomp_test.cpp.o.d"
+  "la_decomp_test"
+  "la_decomp_test.pdb"
+  "la_decomp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_decomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_eigen_test.dir/la_eigen_test.cpp.o"
+  "CMakeFiles/la_eigen_test.dir/la_eigen_test.cpp.o.d"
+  "la_eigen_test"
+  "la_eigen_test.pdb"
+  "la_eigen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_eigen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_geometry_test.dir/la_geometry_test.cpp.o"
+  "CMakeFiles/la_geometry_test.dir/la_geometry_test.cpp.o.d"
+  "la_geometry_test"
+  "la_geometry_test.pdb"
+  "la_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_matrix_test.dir/la_matrix_test.cpp.o"
+  "CMakeFiles/la_matrix_test.dir/la_matrix_test.cpp.o.d"
+  "la_matrix_test"
+  "la_matrix_test.pdb"
+  "la_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

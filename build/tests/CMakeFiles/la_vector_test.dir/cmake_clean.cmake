@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_vector_test.dir/la_vector_test.cpp.o"
+  "CMakeFiles/la_vector_test.dir/la_vector_test.cpp.o.d"
+  "la_vector_test"
+  "la_vector_test.pdb"
+  "la_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

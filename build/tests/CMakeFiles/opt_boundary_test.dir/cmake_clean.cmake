@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_boundary_test.dir/opt_boundary_test.cpp.o"
+  "CMakeFiles/opt_boundary_test.dir/opt_boundary_test.cpp.o.d"
+  "opt_boundary_test"
+  "opt_boundary_test.pdb"
+  "opt_boundary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_boundary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

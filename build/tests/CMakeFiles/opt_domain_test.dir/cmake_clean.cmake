@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_domain_test.dir/opt_domain_test.cpp.o"
+  "CMakeFiles/opt_domain_test.dir/opt_domain_test.cpp.o.d"
+  "opt_domain_test"
+  "opt_domain_test.pdb"
+  "opt_domain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_nelder_mead_test.dir/opt_nelder_mead_test.cpp.o"
+  "CMakeFiles/opt_nelder_mead_test.dir/opt_nelder_mead_test.cpp.o.d"
+  "opt_nelder_mead_test"
+  "opt_nelder_mead_test.pdb"
+  "opt_nelder_mead_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_nelder_mead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

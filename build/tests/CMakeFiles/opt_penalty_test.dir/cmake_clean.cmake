@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_penalty_test.dir/opt_penalty_test.cpp.o"
+  "CMakeFiles/opt_penalty_test.dir/opt_penalty_test.cpp.o.d"
+  "opt_penalty_test"
+  "opt_penalty_test.pdb"
+  "opt_penalty_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_penalty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_scalar_test.dir/opt_scalar_test.cpp.o"
+  "CMakeFiles/opt_scalar_test.dir/opt_scalar_test.cpp.o.d"
+  "opt_scalar_test"
+  "opt_scalar_test.pdb"
+  "opt_scalar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_scalar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

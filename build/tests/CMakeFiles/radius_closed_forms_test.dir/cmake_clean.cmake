@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radius_closed_forms_test.dir/radius_closed_forms_test.cpp.o"
+  "CMakeFiles/radius_closed_forms_test.dir/radius_closed_forms_test.cpp.o.d"
+  "radius_closed_forms_test"
+  "radius_closed_forms_test.pdb"
+  "radius_closed_forms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radius_closed_forms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radius_diagnostics_test.dir/radius_diagnostics_test.cpp.o"
+  "CMakeFiles/radius_diagnostics_test.dir/radius_diagnostics_test.cpp.o.d"
+  "radius_diagnostics_test"
+  "radius_diagnostics_test.pdb"
+  "radius_diagnostics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radius_diagnostics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

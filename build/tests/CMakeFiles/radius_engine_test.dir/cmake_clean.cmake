@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radius_engine_test.dir/radius_engine_test.cpp.o"
+  "CMakeFiles/radius_engine_test.dir/radius_engine_test.cpp.o.d"
+  "radius_engine_test"
+  "radius_engine_test.pdb"
+  "radius_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radius_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

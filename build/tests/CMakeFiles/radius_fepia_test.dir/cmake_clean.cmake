@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radius_fepia_test.dir/radius_fepia_test.cpp.o"
+  "CMakeFiles/radius_fepia_test.dir/radius_fepia_test.cpp.o.d"
+  "radius_fepia_test"
+  "radius_fepia_test.pdb"
+  "radius_fepia_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radius_fepia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

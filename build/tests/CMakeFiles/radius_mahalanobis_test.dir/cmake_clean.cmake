@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radius_mahalanobis_test.dir/radius_mahalanobis_test.cpp.o"
+  "CMakeFiles/radius_mahalanobis_test.dir/radius_mahalanobis_test.cpp.o.d"
+  "radius_mahalanobis_test"
+  "radius_mahalanobis_test.pdb"
+  "radius_mahalanobis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radius_mahalanobis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

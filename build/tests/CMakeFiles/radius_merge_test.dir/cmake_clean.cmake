@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radius_merge_test.dir/radius_merge_test.cpp.o"
+  "CMakeFiles/radius_merge_test.dir/radius_merge_test.cpp.o.d"
+  "radius_merge_test"
+  "radius_merge_test.pdb"
+  "radius_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radius_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radius_quadratic_test.dir/radius_quadratic_test.cpp.o"
+  "CMakeFiles/radius_quadratic_test.dir/radius_quadratic_test.cpp.o.d"
+  "radius_quadratic_test"
+  "radius_quadratic_test.pdb"
+  "radius_quadratic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radius_quadratic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

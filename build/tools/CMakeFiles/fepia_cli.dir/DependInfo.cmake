@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/fepia_cli.cpp" "tools/CMakeFiles/fepia_cli.dir/fepia_cli.cpp.o" "gcc" "tools/CMakeFiles/fepia_cli.dir/fepia_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/fepia_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/radius/CMakeFiles/fepia_radius.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/fepia_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/hiperd/CMakeFiles/fepia_hiperd.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/fepia_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fepia_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/fepia_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/feature/CMakeFiles/fepia_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/ad/CMakeFiles/fepia_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/perturb/CMakeFiles/fepia_perturb.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/fepia_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/fepia_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fepia_cli.dir/fepia_cli.cpp.o"
+  "CMakeFiles/fepia_cli.dir/fepia_cli.cpp.o.d"
+  "fepia_cli"
+  "fepia_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fepia_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
