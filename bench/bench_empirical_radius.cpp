@@ -1,0 +1,159 @@
+// Experiment VALRATE — throughput of the Monte-Carlo validation engine.
+//
+// The empirical robustness estimator's unit of work is one
+// classification: evaluating the safe-region predicate (the full feature
+// stack) at one perturbation vector. This bench measures classifications
+// per second (samples/sec) and probe directions per second for the
+// serial path and for thread pools of growing size, on the paper's
+// mixed-kind HiPer-D problem mapped to normalized P-space.
+//
+// Determinism contract on display: every run below returns the same
+// radius bit-for-bit — thread counts only change the wall clock. The
+// structured results are also written to BENCH_validation.json (override
+// the path with FEPIA_BENCH_JSON) so the numbers land in the repo.
+//
+// Timings: per-estimate cost vs direction count.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "fepia.hpp"
+
+namespace {
+
+using namespace fepia;
+
+/// The P-space joint safe region of the HiPer-D mixed-kind problem — the
+/// workload validate::validateMergedScheme runs per feature, joined.
+struct Workload {
+  hiperd::ReferenceSystem ref = hiperd::makeReferenceSystem();
+  radius::FepiaProblem problem = ref.system.executionMessageProblem(ref.qos);
+  radius::MergedAnalysis analysis =
+      problem.merged(radius::MergeScheme::NormalizedByOriginal);
+  radius::DiagonalMap map{
+      analysis.report().features[analysis.report().criticalFeature].mapWeights};
+  la::Vector pOrig = map.toP(problem.space().concatenatedOriginal());
+
+  [[nodiscard]] validate::SafePredicate safe() const {
+    return [this](const la::Vector& P) {
+      return problem.features().allWithinBounds(map.fromP(P));
+    };
+  }
+};
+
+struct Run {
+  std::size_t threads = 0;  ///< 0 = serial (no pool)
+  double seconds = 0.0;
+  validate::EmpiricalEstimate est;
+};
+
+Run timedRun(const Workload& w, const validate::EstimatorOptions& opts,
+             std::size_t threads) {
+  Run r;
+  r.threads = threads;
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<parallel::ThreadPool>(threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  r.est = validate::estimateEmpiricalRadius(w.safe(), w.pOrig, opts,
+                                            pool.get());
+  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+  return r;
+}
+
+void printExperiment() {
+  const Workload w;
+  validate::EstimatorOptions opts;
+  opts.directions = 8192;
+  opts.chunkSize = 64;
+  opts.seed = 0x5EEDD1CEull;
+  opts.horizon = 16.0;
+
+  std::cout << "=== VALRATE: empirical-radius estimator throughput ===\n\n"
+            << "HiPer-D mixed-kind problem, normalized P-space, "
+            << opts.directions << " directions, seed 0x5eedd1ce\n\n";
+
+  std::vector<Run> runs;
+  runs.push_back(timedRun(w, opts, 0));
+  for (const std::size_t t : {1, 2, 4, 8}) {
+    runs.push_back(timedRun(w, opts, t));
+  }
+
+  report::Table table({"threads", "radius", "classifications", "samples/sec",
+                       "directions/sec", "wall (s)"});
+  for (const Run& r : runs) {
+    table.addRow({r.threads == 0 ? "serial" : std::to_string(r.threads),
+                  report::num(r.est.radius, 8),
+                  std::to_string(r.est.classifications),
+                  report::num(static_cast<double>(r.est.classifications) /
+                                  r.seconds,
+                              4),
+                  report::num(static_cast<double>(r.est.directions) /
+                                  r.seconds,
+                              4),
+                  report::num(r.seconds, 3)});
+  }
+  table.print(std::cout);
+
+  bool identical = true;
+  for (const Run& r : runs) identical &= r.est.radius == runs[0].est.radius;
+  std::cout << "\nradius identical across all runs: "
+            << (identical ? "yes" : "NO — determinism contract broken")
+            << "\n\n";
+
+  const char* env = std::getenv("FEPIA_BENCH_JSON");
+  const std::string jsonPath = env != nullptr ? env : "BENCH_validation.json";
+  std::ofstream out(jsonPath);
+  if (!out) {
+    std::cerr << "cannot write " << jsonPath << "\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"empirical_radius\",\n  \"seed\": " << opts.seed
+      << ",\n  \"directions\": " << opts.directions
+      << ",\n  \"chunk_size\": " << opts.chunkSize << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    out << "    {\"threads\": " << r.threads
+        << ", \"classifications\": " << r.est.classifications
+        << ", \"samples_per_sec\": "
+        << static_cast<double>(r.est.classifications) / r.seconds
+        << ", \"directions_per_sec\": "
+        << static_cast<double>(r.est.directions) / r.seconds
+        << ", \"wall_seconds\": " << r.seconds
+        << ", \"radius\": " << r.est.radius << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << jsonPath << "\n\n";
+}
+
+void BM_EstimateRadius(benchmark::State& state) {
+  const Workload w;
+  validate::EstimatorOptions opts;
+  opts.directions = static_cast<std::size_t>(state.range(0));
+  opts.chunkSize = 64;
+  opts.horizon = 16.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        validate::estimateEmpiricalRadius(w.safe(), w.pOrig, opts).radius);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(opts.directions));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EstimateRadius)->RangeMultiplier(4)->Range(256, 4096)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

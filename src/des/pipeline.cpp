@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
 #include <stdexcept>
 
 #include "des/simulator.hpp"
@@ -129,27 +128,30 @@ PipelineResult simulatePipeline(const hiperd::System& sys,
   std::vector<std::vector<double>> finish(nA,
                                           std::vector<double>(gens, -1.0));
 
-  // Forward declaration glue for the recursive event chain.
+  // Forward declaration glue for the recursive event chain. Every event
+  // fires inside sim.run() below, so the hooks can live on the stack and
+  // the closures capture them by reference; capturing an owning handle
+  // here would make the stored std::functions own their own container.
   struct Hooks {
     std::function<void(std::size_t, std::size_t)> startApp;
     std::function<void(std::size_t, std::size_t)> appDone;
   };
-  auto hooks = std::make_shared<Hooks>();
+  Hooks hooks;
 
-  hooks->startApp = [&, hooks](std::size_t a, std::size_t g) {
+  hooks.startApp = [&](std::size_t a, std::size_t g) {
     machines[sys.application(a).machine].submit(
-        execSeconds[a] * jitter(), [&, hooks, a, g] { hooks->appDone(a, g); });
+        execSeconds[a] * jitter(), [&, a, g] { hooks.appDone(a, g); });
   };
 
-  hooks->appDone = [&, hooks](std::size_t a, std::size_t g) {
+  hooks.appDone = [&](std::size_t a, std::size_t g) {
     finish[a][g] = sim.now();
     for (std::size_t k : outgoing[a]) {
       const std::size_t dst = sys.message(k).dstApp;
       const double serviceTime =
           messageBytes[k] / sys.link(sys.message(k).link).bandwidthBytesPerSec;
       links[sys.message(k).link].submit(
-          serviceTime * jitter(), [&, hooks, dst, g] {
-            if (++arrived[dst][g] == inDegree[dst]) hooks->startApp(dst, g);
+          serviceTime * jitter(), [&, dst, g] {
+            if (++arrived[dst][g] == inDegree[dst]) hooks.startApp(dst, g);
           });
     }
   };
@@ -158,9 +160,9 @@ PipelineResult simulatePipeline(const hiperd::System& sys,
   // inputs) become eligible at the emission instant.
   for (std::size_t g = 0; g < gens; ++g) {
     const double emitTime = static_cast<double>(g) * period;
-    sim.schedule(emitTime, [&, hooks, g] {
+    sim.schedule(emitTime, [&, g] {
       for (std::size_t a = 0; a < nA; ++a) {
-        if (inDegree[a] == 0) hooks->startApp(a, g);
+        if (inDegree[a] == 0) hooks.startApp(a, g);
       }
     });
   }

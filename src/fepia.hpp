@@ -64,3 +64,6 @@
 #include "trace/trace.hpp"
 #include "stats/histogram.hpp"
 #include "units/unit.hpp"
+#include "validate/empirical.hpp"
+#include "validate/report.hpp"
+#include "validate/scheme.hpp"

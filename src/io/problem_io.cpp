@@ -4,6 +4,7 @@
 #include <fstream>
 #include <limits>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -44,14 +45,21 @@ std::vector<std::string> tokenize(const std::string& line) {
 }
 
 double parseNumber(const std::string& token, std::size_t lineNo) {
+  double v = 0.0;
   try {
     std::size_t used = 0;
-    const double v = std::stod(token, &used);
+    v = std::stod(token, &used);
     if (used != token.size()) throw std::invalid_argument("trailing chars");
-    return v;
   } catch (const std::exception&) {
     throw ParseError(lineNo, "expected a number, got '" + token + "'");
   }
+  // stod accepts "nan"/"inf"; neither is a meaningful original value,
+  // coefficient or bound in the file format (unbounded sides are spelled
+  // with the upper/lower directives).
+  if (!std::isfinite(v)) {
+    throw ParseError(lineNo, "non-finite value '" + token + "' not allowed");
+  }
+  return v;
 }
 
 }  // namespace
@@ -96,6 +104,8 @@ radius::FepiaProblem parseProblem(std::istream& in) {
     std::size_t lineNo;
   };
   std::vector<PendingFeature> pending;
+  std::set<std::string> kindNames;
+  std::set<std::string> featureNames;
 
   std::string line;
   std::size_t lineNo = 0;
@@ -116,6 +126,9 @@ radius::FepiaProblem parseProblem(std::istream& in) {
       }
       if (tokens.size() < 4) {
         throw ParseError(lineNo, "kind needs: kind <name> <unit> <orig...>");
+      }
+      if (!kindNames.insert(tokens[1]).second) {
+        throw ParseError(lineNo, "duplicate kind '" + tokens[1] + "'");
       }
       units::Unit unit;
       try {
@@ -139,6 +152,9 @@ radius::FepiaProblem parseProblem(std::istream& in) {
       }
       std::size_t pos = 1;
       const std::string name = tokens[pos++];
+      if (!featureNames.insert(name).second) {
+        throw ParseError(lineNo, "duplicate feature '" + name + "'");
+      }
 
       // Bound spec.
       const std::string boundKind = tokens[pos++];

@@ -1,5 +1,6 @@
 #include "io/system_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -40,13 +41,29 @@ std::vector<std::string> tokenizeLine(const std::string& line,
 }
 
 double number(const std::string& token, std::size_t lineNo) {
+  double v = 0.0;
   try {
     std::size_t used = 0;
-    const double v = std::stod(token, &used);
+    v = std::stod(token, &used);
     if (used != token.size()) throw std::invalid_argument("trailing");
-    return v;
   } catch (const std::exception&) {
     throw ParseError(lineNo, "expected a number, got '" + token + "'");
+  }
+  // stod accepts "nan"/"inf"; no load, bandwidth, time or size in a
+  // system file is legitimately non-finite.
+  if (!std::isfinite(v)) {
+    throw ParseError(lineNo, "non-finite value '" + token + "' not allowed");
+  }
+  return v;
+}
+
+/// Inserts name -> index, rejecting redefinitions: silently overwriting
+/// an entity would make later references resolve to the wrong object.
+void define(std::map<std::string, std::size_t>& table, const std::string& name,
+            std::size_t index, const char* what, std::size_t lineNo) {
+  if (!table.emplace(name, index).second) {
+    throw ParseError(lineNo,
+                     std::string("duplicate ") + what + " '" + name + "'");
   }
 }
 
@@ -65,7 +82,8 @@ std::size_t lookup(const std::map<std::string, std::size_t>& table,
 
 hiperd::ReferenceSystem parseSystem(std::istream& in) {
   hiperd::ReferenceSystem ref;
-  std::map<std::string, std::size_t> sensors, machines, links, apps, messages;
+  std::map<std::string, std::size_t> sensors, machines, links, apps, messages,
+      paths;
   bool haveQos = false;
 
   std::string line;
@@ -79,13 +97,16 @@ hiperd::ReferenceSystem parseSystem(std::istream& in) {
     try {
       if (kw == "sensor") {
         if (t.size() != 3) throw ParseError(lineNo, "sensor <name> <load>");
-        sensors[t[1]] = ref.system.addSensor({t[1], number(t[2], lineNo)});
+        define(sensors, t[1], ref.system.addSensor({t[1], number(t[2], lineNo)}),
+               "sensor", lineNo);
       } else if (kw == "machine") {
         if (t.size() != 2) throw ParseError(lineNo, "machine <name>");
-        machines[t[1]] = ref.system.addMachine({t[1]});
+        define(machines, t[1], ref.system.addMachine({t[1]}), "machine",
+               lineNo);
       } else if (kw == "link") {
         if (t.size() != 3) throw ParseError(lineNo, "link <name> <bandwidth>");
-        links[t[1]] = ref.system.addLink({t[1], number(t[2], lineNo)});
+        define(links, t[1], ref.system.addLink({t[1], number(t[2], lineNo)}),
+               "link", lineNo);
       } else if (kw == "app") {
         // app <name> <machine> <base> coeff <...>
         if (t.size() < 5 || t[4] != "coeff") {
@@ -99,7 +120,9 @@ hiperd::ReferenceSystem parseSystem(std::istream& in) {
         for (std::size_t i = 5; i < t.size(); ++i) {
           a.loadCoeffSeconds.push_back(number(t[i], lineNo));
         }
-        apps[t[1]] = ref.system.addApplication(std::move(a));
+        const std::string appName = t[1];
+        define(apps, appName, ref.system.addApplication(std::move(a)), "app",
+               lineNo);
       } else if (kw == "message") {
         // message <name> <src> <dst> <link> <base-bytes> coeff <...>
         if (t.size() < 7 || t[6] != "coeff") {
@@ -116,7 +139,9 @@ hiperd::ReferenceSystem parseSystem(std::istream& in) {
         for (std::size_t i = 7; i < t.size(); ++i) {
           m.loadCoeffBytes.push_back(number(t[i], lineNo));
         }
-        messages[t[1]] = ref.system.addMessage(std::move(m));
+        const std::string msgName = t[1];
+        define(messages, msgName, ref.system.addMessage(std::move(m)),
+               "message", lineNo);
       } else if (kw == "path") {
         // path <name> apps <...> messages <...>
         if (t.size() < 4 || t[2] != "apps") {
@@ -136,11 +161,14 @@ hiperd::ReferenceSystem parseSystem(std::istream& in) {
             ++i;
           }
         }
-        ref.system.addPath(std::move(p));
+        const std::string pathName = p.name;
+        define(paths, pathName, ref.system.addPath(std::move(p)), "path",
+               lineNo);
       } else if (kw == "qos") {
         if (t.size() != 3) {
           throw ParseError(lineNo, "qos <min-throughput> <max-latency>");
         }
+        if (haveQos) throw ParseError(lineNo, "duplicate 'qos' line");
         ref.qos.minThroughput = number(t[1], lineNo);
         ref.qos.maxLatencySeconds = number(t[2], lineNo);
         if (ref.qos.minThroughput <= 0.0 || ref.qos.maxLatencySeconds <= 0.0) {

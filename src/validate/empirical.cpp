@@ -1,0 +1,284 @@
+#include "validate/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+#include "stats/ecdf.hpp"
+
+namespace fepia::validate {
+
+namespace {
+
+void checkOptions(const EstimatorOptions& opts) {
+  if (opts.directions == 0) {
+    throw std::invalid_argument("validate: directions must be positive");
+  }
+  if (opts.chunkSize == 0) {
+    throw std::invalid_argument("validate: chunkSize must be positive");
+  }
+  if (!(opts.horizon > 0.0) || !std::isfinite(opts.horizon)) {
+    throw std::invalid_argument("validate: horizon must be finite and positive");
+  }
+  if (!(opts.confidence > 0.0 && opts.confidence < 1.0)) {
+    throw std::invalid_argument("validate: confidence must lie in (0, 1)");
+  }
+}
+
+/// First safe->unsafe transition distance along `u` from `origin`:
+/// geometric march from horizon * 2^-40 doubling up to the horizon, then
+/// bisection of the bracketing interval. Returns +inf when the whole ray
+/// stays safe. Rays that leave and re-enter the safe region below the
+/// march resolution are attributed to the first crossing the march sees
+/// (the same caveat as any sampling method on a non-convex region).
+double boundaryDistanceAlong(const SafePredicate& safe, const la::Vector& origin,
+                             const std::vector<double>& u,
+                             const EstimatorOptions& opts, la::Vector& probe,
+                             std::size_t& evals) {
+  const std::size_t n = origin.size();
+  const auto isSafeAt = [&](double t) {
+    for (std::size_t i = 0; i < n; ++i) probe[i] = origin[i] + t * u[i];
+    ++evals;
+    return safe(probe);
+  };
+
+  double lo = 0.0;  // known safe (origin checked by the caller)
+  double hi = 0.0;
+  bool hit = false;
+  double t = std::ldexp(opts.horizon, -40);
+  for (;;) {
+    if (!isSafeAt(t)) {
+      hi = t;
+      hit = true;
+      break;
+    }
+    lo = t;
+    if (t >= opts.horizon) break;
+    t = std::min(2.0 * t, opts.horizon);
+  }
+  if (!hit) return std::numeric_limits<double>::infinity();
+
+  for (std::size_t it = 0; it < opts.bisectIterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= lo || mid >= hi) break;  // bracket at double resolution
+    if (isSafeAt(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Confidence interval for the region radius from the directional
+/// sample. Every directional distance is >= the true radius, so the
+/// sample minimum m is a hard upper bound; the question is how far below
+/// m the interval must reach to cover the endpoint. Two corrections are
+/// combined and the wider one wins:
+///
+///  * reflected (basic) bootstrap of the minimum: m - (q_hi - m), with
+///    q_hi the upper bootstrap quantile of resampled minima — captures
+///    the resampling spread, but cannot see past the sample;
+///  * Robson-Whitlock endpoint extrapolation: m - (d2 - m) * c / (1 - c)
+///    for tail mass c, with d2 the second-smallest distance — the
+///    spacing of the lowest order statistics scales with the directional
+///    minimum's bias (which grows with dimension), so this reaches below
+///    the sample where the bootstrap cannot.
+stats::Interval minimumCI(const std::vector<double>& finite, double m,
+                          const EstimatorOptions& opts) {
+  if (finite.size() < 2) {
+    return stats::Interval{m, m};
+  }
+  double d2 = std::numeric_limits<double>::infinity();
+  bool seenMin = false;
+  for (const double d : finite) {
+    if (d == m && !seenMin) {
+      seenMin = true;  // skip one copy of the minimum itself
+    } else {
+      d2 = std::min(d2, d);
+    }
+  }
+  const double tail = 0.5 * (1.0 - opts.confidence);
+  const double spacing = (d2 - m) * (1.0 - tail) / tail;
+
+  double spread = 0.0;
+  if (opts.bootstrapResamples > 0) {
+    rng::Xoshiro256StarStar g(
+        rng::SplitMix64(opts.seed ^ 0xB007B007ull).next());
+    std::vector<double> mins(opts.bootstrapResamples);
+    for (std::size_t b = 0; b < opts.bootstrapResamples; ++b) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < finite.size(); ++i) {
+        best = std::min(best,
+                        finite[rng::uniformIndex(g, 0, finite.size() - 1)]);
+      }
+      mins[b] = best;
+    }
+    std::sort(mins.begin(), mins.end());
+    spread = stats::quantile(mins, 1.0 - tail) - m;
+  }
+  return stats::Interval{std::max(0.0, m - std::max(spread, spacing)), m};
+}
+
+/// Deterministic pattern search on the direction sphere, started from
+/// the best sampled direction: perturb one coordinate at a time,
+/// renormalise, keep strict improvements, halve the step on a full
+/// sweep without one. Serial by design — runs after the parallel phase,
+/// so it cannot affect the thread-count invariance.
+double polishDirection(const SafePredicate& safe, const la::Vector& origin,
+                       std::vector<double> u, double d0,
+                       const EstimatorOptions& opts, la::Vector& probe,
+                       std::size_t& evals) {
+  const std::size_t n = u.size();
+  double best = d0;
+  double step = 0.25;
+  std::vector<double> v(n);
+  for (std::size_t sweep = 0; sweep < opts.polishSweeps && step > 1e-9;
+       ++sweep) {
+    bool improved = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      for (const double sgn : {1.0, -1.0}) {
+        v = u;
+        v[j] += sgn * step;
+        if (opts.nonnegativeDirections && v[j] < 0.0) v[j] = 0.0;
+        double norm2 = 0.0;
+        for (const double x : v) norm2 += x * x;
+        if (!(norm2 > 0.0)) continue;
+        const double inv = 1.0 / std::sqrt(norm2);
+        for (double& x : v) x *= inv;
+        const double d = boundaryDistanceAlong(safe, origin, v, opts, probe,
+                                               evals);
+        if (d < best) {
+          best = d;
+          u = v;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) step *= 0.5;
+  }
+  return best;
+}
+
+}  // namespace
+
+EmpiricalEstimate estimateEmpiricalRadius(const SafePredicate& safe,
+                                          const la::Vector& origin,
+                                          const EstimatorOptions& opts,
+                                          parallel::ThreadPool* pool) {
+  checkOptions(opts);
+  if (!safe) {
+    throw std::invalid_argument("validate: null safe predicate");
+  }
+  if (origin.empty()) {
+    throw std::invalid_argument("validate: empty origin");
+  }
+  if (!safe(origin)) {
+    throw std::domain_error(
+        "validate: the origin violates the robustness requirement (the paper "
+        "assumes the assumed operating point satisfies QoS)");
+  }
+
+  const std::size_t n = origin.size();
+  const std::size_t chunks = (opts.directions + opts.chunkSize - 1) / opts.chunkSize;
+  std::vector<double> distances(opts.directions);
+  std::vector<std::size_t> evalsPerChunk(chunks, 0);
+  // Per-chunk argmin direction, kept for the polish. First-index wins on
+  // ties — the same rule the global reduction below uses, so the global
+  // critical direction is always its chunk's stored one.
+  std::vector<std::vector<double>> bestDirPerChunk(chunks);
+
+  const rng::Xoshiro256StarStar base(opts.seed);
+  const auto runChunk = [&](std::size_t c) {
+    rng::Xoshiro256StarStar g =
+        base.substream(static_cast<unsigned>(c));
+    la::Vector probe(n);
+    std::size_t evals = 0;
+    double chunkBest = std::numeric_limits<double>::infinity();
+    const std::size_t first = c * opts.chunkSize;
+    const std::size_t last = std::min(first + opts.chunkSize, opts.directions);
+    for (std::size_t i = first; i < last; ++i) {
+      std::vector<double> u =
+          opts.nonnegativeDirections ? rng::unitSphereNonnegative(g, n)
+                                     : rng::unitSphere(g, n);
+      distances[i] = boundaryDistanceAlong(safe, origin, u, opts, probe, evals);
+      if (distances[i] < chunkBest) {
+        chunkBest = distances[i];
+        bestDirPerChunk[c] = std::move(u);
+      }
+    }
+    evalsPerChunk[c] = evals;
+  };
+
+  if (pool != nullptr && chunks > 1) {
+    parallel::parallelFor(*pool, chunks, runChunk);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) runChunk(c);
+  }
+
+  EmpiricalEstimate est;
+  est.directions = opts.directions;
+  est.distances = std::move(distances);
+  for (std::size_t c = 0; c < chunks; ++c) est.classifications += evalsPerChunk[c];
+
+  std::vector<double> finite;
+  finite.reserve(est.distances.size());
+  for (std::size_t i = 0; i < est.distances.size(); ++i) {
+    const double d = est.distances[i];
+    if (std::isfinite(d)) {
+      finite.push_back(d);
+      if (d < est.radius) {
+        est.radius = d;
+        est.criticalDirection = i;
+      }
+    }
+  }
+  est.boundaryHits = finite.size();
+  if (!finite.empty()) {
+    est.distanceSummary = stats::summarize(finite);
+    if (opts.polishSweeps > 0) {
+      la::Vector probe(n);
+      std::size_t evals = 0;
+      est.radius = polishDirection(
+          safe, origin, bestDirPerChunk[est.criticalDirection / opts.chunkSize],
+          est.radius, opts, probe, evals);
+      est.classifications += evals;
+    }
+    est.ci = minimumCI(finite, est.radius, opts);
+  }
+  return est;
+}
+
+EmpiricalEstimate estimateEmpiricalRadius(const feature::FeatureSet& phi,
+                                          const la::Vector& origin,
+                                          const EstimatorOptions& opts,
+                                          parallel::ThreadPool* pool) {
+  if (phi.empty()) {
+    throw std::invalid_argument("validate: empty feature set");
+  }
+  if (phi.dimension() != origin.size()) {
+    throw std::invalid_argument(
+        "validate: origin dimension does not match the feature set");
+  }
+  return estimateEmpiricalRadius(
+      [&phi](const la::Vector& pi) { return phi.allWithinBounds(pi); }, origin,
+      opts, pool);
+}
+
+double violationFraction(const EmpiricalEstimate& est, double r) {
+  if (est.distances.empty()) {
+    throw std::invalid_argument("validate: estimate holds no distances");
+  }
+  if (est.boundaryHits == 0) return 0.0;
+  std::vector<double> finite;
+  finite.reserve(est.boundaryHits);
+  for (double d : est.distances) {
+    if (std::isfinite(d)) finite.push_back(d);
+  }
+  const stats::Ecdf cdf(finite);
+  return cdf(r) * static_cast<double>(est.boundaryHits) /
+         static_cast<double>(est.directions);
+}
+
+}  // namespace fepia::validate

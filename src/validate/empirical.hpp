@@ -1,0 +1,127 @@
+// Monte-Carlo empirical robustness estimation.
+//
+// The analytic engines of src/radius compute the robustness radius from
+// the feature model; this module cross-checks them statistically, in the
+// spirit of robustness-surface estimation (Manzano et al.) and
+// sample-based robustness-degradation construction (Chen et al.): probe
+// random perturbation directions around the operating point, locate the
+// first safe/violating transition along each ray by geometric march +
+// bisection on the safe-region membership predicate, and estimate the
+// empirical robustness radius as the smallest directional boundary
+// distance, with a bootstrap confidence interval.
+//
+// Determinism contract: for a fixed seed the result is bit-identical
+// regardless of thread count. Directions are partitioned into fixed-size
+// chunks; chunk c draws from substream c of the seed generator
+// (xoshiro256** jump-ahead), every direction's result lands in a
+// preallocated slot indexed by direction id, and all reductions run over
+// those slots in index order after the parallel phase.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "feature/feature.hpp"
+#include "la/vector.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stats/descriptive.hpp"
+
+namespace fepia::validate {
+
+/// Safe-region membership: true when the system tolerates operating
+/// point `pi` (all features within bounds, DES run satisfies QoS, ...).
+/// Must be deterministic — the estimator's reproducibility guarantee is
+/// only as good as the predicate's.
+using SafePredicate = std::function<bool(const la::Vector&)>;
+
+/// Sampling parameters for the empirical estimator.
+struct EstimatorOptions {
+  /// Number of random probe directions (the Monte-Carlo sample size).
+  std::size_t directions = 4096;
+  /// Directions per RNG substream; the unit of parallel work. Results do
+  /// not depend on this except through the direction -> substream map,
+  /// so changing it (unlike the thread count) changes the sample.
+  std::size_t chunkSize = 256;
+  /// Seed of the substream family.
+  std::uint64_t seed = 0x5EEDD1CEull;
+  /// Ray horizon: directions with no violation within this distance
+  /// count as censored (infinite boundary distance).
+  double horizon = 1.0e3;
+  /// Bisection refinements after the march brackets the transition; 60
+  /// halvings exhaust double precision for any bracket.
+  std::size_t bisectIterations = 60;
+  /// Restrict probes to the nonnegative orthant (perturbations that only
+  /// grow, as in the paper's Figure 1 load space).
+  bool nonnegativeDirections = false;
+  /// Pattern-search sweeps refining the best sampled direction after the
+  /// Monte-Carlo phase. A directional minimum is biased upward — badly
+  /// so in high dimension, where no ray lands near the optimal
+  /// direction; the polish walks the best direction downhill and removes
+  /// most of that bias. Deterministic and serial (does not affect the
+  /// thread-count invariance). 0 disables.
+  std::size_t polishSweeps = 48;
+  /// Bootstrap confidence level for the radius interval.
+  double confidence = 0.95;
+  /// Bootstrap resamples for the interval.
+  std::size_t bootstrapResamples = 1000;
+};
+
+/// Result of an empirical radius estimation.
+struct EmpiricalEstimate {
+  /// The estimate: smallest directional boundary distance, refined by
+  /// the polish sweeps (+inf when no direction violated within the
+  /// horizon). Still an upper bound on the true radius — it is the
+  /// distance along a concrete direction.
+  double radius = std::numeric_limits<double>::infinity();
+  /// Confidence interval for the radius. The sample minimum is a hard
+  /// upper bound (every ray distance >= the true radius); the lower end
+  /// extends below it by the larger of the reflected-bootstrap spread
+  /// and a Robson-Whitlock endpoint extrapolation from the spacing of
+  /// the two smallest distances, so the analytic radius of a correct
+  /// model falls inside even in high dimension (where the directional
+  /// minimum's upward bias exceeds the resampling spread).
+  stats::Interval ci{};
+  /// Direction index realising the minimum.
+  std::size_t criticalDirection = 0;
+  /// Directions sampled / directions whose ray hit the boundary.
+  std::size_t directions = 0;
+  std::size_t boundaryHits = 0;
+  /// Total safe-predicate evaluations across all rays.
+  std::size_t classifications = 0;
+  /// Summary over the finite (boundary-hitting) directional distances.
+  stats::Summary distanceSummary{};
+  /// Per-direction boundary distance, in direction order (+inf for
+  /// censored rays). Feed to stats::Ecdf for the robustness-degradation
+  /// curve: F(r) = fraction of directions already violating at radius r.
+  std::vector<double> distances;
+
+  [[nodiscard]] bool finite() const noexcept {
+    return radius < std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Estimates the empirical robustness radius of the region where `safe`
+/// holds, around `origin`. Runs serially when `pool` is null, chunked
+/// across the pool otherwise; results are bit-identical either way.
+/// Throws std::invalid_argument on bad options or an empty origin, and
+/// std::domain_error when `safe(origin)` is false (the paper assumes the
+/// assumed operating point satisfies QoS).
+[[nodiscard]] EmpiricalEstimate estimateEmpiricalRadius(
+    const SafePredicate& safe, const la::Vector& origin,
+    const EstimatorOptions& opts = {}, parallel::ThreadPool* pool = nullptr);
+
+/// Convenience overload: the safe region of a feature set —
+/// phi.allWithinBounds(pi) — around `origin`.
+[[nodiscard]] EmpiricalEstimate estimateEmpiricalRadius(
+    const feature::FeatureSet& phi, const la::Vector& origin,
+    const EstimatorOptions& opts = {}, parallel::ThreadPool* pool = nullptr);
+
+/// Fraction of probe directions already violating at distance `r` — the
+/// empirical robustness-degradation function, read off the ECDF of the
+/// directional boundary distances. 0 everywhere below the empirical
+/// radius; approaches the boundary-hit fraction as r grows.
+[[nodiscard]] double violationFraction(const EmpiricalEstimate& est, double r);
+
+}  // namespace fepia::validate

@@ -1,0 +1,102 @@
+#include "validate/report.hpp"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+namespace fepia::validate {
+
+namespace {
+
+std::string jsonNumber(double v) {
+  if (std::isnan(v)) return "null";
+  if (std::isinf(v)) return v > 0 ? "1e999" : "-1e999";
+  return report::num(v, 17);
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Comparison compare(std::string label, double analyticRadius,
+                   EmpiricalEstimate empirical) {
+  Comparison c;
+  c.label = std::move(label);
+  c.analyticRadius = analyticRadius;
+  c.empirical = std::move(empirical);
+  if (analyticRadius != 0.0 && std::isfinite(analyticRadius) &&
+      c.empirical.finite()) {
+    c.relativeError = (c.empirical.radius - analyticRadius) / analyticRadius;
+  } else {
+    c.relativeError = std::numeric_limits<double>::quiet_NaN();
+  }
+  if (std::isinf(analyticRadius) && !c.empirical.finite()) {
+    // Both sides agree the region is unbounded in every sampled direction.
+    c.analyticWithinCI = true;
+  } else {
+    // Ulp-level slack: the bisection's final bracket midpoint can land a
+    // couple of ulps on either side of the analytic value.
+    const double slack = 1e-12 * (1.0 + std::abs(analyticRadius));
+    c.analyticWithinCI = c.empirical.finite() &&
+                         analyticRadius >= c.empirical.ci.lo - slack &&
+                         analyticRadius <= c.empirical.ci.hi + slack;
+  }
+  return c;
+}
+
+report::Table comparisonTable(std::span<const Comparison> rows) {
+  report::Table table({"feature", "analytic", "empirical", "rel err",
+                       "95% CI", "analytic in CI", "hits/dirs", "classif."});
+  for (const Comparison& c : rows) {
+    const bool fin = c.empirical.finite();
+    std::string ci = "-";
+    if (fin) {
+      ci = "[";
+      ci += report::num(c.empirical.ci.lo, 6);
+      ci += ", ";
+      ci += report::num(c.empirical.ci.hi, 6);
+      ci += "]";
+    }
+    table.addRow(
+        {c.label,
+         std::isfinite(c.analyticRadius) ? report::num(c.analyticRadius, 8)
+                                         : "inf",
+         fin ? report::num(c.empirical.radius, 8) : "inf",
+         std::isnan(c.relativeError) ? "-" : report::num(c.relativeError, 3),
+         std::move(ci),
+         c.analyticWithinCI ? "yes" : "NO",
+         std::to_string(c.empirical.boundaryHits) + "/" +
+             std::to_string(c.empirical.directions),
+         std::to_string(c.empirical.classifications)});
+  }
+  return table;
+}
+
+void writeComparisonJson(std::ostream& os, std::span<const Comparison> rows) {
+  os << "{\"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Comparison& c = rows[i];
+    if (i != 0) os << ", ";
+    os << "{\"label\": \"" << escape(c.label) << "\""
+       << ", \"analytic\": " << jsonNumber(c.analyticRadius)
+       << ", \"empirical\": " << jsonNumber(c.empirical.radius)
+       << ", \"relative_error\": " << jsonNumber(c.relativeError)
+       << ", \"ci\": [" << jsonNumber(c.empirical.ci.lo) << ", "
+       << jsonNumber(c.empirical.ci.hi) << "]"
+       << ", \"within_ci\": " << (c.analyticWithinCI ? "true" : "false")
+       << ", \"directions\": " << c.empirical.directions
+       << ", \"boundary_hits\": " << c.empirical.boundaryHits
+       << ", \"classifications\": " << c.empirical.classifications << "}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace fepia::validate

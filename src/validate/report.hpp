@@ -1,0 +1,48 @@
+// Analytic-vs-empirical comparison reporting for the validation engine.
+//
+// A Comparison pairs one analytic radius (closed form or numeric engine)
+// with one empirical estimate and records how they relate: relative
+// error and whether the analytic value falls inside the empirical
+// bootstrap interval. The renderers emit the structured report the CLI
+// and benches print — a src/report table and a line-oriented JSON
+// document for machine consumption.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "report/table.hpp"
+#include "validate/empirical.hpp"
+
+namespace fepia::validate {
+
+/// One analytic-vs-empirical row.
+struct Comparison {
+  std::string label;          ///< feature / scheme being validated
+  double analyticRadius = 0.0;
+  EmpiricalEstimate empirical;
+  /// (empirical - analytic) / analytic; NaN when the analytic radius is
+  /// zero or either side is infinite.
+  double relativeError = 0.0;
+  /// True when the analytic radius lies within the empirical CI.
+  bool analyticWithinCI = false;
+};
+
+/// Builds a Comparison from its parts (computes the derived fields).
+[[nodiscard]] Comparison compare(std::string label, double analyticRadius,
+                                 EmpiricalEstimate empirical);
+
+/// Renders rows as a src/report table: label, analytic, empirical,
+/// relative error, CI, CI verdict, boundary hits, classifications.
+[[nodiscard]] report::Table comparisonTable(std::span<const Comparison> rows);
+
+/// Writes the structured JSON report:
+///   {"rows": [{"label": ..., "analytic": ..., "empirical": ...,
+///     "relative_error": ..., "ci": [lo, hi], "within_ci": ...,
+///     "directions": ..., "boundary_hits": ..., "classifications": ...},
+///    ...]}
+void writeComparisonJson(std::ostream& os, std::span<const Comparison> rows);
+
+}  // namespace fepia::validate

@@ -1,0 +1,181 @@
+// Malformed-input behaviour of the plain-text parsers: truncated files,
+// non-finite values, duplicate names and empty parameter lists must
+// produce clean ParseErrors (with line numbers) — never crashes, and
+// never silent acceptance.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/problem_io.hpp"
+#include "io/system_io.hpp"
+
+namespace io = fepia::io;
+
+namespace {
+
+/// Asserts that parsing `text` as a problem file fails with a ParseError
+/// locating line `line`.
+void expectProblemError(const std::string& text, std::size_t line) {
+  try {
+    (void)io::parseProblemString(text);
+    FAIL() << "expected ParseError for:\n" << text;
+  } catch (const io::ParseError& e) {
+    EXPECT_EQ(e.line(), line) << e.what();
+  }
+}
+
+void expectSystemError(const std::string& text, std::size_t line) {
+  try {
+    (void)io::parseSystemString(text);
+    FAIL() << "expected ParseError for:\n" << text;
+  } catch (const io::ParseError& e) {
+    EXPECT_EQ(e.line(), line) << e.what();
+  }
+}
+
+const char* kValidSystem = R"(sensor s1 10
+machine m1
+link l1 1e6
+app a1 m1 0.5 coeff 0.1
+app a2 m1 0.2 coeff 0.05
+message x a1 a2 l1 100 coeff 2
+path p apps a1 a2 messages x
+qos 1 5
+)";
+
+}  // namespace
+
+TEST(ProblemIoMalformed, TruncatedFeatureLines) {
+  // Cut off after the bound keyword / mid coefficient list.
+  expectProblemError("kind k s 1.0\nfeature f upper\n", 2);
+  expectProblemError("kind k s 1.0\nfeature f upper 2.0\n", 2);
+  expectProblemError("kind k s 1.0\nfeature f upper 2.0 coeff\n", 2);
+  expectProblemError("kind k s 1.0\nfeature f between 1.0\n", 2);
+  expectProblemError("kind k s 1.0\nfeature f upper 2.0 coeff 1.0 offset\n", 2);
+  // Unterminated quoted name (truncated mid-token).
+  expectProblemError("kind k s 1.0\nfeature \"cut off upper 2.0 coeff 1.0\n",
+                     2);
+}
+
+TEST(ProblemIoMalformed, TruncatedFileMissingSections) {
+  expectProblemError("", 0);
+  expectProblemError("# only a comment\n", 1);
+  expectProblemError("kind k s 1.0\n", 1);                       // no features
+  expectProblemError("feature f upper 2.0 coeff 1.0\n", 1);     // no kinds
+}
+
+TEST(ProblemIoMalformed, NonFiniteValuesRejected) {
+  expectProblemError("kind k s nan\nfeature f upper 2.0 coeff 1.0\n", 1);
+  expectProblemError("kind k s inf\nfeature f upper 2.0 coeff 1.0\n", 1);
+  expectProblemError("kind k s -inf\nfeature f upper 2.0 coeff 1.0\n", 1);
+  expectProblemError("kind k s 1.0\nfeature f upper nan coeff 1.0\n", 2);
+  expectProblemError("kind k s 1.0\nfeature f upper 2.0 coeff inf\n", 2);
+  expectProblemError("kind k s 1.0\nfeature f upper 2.0 coeff 1.0 offset nan\n",
+                     2);
+}
+
+TEST(ProblemIoMalformed, DuplicateNamesRejected) {
+  expectProblemError(
+      "kind k s 1.0\nkind k B 2.0\nfeature f upper 9.0 coeff 1.0 1.0\n", 2);
+  expectProblemError(
+      "kind k s 1.0\nfeature f upper 9.0 coeff 1.0\nfeature f upper 5.0 coeff "
+      "2.0\n",
+      3);
+}
+
+TEST(ProblemIoMalformed, EmptyParameterListRejected) {
+  expectProblemError("kind k s\nfeature f upper 2.0 coeff 1.0\n", 1);
+  expectProblemError("kind k\nfeature f upper 2.0 coeff 1.0\n", 1);
+}
+
+TEST(ProblemIoMalformed, GarbageNumbersAndDirectives) {
+  expectProblemError("kind k s 1.0x2\nfeature f upper 2.0 coeff 1.0\n", 1);
+  expectProblemError("kind k s 1.0\nfeatre f upper 2.0 coeff 1.0\n", 2);
+  expectProblemError("kind k lightyears 1.0\nfeature f upper 2.0 coeff 1.0\n",
+                     1);
+}
+
+TEST(ProblemIoMalformed, MissingFileThrowsRuntimeError) {
+  EXPECT_THROW((void)io::loadProblem("/nonexistent/path.fepia"),
+               std::runtime_error);
+}
+
+TEST(SystemIoMalformed, ValidBaselineParses) {
+  EXPECT_NO_THROW((void)io::parseSystemString(kValidSystem));
+}
+
+TEST(SystemIoMalformed, TruncatedEntityLines) {
+  expectSystemError("sensor s1\n", 1);
+  expectSystemError("sensor s1 10\nmachine\n", 2);
+  expectSystemError("sensor s1 10\nmachine m1\nlink l1\n", 3);
+  expectSystemError("sensor s1 10\nmachine m1\napp a1 m1 0.5\n", 3);
+  expectSystemError(
+      "sensor s1 10\nmachine m1\napp a1 m1 0.5 coeff 0.1\nqos 1\n", 4);
+  // Truncated file: qos line never arrives.
+  expectSystemError("sensor s1 10\nmachine m1\napp a1 m1 0.5 coeff 0.1\n", 3);
+}
+
+TEST(SystemIoMalformed, NonFiniteValuesRejected) {
+  expectSystemError("sensor s1 nan\n", 1);
+  expectSystemError("sensor s1 10\nmachine m1\nlink l1 inf\n", 3);
+  expectSystemError("sensor s1 10\nmachine m1\napp a1 m1 nan coeff 0.1\n", 3);
+  expectSystemError(
+      "sensor s1 10\nmachine m1\napp a1 m1 0.5 coeff inf\nqos 1 5\n", 3);
+  expectSystemError(
+      "sensor s1 10\nmachine m1\napp a1 m1 0.5 coeff 0.1\nqos nan 5\n", 4);
+}
+
+TEST(SystemIoMalformed, DuplicateNamesRejected) {
+  expectSystemError("sensor s1 10\nsensor s1 20\n", 2);
+  expectSystemError("sensor s1 10\nmachine m1\nmachine m1\n", 3);
+  expectSystemError("sensor s1 10\nmachine m1\nlink l1 1e6\nlink l1 2e6\n", 4);
+  expectSystemError(
+      "sensor s1 10\nmachine m1\napp a1 m1 0.5 coeff 0.1\napp a1 m1 0.2 coeff "
+      "0.1\n",
+      4);
+  expectSystemError(
+      "sensor s1 10\nmachine m1\nlink l1 1e6\napp a1 m1 0.5 coeff 0.1\n"
+      "app a2 m1 0.2 coeff 0.1\nmessage x a1 a2 l1 100 coeff 2\n"
+      "message x a1 a2 l1 50 coeff 1\n",
+      7);
+  expectSystemError(
+      "sensor s1 10\nmachine m1\napp a1 m1 0.5 coeff 0.1\n"
+      "path p apps a1\npath p apps a1\n",
+      5);
+  // Second qos line must not silently replace the first.
+  expectSystemError(
+      "sensor s1 10\nmachine m1\napp a1 m1 0.5 coeff 0.1\nqos 1 5\nqos 2 9\n",
+      5);
+}
+
+TEST(SystemIoMalformed, EmptyParameterListsRejected) {
+  // app with no load coefficients: coefficient count must match sensors.
+  expectSystemError("sensor s1 10\nmachine m1\napp a1 m1 0.5 coeff\nqos 1 5\n",
+                    3);
+  // message with no coefficients either.
+  expectSystemError(
+      "sensor s1 10\nmachine m1\nlink l1 1e6\napp a1 m1 0.5 coeff 0.1\n"
+      "app a2 m1 0.2 coeff 0.1\nmessage x a1 a2 l1 100 coeff\nqos 1 5\n",
+      6);
+  // path with no apps.
+  expectSystemError(
+      "sensor s1 10\nmachine m1\napp a1 m1 0.5 coeff 0.1\npath p apps\nqos 1 "
+      "5\n",
+      4);
+}
+
+TEST(SystemIoMalformed, DanglingReferencesRejected) {
+  expectSystemError("sensor s1 10\nmachine m1\napp a1 mX 0.5 coeff 0.1\n", 3);
+  expectSystemError(
+      "sensor s1 10\nmachine m1\nlink l1 1e6\napp a1 m1 0.5 coeff 0.1\n"
+      "app a2 m1 0.2 coeff 0.1\nmessage x a1 aX l1 100 coeff 2\n",
+      6);
+  expectSystemError(
+      "sensor s1 10\nmachine m1\napp a1 m1 0.5 coeff 0.1\npath p apps aX\n",
+      4);
+}
+
+TEST(SystemIoMalformed, MissingFileThrowsRuntimeError) {
+  EXPECT_THROW((void)io::loadSystem("/nonexistent/path.hiperd"),
+               std::runtime_error);
+}

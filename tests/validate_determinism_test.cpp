@@ -1,0 +1,145 @@
+// Determinism contract of the parallel subsystems: for a fixed seed the
+// Monte-Carlo validation engine and parallel rho must produce
+// byte-identical results for any thread count (substream-per-chunk
+// scheduling, index-ordered reductions).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "feature/linear.hpp"
+#include "feature/quadratic.hpp"
+#include "la/matrix.hpp"
+#include "radius/parallel_rho.hpp"
+#include "radius/rho.hpp"
+#include "validate/empirical.hpp"
+#include "validate/scheme.hpp"
+
+namespace validate = fepia::validate;
+namespace feature = fepia::feature;
+namespace radius = fepia::radius;
+namespace perturb = fepia::perturb;
+namespace parallel = fepia::parallel;
+namespace la = fepia::la;
+namespace units = fepia::units;
+
+namespace {
+
+/// Bitwise double equality — EXPECT_EQ tolerates -0.0 vs 0.0; the
+/// determinism contract is stronger.
+bool sameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+feature::FeatureSet makeFeatureSet() {
+  feature::FeatureSet phi;
+  phi.add(std::make_shared<feature::LinearFeature>(
+              "lin", la::Vector{1.0, 0.7, -0.3}),
+          feature::FeatureBounds::upper(5.0));
+  phi.add(std::make_shared<feature::QuadraticFeature>(
+              "quad", 2.0 * la::identity(3), la::Vector{0.1, 0.0, 0.0}),
+          feature::FeatureBounds::upper(30.0));
+  return phi;
+}
+
+radius::FepiaProblem makeProblem() {
+  radius::FepiaProblem problem;
+  problem.addPerturbation(perturb::PerturbationParameter(
+      "e", units::Unit::seconds(), la::Vector{2.0, 3.0}));
+  problem.addPerturbation(perturb::PerturbationParameter(
+      "m", units::Unit::bytes(), la::Vector{1.0e6}));
+  problem.addFeature(std::make_shared<feature::LinearFeature>(
+                         "delay", la::Vector{1.0, 1.0, 1e-6}),
+                     feature::FeatureBounds::upper(9.0));
+  problem.addFeature(std::make_shared<feature::LinearFeature>(
+                         "stage-2", la::Vector{0.0, 1.0, 0.0}),
+                     feature::FeatureBounds::upper(5.0));
+  return problem;
+}
+
+void expectIdentical(const validate::EmpiricalEstimate& a,
+                     const validate::EmpiricalEstimate& b) {
+  EXPECT_TRUE(sameBits(a.radius, b.radius));
+  EXPECT_TRUE(sameBits(a.ci.lo, b.ci.lo));
+  EXPECT_TRUE(sameBits(a.ci.hi, b.ci.hi));
+  EXPECT_EQ(a.criticalDirection, b.criticalDirection);
+  EXPECT_EQ(a.boundaryHits, b.boundaryHits);
+  EXPECT_EQ(a.classifications, b.classifications);
+  ASSERT_EQ(a.distances.size(), b.distances.size());
+  EXPECT_EQ(std::memcmp(a.distances.data(), b.distances.data(),
+                        a.distances.size() * sizeof(double)),
+            0);
+}
+
+}  // namespace
+
+TEST(ValidateDeterminism, EstimateIsThreadCountInvariant) {
+  const feature::FeatureSet phi = makeFeatureSet();
+  const la::Vector orig{0.5, 0.5, 0.5};
+  validate::EstimatorOptions opts;
+  opts.directions = 1024;
+  opts.chunkSize = 64;
+  opts.seed = 0xDE7E2A11ull;
+  opts.horizon = 32.0;
+
+  const auto serial = validate::estimateEmpiricalRadius(phi, orig, opts);
+  ASSERT_TRUE(serial.finite());
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    const auto est = validate::estimateEmpiricalRadius(phi, orig, opts, &pool);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expectIdentical(serial, est);
+  }
+}
+
+TEST(ValidateDeterminism, SchemeValidationIsThreadCountInvariant) {
+  const radius::FepiaProblem problem = makeProblem();
+  validate::EstimatorOptions opts;
+  opts.directions = 512;
+  opts.chunkSize = 64;
+  opts.seed = 99;
+  opts.horizon = 64.0;
+
+  const auto serial = validate::validateMergedScheme(
+      problem, radius::MergeScheme::NormalizedByOriginal, opts);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    const auto v = validate::validateMergedScheme(
+        problem, radius::MergeScheme::NormalizedByOriginal, opts, &pool);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ASSERT_EQ(v.perFeature.size(), serial.perFeature.size());
+    for (std::size_t i = 0; i < v.perFeature.size(); ++i) {
+      expectIdentical(serial.perFeature[i].empirical,
+                      v.perFeature[i].empirical);
+    }
+    expectIdentical(serial.rho.empirical, v.rho.empirical);
+    ASSERT_TRUE(v.joint.has_value());
+    expectIdentical(serial.joint->empirical, v.joint->empirical);
+  }
+}
+
+TEST(ValidateDeterminism, ParallelRhoIsThreadCountInvariant) {
+  const feature::FeatureSet phi = makeFeatureSet();
+  const la::Vector orig{0.5, 0.5, 0.5};
+  const radius::RobustnessReport serial = radius::robustness(phi, orig);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    const radius::RobustnessReport par =
+        radius::robustnessParallel(phi, orig, pool);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_TRUE(sameBits(par.rho, serial.rho));
+    EXPECT_EQ(par.criticalFeature, serial.criticalFeature);
+    ASSERT_EQ(par.perFeature.size(), serial.perFeature.size());
+    for (std::size_t i = 0; i < par.perFeature.size(); ++i) {
+      EXPECT_TRUE(
+          sameBits(par.perFeature[i].radius, serial.perFeature[i].radius));
+      ASSERT_EQ(par.perFeature[i].boundaryPoint.size(),
+                serial.perFeature[i].boundaryPoint.size());
+      for (std::size_t d = 0; d < par.perFeature[i].boundaryPoint.size(); ++d) {
+        EXPECT_TRUE(sameBits(par.perFeature[i].boundaryPoint[d],
+                             serial.perFeature[i].boundaryPoint[d]));
+      }
+    }
+  }
+}

@@ -1,0 +1,253 @@
+// The Monte-Carlo validation engine: directional estimates against known
+// geometry, input validation, censoring, and the analytic-vs-empirical
+// acceptance check on the paper's linear (Section 3 worked example) and
+// quadratic (Figure 1 curved boundary) systems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "feature/linear.hpp"
+#include "feature/quadratic.hpp"
+#include "la/geometry.hpp"
+#include "la/matrix.hpp"
+#include "radius/fepia.hpp"
+#include "units/unit.hpp"
+#include "validate/empirical.hpp"
+#include "validate/report.hpp"
+#include "validate/scheme.hpp"
+
+namespace validate = fepia::validate;
+namespace feature = fepia::feature;
+namespace radius = fepia::radius;
+namespace perturb = fepia::perturb;
+namespace la = fepia::la;
+namespace units = fepia::units;
+
+namespace {
+
+/// The README / Section 3 worked example: two execution times (seconds)
+/// and one message length (bytes), end-to-end delay and stage budget.
+radius::FepiaProblem linearExample() {
+  radius::FepiaProblem problem;
+  problem.addPerturbation(perturb::PerturbationParameter(
+      "execution-times", units::Unit::seconds(), la::Vector{2.0, 3.0}));
+  problem.addPerturbation(perturb::PerturbationParameter(
+      "message-lengths", units::Unit::bytes(), la::Vector{1.0e6}));
+  problem.addFeature(std::make_shared<feature::LinearFeature>(
+                         "delay", la::Vector{1.0, 1.0, 1e-6}),
+                     feature::FeatureBounds::upper(9.0));
+  problem.addFeature(std::make_shared<feature::LinearFeature>(
+                         "stage-2", la::Vector{0.0, 1.0, 0.0}),
+                     feature::FeatureBounds::upper(5.0));
+  return problem;
+}
+
+/// The quadratic (Figure 1 style) system: phi = e² + m² over two
+/// one-element kinds with originals (3, 4), curved boundary at 100.
+radius::FepiaProblem quadraticExample() {
+  radius::FepiaProblem problem;
+  problem.addPerturbation(perturb::PerturbationParameter(
+      "e", units::Unit::seconds(), la::Vector{3.0}));
+  problem.addPerturbation(perturb::PerturbationParameter(
+      "m", units::Unit::bytes(), la::Vector{4.0}));
+  problem.addFeature(std::make_shared<feature::QuadraticFeature>(
+                         "energy", 2.0 * la::identity(2),
+                         la::Vector{0.0, 0.0}),
+                     feature::FeatureBounds::upper(100.0));
+  return problem;
+}
+
+validate::EstimatorOptions fastOptions(std::size_t directions = 2048) {
+  validate::EstimatorOptions opts;
+  opts.directions = directions;
+  opts.chunkSize = 128;
+  opts.seed = 42;
+  opts.horizon = 64.0;
+  return opts;
+}
+
+}  // namespace
+
+TEST(EmpiricalRadius, HalfspaceMatchesPointPlaneDistance) {
+  // phi = 2x + y <= 8 from (1, 1): radius = (8 - 3)/sqrt(5).
+  feature::FeatureSet phi;
+  phi.add(std::make_shared<feature::LinearFeature>("lin", la::Vector{2.0, 1.0}),
+          feature::FeatureBounds::upper(8.0));
+  const la::Vector orig{1.0, 1.0};
+  const double analytic = la::Hyperplane(la::Vector{2.0, 1.0}, 8.0).distance(orig);
+
+  const auto est = validate::estimateEmpiricalRadius(phi, orig, fastOptions());
+  ASSERT_TRUE(est.finite());
+  // A directional minimum can only overestimate the true distance.
+  EXPECT_GE(est.radius, analytic - 1e-12);
+  EXPECT_NEAR(est.radius, analytic, 1e-3 * analytic);
+  EXPECT_GE(analytic, est.ci.lo);
+  EXPECT_LE(analytic, est.ci.hi);
+  EXPECT_EQ(est.directions, 2048u);
+  EXPECT_GT(est.boundaryHits, 0u);
+  EXPECT_GT(est.classifications, est.directions);  // march + bisection probes
+}
+
+TEST(EmpiricalRadius, BallRegionIsExactInEveryDirection) {
+  // phi = ‖pi‖² <= 4 from the centre: every direction hits at exactly 2.
+  feature::FeatureSet phi;
+  phi.add(std::make_shared<feature::QuadraticFeature>(
+              "ball", 2.0 * la::identity(3), la::Vector{0.0, 0.0, 0.0}),
+          feature::FeatureBounds::upper(4.0));
+  const auto est = validate::estimateEmpiricalRadius(
+      phi, la::Vector{0.0, 0.0, 0.0}, fastOptions(256));
+  ASSERT_TRUE(est.finite());
+  EXPECT_EQ(est.boundaryHits, est.directions);
+  EXPECT_NEAR(est.radius, 2.0, 1e-9);
+  EXPECT_NEAR(est.distanceSummary.max, 2.0, 1e-9);
+  EXPECT_NEAR(est.distanceSummary.mean, 2.0, 1e-9);
+}
+
+TEST(EmpiricalRadius, UnboundedRegionIsFullyCensored) {
+  feature::FeatureSet phi;
+  phi.add(std::make_shared<feature::LinearFeature>("lin", la::Vector{1.0, 1.0}),
+          feature::FeatureBounds::upper(
+              std::numeric_limits<double>::infinity()));
+  const auto est = validate::estimateEmpiricalRadius(
+      phi, la::Vector{0.0, 0.0}, fastOptions(64));
+  EXPECT_FALSE(est.finite());
+  EXPECT_EQ(est.boundaryHits, 0u);
+  EXPECT_EQ(validate::violationFraction(est, 1e6), 0.0);
+}
+
+TEST(EmpiricalRadius, ViolatingOriginThrows) {
+  feature::FeatureSet phi;
+  phi.add(std::make_shared<feature::LinearFeature>("lin", la::Vector{1.0}),
+          feature::FeatureBounds::upper(1.0));
+  EXPECT_THROW(
+      (void)validate::estimateEmpiricalRadius(phi, la::Vector{2.0},
+                                              fastOptions(8)),
+      std::domain_error);
+}
+
+TEST(EmpiricalRadius, RejectsBadInputs) {
+  feature::FeatureSet phi;
+  phi.add(std::make_shared<feature::LinearFeature>("lin", la::Vector{1.0}),
+          feature::FeatureBounds::upper(1.0));
+  validate::EstimatorOptions opts;
+  opts.directions = 0;
+  EXPECT_THROW((void)validate::estimateEmpiricalRadius(phi, la::Vector{0.0}, opts),
+               std::invalid_argument);
+  opts = {};
+  opts.chunkSize = 0;
+  EXPECT_THROW((void)validate::estimateEmpiricalRadius(phi, la::Vector{0.0}, opts),
+               std::invalid_argument);
+  opts = {};
+  opts.horizon = 0.0;
+  EXPECT_THROW((void)validate::estimateEmpiricalRadius(phi, la::Vector{0.0}, opts),
+               std::invalid_argument);
+  opts = {};
+  opts.confidence = 1.0;
+  EXPECT_THROW((void)validate::estimateEmpiricalRadius(phi, la::Vector{0.0}, opts),
+               std::invalid_argument);
+  // Dimension mismatch between origin and feature set.
+  EXPECT_THROW((void)validate::estimateEmpiricalRadius(phi, la::Vector{0.0, 0.0}),
+               std::invalid_argument);
+  // Null predicate.
+  EXPECT_THROW((void)validate::estimateEmpiricalRadius(validate::SafePredicate{},
+                                                       la::Vector{0.0}),
+               std::invalid_argument);
+}
+
+TEST(EmpiricalRadius, ViolationFractionIsZeroBelowRadiusAndMonotonic) {
+  feature::FeatureSet phi;
+  phi.add(std::make_shared<feature::LinearFeature>("lin", la::Vector{1.0, 0.5}),
+          feature::FeatureBounds::upper(4.0));
+  const auto est = validate::estimateEmpiricalRadius(
+      phi, la::Vector{0.0, 0.0}, fastOptions(512));
+  ASSERT_TRUE(est.finite());
+  EXPECT_EQ(validate::violationFraction(est, 0.5 * est.radius), 0.0);
+  double prev = 0.0;
+  for (double r = est.radius; r < 10.0 * est.radius; r *= 1.5) {
+    const double f = validate::violationFraction(est, r);
+    EXPECT_GE(f, prev);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_GT(prev, 0.0);
+}
+
+TEST(SchemeValidation, LinearExampleAgreesWithNormalizedClosedForm) {
+  const radius::FepiaProblem problem = linearExample();
+  const auto v = validate::validateMergedScheme(
+      problem, radius::MergeScheme::NormalizedByOriginal, fastOptions());
+
+  ASSERT_EQ(v.perFeature.size(), 2u);
+  for (const validate::Comparison& c : v.perFeature) {
+    ASSERT_TRUE(c.empirical.finite()) << c.label;
+    EXPECT_TRUE(c.analyticWithinCI) << c.label;
+    EXPECT_LT(std::abs(c.relativeError), 1e-2) << c.label;
+  }
+  EXPECT_TRUE(v.rho.analyticWithinCI);
+  EXPECT_NEAR(v.rho.analyticRadius,
+              problem.rho(radius::MergeScheme::NormalizedByOriginal), 0.0);
+  ASSERT_TRUE(v.joint.has_value());
+  EXPECT_TRUE(v.joint->analyticWithinCI);
+  EXPECT_LT(std::abs(v.joint->relativeError), 1e-2);
+}
+
+TEST(SchemeValidation, LinearExampleSensitivitySchemeValidates) {
+  const radius::FepiaProblem problem = linearExample();
+  const auto v = validate::validateMergedScheme(
+      problem, radius::MergeScheme::Sensitivity, fastOptions());
+  ASSERT_EQ(v.perFeature.size(), 2u);
+  for (const validate::Comparison& c : v.perFeature) {
+    ASSERT_TRUE(c.empirical.finite()) << c.label;
+    EXPECT_TRUE(c.analyticWithinCI) << c.label;
+  }
+  EXPECT_FALSE(v.joint.has_value());
+  EXPECT_TRUE(v.rho.analyticWithinCI);
+}
+
+TEST(SchemeValidation, QuadraticExampleAgreesWithQuadricClosedForm) {
+  const radius::FepiaProblem problem = quadraticExample();
+  const auto v = validate::validateMergedScheme(
+      problem, radius::MergeScheme::NormalizedByOriginal, fastOptions());
+  ASSERT_EQ(v.perFeature.size(), 1u);
+  const validate::Comparison& c = v.perFeature[0];
+  ASSERT_TRUE(c.empirical.finite());
+  EXPECT_TRUE(c.analyticWithinCI);
+  EXPECT_LT(std::abs(c.relativeError), 1e-2);
+  ASSERT_TRUE(v.joint.has_value());
+  EXPECT_TRUE(v.joint->analyticWithinCI);
+}
+
+TEST(SchemeValidation, SameUnitsValidatesRawRho) {
+  radius::FepiaProblem problem;
+  problem.addPerturbation(perturb::PerturbationParameter(
+      "loads", units::Unit::seconds(), la::Vector{1.0, 2.0}));
+  problem.addFeature(std::make_shared<feature::LinearFeature>(
+                         "sum", la::Vector{1.0, 1.0}),
+                     feature::FeatureBounds::upper(6.0));
+  const auto c = validate::validateSameUnits(problem, fastOptions());
+  ASSERT_TRUE(c.empirical.finite());
+  EXPECT_TRUE(c.analyticWithinCI);
+  EXPECT_NEAR(c.analyticRadius, 3.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(ValidationReport, TableAndJsonRenderRows) {
+  const radius::FepiaProblem problem = linearExample();
+  const auto v = validate::validateMergedScheme(
+      problem, radius::MergeScheme::NormalizedByOriginal, fastOptions(256));
+  const auto rows = v.allRows();
+  ASSERT_EQ(rows.size(), 4u);  // 2 features + rho + joint
+
+  const fepia::report::Table table = validate::comparisonTable(rows);
+  EXPECT_EQ(table.rowCount(), rows.size());
+  EXPECT_EQ(table.columnCount(), 8u);
+
+  std::ostringstream json;
+  validate::writeComparisonJson(json, rows);
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"rows\": ["), std::string::npos);
+  EXPECT_NE(text.find("\"label\": \"delay\""), std::string::npos);
+  EXPECT_NE(text.find("\"within_ci\": true"), std::string::npos);
+}

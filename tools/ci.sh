@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: build the Release and ASan+UBSan configurations and run
+# the tier1 (fast) test suite under both. Mirrors the CMake presets in
+# CMakePresets.json; run from anywhere.
+#
+#   tools/ci.sh            # both configs
+#   tools/ci.sh release    # one config
+#   tools/ci.sh asan-ubsan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 2)
+configs=("${@:-release asan-ubsan}")
+# shellcheck disable=SC2128
+read -r -a configs <<<"${configs[*]}"
+
+for cfg in "${configs[@]}"; do
+  case "$cfg" in
+    release) test_preset=tier1 ;;
+    asan-ubsan) test_preset=tier1-asan ;;
+    *) echo "unknown config '$cfg' (release|asan-ubsan)" >&2; exit 2 ;;
+  esac
+  echo "=== [$cfg] configure + build ==="
+  cmake --preset "$cfg"
+  cmake --build --preset "$cfg" -j "$jobs"
+  echo "=== [$cfg] ctest -L tier1 ==="
+  ctest --preset "$test_preset" -j "$jobs"
+done
+echo "CI OK"

@@ -3,6 +3,8 @@
 // Usage:
 //   fepia_cli <problem-file> [options]
 //   fepia_cli --hiperd <system-file> [--csv]
+//   fepia_cli validate <problem-file> [options]
+//   fepia_cli validate --hiperd <system-file> [--des] [options]
 //
 // Options (problem-file mode):
 //   --scheme normalized|sensitivity|both   merge scheme(s) (default both)
@@ -16,20 +18,42 @@
 // examples/data/fusion_pipeline.hiperd) and runs the load-space analysis
 // plus the merged multi-kind (execution times ⋆ message sizes) analysis.
 //
+// validate mode cross-checks the analytic radii against the Monte-Carlo
+// estimator of src/validate (see docs/validation.md):
+//   --scheme normalized|sensitivity|both   scheme(s) to validate
+//   --samples N                            probe directions (default 4096;
+//                                          64 with --des)
+//   --seed S                               RNG seed (default 0x5EEDD1CE)
+//   --threads T                            thread-pool size (0 = hardware;
+//                                          omitted = serial). The result
+//                                          is bit-identical either way.
+//   --json FILE                            also write the report as JSON
+//   --des                                  (--hiperd only) classify the
+//                                          joint region by discrete-event
+//                                          simulation instead of the
+//                                          analytic feature stack
+//
 // Exit status: 0 on success (and, with --check, when the point is
-// tolerated), 2 when a --check point is not tolerated, 1 on errors.
+// tolerated; with validate, when every analytic radius falls inside its
+// empirical CI), 2 when a --check point is not tolerated or a validation
+// row disagrees, 1 on errors.
 //
 // See src/io/problem_io.hpp for the problem-file format; a worked sample
 // lives at examples/data/streaming_stage.fepia.
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <vector>
 
+#include "des/pipeline.hpp"
 #include "io/problem_io.hpp"
 #include "io/system_io.hpp"
+#include "parallel/thread_pool.hpp"
 #include "report/table.hpp"
+#include "validate/scheme.hpp"
 
 namespace {
 
@@ -39,7 +63,13 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <problem-file> [--scheme normalized|sensitivity|both]"
                " [--check v1,v2,... ...] [--csv] [--echo]\n"
-            << "       " << argv0 << " --hiperd <system-file> [--csv]\n";
+            << "       " << argv0 << " --hiperd <system-file> [--csv]\n"
+            << "       " << argv0
+            << " validate <problem-file> [--scheme ...] [--samples N]"
+               " [--seed S] [--threads T] [--csv] [--json FILE]\n"
+            << "       " << argv0
+            << " validate --hiperd <system-file> [--des] [--samples N]"
+               " [--seed S] [--threads T] [--csv] [--json FILE]\n";
   return 1;
 }
 
@@ -113,10 +143,163 @@ int runHiperdMode(const std::string& path, bool csv) {
   return 0;
 }
 
+/// Prints one scheme/region validation block and collects its rows for
+/// the JSON report. Returns the number of rows whose analytic radius
+/// missed the empirical CI.
+std::size_t emitValidation(const std::string& heading,
+                           std::vector<validate::Comparison> rows, bool csv,
+                           std::vector<validate::Comparison>& jsonRows) {
+  std::cout << heading << "\n";
+  emit(validate::comparisonTable(rows), csv);
+  std::size_t misses = 0;
+  for (validate::Comparison& row : rows) {
+    if (!row.analyticWithinCI) ++misses;
+    row.label = heading + ": " + row.label;
+    jsonRows.push_back(std::move(row));
+  }
+  return misses;
+}
+
+int runValidateMode(int argc, char** argv) {
+  std::string path;
+  bool hiperd = false;
+  bool des = false;
+  bool csv = false;
+  std::string schemeArg = "both";
+  std::string jsonPath;
+  std::optional<std::size_t> samples;
+  std::optional<std::size_t> threads;
+  validate::EstimatorOptions opts;
+
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hiperd") == 0 && i + 1 < argc) {
+      hiperd = true;
+      path = argv[++i];
+    } else if (std::strcmp(argv[i], "--des") == 0) {
+      des = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
+      schemeArg = argv[++i];
+    } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
+      samples = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opts.seed = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else if (path.empty() && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty() || (des && !hiperd)) return usage(argv[0]);
+  if (schemeArg != "both" && schemeArg != "normalized" &&
+      schemeArg != "sensitivity") {
+    return usage(argv[0]);
+  }
+  if (samples.has_value()) opts.directions = *samples;
+
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (threads.has_value()) {
+    pool = std::make_unique<parallel::ThreadPool>(*threads);
+  }
+
+  std::vector<validate::Comparison> jsonRows;
+  std::size_t misses = 0;
+
+  if (hiperd) {
+    const hiperd::ReferenceSystem ref = io::loadSystem(path);
+    const radius::FepiaProblem mixed = ref.system.executionMessageProblem(ref.qos);
+    const validate::SchemeValidation v = validate::validateMergedScheme(
+        mixed, radius::MergeScheme::NormalizedByOriginal, opts, pool.get());
+    misses += emitValidation("scheme: normalized", v.allRows(), csv, jsonRows);
+
+    if (des) {
+      // Classify the joint region by simulation: map each normalized
+      // P-space probe back to an (execution times ⋆ message sizes)
+      // operating point and run the queueing model against the QoS.
+      const radius::MergedAnalysis analysis =
+          mixed.merged(radius::MergeScheme::NormalizedByOriginal);
+      const auto& rep = analysis.report();
+      const radius::DiagonalMap map(rep.features[rep.criticalFeature].mapWeights);
+      des::PipelineOptions desOpts;
+      desOpts.generations = 200;  // keep thousands of classifications viable
+      const validate::SafePredicate safe = [&](const la::Vector& P) {
+        const la::Vector pi = map.fromP(P);
+        for (const double x : pi) {
+          if (x < 0.0) return false;  // unphysical operating point
+        }
+        const auto parts = mixed.space().split(pi);
+        return des::simulatePipeline(ref.system, parts[0], parts[1],
+                                     ref.qos.minThroughput, desOpts)
+            .satisfies(ref.qos.maxLatencySeconds);
+      };
+      validate::EstimatorOptions desEst = opts;
+      if (!samples.has_value()) desEst.directions = 64;
+      desEst.chunkSize = std::min(desEst.chunkSize, std::size_t{8});
+      desEst.horizon = 4.0;   // relative coordinates; pi < 0 beyond 1
+      desEst.polishSweeps = 12;  // each classification is a full DES run
+      const la::Vector pOrig = map.toP(mixed.space().concatenatedOriginal());
+      const validate::EmpiricalEstimate est =
+          validate::estimateEmpiricalRadius(safe, pOrig, desEst, pool.get());
+      // The DES adds queueing on top of the analytic stage-time model,
+      // so its region is a subset and the estimate legitimately comes in
+      // below rho: report the row but keep it out of the verdict.
+      emitValidation(
+          "DES joint region (informational; queueing shrinks the region)",
+          {validate::compare("simulated vs analytic rho", rep.rho, est)}, csv,
+          jsonRows);
+    }
+  } else {
+    const radius::FepiaProblem problem = io::loadProblem(path);
+    if (schemeArg == "both" || schemeArg == "normalized") {
+      const validate::SchemeValidation v = validate::validateMergedScheme(
+          problem, radius::MergeScheme::NormalizedByOriginal, opts, pool.get());
+      misses += emitValidation("scheme: normalized", v.allRows(), csv, jsonRows);
+    }
+    if (schemeArg == "both" || schemeArg == "sensitivity") {
+      const validate::SchemeValidation v = validate::validateMergedScheme(
+          problem, radius::MergeScheme::Sensitivity, opts, pool.get());
+      misses += emitValidation("scheme: sensitivity", v.allRows(), csv,
+                               jsonRows);
+    }
+  }
+
+  if (!jsonPath.empty()) {
+    std::ofstream out(jsonPath);
+    if (!out) {
+      std::cerr << "error: cannot write '" << jsonPath << "'\n";
+      return 1;
+    }
+    validate::writeComparisonJson(out, jsonRows);
+  }
+
+  if (misses == 0) {
+    std::cout << "VALIDATED: every analytic radius lies in its empirical CI\n";
+  } else {
+    std::cout << "DISAGREEMENT: " << misses
+              << " row(s) outside the empirical CI\n";
+  }
+  return misses == 0 ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
+
+  if (std::strcmp(argv[1], "validate") == 0) {
+    if (argc < 3) return usage(argv[0]);
+    try {
+      return runValidateMode(argc, argv);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+  }
 
   if (std::strcmp(argv[1], "--hiperd") == 0) {
     if (argc < 3) return usage(argv[0]);
