@@ -1,0 +1,215 @@
+// Experiment SEARCHRATE — throughput of the allocation-evaluation engine.
+//
+// The rho-driven searches of src/alloc used to recompute every machine
+// finish time for every candidate move: O(tasks x machines) per score.
+// alloc::EvalEngine scores a single-task move incrementally in
+// O(n_from + n_to) and fans whole move scans / GA populations across a
+// thread pool with fixed chunking. This bench quantifies both effects on
+// one steepest-ascent local search over a 256-task x 16-machine CVB
+// instance:
+//
+//   * naive        — the pre-engine serial path: localSearch with the
+//                    rho objective hidden behind an opaque lambda, so
+//                    every candidate is a full recomputation;
+//   * engine       — incremental scoring, no pool (serial);
+//   * engine-T     — incremental scoring across T threads.
+//
+// Determinism contract on display: every engine run returns the same
+// best allocation and rho bit-for-bit at any thread count. Results land
+// in BENCH_search.json (override with FEPIA_BENCH_JSON). Set
+// FEPIA_BENCH_SMOKE=1 for a small instance suitable for CI smoke runs.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fepia.hpp"
+
+namespace {
+
+using namespace fepia;
+
+bool smokeMode() {
+  const char* env = std::getenv("FEPIA_BENCH_SMOKE");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+struct Workload {
+  la::Matrix etcMatrix;
+  alloc::Allocation start;
+  double tau;
+
+  static Workload make(std::size_t tasks, std::size_t machines) {
+    rng::Xoshiro256StarStar g(0x5EA2C4A7Eull);
+    la::Matrix e = etc::generateCvb(tasks, machines,
+                                    etc::cvbPreset(etc::Heterogeneity::HiHi), g);
+    alloc::Allocation seed = alloc::mct(e);
+    const double tau = 1.4 * alloc::makespan(seed, e);
+    return Workload{std::move(e), std::move(seed), tau};
+  }
+};
+
+struct Run {
+  std::string mode;
+  std::size_t threads;  ///< 0 = no pool
+  double seconds;
+  alloc::Allocation best;
+  double rho;
+};
+
+/// The pre-engine baseline: the objective is wrapped in a plain lambda so
+/// localSearch cannot recognise the rho functor — every move score is a
+/// full O(tasks x machines) recomputation, as before the engine existed.
+Run naiveRun(const Workload& w) {
+  const auto functor = alloc::rhoObjective(w.tau);
+  const alloc::AllocationObjective opaque =
+      [&functor](const alloc::Allocation& mu, const la::Matrix& e) {
+        return functor(mu, e);
+      };
+  const auto t0 = std::chrono::steady_clock::now();
+  alloc::Allocation best = alloc::localSearch(w.start, w.etcMatrix, opaque);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double rho = functor(best, w.etcMatrix);
+  return Run{"naive", 0, seconds, std::move(best), rho};
+}
+
+Run engineRun(const Workload& w, std::size_t threads) {
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<parallel::ThreadPool>(threads);
+  alloc::EngineConfig cfg;
+  cfg.objective = alloc::EngineObjective::Rho;
+  cfg.tau = w.tau;
+  alloc::EvalEngine engine(w.etcMatrix, cfg, pool.get());
+  const auto t0 = std::chrono::steady_clock::now();
+  alloc::Allocation best = alloc::localSearch(engine, w.start);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double rho = engine.evaluate(best);
+  return Run{threads == 0 ? "engine" : "engine-" + std::to_string(threads),
+             threads, seconds, std::move(best), rho};
+}
+
+void printExperiment() {
+  const bool smoke = smokeMode();
+  const std::size_t tasks = smoke ? 48 : 256;
+  const std::size_t machines = smoke ? 6 : 16;
+  const Workload w = Workload::make(tasks, machines);
+
+  std::cout << "=== SEARCHRATE: engine-driven local search throughput ===\n\n"
+            << tasks << " tasks x " << machines << " machines, CVB hi-hi, tau "
+            << report::num(w.tau, 6) << (smoke ? "  [smoke mode]" : "")
+            << "\n\n";
+
+  std::vector<Run> runs;
+  runs.push_back(naiveRun(w));
+  runs.push_back(engineRun(w, 0));
+  for (const std::size_t t : {1, 2, 8}) runs.push_back(engineRun(w, t));
+
+  report::Table table({"mode", "rho", "wall (s)", "speedup vs naive"});
+  for (const Run& r : runs) {
+    table.addRow({r.mode, report::num(r.rho, 8), report::num(r.seconds, 4),
+                  report::num(runs[0].seconds / r.seconds, 2)});
+  }
+  table.print(std::cout);
+
+  // Engine runs must agree bit-for-bit at every thread count; the naive
+  // run is a different (full-recompute) code path and is only required
+  // to land on an allocation of equal quality.
+  bool identical = true;
+  for (std::size_t i = 2; i < runs.size(); ++i) {
+    identical &= runs[i].best.assignment() == runs[1].best.assignment();
+    identical &= runs[i].rho == runs[1].rho;
+  }
+  const bool naiveAgrees = runs[0].best.assignment() == runs[1].best.assignment();
+  double bestSpeedup = 0.0;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    bestSpeedup = std::max(bestSpeedup, runs[0].seconds / runs[i].seconds);
+  }
+  std::cout << "\nengine runs bit-identical across thread counts: "
+            << (identical ? "yes" : "NO — determinism contract broken")
+            << "\nnaive path reaches the same allocation: "
+            << (naiveAgrees ? "yes" : "no") << "\nbest speedup vs naive: "
+            << report::num(bestSpeedup, 2) << "x\n\n";
+
+  const char* env = std::getenv("FEPIA_BENCH_JSON");
+  const std::string jsonPath = env != nullptr ? env : "BENCH_search.json";
+  std::ofstream out(jsonPath);
+  if (!out) {
+    std::cerr << "cannot write " << jsonPath << "\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"search\",\n  \"smoke\": " << (smoke ? "true" : "false")
+      << ",\n  \"tasks\": " << tasks << ",\n  \"machines\": " << machines
+      << ",\n  \"tau\": " << w.tau << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    out << "    {\"mode\": \"" << r.mode << "\", \"threads\": " << r.threads
+        << ", \"wall_seconds\": " << r.seconds << ", \"rho\": " << r.rho
+        << ", \"speedup_vs_naive\": " << runs[0].seconds / r.seconds << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"best_speedup_vs_naive\": " << bestSpeedup
+      << ",\n  \"engine_runs_identical\": " << (identical ? "true" : "false")
+      << "\n}\n";
+  std::cout << "wrote " << jsonPath << "\n\n";
+}
+
+void BM_EngineMoveScan(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const Workload w = Workload::make(tasks, 16);
+  alloc::EngineConfig cfg;
+  cfg.objective = alloc::EngineObjective::Rho;
+  cfg.tau = w.tau;
+  alloc::EvalEngine engine(w.etcMatrix, cfg);
+  engine.setState(w.start);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.bestMove().objective);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tasks * 16));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EngineMoveScan)->RangeMultiplier(2)->Range(32, 256)->Complexity();
+
+void BM_NaiveObjectiveScan(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const Workload w = Workload::make(tasks, 16);
+  const auto obj = alloc::rhoObjective(w.tau);
+  alloc::Allocation mu = w.start;
+  for (auto _ : state) {
+    // One full scan of all single-task moves via full recomputation.
+    double best = -1e300;
+    for (std::size_t t = 0; t < mu.taskCount(); ++t) {
+      const std::size_t from = mu.machineOf(t);
+      for (std::size_t m = 0; m < mu.machineCount(); ++m) {
+        if (m == from) continue;
+        mu.reassign(t, m);
+        best = std::max(best, obj(mu, w.etcMatrix));
+        mu.reassign(t, from);
+      }
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tasks * 16));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NaiveObjectiveScan)->RangeMultiplier(2)->Range(32, 128)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

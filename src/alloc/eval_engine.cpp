@@ -1,0 +1,396 @@
+#include "alloc/eval_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fepia::alloc {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// FNV-1a over the chromosome bytes; collisions are resolved by exact
+/// comparison in the cache bucket, so the hash only affects speed.
+std::uint64_t chromosomeHash(const Chromosome& c) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const std::size_t gene : c) {
+    std::uint64_t g = static_cast<std::uint64_t>(gene);
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= g & 0xFFu;
+      h *= 0x100000001B3ull;
+      g >>= 8;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+EvalEngine::EvalEngine(const la::Matrix& etcMatrix, EngineConfig config,
+                       parallel::ThreadPool* pool)
+    : etc_(etcMatrix),
+      config_(config),
+      pool_(pool),
+      tasks_(etcMatrix.rows()),
+      machines_(etcMatrix.cols()) {
+  if (tasks_ == 0 || machines_ == 0) {
+    throw std::invalid_argument("alloc::EvalEngine: empty ETC matrix");
+  }
+  if (config_.objective == EngineObjective::Rho && !std::isfinite(config_.tau)) {
+    throw std::invalid_argument("alloc::EvalEngine: tau must be finite");
+  }
+  if (config_.chunkSize == 0) {
+    throw std::invalid_argument("alloc::EvalEngine: chunkSize must be positive");
+  }
+}
+
+double EvalEngine::margin(double finish, std::size_t taskCount) const {
+  if (config_.objective == EngineObjective::NegMakespan) {
+    // -makespan = min over machines of -finish (empty machines included:
+    // makespan() maxes over the whole finish vector).
+    return -finish;
+  }
+  // Rho: machines with no tasks cannot bind.
+  if (taskCount == 0) return kInf;
+  if (finish >= config_.tau) return -kInf;  // infeasible (rhoObjective)
+  return (config_.tau - finish) / std::sqrt(static_cast<double>(taskCount));
+}
+
+double EvalEngine::evaluateFull(const Chromosome& c) const {
+  if (c.size() != tasks_) {
+    throw std::invalid_argument("alloc::EvalEngine: chromosome size mismatch");
+  }
+  // Identical accumulation order to alloc::machineFinishTimes: ascending
+  // task index, one running sum per machine.
+  std::vector<double> finish(machines_, 0.0);
+  std::vector<std::size_t> count(machines_, 0);
+  for (std::size_t t = 0; t < tasks_; ++t) {
+    const std::size_t m = c[t];
+    if (m >= machines_) {
+      throw std::invalid_argument("alloc::EvalEngine: gene out of range");
+    }
+    finish[m] += etc_(t, m);
+    ++count[m];
+  }
+  double obj = kInf;
+  for (std::size_t m = 0; m < machines_; ++m) {
+    const double g = margin(finish[m], count[m]);
+    if (g == -kInf) return -kInf;
+    obj = std::min(obj, g);
+  }
+  return obj;
+}
+
+double EvalEngine::evaluate(const Allocation& mu) {
+  return evaluate(mu.assignment());
+}
+
+double EvalEngine::evaluate(const Chromosome& c) {
+  if (config_.cacheCapacity == 0) {
+    counters_.bump("evals_full");
+    return evaluateFull(c);
+  }
+  const std::uint64_t h = chromosomeHash(c);
+  auto it = cache_.find(h);
+  if (it != cache_.end()) {
+    for (const auto& [key, value] : it->second) {
+      if (key == c) {
+        counters_.bump("cache_hits");
+        return value;
+      }
+    }
+  }
+  counters_.bump("cache_misses");
+  counters_.bump("evals_full");
+  const double value = evaluateFull(c);
+  if (cacheEntries_ >= config_.cacheCapacity) {
+    cache_.clear();
+    cacheEntries_ = 0;
+    counters_.bump("cache_resets");
+  }
+  cache_[h].emplace_back(c, value);
+  ++cacheEntries_;
+  return value;
+}
+
+std::vector<double> EvalEngine::evaluateBatch(
+    const std::vector<Chromosome>& population) {
+  counters_.bump("batches");
+  std::vector<double> out(population.size(), 0.0);
+  if (population.empty()) return out;
+
+  // Serial cache phase: collect misses (preserving index order).
+  std::vector<std::size_t> misses;
+  misses.reserve(population.size());
+  if (config_.cacheCapacity == 0) {
+    for (std::size_t i = 0; i < population.size(); ++i) misses.push_back(i);
+  } else {
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      const std::uint64_t h = chromosomeHash(population[i]);
+      bool hit = false;
+      if (auto it = cache_.find(h); it != cache_.end()) {
+        for (const auto& [key, value] : it->second) {
+          if (key == population[i]) {
+            out[i] = value;
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit) {
+        counters_.bump("cache_hits");
+      } else {
+        counters_.bump("cache_misses");
+        misses.push_back(i);
+      }
+    }
+  }
+
+  // Parallel scoring phase: fixed chunking over the miss list, each
+  // result written to its own slot — bit-identical at any thread count.
+  const auto scoreMiss = [&](std::size_t k) {
+    out[misses[k]] = evaluateFull(population[misses[k]]);
+  };
+  const std::size_t chunks =
+      (misses.size() + config_.chunkSize - 1) / config_.chunkSize;
+  if (pool_ != nullptr && chunks > 1) {
+    parallel::parallelFor(*pool_, chunks, [&](std::size_t c) {
+      const std::size_t first = c * config_.chunkSize;
+      const std::size_t last =
+          std::min(first + config_.chunkSize, misses.size());
+      for (std::size_t k = first; k < last; ++k) scoreMiss(k);
+    });
+  } else {
+    for (std::size_t k = 0; k < misses.size(); ++k) scoreMiss(k);
+  }
+  counters_.bump("evals_full", misses.size());
+
+  // Serial insert phase (index order, so the cache state is deterministic).
+  if (config_.cacheCapacity > 0) {
+    for (const std::size_t i : misses) {
+      if (cacheEntries_ >= config_.cacheCapacity) {
+        cache_.clear();
+        cacheEntries_ = 0;
+        counters_.bump("cache_resets");
+      }
+      cache_[chromosomeHash(population[i])].emplace_back(population[i], out[i]);
+      ++cacheEntries_;
+    }
+  }
+  return out;
+}
+
+void EvalEngine::refreshMachine(std::size_t m) {
+  MachineState& ms = machineState_[m];
+  double sum = 0.0;
+  for (const std::size_t t : ms.tasks) sum += etc_(t, m);
+  ms.finish = sum;
+}
+
+double EvalEngine::foldObjective() const {
+  double obj = kInf;
+  for (std::size_t m = 0; m < machines_; ++m) {
+    const double g = margin(machineState_[m].finish, machineState_[m].tasks.size());
+    if (g == -kInf) return -kInf;
+    obj = std::min(obj, g);
+  }
+  return obj;
+}
+
+double EvalEngine::foldObjectiveWith(std::size_t a, double finishA,
+                                     std::size_t countA, std::size_t b,
+                                     double finishB, std::size_t countB) const {
+  double obj = kInf;
+  for (std::size_t m = 0; m < machines_; ++m) {
+    double f;
+    std::size_t n;
+    if (m == a) {
+      f = finishA;
+      n = countA;
+    } else if (m == b) {
+      f = finishB;
+      n = countB;
+    } else {
+      f = machineState_[m].finish;
+      n = machineState_[m].tasks.size();
+    }
+    const double g = margin(f, n);
+    if (g == -kInf) return -kInf;
+    obj = std::min(obj, g);
+  }
+  return obj;
+}
+
+void EvalEngine::setState(const Allocation& mu) {
+  if (mu.taskCount() != tasks_ || mu.machineCount() != machines_) {
+    throw std::invalid_argument("alloc::EvalEngine: allocation shape mismatch");
+  }
+  state_ = mu;
+  machineState_.assign(machines_, MachineState{});
+  for (std::size_t t = 0; t < tasks_; ++t) {
+    machineState_[mu.machineOf(t)].tasks.push_back(t);  // ascending by loop
+  }
+  for (std::size_t m = 0; m < machines_; ++m) refreshMachine(m);
+  stateObjective_ = foldObjective();
+  counters_.bump("evals_full");
+}
+
+const Allocation& EvalEngine::state() const {
+  if (!state_.has_value()) {
+    throw std::logic_error("alloc::EvalEngine: no working state loaded");
+  }
+  return *state_;
+}
+
+double EvalEngine::stateObjective() const {
+  if (!state_.has_value()) {
+    throw std::logic_error("alloc::EvalEngine: no working state loaded");
+  }
+  return stateObjective_;
+}
+
+double EvalEngine::finishWith(std::size_t m, std::size_t skip,
+                              std::size_t add) const {
+  // Index-ordered sum of the machine's tasks with `skip` removed and
+  // `add` merged in at its sorted position — the same addition sequence
+  // a from-scratch recompute of the mutated allocation performs.
+  const std::vector<std::size_t>& list = machineState_[m].tasks;
+  double sum = 0.0;
+  bool added = add >= tasks_;  // disabled sentinel
+  for (const std::size_t t : list) {
+    if (!added && add < t) {
+      sum += etc_(add, m);
+      added = true;
+    }
+    if (t == skip) continue;
+    sum += etc_(t, m);
+  }
+  if (!added) sum += etc_(add, m);
+  return sum;
+}
+
+double EvalEngine::scoreMove(std::size_t t, std::size_t to) const {
+  if (!state_.has_value()) {
+    throw std::logic_error("alloc::EvalEngine: no working state loaded");
+  }
+  if (t >= tasks_) {
+    throw std::out_of_range("alloc::EvalEngine::scoreMove: task index");
+  }
+  if (to >= machines_) {
+    throw std::out_of_range("alloc::EvalEngine::scoreMove: machine index");
+  }
+  const std::size_t from = state_->machineOf(t);
+  if (to == from) return stateObjective_;
+  const double fromFinish = finishWith(from, /*skip=*/t, /*add=*/tasks_);
+  const double toFinish = finishWith(to, /*skip=*/tasks_, /*add=*/t);
+  return foldObjectiveWith(from, fromFinish,
+                           machineState_[from].tasks.size() - 1, to, toFinish,
+                           machineState_[to].tasks.size() + 1);
+}
+
+Move EvalEngine::apply(std::size_t t, std::size_t to) {
+  if (!state_.has_value()) {
+    throw std::logic_error("alloc::EvalEngine: no working state loaded");
+  }
+  if (t >= tasks_) {
+    throw std::out_of_range("alloc::EvalEngine::apply: task index");
+  }
+  if (to >= machines_) {
+    throw std::out_of_range("alloc::EvalEngine::apply: machine index");
+  }
+  const std::size_t from = state_->machineOf(t);
+  if (to != from) {
+    std::vector<std::size_t>& src = machineState_[from].tasks;
+    src.erase(std::lower_bound(src.begin(), src.end(), t));
+    std::vector<std::size_t>& dst = machineState_[to].tasks;
+    dst.insert(std::lower_bound(dst.begin(), dst.end(), t), t);
+    refreshMachine(from);
+    refreshMachine(to);
+    state_->reassign(t, to);
+    stateObjective_ = foldObjective();
+  }
+  counters_.bump("applies");
+  return Move{t, to, from};
+}
+
+void EvalEngine::revert(const Move& m) {
+  (void)apply(m.task, m.from);
+  counters_.bump("reverts");
+}
+
+std::optional<EngineConfig> engineConfigFor(const AllocationObjective& objective) {
+  if (const auto* rho = objective.target<RhoObjectiveFn>()) {
+    EngineConfig cfg;
+    cfg.objective = EngineObjective::Rho;
+    cfg.tau = rho->tau;
+    return cfg;
+  }
+  if (objective.target<MakespanObjectiveFn>() != nullptr) {
+    EngineConfig cfg;
+    cfg.objective = EngineObjective::NegMakespan;
+    return cfg;
+  }
+  return std::nullopt;
+}
+
+BestMove EvalEngine::bestMove(double minGain) {
+  if (!state_.has_value()) {
+    throw std::logic_error("alloc::EvalEngine: no working state loaded");
+  }
+  const double current = stateObjective_;
+  const std::size_t moveCount = tasks_ * machines_;
+  const std::size_t chunks =
+      (moveCount + config_.chunkSize - 1) / config_.chunkSize;
+
+  struct ChunkBest {
+    double objective = -kInf;
+    std::size_t moveId = 0;
+    bool found = false;
+  };
+  std::vector<ChunkBest> best(chunks);
+
+  // Pure argmax with first-index tie-break: the strictly-greater rule
+  // inside each chunk plus the in-order chunk reduction below reproduce
+  // the serial full scan exactly, for any chunk size or thread count.
+  const auto scanChunk = [&](std::size_t c) {
+    ChunkBest cb;
+    const std::size_t first = c * config_.chunkSize;
+    const std::size_t last = std::min(first + config_.chunkSize, moveCount);
+    for (std::size_t id = first; id < last; ++id) {
+      const std::size_t t = id / machines_;
+      const std::size_t m = id % machines_;
+      if (m == state_->machineOf(t)) continue;
+      const double cand = scoreMove(t, m);
+      if (!(cand > current + minGain)) continue;
+      if (!cb.found || cand > cb.objective) {
+        cb.found = true;
+        cb.objective = cand;
+        cb.moveId = id;
+      }
+    }
+    best[c] = cb;
+  };
+
+  if (pool_ != nullptr && chunks > 1) {
+    parallel::parallelFor(*pool_, chunks, scanChunk);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) scanChunk(c);
+  }
+  counters_.bump("evals_delta", moveCount);
+  counters_.bump("move_scans");
+
+  BestMove result;
+  result.objective = current;
+  for (const ChunkBest& cb : best) {
+    if (cb.found && (!result.move.has_value() || cb.objective > result.objective)) {
+      result.objective = cb.objective;
+      result.move = Move{cb.moveId / machines_, cb.moveId % machines_,
+                         state_->machineOf(cb.moveId / machines_)};
+    }
+  }
+  return result;
+}
+
+}  // namespace fepia::alloc

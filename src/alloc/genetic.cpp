@@ -2,47 +2,43 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 
+#include "alloc/eval_engine.hpp"
 #include "rng/distributions.hpp"
 
 namespace fepia::alloc {
 
 namespace {
 
-using Chromosome = std::vector<std::size_t>;
-
-}  // namespace
-
-GeneticResult geneticSearch(const la::Matrix& etcMatrix,
-                            const AllocationObjective& objective,
-                            rng::Xoshiro256StarStar& g,
-                            const GeneticOptions& opts,
-                            const std::vector<Allocation>& seeds) {
-  if (!objective) {
-    throw std::invalid_argument("alloc::geneticSearch: null objective");
-  }
+void checkOptions(const GeneticOptions& opts) {
   if (opts.populationSize < 2 || opts.tournamentSize == 0 ||
       opts.crossoverRate < 0.0 || opts.crossoverRate > 1.0 ||
       opts.mutationRate < 0.0 || opts.mutationRate > 1.0 ||
       opts.eliteCount >= opts.populationSize) {
     throw std::invalid_argument("alloc::geneticSearch: bad options");
   }
-  const std::size_t tasks = etcMatrix.rows();
-  const std::size_t machines = etcMatrix.cols();
+}
+
+/// Scores a whole population in index order; results must not depend on
+/// anything but the chromosomes.
+using BatchEvaluator =
+    std::function<std::vector<double>(const std::vector<Chromosome>&)>;
+
+GeneticResult runGa(std::size_t tasks, std::size_t machines,
+                    const BatchEvaluator& evaluateBatch,
+                    rng::Xoshiro256StarStar& g, const GeneticOptions& opts,
+                    const std::vector<Allocation>& seeds) {
+  checkOptions(opts);
   if (tasks == 0 || machines == 0) {
     throw std::invalid_argument("alloc::geneticSearch: empty ETC");
   }
 
   GeneticResult res{Allocation(std::vector<std::size_t>(tasks, 0), machines),
-                    -std::numeric_limits<double>::infinity(), 0};
-
-  const auto evaluate = [&](const Chromosome& c) {
-    ++res.evaluations;
-    return objective(Allocation(c, machines), etcMatrix);
-  };
+                    -std::numeric_limits<double>::infinity(), 0, 0};
 
   // Initial population: injected seeds first, random fill after.
   std::vector<Chromosome> population;
@@ -61,12 +57,10 @@ GeneticResult geneticSearch(const la::Matrix& etcMatrix,
     population.push_back(std::move(c));
   }
 
-  std::vector<double> fitness(opts.populationSize);
+  res.evaluations += population.size();
+  std::vector<double> fitness = evaluateBatch(population);
   bool anyFinite = false;
-  for (std::size_t i = 0; i < population.size(); ++i) {
-    fitness[i] = evaluate(population[i]);
-    anyFinite = anyFinite || std::isfinite(fitness[i]);
-  }
+  for (const double f : fitness) anyFinite = anyFinite || std::isfinite(f);
   if (!anyFinite) {
     throw std::invalid_argument(
         "alloc::geneticSearch: no initial chromosome has a finite objective");
@@ -120,9 +114,8 @@ GeneticResult geneticSearch(const la::Matrix& etcMatrix,
       next.push_back(std::move(child));
     }
     population = std::move(next);
-    for (std::size_t i = 0; i < population.size(); ++i) {
-      fitness[i] = evaluate(population[i]);
-    }
+    res.evaluations += population.size();
+    fitness = evaluateBatch(population);
   }
 
   for (std::size_t i = 0; i < population.size(); ++i) {
@@ -132,6 +125,52 @@ GeneticResult geneticSearch(const la::Matrix& etcMatrix,
     }
   }
   return res;
+}
+
+}  // namespace
+
+GeneticResult geneticSearch(EvalEngine& engine, rng::Xoshiro256StarStar& g,
+                            const GeneticOptions& opts,
+                            const std::vector<Allocation>& seeds) {
+  const std::uint64_t hitsBefore = engine.counters().value("cache_hits");
+  GeneticResult res = runGa(
+      engine.taskCount(), engine.machineCount(),
+      [&engine](const std::vector<Chromosome>& pop) {
+        return engine.evaluateBatch(pop);
+      },
+      g, opts, seeds);
+  res.cacheHits = static_cast<std::size_t>(
+      engine.counters().value("cache_hits") - hitsBefore);
+  return res;
+}
+
+GeneticResult geneticSearch(const la::Matrix& etcMatrix,
+                            const AllocationObjective& objective,
+                            rng::Xoshiro256StarStar& g,
+                            const GeneticOptions& opts,
+                            const std::vector<Allocation>& seeds,
+                            parallel::ThreadPool* pool) {
+  if (!objective) {
+    throw std::invalid_argument("alloc::geneticSearch: null objective");
+  }
+
+  if (std::optional<EngineConfig> cfg = engineConfigFor(objective)) {
+    EvalEngine engine(etcMatrix, *cfg, pool);
+    return geneticSearch(engine, g, opts, seeds);
+  }
+
+  // Custom objective: serial full evaluation, no caching.
+  const std::size_t machines = etcMatrix.cols();
+  return runGa(
+      etcMatrix.rows(), machines,
+      [&](const std::vector<Chromosome>& pop) {
+        std::vector<double> fitness(pop.size());
+        for (std::size_t i = 0; i < pop.size(); ++i) {
+          fitness[i] = objective(Allocation(pop[i], machines), etcMatrix);
+        }
+        return fitness;
+      },
+      g, opts, seeds);
 }
 
 }  // namespace fepia::alloc

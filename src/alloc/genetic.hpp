@@ -6,6 +6,14 @@
 // crossover, per-gene mutation and elitism, over the same pluggable
 // AllocationObjective as the other searches — so it can design for
 // makespan or directly for the robustness metric rho.
+//
+// Evaluation goes through alloc::EvalEngine when the objective is the
+// rho or makespan functor: the whole population is scored as one batch
+// (parallel across a thread pool when one is supplied, bit-identical at
+// any thread count), and the chromosome cache means elites and
+// re-discovered chromosomes are never re-scored. Selection, crossover
+// and mutation stay serial on the caller's generator, so results for a
+// fixed seed are independent of the pool entirely.
 #pragma once
 
 #include <optional>
@@ -13,7 +21,13 @@
 
 #include "alloc/search.hpp"
 
+namespace fepia::parallel {
+class ThreadPool;
+}  // namespace fepia::parallel
+
 namespace fepia::alloc {
+
+class EvalEngine;
 
 /// GA configuration.
 struct GeneticOptions {
@@ -29,16 +43,26 @@ struct GeneticOptions {
 struct GeneticResult {
   Allocation best;
   double bestObjective = 0.0;
-  std::size_t evaluations = 0;  ///< objective evaluations performed
+  std::size_t evaluations = 0;  ///< objective scores requested
+  std::size_t cacheHits = 0;    ///< scores served from the engine cache
 };
 
 /// Runs the GA. `seeds` (optional) injects known-good allocations (e.g.
-/// heuristic results) into the initial population. Throws
-/// std::invalid_argument on an empty objective, bad rates, or when no
-/// initial chromosome has a finite objective.
+/// heuristic results) into the initial population; `pool` (optional)
+/// parallelises population scoring for engine-backed objectives without
+/// changing any result. Throws std::invalid_argument on an empty
+/// objective, bad rates, or when no initial chromosome has a finite
+/// objective.
 [[nodiscard]] GeneticResult geneticSearch(
     const la::Matrix& etcMatrix, const AllocationObjective& objective,
     rng::Xoshiro256StarStar& g, const GeneticOptions& opts = {},
-    const std::vector<Allocation>& seeds = {});
+    const std::vector<Allocation>& seeds = {},
+    parallel::ThreadPool* pool = nullptr);
+
+/// Engine-driven GA: population scoring runs through `engine` (batched,
+/// cached, parallel when the engine holds a pool).
+[[nodiscard]] GeneticResult geneticSearch(
+    EvalEngine& engine, rng::Xoshiro256StarStar& g,
+    const GeneticOptions& opts = {}, const std::vector<Allocation>& seeds = {});
 
 }  // namespace fepia::alloc

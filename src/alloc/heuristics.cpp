@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "alloc/eval_engine.hpp"
+#include "alloc/search.hpp"
 #include "rng/distributions.hpp"
 
 namespace fepia::alloc {
@@ -198,33 +200,13 @@ Allocation runHeuristic(Heuristic h, const la::Matrix& etcMatrix,
 
 Allocation localSearchMakespan(Allocation start, const la::Matrix& etcMatrix,
                                std::size_t maxMoves) {
-  double current = makespan(start, etcMatrix);
-  for (std::size_t move = 0; move < maxMoves; ++move) {
-    la::Vector finish = machineFinishTimes(start, etcMatrix);
-    double bestGain = 0.0;
-    std::size_t bestTask = 0;
-    std::size_t bestMachine = 0;
-    for (std::size_t t = 0; t < start.taskCount(); ++t) {
-      const std::size_t from = start.machineOf(t);
-      for (std::size_t m = 0; m < start.machineCount(); ++m) {
-        if (m == from) continue;
-        la::Vector f = finish;
-        f[from] -= etcMatrix(t, from);
-        f[m] += etcMatrix(t, m);
-        const double candidate = *std::max_element(f.begin(), f.end());
-        const double gain = current - candidate;
-        if (gain > bestGain + 1e-12) {
-          bestGain = gain;
-          bestTask = t;
-          bestMachine = m;
-        }
-      }
-    }
-    if (bestGain <= 0.0) break;
-    start.reassign(bestTask, bestMachine);
-    current -= bestGain;
-  }
-  return start;
+  // Engine-backed steepest descent: exact incremental finish times (the
+  // old hand-rolled delta loop accumulated `current -= bestGain`, which
+  // drifts from the true makespan over long move sequences).
+  EngineConfig cfg;
+  cfg.objective = EngineObjective::NegMakespan;
+  EvalEngine engine(etcMatrix, cfg);
+  return localSearch(engine, std::move(start), maxMoves);
 }
 
 }  // namespace fepia::alloc

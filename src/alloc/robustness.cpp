@@ -1,6 +1,7 @@
 #include "alloc/robustness.hpp"
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>

@@ -2,37 +2,62 @@
 
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
+#include "alloc/eval_engine.hpp"
 #include "alloc/robustness.hpp"
 #include "rng/distributions.hpp"
 
 namespace fepia::alloc {
 
-AllocationObjective rhoObjective(double tau) {
-  return [tau](const Allocation& mu, const la::Matrix& etcMatrix) {
-    // Infeasible allocations (some machine already beyond tau) are
-    // dominated by any feasible one.
-    const la::Vector finish = machineFinishTimes(mu, etcMatrix);
-    for (std::size_t m = 0; m < mu.machineCount(); ++m) {
-      if (!mu.tasksOn(m).empty() && finish[m] >= tau) {
-        return -std::numeric_limits<double>::infinity();
-      }
+double RhoObjectiveFn::operator()(const Allocation& mu,
+                                  const la::Matrix& etcMatrix) const {
+  // Infeasible allocations (some machine already beyond tau) are
+  // dominated by any feasible one.
+  const la::Vector finish = machineFinishTimes(mu, etcMatrix);
+  for (std::size_t m = 0; m < mu.machineCount(); ++m) {
+    if (!mu.tasksOn(m).empty() && finish[m] >= tau) {
+      return -std::numeric_limits<double>::infinity();
     }
-    return makespanRobustnessClosedForm(mu, etcMatrix, tau);
-  };
+  }
+  return makespanRobustnessClosedForm(mu, etcMatrix, tau);
 }
 
-AllocationObjective makespanObjective() {
-  return [](const Allocation& mu, const la::Matrix& etcMatrix) {
-    return -makespan(mu, etcMatrix);
-  };
+double MakespanObjectiveFn::operator()(const Allocation& mu,
+                                       const la::Matrix& etcMatrix) const {
+  return -makespan(mu, etcMatrix);
+}
+
+AllocationObjective rhoObjective(double tau) { return RhoObjectiveFn{tau}; }
+
+AllocationObjective makespanObjective() { return MakespanObjectiveFn{}; }
+
+Allocation localSearch(EvalEngine& engine, Allocation start,
+                       std::size_t maxMoves) {
+  engine.setState(start);
+  for (std::size_t move = 0; move < maxMoves; ++move) {
+    const BestMove bm = engine.bestMove();
+    if (!bm.move.has_value()) break;
+    (void)engine.apply(bm.move->task, bm.move->to);
+  }
+  return engine.state();
 }
 
 Allocation localSearch(Allocation start, const la::Matrix& etcMatrix,
                        const AllocationObjective& objective,
                        std::size_t maxMoves) {
   if (!objective) throw std::invalid_argument("alloc::localSearch: objective");
+
+  if (const std::optional<EngineConfig> cfg = engineConfigFor(objective)) {
+    EvalEngine engine(etcMatrix, *cfg);
+    return localSearch(engine, std::move(start), maxMoves);
+  }
+
+  // Generic objective: full recomputation per candidate. The incumbent
+  // objective is re-evaluated after every accepted move instead of
+  // accumulating gains, so floating-point drift cannot build up across a
+  // long move sequence.
   double current = objective(start, etcMatrix);
   for (std::size_t move = 0; move < maxMoves; ++move) {
     double bestGain = 0.0;
@@ -55,7 +80,7 @@ Allocation localSearch(Allocation start, const la::Matrix& etcMatrix,
     }
     if (bestGain <= 0.0) break;
     start.reassign(bestTask, bestMachine);
-    current += bestGain;
+    current = objective(start, etcMatrix);
   }
   return start;
 }
@@ -67,7 +92,29 @@ AnnealResult simulatedAnnealing(Allocation start, const la::Matrix& etcMatrix,
   if (!objective) {
     throw std::invalid_argument("alloc::simulatedAnnealing: objective");
   }
-  double current = objective(start, etcMatrix);
+
+  // Engine-backed scoring when the objective supports it: a proposal is
+  // scored as a delta against the working state and only applied on
+  // acceptance, so each iteration costs O(n_from + n_to) instead of a
+  // full recompute (and the tracked objective stays drift-free).
+  const std::optional<EngineConfig> cfg = engineConfigFor(objective);
+  std::optional<EvalEngine> engine;
+  if (cfg.has_value()) {
+    engine.emplace(etcMatrix, *cfg);
+    engine->setState(start);
+  }
+  const auto scoreProposal = [&](Allocation& state, std::size_t t,
+                                 std::size_t to) {
+    if (engine.has_value()) return engine->scoreMove(t, to);
+    const std::size_t from = state.machineOf(t);
+    state.reassign(t, to);
+    const double candidate = objective(state, etcMatrix);
+    state.reassign(t, from);
+    return candidate;
+  };
+
+  double current =
+      engine.has_value() ? engine->stateObjective() : objective(start, etcMatrix);
   if (!std::isfinite(current)) {
     throw std::invalid_argument(
         "alloc::simulatedAnnealing: start allocation has non-finite objective");
@@ -87,14 +134,15 @@ AnnealResult simulatedAnnealing(Allocation start, const la::Matrix& etcMatrix,
     std::size_t to = rng::uniformIndex(g, 0, state.machineCount() - 1);
     if (to == from) to = (to + 1) % state.machineCount();
 
-    state.reassign(t, to);
-    const double candidate = objective(state, etcMatrix);
+    const double candidate = scoreProposal(state, t, to);
     const double delta = candidate - current;
     const bool accept =
         std::isfinite(candidate) &&
         (delta >= 0.0 ||
          rng::uniform01(g) < std::exp(delta / std::max(temperature, 1e-12)));
     if (accept) {
+      state.reassign(t, to);
+      if (engine.has_value()) (void)engine->apply(t, to);
       current = candidate;
       ++res.accepted;
       if (current > res.bestObjective) {
@@ -102,8 +150,6 @@ AnnealResult simulatedAnnealing(Allocation start, const la::Matrix& etcMatrix,
         res.best = state;
         ++res.improved;
       }
-    } else {
-      state.reassign(t, from);  // undo
     }
     temperature *= opts.coolingRate;
   }

@@ -10,6 +10,13 @@
 //  * steepest-ascent local search on rho (single-task reassignments);
 //  * simulated annealing on a pluggable objective (rho, makespan, or a
 //    blend), with feasibility preserved via the tau constraint.
+//
+// The rho and makespan objectives are *named* callable types, so the
+// search loops recognise them inside the type-erased AllocationObjective
+// and route evaluation through alloc::EvalEngine (incremental deltas +
+// memoization; see eval_engine.hpp) instead of recomputing every machine
+// finish time per candidate. Custom objectives still work through the
+// generic full-recompute path.
 #pragma once
 
 #include <functional>
@@ -20,9 +27,23 @@
 
 namespace fepia::alloc {
 
+class EvalEngine;
+
 /// Objective evaluated on candidate allocations. Larger is better.
 using AllocationObjective =
     std::function<double(const Allocation&, const la::Matrix& etcMatrix)>;
+
+/// The callable behind rhoObjective(): a named type so engine-aware code
+/// can recover tau via AllocationObjective::target<RhoObjectiveFn>().
+struct RhoObjectiveFn {
+  double tau = 0.0;
+  double operator()(const Allocation& mu, const la::Matrix& etcMatrix) const;
+};
+
+/// The callable behind makespanObjective().
+struct MakespanObjectiveFn {
+  double operator()(const Allocation& mu, const la::Matrix& etcMatrix) const;
+};
 
 /// Objective: the makespan-robustness rho (closed form) under constraint
 /// tau; allocations violating tau score -infinity.
@@ -32,11 +53,21 @@ using AllocationObjective =
 [[nodiscard]] AllocationObjective makespanObjective();
 
 /// Steepest-ascent local search: applies the single-task reassignment
-/// with the best objective gain until no move improves.
-/// Throws std::invalid_argument on shape mismatch.
+/// with the best objective gain until no move improves. Rho/makespan
+/// objectives run on an EvalEngine (O(1)-ish move scoring); custom
+/// objectives fall back to full recomputation, re-evaluated after every
+/// accepted move so the tracked objective never drifts.
+/// Throws std::invalid_argument on shape mismatch or a null objective.
 [[nodiscard]] Allocation localSearch(Allocation start,
                                      const la::Matrix& etcMatrix,
                                      const AllocationObjective& objective,
+                                     std::size_t maxMoves = 10000);
+
+/// Engine-driven steepest ascent: scans moves through `engine` (in
+/// parallel when the engine holds a thread pool) and leaves the engine's
+/// working state at the returned optimum. Deterministic for a fixed
+/// engine config at any thread count.
+[[nodiscard]] Allocation localSearch(EvalEngine& engine, Allocation start,
                                      std::size_t maxMoves = 10000);
 
 /// Simulated-annealing options.

@@ -1,6 +1,7 @@
 #include "feature/feature.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace fepia::feature {

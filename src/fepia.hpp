@@ -19,6 +19,7 @@
 #include "alloc/allocation.hpp"
 #include "alloc/heuristics.hpp"
 #include "alloc/robustness.hpp"
+#include "alloc/eval_engine.hpp"
 #include "alloc/failure.hpp"
 #include "alloc/genetic.hpp"
 #include "alloc/search.hpp"
@@ -61,6 +62,7 @@
 #include "stats/correlation.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/ecdf.hpp"
+#include "trace/counters.hpp"
 #include "trace/trace.hpp"
 #include "stats/histogram.hpp"
 #include "units/unit.hpp"

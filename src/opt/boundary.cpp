@@ -1,6 +1,7 @@
 #include "opt/boundary.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "ad/gradient.hpp"

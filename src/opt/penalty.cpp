@@ -1,6 +1,7 @@
 #include "opt/penalty.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace fepia::opt {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <exception>
 #include <stdexcept>
+#include <string>
 
 namespace fepia::parallel {
 
@@ -18,14 +19,18 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+void ThreadPool::shutdown() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
   }
   wake_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
+
+ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::workerLoop() {
   for (;;) {
@@ -64,16 +69,32 @@ void parallelFor(ThreadPool& pool, std::size_t count,
       for (std::size_t i = begin; i < end; ++i) body(i);
     }));
   }
-  // Propagate the first failure (futures rethrow stored exceptions).
+  // Propagate the first failure; further failures are counted into the
+  // rethrown message instead of vanishing silently.
   std::exception_ptr first;
+  std::size_t suppressed = 0;
   for (auto& f : futures) {
     try {
       f.get();
     } catch (...) {
-      if (!first) first = std::current_exception();
+      if (!first) {
+        first = std::current_exception();
+      } else {
+        ++suppressed;
+      }
     }
   }
-  if (first) std::rethrow_exception(first);
+  if (!first) return;
+  if (suppressed == 0) std::rethrow_exception(first);
+  const std::string suffix = " [parallelFor: " + std::to_string(suppressed) +
+                             " additional task failure(s) suppressed]";
+  try {
+    std::rethrow_exception(first);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(e.what() + suffix);
+  } catch (...) {
+    throw std::runtime_error("non-standard exception" + suffix);
+  }
 }
 
 }  // namespace fepia::parallel

@@ -4,8 +4,10 @@
 // per-feature radii, per-direction probes, per-replication traces — so a
 // simple fork-join pool covers the library's parallel needs without
 // imposing a runtime. Exceptions thrown by tasks are captured and
-// rethrown to the caller (first one wins), keeping the error contract of
-// the serial code paths.
+// rethrown to the caller: the first one wins, and when several
+// iterations fail the rethrown error message carries the count of the
+// suppressed ones, keeping the error contract of the serial code paths
+// without silently discarding failures.
 #pragma once
 
 #include <condition_variable>
@@ -14,6 +16,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -38,7 +41,14 @@ class ThreadPool {
     return workers_.size();
   }
 
+  /// Stops accepting work, drains the queue and joins the workers.
+  /// Idempotent; the destructor calls it. After shutdown(), submit()
+  /// throws instead of enqueueing tasks that would never run.
+  void shutdown();
+
   /// Schedules a task; the future carries its result or exception.
+  /// Throws std::runtime_error when the pool is shutting down — work
+  /// enqueued past that point could be dropped without ever running.
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using Result = std::invoke_result_t<Fn>;
@@ -47,6 +57,10 @@ class ThreadPool {
     std::future<Result> out = task->get_future();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error(
+            "parallel::ThreadPool::submit: pool is shutting down");
+      }
       queue_.emplace([task] { (*task)(); });
     }
     wake_.notify_one();
@@ -64,9 +78,11 @@ class ThreadPool {
 };
 
 /// Runs body(i) for i in [0, count) across the pool and blocks until all
-/// complete. The first exception thrown by any iteration is rethrown.
-/// Iteration order across threads is unspecified; the body must not
-/// assume ordering. Throws std::invalid_argument on a null body.
+/// complete. The first exception thrown by any iteration is rethrown;
+/// when other iterations also failed, the rethrown message is augmented
+/// with the number of suppressed failures. Iteration order across
+/// threads is unspecified; the body must not assume ordering. Throws
+/// std::invalid_argument on a null body.
 void parallelFor(ThreadPool& pool, std::size_t count,
                  const std::function<void(std::size_t)>& body);
 

@@ -1,6 +1,7 @@
 #include "radius/mahalanobis.hpp"
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 

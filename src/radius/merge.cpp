@@ -1,6 +1,7 @@
 #include "radius/merge.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "feature/transform.hpp"

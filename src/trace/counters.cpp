@@ -1,0 +1,54 @@
+#include "trace/counters.hpp"
+
+namespace fepia::trace {
+
+Counter* CounterSet::find(const std::string& name) noexcept {
+  for (Counter& c : counters_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+void CounterSet::bump(const std::string& name, std::uint64_t delta) {
+  if (Counter* c = find(name)) {
+    c->value += delta;
+  } else {
+    counters_.push_back(Counter{name, delta});
+  }
+}
+
+void CounterSet::set(const std::string& name, std::uint64_t value) {
+  if (Counter* c = find(name)) {
+    c->value = value;
+  } else {
+    counters_.push_back(Counter{name, value});
+  }
+}
+
+std::uint64_t CounterSet::value(const std::string& name) const noexcept {
+  for (const Counter& c : counters_) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+void CounterSet::merge(const CounterSet& other) {
+  for (const Counter& c : other.counters_) bump(c.name, c.value);
+}
+
+void CounterSet::writeJson(std::ostream& os) const {
+  os << '{';
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << '"' << counters_[i].name << "\": " << counters_[i].value;
+  }
+  os << '}';
+}
+
+void CounterSet::print(std::ostream& os) const {
+  for (const Counter& c : counters_) {
+    os << c.name << " = " << c.value << '\n';
+  }
+}
+
+}  // namespace fepia::trace

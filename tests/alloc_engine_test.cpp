@@ -1,0 +1,326 @@
+// Correctness contract of alloc::EvalEngine: every score the engine
+// produces — incremental delta, cached, batched — must be bit-identical
+// to the from-scratch objective (rhoObjective / makespanObjective), and
+// the apply/revert state machine must never drift from a full
+// recomputation, no matter how long the move sequence.
+#include "alloc/eval_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "alloc/heuristics.hpp"
+#include "alloc/robustness.hpp"
+#include "alloc/search.hpp"
+#include "etc/etc.hpp"
+#include "rng/distributions.hpp"
+
+namespace alloc = fepia::alloc;
+namespace etcns = fepia::etc;
+namespace rng = fepia::rng;
+namespace la = fepia::la;
+
+namespace {
+
+/// Bitwise double equality: the engine's contract is exactness, not
+/// closeness (EXPECT_DOUBLE_EQ tolerates -0.0 vs 0.0 and 4-ulp error).
+bool sameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+la::Matrix workload(std::uint64_t seed, std::size_t tasks = 30,
+                    std::size_t machines = 5) {
+  rng::Xoshiro256StarStar g(seed);
+  return etcns::generateCvb(tasks, machines, etcns::CvbParams{}, g);
+}
+
+alloc::EngineConfig rhoConfig(double tau) {
+  alloc::EngineConfig cfg;
+  cfg.objective = alloc::EngineObjective::Rho;
+  cfg.tau = tau;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(EvalEngine, EvaluateMatchesRhoObjectiveBitwise) {
+  const la::Matrix e = workload(1);
+  const double tau = 1.5 * alloc::makespan(alloc::minMin(e), e);
+  const auto obj = alloc::rhoObjective(tau);
+  alloc::EvalEngine engine(e, rhoConfig(tau));
+
+  rng::Xoshiro256StarStar g(7);
+  for (int i = 0; i < 50; ++i) {
+    const alloc::Allocation mu = alloc::randomAllocation(e, g);
+    EXPECT_TRUE(sameBits(engine.evaluate(mu), obj(mu, e)));
+  }
+}
+
+TEST(EvalEngine, EvaluateMatchesMakespanObjectiveBitwise) {
+  const la::Matrix e = workload(2);
+  alloc::EngineConfig cfg;
+  cfg.objective = alloc::EngineObjective::NegMakespan;
+  alloc::EvalEngine engine(e, cfg);
+  const auto obj = alloc::makespanObjective();
+
+  rng::Xoshiro256StarStar g(8);
+  for (int i = 0; i < 50; ++i) {
+    const alloc::Allocation mu = alloc::randomAllocation(e, g);
+    EXPECT_TRUE(sameBits(engine.evaluate(mu), obj(mu, e)));
+  }
+}
+
+TEST(EvalEngine, InfeasibleAllocationsScoreMinusInfinity) {
+  const la::Matrix e = workload(3);
+  const alloc::Allocation mu = alloc::minMin(e);
+  // tau below the current makespan: some machine already violates.
+  const double tau = 0.5 * alloc::makespan(mu, e);
+  alloc::EvalEngine engine(e, rhoConfig(tau));
+  EXPECT_TRUE(std::isinf(engine.evaluate(mu)));
+  EXPECT_LT(engine.evaluate(mu), 0.0);
+  EXPECT_TRUE(sameBits(engine.evaluate(mu), alloc::rhoObjective(tau)(mu, e)));
+}
+
+TEST(EvalEngine, ScoreMoveMatchesFullRecomputeOverRandomMoveSequence) {
+  const la::Matrix e = workload(4, 40, 6);
+  alloc::Allocation mu = alloc::mct(e);
+  const double tau = 1.4 * alloc::makespan(mu, e);
+  const auto obj = alloc::rhoObjective(tau);
+  alloc::EvalEngine engine(e, rhoConfig(tau));
+  engine.setState(mu);
+
+  rng::Xoshiro256StarStar g(9);
+  for (int step = 0; step < 400; ++step) {
+    const std::size_t t = rng::uniformIndex(g, 0, mu.taskCount() - 1);
+    const std::size_t m = rng::uniformIndex(g, 0, mu.machineCount() - 1);
+
+    // Delta score vs full recompute of the hypothetical move. For
+    // feasible states the objective IS makespanRobustnessClosedForm, so
+    // the delta is checked against the paper's closed form directly.
+    const std::size_t from = mu.machineOf(t);
+    mu.reassign(t, m);
+    const double full = obj(mu, e);
+    const double closed = std::isfinite(full)
+                              ? alloc::makespanRobustnessClosedForm(mu, e, tau)
+                              : full;
+    mu.reassign(t, from);
+    EXPECT_TRUE(sameBits(engine.scoreMove(t, m), full))
+        << "step " << step << " task " << t << " -> machine " << m;
+    EXPECT_TRUE(sameBits(full, closed));
+
+    // Occasionally apply the move so the walk covers many states.
+    if (step % 3 == 0) {
+      (void)engine.apply(t, m);
+      mu.reassign(t, m);
+      EXPECT_TRUE(sameBits(engine.stateObjective(), obj(mu, e)));
+    }
+  }
+}
+
+TEST(EvalEngine, StateObjectiveNeverDriftsOver10kMoves) {
+  // Regression for the localSearch `current += bestGain` drift bug: the
+  // engine's incremental state must match a from-scratch recomputation
+  // *exactly* (drift == 0.0, not merely small) over 10000 moves.
+  const la::Matrix e = workload(5, 64, 8);
+  alloc::Allocation mu = alloc::minMin(e);
+  // tau above the worst possible finish time of any allocation, so the
+  // random walk never goes infeasible and the margins stay finite (a
+  // -inf state would make the drift subtraction NaN and prove nothing).
+  double worst = 0.0;
+  for (std::size_t t = 0; t < e.rows(); ++t) {
+    double rowMax = 0.0;
+    for (std::size_t m = 0; m < e.cols(); ++m) rowMax = std::max(rowMax, e(t, m));
+    worst += rowMax;
+  }
+  const double tau = 1.1 * worst;
+  const auto obj = alloc::rhoObjective(tau);
+  alloc::EvalEngine engine(e, rhoConfig(tau));
+  engine.setState(mu);
+
+  rng::Xoshiro256StarStar g(10);
+  for (int step = 0; step < 10000; ++step) {
+    const std::size_t t = rng::uniformIndex(g, 0, mu.taskCount() - 1);
+    const std::size_t m = rng::uniformIndex(g, 0, mu.machineCount() - 1);
+    (void)engine.apply(t, m);
+    mu.reassign(t, m);
+  }
+  const double drift = engine.stateObjective() - obj(mu, e);
+  EXPECT_EQ(drift, 0.0);
+  EXPECT_TRUE(sameBits(engine.stateObjective(), obj(mu, e)));
+}
+
+TEST(EvalEngine, ApplyRevertRestoresStateExactly) {
+  const la::Matrix e = workload(6);
+  const alloc::Allocation mu = alloc::sufferage(e);
+  const double tau = 1.6 * alloc::makespan(mu, e);
+  alloc::EvalEngine engine(e, rhoConfig(tau));
+  engine.setState(mu);
+  const double before = engine.stateObjective();
+
+  rng::Xoshiro256StarStar g(11);
+  std::vector<alloc::Move> moves;
+  for (int i = 0; i < 32; ++i) {
+    const std::size_t t = rng::uniformIndex(g, 0, mu.taskCount() - 1);
+    const std::size_t m = rng::uniformIndex(g, 0, mu.machineCount() - 1);
+    moves.push_back(engine.apply(t, m));
+  }
+  for (auto it = moves.rbegin(); it != moves.rend(); ++it) engine.revert(*it);
+
+  EXPECT_TRUE(sameBits(engine.stateObjective(), before));
+  EXPECT_EQ(engine.state().assignment(), mu.assignment());
+}
+
+TEST(EvalEngine, CacheHitsReturnIdenticalScores) {
+  const la::Matrix e = workload(7);
+  const double tau = 1.5 * alloc::makespan(alloc::minMin(e), e);
+  alloc::EvalEngine engine(e, rhoConfig(tau));
+
+  rng::Xoshiro256StarStar g(12);
+  std::vector<alloc::Allocation> pool;
+  std::vector<double> first;
+  for (int i = 0; i < 20; ++i) {
+    pool.push_back(alloc::randomAllocation(e, g));
+    first.push_back(engine.evaluate(pool.back()));
+  }
+  const std::uint64_t missesAfterFirstPass =
+      engine.counters().value("cache_misses");
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_TRUE(sameBits(engine.evaluate(pool[i]), first[i]));
+  }
+  // Second pass must be all hits, no new misses.
+  EXPECT_EQ(engine.counters().value("cache_misses"), missesAfterFirstPass);
+  EXPECT_GE(engine.counters().value("cache_hits"), pool.size());
+}
+
+TEST(EvalEngine, BatchEvaluationMatchesSerialAndScalarPaths) {
+  const la::Matrix e = workload(8, 48, 6);
+  const double tau = 1.5 * alloc::makespan(alloc::minMin(e), e);
+
+  rng::Xoshiro256StarStar g(13);
+  std::vector<alloc::Chromosome> population;
+  for (int i = 0; i < 100; ++i) {
+    population.push_back(alloc::randomAllocation(e, g).assignment());
+  }
+  // Duplicate some chromosomes so the batch exercises the cache.
+  population.push_back(population[0]);
+  population.push_back(population[7]);
+
+  alloc::EvalEngine serial(e, rhoConfig(tau));
+  const std::vector<double> sa = serial.evaluateBatch(population);
+
+  fepia::parallel::ThreadPool pool(4);
+  alloc::EvalEngine parallelEngine(e, rhoConfig(tau), &pool);
+  const std::vector<double> pa = parallelEngine.evaluateBatch(population);
+
+  const auto obj = alloc::rhoObjective(tau);
+  ASSERT_EQ(sa.size(), population.size());
+  ASSERT_EQ(pa.size(), population.size());
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    EXPECT_TRUE(sameBits(sa[i], pa[i]));
+    EXPECT_TRUE(sameBits(
+        sa[i], obj(alloc::Allocation(population[i], e.cols()), e)));
+  }
+}
+
+TEST(EvalEngine, BestMoveAgreesWithExhaustiveScan) {
+  const la::Matrix e = workload(9, 24, 4);
+  alloc::Allocation mu = alloc::mct(e);
+  const double tau = 1.4 * alloc::makespan(mu, e);
+  const auto obj = alloc::rhoObjective(tau);
+  alloc::EvalEngine engine(e, rhoConfig(tau));
+  engine.setState(mu);
+
+  const alloc::BestMove bm = engine.bestMove();
+  // Exhaustive reference scan (argmax, first-index tie-break).
+  double best = obj(mu, e);
+  bool found = false;
+  std::size_t bestT = 0, bestM = 0;
+  for (std::size_t t = 0; t < mu.taskCount(); ++t) {
+    const std::size_t from = mu.machineOf(t);
+    for (std::size_t m = 0; m < mu.machineCount(); ++m) {
+      if (m == from) continue;
+      mu.reassign(t, m);
+      const double cand = obj(mu, e);
+      mu.reassign(t, from);
+      if (cand > obj(mu, e) + 1e-12 && (!found || cand > best)) {
+        found = true;
+        best = cand;
+        bestT = t;
+        bestM = m;
+      }
+    }
+  }
+  ASSERT_EQ(bm.move.has_value(), found);
+  if (found) {
+    EXPECT_EQ(bm.move->task, bestT);
+    EXPECT_EQ(bm.move->to, bestM);
+    EXPECT_TRUE(sameBits(bm.objective, best));
+  }
+}
+
+TEST(EvalEngine, LocalSearchEngineMatchesGenericObjectivePathResult) {
+  // The engine-backed localSearch (reached through the rhoObjective
+  // functor) must land on an allocation at least as good as the generic
+  // full-recompute path reached through an opaque lambda.
+  const la::Matrix e = workload(10, 30, 5);
+  const alloc::Allocation start = alloc::minMin(e);
+  const double tau = 1.5 * alloc::makespan(start, e);
+  const auto obj = alloc::rhoObjective(tau);
+  // Wrapping in a lambda hides the functor type -> generic path.
+  const alloc::AllocationObjective opaque =
+      [&obj](const alloc::Allocation& mu, const la::Matrix& etc) {
+        return obj(mu, etc);
+      };
+
+  const alloc::Allocation fast = alloc::localSearch(start, e, obj);
+  const alloc::Allocation slow = alloc::localSearch(start, e, opaque);
+  EXPECT_NEAR(obj(fast, e), obj(slow, e), 1e-9 * std::abs(obj(slow, e)));
+}
+
+TEST(EvalEngine, CountersTrackWork) {
+  const la::Matrix e = workload(11);
+  const double tau = 1.5 * alloc::makespan(alloc::minMin(e), e);
+  alloc::EvalEngine engine(e, rhoConfig(tau));
+  engine.setState(alloc::minMin(e));
+  (void)engine.bestMove();
+  EXPECT_GT(engine.counters().value("evals_delta"), 0u);
+  EXPECT_EQ(engine.counters().value("move_scans"), 1u);
+  (void)engine.evaluate(alloc::minMin(e));
+  EXPECT_GT(engine.counters().value("evals_full"), 0u);
+}
+
+TEST(EvalEngine, ValidatesArguments) {
+  const la::Matrix e = workload(12);
+  EXPECT_THROW(
+      alloc::EvalEngine(e, rhoConfig(std::numeric_limits<double>::infinity())),
+      std::invalid_argument);
+  alloc::EngineConfig cfg = rhoConfig(100.0);
+  cfg.chunkSize = 0;
+  EXPECT_THROW(alloc::EvalEngine(e, cfg), std::invalid_argument);
+
+  alloc::EvalEngine engine(e, rhoConfig(1e6));
+  EXPECT_THROW((void)engine.stateObjective(), std::logic_error);
+  EXPECT_THROW((void)engine.bestMove(), std::logic_error);
+  engine.setState(alloc::minMin(e));
+  EXPECT_THROW((void)engine.scoreMove(e.rows(), 0), std::out_of_range);
+  EXPECT_THROW((void)engine.apply(0, e.cols()), std::out_of_range);
+}
+
+TEST(EvalEngine, EngineConfigForRecognisesNamedObjectives) {
+  const auto rho = alloc::engineConfigFor(alloc::rhoObjective(42.0));
+  ASSERT_TRUE(rho.has_value());
+  EXPECT_EQ(rho->objective, alloc::EngineObjective::Rho);
+  EXPECT_EQ(rho->tau, 42.0);
+
+  const auto ms = alloc::engineConfigFor(alloc::makespanObjective());
+  ASSERT_TRUE(ms.has_value());
+  EXPECT_EQ(ms->objective, alloc::EngineObjective::NegMakespan);
+
+  const alloc::AllocationObjective custom =
+      [](const alloc::Allocation&, const la::Matrix&) { return 0.0; };
+  EXPECT_FALSE(alloc::engineConfigFor(custom).has_value());
+}

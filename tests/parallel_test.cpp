@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "hiperd/factory.hpp"
 #include "radius/parallel_rho.hpp"
@@ -70,6 +71,52 @@ TEST(ParallelFor, FirstExceptionPropagates) {
                                        }
                                      }),
                std::domain_error);
+}
+
+TEST(ParallelFor, SuppressedFailuresAreCounted) {
+  // When several tasks fail, the rethrown error must say how many extra
+  // failures were swallowed instead of dropping them silently.
+  parallel::ThreadPool pool(4);
+  try {
+    parallel::parallelFor(pool, 100, [](std::size_t i) {
+      if (i % 10 == 0) throw std::domain_error("bad index " + std::to_string(i));
+    });
+    FAIL() << "parallelFor should have thrown";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad index"), std::string::npos) << what;
+    EXPECT_NE(what.find("additional task failure"), std::string::npos) << what;
+    EXPECT_NE(what.find("suppressed"), std::string::npos) << what;
+  }
+}
+
+TEST(ParallelFor, SingleFailureKeepsOriginalExceptionType) {
+  // Exactly one failing chunk: the original exception must be rethrown
+  // unmodified (no aggregation suffix), preserving its dynamic type.
+  parallel::ThreadPool pool(4);
+  try {
+    parallel::parallelFor(pool, 100, [](std::size_t i) {
+      if (i == 42) throw std::domain_error("lonely failure");
+    });
+    FAIL() << "parallelFor should have thrown";
+  } catch (const std::domain_error& e) {
+    EXPECT_STREQ(e.what(), "lonely failure");
+  }
+}
+
+TEST(ParallelPool, SubmitAfterShutdownThrows) {
+  parallel::ThreadPool pool(2);
+  auto f = pool.submit([] { return 1; });
+  EXPECT_EQ(f.get(), 1);
+  pool.shutdown();
+  EXPECT_THROW((void)pool.submit([] { return 2; }), std::runtime_error);
+}
+
+TEST(ParallelPool, ShutdownIsIdempotent) {
+  parallel::ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op, not a crash
+  EXPECT_THROW((void)pool.submit([] {}), std::runtime_error);
 }
 
 TEST(ParallelRho, MatchesSerialExactly) {

@@ -1,0 +1,168 @@
+// Determinism contract of the engine-driven searches: for a fixed seed,
+// localSearch and geneticSearch must return the byte-identical best
+// allocation and objective for any thread count (fixed chunking,
+// index-ordered reductions — the same recipe as src/validate).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "alloc/eval_engine.hpp"
+#include "alloc/genetic.hpp"
+#include "alloc/heuristics.hpp"
+#include "alloc/search.hpp"
+#include "etc/etc.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace alloc = fepia::alloc;
+namespace etcns = fepia::etc;
+namespace parallel = fepia::parallel;
+namespace rng = fepia::rng;
+namespace la = fepia::la;
+
+namespace {
+
+/// Bitwise double equality — EXPECT_EQ tolerates -0.0 vs 0.0; the
+/// determinism contract is stronger.
+bool sameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+struct Workload {
+  la::Matrix etcMatrix;
+  alloc::Allocation seed;
+  double tau;
+};
+
+Workload makeWorkload() {
+  rng::Xoshiro256StarStar g(0x5EA2C11ull);
+  la::Matrix e = etcns::generateCvb(64, 8, etcns::CvbParams{}, g);
+  alloc::Allocation seed = alloc::mct(e);
+  const double tau = 1.4 * alloc::makespan(seed, e);
+  return Workload{std::move(e), std::move(seed), tau};
+}
+
+alloc::EngineConfig rhoConfig(double tau) {
+  alloc::EngineConfig cfg;
+  cfg.objective = alloc::EngineObjective::Rho;
+  cfg.tau = tau;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(SearchDeterminism, LocalSearchIsThreadCountInvariant) {
+  const Workload w = makeWorkload();
+
+  alloc::EvalEngine serialEngine(w.etcMatrix, rhoConfig(w.tau));
+  const alloc::Allocation serial =
+      alloc::localSearch(serialEngine, w.seed);
+  const double serialRho = serialEngine.evaluate(serial);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    alloc::EvalEngine engine(w.etcMatrix, rhoConfig(w.tau), &pool);
+    const alloc::Allocation result = alloc::localSearch(engine, w.seed);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(result.assignment(), serial.assignment());
+    EXPECT_TRUE(sameBits(engine.evaluate(result), serialRho));
+  }
+}
+
+TEST(SearchDeterminism, LocalSearchEngineMatchesObjectiveEntryPoint) {
+  // The public localSearch(start, etc, objective) entry point routes rho
+  // objectives through the engine; the result must be byte-identical to
+  // driving the engine directly.
+  const Workload w = makeWorkload();
+  alloc::EvalEngine engine(w.etcMatrix, rhoConfig(w.tau));
+  const alloc::Allocation direct = alloc::localSearch(engine, w.seed);
+  const alloc::Allocation routed = alloc::localSearch(
+      w.seed, w.etcMatrix, alloc::rhoObjective(w.tau));
+  EXPECT_EQ(direct.assignment(), routed.assignment());
+}
+
+TEST(SearchDeterminism, GeneticSearchIsThreadCountInvariant) {
+  const Workload w = makeWorkload();
+  alloc::GeneticOptions opts;
+  opts.populationSize = 32;
+  opts.generations = 40;
+  const std::vector<alloc::Allocation> seeds{w.seed};
+  constexpr std::uint64_t kSeed = 0xBADF00Dull;
+
+  rng::Xoshiro256StarStar gSerial(kSeed);
+  alloc::EvalEngine serialEngine(w.etcMatrix, rhoConfig(w.tau));
+  const alloc::GeneticResult serial =
+      alloc::geneticSearch(serialEngine, gSerial, opts, seeds);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    rng::Xoshiro256StarStar g(kSeed);
+    alloc::EvalEngine engine(w.etcMatrix, rhoConfig(w.tau), &pool);
+    const alloc::GeneticResult res =
+        alloc::geneticSearch(engine, g, opts, seeds);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(res.best.assignment(), serial.best.assignment());
+    EXPECT_TRUE(sameBits(res.bestObjective, serial.bestObjective));
+    EXPECT_EQ(res.evaluations, serial.evaluations);
+  }
+}
+
+TEST(SearchDeterminism, GeneticObjectiveEntryPointMatchesEngineOverload) {
+  const Workload w = makeWorkload();
+  alloc::GeneticOptions opts;
+  opts.populationSize = 24;
+  opts.generations = 25;
+  constexpr std::uint64_t kSeed = 71;
+
+  rng::Xoshiro256StarStar gEngine(kSeed);
+  alloc::EvalEngine engine(w.etcMatrix, rhoConfig(w.tau));
+  const alloc::GeneticResult direct =
+      alloc::geneticSearch(engine, gEngine, opts, {w.seed});
+
+  rng::Xoshiro256StarStar gRouted(kSeed);
+  const alloc::GeneticResult routed = alloc::geneticSearch(
+      w.etcMatrix, alloc::rhoObjective(w.tau), gRouted, opts, {w.seed});
+
+  EXPECT_EQ(direct.best.assignment(), routed.best.assignment());
+  EXPECT_TRUE(sameBits(direct.bestObjective, routed.bestObjective));
+}
+
+TEST(SearchDeterminism, GeneticCacheHitsAreReported) {
+  const Workload w = makeWorkload();
+  alloc::GeneticOptions opts;
+  opts.populationSize = 24;
+  opts.generations = 30;
+  opts.eliteCount = 4;  // elites recur every generation -> cache hits
+  rng::Xoshiro256StarStar g(5);
+  alloc::EvalEngine engine(w.etcMatrix, rhoConfig(w.tau));
+  const alloc::GeneticResult res = alloc::geneticSearch(engine, g, opts, {w.seed});
+  EXPECT_GT(res.cacheHits, 0u);
+  EXPECT_GT(res.evaluations, 0u);
+}
+
+TEST(SearchDeterminism, AnnealingObjectiveEntryPointIsEngineInvariant) {
+  // simulatedAnnealing's engine fast path must preserve the RNG draw
+  // order of the generic path exactly: same seed -> same result whether
+  // the objective is recognised (functor) or opaque (lambda).
+  const Workload w = makeWorkload();
+  const auto obj = alloc::rhoObjective(w.tau);
+  const alloc::AllocationObjective opaque =
+      [&obj](const alloc::Allocation& mu, const la::Matrix& etcMatrix) {
+        return obj(mu, etcMatrix);
+      };
+  alloc::AnnealOptions opts;
+  opts.iterations = 2000;
+
+  rng::Xoshiro256StarStar gFast(123);
+  const alloc::AnnealResult fast =
+      alloc::simulatedAnnealing(w.seed, w.etcMatrix, obj, gFast, opts);
+  rng::Xoshiro256StarStar gSlow(123);
+  const alloc::AnnealResult slow =
+      alloc::simulatedAnnealing(w.seed, w.etcMatrix, opaque, gSlow, opts);
+  EXPECT_EQ(fast.best.assignment(), slow.best.assignment());
+  EXPECT_TRUE(sameBits(fast.bestObjective, slow.bestObjective));
+  EXPECT_EQ(fast.accepted, slow.accepted);
+  EXPECT_EQ(fast.improved, slow.improved);
+}

@@ -25,5 +25,25 @@ for cfg in "${configs[@]}"; do
   cmake --build --preset "$cfg" -j "$jobs"
   echo "=== [$cfg] ctest -L tier1 ==="
   ctest --preset "$test_preset" -j "$jobs"
+
+  if [ "$cfg" = release ]; then
+    # Quick smoke of the search bench: must run, emit well-formed JSON
+    # with the expected keys, and keep the engine determinism contract.
+    echo "=== [$cfg] bench_search smoke ==="
+    bench_json=build/BENCH_search_smoke.json
+    FEPIA_BENCH_SMOKE=1 FEPIA_BENCH_JSON="$bench_json" \
+      ./build/bench/bench_search --benchmark_filter=NONE
+    python3 - "$bench_json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+for key in ("bench", "runs", "best_speedup_vs_naive", "engine_runs_identical"):
+    if key not in d:
+        sys.exit(f"BENCH_search json missing key: {key}")
+if not d["engine_runs_identical"]:
+    sys.exit("bench_search: engine runs differ across thread counts")
+print("bench_search smoke OK")
+EOF
+  fi
 done
 echo "CI OK"

@@ -5,6 +5,7 @@
 //   fepia_cli --hiperd <system-file> [--csv]
 //   fepia_cli validate <problem-file> [options]
 //   fepia_cli validate --hiperd <system-file> [--des] [options]
+//   fepia_cli search [options]
 //
 // Options (problem-file mode):
 //   --scheme normalized|sensitivity|both   merge scheme(s) (default both)
@@ -17,6 +18,18 @@
 // --hiperd mode loads a HiPer-D topology (see src/io/system_io.hpp and
 // examples/data/fusion_pipeline.hiperd) and runs the load-space analysis
 // plus the merged multi-kind (execution times ⋆ message sizes) analysis.
+//
+// search mode designs a robust allocation for a synthetic CVB workload
+// with the engine-driven searches of src/alloc (see docs/search.md):
+// heuristics ranked by rho, steepest-ascent local search, and a GA, all
+// evaluated through alloc::EvalEngine. Results are bit-identical for a
+// fixed --seed at any --threads value.
+//   --tasks N / --machines M               workload size (default 128 x 8)
+//   --het hi-hi|hi-lo|lo-hi|lo-lo          CVB heterogeneity (default hi-hi)
+//   --tau-factor F                         tau = F x makespan(mct seed)
+//   --seed S / --threads T / --csv / --json FILE as in validate mode
+//   --generations N / --population N       GA effort
+//   --max-moves N                          local-search move budget
 //
 // validate mode cross-checks the analytic radii against the Monte-Carlo
 // estimator of src/validate (see docs/validation.md):
@@ -40,6 +53,8 @@
 //
 // See src/io/problem_io.hpp for the problem-file format; a worked sample
 // lives at examples/data/streaming_stage.fepia.
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -48,11 +63,17 @@
 #include <sstream>
 #include <vector>
 
+#include "alloc/eval_engine.hpp"
+#include "alloc/genetic.hpp"
+#include "alloc/heuristics.hpp"
+#include "alloc/search.hpp"
 #include "des/pipeline.hpp"
+#include "etc/etc.hpp"
 #include "io/problem_io.hpp"
 #include "io/system_io.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/table.hpp"
+#include "trace/counters.hpp"
 #include "validate/scheme.hpp"
 
 namespace {
@@ -69,7 +90,12 @@ int usage(const char* argv0) {
                " [--seed S] [--threads T] [--csv] [--json FILE]\n"
             << "       " << argv0
             << " validate --hiperd <system-file> [--des] [--samples N]"
-               " [--seed S] [--threads T] [--csv] [--json FILE]\n";
+               " [--seed S] [--threads T] [--csv] [--json FILE]\n"
+            << "       " << argv0
+            << " search [--tasks N] [--machines M]"
+               " [--het hi-hi|hi-lo|lo-hi|lo-lo] [--tau-factor F] [--seed S]"
+               " [--threads T] [--generations N] [--population N]"
+               " [--max-moves N] [--csv] [--json FILE]\n";
   return 1;
 }
 
@@ -286,10 +312,176 @@ int runValidateMode(int argc, char** argv) {
   return misses == 0 ? 0 : 2;
 }
 
+/// JSON scalar for a possibly non-finite rho (JSON has no Infinity).
+std::string jsonNum(double x) {
+  if (!std::isfinite(x)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << x;
+  return os.str();
+}
+
+int runSearchMode(int argc, char** argv) {
+  std::size_t tasks = 128;
+  std::size_t machines = 8;
+  etc::Heterogeneity het = etc::Heterogeneity::HiHi;
+  double tauFactor = 1.4;
+  std::uint64_t seed = 0x5EEDD1CEull;
+  std::optional<std::size_t> threads;
+  alloc::GeneticOptions gaOpts;
+  std::size_t maxMoves = 10000;
+  bool csv = false;
+  std::string jsonPath;
+
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tasks") == 0 && i + 1 < argc) {
+      tasks = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--machines") == 0 && i + 1 < argc) {
+      machines = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--het") == 0 && i + 1 < argc) {
+      const std::string h = argv[++i];
+      if (h == "hi-hi") het = etc::Heterogeneity::HiHi;
+      else if (h == "hi-lo") het = etc::Heterogeneity::HiLo;
+      else if (h == "lo-hi") het = etc::Heterogeneity::LoHi;
+      else if (h == "lo-lo") het = etc::Heterogeneity::LoLo;
+      else return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--tau-factor") == 0 && i + 1 < argc) {
+      tauFactor = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--generations") == 0 && i + 1 < argc) {
+      gaOpts.generations = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--population") == 0 && i + 1 < argc) {
+      gaOpts.populationSize = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-moves") == 0 && i + 1 < argc) {
+      maxMoves = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto sinceUs = [](Clock::time_point t0) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
+            .count());
+  };
+
+  rng::Xoshiro256StarStar g(seed);
+  const la::Matrix e = etc::generateCvb(tasks, machines, etc::cvbPreset(het), g);
+  const alloc::Allocation mctSeed = alloc::mct(e);
+  const double tau = tauFactor * alloc::makespan(mctSeed, e);
+
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (threads.has_value()) {
+    pool = std::make_unique<parallel::ThreadPool>(*threads);
+  }
+  alloc::EngineConfig cfg;
+  cfg.objective = alloc::EngineObjective::Rho;
+  cfg.tau = tau;
+  alloc::EvalEngine engine(e, cfg, pool.get());
+
+  std::cout << "workload: " << tasks << " tasks x " << machines
+            << " machines, CVB " << etc::heterogeneityName(het) << ", seed "
+            << seed << "\ntau = " << report::num(tau, 6) << "  ("
+            << tauFactor << " x mct makespan)\n\n";
+
+  // Heuristic population ranked by rho.
+  struct Row {
+    std::string name;
+    alloc::Allocation mu;
+    double rho;
+  };
+  std::vector<Row> rows;
+  std::vector<alloc::Allocation> gaSeeds;
+  for (const alloc::Heuristic h : alloc::allHeuristics()) {
+    alloc::Allocation mu = alloc::runHeuristic(h, e);
+    const double rho = engine.evaluate(mu);
+    gaSeeds.push_back(mu);
+    rows.push_back(Row{alloc::heuristicName(h), std::move(mu), rho});
+  }
+
+  // Engine-driven searches, started from the best-rho heuristic.
+  std::size_t bestSeedIdx = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].rho > rows[bestSeedIdx].rho) bestSeedIdx = i;
+  }
+  const auto t0 = Clock::now();
+  alloc::Allocation improved =
+      alloc::localSearch(engine, rows[bestSeedIdx].mu, maxMoves);
+  engine.counters().set("wall_us_local_search", sinceUs(t0));
+  const double improvedRho = engine.evaluate(improved);
+  rows.push_back(Row{"local-search", std::move(improved), improvedRho});
+
+  const auto t1 = Clock::now();
+  const alloc::GeneticResult ga = alloc::geneticSearch(engine, g, gaOpts, gaSeeds);
+  engine.counters().set("wall_us_ga", sinceUs(t1));
+  rows.push_back(Row{"ga", ga.best, ga.bestObjective});
+
+  report::Table table({"allocation", "makespan", "rho(tau)"});
+  for (const Row& r : rows) {
+    table.addRow({r.name, report::num(alloc::makespan(r.mu, e), 6),
+                  std::isfinite(r.rho) ? report::num(r.rho, 6) : "-inf"});
+  }
+  emit(table, csv);
+
+  std::size_t bestIdx = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].rho > rows[bestIdx].rho) bestIdx = i;
+  }
+  std::cout << "best: " << rows[bestIdx].name << "  rho = "
+            << (std::isfinite(rows[bestIdx].rho)
+                    ? report::num(rows[bestIdx].rho, 6)
+                    : "-inf")
+            << "\n\nengine counters:\n";
+  engine.counters().print(std::cout);
+
+  if (!jsonPath.empty()) {
+    std::ofstream out(jsonPath);
+    if (!out) {
+      std::cerr << "error: cannot write '" << jsonPath << "'\n";
+      return 1;
+    }
+    out << "{\n  \"config\": {\"tasks\": " << tasks << ", \"machines\": "
+        << machines << ", \"heterogeneity\": \""
+        << etc::heterogeneityName(het) << "\", \"tau\": " << jsonNum(tau)
+        << ", \"seed\": " << seed << ", \"threads\": "
+        << (threads.has_value() ? std::to_string(*threads) : "null")
+        << "},\n  \"allocations\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      out << "    {\"name\": \"" << rows[i].name << "\", \"makespan\": "
+          << jsonNum(alloc::makespan(rows[i].mu, e)) << ", \"rho\": "
+          << jsonNum(rows[i].rho) << "}" << (i + 1 < rows.size() ? "," : "")
+          << "\n";
+    }
+    out << "  ],\n  \"best\": \"" << rows[bestIdx].name
+        << "\",\n  \"ga\": {\"evaluations\": " << ga.evaluations
+        << ", \"cache_hits\": " << ga.cacheHits << "},\n  \"counters\": ";
+    engine.counters().writeJson(out);
+    out << "\n}\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
+
+  if (std::strcmp(argv[1], "search") == 0) {
+    try {
+      return runSearchMode(argc, argv);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+  }
 
   if (std::strcmp(argv[1], "validate") == 0) {
     if (argc < 3) return usage(argv[0]);
