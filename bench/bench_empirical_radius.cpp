@@ -15,18 +15,27 @@
 // Timings: per-estimate cost vs direction count.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <vector>
 
 #include "fepia.hpp"
+#include "obs/clock.hpp"
+#include "obs/manifest.hpp"
 
 namespace {
 
 using namespace fepia;
+
+obs::RunManifest g_manifest;
+
+bool smokeMode() {
+  const char* env = std::getenv("FEPIA_BENCH_SMOKE");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
 
 /// The P-space joint safe region of the HiPer-D mixed-kind problem — the
 /// workload validate::validateMergedScheme runs per feature, joined.
@@ -58,30 +67,32 @@ Run timedRun(const Workload& w, const validate::EstimatorOptions& opts,
   r.threads = threads;
   std::unique_ptr<parallel::ThreadPool> pool;
   if (threads > 0) pool = std::make_unique<parallel::ThreadPool>(threads);
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch sw;
   r.est = validate::estimateEmpiricalRadius(w.safe(), w.pOrig, opts,
                                             pool.get());
-  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            t0)
-                  .count();
+  r.seconds = sw.elapsedSeconds();
   return r;
 }
 
 void printExperiment() {
+  const obs::Stopwatch wall;
+  const bool smoke = smokeMode();
   const Workload w;
   validate::EstimatorOptions opts;
-  opts.directions = 8192;
+  opts.directions = smoke ? 512 : 8192;
   opts.chunkSize = 64;
   opts.seed = 0x5EEDD1CEull;
   opts.horizon = 16.0;
 
   std::cout << "=== VALRATE: empirical-radius estimator throughput ===\n\n"
             << "HiPer-D mixed-kind problem, normalized P-space, "
-            << opts.directions << " directions, seed 0x5eedd1ce\n\n";
+            << opts.directions << " directions, seed 0x5eedd1ce"
+            << (smoke ? "  [smoke mode]" : "") << "\n\n";
 
   std::vector<Run> runs;
   runs.push_back(timedRun(w, opts, 0));
-  for (const std::size_t t : {1, 2, 4, 8}) {
+  for (const std::size_t t : smoke ? std::vector<std::size_t>{2}
+                                   : std::vector<std::size_t>{1, 2, 4, 8}) {
     runs.push_back(timedRun(w, opts, t));
   }
 
@@ -114,7 +125,11 @@ void printExperiment() {
     std::cerr << "cannot write " << jsonPath << "\n";
     return;
   }
-  out << "{\n  \"bench\": \"empirical_radius\",\n  \"seed\": " << opts.seed
+  g_manifest.wallSeconds = wall.elapsedSeconds();
+  out << "{\n  \"bench\": \"empirical_radius\",\n  \"manifest\": ";
+  g_manifest.writeJson(out);
+  out << ",\n  \"smoke\": " << (smoke ? "true" : "false")
+      << ",\n  \"seed\": " << opts.seed
       << ",\n  \"directions\": " << opts.directions
       << ",\n  \"chunk_size\": " << opts.chunkSize << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -152,6 +167,7 @@ BENCHMARK(BM_EstimateRadius)->RangeMultiplier(4)->Range(256, 4096)->Complexity()
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_manifest = obs::RunManifest::collect("bench_empirical_radius", argc, argv);
   printExperiment();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

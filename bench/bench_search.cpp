@@ -20,7 +20,6 @@
 // FEPIA_BENCH_SMOKE=1 for a small instance suitable for CI smoke runs.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -30,10 +29,14 @@
 #include <vector>
 
 #include "fepia.hpp"
+#include "obs/clock.hpp"
+#include "obs/manifest.hpp"
 
 namespace {
 
 using namespace fepia;
+
+obs::RunManifest g_manifest;
 
 bool smokeMode() {
   const char* env = std::getenv("FEPIA_BENCH_SMOKE");
@@ -72,11 +75,9 @@ Run naiveRun(const Workload& w) {
       [&functor](const alloc::Allocation& mu, const la::Matrix& e) {
         return functor(mu, e);
       };
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch sw;
   alloc::Allocation best = alloc::localSearch(w.start, w.etcMatrix, opaque);
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  const double seconds = sw.elapsedSeconds();
   const double rho = functor(best, w.etcMatrix);
   return Run{"naive", 0, seconds, std::move(best), rho};
 }
@@ -88,17 +89,16 @@ Run engineRun(const Workload& w, std::size_t threads) {
   cfg.objective = alloc::EngineObjective::Rho;
   cfg.tau = w.tau;
   alloc::EvalEngine engine(w.etcMatrix, cfg, pool.get());
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch sw;
   alloc::Allocation best = alloc::localSearch(engine, w.start);
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  const double seconds = sw.elapsedSeconds();
   const double rho = engine.evaluate(best);
   return Run{threads == 0 ? "engine" : "engine-" + std::to_string(threads),
              threads, seconds, std::move(best), rho};
 }
 
 void printExperiment() {
+  const obs::Stopwatch wall;
   const bool smoke = smokeMode();
   const std::size_t tasks = smoke ? 48 : 256;
   const std::size_t machines = smoke ? 6 : 16;
@@ -147,7 +147,10 @@ void printExperiment() {
     std::cerr << "cannot write " << jsonPath << "\n";
     return;
   }
-  out << "{\n  \"bench\": \"search\",\n  \"smoke\": " << (smoke ? "true" : "false")
+  g_manifest.wallSeconds = wall.elapsedSeconds();
+  out << "{\n  \"bench\": \"search\",\n  \"manifest\": ";
+  g_manifest.writeJson(out);
+  out << ",\n  \"smoke\": " << (smoke ? "true" : "false")
       << ",\n  \"tasks\": " << tasks << ",\n  \"machines\": " << machines
       << ",\n  \"tau\": " << w.tau << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -208,6 +211,7 @@ BENCHMARK(BM_NaiveObjectiveScan)->RangeMultiplier(2)->Range(32, 128)->Complexity
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_manifest = obs::RunManifest::collect("bench_search", argc, argv);
   printExperiment();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -5,6 +5,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/clock.hpp"
+#include "obs/span.hpp"
+
 namespace fepia::alloc {
 
 namespace {
@@ -89,26 +92,40 @@ double EvalEngine::evaluate(const Allocation& mu) {
 
 double EvalEngine::evaluate(const Chromosome& c) {
   if (config_.cacheCapacity == 0) {
-    counters_.bump("evals_full");
+    counters().bump("evals_full");
     return evaluateFull(c);
   }
+  // Lookup latency is sampled only when latency metrics are on, so the
+  // default hot path never reads the clock.
+  const bool timed = obs::timingEnabled();
+  const std::uint64_t lookupStart = timed ? obs::nowNanos() : 0;
+  const auto recordLookup = [&] {
+    if (timed) {
+      metrics_
+          .histogram("engine.cache_lookup_ns",
+                     {100, 250, 500, 1000, 2500, 5000, 10000, 100000})
+          .record(static_cast<double>(obs::nowNanos() - lookupStart));
+    }
+  };
   const std::uint64_t h = chromosomeHash(c);
   auto it = cache_.find(h);
   if (it != cache_.end()) {
     for (const auto& [key, value] : it->second) {
       if (key == c) {
-        counters_.bump("cache_hits");
+        recordLookup();
+        counters().bump("cache_hits");
         return value;
       }
     }
   }
-  counters_.bump("cache_misses");
-  counters_.bump("evals_full");
+  recordLookup();
+  counters().bump("cache_misses");
+  counters().bump("evals_full");
   const double value = evaluateFull(c);
   if (cacheEntries_ >= config_.cacheCapacity) {
     cache_.clear();
     cacheEntries_ = 0;
-    counters_.bump("cache_resets");
+    counters().bump("cache_resets");
   }
   cache_[h].emplace_back(c, value);
   ++cacheEntries_;
@@ -117,7 +134,8 @@ double EvalEngine::evaluate(const Chromosome& c) {
 
 std::vector<double> EvalEngine::evaluateBatch(
     const std::vector<Chromosome>& population) {
-  counters_.bump("batches");
+  FEPIA_SPAN_ARG("engine.batch", "chromosomes", population.size());
+  counters().bump("batches");
   std::vector<double> out(population.size(), 0.0);
   if (population.empty()) return out;
 
@@ -140,9 +158,9 @@ std::vector<double> EvalEngine::evaluateBatch(
         }
       }
       if (hit) {
-        counters_.bump("cache_hits");
+        counters().bump("cache_hits");
       } else {
-        counters_.bump("cache_misses");
+        counters().bump("cache_misses");
         misses.push_back(i);
       }
     }
@@ -165,7 +183,7 @@ std::vector<double> EvalEngine::evaluateBatch(
   } else {
     for (std::size_t k = 0; k < misses.size(); ++k) scoreMiss(k);
   }
-  counters_.bump("evals_full", misses.size());
+  counters().bump("evals_full", misses.size());
 
   // Serial insert phase (index order, so the cache state is deterministic).
   if (config_.cacheCapacity > 0) {
@@ -173,7 +191,7 @@ std::vector<double> EvalEngine::evaluateBatch(
       if (cacheEntries_ >= config_.cacheCapacity) {
         cache_.clear();
         cacheEntries_ = 0;
-        counters_.bump("cache_resets");
+        counters().bump("cache_resets");
       }
       cache_[chromosomeHash(population[i])].emplace_back(population[i], out[i]);
       ++cacheEntries_;
@@ -234,7 +252,7 @@ void EvalEngine::setState(const Allocation& mu) {
   }
   for (std::size_t m = 0; m < machines_; ++m) refreshMachine(m);
   stateObjective_ = foldObjective();
-  counters_.bump("evals_full");
+  counters().bump("evals_full");
 }
 
 const Allocation& EvalEngine::state() const {
@@ -311,13 +329,13 @@ Move EvalEngine::apply(std::size_t t, std::size_t to) {
     state_->reassign(t, to);
     stateObjective_ = foldObjective();
   }
-  counters_.bump("applies");
+  counters().bump("applies");
   return Move{t, to, from};
 }
 
 void EvalEngine::revert(const Move& m) {
   (void)apply(m.task, m.from);
-  counters_.bump("reverts");
+  counters().bump("reverts");
 }
 
 std::optional<EngineConfig> engineConfigFor(const AllocationObjective& objective) {
@@ -336,6 +354,7 @@ std::optional<EngineConfig> engineConfigFor(const AllocationObjective& objective
 }
 
 BestMove EvalEngine::bestMove(double minGain) {
+  FEPIA_SPAN("engine.move_scan");
   if (!state_.has_value()) {
     throw std::logic_error("alloc::EvalEngine: no working state loaded");
   }
@@ -378,8 +397,8 @@ BestMove EvalEngine::bestMove(double minGain) {
   } else {
     for (std::size_t c = 0; c < chunks; ++c) scanChunk(c);
   }
-  counters_.bump("evals_delta", moveCount);
-  counters_.bump("move_scans");
+  counters().bump("evals_delta", moveCount);
+  counters().bump("move_scans");
 
   BestMove result;
   result.objective = current;

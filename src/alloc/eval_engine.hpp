@@ -36,6 +36,7 @@
 #include "alloc/allocation.hpp"
 #include "alloc/search.hpp"
 #include "la/matrix.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "trace/counters.hpp"
 
@@ -151,12 +152,24 @@ class EvalEngine {
 
   // ----- instrumentation -----------------------------------------------
 
-  /// Work counters: "evals_full", "evals_delta", "cache_hits",
-  /// "cache_misses", "batches", "move_scans".
-  [[nodiscard]] const trace::CounterSet& counters() const noexcept {
-    return counters_;
+  /// The engine's metrics registry. Counters: "evals_full",
+  /// "evals_delta", "cache_hits", "cache_misses", "batches",
+  /// "move_scans", "applies", "reverts". When obs::timingEnabled(), the
+  /// histogram "engine.cache_lookup_ns" records memo-lookup latency
+  /// (hits and misses alike).
+  [[nodiscard]] const obs::Registry& metrics() const noexcept {
+    return metrics_;
   }
-  [[nodiscard]] trace::CounterSet& counters() noexcept { return counters_; }
+  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+
+  /// The registry's counters (the pre-registry accessor; kept so
+  /// existing call sites and tests read the same object).
+  [[nodiscard]] const trace::CounterSet& counters() const noexcept {
+    return metrics_.counters();
+  }
+  [[nodiscard]] trace::CounterSet& counters() noexcept {
+    return metrics_.counters();
+  }
 
  private:
   struct MachineState {
@@ -203,7 +216,7 @@ class EvalEngine {
       cache_;
   std::size_t cacheEntries_ = 0;
 
-  trace::CounterSet counters_;
+  obs::Registry metrics_;
 };
 
 /// Engine config matching a type-erased objective, when the engine can

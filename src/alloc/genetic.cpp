@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "alloc/eval_engine.hpp"
+#include "obs/span.hpp"
 #include "rng/distributions.hpp"
 
 namespace fepia::alloc {
@@ -78,6 +79,7 @@ GeneticResult runGa(std::size_t tasks, std::size_t machines,
 
   std::vector<std::size_t> order(opts.populationSize);
   for (std::size_t gen = 0; gen < opts.generations; ++gen) {
+    FEPIA_SPAN_ARG("ga.generation", "gen", gen);
     // Track the incumbent.
     for (std::size_t i = 0; i < population.size(); ++i) {
       if (fitness[i] > res.bestObjective) {
@@ -132,6 +134,7 @@ GeneticResult runGa(std::size_t tasks, std::size_t machines,
 GeneticResult geneticSearch(EvalEngine& engine, rng::Xoshiro256StarStar& g,
                             const GeneticOptions& opts,
                             const std::vector<Allocation>& seeds) {
+  FEPIA_SPAN("search.ga");
   const std::uint64_t hitsBefore = engine.counters().value("cache_hits");
   GeneticResult res = runGa(
       engine.taskCount(), engine.machineCount(),

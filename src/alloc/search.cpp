@@ -7,6 +7,7 @@
 
 #include "alloc/eval_engine.hpp"
 #include "alloc/robustness.hpp"
+#include "obs/span.hpp"
 #include "rng/distributions.hpp"
 
 namespace fepia::alloc {
@@ -35,6 +36,7 @@ AllocationObjective makespanObjective() { return MakespanObjectiveFn{}; }
 
 Allocation localSearch(EvalEngine& engine, Allocation start,
                        std::size_t maxMoves) {
+  FEPIA_SPAN("search.local_search");
   engine.setState(start);
   for (std::size_t move = 0; move < maxMoves; ++move) {
     const BestMove bm = engine.bestMove();
@@ -89,6 +91,7 @@ AnnealResult simulatedAnnealing(Allocation start, const la::Matrix& etcMatrix,
                                 const AllocationObjective& objective,
                                 rng::Xoshiro256StarStar& g,
                                 const AnnealOptions& opts) {
+  FEPIA_SPAN("search.annealing");
   if (!objective) {
     throw std::invalid_argument("alloc::simulatedAnnealing: objective");
   }

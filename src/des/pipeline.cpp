@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "des/simulator.hpp"
+#include "obs/span.hpp"
 #include "rng/distributions.hpp"
 
 namespace fepia::des {
@@ -167,11 +168,16 @@ PipelineResult simulatePipeline(const hiperd::System& sys,
     });
   }
 
-  sim.run();
+  {
+    FEPIA_SPAN_ARG("des.pipeline", "generations", gens);
+    sim.run();
+  }
 
   PipelineResult res;
   res.generations = gens;
   res.simulatedSeconds = sim.now();
+  res.eventsProcessed = sim.eventsProcessed();
+  res.queueHighWater = sim.queueHighWater();
 
   const auto warmup = static_cast<std::size_t>(
       opts.warmupFraction * static_cast<double>(gens));

@@ -9,6 +9,7 @@
 // ground truth against which the analytic robustness radius is checked.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "hiperd/system.hpp"
@@ -37,6 +38,9 @@ struct PipelineResult {
   /// zero for a well-formed DAG pipeline; nonzero values indicate a
   /// wiring problem upstream of the measured path).
   std::size_t incompleteObservations = 0;
+  /// Simulator kernel statistics for this run.
+  std::uint64_t eventsProcessed = 0;
+  std::size_t queueHighWater = 0;
 
   /// True when the run respects `maxLatency` and sustains throughput.
   [[nodiscard]] bool satisfies(double maxLatencySeconds) const noexcept {

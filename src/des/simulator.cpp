@@ -14,6 +14,7 @@ void Simulator::schedule(double delay, Action action) {
     throw std::invalid_argument("des::Simulator::schedule: null action");
   }
   queue_.push(Event{now_ + delay, nextSeq_++, std::move(action)});
+  if (queue_.size() > queueHighWater_) queueHighWater_ = queue_.size();
 }
 
 std::size_t Simulator::run(std::size_t maxEvents) {
@@ -26,8 +27,15 @@ std::size_t Simulator::run(std::size_t maxEvents) {
     now_ = ev.time;
     ev.action();
     ++processed;
+    ++eventsProcessed_;
   }
   return processed;
+}
+
+void Simulator::exportMetrics(obs::Registry& out) const {
+  out.counters().bump("des.events_processed", eventsProcessed_);
+  out.maxGauge("des.queue_high_water",
+               static_cast<double>(queueHighWater_));
 }
 
 FifoResource::FifoResource(Simulator& sim, std::string name)

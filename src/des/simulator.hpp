@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace fepia::des {
 
 /// Event-driven simulation clock and scheduler. Events at equal times
@@ -34,6 +36,18 @@ class Simulator {
 
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
 
+  /// Events processed over the simulator's lifetime (all run() calls).
+  [[nodiscard]] std::uint64_t eventsProcessed() const noexcept {
+    return eventsProcessed_;
+  }
+  /// Largest event-queue depth ever observed (updated on schedule()).
+  [[nodiscard]] std::size_t queueHighWater() const noexcept {
+    return queueHighWater_;
+  }
+
+  /// Bumps "des.events_processed" / sets gauge "des.queue_high_water".
+  void exportMetrics(obs::Registry& out) const;
+
  private:
   struct Event {
     double time;
@@ -48,6 +62,8 @@ class Simulator {
 
   double now_ = 0.0;
   std::uint64_t nextSeq_ = 0;
+  std::uint64_t eventsProcessed_ = 0;
+  std::size_t queueHighWater_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

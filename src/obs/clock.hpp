@@ -1,0 +1,47 @@
+// The one monotonic clock of the repo.
+//
+// Spans, metric latency histograms, benches, and the CLI's wall-time
+// counters all read this clock, so a span's duration and the number a
+// bench prints for the same region can never disagree about the
+// timebase. steady_clock is monotonic and immune to NTP slews; wall
+// (calendar) time appears only in run manifests, never in measurements.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace fepia::obs {
+
+using MonotonicClock = std::chrono::steady_clock;
+
+/// Nanoseconds on the monotonic clock (epoch unspecified — only
+/// differences are meaningful).
+[[nodiscard]] inline std::uint64_t nowNanos() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          MonotonicClock::now().time_since_epoch())
+          .count());
+}
+
+/// Started-on-construction stopwatch over the monotonic clock.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(nowNanos()) {}
+
+  void restart() noexcept { start_ = nowNanos(); }
+
+  [[nodiscard]] std::uint64_t elapsedNanos() const noexcept {
+    return nowNanos() - start_;
+  }
+  [[nodiscard]] std::uint64_t elapsedMicros() const noexcept {
+    return elapsedNanos() / 1000u;
+  }
+  [[nodiscard]] double elapsedSeconds() const noexcept {
+    return static_cast<double>(elapsedNanos()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace fepia::obs

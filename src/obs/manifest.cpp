@@ -1,0 +1,91 @@
+#include "obs/manifest.hpp"
+
+#include <thread>
+
+#include "obs/json.hpp"
+
+#if defined(_WIN32)
+#include <winsock2.h>
+#else
+#include <unistd.h>
+#endif
+
+#ifndef FEPIA_GIT_SHA
+#define FEPIA_GIT_SHA "unknown"
+#endif
+#ifndef FEPIA_BUILD_TYPE
+#define FEPIA_BUILD_TYPE "unknown"
+#endif
+#ifndef FEPIA_CXX_FLAGS
+#define FEPIA_CXX_FLAGS ""
+#endif
+
+namespace fepia::obs {
+
+namespace {
+
+std::string compilerId() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#elif defined(_MSC_VER)
+  return "msvc " + std::to_string(_MSC_VER);
+#else
+  return "unknown";
+#endif
+}
+
+std::string hostName() {
+  char buf[256] = {0};
+#if defined(_WIN32)
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+#else
+  if (::gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+#endif
+  buf[sizeof(buf) - 1] = '\0';
+  return buf[0] != '\0' ? std::string(buf) : std::string("unknown");
+}
+
+}  // namespace
+
+RunManifest RunManifest::collect(std::string tool, int argc,
+                                 const char* const* argv) {
+  RunManifest m;
+  m.tool = std::move(tool);
+  m.gitSha = FEPIA_GIT_SHA;
+  m.compiler = compilerId();
+  m.buildType = FEPIA_BUILD_TYPE;
+  m.cxxFlags = FEPIA_CXX_FLAGS;
+  m.hostname = hostName();
+  m.hardwareConcurrency = std::thread::hardware_concurrency();
+  for (int i = 1; i < argc; ++i) m.args.emplace_back(argv[i]);
+  return m;
+}
+
+void RunManifest::writeJson(std::ostream& os) const {
+  os << "{\"tool\": ";
+  writeJsonString(os, tool);
+  os << ", \"git_sha\": ";
+  writeJsonString(os, gitSha);
+  os << ", \"compiler\": ";
+  writeJsonString(os, compiler);
+  os << ", \"build_type\": ";
+  writeJsonString(os, buildType);
+  os << ", \"cxx_flags\": ";
+  writeJsonString(os, cxxFlags);
+  os << ", \"hostname\": ";
+  writeJsonString(os, hostname);
+  os << ", \"hardware_concurrency\": " << hardwareConcurrency
+     << ", \"threads\": " << threads << ", \"seed\": " << seed
+     << ", \"args\": [";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ", ";
+    writeJsonString(os, args[i]);
+  }
+  os << "], \"wall_seconds\": ";
+  writeJsonNumber(os, wallSeconds);
+  os << '}';
+}
+
+}  // namespace fepia::obs

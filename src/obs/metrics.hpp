@@ -1,0 +1,182 @@
+// Metrics registry: counters, gauges, and fixed-bucket histograms.
+//
+// This is the home of the repo's work accounting. Counters (absorbed
+// from the old src/trace CounterSet, which now forwards here) count
+// discrete work: objective evaluations, cache hits, DES events. Gauges
+// record a level observed at a point in time: event-queue high-water
+// mark, thread count. Histograms record distributions: thread-pool
+// submit-to-start wait, cache-lookup latency, classifications per
+// substream.
+//
+// Everything is insertion-ordered and the JSON writers share the
+// obs/json escaper, so a deterministic run emits a byte-identical,
+// always-parseable document regardless of what the metrics are named.
+//
+// Deliberately not thread-safe: parallel stages accumulate into local
+// metrics and merge after the join, the same discipline the determinism
+// contract imposes on results.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fepia::obs {
+
+/// One named counter. Values are unsigned 64-bit ticks except where a
+/// counter is declared in fractional units (e.g. microseconds).
+struct Counter {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Insertion-ordered set of named counters.
+class CounterSet {
+ public:
+  /// Adds `delta` to counter `name`, creating it at zero when absent.
+  void bump(const std::string& name, std::uint64_t delta = 1);
+
+  /// Sets counter `name` (creating it when absent).
+  void set(const std::string& name, std::uint64_t value);
+
+  /// Value of `name`, 0 when absent.
+  [[nodiscard]] std::uint64_t value(const std::string& name) const noexcept;
+
+  /// Adds every counter of `other` into this set.
+  void merge(const CounterSet& other);
+
+  [[nodiscard]] const std::vector<Counter>& all() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return counters_.empty(); }
+  void clear() noexcept { counters_.clear(); }
+
+  /// Writes `"name": value, ...` pairs as a JSON object (insertion
+  /// order, names escaped).
+  void writeJson(std::ostream& os) const;
+
+  /// Writes one `name = value` line per counter (insertion order).
+  void print(std::ostream& os) const;
+
+ private:
+  Counter* find(const std::string& name) noexcept;
+
+  std::vector<Counter> counters_;
+};
+
+/// One named instantaneous level.
+struct Gauge {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Fixed-bucket histogram with an implicit +inf overflow bucket.
+///
+/// Bucket i counts samples x with bounds[i-1] < x <= bounds[i] (the
+/// first bucket is unbounded below); samples above the last bound land
+/// in the overflow bucket. NaN samples are ignored; +inf counts into the
+/// overflow bucket but is excluded from sum/min/max.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument when `upperBounds` is empty, not
+  /// strictly increasing, or contains a non-finite bound.
+  explicit Histogram(std::vector<double> upperBounds);
+
+  /// Geometric bucket ladder: start, start*factor, ... (n bounds).
+  /// Throws std::invalid_argument for start <= 0, factor <= 1 or n == 0.
+  [[nodiscard]] static Histogram exponential(double start, double factor,
+                                             std::size_t n);
+
+  void record(double x) noexcept;
+
+  /// Adds the other histogram's buckets and moments into this one.
+  /// Throws std::invalid_argument when the bucket bounds differ.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] const std::vector<double>& upperBounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket counts; size is upperBounds().size() + 1, the last entry
+  /// being the +inf overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucketCounts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t overflowCount() const noexcept {
+    return counts_.back();
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Sum/min/max over the finite samples (0 / +inf / -inf when none).
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double minSeen() const noexcept { return min_; }
+  [[nodiscard]] double maxSeen() const noexcept { return max_; }
+
+  /// {"buckets": [{"le": b, "count": n}, ..., {"le": null, "count": n}],
+  ///  "count": N, "sum": s, "min": m, "max": M} — `le: null` is the
+  /// overflow bucket (JSON cannot spell +inf).
+  void writeJson(std::ostream& os) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 entries
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_;
+  double max_;
+};
+
+/// Insertion-ordered registry of counters, gauges, and histograms — the
+/// unit that instrumented subsystems expose and the CLI prints/merges.
+class Registry {
+ public:
+  [[nodiscard]] CounterSet& counters() noexcept { return counters_; }
+  [[nodiscard]] const CounterSet& counters() const noexcept {
+    return counters_;
+  }
+
+  /// Sets gauge `name` (creating it when absent).
+  void setGauge(const std::string& name, double value);
+  /// Raises gauge `name` to `value` when larger (high-water semantics).
+  void maxGauge(const std::string& name, double value);
+  /// Value of gauge `name`, 0 when absent.
+  [[nodiscard]] double gauge(const std::string& name) const noexcept;
+  [[nodiscard]] const std::vector<Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+
+  /// Get-or-create: returns the histogram registered under `name`,
+  /// creating it with `upperBounds` on first use (later calls ignore the
+  /// bounds argument).
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upperBounds);
+  /// Registered histogram or nullptr.
+  [[nodiscard]] const Histogram* findHistogram(
+      const std::string& name) const noexcept;
+  [[nodiscard]] const std::vector<std::pair<std::string, Histogram>>&
+  histograms() const noexcept {
+    return histograms_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Counters add, gauges take the max (levels from parallel shards),
+  /// histograms merge bucket-wise (bounds must agree).
+  void merge(const Registry& other);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} in
+  /// insertion order, all names escaped.
+  void writeJson(std::ostream& os) const;
+
+  /// Human-readable dump: one line per counter/gauge, a summary line
+  /// plus bucket lines per histogram.
+  void print(std::ostream& os) const;
+
+ private:
+  CounterSet counters_;
+  std::vector<Gauge> gauges_;
+  std::vector<std::pair<std::string, Histogram>> histograms_;
+};
+
+}  // namespace fepia::obs

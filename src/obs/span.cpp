@@ -1,0 +1,141 @@
+#include "obs/span.hpp"
+
+#include <cstdio>
+
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+
+namespace fepia::obs {
+
+namespace detail {
+
+void ThreadBuffer::open(const char* name, const char* argName,
+                        std::uint64_t arg, std::uint64_t startNs) {
+  OpenSpan span;
+  span.name = name;
+  span.argName = argName;
+  span.arg = arg;
+  span.startNs = startNs;
+  if (stack_.empty()) {
+    span.id = 't' + std::to_string(tid_) + '.' + std::to_string(roots_++);
+  } else {
+    OpenSpan& parent = stack_.back();
+    span.id = parent.id + '.' + std::to_string(parent.children++);
+  }
+  stack_.push_back(std::move(span));
+}
+
+void ThreadBuffer::close(std::uint64_t endNs) {
+  OpenSpan span = std::move(stack_.back());
+  stack_.pop_back();
+  SpanRecord rec;
+  rec.name = span.name;
+  rec.id = std::move(span.id);
+  rec.tid = tid_;
+  rec.startNs = span.startNs;
+  rec.durNs = endNs >= span.startNs ? endNs - span.startNs : 0;
+  rec.argName = span.argName;
+  rec.arg = span.arg;
+  const std::lock_guard<std::mutex> lock(recordsMutex_);
+  records_.push_back(std::move(rec));
+}
+
+}  // namespace detail
+
+/// Collector internals' keyhole into ThreadBuffer.
+class TraceCollectorAccess {
+ public:
+  static void drain(detail::ThreadBuffer& buf, std::vector<SpanRecord>& out) {
+    const std::lock_guard<std::mutex> lock(buf.recordsMutex_);
+    for (SpanRecord& r : buf.records_) out.push_back(std::move(r));
+    buf.records_.clear();
+  }
+};
+
+TraceCollector& TraceCollector::instance() {
+  static TraceCollector collector;
+  return collector;
+}
+
+void TraceCollector::start() {
+  (void)collect();  // drop any stale records from a previous session
+  baseNs_ = nowNanos();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> TraceCollector::collect() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  for (const auto& buf : buffers_) {
+    TraceCollectorAccess::drain(*buf, out);
+  }
+  return out;
+}
+
+detail::ThreadBuffer& TraceCollector::threadBuffer() {
+  thread_local detail::ThreadBuffer* cached = nullptr;
+  if (cached == nullptr) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::make_unique<detail::ThreadBuffer>(
+        static_cast<std::uint32_t>(buffers_.size())));
+    cached = buffers_.back().get();
+  }
+  return *cached;
+}
+
+Span::Span(const char* name, const char* argName, std::uint64_t arg) {
+  TraceCollector& tc = TraceCollector::instance();
+  if (!tc.enabled()) return;
+  buf_ = &tc.threadBuffer();
+  buf_->open(name, argName, arg, nowNanos());
+}
+
+Span::~Span() {
+  if (buf_ != nullptr) buf_->close(nowNanos());
+}
+
+namespace {
+std::atomic<bool> g_timingEnabled{false};
+}  // namespace
+
+bool timingEnabled() noexcept {
+  return g_timingEnabled.load(std::memory_order_relaxed);
+}
+
+void setTimingEnabled(bool on) noexcept {
+  g_timingEnabled.store(on, std::memory_order_relaxed);
+}
+
+void writeChromeTrace(std::ostream& os, const std::vector<SpanRecord>& records,
+                      std::uint64_t baseNs) {
+  os << "[\n";
+  os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+        "\"args\": {\"name\": \"fepia\"}}";
+  for (const SpanRecord& r : records) {
+    os << ",\n{\"name\": ";
+    writeJsonString(os, r.name);
+    // Relative microsecond timestamps with nanosecond fraction.
+    const std::uint64_t rel = r.startNs >= baseNs ? r.startNs - baseNs : 0;
+    const auto micros = [&os](std::uint64_t ns) {
+      char frac[8];
+      std::snprintf(frac, sizeof(frac), "%03u",
+                    static_cast<unsigned>(ns % 1000));
+      os << ns / 1000 << '.' << frac;
+    };
+    os << ", \"cat\": \"fepia\", \"ph\": \"X\", \"ts\": ";
+    micros(rel);
+    os << ", \"dur\": ";
+    micros(r.durNs);
+    os << ", \"pid\": 0, \"tid\": " << r.tid << ", \"args\": {\"id\": ";
+    writeJsonString(os, r.id);
+    if (r.argName != nullptr) {
+      os << ", ";
+      writeJsonString(os, r.argName);
+      os << ": " << r.arg;
+    }
+    os << "}}";
+  }
+  os << "\n]\n";
+}
+
+}  // namespace fepia::obs

@@ -1,0 +1,174 @@
+// Scoped spans with monotonic timing, deterministic hierarchical IDs,
+// and Chrome-trace-event export.
+//
+// A Span measures one region of work on one thread. Open spans live on a
+// thread-private stack (no locking on open), finished records append to
+// a per-thread buffer; the collector merges buffers only at collect
+// time — the same accumulate-locally, merge-at-join discipline the
+// determinism contract imposes on results, which is also why tracing can
+// never perturb them: instrumentation reads the clock and writes
+// thread-local memory, nothing else.
+//
+// IDs are hierarchical and deterministic per thread: the n-th root span
+// a thread opens is `t<tid>.<n>`, its k-th child `t<tid>.<n>.<k>`, and
+// so on. For serial phases the full ID sequence is reproducible
+// run-to-run; for pooled phases the *structure* is (worker spans carry
+// their chunk index as an argument), while the worker a chunk lands on
+// is scheduling-dependent, exactly like the work itself.
+//
+// Cost model: when tracing is disabled a Span construct/destruct is one
+// relaxed atomic load and no allocation (asserted by a test); when the
+// FEPIA_OBS_NO_SPANS compile-time kill switch is set, the FEPIA_SPAN
+// macros expand to an empty object — checked by static_assert below, so
+// the no-op sink cannot silently grow state.
+//
+// The exported file is the Chrome trace-event JSON array format: open it
+// at https://ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fepia::obs {
+
+/// One finished span.
+struct SpanRecord {
+  const char* name = "";     ///< static string supplied at the call site
+  std::string id;            ///< hierarchical id, e.g. "t0.2.1"
+  std::uint32_t tid = 0;     ///< collector-assigned thread index
+  std::uint64_t startNs = 0; ///< monotonic clock, absolute
+  std::uint64_t durNs = 0;
+  const char* argName = nullptr;  ///< optional numeric argument
+  std::uint64_t arg = 0;
+};
+
+class TraceCollectorAccess;
+
+namespace detail {
+
+/// Per-thread span state. Created on a thread's first span and owned by
+/// the collector (records outlive the thread, so spans from joined
+/// workers still reach the merge).
+class ThreadBuffer {
+ public:
+  explicit ThreadBuffer(std::uint32_t tid) : tid_(tid) {}
+
+  void open(const char* name, const char* argName, std::uint64_t arg,
+            std::uint64_t startNs);
+  void close(std::uint64_t endNs);
+
+ private:
+  friend class fepia::obs::TraceCollectorAccess;
+
+  struct OpenSpan {
+    const char* name;
+    const char* argName;
+    std::uint64_t arg;
+    std::uint64_t startNs;
+    std::string id;
+    std::uint64_t children = 0;
+  };
+
+  std::uint32_t tid_;
+  std::uint64_t roots_ = 0;
+  std::vector<OpenSpan> stack_;   ///< owner thread only
+  std::mutex recordsMutex_;       ///< guards records_ (close vs collect)
+  std::vector<SpanRecord> records_;
+};
+
+}  // namespace detail
+
+/// Process-wide span collector. start()/stop()/collect() must be called
+/// from serial sections (no spans in flight on other threads).
+class TraceCollector {
+ public:
+  static TraceCollector& instance();
+
+  /// Whether spans are currently recorded. One relaxed load — this is
+  /// the only thing a disabled Span pays for.
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops previously collected records and starts recording.
+  void start();
+
+  /// Stops recording (records stay buffered until collect()).
+  void stop() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// Monotonic timestamp of the last start() — the trace's time origin.
+  [[nodiscard]] std::uint64_t baseNanos() const noexcept { return baseNs_; }
+
+  /// Drains every thread's records, concatenated in thread-registration
+  /// order (per-thread order preserved).
+  [[nodiscard]] std::vector<SpanRecord> collect();
+
+  /// The calling thread's buffer (registered on first use).
+  detail::ThreadBuffer& threadBuffer();
+
+ private:
+  TraceCollector() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::uint64_t baseNs_ = 0;
+  std::mutex mutex_;  ///< guards buffers_
+  std::vector<std::unique_ptr<detail::ThreadBuffer>> buffers_;
+};
+
+/// RAII span. Construct with a static name (and optionally one named
+/// numeric argument); the destructor records the duration. No-op unless
+/// the collector is enabled at construction time.
+class Span {
+ public:
+  explicit Span(const char* name, const char* argName = nullptr,
+                std::uint64_t arg = 0);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  detail::ThreadBuffer* buf_ = nullptr;
+};
+
+/// The compile-time kill switch's stand-in for Span: provably stateless.
+struct NoopSpan {
+  explicit NoopSpan(const char*, const char* = nullptr, std::uint64_t = 0) {}
+};
+static_assert(sizeof(NoopSpan) == 1 && !std::is_polymorphic_v<NoopSpan>,
+              "the no-op span sink must stay empty — instrumentation is "
+              "required to vanish under FEPIA_OBS_NO_SPANS");
+
+/// True when latency-metric sampling (clock reads feeding histograms on
+/// hot paths, e.g. pool wait or cache-lookup timing) is on. Off by
+/// default so uninstrumented runs never read the clock per operation.
+[[nodiscard]] bool timingEnabled() noexcept;
+void setTimingEnabled(bool on) noexcept;
+
+/// Writes `records` as a Chrome trace-event JSON array ("X" complete
+/// events; timestamps microseconds relative to `baseNs`).
+void writeChromeTrace(std::ostream& os, const std::vector<SpanRecord>& records,
+                      std::uint64_t baseNs);
+
+#define FEPIA_OBS_CONCAT_IMPL(a, b) a##b
+#define FEPIA_OBS_CONCAT(a, b) FEPIA_OBS_CONCAT_IMPL(a, b)
+
+#ifdef FEPIA_OBS_NO_SPANS
+#define FEPIA_SPAN(name) \
+  ::fepia::obs::NoopSpan FEPIA_OBS_CONCAT(fepiaSpan, __LINE__)(name)
+#define FEPIA_SPAN_ARG(name, argName, argValue) \
+  ::fepia::obs::NoopSpan FEPIA_OBS_CONCAT(fepiaSpan, __LINE__)(name)
+#else
+#define FEPIA_SPAN(name) \
+  ::fepia::obs::Span FEPIA_OBS_CONCAT(fepiaSpan, __LINE__)(name)
+#define FEPIA_SPAN_ARG(name, argName, argValue)                        \
+  ::fepia::obs::Span FEPIA_OBS_CONCAT(fepiaSpan, __LINE__)(            \
+      name, argName, static_cast<std::uint64_t>(argValue))
+#endif
+
+}  // namespace fepia::obs

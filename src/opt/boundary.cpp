@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ad/gradient.hpp"
+#include "obs/span.hpp"
 #include "opt/scalar.hpp"
 #include "rng/distributions.hpp"
 #include "rng/xoshiro.hpp"
@@ -111,6 +112,7 @@ BoundaryResult nearestPointOnLevelSet(const FieldFn& g, const GradFn& gradIn,
   if (x0.empty()) {
     throw std::invalid_argument("opt::nearestPointOnLevelSet: empty origin");
   }
+  FEPIA_SPAN("opt.boundary_solve");
   BoundaryResult res;
   res.point = x0;
 

@@ -6,12 +6,15 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/span.hpp"
+
 namespace fepia::opt {
 
 NelderMeadResult nelderMead(const VectorFn& f, const la::Vector& x0,
                             const NelderMeadOptions& opts) {
   const std::size_t n = x0.size();
   if (n == 0) throw std::invalid_argument("opt::nelderMead: empty start point");
+  FEPIA_SPAN("opt.nelder_mead");
 
   NelderMeadResult res;
 

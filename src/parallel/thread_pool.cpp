@@ -13,9 +13,11 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (n == 0) {
     n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  workerTasks_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  for (std::size_t i = 0; i < n; ++i) workerTasks_[i].store(0);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, i] { workerLoop(i); });
   }
 }
 
@@ -32,9 +34,9 @@ void ThreadPool::shutdown() {
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(std::size_t workerIndex) {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -44,8 +46,36 @@ void ThreadPool::workerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop();
+      if (task.submitNs != 0) {
+        const std::uint64_t now = obs::nowNanos();
+        waitHist_.record(static_cast<double>(now >= task.submitNs
+                                                 ? now - task.submitNs
+                                                 : 0) /
+                         1e3);
+      }
     }
-    task();  // packaged_task captures exceptions into the future
+    workerTasks_[workerIndex].fetch_add(1, std::memory_order_relaxed);
+    FEPIA_SPAN_ARG("pool.task", "worker", workerIndex);
+    task.fn();  // packaged_task captures exceptions into the future
+  }
+}
+
+void ThreadPool::exportMetrics(obs::Registry& out) {
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    out.counters().bump(
+        "pool.worker" + std::to_string(i) + ".tasks",
+        workerTasks_[i].load(std::memory_order_relaxed));
+  }
+  obs::Histogram waits = obs::Histogram::exponential(1.0, 4.0, 10);
+  std::uint64_t submitted = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    waits.merge(waitHist_);
+    submitted = submitted_;
+  }
+  out.counters().bump("pool.submitted", submitted);
+  if (waits.count() > 0) {
+    out.histogram("pool.wait_us", waits.upperBounds()).merge(waits);
   }
 }
 

@@ -10,15 +10,21 @@
 // without silently discarding failures.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace fepia::parallel {
 
@@ -55,26 +61,45 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<Result()>>(
         std::forward<Fn>(fn));
     std::future<Result> out = task->get_future();
+    // Submit-time stamp for the wait histogram; 0 when latency sampling
+    // is off so the uninstrumented hot path never reads the clock.
+    const std::uint64_t submitNs = obs::timingEnabled() ? obs::nowNanos() : 0;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) {
         throw std::runtime_error(
             "parallel::ThreadPool::submit: pool is shutting down");
       }
-      queue_.emplace([task] { (*task)(); });
+      queue_.emplace(Task{[task] { (*task)(); }, submitNs});
+      ++submitted_;
     }
     wake_.notify_one();
     return out;
   }
 
+  /// Copies the pool's metrics into `out`: per-worker executed-task
+  /// counters ("pool.worker<i>.tasks"), total submissions, and — when
+  /// obs::timingEnabled() was on during the run — the submit-to-start
+  /// wait histogram "pool.wait_us". Safe to call while workers run
+  /// (counters are read relaxed; the histogram under the queue lock).
+  void exportMetrics(obs::Registry& out);
+
  private:
-  void workerLoop();
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t submitNs = 0;  ///< 0 = wait not sampled
+  };
+
+  void workerLoop(std::size_t workerIndex);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mutex_;
   std::condition_variable wake_;
   bool stopping_ = false;
+  std::uint64_t submitted_ = 0;                          ///< under mutex_
+  obs::Histogram waitHist_ = obs::Histogram::exponential(1.0, 4.0, 10);
+  std::unique_ptr<std::atomic<std::uint64_t>[]> workerTasks_;
 };
 
 /// Runs body(i) for i in [0, count) across the pool and blocks until all

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "feature/linear.hpp"
+#include "obs/span.hpp"
 #include "la/geometry.hpp"
 #include "radius/quadratic.hpp"
 
@@ -71,6 +72,7 @@ RadiusResult featureRadiusNumeric(const feature::PerformanceFeature& phi,
     throw std::invalid_argument("radius::featureRadius: dimension mismatch for '" +
                                 phi.name() + "'");
   }
+  FEPIA_SPAN("radius.feature_numeric");
   RadiusResult res;
   res.method = Method::Numeric;
   res.originWithinBounds = bounds.contains(phi.evaluate(orig));
@@ -106,6 +108,7 @@ RadiusResult featureRadius(const feature::PerformanceFeature& phi,
     throw std::invalid_argument("radius::featureRadius: dimension mismatch for '" +
                                 phi.name() + "'");
   }
+  FEPIA_SPAN("radius.feature");
   if (const auto* lin = dynamic_cast<const feature::LinearFeature*>(&phi)) {
     return linearRadius(*lin, bounds, orig);
   }

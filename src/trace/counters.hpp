@@ -1,61 +1,15 @@
-// Lightweight named counters for instrumenting hot paths.
-//
-// The search/evaluation engines count their work (objective evaluations,
-// cache hits, incremental vs full recomputes, wall time) so benches and
-// the CLI can report *why* a run was fast, not just that it was. A
-// CounterSet keeps insertion order, so reports and JSON output are
-// deterministic for a deterministic run.
+// Compatibility forwarder — the counters now live in the observability
+// layer (obs/metrics.hpp), where they sit next to the gauges and
+// histograms of the full metrics registry and share its escaped JSON
+// writers. Existing includes and the trace::CounterSet spelling keep
+// working; new code should include "obs/metrics.hpp" directly.
 #pragma once
 
-#include <cstdint>
-#include <ostream>
-#include <string>
-#include <vector>
+#include "obs/metrics.hpp"
 
 namespace fepia::trace {
 
-/// One named counter. Values are unsigned 64-bit ticks except where a
-/// counter is declared in fractional units (e.g. microseconds).
-struct Counter {
-  std::string name;
-  std::uint64_t value = 0;
-};
-
-/// Insertion-ordered set of named counters.
-///
-/// Deliberately not thread-safe: parallel stages accumulate into local
-/// counters and merge after the join, the same discipline the
-/// determinism contract imposes on results.
-class CounterSet {
- public:
-  /// Adds `delta` to counter `name`, creating it at zero when absent.
-  void bump(const std::string& name, std::uint64_t delta = 1);
-
-  /// Sets counter `name` (creating it when absent).
-  void set(const std::string& name, std::uint64_t value);
-
-  /// Value of `name`, 0 when absent.
-  [[nodiscard]] std::uint64_t value(const std::string& name) const noexcept;
-
-  /// Adds every counter of `other` into this set.
-  void merge(const CounterSet& other);
-
-  [[nodiscard]] const std::vector<Counter>& all() const noexcept {
-    return counters_;
-  }
-  [[nodiscard]] bool empty() const noexcept { return counters_.empty(); }
-  void clear() noexcept { counters_.clear(); }
-
-  /// Writes `"name": value, ...` pairs as a JSON object (insertion order).
-  void writeJson(std::ostream& os) const;
-
-  /// Writes one `name = value` line per counter (insertion order).
-  void print(std::ostream& os) const;
-
- private:
-  Counter* find(const std::string& name) noexcept;
-
-  std::vector<Counter> counters_;
-};
+using Counter = obs::Counter;
+using CounterSet = obs::CounterSet;
 
 }  // namespace fepia::trace

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/span.hpp"
 #include "rng/distributions.hpp"
 #include "stats/ecdf.hpp"
 
@@ -190,8 +191,11 @@ EmpiricalEstimate estimateEmpiricalRadius(const SafePredicate& safe,
   // critical direction is always its chunk's stored one.
   std::vector<std::vector<double>> bestDirPerChunk(chunks);
 
+  FEPIA_SPAN_ARG("validate.estimate", "directions", opts.directions);
+
   const rng::Xoshiro256StarStar base(opts.seed);
   const auto runChunk = [&](std::size_t c) {
+    FEPIA_SPAN_ARG("validate.chunk", "chunk", c);
     rng::Xoshiro256StarStar g =
         base.substream(static_cast<unsigned>(c));
     la::Vector probe(n);
@@ -247,6 +251,19 @@ EmpiricalEstimate estimateEmpiricalRadius(const SafePredicate& safe,
       est.classifications += evals;
     }
     est.ci = minimumCI(finite, est.radius, opts);
+  }
+
+  if (opts.metrics != nullptr) {
+    obs::Registry& reg = *opts.metrics;
+    reg.counters().bump("validate.directions", est.directions);
+    reg.counters().bump("validate.classifications", est.classifications);
+    reg.counters().bump("validate.boundary_hits", est.boundaryHits);
+    obs::Histogram& chunkHist = reg.histogram(
+        "validate.chunk_classifications",
+        obs::Histogram::exponential(64.0, 4.0, 10).upperBounds());
+    for (std::size_t c = 0; c < chunks; ++c) {
+      chunkHist.record(static_cast<double>(evalsPerChunk[c]));
+    }
   }
   return est;
 }

@@ -25,6 +25,7 @@
 
 #include "feature/feature.hpp"
 #include "la/vector.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "stats/descriptive.hpp"
 
@@ -66,6 +67,13 @@ struct EstimatorOptions {
   double confidence = 0.95;
   /// Bootstrap resamples for the interval.
   std::size_t bootstrapResamples = 1000;
+  /// Optional metrics sink. When set, the estimator records
+  /// "validate.directions" / "validate.classifications" /
+  /// "validate.boundary_hits" counters and the per-chunk classification
+  /// histogram "validate.chunk_classifications", all written serially
+  /// after the parallel phase (never touched by worker threads, so the
+  /// determinism contract is unaffected).
+  obs::Registry* metrics = nullptr;
 };
 
 /// Result of an empirical radius estimation.

@@ -4,6 +4,8 @@
 #include <limits>
 #include <ostream>
 
+#include "obs/json.hpp"
+
 namespace fepia::validate {
 
 namespace {
@@ -12,16 +14,6 @@ std::string jsonNumber(double v) {
   if (std::isnan(v)) return "null";
   if (std::isinf(v)) return v > 0 ? "1e999" : "-1e999";
   return report::num(v, 17);
-}
-
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
 }
 
 }  // namespace
@@ -80,13 +72,21 @@ report::Table comparisonTable(std::span<const Comparison> rows) {
   return table;
 }
 
-void writeComparisonJson(std::ostream& os, std::span<const Comparison> rows) {
-  os << "{\"rows\": [";
+void writeComparisonJson(std::ostream& os, std::span<const Comparison> rows,
+                         const obs::RunManifest* manifest) {
+  os << "{";
+  if (manifest != nullptr) {
+    os << "\"manifest\": ";
+    manifest->writeJson(os);
+    os << ", ";
+  }
+  os << "\"rows\": [";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Comparison& c = rows[i];
     if (i != 0) os << ", ";
-    os << "{\"label\": \"" << escape(c.label) << "\""
-       << ", \"analytic\": " << jsonNumber(c.analyticRadius)
+    os << "{\"label\": ";
+    obs::writeJsonString(os, c.label);
+    os << ", \"analytic\": " << jsonNumber(c.analyticRadius)
        << ", \"empirical\": " << jsonNumber(c.empirical.radius)
        << ", \"relative_error\": " << jsonNumber(c.relativeError)
        << ", \"ci\": [" << jsonNumber(c.empirical.ci.lo) << ", "

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/manifest.hpp"
 #include "report/table.hpp"
 #include "validate/empirical.hpp"
 
@@ -43,6 +44,9 @@ struct Comparison {
 ///     "relative_error": ..., "ci": [lo, hi], "within_ci": ...,
 ///     "directions": ..., "boundary_hits": ..., "classifications": ...},
 ///    ...]}
-void writeComparisonJson(std::ostream& os, std::span<const Comparison> rows);
+/// When `manifest` is non-null a "manifest" object (see
+/// obs::RunManifest::writeJson) is emitted before "rows".
+void writeComparisonJson(std::ostream& os, std::span<const Comparison> rows,
+                         const obs::RunManifest* manifest = nullptr);
 
 }  // namespace fepia::validate

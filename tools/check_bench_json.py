@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_*.json file against a checked-in schema.
+
+Usage: check_bench_json.py <bench.json> <schema.json>
+
+The schema format is deliberately tiny (no jsonschema dependency):
+
+  {
+    "required": ["bench", "runs", ...],      # top-level keys that must exist
+    "manifest_required": ["git_sha", ...],   # keys of the "manifest" object
+    "types": {"bench": "str", "runs": "list", "smoke": "bool", ...}
+  }
+
+Type names map to Python types: str, bool, int, float (int accepted),
+list, dict. Exits nonzero with a message on the first violation.
+"""
+import json
+import sys
+
+TYPES = {
+    "str": str,
+    "bool": bool,
+    "int": int,
+    "float": (int, float),
+    "list": list,
+    "dict": dict,
+}
+
+
+def fail(msg):
+    sys.exit(f"check_bench_json: {msg}")
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <bench.json> <schema.json>")
+    bench_path, schema_path = sys.argv[1], sys.argv[2]
+
+    try:
+        with open(bench_path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{bench_path}: {e}")
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    if not isinstance(doc, dict):
+        fail(f"{bench_path}: top level is not a JSON object")
+
+    for key in schema.get("required", []):
+        if key not in doc:
+            fail(f"{bench_path}: missing required key '{key}'")
+
+    for key, type_name in schema.get("types", {}).items():
+        if key in doc and not isinstance(doc[key], TYPES[type_name]):
+            fail(
+                f"{bench_path}: key '{key}' has type "
+                f"{type(doc[key]).__name__}, expected {type_name}"
+            )
+
+    manifest_required = schema.get("manifest_required", [])
+    if manifest_required:
+        manifest = doc.get("manifest")
+        if not isinstance(manifest, dict):
+            fail(f"{bench_path}: missing or non-object 'manifest'")
+        for key in manifest_required:
+            if key not in manifest:
+                fail(f"{bench_path}: manifest missing key '{key}'")
+
+    print(f"{bench_path}: OK against {schema_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,23 +27,58 @@ for cfg in "${configs[@]}"; do
   ctest --preset "$test_preset" -j "$jobs"
 
   if [ "$cfg" = release ]; then
-    # Quick smoke of the search bench: must run, emit well-formed JSON
-    # with the expected keys, and keep the engine determinism contract.
+    # Quick smoke of the search bench: must run, emit JSON matching the
+    # checked-in schema (manifest included), and keep the engine
+    # determinism contract.
     echo "=== [$cfg] bench_search smoke ==="
     bench_json=build/BENCH_search_smoke.json
     FEPIA_BENCH_SMOKE=1 FEPIA_BENCH_JSON="$bench_json" \
       ./build/bench/bench_search --benchmark_filter=NONE
+    python3 tools/check_bench_json.py "$bench_json" \
+      tools/schemas/bench_search.schema.json
     python3 - "$bench_json" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     d = json.load(f)
-for key in ("bench", "runs", "best_speedup_vs_naive", "engine_runs_identical"):
-    if key not in d:
-        sys.exit(f"BENCH_search json missing key: {key}")
 if not d["engine_runs_identical"]:
     sys.exit("bench_search: engine runs differ across thread counts")
 print("bench_search smoke OK")
 EOF
+
+    echo "=== [$cfg] bench_empirical_radius smoke ==="
+    val_json=build/BENCH_validation_smoke.json
+    FEPIA_BENCH_SMOKE=1 FEPIA_BENCH_JSON="$val_json" \
+      ./build/bench/bench_empirical_radius --benchmark_filter=NONE
+    python3 tools/check_bench_json.py "$val_json" \
+      tools/schemas/bench_validation.schema.json
+
+    # The CLI trace path: a search run with --trace must emit a JSON
+    # document Chrome/Perfetto can load.
+    echo "=== [$cfg] fepia_cli search --trace smoke ==="
+    ./build/tools/fepia_cli search --tasks 48 --machines 6 --generations 5 \
+      --threads 2 --trace build/cli_smoke_trace.json >/dev/null
+    python3 - build/cli_smoke_trace.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    events = json.load(f)
+assert isinstance(events, list) and events, "trace is not a non-empty array"
+names = {e.get("name") for e in events}
+for expected in ("search.heuristics", "search.local_search", "search.ga"):
+    assert expected in names, f"trace missing span {expected!r}"
+print("fepia_cli trace smoke OK")
+EOF
+  fi
+
+  if [ "$cfg" = asan-ubsan ]; then
+    # The profile subcommand exercises spans, histograms, the pool, the
+    # DES kernel, and the estimator in one process — run it under the
+    # sanitizers and parse the trace it writes.
+    echo "=== [$cfg] fepia_cli profile smoke (asan-ubsan) ==="
+    ./build-asan/tools/fepia_cli profile --tasks 32 --machines 4 \
+      --trace build-asan/profile_smoke_trace.json >/dev/null
+    python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+      build-asan/profile_smoke_trace.json
+    echo "fepia_cli profile smoke OK"
   fi
 done
 echo "CI OK"

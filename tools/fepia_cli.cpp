@@ -53,14 +53,17 @@
 //
 // See src/io/problem_io.hpp for the problem-file format; a worked sample
 // lives at examples/data/streaming_stage.fepia.
-#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "alloc/eval_engine.hpp"
@@ -69,16 +72,35 @@
 #include "alloc/search.hpp"
 #include "des/pipeline.hpp"
 #include "etc/etc.hpp"
+#include "hiperd/factory.hpp"
 #include "io/problem_io.hpp"
 #include "io/system_io.hpp"
+#include "obs/clock.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/table.hpp"
 #include "trace/counters.hpp"
+#include "validate/empirical.hpp"
 #include "validate/scheme.hpp"
 
 namespace {
 
 using namespace fepia;
+
+/// Observability state shared by every subcommand. --trace / --metrics
+/// are stripped from argv before mode parsing, so each mode sees only
+/// its own flags; the modes contribute their registries and manifest
+/// fields here and main() finalizes (trace file, metrics dump) on exit.
+struct ObsCli {
+  std::string tracePath;  ///< --trace FILE (empty = no trace)
+  bool metrics = false;   ///< --metrics: dump the registry on exit
+  obs::Registry registry;
+  obs::RunManifest manifest;
+  obs::Stopwatch wall;
+};
+ObsCli g_obs;
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
@@ -95,7 +117,12 @@ int usage(const char* argv0) {
             << " search [--tasks N] [--machines M]"
                " [--het hi-hi|hi-lo|lo-hi|lo-lo] [--tau-factor F] [--seed S]"
                " [--threads T] [--generations N] [--population N]"
-               " [--max-moves N] [--csv] [--json FILE]\n";
+               " [--max-moves N] [--csv] [--json FILE]\n"
+            << "       " << argv0
+            << " profile [--tasks N] [--machines M] [--seed S] [--threads T]\n"
+            << "Every subcommand also accepts --trace FILE (write a Chrome"
+               " trace-event JSON; load in Perfetto or chrome://tracing) and"
+               " --metrics (dump the metrics registry as JSON on exit).\n";
   return 1;
 }
 
@@ -227,6 +254,10 @@ int runValidateMode(int argc, char** argv) {
     return usage(argv[0]);
   }
   if (samples.has_value()) opts.directions = *samples;
+  opts.metrics = &g_obs.registry;
+  g_obs.manifest.tool = "fepia_cli validate";
+  g_obs.manifest.seed = opts.seed;
+  g_obs.manifest.threads = threads.value_or(0);
 
   std::unique_ptr<parallel::ThreadPool> pool;
   if (threads.has_value()) {
@@ -294,13 +325,16 @@ int runValidateMode(int argc, char** argv) {
     }
   }
 
+  if (pool) pool->exportMetrics(g_obs.registry);
+
   if (!jsonPath.empty()) {
     std::ofstream out(jsonPath);
     if (!out) {
       std::cerr << "error: cannot write '" << jsonPath << "'\n";
       return 1;
     }
-    validate::writeComparisonJson(out, jsonRows);
+    g_obs.manifest.wallSeconds = g_obs.wall.elapsedSeconds();
+    validate::writeComparisonJson(out, jsonRows, &g_obs.manifest);
   }
 
   if (misses == 0) {
@@ -366,12 +400,9 @@ int runSearchMode(int argc, char** argv) {
     }
   }
 
-  using Clock = std::chrono::steady_clock;
-  const auto sinceUs = [](Clock::time_point t0) {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
-            .count());
-  };
+  g_obs.manifest.tool = "fepia_cli search";
+  g_obs.manifest.seed = seed;
+  g_obs.manifest.threads = threads.value_or(0);
 
   rng::Xoshiro256StarStar g(seed);
   const la::Matrix e = etc::generateCvb(tasks, machines, etc::cvbPreset(het), g);
@@ -400,11 +431,15 @@ int runSearchMode(int argc, char** argv) {
   };
   std::vector<Row> rows;
   std::vector<alloc::Allocation> gaSeeds;
-  for (const alloc::Heuristic h : alloc::allHeuristics()) {
-    alloc::Allocation mu = alloc::runHeuristic(h, e);
-    const double rho = engine.evaluate(mu);
-    gaSeeds.push_back(mu);
-    rows.push_back(Row{alloc::heuristicName(h), std::move(mu), rho});
+  {
+    FEPIA_SPAN("search.heuristics");
+    for (const alloc::Heuristic h : alloc::allHeuristics()) {
+      FEPIA_SPAN(alloc::heuristicName(h));
+      alloc::Allocation mu = alloc::runHeuristic(h, e);
+      const double rho = engine.evaluate(mu);
+      gaSeeds.push_back(mu);
+      rows.push_back(Row{alloc::heuristicName(h), std::move(mu), rho});
+    }
   }
 
   // Engine-driven searches, started from the best-rho heuristic.
@@ -412,16 +447,16 @@ int runSearchMode(int argc, char** argv) {
   for (std::size_t i = 1; i < rows.size(); ++i) {
     if (rows[i].rho > rows[bestSeedIdx].rho) bestSeedIdx = i;
   }
-  const auto t0 = Clock::now();
+  obs::Stopwatch sw;
   alloc::Allocation improved =
       alloc::localSearch(engine, rows[bestSeedIdx].mu, maxMoves);
-  engine.counters().set("wall_us_local_search", sinceUs(t0));
+  engine.counters().set("wall_us_local_search", sw.elapsedMicros());
   const double improvedRho = engine.evaluate(improved);
   rows.push_back(Row{"local-search", std::move(improved), improvedRho});
 
-  const auto t1 = Clock::now();
+  sw.restart();
   const alloc::GeneticResult ga = alloc::geneticSearch(engine, g, gaOpts, gaSeeds);
-  engine.counters().set("wall_us_ga", sinceUs(t1));
+  engine.counters().set("wall_us_ga", sw.elapsedMicros());
   rows.push_back(Row{"ga", ga.best, ga.bestObjective});
 
   report::Table table({"allocation", "makespan", "rho(tau)"});
@@ -442,13 +477,19 @@ int runSearchMode(int argc, char** argv) {
             << "\n\nengine counters:\n";
   engine.counters().print(std::cout);
 
+  g_obs.registry.merge(engine.metrics());
+  if (pool) pool->exportMetrics(g_obs.registry);
+
   if (!jsonPath.empty()) {
     std::ofstream out(jsonPath);
     if (!out) {
       std::cerr << "error: cannot write '" << jsonPath << "'\n";
       return 1;
     }
-    out << "{\n  \"config\": {\"tasks\": " << tasks << ", \"machines\": "
+    g_obs.manifest.wallSeconds = g_obs.wall.elapsedSeconds();
+    out << "{\n  \"manifest\": ";
+    g_obs.manifest.writeJson(out);
+    out << ",\n  \"config\": {\"tasks\": " << tasks << ", \"machines\": "
         << machines << ", \"heterogeneity\": \""
         << etc::heterogeneityName(het) << "\", \"tau\": " << jsonNum(tau)
         << ", \"seed\": " << seed << ", \"threads\": "
@@ -469,10 +510,176 @@ int runSearchMode(int argc, char** argv) {
   return 0;
 }
 
-}  // namespace
+/// Prints the span records as a per-phase timing tree: spans are grouped
+/// by their name path (root span name / child span name / ...), siblings
+/// with the same name aggregate into one line with a call count. The id
+/// hierarchy (parent id = child id minus its last ".N" segment) recovers
+/// the nesting; spans whose parent closed outside the collection window
+/// appear as roots.
+void printProfileTree(const std::vector<obs::SpanRecord>& records) {
+  struct Node {
+    std::uint64_t totalNs = 0;
+    std::size_t count = 0;
+    std::map<std::string, Node> children;  ///< name -> aggregate
+  };
+  std::unordered_map<std::string, const obs::SpanRecord*> byId;
+  byId.reserve(records.size());
+  for (const obs::SpanRecord& r : records) byId.emplace(r.id, &r);
 
-int main(int argc, char** argv) {
+  Node root;
+  for (const obs::SpanRecord& r : records) {
+    std::vector<const obs::SpanRecord*> chain;  // leaf -> root
+    const obs::SpanRecord* cur = &r;
+    for (;;) {
+      chain.push_back(cur);
+      const std::size_t dot = cur->id.rfind('.');
+      if (dot == std::string::npos) break;
+      const auto parent = byId.find(cur->id.substr(0, dot));
+      if (parent == byId.end()) break;
+      cur = parent->second;
+    }
+    Node* n = &root;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      n = &n->children[(*it)->name];
+    }
+    n->totalNs += r.durNs;
+    n->count += 1;
+  }
+
+  const std::function<void(const Node&, int)> printChildren =
+      [&](const Node& n, int depth) {
+        for (const auto& [name, child] : n.children) {
+          std::cout << std::string(static_cast<std::size_t>(2 * depth), ' ')
+                    << name << "  "
+                    << report::num(static_cast<double>(child.totalNs) / 1e6, 6)
+                    << " ms  x" << child.count << "\n";
+          printChildren(child, depth + 1);
+        }
+      };
+  std::cout << "per-phase timing (total ms, call count):\n";
+  printChildren(root, 1);
+}
+
+/// `fepia_cli profile`: runs one representative workload per subsystem
+/// (search, analytic radii, DES pipeline, Monte-Carlo validation) with
+/// tracing forced on and prints the per-phase timing tree. Also honors
+/// the global --trace / --metrics flags.
+int runProfileMode(int argc, char** argv) {
+  std::size_t tasks = 64;
+  std::size_t machines = 8;
+  std::uint64_t seed = 0x5EEDD1CEull;
+  std::optional<std::size_t> threads;
+
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tasks") == 0 && i + 1 < argc) {
+      tasks = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--machines") == 0 && i + 1 < argc) {
+      machines = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  g_obs.manifest.tool = "fepia_cli profile";
+  g_obs.manifest.seed = seed;
+  g_obs.manifest.threads = threads.value_or(2);
+
+  obs::TraceCollector& collector = obs::TraceCollector::instance();
+  if (!collector.enabled()) collector.start();
+  obs::setTimingEnabled(true);
+
+  parallel::ThreadPool pool(threads.value_or(2));
+
+  {
+    FEPIA_SPAN("profile.search");
+    rng::Xoshiro256StarStar g(seed);
+    const la::Matrix e =
+        etc::generateCvb(tasks, machines, etc::cvbPreset(etc::Heterogeneity::HiHi), g);
+    const alloc::Allocation mctSeed = alloc::mct(e);
+    alloc::EngineConfig cfg;
+    cfg.objective = alloc::EngineObjective::Rho;
+    cfg.tau = 1.4 * alloc::makespan(mctSeed, e);
+    alloc::EvalEngine engine(e, cfg, &pool);
+
+    std::vector<alloc::Allocation> gaSeeds;
+    {
+      FEPIA_SPAN("search.heuristics");
+      for (const alloc::Heuristic h : alloc::allHeuristics()) {
+        FEPIA_SPAN(alloc::heuristicName(h));
+        gaSeeds.push_back(alloc::runHeuristic(h, e));
+      }
+    }
+    (void)alloc::localSearch(engine, gaSeeds.front(), 200);
+    alloc::GeneticOptions gaOpts;
+    gaOpts.generations = 10;
+    gaOpts.populationSize = 32;
+    (void)alloc::geneticSearch(engine, g, gaOpts, gaSeeds);
+    g_obs.registry.merge(engine.metrics());
+  }
+
+  const hiperd::ReferenceSystem ref = hiperd::makeReferenceSystem();
+  {
+    FEPIA_SPAN("profile.radius");
+    const radius::FepiaProblem mixed = ref.system.executionMessageProblem(ref.qos);
+    (void)mixed.merged(radius::MergeScheme::NormalizedByOriginal).report();
+  }
+  {
+    FEPIA_SPAN("profile.des");
+    const des::PipelineResult sim = des::simulateAtLoads(
+        ref.system, ref.system.originalLoads(), ref.qos.minThroughput);
+    g_obs.registry.counters().bump("des.events_processed", sim.eventsProcessed);
+    g_obs.registry.maxGauge("des.queue_high_water",
+                            static_cast<double>(sim.queueHighWater));
+  }
+  {
+    FEPIA_SPAN("profile.validate");
+    const validate::SafePredicate safe = [](const la::Vector& pi) {
+      double norm2 = 0.0;
+      for (const double x : pi) norm2 += x * x;
+      return norm2 < 1.0;  // unit ball: empirical radius is exactly 1
+    };
+    validate::EstimatorOptions vo;
+    vo.directions = 512;
+    vo.chunkSize = 64;
+    vo.seed = seed;
+    vo.polishSweeps = 8;
+    vo.metrics = &g_obs.registry;
+    la::Vector origin(4);
+    (void)validate::estimateEmpiricalRadius(safe, origin, vo, &pool);
+  }
+
+  pool.exportMetrics(g_obs.registry);
+
+  collector.stop();
+  const std::vector<obs::SpanRecord> records = collector.collect();
+  printProfileTree(records);
+
+  if (!g_obs.tracePath.empty()) {
+    std::ofstream out(g_obs.tracePath);
+    if (!out) {
+      std::cerr << "error: cannot write '" << g_obs.tracePath << "'\n";
+      return 1;
+    }
+    obs::writeChromeTrace(out, records, collector.baseNanos());
+  }
+  return 0;
+}
+
+int dispatch(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
+
+  if (std::strcmp(argv[1], "profile") == 0) {
+    try {
+      return runProfileMode(argc, argv);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+  }
 
   if (std::strcmp(argv[1], "search") == 0) {
     try {
@@ -589,4 +796,52 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_obs.manifest = obs::RunManifest::collect("fepia_cli", argc, argv);
+
+  // Strip the global observability flags so the mode parsers never see
+  // them; everything else passes through untouched.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      g_obs.tracePath = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      g_obs.metrics = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  if (!g_obs.tracePath.empty()) obs::TraceCollector::instance().start();
+  if (!g_obs.tracePath.empty() || g_obs.metrics) obs::setTimingEnabled(true);
+
+  int rc = dispatch(static_cast<int>(args.size()), args.data());
+
+  // profile mode already stopped the collector and wrote its own trace;
+  // for every other mode the collector is still live here.
+  obs::TraceCollector& collector = obs::TraceCollector::instance();
+  if (!g_obs.tracePath.empty() && collector.enabled()) {
+    collector.stop();
+    const std::vector<obs::SpanRecord> records = collector.collect();
+    std::ofstream out(g_obs.tracePath);
+    if (!out) {
+      std::cerr << "error: cannot write '" << g_obs.tracePath << "'\n";
+      if (rc == 0) rc = 1;
+    } else {
+      obs::writeChromeTrace(out, records, collector.baseNanos());
+    }
+  }
+
+  if (g_obs.metrics) {
+    std::cout << "metrics: ";
+    g_obs.registry.writeJson(std::cout);
+    std::cout << "\n";
+  }
+  return rc;
 }
