@@ -1,0 +1,214 @@
+// Experiment FAULTDEG — cost of fault injection and the degraded-mode
+// robustness radius.
+//
+// Two questions: (1) what does fault injection (crash failover, loss
+// retry, slowdown windows) cost per simulated generation relative to the
+// fault-free DES kernel, and (2) what does one degraded-mode radius
+// estimate cost end to end, serial vs thread pools of growing size, on
+// the paper's HiPer-D reference pipeline under a sampled fault scenario.
+//
+// Determinism contract on display: every degraded estimate below returns
+// the same radius and the same degradation counters bit-for-bit — thread
+// counts only change the wall clock. Structured results land in
+// BENCH_fault.json (override the path with FEPIA_BENCH_JSON).
+//
+// Timings: per-run cost of the fault-injected pipeline vs the fault-free
+// one at matched generation counts.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "fepia.hpp"
+#include "obs/clock.hpp"
+#include "obs/manifest.hpp"
+
+namespace {
+
+using namespace fepia;
+
+obs::RunManifest g_manifest;
+
+bool smokeMode() {
+  const char* env = std::getenv("FEPIA_BENCH_SMOKE");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+/// The reference pipeline plus a fixed mild scenario — an early crash
+/// with a backup, a transient slowdown window, and a lightly lossy link
+/// — so failover, retry and window accounting all fire while the
+/// operating point still satisfies QoS in degraded mode.
+struct Workload {
+  hiperd::ReferenceSystem ref = hiperd::makeReferenceSystem();
+  fault::FaultPlan plan = makePlan();
+
+  [[nodiscard]] fault::FaultPlan makePlan() const {
+    fault::FaultPlan p;
+    p.crashes.push_back({1, 0.5, 0});
+    p.slowdowns.push_back({fault::Slowdown::Target::Machine, 0, 2.0, 4.0, 1.5});
+    p.losses.push_back({ref.system.message(0).link, 0.05});
+    p.policy.detectionTimeoutSeconds = 0.01;
+    return p;
+  }
+};
+
+struct Run {
+  std::size_t threads = 0;  ///< 0 = serial (no pool)
+  double seconds = 0.0;
+  fault::DegradedEstimate est;
+};
+
+Run timedRun(const Workload& w, const validate::EstimatorOptions& opts,
+             const fault::DegradedOptions& dopts, std::size_t threads) {
+  Run r;
+  r.threads = threads;
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<parallel::ThreadPool>(threads);
+  const obs::Stopwatch sw;
+  r.est = fault::estimateDegradedRadius(w.ref, {w.plan}, opts, dopts,
+                                        pool.get());
+  r.seconds = sw.elapsedSeconds();
+  return r;
+}
+
+bool sameEstimate(const fault::DegradedEstimate& a,
+                  const fault::DegradedEstimate& b) {
+  return a.degraded.radius == b.degraded.radius &&
+         a.degraded.classifications == b.degraded.classifications &&
+         a.nominal.faults.failovers == b.nominal.faults.failovers &&
+         a.nominal.faults.retries == b.nominal.faults.retries &&
+         a.nominal.faults.downtimeSeconds == b.nominal.faults.downtimeSeconds;
+}
+
+void printExperiment() {
+  const obs::Stopwatch wall;
+  const bool smoke = smokeMode();
+  const Workload w;
+  validate::EstimatorOptions opts;
+  opts.directions = smoke ? 8 : 32;
+  opts.seed = 0x5EEDD1CEull;
+  fault::DegradedOptions dopts;
+  dopts.generations = smoke ? 60 : 200;
+  dopts.explicitDirections = true;
+
+  std::cout << "=== FAULTDEG: degraded-mode radius under fault injection ==="
+            << "\n\nHiPer-D pipeline, fixed mild scenario: "
+            << w.plan.crashes.size() << " crash(es), "
+            << w.plan.slowdowns.size() << " slowdown(s), "
+            << w.plan.losses.size() << " loss rate(s); " << opts.directions
+            << " directions x " << dopts.generations << " generations"
+            << (smoke ? "  [smoke mode]" : "") << "\n\n";
+
+  std::vector<Run> runs;
+  runs.push_back(timedRun(w, opts, dopts, 0));
+  for (const std::size_t t : smoke ? std::vector<std::size_t>{2}
+                                   : std::vector<std::size_t>{1, 2, 4, 8}) {
+    runs.push_back(timedRun(w, opts, dopts, t));
+  }
+
+  report::Table table({"threads", "degraded radius", "classifications",
+                       "failovers", "retries", "wall (s)"});
+  for (const Run& r : runs) {
+    table.addRow({r.threads == 0 ? "serial" : std::to_string(r.threads),
+                  report::num(r.est.degraded.radius, 8),
+                  std::to_string(r.est.degraded.classifications),
+                  std::to_string(r.est.nominal.faults.failovers),
+                  std::to_string(r.est.nominal.faults.retries),
+                  report::num(r.seconds, 3)});
+  }
+  table.print(std::cout);
+
+  bool identical = true;
+  for (const Run& r : runs) identical &= sameEstimate(r.est, runs[0].est);
+  std::cout << "\nanalytic rho = " << report::num(runs[0].est.analyticRho, 8)
+            << "  (critical: " << runs[0].est.criticalFeature << ")\n"
+            << "degraded estimate identical across all runs: "
+            << (identical ? "yes" : "NO — determinism contract broken")
+            << "\n\n";
+
+  const char* env = std::getenv("FEPIA_BENCH_JSON");
+  const std::string jsonPath = env != nullptr ? env : "BENCH_fault.json";
+  std::ofstream out(jsonPath);
+  if (!out) {
+    std::cerr << "cannot write " << jsonPath << "\n";
+    return;
+  }
+  g_manifest.wallSeconds = wall.elapsedSeconds();
+  const des::FaultCounters& fc = runs[0].est.nominal.faults;
+  out << "{\n  \"bench\": \"fault_injection\",\n  \"manifest\": ";
+  g_manifest.writeJson(out);
+  out << ",\n  \"smoke\": " << (smoke ? "true" : "false")
+      << ",\n  \"seed\": " << opts.seed
+      << ",\n  \"directions\": " << opts.directions
+      << ",\n  \"generations\": " << dopts.generations
+      << ",\n  \"analytic_rho\": " << runs[0].est.analyticRho
+      << ",\n  \"nominal_satisfies\": "
+      << (runs[0].est.nominalSatisfies ? "true" : "false")
+      << ",\n  \"nominal_counters\": {\"failovers\": " << fc.failovers
+      << ", \"lost_messages\": " << fc.lostMessages
+      << ", \"retries\": " << fc.retries
+      << ", \"dropped_messages\": " << fc.droppedMessages
+      << ", \"unrecovered_jobs\": " << fc.unrecoveredJobs
+      << ", \"downtime_seconds\": " << fc.downtimeSeconds
+      << ", \"backoff_wait_seconds\": " << fc.backoffWaitSeconds
+      << "},\n  \"degraded_runs_identical\": " << (identical ? "true" : "false")
+      << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    out << "    {\"threads\": " << r.threads
+        << ", \"degraded_radius\": " << r.est.degraded.radius
+        << ", \"classifications\": " << r.est.degraded.classifications
+        << ", \"classifications_per_sec\": "
+        << static_cast<double>(r.est.degraded.classifications) / r.seconds
+        << ", \"wall_seconds\": " << r.seconds << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << jsonPath << "\n\n";
+}
+
+void BM_FaultFreePipeline(benchmark::State& state) {
+  const Workload w;
+  des::PipelineOptions opts;
+  opts.generations = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        des::simulateAtLoads(w.ref.system, w.ref.system.originalLoads(),
+                             w.ref.qos.minThroughput, opts)
+            .maxObservedLatency);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FaultFreePipeline)->RangeMultiplier(4)->Range(50, 800);
+
+void BM_FaultInjectedPipeline(benchmark::State& state) {
+  const Workload w;
+  const fault::PlanInjector injector(w.plan, w.ref.system);
+  des::PipelineOptions opts;
+  opts.generations = static_cast<std::size_t>(state.range(0));
+  opts.faults = &injector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        des::simulateAtLoads(w.ref.system, w.ref.system.originalLoads(),
+                             w.ref.qos.minThroughput, opts)
+            .maxObservedLatency);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FaultInjectedPipeline)->RangeMultiplier(4)->Range(50, 800);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_manifest = obs::RunManifest::collect("bench_fault_injection", argc, argv);
+  printExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

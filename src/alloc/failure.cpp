@@ -10,44 +10,71 @@ namespace fepia::alloc {
 
 Allocation recoverFromFailure(const Allocation& mu, const la::Matrix& etcMatrix,
                               std::size_t failedMachine) {
-  if (etcMatrix.rows() != mu.taskCount() ||
-      etcMatrix.cols() != mu.machineCount()) {
-    throw std::invalid_argument("alloc::recoverFromFailure: shape mismatch");
-  }
-  if (failedMachine >= mu.machineCount()) {
-    throw std::invalid_argument("alloc::recoverFromFailure: bad machine index");
-  }
-  if (mu.machineCount() < 2) {
+  if (failedMachine < mu.machineCount() && mu.machineCount() < 2) {
     throw std::invalid_argument(
         "alloc::recoverFromFailure: no surviving machine to fail over to");
   }
+  return recoverFromFailures(mu, etcMatrix, {failedMachine});
+}
+
+Allocation recoverFromFailures(const Allocation& mu, const la::Matrix& etcMatrix,
+                               const std::vector<std::size_t>& failedMachines) {
+  if (etcMatrix.rows() != mu.taskCount() ||
+      etcMatrix.cols() != mu.machineCount()) {
+    throw std::invalid_argument("alloc::recoverFromFailures: shape mismatch");
+  }
+  if (failedMachines.empty()) {
+    throw std::invalid_argument("alloc::recoverFromFailures: empty failure set");
+  }
+  std::vector<bool> failed(mu.machineCount(), false);
+  std::size_t survivors = mu.machineCount();
+  for (const std::size_t f : failedMachines) {
+    if (f >= mu.machineCount()) {
+      throw std::invalid_argument(
+          "alloc::recoverFromFailures: bad machine index");
+    }
+    if (!failed[f]) {
+      failed[f] = true;
+      --survivors;
+    }
+  }
+  if (survivors == 0) {
+    throw std::invalid_argument(
+        "alloc::recoverFromFailures: no surviving machine to fail over to");
+  }
 
   Allocation recovered = mu;
-  const std::vector<std::size_t> orphans = mu.tasksOn(failedMachine);
+  std::vector<std::size_t> orphans;
+  for (std::size_t m = 0; m < mu.machineCount(); ++m) {
+    if (!failed[m]) continue;
+    const std::vector<std::size_t> stranded = mu.tasksOn(m);
+    orphans.insert(orphans.end(), stranded.begin(), stranded.end());
+  }
 
   // Finish times of the survivors under the unchanged assignments.
   la::Vector finish = machineFinishTimes(mu, etcMatrix);
-  finish[failedMachine] = 0.0;
+  for (std::size_t m = 0; m < mu.machineCount(); ++m) {
+    if (failed[m]) finish[m] = 0.0;
+  }
 
   // Greedy MCT: remap the orphaned tasks, longest (on their best
   // survivor) first, each to the machine minimising its completion time.
-  std::vector<std::size_t> order = orphans;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+  std::sort(orphans.begin(), orphans.end(), [&](std::size_t a, std::size_t b) {
     double bestA = std::numeric_limits<double>::infinity();
     double bestB = std::numeric_limits<double>::infinity();
     for (std::size_t m = 0; m < mu.machineCount(); ++m) {
-      if (m == failedMachine) continue;
+      if (failed[m]) continue;
       bestA = std::min(bestA, etcMatrix(a, m));
       bestB = std::min(bestB, etcMatrix(b, m));
     }
     return bestA > bestB;
   });
 
-  for (std::size_t t : order) {
-    std::size_t bestM = failedMachine;
+  for (std::size_t t : orphans) {
+    std::size_t bestM = mu.machineCount();
     double bestCt = std::numeric_limits<double>::infinity();
     for (std::size_t m = 0; m < mu.machineCount(); ++m) {
-      if (m == failedMachine) continue;
+      if (failed[m]) continue;
       const double ct = finish[m] + etcMatrix(t, m);
       if (ct < bestCt) {
         bestCt = ct;
@@ -81,6 +108,30 @@ std::vector<FailureImpact> machineFailureImpacts(const Allocation& mu,
     out.push_back(std::move(impact));
   }
   return out;
+}
+
+FailureSetImpact evaluateFailureSet(const Allocation& mu,
+                                    const la::Matrix& etcMatrix,
+                                    const std::vector<std::size_t>& failedMachines,
+                                    double tau) {
+  std::vector<std::size_t> set = failedMachines;
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  FailureSetImpact impact{set, false, recoverFromFailures(mu, etcMatrix, set),
+                          0.0, 0.0};
+  impact.makespanAfter = makespan(impact.recovered, etcMatrix);
+  if (impact.makespanAfter < tau) {
+    impact.recoverable = true;
+    impact.rhoAfter =
+        makespanRobustnessClosedForm(impact.recovered, etcMatrix, tau);
+  }
+  return impact;
+}
+
+bool survivesFailures(const Allocation& mu, const la::Matrix& etcMatrix,
+                      const std::vector<std::size_t>& failedMachines,
+                      double tau) {
+  return evaluateFailureSet(mu, etcMatrix, failedMachines, tau).recoverable;
 }
 
 bool survivesAnySingleFailure(const Allocation& mu, const la::Matrix& etcMatrix,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "des/simulator.hpp"
@@ -129,6 +130,15 @@ PipelineResult simulatePipeline(const hiperd::System& sys,
   std::vector<std::vector<double>> finish(nA,
                                           std::vector<double>(gens, -1.0));
 
+  FaultCounters fc;
+  // Fault-path machine accounting: FifoResource cannot model a server
+  // that dies mid-service, so crashes get explicit busy/queue state.
+  struct MachineSrv {
+    double busyUntil = 0.0;
+    double busy = 0.0;
+  };
+  std::vector<MachineSrv> msrv(opts.faults != nullptr ? sys.machineCount() : 0);
+
   // Forward declaration glue for the recursive event chain. Every event
   // fires inside sim.run() below, so the hooks can live on the stack and
   // the closures capture them by reference; capturing an owning handle
@@ -136,26 +146,138 @@ PipelineResult simulatePipeline(const hiperd::System& sys,
   struct Hooks {
     std::function<void(std::size_t, std::size_t)> startApp;
     std::function<void(std::size_t, std::size_t)> appDone;
+    // Fault path only: dispatch / failover / (re)transmit.
+    std::function<void(std::size_t, std::size_t, std::size_t, std::size_t)>
+        dispatch;
+    std::function<void(std::size_t, std::size_t, std::size_t, std::size_t)>
+        failover;
+    std::function<void(std::size_t, std::size_t, std::size_t)> sendMessage;
   };
   Hooks hooks;
 
-  hooks.startApp = [&](std::size_t a, std::size_t g) {
-    machines[sys.application(a).machine].submit(
-        execSeconds[a] * jitter(), [&, a, g] { hooks.appDone(a, g); });
-  };
+  if (opts.faults == nullptr) {
+    hooks.startApp = [&](std::size_t a, std::size_t g) {
+      machines[sys.application(a).machine].submit(
+          execSeconds[a] * jitter(), [&, a, g] { hooks.appDone(a, g); });
+    };
 
-  hooks.appDone = [&](std::size_t a, std::size_t g) {
-    finish[a][g] = sim.now();
-    for (std::size_t k : outgoing[a]) {
-      const std::size_t dst = sys.message(k).dstApp;
-      const double serviceTime =
-          messageBytes[k] / sys.link(sys.message(k).link).bandwidthBytesPerSec;
-      links[sys.message(k).link].submit(
-          serviceTime * jitter(), [&, dst, g] {
-            if (++arrived[dst][g] == inDegree[dst]) hooks.startApp(dst, g);
+    hooks.appDone = [&](std::size_t a, std::size_t g) {
+      finish[a][g] = sim.now();
+      for (std::size_t k : outgoing[a]) {
+        const std::size_t dst = sys.message(k).dstApp;
+        const double serviceTime =
+            messageBytes[k] / sys.link(sys.message(k).link).bandwidthBytesPerSec;
+        links[sys.message(k).link].submit(
+            serviceTime * jitter(), [&, dst, g] {
+              if (++arrived[dst][g] == inDegree[dst]) hooks.startApp(dst, g);
+            });
+      }
+    };
+  } else {
+    const FaultInjector& F = *opts.faults;
+
+    // A compute job headed for machine `m`. Because service demands are
+    // known at dispatch and service is FIFO non-preemptive, the job's
+    // start and completion times are decided here — so whether the crash
+    // of `m` catches the job (while queued or in service) is decided
+    // here too, without rewinding the server.
+    hooks.dispatch = [&](std::size_t a, std::size_t g, std::size_t m,
+                         std::size_t hops) {
+      const double tc = F.crashTime(m);
+      const double now = sim.now();
+      if (now >= tc) {
+        // Dispatched to a machine that is already down: fail over. The
+        // failover hook charges the detection delay only while the
+        // failure is not yet known.
+        hooks.failover(a, g, m, hops);
+        return;
+      }
+      MachineSrv& s = msrv[m];
+      const double start = std::max(now, s.busyUntil);
+      const double service =
+          execSeconds[a] * F.computeFactor(m, start) * jitter();
+      if (!(service >= 0.0) || !std::isfinite(service)) {
+        throw std::invalid_argument(
+            "des::simulatePipeline: fault injector produced a bad compute "
+            "factor");
+      }
+      const double ct = start + service;
+      if (start >= tc || ct > tc) {
+        // The crash catches the job in queue or mid-service: work done
+        // up to the crash is wasted, and the machine serves nothing
+        // afterwards. Failure manifests at the crash instant.
+        s.busy += std::max(0.0, std::min(ct, tc) - start);
+        s.busyUntil = tc;
+        hooks.failover(a, g, m, hops);
+        return;
+      }
+      s.busyUntil = ct;
+      s.busy += service;
+      sim.schedule(ct - now, [&, a, g] { hooks.appDone(a, g); });
+    };
+
+    hooks.failover = [&](std::size_t a, std::size_t g, std::size_t from,
+                         std::size_t hops) {
+      const std::optional<std::size_t> backup = F.backupFor(from);
+      // The hop cap breaks crash chains that cycle through dead
+      // machines (with a zero detection timeout such a cycle would spin
+      // at one simulation instant forever).
+      if (!backup.has_value() || hops + 1 >= sys.machineCount()) {
+        ++fc.unrecoveredJobs;  // the generation surfaces as incomplete
+        return;
+      }
+      ++fc.failovers;
+      // The crash of `from` is detected (and becomes common knowledge)
+      // one detection timeout after it happens. Jobs stranded before
+      // that wait for detection; jobs dispatched once the failure is
+      // known reroute to the backup immediately.
+      const double detectedAt = F.crashTime(from) + F.detectionTimeout();
+      sim.schedule(std::max(0.0, detectedAt - sim.now()),
+                   [&, a, g, b = *backup, hops] {
+                     hooks.dispatch(a, g, b, hops + 1);
+                   });
+    };
+
+    hooks.startApp = [&](std::size_t a, std::size_t g) {
+      hooks.dispatch(a, g, sys.application(a).machine, 0);
+    };
+
+    // Transfer attempt `attempt` (0-based) of message k, generation g.
+    // A lost attempt still occupied the link (the bytes were sent; the
+    // loss is discovered at the receiving end), then backs off and
+    // retransmits until the retry budget runs out.
+    hooks.sendMessage = [&](std::size_t k, std::size_t g,
+                            std::size_t attempt) {
+      const std::size_t l = sys.message(k).link;
+      const double base =
+          messageBytes[k] / sys.link(l).bandwidthBytesPerSec;
+      const double startEst = std::max(sim.now(), links[l].busyUntil());
+      const double service = base * F.transferFactor(l, startEst) * jitter();
+      links[l].submit(service, [&, k, g, attempt] {
+        if (F.messageLost(k, g, attempt)) {
+          ++fc.lostMessages;
+          if (attempt >= F.maxRetries()) {
+            ++fc.droppedMessages;  // receiver never fires for this gen
+            return;
+          }
+          ++fc.retries;
+          const double backoff = F.retryBackoff(attempt);
+          fc.backoffWaitSeconds += backoff;
+          sim.schedule(backoff, [&, k, g, attempt] {
+            hooks.sendMessage(k, g, attempt + 1);
           });
-    }
-  };
+          return;
+        }
+        const std::size_t dst = sys.message(k).dstApp;
+        if (++arrived[dst][g] == inDegree[dst]) hooks.startApp(dst, g);
+      });
+    };
+
+    hooks.appDone = [&](std::size_t a, std::size_t g) {
+      finish[a][g] = sim.now();
+      for (std::size_t k : outgoing[a]) hooks.sendMessage(k, g, 0);
+    };
+  }
 
   // Sensors emit synchronized generations; source apps (no message
   // inputs) become eligible at the emission instant.
@@ -188,7 +310,7 @@ PipelineResult simulatePipeline(const hiperd::System& sys,
     lat.reserve(gens - warmup);
     for (std::size_t g = warmup; g < gens; ++g) {
       if (finish[lastApp][g] < 0.0) {
-        ++res.incompleteObservations;  // should not happen on a DAG
+        ++res.incompleteObservations;  // lost to a fault, or bad wiring
         continue;
       }
       lat.push_back(finish[lastApp][g] - static_cast<double>(g) * period);
@@ -202,12 +324,26 @@ PipelineResult simulatePipeline(const hiperd::System& sys,
       worstSlope * static_cast<double>(gens) <= opts.driftTolerance * period;
 
   const double span = res.simulatedSeconds > 0.0 ? res.simulatedSeconds : 1.0;
-  for (const FifoResource& r : machines) {
-    res.machineUtilization.push_back(r.busyTime() / span);
+  if (opts.faults == nullptr) {
+    for (const FifoResource& r : machines) {
+      res.machineUtilization.push_back(r.busyTime() / span);
+    }
+  } else {
+    for (const MachineSrv& s : msrv) {
+      res.machineUtilization.push_back(s.busy / span);
+    }
+    // Machine-seconds of downtime within the simulated horizon.
+    for (std::size_t m = 0; m < sys.machineCount(); ++m) {
+      const double tc = opts.faults->crashTime(m);
+      if (tc < res.simulatedSeconds) {
+        fc.downtimeSeconds += res.simulatedSeconds - tc;
+      }
+    }
   }
   for (const FifoResource& r : links) {
     res.linkUtilization.push_back(r.busyTime() / span);
   }
+  res.faults = fc;
   return res;
 }
 

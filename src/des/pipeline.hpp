@@ -7,15 +7,90 @@
 // simulation measures achieved end-to-end latency per path and whether
 // the pipeline sustains the input rate (stable queues) — the empirical
 // ground truth against which the analytic robustness radius is checked.
+//
+// Fault injection: PipelineOptions::faults points at a FaultInjector
+// (implemented by fault::PlanInjector from a fault::FaultPlan). When
+// set, the simulation additionally models discrete perturbation kinds —
+// machine crashes survived by failover to a backup after a detection
+// timeout, transient compute/transfer slowdowns, and message loss
+// retried with capped exponential backoff — and reports the degradation
+// counters in PipelineResult::faults.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "hiperd/system.hpp"
 #include "la/vector.hpp"
 
 namespace fepia::des {
+
+/// Degradation bookkeeping of a fault-injected run.
+struct FaultCounters {
+  /// Compute jobs re-dispatched to a backup machine after a crash.
+  std::uint64_t failovers = 0;
+  /// Transfer attempts lost in flight.
+  std::uint64_t lostMessages = 0;
+  /// Retransmissions issued for lost transfers.
+  std::uint64_t retries = 0;
+  /// Transfers abandoned after the retry budget was exhausted.
+  std::uint64_t droppedMessages = 0;
+  /// Compute jobs with no live machine left to fail over to.
+  std::uint64_t unrecoveredJobs = 0;
+  /// Job-seconds spent waiting for crash detection + failover dispatch.
+  double downtimeSeconds = 0.0;
+  /// Seconds spent in retry backoff across all lost transfers.
+  double backoffWaitSeconds = 0.0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return failovers || lostMessages || retries || droppedMessages ||
+           unrecoveredJobs;
+  }
+};
+
+/// Fault-injection hooks consulted by simulatePipeline. Implementations
+/// must be deterministic pure functions of their arguments (the
+/// simulation replays bit-identically from the same inputs); the stock
+/// implementation is fault::PlanInjector. All hooks describe a fault
+/// *plan*, fixed before the run — the simulation never feeds back into
+/// the injector.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Time at which `machine` crashes (never recovers); +inf = never.
+  [[nodiscard]] virtual double crashTime(std::size_t machine) const = 0;
+  /// Failover target for work stranded on crashed `machine`; nullopt =
+  /// no backup configured (the job is unrecoverable).
+  [[nodiscard]] virtual std::optional<std::size_t> backupFor(
+      std::size_t machine) const = 0;
+  /// Failure-detection timeout: a machine's crash becomes known (and
+  /// failover possible) this many seconds after it happens. Jobs
+  /// stranded earlier wait until detection; once the failure is known,
+  /// later dispatches reroute to the backup without extra delay.
+  [[nodiscard]] virtual double detectionTimeout() const = 0;
+
+  /// Multiplier on the service time of a compute job *starting* on
+  /// `machine` at time `t` (transient slowdown windows; 1 = nominal).
+  [[nodiscard]] virtual double computeFactor(std::size_t machine,
+                                             double t) const = 0;
+  /// Multiplier on the service time of a transfer starting on `link`.
+  [[nodiscard]] virtual double transferFactor(std::size_t link,
+                                              double t) const = 0;
+
+  /// True when transfer attempt `attempt` (0-based) of message `k` in
+  /// generation `g` is lost in flight. Must depend only on (k, g,
+  /// attempt) so the draw is independent of event interleaving.
+  [[nodiscard]] virtual bool messageLost(std::size_t k, std::size_t g,
+                                         std::size_t attempt) const = 0;
+  /// Backoff before retransmission number `attempt + 1` (capped
+  /// exponential in the stock implementation).
+  [[nodiscard]] virtual double retryBackoff(std::size_t attempt) const = 0;
+  /// Retransmissions allowed per message-generation before it is
+  /// dropped for good.
+  [[nodiscard]] virtual std::size_t maxRetries() const = 0;
+};
 
 /// Result of a pipeline simulation.
 struct PipelineResult {
@@ -34,17 +109,23 @@ struct PipelineResult {
   bool throughputSustained = false;
   double simulatedSeconds = 0.0;
   std::size_t generations = 0;
-  /// Path-generation pairs whose terminal app never completed (should be
-  /// zero for a well-formed DAG pipeline; nonzero values indicate a
-  /// wiring problem upstream of the measured path).
+  /// Path-generation pairs whose terminal app never completed. Zero for
+  /// a well-formed DAG pipeline without faults; under fault injection,
+  /// dropped messages and unrecoverable jobs surface here.
   std::size_t incompleteObservations = 0;
   /// Simulator kernel statistics for this run.
   std::uint64_t eventsProcessed = 0;
   std::size_t queueHighWater = 0;
+  /// Degradation counters (all zero when no injector was configured).
+  FaultCounters faults{};
 
   /// True when the run respects `maxLatency` and sustains throughput.
+  /// Under fault injection the run must also have *completed* every
+  /// observation — a generation silently lost to an unrecovered fault is
+  /// a QoS violation, not a free pass.
   [[nodiscard]] bool satisfies(double maxLatencySeconds) const noexcept {
-    return throughputSustained && maxObservedLatency <= maxLatencySeconds;
+    return throughputSustained && maxObservedLatency <= maxLatencySeconds &&
+           incompleteObservations == 0;
   }
 };
 
@@ -61,6 +142,9 @@ struct PipelineOptions {
   /// time variability on top of the (e ⋆ m) operating point.
   double serviceJitterCov = 0.0;
   std::uint64_t jitterSeed = 0x1234ABCDull;
+  /// Fault-injection hooks; null (the default) runs the exact fault-free
+  /// code path. Not owned; must outlive the call.
+  const FaultInjector* faults = nullptr;
 };
 
 /// Simulates the pipeline with explicit per-app execution seconds and

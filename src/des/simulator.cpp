@@ -1,29 +1,50 @@
 #include "des/simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
 
 namespace fepia::des {
 
-void Simulator::schedule(double delay, Action action) {
+EventId Simulator::schedule(double delay, Action action) {
   if (delay < 0.0 || !std::isfinite(delay)) {
     throw std::invalid_argument("des::Simulator::schedule: bad delay");
   }
   if (!action) {
     throw std::invalid_argument("des::Simulator::schedule: null action");
   }
-  queue_.push(Event{now_ + delay, nextSeq_++, std::move(action)});
-  if (queue_.size() > queueHighWater_) queueHighWater_ = queue_.size();
+  const EventId id = nextSeq_++;
+  queue_.push_back(Event{now_ + delay, id, std::move(action)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
+  const std::size_t live = queue_.size() - cancelled_.size();
+  if (live > queueHighWater_) queueHighWater_ = live;
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id >= nextSeq_) return false;  // never scheduled
+  // A tombstone is only meaningful while the event is still queued; an
+  // already-fired id would poison a future id otherwise — but ids are
+  // never reused, so membership in the queue is the only question.
+  const bool pending =
+      std::any_of(queue_.begin(), queue_.end(),
+                  [id](const Event& e) { return e.seq == id; });
+  if (!pending) return false;
+  if (!cancelled_.insert(id).second) return false;  // cancelled twice
+  ++eventsCancelled_;
+  return true;
 }
 
 std::size_t Simulator::run(std::size_t maxEvents) {
   std::size_t processed = 0;
   while (!queue_.empty() && processed < maxEvents) {
-    // priority_queue::top is const; the action must be moved out via a
-    // copy of the handle before pop.
-    Event ev = queue_.top();
-    queue_.pop();
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    Event ev = std::move(queue_.back());
+    queue_.pop_back();
+    if (!cancelled_.empty() && cancelled_.erase(ev.seq) > 0) {
+      continue;  // tombstoned: drop without advancing the clock
+    }
     now_ = ev.time;
     ev.action();
     ++processed;
@@ -34,6 +55,7 @@ std::size_t Simulator::run(std::size_t maxEvents) {
 
 void Simulator::exportMetrics(obs::Registry& out) const {
   out.counters().bump("des.events_processed", eventsProcessed_);
+  out.counters().bump("des.events_cancelled", eventsCancelled_);
   out.maxGauge("des.queue_high_water",
                static_cast<double>(queueHighWater_));
 }

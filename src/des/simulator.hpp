@@ -4,21 +4,31 @@
 // The VAL experiment uses this to check the analytic robust region
 // empirically: the HiPer-D pipeline is executed as a real queueing
 // system, and QoS violations observed in simulation are compared with
-// the radius-based prediction.
+// the radius-based prediction. The fault-injection layer (src/fault)
+// additionally cancels in-flight events when a machine crashes.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/metrics.hpp"
 
 namespace fepia::des {
 
-/// Event-driven simulation clock and scheduler. Events at equal times
-/// fire in scheduling order (stable tie-break by sequence number).
+/// Handle to a scheduled event, usable with Simulator::cancel.
+using EventId = std::uint64_t;
+
+/// Event-driven simulation clock and scheduler.
+///
+/// Ordering contract: events fire in nondecreasing time, and events at
+/// exactly equal times fire in scheduling order (FIFO). The tie-break is
+/// an explicit monotonic sequence number carried by every event — not an
+/// accident of the heap implementation — so fault-injected runs, which
+/// create bursts of same-instant cancel/failover events, are
+/// deterministic by construction.
 class Simulator {
  public:
   using Action = std::function<void()>;
@@ -26,34 +36,52 @@ class Simulator {
   /// Current simulation time (seconds).
   [[nodiscard]] double now() const noexcept { return now_; }
 
-  /// Schedules `action` to run `delay` seconds from now.
-  /// Throws std::invalid_argument for negative or non-finite delay.
-  void schedule(double delay, Action action);
+  /// Schedules `action` to run `delay` seconds from now; returns a
+  /// handle for cancel(). Throws std::invalid_argument for negative or
+  /// non-finite delay.
+  EventId schedule(double delay, Action action);
+
+  /// Cancels a pending event. Returns true when the event was still
+  /// pending (it will be silently skipped); false when it already fired,
+  /// was already cancelled, or never existed. Cancellation is lazy: the
+  /// tombstone is resolved when the event surfaces at the queue head.
+  bool cancel(EventId id);
 
   /// Runs until the queue drains or `maxEvents` were processed.
-  /// Returns the number of events processed.
+  /// Returns the number of events processed (cancelled events are
+  /// skipped and do not count).
   std::size_t run(std::size_t maxEvents = static_cast<std::size_t>(-1));
 
-  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] bool empty() const noexcept {
+    return queue_.size() == cancelled_.size();
+  }
 
   /// Events processed over the simulator's lifetime (all run() calls).
   [[nodiscard]] std::uint64_t eventsProcessed() const noexcept {
     return eventsProcessed_;
+  }
+  /// Events cancelled over the simulator's lifetime.
+  [[nodiscard]] std::uint64_t eventsCancelled() const noexcept {
+    return eventsCancelled_;
   }
   /// Largest event-queue depth ever observed (updated on schedule()).
   [[nodiscard]] std::size_t queueHighWater() const noexcept {
     return queueHighWater_;
   }
 
-  /// Bumps "des.events_processed" / sets gauge "des.queue_high_water".
+  /// Bumps "des.events_processed" / "des.events_cancelled" and sets
+  /// gauge "des.queue_high_water".
   void exportMetrics(obs::Registry& out) const;
 
  private:
   struct Event {
     double time;
-    std::uint64_t seq;
+    EventId seq;
     Action action;
   };
+  /// Min-heap order: earliest time first, lowest sequence number (FIFO)
+  /// on equal times. Written as the std::push_heap "less" comparator,
+  /// i.e. true when `a` should surface *after* `b`.
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
       return a.time > b.time || (a.time == b.time && a.seq > b.seq);
@@ -61,10 +89,16 @@ class Simulator {
   };
 
   double now_ = 0.0;
-  std::uint64_t nextSeq_ = 0;
+  EventId nextSeq_ = 0;
   std::uint64_t eventsProcessed_ = 0;
+  std::uint64_t eventsCancelled_ = 0;
   std::size_t queueHighWater_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Manual heap (std::push_heap/pop_heap over a vector) instead of
+  // std::priority_queue: the top element can be moved out before pop —
+  // no copy of the stored std::function per event — and cancelled
+  // entries can be dropped as they surface.
+  std::vector<Event> queue_;
+  std::unordered_set<EventId> cancelled_;
 };
 
 /// A single-server FIFO resource (a machine or a network link). Jobs are

@@ -1,0 +1,97 @@
+#include "fault/degraded.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "radius/fepia.hpp"
+#include "radius/merge.hpp"
+
+namespace fepia::fault {
+
+validate::EstimatorOptions desEstimatorOptions(validate::EstimatorOptions base,
+                                               bool explicitDirections) {
+  if (!explicitDirections) base.directions = 64;
+  base.chunkSize = std::min(base.chunkSize, std::size_t{8});
+  base.horizon = 4.0;   // relative coordinates; pi < 0 beyond 1
+  base.polishSweeps = 12;  // each classification is a full DES run
+  return base;
+}
+
+DegradedEstimate estimateDegradedRadius(const hiperd::ReferenceSystem& ref,
+                                        const std::vector<FaultPlan>& scenarios,
+                                        const validate::EstimatorOptions& estimator,
+                                        const DegradedOptions& opts,
+                                        parallel::ThreadPool* pool) {
+  // Analytic side: the normalized-by-original merged analysis, exactly as
+  // `validate --des` builds it, supplies rho and the P-space map of the
+  // critical feature.
+  const radius::FepiaProblem mixed =
+      ref.system.executionMessageProblem(ref.qos);
+  const radius::MergedAnalysis analysis =
+      mixed.merged(radius::MergeScheme::NormalizedByOriginal);
+  const auto& rep = analysis.report();
+  const radius::DiagonalMap map(rep.features[rep.criticalFeature].mapWeights);
+
+  DegradedEstimate out;
+  out.analyticRho = rep.rho;
+  out.criticalFeature = rep.features[rep.criticalFeature].featureName;
+
+  // One injector per scenario, validated up front. An empty plan maps to
+  // a null injector so the simulation takes the exact fault-free path.
+  std::vector<std::unique_ptr<PlanInjector>> injectors;
+  injectors.reserve(scenarios.size());
+  for (const FaultPlan& plan : scenarios) {
+    injectors.push_back(plan.empty()
+                            ? nullptr
+                            : std::make_unique<PlanInjector>(plan, ref.system));
+  }
+  const auto injectorFor = [&](std::size_t direction) -> const des::FaultInjector* {
+    if (injectors.empty()) return nullptr;
+    return injectors[direction % injectors.size()].get();
+  };
+
+  // Joint-space membership: map the P-space probe back to an
+  // (execution times ⋆ message sizes) operating point and simulate it
+  // with the probe direction's fault scenario active.
+  const validate::IndexedSafePredicate safe = [&](const la::Vector& P,
+                                                  std::size_t direction) {
+    const la::Vector pi = map.fromP(P);
+    for (const double x : pi) {
+      if (x < 0.0) return false;  // unphysical operating point
+    }
+    const auto parts = mixed.space().split(pi);
+    des::PipelineOptions desOpts;
+    desOpts.generations = opts.generations;
+    desOpts.faults = injectorFor(direction);
+    return des::simulatePipeline(ref.system, parts[0], parts[1],
+                                 ref.qos.minThroughput, desOpts)
+        .satisfies(ref.qos.maxLatencySeconds);
+  };
+
+  // Nominal run: scenario 0 at the unperturbed operating point. This is
+  // the same evaluation the estimator's origin check performs, so when
+  // it fails the degraded radius is zero by definition — report that
+  // instead of tripping the estimator's domain_error.
+  {
+    const la::Vector pOrig = map.toP(mixed.space().concatenatedOriginal());
+    const la::Vector pi0 = map.fromP(pOrig);
+    const auto parts = mixed.space().split(pi0);
+    des::PipelineOptions desOpts;
+    desOpts.generations = opts.generations;
+    desOpts.faults = injectorFor(0);
+    out.nominal = des::simulatePipeline(ref.system, parts[0], parts[1],
+                                        ref.qos.minThroughput, desOpts);
+    out.nominalSatisfies = out.nominal.satisfies(ref.qos.maxLatencySeconds);
+    if (!out.nominalSatisfies) {
+      out.degraded.radius = 0.0;
+      out.degraded.ci = stats::Interval{0.0, 0.0};
+      return out;
+    }
+    const validate::EstimatorOptions est =
+        desEstimatorOptions(estimator, opts.explicitDirections);
+    out.degraded = validate::estimateEmpiricalRadius(safe, pOrig, est, pool);
+  }
+  return out;
+}
+
+}  // namespace fepia::fault

@@ -26,6 +26,8 @@
 #include "des/pipeline.hpp"
 #include "des/simulator.hpp"
 #include "etc/etc.hpp"
+#include "fault/degraded.hpp"
+#include "fault/plan.hpp"
 #include "feature/feature.hpp"
 #include "feature/generic.hpp"
 #include "feature/linear.hpp"

@@ -1,0 +1,43 @@
+#include "io/parse.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace fepia::io {
+
+std::optional<double> parseFiniteDouble(const std::string& token) noexcept {
+  if (token.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return std::nullopt;
+  if (errno == ERANGE && !std::isfinite(v)) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint64_t> parseUint64(const std::string& token) noexcept {
+  if (token.empty()) return std::nullopt;
+  // strtoull silently negates "-1"; a leading sign is never a valid
+  // count/seed here. Leading whitespace would also be skipped silently.
+  const unsigned char first = static_cast<unsigned char>(token.front());
+  if (token.front() == '-' || token.front() == '+' || std::isspace(first)) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 0);
+  if (end != token.c_str() + token.size()) return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<std::uint64_t> parseUint64AtMost(const std::string& token,
+                                               std::uint64_t maxValue) noexcept {
+  const std::optional<std::uint64_t> v = parseUint64(token);
+  if (!v.has_value() || *v > maxValue) return std::nullopt;
+  return v;
+}
+
+}  // namespace fepia::io

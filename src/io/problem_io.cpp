@@ -4,11 +4,13 @@
 #include <fstream>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <vector>
 
 #include "feature/linear.hpp"
+#include "io/parse.hpp"
 
 namespace fepia::io {
 
@@ -44,22 +46,15 @@ std::vector<std::string> tokenize(const std::string& line) {
   return out;
 }
 
+// Full-token finite parse via the shared io/parse helper: "1.5x" and
+// "nan"/"inf" are rejected (unbounded sides are spelled with the
+// upper/lower directives, never with a literal inf).
 double parseNumber(const std::string& token, std::size_t lineNo) {
-  double v = 0.0;
-  try {
-    std::size_t used = 0;
-    v = std::stod(token, &used);
-    if (used != token.size()) throw std::invalid_argument("trailing chars");
-  } catch (const std::exception&) {
-    throw ParseError(lineNo, "expected a number, got '" + token + "'");
+  const std::optional<double> v = parseFiniteDouble(token);
+  if (!v.has_value()) {
+    throw ParseError(lineNo, "expected a finite number, got '" + token + "'");
   }
-  // stod accepts "nan"/"inf"; neither is a meaningful original value,
-  // coefficient or bound in the file format (unbounded sides are spelled
-  // with the upper/lower directives).
-  if (!std::isfinite(v)) {
-    throw ParseError(lineNo, "non-finite value '" + token + "' not allowed");
-  }
-  return v;
+  return *v;
 }
 
 }  // namespace

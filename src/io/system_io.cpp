@@ -3,8 +3,11 @@
 #include <cmath>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <vector>
+
+#include "io/parse.hpp"
 
 namespace fepia::io {
 
@@ -40,21 +43,15 @@ std::vector<std::string> tokenizeLine(const std::string& line,
   return out;
 }
 
+// Full-token finite parse via the shared io/parse helper: "1.0abc" and
+// "nan"/"inf" are rejected — no load, bandwidth, time or size in a
+// system file is legitimately non-finite or junk-suffixed.
 double number(const std::string& token, std::size_t lineNo) {
-  double v = 0.0;
-  try {
-    std::size_t used = 0;
-    v = std::stod(token, &used);
-    if (used != token.size()) throw std::invalid_argument("trailing");
-  } catch (const std::exception&) {
-    throw ParseError(lineNo, "expected a number, got '" + token + "'");
+  const std::optional<double> v = parseFiniteDouble(token);
+  if (!v.has_value()) {
+    throw ParseError(lineNo, "expected a finite number, got '" + token + "'");
   }
-  // stod accepts "nan"/"inf"; no load, bandwidth, time or size in a
-  // system file is legitimately non-finite.
-  if (!std::isfinite(v)) {
-    throw ParseError(lineNo, "non-finite value '" + token + "' not allowed");
-  }
-  return v;
+  return *v;
 }
 
 /// Inserts name -> index, rejecting redefinitions: silently overwriting

@@ -34,7 +34,8 @@ void checkOptions(const EstimatorOptions& opts) {
 /// stays safe. Rays that leave and re-enter the safe region below the
 /// march resolution are attributed to the first crossing the march sees
 /// (the same caveat as any sampling method on a non-convex region).
-double boundaryDistanceAlong(const SafePredicate& safe, const la::Vector& origin,
+double boundaryDistanceAlong(const IndexedSafePredicate& safe,
+                             std::size_t direction, const la::Vector& origin,
                              const std::vector<double>& u,
                              const EstimatorOptions& opts, la::Vector& probe,
                              std::size_t& evals) {
@@ -42,7 +43,7 @@ double boundaryDistanceAlong(const SafePredicate& safe, const la::Vector& origin
   const auto isSafeAt = [&](double t) {
     for (std::size_t i = 0; i < n; ++i) probe[i] = origin[i] + t * u[i];
     ++evals;
-    return safe(probe);
+    return safe(probe, direction);
   };
 
   double lo = 0.0;  // known safe (origin checked by the caller)
@@ -128,10 +129,10 @@ stats::Interval minimumCI(const std::vector<double>& finite, double m,
 /// renormalise, keep strict improvements, halve the step on a full
 /// sweep without one. Serial by design — runs after the parallel phase,
 /// so it cannot affect the thread-count invariance.
-double polishDirection(const SafePredicate& safe, const la::Vector& origin,
-                       std::vector<double> u, double d0,
-                       const EstimatorOptions& opts, la::Vector& probe,
-                       std::size_t& evals) {
+double polishDirection(const IndexedSafePredicate& safe, std::size_t direction,
+                       const la::Vector& origin, std::vector<double> u,
+                       double d0, const EstimatorOptions& opts,
+                       la::Vector& probe, std::size_t& evals) {
   const std::size_t n = u.size();
   double best = d0;
   double step = 0.25;
@@ -149,8 +150,8 @@ double polishDirection(const SafePredicate& safe, const la::Vector& origin,
         if (!(norm2 > 0.0)) continue;
         const double inv = 1.0 / std::sqrt(norm2);
         for (double& x : v) x *= inv;
-        const double d = boundaryDistanceAlong(safe, origin, v, opts, probe,
-                                               evals);
+        const double d = boundaryDistanceAlong(safe, direction, origin, v,
+                                               opts, probe, evals);
         if (d < best) {
           best = d;
           u = v;
@@ -169,6 +170,19 @@ EmpiricalEstimate estimateEmpiricalRadius(const SafePredicate& safe,
                                           const la::Vector& origin,
                                           const EstimatorOptions& opts,
                                           parallel::ThreadPool* pool) {
+  if (!safe) {
+    throw std::invalid_argument("validate: null safe predicate");
+  }
+  return estimateEmpiricalRadius(
+      IndexedSafePredicate(
+          [&safe](const la::Vector& pi, std::size_t) { return safe(pi); }),
+      origin, opts, pool);
+}
+
+EmpiricalEstimate estimateEmpiricalRadius(const IndexedSafePredicate& safe,
+                                          const la::Vector& origin,
+                                          const EstimatorOptions& opts,
+                                          parallel::ThreadPool* pool) {
   checkOptions(opts);
   if (!safe) {
     throw std::invalid_argument("validate: null safe predicate");
@@ -176,7 +190,7 @@ EmpiricalEstimate estimateEmpiricalRadius(const SafePredicate& safe,
   if (origin.empty()) {
     throw std::invalid_argument("validate: empty origin");
   }
-  if (!safe(origin)) {
+  if (!safe(origin, 0)) {
     throw std::domain_error(
         "validate: the origin violates the robustness requirement (the paper "
         "assumes the assumed operating point satisfies QoS)");
@@ -207,7 +221,8 @@ EmpiricalEstimate estimateEmpiricalRadius(const SafePredicate& safe,
       std::vector<double> u =
           opts.nonnegativeDirections ? rng::unitSphereNonnegative(g, n)
                                      : rng::unitSphere(g, n);
-      distances[i] = boundaryDistanceAlong(safe, origin, u, opts, probe, evals);
+      distances[i] =
+          boundaryDistanceAlong(safe, i, origin, u, opts, probe, evals);
       if (distances[i] < chunkBest) {
         chunkBest = distances[i];
         bestDirPerChunk[c] = std::move(u);
@@ -246,8 +261,9 @@ EmpiricalEstimate estimateEmpiricalRadius(const SafePredicate& safe,
       la::Vector probe(n);
       std::size_t evals = 0;
       est.radius = polishDirection(
-          safe, origin, bestDirPerChunk[est.criticalDirection / opts.chunkSize],
-          est.radius, opts, probe, evals);
+          safe, est.criticalDirection, origin,
+          bestDirPerChunk[est.criticalDirection / opts.chunkSize], est.radius,
+          opts, probe, evals);
       est.classifications += evals;
     }
     est.ci = minimumCI(finite, est.radius, opts);

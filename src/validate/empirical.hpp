@@ -37,6 +37,18 @@ namespace fepia::validate {
 /// only as good as the predicate's.
 using SafePredicate = std::function<bool(const la::Vector&)>;
 
+/// Safe-region membership that also sees the probe-direction index. This
+/// is how discrete scenario dimensions ride along with the continuous
+/// Monte-Carlo sample: a caller can key a deterministic fault scenario
+/// (see fault::estimateDegradedRadius) off the direction id, so the
+/// estimator samples the joint (continuous perturbation x discrete
+/// scenario) space without the estimator knowing about scenarios. Every
+/// evaluation along one ray — march, bisection, and any polish of that
+/// direction — passes the same index; the origin check passes index 0.
+/// Must be deterministic in both arguments.
+using IndexedSafePredicate =
+    std::function<bool(const la::Vector&, std::size_t direction)>;
+
 /// Sampling parameters for the empirical estimator.
 struct EstimatorOptions {
   /// Number of random probe directions (the Monte-Carlo sample size).
@@ -118,6 +130,14 @@ struct EmpiricalEstimate {
 /// assumed operating point satisfies QoS).
 [[nodiscard]] EmpiricalEstimate estimateEmpiricalRadius(
     const SafePredicate& safe, const la::Vector& origin,
+    const EstimatorOptions& opts = {}, parallel::ThreadPool* pool = nullptr);
+
+/// Direction-indexed overload (joint continuous x scenario sampling; see
+/// IndexedSafePredicate). The plain-predicate overload is this one with
+/// the index ignored, so both produce bit-identical results for the same
+/// membership function.
+[[nodiscard]] EmpiricalEstimate estimateEmpiricalRadius(
+    const IndexedSafePredicate& safe, const la::Vector& origin,
     const EstimatorOptions& opts = {}, parallel::ThreadPool* pool = nullptr);
 
 /// Convenience overload: the safe region of a feature set —

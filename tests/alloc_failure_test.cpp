@@ -88,6 +88,61 @@ TEST(AllocFailure, HeterogeneousWorkloadRanking) {
   }
 }
 
+TEST(AllocFailure, MultiFailureRemapsAllStrandedTasks) {
+  const la::Matrix e = uniformEtc();
+  const alloc::Allocation mu({0, 0, 1, 2}, 3);
+  const alloc::Allocation rec = alloc::recoverFromFailures(mu, e, {0, 1});
+  // Only machine 2 survives: everything ends up there.
+  for (std::size_t t = 0; t < mu.taskCount(); ++t) {
+    EXPECT_EQ(rec.machineOf(t), 2u);
+  }
+  EXPECT_DOUBLE_EQ(alloc::makespan(rec, e), 4.0);
+  // Duplicates in the failure set are ignored.
+  const alloc::Allocation dup = alloc::recoverFromFailures(mu, e, {0, 0, 1, 1});
+  EXPECT_EQ(dup.assignment(), rec.assignment());
+}
+
+TEST(AllocFailure, MultiFailureSingletonMatchesSingleFailure) {
+  rng::Xoshiro256StarStar g(17);
+  const la::Matrix e = etcns::generateCvb(24, 4, etcns::CvbParams{}, g);
+  const alloc::Allocation mu = alloc::minMin(e);
+  for (std::size_t m = 0; m < 4; ++m) {
+    EXPECT_EQ(alloc::recoverFromFailures(mu, e, {m}).assignment(),
+              alloc::recoverFromFailure(mu, e, m).assignment());
+  }
+}
+
+TEST(AllocFailure, MultiFailureValidation) {
+  const la::Matrix e = uniformEtc();
+  const alloc::Allocation mu({0, 0, 1, 2}, 3);
+  EXPECT_THROW((void)alloc::recoverFromFailures(mu, e, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)alloc::recoverFromFailures(mu, e, {7}),
+               std::invalid_argument);
+  // All machines failing leaves nothing to fail over to.
+  EXPECT_THROW((void)alloc::recoverFromFailures(mu, e, {0, 1, 2}),
+               std::invalid_argument);
+}
+
+TEST(AllocFailure, FailureSetImpactClassifiesAgainstTau) {
+  const la::Matrix e = uniformEtc();
+  const alloc::Allocation mu({0, 0, 1, 2}, 3);
+  // Losing machines 0 and 1 piles four unit tasks on machine 2.
+  const alloc::FailureSetImpact hit =
+      alloc::evaluateFailureSet(mu, e, {1, 0, 1}, 4.5);
+  EXPECT_EQ(hit.failedMachines, (std::vector<std::size_t>{0, 1}));
+  EXPECT_TRUE(hit.recoverable);
+  EXPECT_DOUBLE_EQ(hit.makespanAfter, 4.0);
+  EXPECT_GT(hit.rhoAfter, 0.0);
+  EXPECT_TRUE(alloc::survivesFailures(mu, e, {0, 1}, 4.5));
+
+  const alloc::FailureSetImpact broken =
+      alloc::evaluateFailureSet(mu, e, {0, 1}, 3.5);
+  EXPECT_FALSE(broken.recoverable);
+  EXPECT_DOUBLE_EQ(broken.rhoAfter, 0.0);
+  EXPECT_FALSE(alloc::survivesFailures(mu, e, {0, 1}, 3.5));
+}
+
 TEST(AllocFailure, EmptyMachineFailureIsFree) {
   // A machine with no tasks can fail without moving anything.
   const la::Matrix e = uniformEtc();

@@ -1,0 +1,111 @@
+// Hardening of the fepia_cli argument surface: malformed numeric flag
+// values ("abc", "1.5x", "inf"), malformed fault-spec flags and
+// malformed input files must exit with a one-line usage/parse error and
+// status 1 — never an uncaught exception (which would terminate on a
+// signal). The binary path is injected by CMake via FEPIA_CLI_PATH.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string tmpPath(const std::string& leaf) {
+  return ::testing::TempDir() + leaf;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Runs the CLI, asserting the process exited normally (no signal — an
+/// uncaught exception aborts) and returning its exit status.
+int exitCode(const std::string& args, const std::string& stderrFile = {}) {
+  std::string cmd = std::string(FEPIA_CLI_PATH) + " " + args + " > /dev/null";
+  cmd += " 2> " + (stderrFile.empty() ? std::string("/dev/null") : stderrFile);
+  const int status = std::system(cmd.c_str());
+  EXPECT_TRUE(WIFEXITED(status)) << "CLI killed by signal for: " << args;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// Asserts `args` fails with status 1 and an error naming `expect`.
+void expectParseError(const std::string& args, const std::string& expect) {
+  const std::string err = tmpPath("cli_parse_err.txt");
+  EXPECT_EQ(exitCode(args, err), 1) << args;
+  const std::string text = slurp(err);
+  EXPECT_NE(text.find(expect), std::string::npos)
+      << "stderr for '" << args << "' was: " << text;
+}
+
+}  // namespace
+
+TEST(CliParse, MalformedFlagValuesNameTheFlag) {
+  expectParseError("search --tasks 16 --machines 4 --seed abc",
+                   "bad value for --seed");
+  expectParseError("search --tau-factor inf", "bad value for --tau-factor");
+  expectParseError("search --generations 1.5x", "bad value for --generations");
+  expectParseError("profile --tasks 12.5", "bad value for --tasks");
+  expectParseError("fault-sim --detect nan", "bad value for --detect");
+  expectParseError("fault-sim --samples 1.5x", "bad value for --samples");
+  expectParseError("fault-sim --gens -3", "bad value for --gens");
+}
+
+TEST(CliParse, MalformedValidateFlagsExitOne) {
+  // validate parses its flags before touching the input file, so the
+  // flag error must win even with a nonexistent file.
+  expectParseError("validate /nonexistent.fepia --samples abc",
+                   "bad value for --samples");
+  expectParseError("validate /nonexistent.fepia --seed 0x",
+                   "bad value for --seed");
+}
+
+TEST(CliParse, MalformedCheckListExitsOne) {
+  expectParseError("/nonexistent.fepia --check 1.0,2.0x", "--check");
+}
+
+TEST(CliParse, MalformedFaultSpecsExitOne) {
+  expectParseError("fault-sim --crash banana", "--crash");
+  expectParseError("fault-sim --crash 0", "--crash");        // missing time
+  expectParseError("fault-sim --crash 0:1.0abc", "--crash"); // partial token
+  expectParseError("fault-sim --loss 0", "--loss");          // missing p
+  expectParseError("fault-sim --slow machine:0:1.0", "--slow");
+  expectParseError("fault-sim --slow turbo:0:1.0:2.0:2.0", "--slow");
+}
+
+TEST(CliParse, OutOfRangeFaultSpecsExitOne) {
+  // Well-formed numbers, invalid against the system: the plan validator
+  // must reject them with a clean error, not a crash mid-simulation.
+  expectParseError("fault-sim --crash 99:1.0", "machine");
+  expectParseError("fault-sim --loss 0:1.5", "probability");
+}
+
+TEST(CliParse, MalformedSystemFileExitsOne) {
+  const std::string sys = tmpPath("cli_parse_bad.hiperd");
+  std::ofstream(sys) << "sensor s1 10abc\n";
+  expectParseError("fault-sim --hiperd " + sys + " --no-faults", "line 1");
+  expectParseError("validate --hiperd " + sys, "line 1");
+}
+
+TEST(CliParse, UnknownFlagPrintsUsage) {
+  expectParseError("fault-sim --frobnicate", "usage:");
+  expectParseError("search --frobnicate", "usage:");
+}
+
+TEST(CliParse, ValidFaultSimRunExitsZero) {
+  // A healthy fault-free run exits 0 and writes the JSON document.
+  const std::string out = tmpPath("cli_parse_faultsim.json");
+  EXPECT_EQ(exitCode("fault-sim --no-faults --samples 4 --gens 40 --json " +
+                     out),
+            0);
+  const std::string doc = slurp(out);
+  for (const char* key : {"\"degraded\"", "\"nominal\"", "\"analytic\""}) {
+    EXPECT_NE(doc.find(key), std::string::npos) << "missing: " << key;
+  }
+}

@@ -31,6 +31,63 @@ TEST(DesSimulator, EqualTimesFifoBySchedulingOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+TEST(DesSimulator, ManySameTimeEventsExecuteInSchedulingOrder) {
+  // Regression for the equal-timestamp ordering contract: a burst of
+  // same-instant events (the shape fault injection produces around a
+  // crash) must fire exactly in scheduling order, not in any
+  // heap-internal order. Interleaved earlier/later events must not
+  // disturb the FIFO ordering of the tied group.
+  des::Simulator sim;
+  std::vector<int> order;
+  constexpr int kN = 64;
+  for (int i = 0; i < kN; ++i) {
+    sim.schedule(5.0, [&order, i] { order.push_back(i); });
+    if (i % 7 == 0) sim.schedule(1.0, [] {});
+    if (i % 5 == 0) sim.schedule(9.0, [] {});
+  }
+  sim.run();
+  std::vector<int> expected(kN);
+  for (int i = 0; i < kN; ++i) expected[i] = i;
+  EXPECT_EQ(order, expected);
+}
+
+TEST(DesSimulator, SameTimeEventsScheduledFromHandlersFifoToo) {
+  // Events scheduled *during* a same-instant cascade join the back of
+  // the FIFO for that instant.
+  des::Simulator sim;
+  std::vector<int> order;
+  sim.schedule(1.0, [&] {
+    order.push_back(0);
+    sim.schedule(0.0, [&] { order.push_back(2); });
+  });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DesSimulator, CancelPendingEventSkipsIt) {
+  des::Simulator sim;
+  std::vector<int> order;
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  const des::EventId doomed = sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  EXPECT_TRUE(sim.cancel(doomed));
+  EXPECT_FALSE(sim.cancel(doomed));  // double cancel
+  EXPECT_EQ(sim.run(), 2u);          // cancelled events do not count
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(sim.eventsCancelled(), 1u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(DesSimulator, CancelFiredOrUnknownEventReturnsFalse) {
+  des::Simulator sim;
+  const des::EventId fired = sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(fired));       // already fired
+  EXPECT_FALSE(sim.cancel(fired + 10));  // never scheduled
+  EXPECT_EQ(sim.eventsCancelled(), 0u);
+}
+
 TEST(DesSimulator, NestedScheduling) {
   des::Simulator sim;
   double innerTime = -1.0;

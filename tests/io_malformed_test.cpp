@@ -95,6 +95,18 @@ TEST(ProblemIoMalformed, GarbageNumbersAndDirectives) {
                      1);
 }
 
+TEST(ProblemIoMalformed, PartialNumericTokensRejected) {
+  // std::stod would happily parse the leading "1.0" of "1.0abc" and drop
+  // the tail; the checked parser must reject any token with trailing
+  // garbage, everywhere a number is expected.
+  expectProblemError("kind k s 1.0abc\nfeature f upper 2.0 coeff 1.0\n", 1);
+  expectProblemError("kind k s 1.0\nfeature f upper 2.0abc coeff 1.0\n", 2);
+  expectProblemError("kind k s 1.0\nfeature f upper 2.0 coeff 1.5x\n", 2);
+  expectProblemError(
+      "kind k s 1.0\nfeature f upper 2.0 coeff 1.0 offset 3.0e\n", 2);
+  expectProblemError("kind k s .\nfeature f upper 2.0 coeff 1.0\n", 1);
+}
+
 TEST(ProblemIoMalformed, MissingFileThrowsRuntimeError) {
   EXPECT_THROW((void)io::loadProblem("/nonexistent/path.fepia"),
                std::runtime_error);
@@ -113,6 +125,14 @@ TEST(SystemIoMalformed, TruncatedEntityLines) {
       "sensor s1 10\nmachine m1\napp a1 m1 0.5 coeff 0.1\nqos 1\n", 4);
   // Truncated file: qos line never arrives.
   expectSystemError("sensor s1 10\nmachine m1\napp a1 m1 0.5 coeff 0.1\n", 3);
+}
+
+TEST(SystemIoMalformed, PartialNumericTokensRejected) {
+  expectSystemError("sensor s1 10abc\n", 1);
+  expectSystemError("sensor s1 10\nmachine m1\nlink l1 1e6x\n", 3);
+  expectSystemError("sensor s1 10\nmachine m1\napp a1 m1 0.5y coeff 0.1\n", 3);
+  expectSystemError(
+      "sensor s1 10\nmachine m1\napp a1 m1 0.5 coeff 0.1\nqos 1 5.0.0\n", 4);
 }
 
 TEST(SystemIoMalformed, NonFiniteValuesRejected) {

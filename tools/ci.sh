@@ -45,6 +45,47 @@ if not d["engine_runs_identical"]:
 print("bench_search smoke OK")
 EOF
 
+    echo "=== [$cfg] bench_fault_injection smoke ==="
+    fault_json=build/BENCH_fault_smoke.json
+    FEPIA_BENCH_SMOKE=1 FEPIA_BENCH_JSON="$fault_json" \
+      ./build/bench/bench_fault_injection --benchmark_filter=NONE
+    python3 tools/check_bench_json.py "$fault_json" \
+      tools/schemas/bench_fault.schema.json
+    python3 - "$fault_json" <<'EOF2'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+if not d["degraded_runs_identical"]:
+    sys.exit("bench_fault_injection: degraded estimates differ across thread counts")
+print("bench_fault_injection smoke OK")
+EOF2
+
+    # Fault-sim smoke: the degraded radius of the fault-free scenario
+    # must reproduce the plain DES cross-check bit-for-bit at any thread
+    # count (results compared minus the manifest and the echoed thread
+    # count, which legitimately differ between runs).
+    echo "=== [$cfg] fepia_cli fault-sim smoke ==="
+    ./build/tools/fepia_cli fault-sim --samples 8 --seed 7 \
+      --json build/fault_sim_smoke.json >/dev/null
+    python3 tools/check_bench_json.py build/fault_sim_smoke.json \
+      tools/schemas/fault_sim.schema.json
+    ./build/tools/fepia_cli fault-sim --no-faults --samples 8 --gens 60 \
+      --threads 2 --json build/fault_sim_t2.json >/dev/null
+    ./build/tools/fepia_cli fault-sim --no-faults --samples 8 --gens 60 \
+      --threads 8 --json build/fault_sim_t8.json >/dev/null
+    python3 - build/fault_sim_t2.json build/fault_sim_t8.json <<'EOF2'
+import json, sys
+docs = []
+for path in sys.argv[1:3]:
+    with open(path) as f:
+        d = json.load(f)
+    d.pop("manifest")
+    d["config"].pop("threads")
+    docs.append(d)
+assert docs[0] == docs[1], "fault-sim results differ across thread counts"
+print("fepia_cli fault-sim smoke OK")
+EOF2
+
     echo "=== [$cfg] bench_empirical_radius smoke ==="
     val_json=build/BENCH_validation_smoke.json
     FEPIA_BENCH_SMOKE=1 FEPIA_BENCH_JSON="$val_json" \
@@ -79,6 +120,13 @@ EOF
     python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
       build-asan/profile_smoke_trace.json
     echo "fepia_cli profile smoke OK"
+
+    # One fault-injected run under the sanitizers: crash failover, loss
+    # retry and the degraded-radius estimator in one process.
+    echo "=== [$cfg] fepia_cli fault-sim smoke (asan-ubsan) ==="
+    ./build-asan/tools/fepia_cli fault-sim --samples 4 --seed 7 \
+      --threads 2 >/dev/null
+    echo "fepia_cli fault-sim asan smoke OK"
   fi
 done
 echo "CI OK"

@@ -6,6 +6,7 @@
 //   fepia_cli validate <problem-file> [options]
 //   fepia_cli validate --hiperd <system-file> [--des] [options]
 //   fepia_cli search [options]
+//   fepia_cli fault-sim [options]
 //
 // Options (problem-file mode):
 //   --scheme normalized|sensitivity|both   merge scheme(s) (default both)
@@ -46,10 +47,20 @@
 //                                          simulation instead of the
 //                                          analytic feature stack
 //
+// fault-sim mode simulates the pipeline under a fault plan — machine
+// crashes survived by failover to a backup, transient slowdowns, message
+// loss retried with capped exponential backoff (see src/fault and
+// docs/robustness.md) — and reports the degraded-mode empirical
+// robustness radius next to the analytic rho. The plan is sampled from
+// --seed unless given explicitly via --crash/--slow/--loss; --no-faults
+// reproduces the `validate --des` cross-check bit-for-bit. Results are
+// bit-identical for a fixed --seed at any --threads value.
+//
 // Exit status: 0 on success (and, with --check, when the point is
 // tolerated; with validate, when every analytic radius falls inside its
-// empirical CI), 2 when a --check point is not tolerated or a validation
-// row disagrees, 1 on errors.
+// empirical CI), 2 when a --check point is not tolerated, a validation
+// row disagrees, or a fault-sim plan already breaks QoS at the operating
+// point, 1 on errors.
 //
 // See src/io/problem_io.hpp for the problem-file format; a worked sample
 // lives at examples/data/streaming_stage.fepia.
@@ -72,7 +83,10 @@
 #include "alloc/search.hpp"
 #include "des/pipeline.hpp"
 #include "etc/etc.hpp"
+#include "fault/degraded.hpp"
+#include "fault/plan.hpp"
 #include "hiperd/factory.hpp"
+#include "io/parse.hpp"
 #include "io/problem_io.hpp"
 #include "io/system_io.hpp"
 #include "obs/clock.hpp"
@@ -119,6 +133,12 @@ int usage(const char* argv0) {
                " [--threads T] [--generations N] [--population N]"
                " [--max-moves N] [--csv] [--json FILE]\n"
             << "       " << argv0
+            << " fault-sim [--hiperd FILE] [--samples N] [--seed S]"
+               " [--threads T] [--scenarios N] [--gens N]"
+               " [--crash M:T[:BACKUP]] [--slow machine|link:IDX:FROM:TO:F]"
+               " [--loss LINK:P] [--detect SEC] [--retries N] [--no-faults]"
+               " [--csv] [--json FILE]\n"
+            << "       " << argv0
             << " profile [--tasks N] [--machines M] [--seed S] [--threads T]\n"
             << "Every subcommand also accepts --trace FILE (write a Chrome"
                " trace-event JSON; load in Perfetto or chrome://tracing) and"
@@ -126,12 +146,39 @@ int usage(const char* argv0) {
   return 1;
 }
 
+/// Checked flag-value parsing. Every numeric argument goes through the
+/// shared io parser (full token, finite, range checked); a bad value
+/// raises std::invalid_argument naming the offending flag, which the
+/// dispatch-level catch turns into a one-line `error:` message and exit
+/// status 1 — never an uncaught std::stod/std::stoull exception.
+double argDouble(const char* flag, const std::string& value) {
+  const std::optional<double> v = io::parseFiniteDouble(value);
+  if (!v.has_value()) {
+    throw std::invalid_argument(std::string("bad value for ") + flag + ": '" +
+                                value + "' (expected a finite number)");
+  }
+  return *v;
+}
+
+std::uint64_t argUint(const char* flag, const std::string& value) {
+  const std::optional<std::uint64_t> v = io::parseUint64(value);
+  if (!v.has_value()) {
+    throw std::invalid_argument(std::string("bad value for ") + flag + ": '" +
+                                value + "' (expected an unsigned integer)");
+  }
+  return *v;
+}
+
+std::size_t argSize(const char* flag, const std::string& value) {
+  return static_cast<std::size_t>(argUint(flag, value));
+}
+
 la::Vector parseValueList(const std::string& csv) {
   la::Vector out;
   std::stringstream ss(csv);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    out.push_back(std::stod(item));
+    out.push_back(argDouble("--check", item));
   }
   return out;
 }
@@ -235,11 +282,11 @@ int runValidateMode(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
       schemeArg = argv[++i];
     } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
-      samples = static_cast<std::size_t>(std::stoull(argv[++i]));
+      samples = argSize("--samples", argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      opts.seed = std::stoull(argv[++i]);
+      opts.seed = argUint("--seed", argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = static_cast<std::size_t>(std::stoull(argv[++i]));
+      threads = argSize("--threads", argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       jsonPath = argv[++i];
     } else if (path.empty() && argv[i][0] != '-') {
@@ -275,40 +322,23 @@ int runValidateMode(int argc, char** argv) {
     misses += emitValidation("scheme: normalized", v.allRows(), csv, jsonRows);
 
     if (des) {
-      // Classify the joint region by simulation: map each normalized
-      // P-space probe back to an (execution times ⋆ message sizes)
-      // operating point and run the queueing model against the QoS.
-      const radius::MergedAnalysis analysis =
-          mixed.merged(radius::MergeScheme::NormalizedByOriginal);
-      const auto& rep = analysis.report();
-      const radius::DiagonalMap map(rep.features[rep.criticalFeature].mapWeights);
-      des::PipelineOptions desOpts;
-      desOpts.generations = 200;  // keep thousands of classifications viable
-      const validate::SafePredicate safe = [&](const la::Vector& P) {
-        const la::Vector pi = map.fromP(P);
-        for (const double x : pi) {
-          if (x < 0.0) return false;  // unphysical operating point
-        }
-        const auto parts = mixed.space().split(pi);
-        return des::simulatePipeline(ref.system, parts[0], parts[1],
-                                     ref.qos.minThroughput, desOpts)
-            .satisfies(ref.qos.maxLatencySeconds);
-      };
-      validate::EstimatorOptions desEst = opts;
-      if (!samples.has_value()) desEst.directions = 64;
-      desEst.chunkSize = std::min(desEst.chunkSize, std::size_t{8});
-      desEst.horizon = 4.0;   // relative coordinates; pi < 0 beyond 1
-      desEst.polishSweeps = 12;  // each classification is a full DES run
-      const la::Vector pOrig = map.toP(mixed.space().concatenatedOriginal());
-      const validate::EmpiricalEstimate est =
-          validate::estimateEmpiricalRadius(safe, pOrig, desEst, pool.get());
+      // Classify the joint region by simulation: the shared degraded-mode
+      // machinery with no fault scenarios is exactly the DES cross-check
+      // (map each normalized P-space probe back to an (execution times ⋆
+      // message sizes) operating point, run the queueing model against
+      // the QoS) — `fault-sim --no-faults` reproduces this bit-for-bit.
+      fault::DegradedOptions dopts;
+      dopts.explicitDirections = samples.has_value();
+      const fault::DegradedEstimate d =
+          fault::estimateDegradedRadius(ref, {}, opts, dopts, pool.get());
       // The DES adds queueing on top of the analytic stage-time model,
       // so its region is a subset and the estimate legitimately comes in
       // below rho: report the row but keep it out of the verdict.
       emitValidation(
           "DES joint region (informational; queueing shrinks the region)",
-          {validate::compare("simulated vs analytic rho", rep.rho, est)}, csv,
-          jsonRows);
+          {validate::compare("simulated vs analytic rho", d.analyticRho,
+                             d.degraded)},
+          csv, jsonRows);
     }
   } else {
     const radius::FepiaProblem problem = io::loadProblem(path);
@@ -355,6 +385,261 @@ std::string jsonNum(double x) {
   return os.str();
 }
 
+/// Splits a colon-separated flag value ("3:12.5:1" -> {"3","12.5","1"}).
+std::vector<std::string> splitColons(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ':')) out.push_back(item);
+  return out;
+}
+
+[[noreturn]] void badSpec(const char* flag, const std::string& value,
+                          const char* expected) {
+  throw std::invalid_argument(std::string("bad value for ") + flag + ": '" +
+                              value + "' (expected " + expected + ")");
+}
+
+/// `fepia_cli fault-sim`: simulate the pipeline under a fault plan
+/// (machine crashes with failover, transient slowdowns, message loss
+/// with retry) and estimate the degraded-mode robustness radius — the
+/// empirical radius of the joint (continuous perturbation x fault
+/// scenario) region — next to the analytic rho.
+int runFaultSimMode(int argc, char** argv) {
+  std::string path;
+  std::optional<std::size_t> samples;
+  std::optional<std::size_t> threads;
+  std::uint64_t seed = 0x5EEDD1CEull;
+  std::size_t scenarios = 1;
+  std::size_t generations = 200;
+  bool noFaults = false;
+  bool csv = false;
+  std::string jsonPath;
+
+  fault::FaultPlan explicitPlan;
+  bool haveExplicit = false;
+  std::optional<double> detect;
+  std::optional<std::size_t> retries;
+
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hiperd") == 0 && i + 1 < argc) {
+      path = argv[++i];
+    } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
+      samples = argSize("--samples", argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = argUint("--seed", argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = argSize("--threads", argv[++i]);
+    } else if (std::strcmp(argv[i], "--scenarios") == 0 && i + 1 < argc) {
+      scenarios = argSize("--scenarios", argv[++i]);
+    } else if (std::strcmp(argv[i], "--gens") == 0 && i + 1 < argc) {
+      generations = argSize("--gens", argv[++i]);
+    } else if (std::strcmp(argv[i], "--crash") == 0 && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const auto parts = splitColons(spec);
+      if (parts.size() != 2 && parts.size() != 3) {
+        badSpec("--crash", spec, "MACHINE:TIME[:BACKUP]");
+      }
+      fault::MachineCrash c;
+      c.machine = argSize("--crash", parts[0]);
+      c.atSeconds = argDouble("--crash", parts[1]);
+      if (parts.size() == 3) c.backup = argSize("--crash", parts[2]);
+      explicitPlan.crashes.push_back(c);
+      haveExplicit = true;
+    } else if (std::strcmp(argv[i], "--slow") == 0 && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const auto parts = splitColons(spec);
+      if (parts.size() != 5 || (parts[0] != "machine" && parts[0] != "link")) {
+        badSpec("--slow", spec, "machine|link:INDEX:FROM:TO:FACTOR");
+      }
+      fault::Slowdown s;
+      s.target = parts[0] == "machine" ? fault::Slowdown::Target::Machine
+                                       : fault::Slowdown::Target::Link;
+      s.index = argSize("--slow", parts[1]);
+      s.fromSeconds = argDouble("--slow", parts[2]);
+      s.toSeconds = argDouble("--slow", parts[3]);
+      s.factor = argDouble("--slow", parts[4]);
+      explicitPlan.slowdowns.push_back(s);
+      haveExplicit = true;
+    } else if (std::strcmp(argv[i], "--loss") == 0 && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const auto parts = splitColons(spec);
+      if (parts.size() != 2) badSpec("--loss", spec, "LINK:PROBABILITY");
+      fault::MessageLoss ml;
+      ml.link = argSize("--loss", parts[0]);
+      ml.probability = argDouble("--loss", parts[1]);
+      explicitPlan.losses.push_back(ml);
+      haveExplicit = true;
+    } else if (std::strcmp(argv[i], "--detect") == 0 && i + 1 < argc) {
+      detect = argDouble("--detect", argv[++i]);
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      retries = argSize("--retries", argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-faults") == 0) {
+      noFaults = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  g_obs.manifest.tool = "fepia_cli fault-sim";
+  g_obs.manifest.seed = seed;
+  g_obs.manifest.threads = threads.value_or(0);
+
+  const hiperd::ReferenceSystem ref =
+      path.empty() ? hiperd::makeReferenceSystem() : io::loadSystem(path);
+
+  // Assemble the scenario list: explicit flags define one plan;
+  // otherwise --scenarios plans are sampled from per-scenario seeds
+  // derived from --seed. --no-faults runs the fault-free cross-check
+  // (identical to `validate --des`).
+  std::vector<fault::FaultPlan> plans;
+  if (!noFaults) {
+    if (haveExplicit) {
+      plans.push_back(explicitPlan);
+    } else {
+      rng::SplitMix64 mixer(seed ^ 0xFA017ull);
+      fault::SamplerOptions sopts;
+      for (std::size_t s = 0; s < scenarios; ++s) {
+        plans.push_back(fault::samplePlan(ref.system, sopts, mixer.next()));
+      }
+    }
+    for (fault::FaultPlan& plan : plans) {
+      if (detect.has_value()) plan.policy.detectionTimeoutSeconds = *detect;
+      if (retries.has_value()) plan.policy.maxRetries = *retries;
+      plan.validateAgainst(ref.system);
+    }
+  }
+
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (threads.has_value()) {
+    pool = std::make_unique<parallel::ThreadPool>(*threads);
+  }
+
+  validate::EstimatorOptions est;
+  est.seed = seed;
+  if (samples.has_value()) est.directions = *samples;
+  est.metrics = &g_obs.registry;
+  fault::DegradedOptions dopts;
+  dopts.generations = generations;
+  dopts.explicitDirections = samples.has_value();
+
+  const fault::DegradedEstimate d =
+      fault::estimateDegradedRadius(ref, plans, est, dopts, pool.get());
+
+  const hiperd::System& sys = ref.system;
+  std::cout << "HiPer-D system: " << sys.machineCount() << " machines, "
+            << sys.linkCount() << " links, " << sys.applicationCount()
+            << " apps, " << sys.messageCount() << " messages\n";
+  std::size_t crashes = 0, slowdowns = 0, losses = 0;
+  for (const fault::FaultPlan& p : plans) {
+    crashes += p.crashes.size();
+    slowdowns += p.slowdowns.size();
+    losses += p.losses.size();
+  }
+  std::cout << "fault scenarios: " << plans.size() << " (" << crashes
+            << " crash(es), " << slowdowns << " slowdown(s), " << losses
+            << " loss rate(s))\n\n";
+
+  const des::FaultCounters& fc = d.nominal.faults;
+  report::Table counters({"counter", "value"});
+  counters.addRow({"failovers", std::to_string(fc.failovers)});
+  counters.addRow({"lost messages", std::to_string(fc.lostMessages)});
+  counters.addRow({"retries", std::to_string(fc.retries)});
+  counters.addRow({"dropped messages", std::to_string(fc.droppedMessages)});
+  counters.addRow({"unrecovered jobs", std::to_string(fc.unrecoveredJobs)});
+  counters.addRow({"downtime (s)", report::num(fc.downtimeSeconds, 6)});
+  counters.addRow({"backoff wait (s)", report::num(fc.backoffWaitSeconds, 6)});
+  std::cout << "nominal run (scenario 0 at the operating point): QoS "
+            << (d.nominalSatisfies ? "satisfied" : "VIOLATED") << "\n";
+  emit(counters, csv);
+
+  report::Table radii({"quantity", "value"});
+  radii.addRow({"analytic rho (" + d.criticalFeature + ")",
+                report::num(d.analyticRho, 8)});
+  radii.addRow({"degraded empirical radius",
+                d.degraded.finite() ? report::num(d.degraded.radius, 8)
+                                    : "inf"});
+  radii.addRow({"CI", "[" + report::num(d.degraded.ci.lo, 8) + ", " +
+                          report::num(d.degraded.ci.hi, 8) + "]"});
+  radii.addRow({"directions", std::to_string(d.degraded.directions)});
+  radii.addRow({"boundary hits", std::to_string(d.degraded.boundaryHits)});
+  radii.addRow({"classifications", std::to_string(d.degraded.classifications)});
+  emit(radii, csv);
+
+  if (pool) pool->exportMetrics(g_obs.registry);
+
+  if (!jsonPath.empty()) {
+    std::ofstream out(jsonPath);
+    if (!out) {
+      std::cerr << "error: cannot write '" << jsonPath << "'\n";
+      return 1;
+    }
+    g_obs.manifest.wallSeconds = g_obs.wall.elapsedSeconds();
+    out << "{\n  \"manifest\": ";
+    g_obs.manifest.writeJson(out);
+    out << ",\n  \"config\": {\"seed\": " << seed << ", \"threads\": "
+        << (threads.has_value() ? std::to_string(*threads) : "null")
+        << ", \"scenarios\": " << plans.size() << ", \"generations\": "
+        << generations << "},\n  \"plan\": {\n    \"crashes\": [";
+    const fault::FaultPlan* p0 = plans.empty() ? nullptr : &plans.front();
+    if (p0 != nullptr) {
+      for (std::size_t i = 0; i < p0->crashes.size(); ++i) {
+        const fault::MachineCrash& c = p0->crashes[i];
+        out << (i ? ", " : "") << "{\"machine\": " << c.machine
+            << ", \"at_seconds\": " << jsonNum(c.atSeconds) << ", \"backup\": "
+            << (c.backup.has_value() ? std::to_string(*c.backup) : "null")
+            << "}";
+      }
+    }
+    out << "],\n    \"slowdowns\": [";
+    if (p0 != nullptr) {
+      for (std::size_t i = 0; i < p0->slowdowns.size(); ++i) {
+        const fault::Slowdown& s = p0->slowdowns[i];
+        out << (i ? ", " : "") << "{\"target\": \""
+            << (s.target == fault::Slowdown::Target::Machine ? "machine"
+                                                             : "link")
+            << "\", \"index\": " << s.index << ", \"from_seconds\": "
+            << jsonNum(s.fromSeconds) << ", \"to_seconds\": "
+            << jsonNum(s.toSeconds) << ", \"factor\": " << jsonNum(s.factor)
+            << "}";
+      }
+    }
+    out << "],\n    \"losses\": [";
+    if (p0 != nullptr) {
+      for (std::size_t i = 0; i < p0->losses.size(); ++i) {
+        out << (i ? ", " : "") << "{\"link\": " << p0->losses[i].link
+            << ", \"probability\": " << jsonNum(p0->losses[i].probability)
+            << "}";
+      }
+    }
+    out << "]\n  },\n  \"nominal\": {\"satisfies\": "
+        << (d.nominalSatisfies ? "true" : "false")
+        << ", \"max_observed_latency\": " << jsonNum(d.nominal.maxObservedLatency)
+        << ", \"throughput_sustained\": "
+        << (d.nominal.throughputSustained ? "true" : "false")
+        << ", \"incomplete_observations\": " << d.nominal.incompleteObservations
+        << ",\n    \"counters\": {\"failovers\": " << fc.failovers
+        << ", \"lost_messages\": " << fc.lostMessages << ", \"retries\": "
+        << fc.retries << ", \"dropped_messages\": " << fc.droppedMessages
+        << ", \"unrecovered_jobs\": " << fc.unrecoveredJobs
+        << ", \"downtime_seconds\": " << jsonNum(fc.downtimeSeconds)
+        << ", \"backoff_wait_seconds\": " << jsonNum(fc.backoffWaitSeconds)
+        << "}},\n  \"degraded\": {\"radius\": " << jsonNum(d.degraded.radius)
+        << ", \"ci_lo\": " << jsonNum(d.degraded.ci.lo) << ", \"ci_hi\": "
+        << jsonNum(d.degraded.ci.hi) << ", \"directions\": "
+        << d.degraded.directions << ", \"boundary_hits\": "
+        << d.degraded.boundaryHits << ", \"classifications\": "
+        << d.degraded.classifications << "},\n  \"analytic\": {\"rho\": "
+        << jsonNum(d.analyticRho) << ", \"critical_feature\": \""
+        << d.criticalFeature << "\"}\n}\n";
+  }
+  return d.nominalSatisfies ? 0 : 2;
+}
+
 int runSearchMode(int argc, char** argv) {
   std::size_t tasks = 128;
   std::size_t machines = 8;
@@ -369,9 +654,9 @@ int runSearchMode(int argc, char** argv) {
 
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tasks") == 0 && i + 1 < argc) {
-      tasks = static_cast<std::size_t>(std::stoull(argv[++i]));
+      tasks = argSize("--tasks", argv[++i]);
     } else if (std::strcmp(argv[i], "--machines") == 0 && i + 1 < argc) {
-      machines = static_cast<std::size_t>(std::stoull(argv[++i]));
+      machines = argSize("--machines", argv[++i]);
     } else if (std::strcmp(argv[i], "--het") == 0 && i + 1 < argc) {
       const std::string h = argv[++i];
       if (h == "hi-hi") het = etc::Heterogeneity::HiHi;
@@ -380,17 +665,17 @@ int runSearchMode(int argc, char** argv) {
       else if (h == "lo-lo") het = etc::Heterogeneity::LoLo;
       else return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--tau-factor") == 0 && i + 1 < argc) {
-      tauFactor = std::stod(argv[++i]);
+      tauFactor = argDouble("--tau-factor", argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = std::stoull(argv[++i]);
+      seed = argUint("--seed", argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = static_cast<std::size_t>(std::stoull(argv[++i]));
+      threads = argSize("--threads", argv[++i]);
     } else if (std::strcmp(argv[i], "--generations") == 0 && i + 1 < argc) {
-      gaOpts.generations = static_cast<std::size_t>(std::stoull(argv[++i]));
+      gaOpts.generations = argSize("--generations", argv[++i]);
     } else if (std::strcmp(argv[i], "--population") == 0 && i + 1 < argc) {
-      gaOpts.populationSize = static_cast<std::size_t>(std::stoull(argv[++i]));
+      gaOpts.populationSize = argSize("--population", argv[++i]);
     } else if (std::strcmp(argv[i], "--max-moves") == 0 && i + 1 < argc) {
-      maxMoves = static_cast<std::size_t>(std::stoull(argv[++i]));
+      maxMoves = argSize("--max-moves", argv[++i]);
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -572,13 +857,13 @@ int runProfileMode(int argc, char** argv) {
 
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tasks") == 0 && i + 1 < argc) {
-      tasks = static_cast<std::size_t>(std::stoull(argv[++i]));
+      tasks = argSize("--tasks", argv[++i]);
     } else if (std::strcmp(argv[i], "--machines") == 0 && i + 1 < argc) {
-      machines = static_cast<std::size_t>(std::stoull(argv[++i]));
+      machines = argSize("--machines", argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = std::stoull(argv[++i]);
+      seed = argUint("--seed", argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = static_cast<std::size_t>(std::stoull(argv[++i]));
+      threads = argSize("--threads", argv[++i]);
     } else {
       return usage(argv[0]);
     }
@@ -684,6 +969,15 @@ int dispatch(int argc, char** argv) {
   if (std::strcmp(argv[1], "search") == 0) {
     try {
       return runSearchMode(argc, argv);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+  }
+
+  if (std::strcmp(argv[1], "fault-sim") == 0) {
+    try {
+      return runFaultSimMode(argc, argv);
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << '\n';
       return 1;
