@@ -1,0 +1,173 @@
+// Experiment SWEEP — throughput and determinism of the sweep
+// orchestrator.
+//
+// One linear (S3.1/S3.2-family) grid with empirical estimation on, run
+// serial and at growing thread counts, plus once with the result cache
+// disabled. Three properties on display: (1) the surface is bit-identical
+// at every thread count, (2) cache-on equals cache-off bit-for-bit (the
+// cache only changes throughput), and (3) the points/sec scaling of
+// shard-level parallelism. Structured results land in BENCH_sweep.json
+// (override with FEPIA_BENCH_JSON).
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fepia.hpp"
+#include "obs/clock.hpp"
+#include "obs/manifest.hpp"
+
+namespace {
+
+using namespace fepia;
+
+obs::RunManifest g_manifest;
+
+bool smokeMode() {
+  const char* env = std::getenv("FEPIA_BENCH_SMOKE");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+sweep::SweepSpec makeSpec(bool smoke) {
+  std::string text = "sweep bench\nworkload linear\n";
+  text += "axis scheme sensitivity normalized\n";
+  text += smoke ? "axis n 2 4\n" : "axis n 2 4 8 16\n";
+  text += "axis beta 1.05 1.5 3.0\n";
+  text += "axis kscale 1.0 100.0\n";
+  text += "empirical on\n";
+  text += smoke ? "samples 8\n" : "samples 32\n";
+  text += "seed 42\nchunk 8\n";
+  return sweep::parseSweepSpecString(text);
+}
+
+struct Run {
+  std::size_t threads = 0;  ///< 0 = serial (no pool)
+  double seconds = 0.0;
+  sweep::SweepSurface surface;
+};
+
+Run timedRun(const sweep::SweepSpec& spec, std::size_t threads,
+             bool cacheEnabled) {
+  Run r;
+  r.threads = threads;
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<parallel::ThreadPool>(threads);
+  sweep::SweepOptions opts;
+  opts.cacheEnabled = cacheEnabled;
+  const obs::Stopwatch sw;
+  r.surface = sweep::runSweep(spec, opts, pool.get());
+  r.seconds = sw.elapsedSeconds();
+  return r;
+}
+
+bool sameSurface(const sweep::SweepSurface& a, const sweep::SweepSurface& b) {
+  if (a.results.size() != b.results.size()) return false;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    if (!sweep::bitIdentical(a.results[i], b.results[i])) return false;
+  }
+  return true;
+}
+
+void printExperiment() {
+  const obs::Stopwatch wall;
+  const bool smoke = smokeMode();
+  const sweep::SweepSpec spec = makeSpec(smoke);
+
+  std::cout << "=== SWEEP: sharded sweep orchestrator throughput ===\n\n"
+            << "linear workload, " << spec.pointCount() << " points in shards"
+            << " of " << spec.chunk << ", empirical on (" << spec.samples
+            << " directions/point)" << (smoke ? "  [smoke mode]" : "")
+            << "\n\n";
+
+  std::vector<Run> runs;
+  runs.push_back(timedRun(spec, 0, true));
+  for (const std::size_t t : smoke ? std::vector<std::size_t>{2}
+                                   : std::vector<std::size_t>{1, 2, 4, 8}) {
+    runs.push_back(timedRun(spec, t, true));
+  }
+  const Run noCache = timedRun(spec, 0, false);
+
+  report::Table table({"threads", "points", "cache hits", "cache misses",
+                       "points/s", "wall (s)"});
+  for (const Run& r : runs) {
+    table.addRow({r.threads == 0 ? "serial" : std::to_string(r.threads),
+                  std::to_string(r.surface.points),
+                  std::to_string(r.surface.cacheHits),
+                  std::to_string(r.surface.cacheMisses),
+                  report::num(r.surface.pointsPerSec, 5),
+                  report::num(r.seconds, 3)});
+  }
+  table.addRow({"serial/no-cache", std::to_string(noCache.surface.points),
+                "0", std::to_string(noCache.surface.cacheMisses),
+                report::num(noCache.surface.pointsPerSec, 5),
+                report::num(noCache.seconds, 3)});
+  table.print(std::cout);
+
+  bool identical = true;
+  for (const Run& r : runs) identical &= sameSurface(r.surface, runs[0].surface);
+  const bool cacheIdentity = sameSurface(noCache.surface, runs[0].surface);
+  std::cout << "\nsurface identical across all thread counts: "
+            << (identical ? "yes" : "NO — determinism contract broken")
+            << "\ncache-off surface identical to cache-on: "
+            << (cacheIdentity ? "yes" : "NO — the cache changed results")
+            << "\n\n";
+
+  const char* env = std::getenv("FEPIA_BENCH_JSON");
+  const std::string jsonPath = env != nullptr ? env : "BENCH_sweep.json";
+  std::ofstream out(jsonPath);
+  if (!out) {
+    std::cerr << "cannot write " << jsonPath << "\n";
+    return;
+  }
+  g_manifest.wallSeconds = wall.elapsedSeconds();
+  out << "{\n  \"bench\": \"sweep\",\n  \"manifest\": ";
+  g_manifest.writeJson(out);
+  out << ",\n  \"smoke\": " << (smoke ? "true" : "false")
+      << ",\n  \"seed\": " << spec.seed
+      << ",\n  \"points\": " << runs[0].surface.points
+      << ",\n  \"surface_identical\": " << (identical ? "true" : "false")
+      << ",\n  \"cache_identity\": " << (cacheIdentity ? "true" : "false")
+      << ",\n  \"cache\": {\"hits\": " << runs[0].surface.cacheHits
+      << ", \"misses\": " << runs[0].surface.cacheMisses
+      << "},\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    out << "    {\"threads\": " << r.threads
+        << ", \"points\": " << r.surface.points
+        << ", \"classifications\": " << r.surface.classifications
+        << ", \"points_per_sec\": " << r.surface.pointsPerSec
+        << ", \"wall_seconds\": " << r.seconds << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << jsonPath << "\n\n";
+}
+
+void BM_SweepLinear(benchmark::State& state) {
+  std::string text =
+      "sweep bm\nworkload linear\naxis scheme normalized\naxis n " +
+      std::to_string(state.range(0)) +
+      "\naxis beta 1.2 1.5 2.0\nseed 42\nchunk 4\n";
+  const sweep::SweepSpec spec = sweep::parseSweepSpecString(text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweep::runSweep(spec).classifications);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(spec.pointCount()));
+}
+BENCHMARK(BM_SweepLinear)->RangeMultiplier(4)->Range(4, 64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_manifest = obs::RunManifest::collect("bench_sweep", argc, argv);
+  printExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

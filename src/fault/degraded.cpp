@@ -62,6 +62,7 @@ DegradedEstimate estimateDegradedRadius(const hiperd::ReferenceSystem& ref,
     const auto parts = mixed.space().split(pi);
     des::PipelineOptions desOpts;
     desOpts.generations = opts.generations;
+    desOpts.serviceJitterCov = opts.serviceJitterCov;
     desOpts.faults = injectorFor(direction);
     return des::simulatePipeline(ref.system, parts[0], parts[1],
                                  ref.qos.minThroughput, desOpts)
@@ -78,6 +79,7 @@ DegradedEstimate estimateDegradedRadius(const hiperd::ReferenceSystem& ref,
     const auto parts = mixed.space().split(pi0);
     des::PipelineOptions desOpts;
     desOpts.generations = opts.generations;
+    desOpts.serviceJitterCov = opts.serviceJitterCov;
     desOpts.faults = injectorFor(0);
     out.nominal = des::simulatePipeline(ref.system, parts[0], parts[1],
                                         ref.qos.minThroughput, desOpts);

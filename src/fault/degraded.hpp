@@ -33,6 +33,10 @@ struct DegradedOptions {
   /// True when the caller chose EstimatorOptions::directions explicitly
   /// (the --samples flag); false applies the --des default of 64.
   bool explicitDirections = false;
+  /// Multiplicative per-job service-time jitter CoV passed through to
+  /// des::PipelineOptions (0 keeps every classification deterministic
+  /// from its operating point alone — the STOCH sweep's knob).
+  double serviceJitterCov = 0.0;
 };
 
 /// Applies the DES-specific estimator tuning of `validate --des` to

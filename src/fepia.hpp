@@ -64,6 +64,10 @@
 #include "stats/correlation.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/ecdf.hpp"
+#include "sweep/engine.hpp"
+#include "sweep/journal.hpp"
+#include "sweep/output.hpp"
+#include "sweep/spec.hpp"
 #include "trace/counters.hpp"
 #include "trace/trace.hpp"
 #include "stats/histogram.hpp"

@@ -1,0 +1,432 @@
+#include "sweep/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "alloc/allocation.hpp"
+#include "alloc/eval_engine.hpp"
+#include "alloc/heuristics.hpp"
+#include "etc/etc.hpp"
+#include "fault/degraded.hpp"
+#include "fault/plan.hpp"
+#include "feature/linear.hpp"
+#include "hiperd/factory.hpp"
+#include "io/system_io.hpp"
+#include "obs/clock.hpp"
+#include "obs/span.hpp"
+#include "radius/closed_forms.hpp"
+#include "radius/fepia.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/journal.hpp"
+#include "validate/scheme.hpp"
+
+namespace fepia::sweep {
+namespace {
+
+// ---- linear workload (the S3.1/S3.2 family) ---------------------------
+
+/// One generated (k, pi^orig) linear instance — shared by every (scheme,
+/// beta) combination over the same (n, kscale, origscale) coordinates.
+struct LinearInstance {
+  la::Vector k;
+  la::Vector orig;
+};
+
+std::shared_ptr<const LinearInstance> makeLinearInstance(
+    std::size_t n, double kScale, double origScale, std::uint64_t seed) {
+  auto inst = std::make_shared<LinearInstance>();
+  inst->k = la::Vector(n);
+  inst->orig = la::Vector(n);
+  rng::Xoshiro256StarStar g(seed);
+  for (std::size_t j = 0; j < n; ++j) {
+    // The generation recipe of bench_sensitivity_invariance: positive
+    // coefficients and originals with controllable scales.
+    inst->k[j] = kScale * rng::uniform(g, 0.1, 3.0);
+    inst->orig[j] = origScale * rng::uniform(g, 0.2, 20.0);
+  }
+  return inst;
+}
+
+radius::FepiaProblem makeLinearProblem(const LinearInstance& inst,
+                                       double beta) {
+  radius::FepiaProblem problem;
+  const std::size_t n = inst.k.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    // Cycling base units makes the kinds deliberately incommensurable —
+    // the mixed-kind setting the merge schemes exist for.
+    problem.addPerturbation(perturb::PerturbationParameter(
+        "pi" + std::to_string(j),
+        units::Unit::base(static_cast<units::Dimension>(j % 4)),
+        la::Vector{inst.orig[j]}));
+  }
+  const auto lin = std::make_shared<feature::LinearFeature>("phi", inst.k);
+  problem.addFeature(lin,
+                     feature::FeatureBounds::upper(beta * lin->evaluate(inst.orig)));
+  return problem;
+}
+
+// ---- alloc workload (the makespan case study) -------------------------
+
+/// One generated ETC matrix plus the MCT reference makespan that anchors
+/// tau — shared by every (heuristic, taufactor) combination.
+struct AllocInstance {
+  la::Matrix etcMatrix{1, 1};
+  double mctMakespan = 0.0;
+};
+
+/// A cached EvalEngine bound to a cached instance. EvalEngine::evaluate
+/// mutates internal state (memo cache), so concurrent shards hitting the
+/// same engine serialize on the box mutex; the instance shared_ptr keeps
+/// the referenced matrix alive for the engine's lifetime.
+struct EngineBox {
+  EngineBox(std::shared_ptr<const AllocInstance> instance, double tau)
+      : inst(std::move(instance)),
+        engine(inst->etcMatrix,
+               alloc::EngineConfig{alloc::EngineObjective::Rho, tau,
+                                   /*cacheCapacity=*/1u << 12,
+                                   /*chunkSize=*/64},
+               nullptr) {}
+
+  std::shared_ptr<const AllocInstance> inst;
+  mutable std::mutex mutex;
+  mutable alloc::EvalEngine engine;
+};
+
+alloc::Heuristic heuristicFromToken(const std::string& token) {
+  for (const alloc::Heuristic h : alloc::allHeuristics()) {
+    if (token == alloc::heuristicName(h)) return h;
+  }
+  throw std::invalid_argument("sweep: unknown heuristic '" + token + "'");
+}
+
+etc::Heterogeneity heterogeneityFromToken(const std::string& token) {
+  for (const etc::Heterogeneity h :
+       {etc::Heterogeneity::HiHi, etc::Heterogeneity::HiLo,
+        etc::Heterogeneity::LoHi, etc::Heterogeneity::LoLo}) {
+    if (token == etc::heterogeneityName(h)) return h;
+  }
+  throw std::invalid_argument("sweep: unknown heterogeneity '" + token + "'");
+}
+
+// ---- hiperd workload (the DES pipeline) -------------------------------
+
+struct HiperdInstance {
+  hiperd::ReferenceSystem ref;
+  double analyticRho = 0.0;
+};
+
+/// Cached empirical estimates carry only what the surface records.
+struct EmpiricalPoint {
+  double radius = 0.0;
+  std::uint64_t classifications = 0;
+};
+
+// ---- the per-point evaluator ------------------------------------------
+
+class Evaluator {
+ public:
+  Evaluator(const SweepSpec& spec, ResultCache& cache)
+      : spec_(spec), cache_(cache) {}
+
+  [[nodiscard]] PointResult evaluate(std::size_t id) const {
+    switch (spec_.workload) {
+      case Workload::Linear: return evaluateLinear(id);
+      case Workload::Alloc: return evaluateAlloc(id);
+      case Workload::Hiperd: return evaluateHiperd(id);
+    }
+    throw std::logic_error("sweep: unknown workload");
+  }
+
+ private:
+  [[nodiscard]] std::string tok(std::size_t id, std::string_view axis) const {
+    return spec_.valueAt(id, axis).token;
+  }
+  [[nodiscard]] double num(std::size_t id, std::string_view axis) const {
+    return spec_.valueAt(id, axis).number;
+  }
+
+  [[nodiscard]] PointResult evaluateLinear(std::size_t id) const {
+    const std::size_t n = static_cast<std::size_t>(num(id, "n"));
+    const double beta = num(id, "beta");
+    const radius::MergeScheme scheme = tok(id, "scheme") == "sensitivity"
+                                           ? radius::MergeScheme::Sensitivity
+                                           : radius::MergeScheme::NormalizedByOriginal;
+    const std::string instKey = "lin;n=" + tok(id, "n") +
+                                ";kscale=" + tok(id, "kscale") +
+                                ";origscale=" + tok(id, "origscale");
+    const std::shared_ptr<const LinearInstance> inst =
+        cache_.get<LinearInstance>(instKey, [&] {
+          return makeLinearInstance(n, num(id, "kscale"), num(id, "origscale"),
+                                    deriveSeed(spec_.seed, instKey));
+        });
+
+    const radius::FepiaProblem problem = makeLinearProblem(*inst, beta);
+    PointResult r;
+    r.analyticRho = problem.rho(scheme);
+    r.closedForm = scheme == radius::MergeScheme::Sensitivity
+                       ? radius::sensitivityLinearRadius(n)
+                       : radius::normalizedLinearRadius(inst->k, inst->orig, beta);
+    r.classifications = 1;
+    if (spec_.empirical) {
+      const std::string empKey = instKey + ";scheme=" + tok(id, "scheme") +
+                                 ";beta=" + tok(id, "beta") +
+                                 ";emp;samples=" + std::to_string(spec_.samples);
+      const std::shared_ptr<const EmpiricalPoint> emp =
+          cache_.get<EmpiricalPoint>(empKey, [&] {
+            validate::EstimatorOptions eo;
+            eo.directions = spec_.samples;
+            eo.seed = deriveSeed(spec_.seed, empKey);
+            const validate::SchemeValidation v =
+                validate::validateMergedScheme(problem, scheme, eo, nullptr);
+            auto p = std::make_shared<EmpiricalPoint>();
+            p->radius = v.rho.empirical.radius;
+            for (const validate::Comparison& row : v.allRows()) {
+              p->classifications += row.empirical.classifications;
+            }
+            return p;
+          });
+      r.empirical = emp->radius;
+      r.classifications += emp->classifications;
+    }
+    return r;
+  }
+
+  [[nodiscard]] PointResult evaluateAlloc(std::size_t id) const {
+    const std::string instKey = "alloc;tasks=" + tok(id, "tasks") +
+                                ";machines=" + tok(id, "machines") +
+                                ";het=" + tok(id, "het");
+    const std::shared_ptr<const AllocInstance> inst =
+        cache_.get<AllocInstance>(instKey, [&] {
+          auto a = std::make_shared<AllocInstance>();
+          rng::Xoshiro256StarStar g(deriveSeed(spec_.seed, instKey));
+          a->etcMatrix = etc::generateCvb(
+              static_cast<std::size_t>(num(id, "tasks")),
+              static_cast<std::size_t>(num(id, "machines")),
+              etc::cvbPreset(heterogeneityFromToken(tok(id, "het"))), g);
+          a->mctMakespan =
+              alloc::makespan(alloc::mct(a->etcMatrix), a->etcMatrix);
+          return a;
+        });
+
+    const std::string muKey = instKey + ";h=" + tok(id, "heuristic");
+    const std::shared_ptr<const alloc::Allocation> mu =
+        cache_.get<alloc::Allocation>(muKey, [&] {
+          return std::make_shared<const alloc::Allocation>(alloc::runHeuristic(
+              heuristicFromToken(tok(id, "heuristic")), inst->etcMatrix));
+        });
+
+    const std::string engineKey = instKey + ";taufactor=" + tok(id, "taufactor");
+    const std::shared_ptr<const EngineBox> box =
+        cache_.get<EngineBox>(engineKey, [&] {
+          return std::make_shared<const EngineBox>(
+              inst, num(id, "taufactor") * inst->mctMakespan);
+        });
+
+    PointResult r;
+    {
+      const std::lock_guard<std::mutex> lock(box->mutex);
+      r.analyticRho = box->engine.evaluate(*mu);
+    }
+    r.makespan = alloc::makespan(*mu, inst->etcMatrix);
+    r.classifications = 1;
+    return r;
+  }
+
+  [[nodiscard]] PointResult evaluateHiperd(std::size_t id) const {
+    const std::string instKey =
+        "hiperd;system=" +
+        (spec_.systemPath.empty() ? std::string("builtin") : spec_.systemPath);
+    const std::shared_ptr<const HiperdInstance> inst =
+        cache_.get<HiperdInstance>(instKey, [&] {
+          auto h = std::make_shared<HiperdInstance>();
+          h->ref = spec_.systemPath.empty() ? hiperd::makeReferenceSystem()
+                                            : io::loadSystem(spec_.systemPath);
+          h->analyticRho =
+              h->ref.system.executionMessageProblem(h->ref.qos)
+                  .rho(radius::MergeScheme::NormalizedByOriginal);
+          return h;
+        });
+
+    PointResult r;
+    r.analyticRho = inst->analyticRho;
+    r.classifications = 1;
+    if (spec_.empirical) {
+      // Independent of jitter/faults/des — one estimate serves the whole
+      // grid (the cache-hit demonstration of docs/sweep.md).
+      const std::string empKey =
+          instKey + ";emp;samples=" + std::to_string(spec_.samples);
+      const std::shared_ptr<const EmpiricalPoint> emp =
+          cache_.get<EmpiricalPoint>(empKey, [&] {
+            const radius::FepiaProblem problem =
+                inst->ref.system.executionMessageProblem(inst->ref.qos);
+            validate::EstimatorOptions eo;
+            eo.directions = spec_.samples;
+            eo.seed = deriveSeed(spec_.seed, empKey);
+            const validate::SchemeValidation v = validate::validateMergedScheme(
+                problem, radius::MergeScheme::NormalizedByOriginal, eo, nullptr);
+            auto p = std::make_shared<EmpiricalPoint>();
+            p->radius = v.rho.empirical.radius;
+            for (const validate::Comparison& row : v.allRows()) {
+              p->classifications += row.empirical.classifications;
+            }
+            return p;
+          });
+      r.empirical = emp->radius;
+      r.classifications += emp->classifications;
+    }
+    if (tok(id, "des") == "on") {
+      const std::string degKey =
+          instKey + ";deg;faults=" + tok(id, "faults") +
+          ";jitter=" + tok(id, "jitter") +
+          ";samples=" + std::to_string(spec_.samples) +
+          ";gens=" + std::to_string(spec_.generations);
+      const std::shared_ptr<const EmpiricalPoint> deg =
+          cache_.get<EmpiricalPoint>(degKey, [&] {
+            std::vector<fault::FaultPlan> plans;
+            if (tok(id, "faults") == "on") {
+              plans.push_back(fault::samplePlan(
+                  inst->ref.system, fault::SamplerOptions{},
+                  deriveSeed(spec_.seed, instKey + ";plan")));
+            }
+            validate::EstimatorOptions eo;
+            eo.directions = spec_.samples;
+            eo.seed = deriveSeed(spec_.seed, degKey);
+            fault::DegradedOptions dopts;
+            dopts.generations = spec_.generations;
+            dopts.explicitDirections = true;
+            dopts.serviceJitterCov = num(id, "jitter");
+            const fault::DegradedEstimate est = fault::estimateDegradedRadius(
+                inst->ref, plans, eo, dopts, nullptr);
+            auto p = std::make_shared<EmpiricalPoint>();
+            p->radius = est.degraded.radius;
+            p->classifications = est.degraded.classifications;
+            return p;
+          });
+      r.degraded = deg->radius;
+      r.classifications += deg->classifications;
+    }
+    return r;
+  }
+
+  const SweepSpec& spec_;
+  ResultCache& cache_;
+};
+
+}  // namespace
+
+SweepSurface runSweep(const SweepSpec& spec, const SweepOptions& opts,
+                      parallel::ThreadPool* pool) {
+  if (opts.resume && opts.journalPath.empty()) {
+    throw std::invalid_argument("sweep: --resume requires a journal");
+  }
+  if (opts.stopAfterShards > 0 && opts.journalPath.empty()) {
+    throw std::invalid_argument(
+        "sweep: stopping early requires a journal (the partial work would "
+        "be lost)");
+  }
+
+  SweepSurface surface;
+  surface.points = spec.pointCount();
+  surface.chunk = opts.chunkOverride > 0 ? opts.chunkOverride : spec.chunk;
+  surface.shards = (surface.points + surface.chunk - 1) / surface.chunk;
+  surface.results.assign(surface.points, PointResult{});
+  surface.computed.assign(surface.points, false);
+
+  std::vector<bool> shardDone(surface.shards, false);
+  if (opts.resume) {
+    const JournalContents replay =
+        readJournal(opts.journalPath, spec.hash(), surface.points,
+                    surface.chunk, surface.shards);
+    for (std::size_t s = 0; s < surface.shards; ++s) {
+      if (!replay.shardDone[s]) continue;
+      shardDone[s] = true;
+      const std::size_t first = s * surface.chunk;
+      const std::size_t last =
+          std::min(first + surface.chunk, surface.points);
+      for (std::size_t id = first; id < last; ++id) {
+        surface.results[id] = replay.results[id];
+        surface.computed[id] = true;
+      }
+    }
+    surface.resumedShards = replay.doneShards;
+  }
+
+  JournalWriter writer;
+  std::mutex journalMutex;
+  if (!opts.journalPath.empty()) {
+    writer.open(opts.journalPath, /*append=*/opts.resume, spec.hash(),
+                surface.points, surface.chunk);
+  }
+
+  std::vector<std::size_t> pending;
+  for (std::size_t s = 0; s < surface.shards; ++s) {
+    if (!shardDone[s]) pending.push_back(s);
+  }
+  const std::size_t totalPending = pending.size();
+  if (opts.stopAfterShards > 0 && pending.size() > opts.stopAfterShards) {
+    pending.resize(opts.stopAfterShards);
+  }
+
+  ResultCache cache(opts.cacheEnabled);
+  const Evaluator evaluator(spec, cache);
+  const obs::Stopwatch sw;
+
+  const auto runShard = [&](std::size_t i) {
+    FEPIA_SPAN("sweep.shard");
+    const std::size_t s = pending[i];
+    const std::size_t first = s * surface.chunk;
+    const std::size_t last = std::min(first + surface.chunk, surface.points);
+    for (std::size_t id = first; id < last; ++id) {
+      surface.results[id] = evaluator.evaluate(id);
+      surface.computed[id] = true;
+    }
+    const std::lock_guard<std::mutex> lock(journalMutex);
+    writer.appendShard(s, first, surface.results.data() + first, last - first);
+  };
+
+  if (pool != nullptr && pending.size() > 1) {
+    parallel::parallelFor(*pool, pending.size(), runShard);
+  } else {
+    for (std::size_t i = 0; i < pending.size(); ++i) runShard(i);
+  }
+
+  surface.wallSeconds = sw.elapsedSeconds();
+  surface.computedShards = pending.size();
+  surface.complete = pending.size() == totalPending;
+  surface.cacheEnabled = cache.enabled();
+  surface.cacheHits = cache.hits();
+  surface.cacheMisses = cache.misses();
+  for (std::size_t id = 0; id < surface.points; ++id) {
+    if (surface.computed[id]) {
+      surface.classifications += surface.results[id].classifications;
+    }
+  }
+  std::size_t computedPoints = 0;
+  for (const std::size_t s : pending) {
+    const std::size_t first = s * surface.chunk;
+    computedPoints += std::min(first + surface.chunk, surface.points) - first;
+  }
+  surface.pointsPerSec = surface.wallSeconds > 0.0
+                             ? static_cast<double>(computedPoints) /
+                                   surface.wallSeconds
+                             : 0.0;
+
+  if (opts.metrics != nullptr) {
+    obs::Registry& reg = *opts.metrics;
+    reg.counters().bump("sweep.points_computed", computedPoints);
+    reg.counters().bump("sweep.shards_computed", surface.computedShards);
+    reg.counters().bump("sweep.shards_resumed", surface.resumedShards);
+    reg.counters().bump("sweep.cache_hits", surface.cacheHits);
+    reg.counters().bump("sweep.cache_misses", surface.cacheMisses);
+    reg.counters().bump("sweep.classifications", surface.classifications);
+    reg.setGauge("sweep.points_per_sec", surface.pointsPerSec);
+  }
+  return surface;
+}
+
+}  // namespace fepia::sweep

@@ -1,0 +1,89 @@
+// Sharded, cached, resumable sweep execution.
+//
+// runSweep evaluates a SweepSpec's grid through the existing stack —
+// radius::FepiaProblem / radius closed forms for the linear family,
+// alloc::EvalEngine for the makespan case study, validate + fault/des
+// for the empirical and degraded radii — with the repo's determinism
+// recipe applied one level up: points are sharded into fixed chunks
+// (shard s covers ids [s*chunk, (s+1)*chunk)), shards fan out across
+// parallel::ThreadPool with every result written to a preallocated slot,
+// and all reductions run in index order after the parallel phase. The
+// thread count changes the wall clock, never a bit of the surface.
+//
+// The inner estimators are always called serially (pool = nullptr):
+// parallel::parallelFor is not reentrant from a worker thread, and
+// shard-level parallelism already saturates the pool.
+//
+// Sub-computations shared between points (generated instances, heuristic
+// allocations, eval engines, empirical estimates at coinciding
+// coordinates) are deduplicated through a content-keyed ResultCache;
+// seeds derive from the same content keys, so cached and recomputed
+// values are bit-identical and the cache is invisible in the results.
+//
+// With a journal path set, every completed shard is appended and flushed
+// (sweep::JournalWriter); `resume` replays done shards and only computes
+// the rest. `stopAfterShards` bounds how many shards one call computes —
+// the CLI's --stop-after, which the tests and CI use to interrupt a
+// sweep at a well-defined point and prove resume byte-identity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sweep/result.hpp"
+#include "sweep/spec.hpp"
+
+namespace fepia::sweep {
+
+/// Execution knobs orthogonal to the spec.
+struct SweepOptions {
+  /// Deduplicate shared sub-computations (off only to prove the cache
+  /// does not change results).
+  bool cacheEnabled = true;
+  /// Checkpoint journal path; empty disables checkpointing.
+  std::string journalPath;
+  /// Replay `journalPath` and skip its committed shards. Requires a
+  /// journal path (std::invalid_argument otherwise); throws
+  /// std::runtime_error when the journal is missing or mismatched.
+  bool resume = false;
+  /// Stop after computing this many shards (0 = no limit); the surface
+  /// comes back with complete == false. Requires a journal, otherwise
+  /// the partial work would be unrecoverable (std::invalid_argument).
+  std::size_t stopAfterShards = 0;
+  /// Overrides the spec's shard size when nonzero.
+  std::size_t chunkOverride = 0;
+  /// Optional metrics sink (sweep.* counters, written after the joins).
+  obs::Registry* metrics = nullptr;
+};
+
+/// A computed (possibly partial) sweep surface.
+struct SweepSurface {
+  std::vector<PointResult> results;  ///< one slot per grid point
+  std::vector<bool> computed;        ///< per point: slot holds a result
+  bool complete = false;
+  std::size_t points = 0;
+  std::size_t chunk = 0;             ///< shard size actually used
+  std::size_t shards = 0;
+  std::size_t resumedShards = 0;     ///< replayed from the journal
+  std::size_t computedShards = 0;    ///< evaluated by this call
+  bool cacheEnabled = true;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t classifications = 0; ///< summed over computed points
+  double wallSeconds = 0.0;
+  double pointsPerSec = 0.0;         ///< computed points / wall
+};
+
+/// Evaluates `spec` under `opts`. Deterministic: for a fixed spec the
+/// surface is bit-identical at any thread count, with or without the
+/// cache, and whether computed cold or across checkpoint/resume cycles.
+/// Throws std::invalid_argument on inconsistent options and propagates
+/// spec/system/journal errors.
+[[nodiscard]] SweepSurface runSweep(const SweepSpec& spec,
+                                    const SweepOptions& opts = {},
+                                    parallel::ThreadPool* pool = nullptr);
+
+}  // namespace fepia::sweep

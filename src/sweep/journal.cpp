@@ -1,0 +1,177 @@
+#include "sweep/journal.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/parse.hpp"
+
+namespace fepia::sweep {
+namespace {
+
+constexpr const char* kMagic = "fepia-sweep-journal v1";
+
+std::string hex16(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string formatJournalDouble(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  std::ostringstream os;
+  os << std::hexfloat << v;
+  return os.str();
+}
+
+bool parseJournalDouble(const std::string& token, double& out) {
+  if (token == "nan") {
+    // Bit-identical to the engine's "not computed" sentinel: results only
+    // ever hold the default quiet NaN, never a payload-carrying one.
+    out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  if (token == "inf") {
+    out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "-inf") {
+    out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  // strtod accepts hexfloat; demand full-token consumption like io::parse.
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  out = std::strtod(begin, &end);
+  return end == begin + token.size() && !token.empty();
+}
+
+JournalContents readJournal(const std::string& path, std::uint64_t specHash,
+                            std::size_t points, std::size_t chunk,
+                            std::size_t shards) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open sweep journal '" + path + "'");
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    throw std::runtime_error("'" + path + "' is not a fepia sweep journal");
+  }
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("sweep journal '" + path + "': missing header");
+  }
+  {
+    std::istringstream hs(line);
+    std::string kwSpec, hash, kwPoints, kwChunk, pointsTok, chunkTok;
+    if (!(hs >> kwSpec >> hash >> kwPoints >> pointsTok >> kwChunk >>
+          chunkTok) ||
+        kwSpec != "spec" || kwPoints != "points" || kwChunk != "chunk") {
+      throw std::runtime_error("sweep journal '" + path + "': bad header");
+    }
+    if (hash != hex16(specHash)) {
+      throw std::runtime_error(
+          "sweep journal '" + path +
+          "' was written for a different sweep spec (hash " + hash +
+          ", expected " + hex16(specHash) + ")");
+    }
+    if (pointsTok != std::to_string(points) ||
+        chunkTok != std::to_string(chunk)) {
+      throw std::runtime_error("sweep journal '" + path +
+                               "' has a different shard layout (points " +
+                               pointsTok + " chunk " + chunkTok +
+                               ", expected points " + std::to_string(points) +
+                               " chunk " + std::to_string(chunk) + ")");
+    }
+  }
+
+  JournalContents contents;
+  contents.shardDone.assign(shards, false);
+  contents.results.assign(points, PointResult{});
+
+  // Point lines stage into the slots directly; only a shard's commit
+  // marker makes them count. A torn tail stops the replay silently.
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank line
+    if (kind == "point") {
+      std::string idTok, a, c, e, d, m, clsTok;
+      if (!(ls >> idTok >> a >> c >> e >> d >> m >> clsTok)) break;
+      const std::optional<std::uint64_t> id =
+          io::parseUint64AtMost(idTok, points == 0 ? 0 : points - 1);
+      const std::optional<std::uint64_t> cls = io::parseUint64(clsTok);
+      PointResult r;
+      if (!id.has_value() || !cls.has_value() ||
+          !parseJournalDouble(a, r.analyticRho) ||
+          !parseJournalDouble(c, r.closedForm) ||
+          !parseJournalDouble(e, r.empirical) ||
+          !parseJournalDouble(d, r.degraded) ||
+          !parseJournalDouble(m, r.makespan)) {
+        break;
+      }
+      r.classifications = *cls;
+      contents.results[static_cast<std::size_t>(*id)] = r;
+    } else if (kind == "shard") {
+      std::string sTok, done;
+      if (!(ls >> sTok >> done) || done != "done") break;
+      const std::optional<std::uint64_t> s =
+          io::parseUint64AtMost(sTok, shards == 0 ? 0 : shards - 1);
+      if (!s.has_value()) break;
+      const std::size_t shard = static_cast<std::size_t>(*s);
+      if (!contents.shardDone[shard]) {
+        contents.shardDone[shard] = true;
+        ++contents.doneShards;
+      }
+    } else {
+      break;
+    }
+  }
+  return contents;
+}
+
+void JournalWriter::open(const std::string& path, bool append,
+                         std::uint64_t specHash, std::size_t points,
+                         std::size_t chunk) {
+  bool writeHeader = true;
+  if (append) {
+    const std::ifstream existing(path);
+    writeHeader = !existing.good();
+  }
+  out_.open(path, append ? std::ios::app : std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("cannot write sweep journal '" + path + "'");
+  }
+  if (writeHeader) {
+    out_ << kMagic << "\n"
+         << "spec " << hex16(specHash) << " points " << points << " chunk "
+         << chunk << "\n";
+    out_.flush();
+  }
+}
+
+void JournalWriter::appendShard(std::size_t shard, std::size_t firstId,
+                                const PointResult* results,
+                                std::size_t count) {
+  if (!out_.is_open()) return;
+  for (std::size_t i = 0; i < count; ++i) {
+    const PointResult& r = results[i];
+    out_ << "point " << (firstId + i) << ' '
+         << formatJournalDouble(r.analyticRho) << ' '
+         << formatJournalDouble(r.closedForm) << ' '
+         << formatJournalDouble(r.empirical) << ' '
+         << formatJournalDouble(r.degraded) << ' '
+         << formatJournalDouble(r.makespan) << ' ' << r.classifications
+         << "\n";
+  }
+  out_ << "shard " << shard << " done\n";
+  out_.flush();
+}
+
+}  // namespace fepia::sweep

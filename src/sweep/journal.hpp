@@ -1,0 +1,76 @@
+// Checkpoint journal: crash-safe shard-granular sweep persistence.
+//
+// A sweep appends each completed shard to a line-oriented journal and
+// flushes; `--resume` replays the journal and recomputes only the shards
+// without a commit marker. Format:
+//
+//   fepia-sweep-journal v1
+//   spec <hex16-hash> points <P> chunk <C>
+//   point <id> <analytic> <closed> <empirical> <degraded> <makespan> <cls>
+//   ...
+//   shard <s> done
+//
+// Doubles are written with std::hexfloat (plus nan/inf/-inf tokens) so a
+// resumed value is bit-identical to the computed one — the resume
+// byte-identity guarantee rests on this exact round-trip. A shard's
+// point lines count only once its `shard <s> done` marker is present;
+// a torn tail (crash mid-write) is therefore ignored, and readJournal
+// simply stops at the first malformed line. The spec hash in the header
+// refuses resuming a journal against a different sweep, and the recorded
+// chunk refuses a mismatched shard layout.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sweep/result.hpp"
+
+namespace fepia::sweep {
+
+/// Exact-round-trip textual form of a double (hexfloat / nan / inf / -inf).
+[[nodiscard]] std::string formatJournalDouble(double v);
+
+/// Inverse of formatJournalDouble; false on a malformed token.
+[[nodiscard]] bool parseJournalDouble(const std::string& token, double& out);
+
+/// What a journal replay recovered.
+struct JournalContents {
+  std::vector<bool> shardDone;        ///< per shard: commit marker seen
+  std::vector<PointResult> results;   ///< slots of undone shards are default
+  std::size_t doneShards = 0;
+};
+
+/// Replays `path`. Throws std::runtime_error when the file cannot be
+/// opened, the header does not parse, or the header disagrees with
+/// (specHash, points, chunk). Torn tails are tolerated, not errors.
+[[nodiscard]] JournalContents readJournal(const std::string& path,
+                                          std::uint64_t specHash,
+                                          std::size_t points,
+                                          std::size_t chunk,
+                                          std::size_t shards);
+
+/// Appends committed shards to a journal file, writing the header on
+/// creation. Not thread-safe; the sweep engine serializes appendShard
+/// calls under its own mutex.
+class JournalWriter {
+ public:
+  /// Opens `path` (truncating, or appending when `append`); writes the
+  /// header unless appending to an existing journal. Throws
+  /// std::runtime_error when the file cannot be opened.
+  void open(const std::string& path, bool append, std::uint64_t specHash,
+            std::size_t points, std::size_t chunk);
+
+  /// Writes one completed shard (point lines + commit marker) and
+  /// flushes, so a kill after return never loses the shard.
+  void appendShard(std::size_t shard, std::size_t firstId,
+                   const PointResult* results, std::size_t count);
+
+  [[nodiscard]] bool active() const noexcept { return out_.is_open(); }
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace fepia::sweep

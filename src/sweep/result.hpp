@@ -1,0 +1,39 @@
+// Per-point sweep results.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace fepia::sweep {
+
+/// Everything a sweep records for one grid point. Quantities a point
+/// does not compute (e.g. the empirical radius with `empirical off`, or
+/// the makespan outside the alloc workload) stay NaN; -inf is a real
+/// value (an infeasible allocation's rho).
+struct PointResult {
+  double analyticRho = std::numeric_limits<double>::quiet_NaN();
+  double closedForm = std::numeric_limits<double>::quiet_NaN();
+  double empirical = std::numeric_limits<double>::quiet_NaN();
+  double degraded = std::numeric_limits<double>::quiet_NaN();
+  double makespan = std::numeric_limits<double>::quiet_NaN();
+  std::uint64_t classifications = 0;
+};
+
+/// Bit-level equality (NaN == NaN, +0 != -0) — the determinism contract
+/// compares surfaces with this, not with operator==.
+[[nodiscard]] inline bool bitIdentical(double a, double b) noexcept {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+[[nodiscard]] inline bool bitIdentical(const PointResult& a,
+                                       const PointResult& b) noexcept {
+  return bitIdentical(a.analyticRho, b.analyticRho) &&
+         bitIdentical(a.closedForm, b.closedForm) &&
+         bitIdentical(a.empirical, b.empirical) &&
+         bitIdentical(a.degraded, b.degraded) &&
+         bitIdentical(a.makespan, b.makespan) &&
+         a.classifications == b.classifications;
+}
+
+}  // namespace fepia::sweep

@@ -1,0 +1,418 @@
+#include "sweep/spec.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/parse.hpp"
+#include "io/problem_io.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace fepia::sweep {
+namespace {
+
+/// Hard ceilings that turn fat-fingered specs into parse errors instead
+/// of hour-long runs: per-axis counts, grid size, and shard size.
+constexpr std::uint64_t kMaxCount = 1u << 20;
+constexpr std::size_t kMaxPoints = 1u << 20;
+constexpr std::uint64_t kMaxChunk = 1u << 16;
+
+/// Validation rule of one axis' values.
+enum class ValueKind {
+  Count,           ///< unsigned integer >= 1
+  Positive,        ///< finite double > 0
+  GreaterThanOne,  ///< finite double > 1
+  NonNegative,     ///< finite double >= 0
+  Choice,          ///< one of a fixed token set
+};
+
+struct AxisDescriptor {
+  const char* name;
+  ValueKind kind;
+  std::vector<const char*> choices;  ///< Choice only
+  const char* fallback;              ///< default token when the axis is absent
+};
+
+const std::vector<AxisDescriptor>& axesFor(Workload w) {
+  static const std::vector<AxisDescriptor> linear = {
+      {"scheme", ValueKind::Choice, {"sensitivity", "normalized"}, "normalized"},
+      {"n", ValueKind::Count, {}, "4"},
+      {"beta", ValueKind::GreaterThanOne, {}, "1.2"},
+      {"kscale", ValueKind::Positive, {}, "1"},
+      {"origscale", ValueKind::Positive, {}, "1"},
+  };
+  static const std::vector<AxisDescriptor> alloc = {
+      {"heuristic",
+       ValueKind::Choice,
+       {"olb", "met", "mct", "min-min", "max-min", "sufferage"},
+       "mct"},
+      {"tasks", ValueKind::Count, {}, "64"},
+      {"machines", ValueKind::Count, {}, "8"},
+      {"het", ValueKind::Choice, {"hi-hi", "hi-lo", "lo-hi", "lo-lo"}, "hi-hi"},
+      {"taufactor", ValueKind::GreaterThanOne, {}, "1.4"},
+  };
+  static const std::vector<AxisDescriptor> hiperd = {
+      {"jitter", ValueKind::NonNegative, {}, "0"},
+      {"faults", ValueKind::Choice, {"off", "on"}, "off"},
+      {"des", ValueKind::Choice, {"off", "on"}, "off"},
+  };
+  switch (w) {
+    case Workload::Linear: return linear;
+    case Workload::Alloc: return alloc;
+    case Workload::Hiperd: return hiperd;
+  }
+  return linear;  // unreachable
+}
+
+const AxisDescriptor* findDescriptor(Workload w, const std::string& name) {
+  for (const AxisDescriptor& d : axesFor(w)) {
+    if (name == d.name) return &d;
+  }
+  return nullptr;
+}
+
+/// Validates one axis token against its descriptor; fills the numeric
+/// value for numeric kinds. Returns an error message or empty on
+/// success.
+std::string checkValue(const AxisDescriptor& d, const std::string& token,
+                       double& number) {
+  const auto numeric = [&]() -> std::string {
+    const std::optional<double> v = io::parseFiniteDouble(token);
+    if (!v.has_value()) {
+      return "axis '" + std::string(d.name) + "': bad value '" + token +
+             "' (expected a finite number)";
+    }
+    number = *v;
+    return {};
+  };
+  switch (d.kind) {
+    case ValueKind::Count: {
+      const std::optional<std::uint64_t> v =
+          io::parseUint64AtMost(token, kMaxCount);
+      if (!v.has_value() || *v == 0) {
+        return "axis '" + std::string(d.name) + "': bad value '" + token +
+               "' (expected an integer in [1, " + std::to_string(kMaxCount) +
+               "])";
+      }
+      number = static_cast<double>(*v);
+      return {};
+    }
+    case ValueKind::Positive: {
+      std::string err = numeric();
+      if (!err.empty()) return err;
+      if (number <= 0.0) {
+        return "axis '" + std::string(d.name) + "': value '" + token +
+               "' must be > 0";
+      }
+      return {};
+    }
+    case ValueKind::GreaterThanOne: {
+      std::string err = numeric();
+      if (!err.empty()) return err;
+      if (number <= 1.0) {
+        return "axis '" + std::string(d.name) + "': value '" + token +
+               "' must be > 1";
+      }
+      return {};
+    }
+    case ValueKind::NonNegative: {
+      std::string err = numeric();
+      if (!err.empty()) return err;
+      if (number < 0.0) {
+        return "axis '" + std::string(d.name) + "': value '" + token +
+               "' must be >= 0";
+      }
+      return {};
+    }
+    case ValueKind::Choice: {
+      for (const char* c : d.choices) {
+        if (token == c) {
+          number = 0.0;
+          return {};
+        }
+      }
+      std::string expected;
+      for (const char* c : d.choices) {
+        if (!expected.empty()) expected += "|";
+        expected += c;
+      }
+      return "axis '" + std::string(d.name) + "': bad value '" + token +
+             "' (expected " + expected + ")";
+    }
+  }
+  return "internal: unknown axis kind";
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) tokens.push_back(t);
+  return tokens;
+}
+
+std::uint64_t parseCountDirective(std::size_t lineNo, const std::string& key,
+                                  const std::string& token,
+                                  std::uint64_t maxValue) {
+  const std::optional<std::uint64_t> v = io::parseUint64AtMost(token, maxValue);
+  if (!v.has_value() || *v == 0) {
+    throw io::ParseError(lineNo, "'" + key + "': bad value '" + token +
+                                     "' (expected an integer in [1, " +
+                                     std::to_string(maxValue) + "])");
+  }
+  return *v;
+}
+
+void hashAppend(std::string& canon, const std::string& part) {
+  canon += part;
+  canon += '\x1f';  // unit separator: token boundaries cannot collide
+}
+
+}  // namespace
+
+const char* workloadName(Workload w) noexcept {
+  switch (w) {
+    case Workload::Linear: return "linear";
+    case Workload::Alloc: return "alloc";
+    case Workload::Hiperd: return "hiperd";
+  }
+  return "linear";  // unreachable
+}
+
+std::size_t SweepSpec::pointCount() const noexcept {
+  std::size_t n = 1;
+  for (const Axis& a : axes) n *= a.values.size();
+  return n;
+}
+
+std::vector<std::size_t> SweepSpec::decode(std::size_t id) const {
+  std::vector<std::size_t> idx(axes.size(), 0);
+  for (std::size_t a = axes.size(); a-- > 0;) {
+    const std::size_t size = axes[a].values.size();
+    idx[a] = id % size;
+    id /= size;
+  }
+  return idx;
+}
+
+const AxisValue& SweepSpec::valueAt(std::size_t id,
+                                    std::string_view axis) const {
+  const std::vector<std::size_t> idx = decode(id);
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    if (axes[a].name == axis) return axes[a].values[idx[a]];
+  }
+  throw std::out_of_range("sweep: unknown axis '" + std::string(axis) + "'");
+}
+
+std::string SweepSpec::pointKey(std::size_t id) const {
+  const std::vector<std::size_t> idx = decode(id);
+  std::string key;
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    if (a > 0) key += ';';
+    key += axes[a].name;
+    key += '=';
+    key += axes[a].values[idx[a]].token;
+  }
+  return key;
+}
+
+std::uint64_t SweepSpec::hash() const {
+  std::string canon;
+  hashAppend(canon, "fepia-sweep-v1");
+  hashAppend(canon, workloadName(workload));
+  hashAppend(canon, std::to_string(seed));
+  hashAppend(canon, std::to_string(samples));
+  hashAppend(canon, empirical ? "1" : "0");
+  hashAppend(canon, std::to_string(generations));
+  hashAppend(canon, systemPath);
+  for (const Axis& a : axes) {
+    hashAppend(canon, "axis");
+    hashAppend(canon, a.name);
+    for (const AxisValue& v : a.values) hashAppend(canon, v.token);
+  }
+  return fnv1a64(canon);
+}
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t deriveSeed(std::uint64_t base, std::string_view key) noexcept {
+  rng::SplitMix64 mixer(base ^ fnv1a64(key));
+  return mixer.next();
+}
+
+SweepSpec parseSweepSpec(std::istream& in) {
+  SweepSpec spec;
+  bool sawWorkload = false;
+  bool sawName = false;
+  std::string line;
+  std::size_t lineNo = 0;
+
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& key = tokens[0];
+
+    if (key == "sweep") {
+      if (tokens.size() != 2) {
+        throw io::ParseError(lineNo, "'sweep' expects exactly one name");
+      }
+      if (sawName) throw io::ParseError(lineNo, "duplicate 'sweep' line");
+      sawName = true;
+      spec.name = tokens[1];
+    } else if (key == "workload") {
+      if (tokens.size() != 2) {
+        throw io::ParseError(lineNo,
+                             "'workload' expects linear|alloc|hiperd");
+      }
+      if (sawWorkload) throw io::ParseError(lineNo, "duplicate 'workload' line");
+      if (tokens[1] == "linear") {
+        spec.workload = Workload::Linear;
+      } else if (tokens[1] == "alloc") {
+        spec.workload = Workload::Alloc;
+      } else if (tokens[1] == "hiperd") {
+        spec.workload = Workload::Hiperd;
+      } else {
+        throw io::ParseError(lineNo, "unknown workload '" + tokens[1] +
+                                         "' (expected linear|alloc|hiperd)");
+      }
+      sawWorkload = true;
+    } else if (key == "axis") {
+      if (!sawWorkload) {
+        throw io::ParseError(
+            lineNo, "'axis' before 'workload' (the workload defines the axes)");
+      }
+      if (tokens.size() < 3) {
+        throw io::ParseError(lineNo,
+                             "'axis' expects a name and at least one value");
+      }
+      const AxisDescriptor* d = findDescriptor(spec.workload, tokens[1]);
+      if (d == nullptr) {
+        std::string known;
+        for (const AxisDescriptor& a : axesFor(spec.workload)) {
+          if (!known.empty()) known += ", ";
+          known += a.name;
+        }
+        throw io::ParseError(lineNo, "unknown axis '" + tokens[1] + "' for the " +
+                                         std::string(workloadName(spec.workload)) +
+                                         " workload (known: " + known + ")");
+      }
+      for (const Axis& existing : spec.axes) {
+        if (existing.name == tokens[1]) {
+          throw io::ParseError(lineNo, "duplicate axis '" + tokens[1] + "'");
+        }
+      }
+      Axis axis;
+      axis.name = tokens[1];
+      for (std::size_t t = 2; t < tokens.size(); ++t) {
+        AxisValue v;
+        v.token = tokens[t];
+        const std::string err = checkValue(*d, v.token, v.number);
+        if (!err.empty()) throw io::ParseError(lineNo, err);
+        axis.values.push_back(std::move(v));
+      }
+      spec.axes.push_back(std::move(axis));
+    } else if (key == "seed") {
+      if (tokens.size() != 2) {
+        throw io::ParseError(lineNo, "'seed' expects one value");
+      }
+      const std::optional<std::uint64_t> v = io::parseUint64(tokens[1]);
+      if (!v.has_value()) {
+        throw io::ParseError(lineNo, "'seed': bad value '" + tokens[1] +
+                                         "' (expected an unsigned integer)");
+      }
+      spec.seed = *v;
+    } else if (key == "samples") {
+      if (tokens.size() != 2) {
+        throw io::ParseError(lineNo, "'samples' expects one value");
+      }
+      spec.samples = static_cast<std::size_t>(
+          parseCountDirective(lineNo, "samples", tokens[1], kMaxCount));
+    } else if (key == "gens") {
+      if (tokens.size() != 2) {
+        throw io::ParseError(lineNo, "'gens' expects one value");
+      }
+      spec.generations = static_cast<std::size_t>(
+          parseCountDirective(lineNo, "gens", tokens[1], kMaxCount));
+    } else if (key == "chunk") {
+      if (tokens.size() != 2) {
+        throw io::ParseError(lineNo, "'chunk' expects one value");
+      }
+      spec.chunk = static_cast<std::size_t>(
+          parseCountDirective(lineNo, "chunk", tokens[1], kMaxChunk));
+    } else if (key == "empirical") {
+      if (tokens.size() != 2 || (tokens[1] != "on" && tokens[1] != "off")) {
+        throw io::ParseError(lineNo, "'empirical' expects on|off");
+      }
+      spec.empirical = tokens[1] == "on";
+    } else if (key == "system") {
+      if (tokens.size() != 2) {
+        throw io::ParseError(lineNo, "'system' expects one path");
+      }
+      spec.systemPath = tokens[1];
+    } else {
+      throw io::ParseError(lineNo, "unknown directive '" + key + "'");
+    }
+  }
+
+  if (!sawWorkload) {
+    throw io::ParseError(lineNo == 0 ? 1 : lineNo,
+                         "missing 'workload' line (linear|alloc|hiperd)");
+  }
+  if (!spec.systemPath.empty() && spec.workload != Workload::Hiperd) {
+    throw io::ParseError(lineNo, "'system' is only valid for the hiperd workload");
+  }
+
+  // Complete the coordinate tuple: absent axes become single-value axes
+  // with their canonical defaults, appended in canonical order.
+  for (const AxisDescriptor& d : axesFor(spec.workload)) {
+    const bool present =
+        std::any_of(spec.axes.begin(), spec.axes.end(),
+                    [&](const Axis& a) { return a.name == d.name; });
+    if (present) continue;
+    AxisValue v;
+    v.token = d.fallback;
+    const std::string err = checkValue(d, v.token, v.number);
+    if (!err.empty()) {
+      throw std::logic_error("sweep: bad built-in default: " + err);
+    }
+    spec.axes.push_back(Axis{d.name, {std::move(v)}});
+  }
+
+  // Grid-size ceiling (checked with the completed axes; overflow-safe
+  // because every axis size and the cap are far below 2^32).
+  std::size_t points = 1;
+  for (const Axis& a : spec.axes) {
+    points *= a.values.size();
+    if (points > kMaxPoints) {
+      throw io::ParseError(lineNo, "sweep too large (more than " +
+                                       std::to_string(kMaxPoints) + " points)");
+    }
+  }
+  return spec;
+}
+
+SweepSpec parseSweepSpecString(const std::string& text) {
+  std::istringstream is(text);
+  return parseSweepSpec(is);
+}
+
+SweepSpec loadSweepSpec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open sweep spec '" + path + "'");
+  }
+  return parseSweepSpec(in);
+}
+
+}  // namespace fepia::sweep

@@ -1,0 +1,129 @@
+// Declarative robustness-sweep specifications.
+//
+// The paper argues through parameter sweeps: S3.1 must show the
+// sensitivity-weighted radius frozen at 1/sqrt(n) across k, beta and
+// pi^orig, S3.2 that the normalized radius responds to all of them, and
+// the STOCH/FAULTDEG experiments sweep jitter and fault scenarios
+// through the DES. A SweepSpec is the declarative form of such an
+// experiment: a workload family plus named axes whose cross-product
+// (last axis fastest) enumerates the sweep points that sweep::runSweep
+// evaluates.
+//
+// File format (line-oriented, '#' comments, blank lines ignored — the
+// same conventions as the problem/system files of src/io):
+//
+//   sweep <name>                 # optional display name
+//   workload linear|alloc|hiperd # required, before any axis line
+//   axis <name> <v1> <v2> ...    # one per swept dimension
+//   seed <u64>                   # base seed (default 0x5EEDD1CE)
+//   samples <n>                  # Monte-Carlo directions per estimate
+//   empirical on|off             # estimate empirical radii (default off)
+//   gens <n>                     # DES generations per classification
+//   chunk <n>                    # points per shard (default 16)
+//   system <path>                # hiperd only: topology file
+//
+// Axes an omitted dimension falls back to a single default value, so
+// every point always carries a full coordinate tuple. Per workload:
+//
+//   linear: scheme {sensitivity,normalized}, n, beta (>1), kscale (>0),
+//           origscale (>0) — the S3.1/S3.2 linear-feature family.
+//   alloc:  heuristic {olb,met,mct,min-min,max-min,sufferage}, tasks,
+//           machines, het {hi-hi,hi-lo,lo-hi,lo-lo}, taufactor (>1) —
+//           the makespan case study ranked by rho(tau).
+//   hiperd: jitter (>=0), faults {off,on}, des {off,on} — the reference
+//           pipeline under DES jitter and sampled fault scenarios.
+//
+// Errors are reported as io::ParseError with a 1-based line number, so
+// the CLI surfaces malformed specs as one-line `error:` messages with
+// exit status 1 (cli_parse_test conventions).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fepia::sweep {
+
+/// Workload family a sweep evaluates.
+enum class Workload { Linear, Alloc, Hiperd };
+
+/// Name like "linear".
+[[nodiscard]] const char* workloadName(Workload w) noexcept;
+
+/// One parsed axis value: the spelling from the spec file (echoed in
+/// outputs and used in cache keys) plus its numeric value for numeric
+/// axes (0 for choice axes).
+struct AxisValue {
+  std::string token;
+  double number = 0.0;
+};
+
+/// One swept dimension.
+struct Axis {
+  std::string name;
+  std::vector<AxisValue> values;
+};
+
+/// A parsed, validated, default-completed sweep specification. Axes
+/// appear in declaration order followed by defaulted axes in canonical
+/// order; the grid enumerates their cross-product with the last axis
+/// varying fastest.
+struct SweepSpec {
+  std::string name = "sweep";
+  Workload workload = Workload::Linear;
+  std::vector<Axis> axes;
+  std::uint64_t seed = 0x5EEDD1CEull;
+  bool empirical = false;
+  std::size_t samples = 64;
+  std::size_t generations = 60;
+  std::size_t chunk = 16;
+  std::string systemPath;  ///< hiperd topology file; empty = built-in
+
+  /// Product of axis sizes.
+  [[nodiscard]] std::size_t pointCount() const noexcept;
+
+  /// Per-axis value indices of point `id` (last axis fastest).
+  [[nodiscard]] std::vector<std::size_t> decode(std::size_t id) const;
+
+  /// Value of axis `axis` at point `id`; throws std::out_of_range on an
+  /// unknown axis name.
+  [[nodiscard]] const AxisValue& valueAt(std::size_t id,
+                                         std::string_view axis) const;
+
+  /// Canonical coordinate key of point `id`: "axis=token;..." in axis
+  /// order — the basis of the sub-computation cache keys.
+  [[nodiscard]] std::string pointKey(std::size_t id) const;
+
+  /// FNV-1a hash of every computation-defining field (workload, seed,
+  /// samples, empirical, gens, system, axes). The journal records it so
+  /// a checkpoint can never be resumed against a different sweep. The
+  /// display name and the chunk size are excluded: the former is
+  /// cosmetic, the latter is validated separately (it defines the shard
+  /// layout and may be overridden on the command line).
+  [[nodiscard]] std::uint64_t hash() const;
+};
+
+/// Parses a spec from a stream; throws io::ParseError on malformed input.
+[[nodiscard]] SweepSpec parseSweepSpec(std::istream& in);
+
+/// Parses a spec from a string (convenience for tests and benches).
+[[nodiscard]] SweepSpec parseSweepSpecString(const std::string& text);
+
+/// Parses a spec from a file; throws std::runtime_error when the file
+/// cannot be opened.
+[[nodiscard]] SweepSpec loadSweepSpec(const std::string& path);
+
+/// FNV-1a 64-bit hash (stable across platforms; used for spec hashes and
+/// sub-computation seed derivation).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view s) noexcept;
+
+/// Seed of the sub-computation identified by `key`, derived from the
+/// spec's base seed. Keyed by *content*, not by point id, so identical
+/// sub-computations at different grid points draw identical samples —
+/// which is what makes them cacheable without changing any result.
+[[nodiscard]] std::uint64_t deriveSeed(std::uint64_t base,
+                                       std::string_view key) noexcept;
+
+}  // namespace fepia::sweep

@@ -98,6 +98,44 @@ TEST(CliParse, UnknownFlagPrintsUsage) {
   expectParseError("search --frobnicate", "usage:");
 }
 
+TEST(CliParse, SweepModeRejectsBadInputsCleanly) {
+  // Missing/flag-like spec operand prints usage.
+  expectParseError("sweep", "usage:");
+  expectParseError("sweep --threads 2", "usage:");
+  expectParseError("sweep /nonexistent.sweep --frobnicate", "usage:");
+  // Nonexistent and malformed spec files exit 1 with one-line errors.
+  expectParseError("sweep /nonexistent.sweep", "cannot open sweep spec");
+  const std::string bad = tmpPath("cli_parse_bad.sweep");
+  std::ofstream(bad) << "axis n 2\nworkload linear\n";
+  expectParseError("sweep " + bad, "line 1");
+  std::ofstream(bad) << "workload linear\naxis beta 0.5\n";
+  expectParseError("sweep " + bad, "line 2");
+  // Malformed flag values name the flag.
+  const std::string ok = tmpPath("cli_parse_ok.sweep");
+  std::ofstream(ok) << "workload linear\naxis n 2\n";
+  expectParseError("sweep " + ok + " --threads abc", "bad value for --threads");
+  expectParseError("sweep " + ok + " --chunk 0", "bad value for --chunk");
+  expectParseError("sweep " + ok + " --stop-after 0",
+                   "bad value for --stop-after");
+  // --resume / --stop-after without a journal are option errors.
+  expectParseError("sweep " + ok + " --resume", "journal");
+  expectParseError("sweep " + ok + " --stop-after 1", "journal");
+}
+
+TEST(CliParse, ValidSweepRunExitsZeroAndWritesJson) {
+  const std::string spec = tmpPath("cli_parse_sweep.sweep");
+  std::ofstream(spec) << "sweep tiny\nworkload linear\naxis n 2 4\n"
+                      << "axis beta 1.5 2.0\nseed 3\nchunk 2\n";
+  const std::string out = tmpPath("cli_parse_sweep.json");
+  EXPECT_EQ(exitCode("sweep " + spec + " --response n --json " + out), 0);
+  const std::string doc = slurp(out);
+  for (const char* key :
+       {"\"sweep\": \"tiny\"", "\"workload\": \"linear\"", "\"points\": 4",
+        "\"complete\": true", "\"results\"", "\"manifest\""}) {
+    EXPECT_NE(doc.find(key), std::string::npos) << "missing: " << key;
+  }
+}
+
 TEST(CliParse, ValidFaultSimRunExitsZero) {
   // A healthy fault-free run exits 0 and writes the JSON document.
   const std::string out = tmpPath("cli_parse_faultsim.json");

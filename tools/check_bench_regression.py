@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Guard against throughput collapse in BENCH_*.json smoke runs.
+
+Usage: check_bench_regression.py <smoke.json> <baseline.json> [--max-slowdown X]
+
+Collects every numeric field whose key ends in "_per_sec" — at the top
+level and inside each element of the "runs" array — and compares the
+best (maximum) value per key between the smoke run and the checked-in
+baseline. Fails (exit 1) when the baseline is more than --max-slowdown
+times faster (default 5x): generous enough for CI-runner noise and
+smoke-vs-full workload differences, tight enough to catch a perf
+collapse (an accidentally quadratic loop, a lost parallel path)
+mechanically. A key present only in one file is reported but not fatal,
+so baselines regenerated with a newer bench layout do not break CI.
+"""
+import argparse
+import json
+import sys
+
+
+def collect_throughputs(doc):
+    """Best value per *_per_sec key, from the top level and runs[]."""
+    best = {}
+
+    def note(key, value):
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if value > 0 and (key not in best or value > best[key]):
+                best[key] = float(value)
+
+    for key, value in doc.items():
+        if key.endswith("_per_sec"):
+            note(key, value)
+    for run in doc.get("runs", []):
+        if isinstance(run, dict):
+            for key, value in run.items():
+                if key.endswith("_per_sec"):
+                    note(key, value)
+    return best
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("smoke")
+    parser.add_argument("baseline")
+    parser.add_argument("--max-slowdown", type=float, default=5.0)
+    args = parser.parse_args()
+
+    try:
+        with open(args.smoke) as f:
+            smoke = json.load(f)
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"check_bench_regression: {e}")
+
+    smoke_best = collect_throughputs(smoke)
+    base_best = collect_throughputs(baseline)
+    if not base_best:
+        sys.exit(
+            f"check_bench_regression: {args.baseline} has no *_per_sec "
+            "fields to compare"
+        )
+
+    failures = []
+    for key, base in sorted(base_best.items()):
+        if key not in smoke_best:
+            print(f"  {key}: only in baseline (skipped)")
+            continue
+        current = smoke_best[key]
+        slowdown = base / current
+        status = "OK" if slowdown <= args.max_slowdown else "FAIL"
+        print(
+            f"  {key}: smoke {current:.3g}/s vs baseline {base:.3g}/s "
+            f"-> slowdown {slowdown:.2f}x [{status}]"
+        )
+        if slowdown > args.max_slowdown:
+            failures.append(key)
+    for key in sorted(set(smoke_best) - set(base_best)):
+        print(f"  {key}: only in smoke run (skipped)")
+
+    if failures:
+        sys.exit(
+            f"check_bench_regression: {args.smoke}: throughput collapsed "
+            f">{args.max_slowdown}x vs {args.baseline} on: "
+            + ", ".join(failures)
+        )
+    print(f"{args.smoke}: throughput within {args.max_slowdown}x of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,9 +10,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 2)
-configs=("${@:-release asan-ubsan}")
-# shellcheck disable=SC2128
-read -r -a configs <<<"${configs[*]}"
+[ $# -gt 0 ] && configs=("$@") || configs=(release asan-ubsan)
 
 for cfg in "${configs[@]}"; do
   case "$cfg" in
@@ -108,6 +106,56 @@ for expected in ("search.heuristics", "search.local_search", "search.ga"):
     assert expected in names, f"trace missing span {expected!r}"
 print("fepia_cli trace smoke OK")
 EOF
+
+    # Sweep smoke: run the checked-in smoke grid cold, then interrupt a
+    # fresh journal after 3 of its 8 shards at 8 threads and resume at 1
+    # thread. The resumed JSON must be byte-identical to the cold run
+    # outside the per-run metadata lines (manifest, resumed_shards,
+    # cache counters) — the checkpoint/resume determinism contract.
+    echo "=== [$cfg] fepia_cli sweep smoke ==="
+    rm -f build/sweep_smoke_resume.journal
+    ./build/tools/fepia_cli sweep examples/sweeps/smoke.sweep --threads 2 \
+      --json build/sweep_smoke.json >/dev/null
+    python3 tools/check_bench_json.py build/sweep_smoke.json \
+      tools/schemas/sweep_output.schema.json
+    ./build/tools/fepia_cli sweep examples/sweeps/smoke.sweep --threads 8 \
+      --journal build/sweep_smoke_resume.journal --stop-after 3 >/dev/null
+    ./build/tools/fepia_cli sweep examples/sweeps/smoke.sweep --threads 1 \
+      --journal build/sweep_smoke_resume.journal --resume \
+      --json build/sweep_smoke_resumed.json >/dev/null
+    python3 - build/sweep_smoke.json build/sweep_smoke_resumed.json <<'EOF'
+import sys
+SKIP = ('"manifest"', '"resumed_shards"', '"cache"')
+def lines(path):
+    with open(path) as f:
+        return [l for l in f if not l.lstrip().startswith(SKIP)]
+cold, resumed = (lines(p) for p in sys.argv[1:3])
+assert cold == resumed, "resumed sweep JSON differs from the cold run"
+print("fepia_cli sweep resume smoke OK")
+EOF
+
+    echo "=== [$cfg] bench_sweep smoke ==="
+    sweep_json=build/BENCH_sweep_smoke.json
+    FEPIA_BENCH_SMOKE=1 FEPIA_BENCH_JSON="$sweep_json" \
+      ./build/bench/bench_sweep --benchmark_filter=NONE
+    python3 tools/check_bench_json.py "$sweep_json" \
+      tools/schemas/bench_sweep.schema.json
+    python3 - "$sweep_json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+if not d["surface_identical"]:
+    sys.exit("bench_sweep: surfaces differ across thread counts")
+if not d["cache_identity"]:
+    sys.exit("bench_sweep: the result cache changed results")
+print("bench_sweep smoke OK")
+EOF
+
+    # Throughput guard: smoke runs must stay within 5x of the checked-in
+    # full-run baselines — a mechanical trip-wire for perf collapses.
+    echo "=== [$cfg] bench throughput regression guard ==="
+    python3 tools/check_bench_regression.py "$fault_json" BENCH_fault.json
+    python3 tools/check_bench_regression.py "$sweep_json" BENCH_sweep.json
   fi
 
   if [ "$cfg" = asan-ubsan ]; then

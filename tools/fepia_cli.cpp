@@ -7,6 +7,7 @@
 //   fepia_cli validate --hiperd <system-file> [--des] [options]
 //   fepia_cli search [options]
 //   fepia_cli fault-sim [options]
+//   fepia_cli sweep <spec-file> [options]
 //
 // Options (problem-file mode):
 //   --scheme normalized|sensitivity|both   merge scheme(s) (default both)
@@ -56,6 +57,13 @@
 // reproduces the `validate --des` cross-check bit-for-bit. Results are
 // bit-identical for a fixed --seed at any --threads value.
 //
+// sweep mode evaluates a declarative robustness sweep (see docs/sweep.md
+// and examples/sweeps/): sharded across --threads with bit-identical
+// surfaces at any thread count, checkpointed per shard to --journal, and
+// resumable with --resume. --stop-after N interrupts after N shards;
+// --no-cache disables sub-computation deduplication (results unchanged);
+// --response AXIS prints the analytic-rho response along one axis.
+//
 // Exit status: 0 on success (and, with --check, when the point is
 // tolerated; with validate, when every analytic radius falls inside its
 // empirical CI), 2 when a --check point is not tolerated, a validation
@@ -95,6 +103,9 @@
 #include "obs/span.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/table.hpp"
+#include "sweep/engine.hpp"
+#include "sweep/output.hpp"
+#include "sweep/spec.hpp"
 #include "trace/counters.hpp"
 #include "validate/empirical.hpp"
 #include "validate/scheme.hpp"
@@ -137,6 +148,10 @@ int usage(const char* argv0) {
                " [--threads T] [--scenarios N] [--gens N]"
                " [--crash M:T[:BACKUP]] [--slow machine|link:IDX:FROM:TO:F]"
                " [--loss LINK:P] [--detect SEC] [--retries N] [--no-faults]"
+               " [--csv] [--json FILE]\n"
+            << "       " << argv0
+            << " sweep <spec-file> [--threads T] [--chunk N] [--journal FILE]"
+               " [--resume] [--stop-after N] [--no-cache] [--response AXIS]"
                " [--csv] [--json FILE]\n"
             << "       " << argv0
             << " profile [--tasks N] [--machines M] [--seed S] [--threads T]\n"
@@ -954,8 +969,119 @@ int runProfileMode(int argc, char** argv) {
   return 0;
 }
 
+int runSweepMode(int argc, char** argv) {
+  if (argc < 3 || argv[2][0] == '-') {
+    return usage(argv[0]);
+  }
+  const std::string specPath = argv[2];
+  std::optional<std::size_t> threads;
+  sweep::SweepOptions opts;
+  std::string responseAxis;
+  bool csv = false;
+  std::string jsonPath;
+
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = argSize("--threads", argv[++i]);
+    } else if (std::strcmp(argv[i], "--chunk") == 0 && i + 1 < argc) {
+      opts.chunkOverride = argSize("--chunk", argv[++i]);
+      if (opts.chunkOverride == 0) {
+        throw std::invalid_argument("bad value for --chunk: '0' (expected a "
+                                    "positive integer)");
+      }
+    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      opts.journalPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      opts.resume = true;
+    } else if (std::strcmp(argv[i], "--stop-after") == 0 && i + 1 < argc) {
+      opts.stopAfterShards = argSize("--stop-after", argv[++i]);
+      if (opts.stopAfterShards == 0) {
+        throw std::invalid_argument("bad value for --stop-after: '0' "
+                                    "(expected a positive integer)");
+      }
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      opts.cacheEnabled = false;
+    } else if (std::strcmp(argv[i], "--response") == 0 && i + 1 < argc) {
+      responseAxis = argv[++i];
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const sweep::SweepSpec spec = sweep::loadSweepSpec(specPath);
+  g_obs.manifest.tool = "fepia_cli sweep";
+  g_obs.manifest.seed = spec.seed;
+  g_obs.manifest.threads = threads.value_or(0);
+  opts.metrics = &g_obs.registry;
+
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (threads.has_value()) {
+    pool = std::make_unique<parallel::ThreadPool>(*threads);
+  }
+
+  const sweep::SweepSurface surface = sweep::runSweep(spec, opts, pool.get());
+  if (pool) pool->exportMetrics(g_obs.registry);
+
+  std::cout << "sweep '" << spec.name << "' ("
+            << sweep::workloadName(spec.workload) << "): " << surface.points
+            << " points, " << surface.shards << " shards of " << surface.chunk
+            << "\n"
+            << "resumed " << surface.resumedShards << " shard(s), computed "
+            << surface.computedShards << " shard(s) in "
+            << report::num(surface.wallSeconds, 4) << " s ("
+            << report::num(surface.pointsPerSec, 4) << " points/s)\n"
+            << "cache: " << (surface.cacheEnabled ? "on" : "off") << ", "
+            << surface.cacheHits << " hit(s), " << surface.cacheMisses
+            << " miss(es); " << surface.classifications
+            << " classification(s)\n\n";
+
+  if (!surface.complete) {
+    std::cout << "sweep checkpointed after " << surface.computedShards
+              << " shard(s): rerun with --resume to continue\n";
+    return 0;
+  }
+
+  emit(sweep::surfaceTable(spec, surface), csv);
+  if (!responseAxis.empty()) {
+    emit(sweep::axisResponseTable(spec, surface, responseAxis), csv);
+  }
+  const sweep::SurfaceSummary summary = sweep::summarize(surface);
+  std::cout << "analytic rho over " << summary.finitePoints
+            << " finite point(s): [" << report::num(summary.rhoMin, 9) << ", "
+            << report::num(summary.rhoMax, 9) << "]\n";
+  if (spec.workload == sweep::Workload::Linear) {
+    std::cout << "worst |analytic - closed form| deviation: "
+              << report::num(summary.worstClosedFormDeviation, 6) << "\n";
+  }
+
+  if (!jsonPath.empty()) {
+    std::ofstream out(jsonPath);
+    if (!out) {
+      std::cerr << "error: cannot write '" << jsonPath << "'\n";
+      return 1;
+    }
+    g_obs.manifest.wallSeconds = g_obs.wall.elapsedSeconds();
+    sweep::writeSurfaceJson(out, spec, surface, &g_obs.manifest);
+    std::cout << "wrote " << jsonPath << "\n";
+  }
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
+
+  if (std::strcmp(argv[1], "sweep") == 0) {
+    try {
+      return runSweepMode(argc, argv);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+  }
 
   if (std::strcmp(argv[1], "profile") == 0) {
     try {
