@@ -335,7 +335,7 @@ SweepSurface runSweep(const SweepSpec& spec, const SweepOptions& opts,
   surface.chunk = opts.chunkOverride > 0 ? opts.chunkOverride : spec.chunk;
   surface.shards = (surface.points + surface.chunk - 1) / surface.chunk;
   surface.results.assign(surface.points, PointResult{});
-  surface.computed.assign(surface.points, false);
+  surface.computed.assign(surface.points, 0);
 
   std::vector<bool> shardDone(surface.shards, false);
   if (opts.resume) {
@@ -350,7 +350,7 @@ SweepSurface runSweep(const SweepSpec& spec, const SweepOptions& opts,
           std::min(first + surface.chunk, surface.points);
       for (std::size_t id = first; id < last; ++id) {
         surface.results[id] = replay.results[id];
-        surface.computed[id] = true;
+        surface.computed[id] = 1;
       }
     }
     surface.resumedShards = replay.doneShards;
@@ -383,7 +383,7 @@ SweepSurface runSweep(const SweepSpec& spec, const SweepOptions& opts,
     const std::size_t last = std::min(first + surface.chunk, surface.points);
     for (std::size_t id = first; id < last; ++id) {
       surface.results[id] = evaluator.evaluate(id);
-      surface.computed[id] = true;
+      surface.computed[id] = 1;
     }
     const std::lock_guard<std::mutex> lock(journalMutex);
     writer.appendShard(s, first, surface.results.data() + first, last - first);

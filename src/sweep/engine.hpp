@@ -62,7 +62,10 @@ struct SweepOptions {
 /// A computed (possibly partial) sweep surface.
 struct SweepSurface {
   std::vector<PointResult> results;  ///< one slot per grid point
-  std::vector<bool> computed;        ///< per point: slot holds a result
+  /// Per point: nonzero when the slot holds a result. One byte per flag,
+  /// not std::vector<bool>: shard workers set flags concurrently, and the
+  /// packed representation would make neighbouring points share words.
+  std::vector<std::uint8_t> computed;
   bool complete = false;
   std::size_t points = 0;
   std::size_t chunk = 0;             ///< shard size actually used

@@ -96,14 +96,21 @@ JournalContents readJournal(const std::string& path, std::uint64_t specHash,
   contents.results.assign(points, PointResult{});
 
   // Point lines stage into the slots directly; only a shard's commit
-  // marker makes them count. A torn tail stops the replay silently.
+  // marker makes them count. Malformed lines are skipped, not fatal:
+  // appends land in file order, so a durable `shard done` marker implies
+  // every point line of that append is durable before it — a malformed
+  // line can only be crash debris from an append whose marker never made
+  // it, and the resumed run re-stages that shard's points (overwriting
+  // anything the debris staged) before committing it. Skipping therefore
+  // never corrupts a committed shard, and shards committed after a torn
+  // line keep counting instead of being recomputed on every resume.
   while (std::getline(in, line)) {
     std::istringstream ls(line);
     std::string kind;
     if (!(ls >> kind)) continue;  // blank line
     if (kind == "point") {
       std::string idTok, a, c, e, d, m, clsTok;
-      if (!(ls >> idTok >> a >> c >> e >> d >> m >> clsTok)) break;
+      if (!(ls >> idTok >> a >> c >> e >> d >> m >> clsTok)) continue;
       const std::optional<std::uint64_t> id =
           io::parseUint64AtMost(idTok, points == 0 ? 0 : points - 1);
       const std::optional<std::uint64_t> cls = io::parseUint64(clsTok);
@@ -114,23 +121,21 @@ JournalContents readJournal(const std::string& path, std::uint64_t specHash,
           !parseJournalDouble(e, r.empirical) ||
           !parseJournalDouble(d, r.degraded) ||
           !parseJournalDouble(m, r.makespan)) {
-        break;
+        continue;
       }
       r.classifications = *cls;
       contents.results[static_cast<std::size_t>(*id)] = r;
     } else if (kind == "shard") {
       std::string sTok, done;
-      if (!(ls >> sTok >> done) || done != "done") break;
+      if (!(ls >> sTok >> done) || done != "done") continue;
       const std::optional<std::uint64_t> s =
           io::parseUint64AtMost(sTok, shards == 0 ? 0 : shards - 1);
-      if (!s.has_value()) break;
+      if (!s.has_value()) continue;
       const std::size_t shard = static_cast<std::size_t>(*s);
       if (!contents.shardDone[shard]) {
         contents.shardDone[shard] = true;
         ++contents.doneShards;
       }
-    } else {
-      break;
     }
   }
   return contents;
@@ -140,14 +145,29 @@ void JournalWriter::open(const std::string& path, bool append,
                          std::uint64_t specHash, std::size_t points,
                          std::size_t chunk) {
   bool writeHeader = true;
+  bool repairTail = false;
   if (append) {
-    const std::ifstream existing(path);
+    std::ifstream existing(path, std::ios::binary);
     writeHeader = !existing.good();
+    if (!writeHeader) {
+      // A crash mid-append can leave a torn, newline-less final line; a
+      // fresh newline quarantines it so the first record this run writes
+      // does not concatenate onto the debris.
+      existing.seekg(0, std::ios::end);
+      const std::streamoff size = existing.tellg();
+      if (size > 0) {
+        existing.seekg(size - 1);
+        char last = '\n';
+        existing.get(last);
+        repairTail = last != '\n';
+      }
+    }
   }
   out_.open(path, append ? std::ios::app : std::ios::trunc);
   if (!out_) {
     throw std::runtime_error("cannot write sweep journal '" + path + "'");
   }
+  if (repairTail) out_ << '\n';
   if (writeHeader) {
     out_ << kMagic << "\n"
          << "spec " << hex16(specHash) << " points " << points << " chunk "

@@ -14,10 +14,14 @@
 // resumed value is bit-identical to the computed one — the resume
 // byte-identity guarantee rests on this exact round-trip. A shard's
 // point lines count only once its `shard <s> done` marker is present;
-// a torn tail (crash mid-write) is therefore ignored, and readJournal
-// simply stops at the first malformed line. The spec hash in the header
-// refuses resuming a journal against a different sweep, and the recorded
-// chunk refuses a mismatched shard layout.
+// a torn tail (crash mid-write) is therefore ignored: readJournal skips
+// malformed lines (safe because appends are ordered — a durable commit
+// marker implies its point lines are durable too, so debris always
+// belongs to an uncommitted shard that gets re-staged on resume), and
+// JournalWriter quarantines a newline-less tail behind a fresh newline
+// before appending. The spec hash in the header refuses resuming a
+// journal against a different sweep, and the recorded chunk refuses a
+// mismatched shard layout.
 #pragma once
 
 #include <cstdint>
@@ -44,7 +48,8 @@ struct JournalContents {
 
 /// Replays `path`. Throws std::runtime_error when the file cannot be
 /// opened, the header does not parse, or the header disagrees with
-/// (specHash, points, chunk). Torn tails are tolerated, not errors.
+/// (specHash, points, chunk). Torn or malformed record lines are
+/// skipped, not errors; shards committed after them still count.
 [[nodiscard]] JournalContents readJournal(const std::string& path,
                                           std::uint64_t specHash,
                                           std::size_t points,
@@ -57,8 +62,10 @@ struct JournalContents {
 class JournalWriter {
  public:
   /// Opens `path` (truncating, or appending when `append`); writes the
-  /// header unless appending to an existing journal. Throws
-  /// std::runtime_error when the file cannot be opened.
+  /// header unless appending to an existing journal, and when appending
+  /// starts with a newline if the existing file lacks a trailing one
+  /// (quarantining a crash-torn tail). Throws std::runtime_error when
+  /// the file cannot be opened.
   void open(const std::string& path, bool append, std::uint64_t specHash,
             std::size_t points, std::size_t chunk);
 

@@ -230,6 +230,53 @@ TEST(SweepJournal, TornTailIsToleratedNotCommitted) {
   EXPECT_FALSE(got.shardDone[1]);  // no marker: the tail does not count
 }
 
+TEST(SweepJournal, AppendAfterTornTailQuarantinesTheDebris) {
+  const std::string path = tmpPath("sweep_journal_repair.txt");
+  std::vector<sweep::PointResult> points(4);
+  points[0].analyticRho = 0.25;
+  points[2].analyticRho = 0.75;
+  sweep::JournalWriter first;
+  first.open(path, /*append=*/false, 0x42ull, 4, 2);
+  first.appendShard(0, 0, points.data(), 2);
+  // Crash mid-append of shard 1: a torn, newline-less final line.
+  std::ofstream(path, std::ios::app) << "point 2 0x1.8p";
+
+  // The resuming writer must start on a fresh line so its first record
+  // does not concatenate onto the debris.
+  sweep::JournalWriter second;
+  second.open(path, /*append=*/true, 0x42ull, 4, 2);
+  second.appendShard(1, 2, points.data() + 2, 2);
+
+  const sweep::JournalContents got = sweep::readJournal(path, 0x42ull, 4, 2, 2);
+  EXPECT_EQ(got.doneShards, 2u);
+  EXPECT_TRUE(got.shardDone[0]);
+  EXPECT_TRUE(got.shardDone[1]);
+  EXPECT_TRUE(sweep::bitIdentical(got.results[2], points[2]));
+}
+
+TEST(SweepJournal, ShardsCommittedAfterAMalformedLineStillCount) {
+  const std::string path = tmpPath("sweep_journal_after_torn.txt");
+  std::vector<sweep::PointResult> points(4);
+  points[1].analyticRho = 0.5;
+  points[3].makespan = 9.0;
+  sweep::JournalWriter writer;
+  writer.open(path, /*append=*/false, 0x42ull, 4, 2);
+  writer.appendShard(0, 0, points.data(), 2);
+  // Old crash debris mid-file (as left by a pre-repair resume).
+  std::ofstream(path, std::ios::app) << "point 2 0x1.8p\n";
+  sweep::JournalWriter again;
+  again.open(path, /*append=*/true, 0x42ull, 4, 2);
+  again.appendShard(1, 2, points.data() + 2, 2);
+
+  // Replay skips the debris instead of stopping, so shard 1's work is
+  // not silently recomputed on every future resume.
+  const sweep::JournalContents got = sweep::readJournal(path, 0x42ull, 4, 2, 2);
+  EXPECT_EQ(got.doneShards, 2u);
+  EXPECT_TRUE(got.shardDone[1]);
+  EXPECT_TRUE(sweep::bitIdentical(got.results[1], points[1]));
+  EXPECT_TRUE(sweep::bitIdentical(got.results[3], points[3]));
+}
+
 TEST(SweepCache, DeduplicatesByKeyAndCounts) {
   sweep::ResultCache cache;
   int computes = 0;

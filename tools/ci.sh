@@ -119,7 +119,19 @@ EOF
     python3 tools/check_bench_json.py build/sweep_smoke.json \
       tools/schemas/sweep_output.schema.json
     ./build/tools/fepia_cli sweep examples/sweeps/smoke.sweep --threads 8 \
-      --journal build/sweep_smoke_resume.journal --stop-after 3 >/dev/null
+      --journal build/sweep_smoke_resume.journal --stop-after 3 \
+      --json build/sweep_smoke_partial.json >/dev/null
+    # The interrupted run still writes its (partial) surface document.
+    python3 tools/check_bench_json.py build/sweep_smoke_partial.json \
+      tools/schemas/sweep_output.schema.json
+    python3 - build/sweep_smoke_partial.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d["complete"] is False, "stop-after surface claims to be complete"
+assert len(d["results"]) < d["points"], "partial surface has every point"
+print("fepia_cli sweep partial-json smoke OK")
+EOF
     ./build/tools/fepia_cli sweep examples/sweeps/smoke.sweep --threads 1 \
       --journal build/sweep_smoke_resume.journal --resume \
       --json build/sweep_smoke_resumed.json >/dev/null
@@ -151,11 +163,18 @@ if not d["cache_identity"]:
 print("bench_sweep smoke OK")
 EOF
 
-    # Throughput guard: smoke runs must stay within 5x of the checked-in
-    # full-run baselines — a mechanical trip-wire for perf collapses.
+    # Throughput guard: smoke runs must stay within a generous factor of
+    # the checked-in full-run baselines — a mechanical trip-wire for perf
+    # collapses. Looser than the script's 5x default because the
+    # baselines were measured on a developer machine and shared CI
+    # runners can be slow or oversubscribed without any code regression;
+    # override with FEPIA_BENCH_MAX_SLOWDOWN.
     echo "=== [$cfg] bench throughput regression guard ==="
-    python3 tools/check_bench_regression.py "$fault_json" BENCH_fault.json
-    python3 tools/check_bench_regression.py "$sweep_json" BENCH_sweep.json
+    max_slowdown="${FEPIA_BENCH_MAX_SLOWDOWN:-10}"
+    python3 tools/check_bench_regression.py "$fault_json" BENCH_fault.json \
+      --max-slowdown "$max_slowdown"
+    python3 tools/check_bench_regression.py "$sweep_json" BENCH_sweep.json \
+      --max-slowdown "$max_slowdown"
   fi
 
   if [ "$cfg" = asan-ubsan ]; then

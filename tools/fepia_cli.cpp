@@ -1042,20 +1042,19 @@ int runSweepMode(int argc, char** argv) {
   if (!surface.complete) {
     std::cout << "sweep checkpointed after " << surface.computedShards
               << " shard(s): rerun with --resume to continue\n";
-    return 0;
-  }
-
-  emit(sweep::surfaceTable(spec, surface), csv);
-  if (!responseAxis.empty()) {
-    emit(sweep::axisResponseTable(spec, surface, responseAxis), csv);
-  }
-  const sweep::SurfaceSummary summary = sweep::summarize(surface);
-  std::cout << "analytic rho over " << summary.finitePoints
-            << " finite point(s): [" << report::num(summary.rhoMin, 9) << ", "
-            << report::num(summary.rhoMax, 9) << "]\n";
-  if (spec.workload == sweep::Workload::Linear) {
-    std::cout << "worst |analytic - closed form| deviation: "
-              << report::num(summary.worstClosedFormDeviation, 6) << "\n";
+  } else {
+    emit(sweep::surfaceTable(spec, surface), csv);
+    if (!responseAxis.empty()) {
+      emit(sweep::axisResponseTable(spec, surface, responseAxis), csv);
+    }
+    const sweep::SurfaceSummary summary = sweep::summarize(surface);
+    std::cout << "analytic rho over " << summary.finitePoints
+              << " finite point(s): [" << report::num(summary.rhoMin, 9)
+              << ", " << report::num(summary.rhoMax, 9) << "]\n";
+    if (spec.workload == sweep::Workload::Linear) {
+      std::cout << "worst |analytic - closed form| deviation: "
+                << report::num(summary.worstClosedFormDeviation, 6) << "\n";
+    }
   }
 
   if (!jsonPath.empty()) {
