@@ -88,6 +88,13 @@ struct FaultPlan {
     return crashes.empty() && slowdowns.empty() && losses.empty();
   }
 
+  /// Number of injected fault events — the size term of the degraded
+  /// radius backend's cost model (each event adds failover/retry work to
+  /// every DES classification).
+  [[nodiscard]] std::size_t eventCount() const noexcept {
+    return crashes.size() + slowdowns.size() + losses.size();
+  }
+
   /// Validates every index against `sys` and every number against its
   /// domain (finite nonnegative times, probability in [0, 1], positive
   /// finite factors, backup != machine). Throws std::invalid_argument.

@@ -1,0 +1,104 @@
+#include "radius/registry/backend.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "feature/linear.hpp"
+#include "feature/quadratic.hpp"
+
+namespace fepia::radius::backend {
+
+AccuracyInterval relativeEnvelope(double rho, double err) noexcept {
+  AccuracyInterval e;
+  if (std::isfinite(rho)) {
+    e.lo = rho * (1.0 - err);
+    e.hi = rho * (1.0 + err);
+  }
+  return e;
+}
+
+RadiusOutcome outcomeFromMergedReport(
+    std::shared_ptr<const MergedRobustnessReport> report) {
+  RadiusOutcome out;
+  out.rho = report->rho;
+  if (!report->features.empty()) {
+    out.criticalFeatureIndex = report->criticalFeature;
+    out.criticalFeature = report->features[report->criticalFeature].featureName;
+  }
+  out.exact = !report->features.empty();
+  for (const MergedFeatureReport& fr : report->features) {
+    out.exact = out.exact && fr.radius.exact && fr.radius.method != Method::Numeric;
+    out.classifications += fr.radius.evaluations;
+  }
+  out.merged = std::move(report);
+  return out;
+}
+
+std::size_t RadiusProblem::dimension() const {
+  return problem != nullptr ? problem->features().dimension() : 0;
+}
+
+std::size_t RadiusProblem::featureCount() const {
+  return problem != nullptr ? problem->features().size() : 0;
+}
+
+bool RadiusProblem::allFeaturesClosedForm() const {
+  if (problem == nullptr) {
+    return false;
+  }
+  for (const feature::BoundedFeature& bf : problem->features()) {
+    const feature::PerformanceFeature* phi = bf.feature.get();
+    if (dynamic_cast<const feature::LinearFeature*>(phi) == nullptr &&
+        dynamic_cast<const feature::QuadraticFeature*>(phi) == nullptr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void RadiusProblem::validate() const {
+  if (problem == nullptr && system == nullptr) {
+    throw std::invalid_argument(
+        "RadiusProblem: neither a FepiaProblem nor a reference system is set");
+  }
+  if (desClassification && system == nullptr) {
+    throw std::invalid_argument(
+        "RadiusProblem: DES classification requires a reference system");
+  }
+  if (!scenarios.empty() && system == nullptr) {
+    throw std::invalid_argument(
+        "RadiusProblem: fault scenarios require a reference system");
+  }
+}
+
+std::string Backend::incapabilityReason(const RadiusProblem& problem) const {
+  const Capability& cap = capability();
+  if (cap.requiresProblem && problem.problem == nullptr) {
+    return "requires an explicit FepiaProblem";
+  }
+  if (cap.requiresSystem && problem.system == nullptr) {
+    return "requires a DES-backed reference system";
+  }
+  if (cap.requiresClosedFormFeatures && !problem.allFeaturesClosedForm()) {
+    return "requires closed-form (linear/quadratic) features";
+  }
+  if (cap.maxDimension != 0 && problem.dimension() > cap.maxDimension) {
+    std::ostringstream os;
+    os << "dimension " << problem.dimension() << " exceeds the backend cap of "
+       << cap.maxDimension;
+    return os.str();
+  }
+  if (!problem.scenarios.empty() && !cap.supportsFaultScenarios) {
+    return "cannot honor fault scenarios";
+  }
+  if (problem.desClassification && !cap.classifiesByDes) {
+    return "classifies analytically, but the problem requires DES classification";
+  }
+  if (!problem.desClassification && cap.classifiesByDes) {
+    return "classifies by DES simulation, but the problem is analytic";
+  }
+  return {};
+}
+
+}  // namespace fepia::radius::backend

@@ -1,0 +1,137 @@
+// The numeric kernel: the multistart nearest-boundary solver of src/opt
+// forced on every feature, through the same P-space construction as
+// MergedAnalysis (radius/merge.cpp). Capable for any differentiable
+// feature — the fallback when a feature has no closed form — at a cost
+// dominated by multistart ray probes and refinement iterations.
+#include <memory>
+#include <optional>
+
+#include "feature/transform.hpp"
+#include "radius/registry/registry.hpp"
+
+namespace fepia::radius::backend {
+namespace {
+
+class NumericBackend final : public Backend {
+ public:
+  const std::string& name() const noexcept override {
+    static const std::string kName = "numeric";
+    return kName;
+  }
+
+  const Capability& capability() const noexcept override {
+    static const Capability kCap{/*requiresProblem=*/true,
+                                 /*requiresClosedFormFeatures=*/false,
+                                 /*maxDimension=*/0,
+                                 /*requiresSystem=*/false,
+                                 /*supportsFaultScenarios=*/false,
+                                 /*classifiesByDes=*/false};
+    return kCap;
+  }
+
+  double cost(const RadiusProblem& problem,
+              const RadiusRequest& request) const override {
+    const auto& solver = request.numeric.solver;
+    const double dim = static_cast<double>(problem.dimension());
+    const double probes =
+        static_cast<double>(solver.multistarts) +
+        (solver.probeAxes ? 2.0 * dim : 0.0);
+    const double perFeature =
+        probes * (dim + 1.0) +
+        static_cast<double>(solver.maxRefineIterations) * (dim + 1.0);
+    return static_cast<double>(problem.featureCount()) * perFeature;
+  }
+
+  double unitsPerSecond() const noexcept override { return 5.0e6; }
+
+  double accuracy(const RadiusProblem& /*problem*/,
+                  const RadiusRequest& /*request*/) const override {
+    // Empirically the converged multistart solver lands within ~1e-5 of
+    // the closed form up to dimension 32 (property_radius_test); declare
+    // two orders of margin so small-radius problems (where the solver's
+    // absolute floor dominates the relative error) stay inside.
+    return 1.0e-3;
+  }
+
+  RadiusOutcome solve(const RadiusProblem& problem, const RadiusRequest& request,
+                      parallel::ThreadPool* /*pool*/) const override {
+    // Mirrors MergedAnalysis (radius/merge.cpp) except the per-feature
+    // P-space radius is solved by featureRadiusNumeric — the closed-form
+    // dispatch is bypassed, not re-derived.
+    const FepiaProblem& fp = *problem.problem;
+    const feature::FeatureSet& phi = fp.features();
+    const perturb::PerturbationSpace& space = fp.space();
+    if (phi.empty()) {
+      throw std::invalid_argument("numeric backend: empty feature set");
+    }
+    if (phi.dimension() != space.totalDimension()) {
+      throw std::invalid_argument(
+          "numeric backend: feature set dimension does not match space");
+    }
+
+    auto report = std::make_shared<MergedRobustnessReport>();
+    report->scheme = problem.scheme;
+    report->features.reserve(phi.size());
+    const la::Vector piOrig = space.concatenatedOriginal();
+
+    for (std::size_t i = 0; i < phi.size(); ++i) {
+      const feature::BoundedFeature& bf = phi[i];
+      MergedFeatureReport fr;
+      fr.featureName = bf.feature->name();
+
+      std::optional<DiagonalMap> map;
+      if (problem.scheme == MergeScheme::NormalizedByOriginal) {
+        map.emplace(normalizedMap(space));
+      } else {
+        // The per-kind alphas stay closed-form where available: they
+        // *define* this feature's P-space, shared with the analytic
+        // kernel so both solve the same geometry.
+        const SensitivityWeights sw =
+            sensitivityWeights(*bf.feature, bf.bounds, space, request.numeric);
+        bool anySensitive = false;
+        for (double a : sw.alphas) anySensitive = anySensitive || a != 0.0;
+        if (!anySensitive) {
+          throw std::domain_error("numeric backend: feature '" +
+                                  bf.feature->name() +
+                                  "' has infinite radius against every kind");
+        }
+        fr.alphasPerKind = sw.alphas;
+        map.emplace(sensitivityMap(space, sw));
+      }
+      fr.mapWeights = map->weights();
+
+      la::Vector scale(map->dimension());
+      la::Vector shift(map->dimension());
+      for (std::size_t d = 0; d < map->dimension(); ++d) {
+        if (map->weights()[d] != 0.0) {
+          scale[d] = 1.0 / map->weights()[d];
+          shift[d] = 0.0;
+        } else {
+          scale[d] = 0.0;
+          shift[d] = piOrig[d];
+        }
+      }
+      const auto fP = feature::precomposeAffineDiagonal(bf.feature, scale, shift);
+      fr.radius =
+          featureRadiusNumeric(*fP, bf.bounds, map->toP(piOrig), request.numeric);
+
+      if (fr.radius.radius < report->rho) {
+        report->rho = fr.radius.radius;
+        report->criticalFeature = i;
+      }
+      report->features.push_back(std::move(fr));
+    }
+
+    RadiusOutcome out = outcomeFromMergedReport(std::move(report));
+    out.envelope = relativeEnvelope(out.rho, accuracy(problem, request));
+    return out;
+  }
+};
+
+FEPIA_REGISTER_RADIUS_BACKEND(NumericBackend)
+
+}  // namespace
+
+int detail::anchorNumericBackend() { return 0; }
+
+}  // namespace fepia::radius::backend

@@ -1,0 +1,192 @@
+#include "radius/registry/scheduler.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "obs/span.hpp"
+
+namespace fepia::radius::backend {
+
+namespace {
+
+std::string availableNames(const BackendRegistry& registry) {
+  std::string names;
+  for (const Backend* b : registry.all()) {
+    if (!names.empty()) {
+      names += ", ";
+    }
+    names += b->name();
+  }
+  return names.empty() ? std::string("none registered") : names;
+}
+
+std::string describeChain(const std::vector<FallbackStep>& chain) {
+  std::string text;
+  for (const FallbackStep& step : chain) {
+    if (!text.empty()) {
+      text += "; ";
+    }
+    text += step.backend + ": " + step.reason;
+  }
+  return text;
+}
+
+bool isFailedAttempt(const FallbackStep& step) {
+  return step.reason.rfind("failed: ", 0) == 0;
+}
+
+RadiusOutcome finish(const Backend& backend, RadiusOutcome out,
+                     std::vector<FallbackStep> chain,
+                     const RadiusProblem& problem,
+                     const RadiusRequest& request, bool overridden) {
+  out.backendName = backend.name();
+  out.declaredAccuracy = backend.accuracy(problem, request);
+  out.costEstimate = backend.cost(problem, request);
+  out.fallbacks = std::move(chain);
+  if (request.metrics != nullptr) {
+    obs::CounterSet& counters = request.metrics->counters();
+    counters.bump("registry.solves");
+    counters.bump("registry.backend." + out.backendName);
+    if (overridden) {
+      counters.bump("registry.overrides");
+    }
+    for (const FallbackStep& step : out.fallbacks) {
+      if (isFailedAttempt(step)) {
+        counters.bump("registry.fallbacks");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RadiusOutcome solveRadius(const BackendRegistry& registry,
+                          const RadiusProblem& problem,
+                          const RadiusRequest& request,
+                          parallel::ThreadPool* pool) {
+  problem.validate();
+  FEPIA_SPAN("registry.solve");
+
+  if (!request.backendOverride.empty()) {
+    const Backend* forced = registry.find(request.backendOverride);
+    if (forced == nullptr) {
+      throw BackendError("unknown radius backend '" + request.backendOverride +
+                         "' (available: " + availableNames(registry) + ")");
+    }
+    const std::string why = forced->incapabilityReason(problem);
+    if (!why.empty()) {
+      throw BackendError("radius backend '" + request.backendOverride +
+                         "' cannot solve this problem: " + why);
+    }
+    FEPIA_SPAN("registry.attempt");
+    return finish(*forced, forced->solve(problem, request, pool), {}, problem,
+                  request, /*overridden=*/true);
+  }
+
+  // Capability filter: every skip lands in the chain with its reason.
+  std::vector<FallbackStep> chain;
+  std::vector<const Backend*> capable;
+  for (const Backend* b : registry.all()) {
+    const std::string why = b->incapabilityReason(problem);
+    if (why.empty()) {
+      capable.push_back(b);
+    } else {
+      chain.push_back({b->name(), "skipped: " + why});
+    }
+  }
+  if (capable.empty()) {
+    throw BackendError("no registered radius backend can solve this problem (" +
+                       describeChain(chain) + ")");
+  }
+
+  // Accuracy bound. When nothing meets it, degrade gracefully: keep all
+  // capable backends and record the relaxation instead of failing.
+  std::vector<const Backend*> candidates;
+  for (const Backend* b : capable) {
+    if (b->accuracy(problem, request) <= request.accuracy) {
+      candidates.push_back(b);
+    }
+  }
+  if (candidates.empty()) {
+    std::ostringstream note;
+    note << "no capable backend declares accuracy <= " << request.accuracy
+         << "; relaxing the accuracy bound";
+    chain.push_back({"(scheduler)", note.str()});
+    candidates = capable;
+  } else if (candidates.size() < capable.size()) {
+    for (const Backend* b : capable) {
+      if (std::find(candidates.begin(), candidates.end(), b) ==
+          candidates.end()) {
+        std::ostringstream why;
+        why << "skipped: declared accuracy " << b->accuracy(problem, request)
+            << " exceeds requested " << request.accuracy;
+        chain.push_back({b->name(), why.str()});
+      }
+    }
+  }
+
+  // Deadline bound, same graceful-relaxation shape: an impossible
+  // deadline falls back to the cheapest candidates rather than failing.
+  std::vector<const Backend*> withinDeadline;
+  for (const Backend* b : candidates) {
+    if (b->estimatedSeconds(problem, request) <= request.deadlineSeconds) {
+      withinDeadline.push_back(b);
+    }
+  }
+  if (withinDeadline.empty()) {
+    std::ostringstream note;
+    note << "no candidate backend fits the deadline of "
+         << request.deadlineSeconds << "s; taking the cheapest regardless";
+    chain.push_back({"(scheduler)", note.str()});
+  } else {
+    if (withinDeadline.size() < candidates.size()) {
+      for (const Backend* b : candidates) {
+        if (std::find(withinDeadline.begin(), withinDeadline.end(), b) ==
+            withinDeadline.end()) {
+          std::ostringstream why;
+          why << "skipped: estimated "
+              << b->estimatedSeconds(problem, request)
+              << "s exceeds the deadline of " << request.deadlineSeconds << "s";
+          chain.push_back({b->name(), why.str()});
+        }
+      }
+    }
+    candidates = std::move(withinDeadline);
+  }
+
+  // Cheapest first; ties broken by name so scheduling is deterministic
+  // regardless of registration order.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](const Backend* a, const Backend* b) {
+                     const double ca = a->cost(problem, request);
+                     const double cb = b->cost(problem, request);
+                     if (ca != cb) {
+                       return ca < cb;
+                     }
+                     return a->name() < b->name();
+                   });
+
+  for (const Backend* b : candidates) {
+    try {
+      FEPIA_SPAN("registry.attempt");
+      return finish(*b, b->solve(problem, request, pool), chain, problem,
+                    request, /*overridden=*/false);
+    } catch (const std::invalid_argument&) {
+      throw;  // a malformed call, not a backend limitation — surface it
+    } catch (const std::exception& e) {
+      chain.push_back({b->name(), std::string("failed: ") + e.what()});
+    }
+  }
+  throw BackendError("every capable radius backend failed (" +
+                     describeChain(chain) + ")");
+}
+
+RadiusOutcome solveRadius(const RadiusProblem& problem,
+                          const RadiusRequest& request,
+                          parallel::ThreadPool* pool) {
+  return solveRadius(BackendRegistry::instance(), problem, request, pool);
+}
+
+}  // namespace fepia::radius::backend

@@ -1,0 +1,35 @@
+// Cost-model scheduling over the backend registry.
+//
+// solveRadius answers "compute the robustness radius of this problem to
+// this accuracy" without the caller naming an implementation, after the
+// cheapest-method-meeting-accuracy idea of Chen et al.'s fast
+// robustness-degradation construction: filter the registered kernels by
+// capability, then by declared accuracy and the deadline, sort the
+// survivors by modelled cost (name-tiebroken, so scheduling is
+// deterministic), and run them in order until one answers. Every skip,
+// bound relaxation, and runtime failure is recorded in the outcome's
+// fallback chain and in the registry.* metrics.
+#pragma once
+
+#include "radius/registry/registry.hpp"
+
+namespace fepia::radius::backend {
+
+/// Solves `problem` with the cheapest capable backend of `registry`
+/// meeting `request` (or with request.backendOverride, which must name a
+/// capable backend). Throws std::invalid_argument on a malformed
+/// problem; BackendError on an unknown/incapable override, when no
+/// registered backend is capable, or when every candidate fails at solve
+/// time. Safe to call concurrently as long as request.metrics is null
+/// (obs::Registry is not thread-safe).
+[[nodiscard]] RadiusOutcome solveRadius(const BackendRegistry& registry,
+                                        const RadiusProblem& problem,
+                                        const RadiusRequest& request,
+                                        parallel::ThreadPool* pool = nullptr);
+
+/// Same, against the global BackendRegistry::instance().
+[[nodiscard]] RadiusOutcome solveRadius(const RadiusProblem& problem,
+                                        const RadiusRequest& request,
+                                        parallel::ThreadPool* pool = nullptr);
+
+}  // namespace fepia::radius::backend

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "alloc/allocation.hpp"
 #include "alloc/eval_engine.hpp"
@@ -19,6 +20,7 @@
 #include "obs/span.hpp"
 #include "radius/closed_forms.hpp"
 #include "radius/fepia.hpp"
+#include "radius/registry/scheduler.hpp"
 #include "rng/distributions.hpp"
 #include "rng/xoshiro.hpp"
 #include "sweep/cache.hpp"
@@ -27,6 +29,8 @@
 
 namespace fepia::sweep {
 namespace {
+
+namespace rbackend = radius::backend;
 
 // ---- linear workload (the S3.1/S3.2 family) ---------------------------
 
@@ -130,8 +134,9 @@ struct EmpiricalPoint {
 
 class Evaluator {
  public:
-  Evaluator(const SweepSpec& spec, ResultCache& cache)
-      : spec_(spec), cache_(cache) {}
+  Evaluator(const SweepSpec& spec, ResultCache& cache,
+            std::string backendOverride)
+      : spec_(spec), cache_(cache), backendOverride_(std::move(backendOverride)) {}
 
   [[nodiscard]] PointResult evaluate(std::size_t id) const {
     switch (spec_.workload) {
@@ -148,6 +153,60 @@ class Evaluator {
   }
   [[nodiscard]] double num(std::size_t id, std::string_view axis) const {
     return spec_.valueAt(id, axis).number;
+  }
+
+  // ---- routed radius solves -------------------------------------------
+  // The analytic-rho column goes through the scheduler (which picks the
+  // closed-form kernel for every built-in workload) unless --backend
+  // forces one; the empirical/degraded columns pin their namesake
+  // kernels with the exact options the old direct calls used, so the
+  // surface stays byte-identical to the pre-registry engine. Inner
+  // solves always run with pool = nullptr and metrics = nullptr: shards
+  // already saturate the pool, and obs::Registry is not thread-safe.
+
+  [[nodiscard]] double solveRho(const radius::FepiaProblem& problem,
+                                radius::MergeScheme scheme) const {
+    rbackend::RadiusProblem rp;
+    rp.problem = &problem;
+    rp.scheme = scheme;
+    rbackend::RadiusRequest req;
+    req.backendOverride = backendOverride_;
+    return rbackend::solveRadius(rp, req, nullptr).rho;
+  }
+
+  [[nodiscard]] std::shared_ptr<EmpiricalPoint> solveEmpirical(
+      const radius::FepiaProblem& problem, radius::MergeScheme scheme,
+      const validate::EstimatorOptions& eo) const {
+    rbackend::RadiusProblem rp;
+    rp.problem = &problem;
+    rp.scheme = scheme;
+    rbackend::RadiusRequest req;
+    req.backendOverride = "empirical";
+    req.estimator = eo;
+    const rbackend::RadiusOutcome out = rbackend::solveRadius(rp, req, nullptr);
+    auto p = std::make_shared<EmpiricalPoint>();
+    p->radius = out.rho;
+    p->classifications = out.classifications;
+    return p;
+  }
+
+  [[nodiscard]] std::shared_ptr<EmpiricalPoint> solveDegraded(
+      const hiperd::ReferenceSystem& ref, std::vector<fault::FaultPlan> plans,
+      const validate::EstimatorOptions& eo,
+      const fault::DegradedOptions& dopts) const {
+    rbackend::RadiusProblem rp;
+    rp.system = &ref;
+    rp.scenarios = std::move(plans);
+    rp.desClassification = true;
+    rbackend::RadiusRequest req;
+    req.backendOverride = "degraded";
+    req.estimator = eo;
+    req.degraded = dopts;
+    const rbackend::RadiusOutcome out = rbackend::solveRadius(rp, req, nullptr);
+    auto p = std::make_shared<EmpiricalPoint>();
+    p->radius = out.rho;
+    p->classifications = out.classifications;
+    return p;
   }
 
   [[nodiscard]] PointResult evaluateLinear(std::size_t id) const {
@@ -167,7 +226,7 @@ class Evaluator {
 
     const radius::FepiaProblem problem = makeLinearProblem(*inst, beta);
     PointResult r;
-    r.analyticRho = problem.rho(scheme);
+    r.analyticRho = solveRho(problem, scheme);
     r.closedForm = scheme == radius::MergeScheme::Sensitivity
                        ? radius::sensitivityLinearRadius(n)
                        : radius::normalizedLinearRadius(inst->k, inst->orig, beta);
@@ -181,14 +240,7 @@ class Evaluator {
             validate::EstimatorOptions eo;
             eo.directions = spec_.samples;
             eo.seed = deriveSeed(spec_.seed, empKey);
-            const validate::SchemeValidation v =
-                validate::validateMergedScheme(problem, scheme, eo, nullptr);
-            auto p = std::make_shared<EmpiricalPoint>();
-            p->radius = v.rho.empirical.radius;
-            for (const validate::Comparison& row : v.allRows()) {
-              p->classifications += row.empirical.classifications;
-            }
-            return p;
+            return solveEmpirical(problem, scheme, eo);
           });
       r.empirical = emp->radius;
       r.classifications += emp->classifications;
@@ -246,9 +298,10 @@ class Evaluator {
           auto h = std::make_shared<HiperdInstance>();
           h->ref = spec_.systemPath.empty() ? hiperd::makeReferenceSystem()
                                             : io::loadSystem(spec_.systemPath);
+          const radius::FepiaProblem problem =
+              h->ref.system.executionMessageProblem(h->ref.qos);
           h->analyticRho =
-              h->ref.system.executionMessageProblem(h->ref.qos)
-                  .rho(radius::MergeScheme::NormalizedByOriginal);
+              solveRho(problem, radius::MergeScheme::NormalizedByOriginal);
           return h;
         });
 
@@ -267,14 +320,8 @@ class Evaluator {
             validate::EstimatorOptions eo;
             eo.directions = spec_.samples;
             eo.seed = deriveSeed(spec_.seed, empKey);
-            const validate::SchemeValidation v = validate::validateMergedScheme(
-                problem, radius::MergeScheme::NormalizedByOriginal, eo, nullptr);
-            auto p = std::make_shared<EmpiricalPoint>();
-            p->radius = v.rho.empirical.radius;
-            for (const validate::Comparison& row : v.allRows()) {
-              p->classifications += row.empirical.classifications;
-            }
-            return p;
+            return solveEmpirical(
+                problem, radius::MergeScheme::NormalizedByOriginal, eo);
           });
       r.empirical = emp->radius;
       r.classifications += emp->classifications;
@@ -300,12 +347,7 @@ class Evaluator {
             dopts.generations = spec_.generations;
             dopts.explicitDirections = true;
             dopts.serviceJitterCov = num(id, "jitter");
-            const fault::DegradedEstimate est = fault::estimateDegradedRadius(
-                inst->ref, plans, eo, dopts, nullptr);
-            auto p = std::make_shared<EmpiricalPoint>();
-            p->radius = est.degraded.radius;
-            p->classifications = est.degraded.classifications;
-            return p;
+            return solveDegraded(inst->ref, std::move(plans), eo, dopts);
           });
       r.degraded = deg->radius;
       r.classifications += deg->classifications;
@@ -315,6 +357,7 @@ class Evaluator {
 
   const SweepSpec& spec_;
   ResultCache& cache_;
+  std::string backendOverride_;
 };
 
 }  // namespace
@@ -373,7 +416,7 @@ SweepSurface runSweep(const SweepSpec& spec, const SweepOptions& opts,
   }
 
   ResultCache cache(opts.cacheEnabled);
-  const Evaluator evaluator(spec, cache);
+  const Evaluator evaluator(spec, cache, opts.backendOverride);
   const obs::Stopwatch sw;
 
   const auto runShard = [&](std::size_t i) {

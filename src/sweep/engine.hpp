@@ -55,6 +55,14 @@ struct SweepOptions {
   std::size_t stopAfterShards = 0;
   /// Overrides the spec's shard size when nonzero.
   std::size_t chunkOverride = 0;
+  /// Forces one radius backend (by registry name) for the per-point
+  /// analytic-rho computations — the CLI's --backend flag. Empty lets
+  /// the cost-model scheduler choose (the analytic kernel, for every
+  /// built-in workload). The empirical/degraded columns always route to
+  /// their namesake kernels: they *are* the requested estimate, not an
+  /// implementation choice. Unknown or incapable names surface as
+  /// radius::backend::BackendError from runSweep.
+  std::string backendOverride;
   /// Optional metrics sink (sweep.* counters, written after the joins).
   obs::Registry* metrics = nullptr;
 };

@@ -69,6 +69,7 @@ SchemeValidation validateMergedScheme(const radius::FepiaProblem& problem,
 
   out.rho = compare("rho (min over features)", rep.rho,
                     out.perFeature[bestIndex].empirical);
+  out.criticalFeature = bestIndex;
 
   if (scheme == radius::MergeScheme::NormalizedByOriginal) {
     // One shared map: the joint safe region is well-defined in P-space.

@@ -24,6 +24,8 @@ struct SchemeValidation {
   std::vector<Comparison> perFeature;
   /// rho = min over features, compared against the analytic rho.
   Comparison rho;
+  /// Index (into perFeature) of the feature realising the empirical rho.
+  std::size_t criticalFeature = 0;
   /// Normalized scheme only: the joint safe region (all features at
   /// once) sampled under the shared map — an independent estimate of rho.
   std::optional<Comparison> joint;

@@ -1,0 +1,190 @@
+// Fuzz-lite differential hardening of the radius backends: seed-looped
+// malformed and extreme instances — near-singular conditioning, bounds
+// touching the operating point (zero-width safe regions), 1-D
+// degenerate problems, magnitudes at 1e-12 and 1e+12 — must make every
+// capable backend return a finite-or-infinite radius or throw a typed
+// error. Never NaN, never a crash (CI runs this under asan-ubsan).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "feature/linear.hpp"
+#include "perturb/parameter.hpp"
+#include "radius/registry/scheduler.hpp"
+#include "support/instance_gen.hpp"
+#include "units/unit.hpp"
+
+namespace rb = fepia::radius::backend;
+namespace radius = fepia::radius;
+namespace feature = fepia::feature;
+namespace perturb = fepia::perturb;
+namespace units = fepia::units;
+namespace la = fepia::la;
+namespace ft = fepia::testing;
+
+namespace {
+
+/// Runs every capable backend forced by override; any outcome must not
+/// be NaN, and any failure must be a typed std:: exception.
+void expectFiniteOrTypedError(const rb::RadiusProblem& rp,
+                              const std::string& tag) {
+  for (const rb::Backend* b : rb::BackendRegistry::instance().all()) {
+    if (!b->capable(rp)) continue;
+    rb::RadiusRequest req;
+    req.backendOverride = b->name();
+    req.estimator.directions = 64;
+    req.estimator.chunkSize = 32;
+    try {
+      const rb::RadiusOutcome out = rb::solveRadius(rp, req);
+      EXPECT_FALSE(std::isnan(out.rho)) << tag << ": " << b->name();
+      EXPECT_GE(out.rho, 0.0) << tag << ": " << b->name();
+      EXPECT_FALSE(std::isnan(out.envelope.lo)) << tag << ": " << b->name();
+      EXPECT_FALSE(std::isnan(out.envelope.hi)) << tag << ": " << b->name();
+    } catch (const std::invalid_argument&) {
+      // typed: malformed call
+    } catch (const std::domain_error&) {
+      // typed: operating point outside its own safe region, degenerate map
+    } catch (const rb::BackendError&) {
+      // typed: every capable backend failed / solve-time limitation
+    } catch (const std::runtime_error&) {
+      // typed: solver-level failure surfaced with a message
+    }
+    // Anything else (std::bad_alloc aside) escapes and fails the test by
+    // terminating it — which is the point.
+  }
+}
+
+radius::FepiaProblem extremeSpreadProblem(double lo, double hi) {
+  radius::FepiaProblem problem;
+  problem.addPerturbation(perturb::PerturbationParameter(
+      "tiny", units::Unit::seconds(), la::Vector{lo, lo}));
+  problem.addPerturbation(perturb::PerturbationParameter(
+      "huge", units::Unit::bytes(), la::Vector{hi}));
+  const auto phi = std::make_shared<feature::LinearFeature>(
+      "mix", la::Vector{1.0 / lo, -0.5 / lo, 1.0 / hi}, 0.0,
+      units::Unit::dimensionless());
+  problem.addFeature(phi,
+                     feature::FeatureBounds::upper(
+                         phi->evaluate(la::Vector{lo, lo, hi}) + 1.0));
+  return problem;
+}
+
+}  // namespace
+
+TEST(BackendFuzz, ExtremeMagnitudeSpread) {
+  // Kinds 24 orders of magnitude apart: the normalized map divides by
+  // originals of 1e-12 and 1e+12 in one problem.
+  for (const auto& [lo, hi] : {std::pair<double, double>{1e-12, 1e12},
+                               {1e-12, 1.0},
+                               {1.0, 1e12}}) {
+    const radius::FepiaProblem problem = extremeSpreadProblem(lo, hi);
+    for (const radius::MergeScheme scheme :
+         {radius::MergeScheme::NormalizedByOriginal,
+          radius::MergeScheme::Sensitivity}) {
+      rb::RadiusProblem rp;
+      rp.problem = &problem;
+      rp.scheme = scheme;
+      expectFiniteOrTypedError(rp, "spread lo=" + std::to_string(lo) +
+                                       " hi=" + std::to_string(hi));
+    }
+  }
+}
+
+TEST(BackendFuzz, ZeroWidthSafeRegion) {
+  // betaMax = phi(orig)·(1 + 1e-14): the operating point sits within
+  // rounding error of the boundary. The radius must come back ~0 (or a
+  // typed domain_error when a kernel classifies the origin as already
+  // violating) — never NaN.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    radius::FepiaProblem problem;
+    problem.addPerturbation(perturb::PerturbationParameter(
+        "e", units::Unit::seconds(),
+        la::Vector{1.0 + static_cast<double>(seed), 2.0}));
+    const la::Vector orig{1.0 + static_cast<double>(seed), 2.0};
+    const auto phi = std::make_shared<feature::LinearFeature>(
+        "tight", la::Vector{1.0, 1.0}, 0.0, units::Unit::seconds());
+    problem.addFeature(phi, feature::FeatureBounds::upper(
+                                phi->evaluate(orig) * (1.0 + 1e-14)));
+    rb::RadiusProblem rp;
+    rp.problem = &problem;
+    expectFiniteOrTypedError(rp, "zero-width seed=" + std::to_string(seed));
+  }
+}
+
+TEST(BackendFuzz, OriginExactlyOnBoundary) {
+  // betaMax == phi(orig): zero slack exactly.
+  radius::FepiaProblem problem;
+  problem.addPerturbation(perturb::PerturbationParameter(
+      "e", units::Unit::seconds(), la::Vector{3.0}));
+  const auto phi = std::make_shared<feature::LinearFeature>(
+      "exact", la::Vector{2.0}, 0.0, units::Unit::seconds());
+  problem.addFeature(phi, feature::FeatureBounds::upper(6.0));
+  rb::RadiusProblem rp;
+  rp.problem = &problem;
+  expectFiniteOrTypedError(rp, "on-boundary");
+}
+
+TEST(BackendFuzz, OneDimensionalDegenerate) {
+  // 1-D problems across magnitudes, including an unbounded direction
+  // (negative coefficient, upper bound: moving down never violates, the
+  // boundary sits on one side only).
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const double mag = std::pow(10.0, static_cast<double>(seed % 7) * 2 - 6);
+    radius::FepiaProblem problem;
+    problem.addPerturbation(perturb::PerturbationParameter(
+        "x", units::Unit::objects(), la::Vector{mag}));
+    const double coeff = (seed % 2 == 0) ? 1.0 : -1.0;
+    const auto phi = std::make_shared<feature::LinearFeature>(
+        "line", la::Vector{coeff}, 0.0, units::Unit::objects());
+    problem.addFeature(
+        phi, feature::FeatureBounds::upper(coeff * mag + 0.5 * mag));
+    rb::RadiusProblem rp;
+    rp.problem = &problem;
+    expectFiniteOrTypedError(rp, "1d seed=" + std::to_string(seed));
+  }
+}
+
+TEST(BackendFuzz, NearSingularConditioning) {
+  // Conditioning up to 1e9 through the shared generator: the merged map
+  // mixes kinds spread across nine orders of magnitude.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const radius::FepiaProblem problem =
+        ft::makeLinearInstance(seed, 4, 1.0e9);
+    for (const radius::MergeScheme scheme :
+         {radius::MergeScheme::NormalizedByOriginal,
+          radius::MergeScheme::Sensitivity}) {
+      rb::RadiusProblem rp;
+      rp.problem = &problem;
+      rp.scheme = scheme;
+      expectFiniteOrTypedError(rp,
+                               "near-singular seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(BackendFuzz, MalformedProblemsThrowTyped) {
+  // Unsolvable descriptions must be rejected before any backend runs.
+  rb::RadiusRequest req;
+  {
+    rb::RadiusProblem rp;  // neither problem nor system
+    EXPECT_THROW((void)rb::solveRadius(rp, req), std::invalid_argument);
+  }
+  {
+    const radius::FepiaProblem problem = ft::makeLinearInstance(1, 2);
+    rb::RadiusProblem rp;
+    rp.problem = &problem;
+    rp.desClassification = true;  // DES classification without a system
+    EXPECT_THROW((void)rb::solveRadius(rp, req), std::invalid_argument);
+  }
+  {
+    const radius::FepiaProblem problem = ft::makeLinearInstance(2, 2);
+    rb::RadiusProblem rp;
+    rp.problem = &problem;
+    rp.scenarios.push_back({});  // fault scenarios without a system
+    EXPECT_THROW((void)rb::solveRadius(rp, req), std::invalid_argument);
+  }
+}

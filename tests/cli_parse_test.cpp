@@ -122,6 +122,28 @@ TEST(CliParse, SweepModeRejectsBadInputsCleanly) {
   expectParseError("sweep " + ok + " --stop-after 1", "journal");
 }
 
+TEST(CliParse, BackendOverrideDiagnosticsExitOne) {
+  // --backend failures are one-line scheduler errors with status 1:
+  // unknown names enumerate the registry, incapable backends explain
+  // why, and validate refuses backends without an empirical comparison.
+  const std::string prob = tmpPath("cli_parse_backend.fepia");
+  std::ofstream(prob) << "kind k s 1.0\n"
+                      << "feature \"f\" upper 2.0 coeff 1.0\n";
+  expectParseError(prob + " --backend bogus", "unknown radius backend");
+  expectParseError(prob + " --backend degraded", "cannot solve this problem");
+  expectParseError("validate " + prob + " --backend analytic --samples 16",
+                   "does not produce an empirical comparison");
+  expectParseError("fault-sim --no-faults --samples 4 --gens 40 "
+                   "--backend empirical",
+                   "cannot solve this problem");
+  const std::string spec = tmpPath("cli_parse_backend.sweep");
+  std::ofstream(spec) << "workload linear\naxis n 2\n";
+  expectParseError("sweep " + spec + " --backend degraded",
+                   "cannot solve this problem");
+  expectParseError("sweep " + spec + " --backend bogus",
+                   "unknown radius backend");
+}
+
 TEST(CliParse, ValidSweepRunExitsZeroAndWritesJson) {
   const std::string spec = tmpPath("cli_parse_sweep.sweep");
   std::ofstream(spec) << "sweep tiny\nworkload linear\naxis n 2 4\n"

@@ -11,6 +11,7 @@
 #include "la/geometry.hpp"
 #include "radius/engine.hpp"
 #include "rng/distributions.hpp"
+#include "support/tolerances.hpp"
 
 namespace radius = fepia::radius;
 namespace feature = fepia::feature;
@@ -57,8 +58,10 @@ TEST_P(LinearRadiusSweep, ClosedFormEqualsHyperplaneDistance) {
   const la::Hyperplane plane(c.k, c.betaMax);
   EXPECT_NEAR(r.radius, plane.distance(c.orig), 1e-12 * (1.0 + r.radius));
   // pi* lies on the boundary and realises the distance.
-  EXPECT_NEAR(phi.evaluate(r.boundaryPoint), c.betaMax, 1e-9);
-  EXPECT_NEAR(la::distance(r.boundaryPoint, c.orig), r.radius, 1e-9);
+  EXPECT_NEAR(phi.evaluate(r.boundaryPoint), c.betaMax,
+              fepia::testing::kExactGeometryTol);
+  EXPECT_NEAR(la::distance(r.boundaryPoint, c.orig), r.radius,
+              fepia::testing::kExactGeometryTol);
 }
 
 TEST_P(LinearRadiusSweep, NumericAgreesWithClosedForm) {

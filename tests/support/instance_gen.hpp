@@ -1,0 +1,136 @@
+// Seed-deterministic random FePIA instances shared by the cross-backend
+// differential harness (backend_agreement_test) and the fuzz-lite suite
+// (backend_fuzz_test). Three families cover the repo's workloads:
+//
+//   - makeLinearInstance: multi-kind problems with linear features, the
+//     kinds split across cycling base units and (optionally) spread over
+//     `conditioning` orders of magnitude so the merged P-space map has
+//     wildly different per-kind scales;
+//   - makeAllocInstance: the makespan case study (CVB ETC matrix, mct
+//     allocation, tau = 1.4 x seed makespan);
+//   - makeHiperdProblem: the execution-times x message-sizes problem of
+//     a small random HiPer-D pipeline.
+//
+// Everything derives from the seed alone — same seed, same instance,
+// bit for bit — so failures replay from the gtest parameter name.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "alloc/heuristics.hpp"
+#include "alloc/robustness.hpp"
+#include "etc/etc.hpp"
+#include "feature/linear.hpp"
+#include "hiperd/factory.hpp"
+#include "la/matrix.hpp"
+#include "perturb/parameter.hpp"
+#include "radius/fepia.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "units/unit.hpp"
+
+namespace fepia::testing {
+
+/// Random multi-kind linear problem. `dim` total perturbation
+/// dimensions are split into kinds of 1–2 dimensions each; kind j gets
+/// the base unit cycling over the four dimensions and originals scaled
+/// by conditioning^(j%3 / 2), so conditioning > 1 mixes magnitudes
+/// within one problem. Every feature is linear with nonzero
+/// coefficients in every dimension (scaled back by the kind magnitude
+/// so feature values stay O(1)) and an upper bound with positive slack
+/// — radii are finite and every backend family is capable.
+inline radius::FepiaProblem makeLinearInstance(std::uint64_t seed,
+                                               std::size_t dim,
+                                               double conditioning = 1.0) {
+  rng::Xoshiro256StarStar g(seed ^ (0x11CEull * dim));
+  radius::FepiaProblem problem;
+
+  std::vector<double> scaleOf(dim, 1.0);  // per-dimension original scale
+  std::size_t placed = 0;
+  std::size_t j = 0;
+  while (placed < dim) {
+    const std::size_t size =
+        (dim - placed >= 2 && rng::uniform(g, 0.0, 1.0) < 0.5) ? 2 : 1;
+    const double scale =
+        std::pow(conditioning, static_cast<double>(j % 3) / 2.0);
+    la::Vector orig(size);
+    for (std::size_t d = 0; d < size; ++d) {
+      orig[d] = scale * rng::uniform(g, 0.5, 5.0);
+      scaleOf[placed + d] = scale;
+    }
+    problem.addPerturbation(perturb::PerturbationParameter(
+        "kind-" + std::to_string(j),
+        units::Unit::base(static_cast<units::Dimension>(j % 4)),
+        std::move(orig)));
+    placed += size;
+    ++j;
+  }
+
+  const std::size_t features =
+      1 + static_cast<std::size_t>(rng::uniform(g, 0.0, 2.999));
+  for (std::size_t f = 0; f < features; ++f) {
+    la::Vector k(dim);
+    for (std::size_t d = 0; d < dim; ++d) {
+      double c = 0.0;
+      while (std::abs(c) < 0.05) c = rng::uniform(g, -2.0, 2.0);
+      k[d] = c / scaleOf[d];
+    }
+    const auto phi = std::make_shared<feature::LinearFeature>(
+        "phi-" + std::to_string(f), std::move(k), 0.0,
+        units::Unit::dimensionless());
+    la::Vector orig(dim);
+    {
+      std::size_t d = 0;
+      for (std::size_t kk = 0; kk < problem.space().kindCount(); ++kk) {
+        const la::Vector& o = problem.space().kind(kk).original();
+        for (const double x : o) orig[d++] = x;
+      }
+    }
+    const double slack = rng::uniform(g, 0.5, 10.0);
+    problem.addFeature(phi,
+                       feature::FeatureBounds::upper(phi->evaluate(orig) +
+                                                     slack));
+  }
+  return problem;
+}
+
+/// The makespan case study instance: CVB workload, mct seed allocation,
+/// tau with 40% slack over the seed makespan — the same construction the
+/// sweep engine and `fepia_cli search` use.
+struct AllocInstance {
+  la::Matrix etc;
+  alloc::Allocation mu;
+  double tau = 0.0;
+  radius::FepiaProblem problem;
+};
+
+inline AllocInstance makeAllocInstance(std::uint64_t seed,
+                                       std::size_t tasks = 24,
+                                       std::size_t machines = 4) {
+  rng::Xoshiro256StarStar g(seed);
+  la::Matrix e = etc::generateCvb(tasks, machines,
+                                  etc::cvbPreset(etc::Heterogeneity::HiHi), g);
+  alloc::Allocation mu = alloc::mct(e);
+  const double tau = 1.4 * alloc::makespan(mu, e);
+  radius::FepiaProblem problem = alloc::makespanProblem(mu, e, tau);
+  return AllocInstance{std::move(e), std::move(mu), tau, std::move(problem)};
+}
+
+/// Execution-times x message-sizes problem of a small random HiPer-D
+/// pipeline (2 sensors, chain depth 2). The returned problem captures
+/// all coefficients by value, so it is self-contained.
+inline radius::FepiaProblem makeHiperdProblem(std::uint64_t seed) {
+  rng::Xoshiro256StarStar g(seed);
+  hiperd::RandomSystemParams params;
+  params.sensors = 2;
+  params.chainDepth = 2;
+  const hiperd::ReferenceSystem ref = hiperd::makeRandomSystem(params, g);
+  return ref.system.executionMessageProblem(ref.qos);
+}
+
+}  // namespace fepia::testing

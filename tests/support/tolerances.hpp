@@ -1,0 +1,18 @@
+// Shared numeric tolerances for the test suites — one definition per
+// constant instead of the bare 1e-9 literals that used to be repeated
+// across property_radius_test, validate_test and sweep_test.
+#pragma once
+
+namespace fepia::testing {
+
+/// Absolute tolerance for exact geometric identities: a boundary point
+/// must evaluate onto its bound and realise the reported distance, and
+/// an empirical estimate of an exactly known region (the unit ball)
+/// must land on the true radius after the polish sweeps.
+inline constexpr double kExactGeometryTol = 1e-9;
+
+/// Tolerance for the analytic engine against an independently derived
+/// closed form (per-point sweep agreement, surface summaries).
+inline constexpr double kClosedFormAgreementTol = 1e-9;
+
+}  // namespace fepia::testing

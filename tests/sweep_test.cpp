@@ -21,6 +21,7 @@
 #include "sweep/journal.hpp"
 #include "sweep/output.hpp"
 #include "sweep/spec.hpp"
+#include "support/tolerances.hpp"
 
 namespace {
 
@@ -317,7 +318,9 @@ TEST(SweepEngine, LinearSweepMatchesClosedForms) {
     ASSERT_TRUE(std::isfinite(r.analyticRho)) << id;
     ASSERT_TRUE(std::isfinite(r.closedForm)) << id;
     // The optimizer-found rho agrees with the paper's closed form.
-    EXPECT_NEAR(r.analyticRho, r.closedForm, 1e-9) << spec.pointKey(id);
+    EXPECT_NEAR(r.analyticRho, r.closedForm,
+                fepia::testing::kClosedFormAgreementTol)
+        << spec.pointKey(id);
     if (spec.valueAt(id, "scheme").token == "sensitivity") {
       const double n = spec.valueAt(id, "n").number;
       EXPECT_NEAR(r.closedForm, radius::sensitivityLinearRadius(
@@ -342,7 +345,8 @@ TEST(SweepEngine, SensitivityRadiusIsConstantAcrossScales) {
   ASSERT_TRUE(surface.complete);
   const double expected = radius::sensitivityLinearRadius(4);
   for (std::size_t id = 0; id < surface.points; ++id) {
-    EXPECT_NEAR(surface.results[id].analyticRho, expected, 1e-9)
+    EXPECT_NEAR(surface.results[id].analyticRho, expected,
+                fepia::testing::kClosedFormAgreementTol)
         << spec.pointKey(id);
   }
 }
@@ -427,7 +431,8 @@ TEST(SweepOutput, SummaryAndTablesCoverComputedPoints) {
   const sweep::SurfaceSummary summary = sweep::summarize(surface);
   EXPECT_EQ(summary.finitePoints, 4u);
   EXPECT_LE(summary.rhoMin, summary.rhoMax);
-  EXPECT_LT(summary.worstClosedFormDeviation, 1e-9);
+  EXPECT_LT(summary.worstClosedFormDeviation,
+            fepia::testing::kClosedFormAgreementTol);
 
   std::ostringstream json;
   sweep::writeSurfaceJson(json, spec, surface);

@@ -16,6 +16,7 @@
 #include "radius/fepia.hpp"
 #include "units/unit.hpp"
 #include "validate/empirical.hpp"
+#include "support/tolerances.hpp"
 #include "validate/report.hpp"
 #include "validate/scheme.hpp"
 
@@ -101,9 +102,9 @@ TEST(EmpiricalRadius, BallRegionIsExactInEveryDirection) {
       phi, la::Vector{0.0, 0.0, 0.0}, fastOptions(256));
   ASSERT_TRUE(est.finite());
   EXPECT_EQ(est.boundaryHits, est.directions);
-  EXPECT_NEAR(est.radius, 2.0, 1e-9);
-  EXPECT_NEAR(est.distanceSummary.max, 2.0, 1e-9);
-  EXPECT_NEAR(est.distanceSummary.mean, 2.0, 1e-9);
+  EXPECT_NEAR(est.radius, 2.0, fepia::testing::kExactGeometryTol);
+  EXPECT_NEAR(est.distanceSummary.max, 2.0, fepia::testing::kExactGeometryTol);
+  EXPECT_NEAR(est.distanceSummary.mean, 2.0, fepia::testing::kExactGeometryTol);
 }
 
 TEST(EmpiricalRadius, UnboundedRegionIsFullyCensored) {

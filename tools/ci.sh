@@ -1,27 +1,30 @@
 #!/usr/bin/env bash
 # CI entry point: build the Release and ASan+UBSan configurations and run
-# the tier1 (fast) test suite under both. Mirrors the CMake presets in
-# CMakePresets.json; run from anywhere.
+# the tier1 (fast) test suite under both, then build the TSan
+# configuration and run the backend-registry thread suite under it.
+# Mirrors the CMake presets in CMakePresets.json; run from anywhere.
 #
-#   tools/ci.sh            # both configs
+#   tools/ci.sh            # all configs
 #   tools/ci.sh release    # one config
 #   tools/ci.sh asan-ubsan
+#   tools/ci.sh tsan       # ThreadSanitizer, registry thread suite only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 2)
-[ $# -gt 0 ] && configs=("$@") || configs=(release asan-ubsan)
+[ $# -gt 0 ] && configs=("$@") || configs=(release asan-ubsan tsan)
 
 for cfg in "${configs[@]}"; do
   case "$cfg" in
     release) test_preset=tier1 ;;
     asan-ubsan) test_preset=tier1-asan ;;
-    *) echo "unknown config '$cfg' (release|asan-ubsan)" >&2; exit 2 ;;
+    tsan) test_preset=registry-tsan ;;
+    *) echo "unknown config '$cfg' (release|asan-ubsan|tsan)" >&2; exit 2 ;;
   esac
   echo "=== [$cfg] configure + build ==="
   cmake --preset "$cfg"
   cmake --build --preset "$cfg" -j "$jobs"
-  echo "=== [$cfg] ctest -L tier1 ==="
+  echo "=== [$cfg] ctest --preset $test_preset ==="
   ctest --preset "$test_preset" -j "$jobs"
 
   if [ "$cfg" = release ]; then
@@ -144,6 +147,30 @@ def lines(path):
 cold, resumed = (lines(p) for p in sys.argv[1:3])
 assert cold == resumed, "resumed sweep JSON differs from the cold run"
 print("fepia_cli sweep resume smoke OK")
+EOF
+
+    # Backend-registry byte-identity guard: the S3.1 sensitivity sweep,
+    # now routed through the radius backend scheduler, must reproduce
+    # the checked-in baseline surface byte-for-byte (outside per-run
+    # metadata) at 1, 2 and 8 threads.
+    echo "=== [$cfg] sweep s31 byte-identity smoke ==="
+    for t in 1 2 8; do
+      ./build/tools/fepia_cli sweep examples/sweeps/s31_sensitivity.sweep \
+        --threads "$t" --json "build/s31_t${t}.json" >/dev/null
+    done
+    python3 - build/s31_t1.json build/s31_t2.json build/s31_t8.json \
+      tools/baselines/s31_surface.json <<'EOF'
+import json, sys
+def norm(path):
+    with open(path) as f:
+        d = json.load(f)
+    for key in ("manifest", "cache", "resumed_shards"):
+        d.pop(key, None)
+    return d
+base = norm(sys.argv[4])
+for path in sys.argv[1:4]:
+    assert norm(path) == base, f"{path} differs from the s31 baseline"
+print("sweep s31 byte-identity smoke OK")
 EOF
 
     echo "=== [$cfg] bench_sweep smoke ==="

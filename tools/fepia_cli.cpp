@@ -16,6 +16,11 @@
 //                                          kind, repeated per kind in order
 //   --csv                                  emit tables as CSV
 //   --echo                                 re-serialize the parsed problem
+//   --backend NAME                         force one radius backend
+//                                          (analytic|numeric|empirical|
+//                                          degraded — see docs/backends.md);
+//                                          also accepted by validate,
+//                                          fault-sim and sweep
 //
 // --hiperd mode loads a HiPer-D topology (see src/io/system_io.hpp and
 // examples/data/fusion_pipeline.hiperd) and runs the load-space analysis
@@ -102,6 +107,7 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "parallel/thread_pool.hpp"
+#include "radius/registry/scheduler.hpp"
 #include "report/table.hpp"
 #include "sweep/engine.hpp"
 #include "sweep/output.hpp"
@@ -130,14 +136,16 @@ ObsCli g_obs;
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <problem-file> [--scheme normalized|sensitivity|both]"
-               " [--check v1,v2,... ...] [--csv] [--echo]\n"
+               " [--check v1,v2,... ...] [--backend NAME] [--csv] [--echo]\n"
             << "       " << argv0 << " --hiperd <system-file> [--csv]\n"
             << "       " << argv0
             << " validate <problem-file> [--scheme ...] [--samples N]"
-               " [--seed S] [--threads T] [--csv] [--json FILE]\n"
+               " [--seed S] [--threads T] [--backend NAME] [--csv]"
+               " [--json FILE]\n"
             << "       " << argv0
             << " validate --hiperd <system-file> [--des] [--samples N]"
-               " [--seed S] [--threads T] [--csv] [--json FILE]\n"
+               " [--seed S] [--threads T] [--backend NAME] [--csv]"
+               " [--json FILE]\n"
             << "       " << argv0
             << " search [--tasks N] [--machines M]"
                " [--het hi-hi|hi-lo|lo-hi|lo-lo] [--tau-factor F] [--seed S]"
@@ -148,16 +156,19 @@ int usage(const char* argv0) {
                " [--threads T] [--scenarios N] [--gens N]"
                " [--crash M:T[:BACKUP]] [--slow machine|link:IDX:FROM:TO:F]"
                " [--loss LINK:P] [--detect SEC] [--retries N] [--no-faults]"
-               " [--csv] [--json FILE]\n"
+               " [--backend NAME] [--csv] [--json FILE]\n"
             << "       " << argv0
             << " sweep <spec-file> [--threads T] [--chunk N] [--journal FILE]"
                " [--resume] [--stop-after N] [--no-cache] [--response AXIS]"
-               " [--csv] [--json FILE]\n"
+               " [--backend NAME] [--csv] [--json FILE]\n"
             << "       " << argv0
             << " profile [--tasks N] [--machines M] [--seed S] [--threads T]\n"
             << "Every subcommand also accepts --trace FILE (write a Chrome"
                " trace-event JSON; load in Perfetto or chrome://tracing) and"
-               " --metrics (dump the metrics registry as JSON on exit).\n";
+               " --metrics (dump the metrics registry as JSON on exit).\n"
+               "--backend NAME forces one radius backend (see docs/"
+               "backends.md); omit it to let the cost-model scheduler"
+               " choose.\n";
   return 1;
 }
 
@@ -207,23 +218,39 @@ void emit(const report::Table& table, bool csv) {
   std::cout << '\n';
 }
 
+/// Solves the merged-scheme radius through the backend registry. The
+/// per-feature table is printed only when the chosen backend produces a
+/// closed-form/numeric per-feature report (the empirical kernel
+/// estimates rho as one joint quantity); the rho summary and the chosen
+/// backend are always printed.
 void printMerged(const radius::FepiaProblem& problem,
-                 radius::MergeScheme scheme, bool csv) {
-  const radius::MergedAnalysis analysis = problem.merged(scheme);
-  const auto& rep = analysis.report();
+                 radius::MergeScheme scheme, bool csv,
+                 const std::string& backendOverride = {}) {
+  namespace rb = radius::backend;
+  rb::RadiusProblem rp;
+  rp.problem = &problem;
+  rp.scheme = scheme;
+  rb::RadiusRequest req;
+  req.backendOverride = backendOverride;
+  req.metrics = &g_obs.registry;
+  const rb::RadiusOutcome out = rb::solveRadius(rp, req);
   std::cout << "scheme: " << radius::mergeSchemeName(scheme) << "\n";
-  report::Table table({"feature", "radius (P-space)", "bound side", "exact"});
-  for (const auto& f : rep.features) {
-    table.addRow({f.featureName, report::num(f.radius.radius, 8),
-                  f.radius.side == radius::BoundSide::Max
-                      ? "upper"
-                      : (f.radius.side == radius::BoundSide::Min ? "lower"
-                                                                 : "none"),
-                  f.radius.exact ? "yes" : "no"});
+  if (out.merged != nullptr) {
+    const auto& rep = *out.merged;
+    report::Table table({"feature", "radius (P-space)", "bound side", "exact"});
+    for (const auto& f : rep.features) {
+      table.addRow({f.featureName, report::num(f.radius.radius, 8),
+                    f.radius.side == radius::BoundSide::Max
+                        ? "upper"
+                        : (f.radius.side == radius::BoundSide::Min ? "lower"
+                                                                   : "none"),
+                    f.radius.exact ? "yes" : "no"});
+    }
+    emit(table, csv);
   }
-  emit(table, csv);
-  std::cout << "rho = " << report::num(rep.rho, 8) << "  (critical: "
-            << rep.features[rep.criticalFeature].featureName << ")\n\n";
+  std::cout << "rho = " << report::num(out.rho, 8) << "  (critical: "
+            << out.criticalFeature << ")\n"
+            << "backend: " << out.backendName << "\n\n";
 }
 
 int runHiperdMode(const std::string& path, bool csv) {
@@ -282,6 +309,7 @@ int runValidateMode(int argc, char** argv) {
   bool csv = false;
   std::string schemeArg = "both";
   std::string jsonPath;
+  std::string backendArg;
   std::optional<std::size_t> samples;
   std::optional<std::size_t> threads;
   validate::EstimatorOptions opts;
@@ -296,6 +324,8 @@ int runValidateMode(int argc, char** argv) {
       csv = true;
     } else if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
       schemeArg = argv[++i];
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      backendArg = argv[++i];
     } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
       samples = argSize("--samples", argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
@@ -329,12 +359,34 @@ int runValidateMode(int argc, char** argv) {
   std::vector<validate::Comparison> jsonRows;
   std::size_t misses = 0;
 
+  // Validation needs the cross-check rows, so the scheme solves pin the
+  // empirical kernel unless the user forces another backend — in which
+  // case the backend must still produce an empirical comparison.
+  namespace rb = radius::backend;
+  const auto validateScheme = [&](const radius::FepiaProblem& prob,
+                                  radius::MergeScheme scheme) {
+    rb::RadiusProblem rp;
+    rp.problem = &prob;
+    rp.scheme = scheme;
+    rb::RadiusRequest req;
+    req.backendOverride = backendArg.empty() ? "empirical" : backendArg;
+    req.estimator = opts;
+    req.metrics = &g_obs.registry;
+    const rb::RadiusOutcome out = rb::solveRadius(rp, req, pool.get());
+    if (out.validation == nullptr) {
+      throw std::runtime_error("radius backend '" + out.backendName +
+                               "' does not produce an empirical comparison"
+                               " (validate needs the empirical backend)");
+    }
+    return out.validation;
+  };
+
   if (hiperd) {
     const hiperd::ReferenceSystem ref = io::loadSystem(path);
     const radius::FepiaProblem mixed = ref.system.executionMessageProblem(ref.qos);
-    const validate::SchemeValidation v = validate::validateMergedScheme(
-        mixed, radius::MergeScheme::NormalizedByOriginal, opts, pool.get());
-    misses += emitValidation("scheme: normalized", v.allRows(), csv, jsonRows);
+    const std::shared_ptr<const validate::SchemeValidation> v =
+        validateScheme(mixed, radius::MergeScheme::NormalizedByOriginal);
+    misses += emitValidation("scheme: normalized", v->allRows(), csv, jsonRows);
 
     if (des) {
       // Classify the joint region by simulation: the shared degraded-mode
@@ -342,10 +394,20 @@ int runValidateMode(int argc, char** argv) {
       // (map each normalized P-space probe back to an (execution times ⋆
       // message sizes) operating point, run the queueing model against
       // the QoS) — `fault-sim --no-faults` reproduces this bit-for-bit.
-      fault::DegradedOptions dopts;
-      dopts.explicitDirections = samples.has_value();
-      const fault::DegradedEstimate d =
-          fault::estimateDegradedRadius(ref, {}, opts, dopts, pool.get());
+      rb::RadiusProblem rp;
+      rp.system = &ref;
+      rp.desClassification = true;
+      rb::RadiusRequest req;
+      req.backendOverride = backendArg;  // empty: scheduler picks degraded
+      req.estimator = opts;
+      req.degraded.explicitDirections = samples.has_value();
+      req.metrics = &g_obs.registry;
+      const rb::RadiusOutcome out = rb::solveRadius(rp, req, pool.get());
+      if (out.degraded == nullptr) {
+        throw std::runtime_error("radius backend '" + out.backendName +
+                                 "' does not produce a DES estimate");
+      }
+      const fault::DegradedEstimate& d = *out.degraded;
       // The DES adds queueing on top of the analytic stage-time model,
       // so its region is a subset and the estimate legitimately comes in
       // below rho: report the row but keep it out of the verdict.
@@ -358,14 +420,15 @@ int runValidateMode(int argc, char** argv) {
   } else {
     const radius::FepiaProblem problem = io::loadProblem(path);
     if (schemeArg == "both" || schemeArg == "normalized") {
-      const validate::SchemeValidation v = validate::validateMergedScheme(
-          problem, radius::MergeScheme::NormalizedByOriginal, opts, pool.get());
-      misses += emitValidation("scheme: normalized", v.allRows(), csv, jsonRows);
+      const std::shared_ptr<const validate::SchemeValidation> v =
+          validateScheme(problem, radius::MergeScheme::NormalizedByOriginal);
+      misses += emitValidation("scheme: normalized", v->allRows(), csv,
+                               jsonRows);
     }
     if (schemeArg == "both" || schemeArg == "sensitivity") {
-      const validate::SchemeValidation v = validate::validateMergedScheme(
-          problem, radius::MergeScheme::Sensitivity, opts, pool.get());
-      misses += emitValidation("scheme: sensitivity", v.allRows(), csv,
+      const std::shared_ptr<const validate::SchemeValidation> v =
+          validateScheme(problem, radius::MergeScheme::Sensitivity);
+      misses += emitValidation("scheme: sensitivity", v->allRows(), csv,
                                jsonRows);
     }
   }
@@ -430,6 +493,7 @@ int runFaultSimMode(int argc, char** argv) {
   bool noFaults = false;
   bool csv = false;
   std::string jsonPath;
+  std::string backendArg;
 
   fault::FaultPlan explicitPlan;
   bool haveExplicit = false;
@@ -491,6 +555,8 @@ int runFaultSimMode(int argc, char** argv) {
       retries = argSize("--retries", argv[++i]);
     } else if (std::strcmp(argv[i], "--no-faults") == 0) {
       noFaults = true;
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      backendArg = argv[++i];
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -542,8 +608,27 @@ int runFaultSimMode(int argc, char** argv) {
   dopts.generations = generations;
   dopts.explicitDirections = samples.has_value();
 
-  const fault::DegradedEstimate d =
-      fault::estimateDegradedRadius(ref, plans, est, dopts, pool.get());
+  // Route through the backend registry: the degraded kernel forwards
+  // these options verbatim to fault::estimateDegradedRadius, so the
+  // results are bit-identical to the direct call; --backend surfaces an
+  // incapability diagnostic for any kernel that cannot honor a
+  // fault-scenario problem.
+  namespace rb = radius::backend;
+  rb::RadiusProblem rp;
+  rp.system = &ref;
+  rp.scenarios = plans;
+  rp.desClassification = true;
+  rb::RadiusRequest req;
+  req.backendOverride = backendArg;
+  req.estimator = est;
+  req.degraded = dopts;
+  req.metrics = &g_obs.registry;
+  const rb::RadiusOutcome outcome = rb::solveRadius(rp, req, pool.get());
+  if (outcome.degraded == nullptr) {
+    throw std::runtime_error("radius backend '" + outcome.backendName +
+                             "' does not produce a degraded-mode estimate");
+  }
+  const fault::DegradedEstimate& d = *outcome.degraded;
 
   const hiperd::System& sys = ref.system;
   std::cout << "HiPer-D system: " << sys.machineCount() << " machines, "
@@ -573,6 +658,7 @@ int runFaultSimMode(int argc, char** argv) {
   emit(counters, csv);
 
   report::Table radii({"quantity", "value"});
+  radii.addRow({"backend", outcome.backendName});
   radii.addRow({"analytic rho (" + d.criticalFeature + ")",
                 report::num(d.analyticRho, 8)});
   radii.addRow({"degraded empirical radius",
@@ -1001,6 +1087,8 @@ int runSweepMode(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       opts.cacheEnabled = false;
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      opts.backendOverride = argv[++i];
     } else if (std::strcmp(argv[i], "--response") == 0 && i + 1 < argc) {
       responseAxis = argv[++i];
     } else if (std::strcmp(argv[i], "--csv") == 0) {
@@ -1131,6 +1219,7 @@ int dispatch(int argc, char** argv) {
   }
 
   std::string schemeArg = "both";
+  std::string backendArg;
   std::vector<la::Vector> checkPoint;
   bool csv = false;
   bool echo = false;
@@ -1139,6 +1228,8 @@ int dispatch(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
       schemeArg = argv[++i];
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      backendArg = argv[++i];
     } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
       try {
         checkPoint.push_back(parseValueList(argv[++i]));
@@ -1191,10 +1282,11 @@ int dispatch(int argc, char** argv) {
     emit(perKind, csv);
 
     if (schemeArg == "both" || schemeArg == "normalized") {
-      printMerged(problem, radius::MergeScheme::NormalizedByOriginal, csv);
+      printMerged(problem, radius::MergeScheme::NormalizedByOriginal, csv,
+                  backendArg);
     }
     if (schemeArg == "both" || schemeArg == "sensitivity") {
-      printMerged(problem, radius::MergeScheme::Sensitivity, csv);
+      printMerged(problem, radius::MergeScheme::Sensitivity, csv, backendArg);
     }
 
     if (!checkPoint.empty()) {
