@@ -4,13 +4,20 @@
 // classification: evaluating the safe-region predicate (the full feature
 // stack) at one perturbation vector. This bench measures classifications
 // per second (samples/sec) and probe directions per second for the
-// serial path and for thread pools of growing size, on the paper's
+// legacy closure predicate (the pre-batching hot path: one virtual
+// feature evaluation per gathered point, plus a P-space unmap allocation
+// per sample) and for the batched SoA engine, in every classify mode
+// (scalar reference / batched double / batched float32-with-certified-
+// margin), serial and for thread pools of growing size, on the paper's
 // mixed-kind HiPer-D problem mapped to normalized P-space.
 //
-// Determinism contract on display: every run below returns the same
-// radius bit-for-bit — thread counts only change the wall clock. The
-// structured results are also written to BENCH_validation.json (override
-// the path with FEPIA_BENCH_JSON) so the numbers land in the repo.
+// Determinism contract on display: within each engine family every run
+// below returns the same radius bit-for-bit — thread counts and classify
+// modes only change the wall clock. The raw-kernel section times the
+// classification kernels alone (no march/bisection logic) on a fixed
+// block of P-space points, which is where the batched-vs-scalar speedup
+// is measured. The structured results are also written to
+// BENCH_validation.json (override the path with FEPIA_BENCH_JSON).
 //
 // Timings: per-estimate cost vs direction count.
 #include <benchmark/benchmark.h>
@@ -20,6 +27,8 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "fepia.hpp"
@@ -47,23 +56,49 @@ struct Workload {
   radius::DiagonalMap map{
       analysis.report().features[analysis.report().criticalFeature].mapWeights};
   la::Vector pOrig = map.toP(problem.space().concatenatedOriginal());
+  feature::FeatureSet pPhi = makePFeatureSet();
 
+  /// The legacy hot path: per sample, unmap P -> pi (allocates) and walk
+  /// the feature stack through virtual scalar evaluate calls.
   [[nodiscard]] validate::SafePredicate safe() const {
     return [this](const la::Vector& P) {
       return problem.features().allWithinBounds(map.fromP(P));
     };
   }
+
+  /// The same safe region expressed directly over P-space, so the
+  /// estimator's FeatureSet overload can classify whole blocks through
+  /// the SoA kernels: f_i(P) = phi_i(D^{-1} P) via precomposition.
+  [[nodiscard]] feature::FeatureSet makePFeatureSet() const {
+    feature::FeatureSet out;
+    const la::Vector invW = map.inverseWeights();
+    for (const feature::BoundedFeature& bf : problem.features()) {
+      out.add(feature::precomposeDiagonal(bf.feature, invW), bf.bounds);
+    }
+    return out;
+  }
 };
 
+const char* modeName(classify::Mode m) {
+  switch (m) {
+    case classify::Mode::Scalar: return "scalar";
+    case classify::Mode::Batched: return "batched";
+    case classify::Mode::BatchedF32: return "batched-f32";
+  }
+  return "?";
+}
+
 struct Run {
+  std::string engine;       ///< "closure" or a classify mode name
   std::size_t threads = 0;  ///< 0 = serial (no pool)
   double seconds = 0.0;
   validate::EmpiricalEstimate est;
 };
 
-Run timedRun(const Workload& w, const validate::EstimatorOptions& opts,
-             std::size_t threads) {
+Run timedClosureRun(const Workload& w, const validate::EstimatorOptions& opts,
+                    std::size_t threads) {
   Run r;
+  r.engine = "closure";
   r.threads = threads;
   std::unique_ptr<parallel::ThreadPool> pool;
   if (threads > 0) pool = std::make_unique<parallel::ThreadPool>(threads);
@@ -72,6 +107,87 @@ Run timedRun(const Workload& w, const validate::EstimatorOptions& opts,
                                             pool.get());
   r.seconds = sw.elapsedSeconds();
   return r;
+}
+
+Run timedBatchedRun(const Workload& w, validate::EstimatorOptions opts,
+                    classify::Mode mode, std::size_t threads) {
+  Run r;
+  r.engine = modeName(mode);
+  r.threads = threads;
+  opts.classifyMode = mode;
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<parallel::ThreadPool>(threads);
+  const obs::Stopwatch sw;
+  r.est = validate::estimateEmpiricalRadius(w.pPhi, w.pOrig, opts, pool.get());
+  r.seconds = sw.elapsedSeconds();
+  return r;
+}
+
+/// Raw kernel throughput: lanes classified per second on a fixed block
+/// of P-space points, march/bisection logic excluded. The "scalar" row
+/// is the pre-batching per-point path (gather + closure predicate); the
+/// batched rows run classify::BlockClassifier on the same lanes.
+struct KernelRates {
+  double scalarPerSec = 0.0;
+  double batchedPerSec = 0.0;
+  double batchedF32PerSec = 0.0;
+  bool verdictsAgree = true;
+};
+
+KernelRates rawKernelRates(const Workload& w, bool smoke) {
+  const std::size_t lanes = 1024;
+  const std::size_t dim = w.pPhi.dimension();
+  const double minSeconds = smoke ? 0.05 : 0.5;
+
+  // Mixed-verdict block: points on a shell of P-space radii straddling
+  // the robust boundary, so short-circuiting behaves as in a real sweep.
+  rng::Xoshiro256StarStar g(0x5EEDB10Cull);
+  la::PointBlock block(dim, lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    la::Vector p(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      p[j] = w.pOrig[j] + rng::uniform(g, -0.6, 0.6);
+    }
+    block.setPoint(l, p.span());
+  }
+
+  const validate::SafePredicate safe = w.safe();
+  std::vector<std::uint8_t> expected(lanes);
+  la::Vector gathered(dim);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    block.gatherPoint(l, gathered.span());
+    expected[l] = safe(gathered) ? 1 : 0;
+  }
+
+  KernelRates rates;
+  {  // Legacy scalar path: gather each lane, run the closure predicate.
+    std::uint64_t classified = 0;
+    const obs::Stopwatch sw;
+    do {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        block.gatherPoint(l, gathered.span());
+        benchmark::DoNotOptimize(safe(gathered));
+      }
+      classified += lanes;
+    } while (sw.elapsedSeconds() < minSeconds);
+    rates.scalarPerSec = static_cast<double>(classified) / sw.elapsedSeconds();
+  }
+  for (const classify::Mode mode :
+       {classify::Mode::Batched, classify::Mode::BatchedF32}) {
+    classify::BlockClassifier cls(w.pPhi, mode);
+    std::vector<std::uint8_t> out(lanes);
+    std::uint64_t classified = 0;
+    const obs::Stopwatch sw;
+    do {
+      cls.classify(block, out);
+      classified += lanes;
+    } while (sw.elapsedSeconds() < minSeconds);
+    const double perSec = static_cast<double>(classified) / sw.elapsedSeconds();
+    (mode == classify::Mode::Batched ? rates.batchedPerSec
+                                     : rates.batchedF32PerSec) = perSec;
+    rates.verdictsAgree = rates.verdictsAgree && out == expected;
+  }
+  return rates;
 }
 
 void printExperiment() {
@@ -89,17 +205,28 @@ void printExperiment() {
             << opts.directions << " directions, seed 0x5eedd1ce"
             << (smoke ? "  [smoke mode]" : "") << "\n\n";
 
+  const std::vector<std::size_t> threadCounts =
+      smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{1, 2, 4, 8};
+
   std::vector<Run> runs;
-  runs.push_back(timedRun(w, opts, 0));
-  for (const std::size_t t : smoke ? std::vector<std::size_t>{2}
-                                   : std::vector<std::size_t>{1, 2, 4, 8}) {
-    runs.push_back(timedRun(w, opts, t));
+  runs.push_back(timedClosureRun(w, opts, 0));
+  for (const std::size_t t : threadCounts) {
+    runs.push_back(timedClosureRun(w, opts, t));
+  }
+  for (const classify::Mode mode :
+       {classify::Mode::Scalar, classify::Mode::Batched,
+        classify::Mode::BatchedF32}) {
+    runs.push_back(timedBatchedRun(w, opts, mode, 0));
+    for (const std::size_t t : threadCounts) {
+      runs.push_back(timedBatchedRun(w, opts, mode, t));
+    }
   }
 
-  report::Table table({"threads", "radius", "classifications", "samples/sec",
-                       "directions/sec", "wall (s)"});
+  report::Table table({"engine", "threads", "radius", "classifications",
+                       "samples/sec", "directions/sec", "wall (s)"});
   for (const Run& r : runs) {
-    table.addRow({r.threads == 0 ? "serial" : std::to_string(r.threads),
+    table.addRow({r.engine,
+                  r.threads == 0 ? "serial" : std::to_string(r.threads),
                   report::num(r.est.radius, 8),
                   std::to_string(r.est.classifications),
                   report::num(static_cast<double>(r.est.classifications) /
@@ -112,11 +239,42 @@ void printExperiment() {
   }
   table.print(std::cout);
 
-  bool identical = true;
-  for (const Run& r : runs) identical &= r.est.radius == runs[0].est.radius;
-  std::cout << "\nradius identical across all runs: "
+  // Determinism: the closure family and the batched family each return
+  // one radius bit-for-bit regardless of threads; the batched family is
+  // additionally mode-invariant (scalar reference == batched == f32).
+  bool closureIdentical = true;
+  bool batchedMatchesScalar = true;
+  const Run* firstBatched = nullptr;
+  for (const Run& r : runs) {
+    if (r.engine == "closure") {
+      closureIdentical &= r.est.radius == runs[0].est.radius;
+    } else {
+      if (firstBatched == nullptr) firstBatched = &r;
+      batchedMatchesScalar &=
+          r.est.radius == firstBatched->est.radius &&
+          r.est.classifications == firstBatched->est.classifications;
+    }
+  }
+  const bool identical = closureIdentical && batchedMatchesScalar;
+  std::cout << "\nradius identical within each engine family: "
             << (identical ? "yes" : "NO — determinism contract broken")
+            << "\nbatched modes match the scalar reference: "
+            << (batchedMatchesScalar ? "yes" : "NO — batching changed verdicts")
             << "\n\n";
+
+  const KernelRates rates = rawKernelRates(w, smoke);
+  std::cout << "raw kernel (lanes/sec, " << w.pPhi.size() << " features, dim "
+            << w.pPhi.dimension() << "):\n"
+            << "  scalar       " << report::num(rates.scalarPerSec, 4) << "\n"
+            << "  batched      " << report::num(rates.batchedPerSec, 4) << "  ("
+            << report::num(rates.batchedPerSec / rates.scalarPerSec, 3)
+            << "x)\n"
+            << "  batched-f32  " << report::num(rates.batchedF32PerSec, 4)
+            << "  ("
+            << report::num(rates.batchedF32PerSec / rates.scalarPerSec, 3)
+            << "x)\n"
+            << "  verdicts agree with scalar predicate: "
+            << (rates.verdictsAgree ? "yes" : "NO") << "\n\n";
 
   const char* env = std::getenv("FEPIA_BENCH_JSON");
   const std::string jsonPath = env != nullptr ? env : "BENCH_validation.json";
@@ -126,23 +284,38 @@ void printExperiment() {
     return;
   }
   g_manifest.wallSeconds = wall.elapsedSeconds();
+  const std::size_t hc = std::thread::hardware_concurrency();
   out << "{\n  \"bench\": \"empirical_radius\",\n  \"manifest\": ";
   g_manifest.writeJson(out);
   out << ",\n  \"smoke\": " << (smoke ? "true" : "false")
       << ",\n  \"seed\": " << opts.seed
       << ",\n  \"directions\": " << opts.directions
-      << ",\n  \"chunk_size\": " << opts.chunkSize << ",\n  \"runs\": [\n";
+      << ",\n  \"chunk_size\": " << opts.chunkSize
+      << ",\n  \"classify_scalar_per_sec\": " << rates.scalarPerSec
+      << ",\n  \"classify_batched_per_sec\": " << rates.batchedPerSec
+      << ",\n  \"classify_batched_f32_per_sec\": " << rates.batchedF32PerSec
+      << ",\n  \"classify_kernel_verdicts_agree\": "
+      << (rates.verdictsAgree ? "true" : "false")
+      << ",\n  \"radius_identical\": " << (identical ? "true" : "false")
+      << ",\n  \"batched_matches_scalar\": "
+      << (batchedMatchesScalar ? "true" : "false") << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const Run& r = runs[i];
-    out << "    {\"threads\": " << r.threads
+    out << "    {\"engine\": \"" << r.engine << "\", \"threads\": " << r.threads
+        << ", \"hardware_concurrency\": " << hc
         << ", \"classifications\": " << r.est.classifications
         << ", \"samples_per_sec\": "
         << static_cast<double>(r.est.classifications) / r.seconds
         << ", \"directions_per_sec\": "
         << static_cast<double>(r.est.directions) / r.seconds
         << ", \"wall_seconds\": " << r.seconds
-        << ", \"radius\": " << r.est.radius << "}"
-        << (i + 1 < runs.size() ? "," : "") << "\n";
+        << ", \"radius\": " << r.est.radius;
+    if (r.engine != "closure") {
+      out << ", \"classify_lanes\": " << r.est.classifyStats.lanes
+          << ", \"f32_hits\": " << r.est.classifyStats.f32Hits
+          << ", \"double_fallbacks\": " << r.est.classifyStats.doubleFallbacks;
+    }
+    out << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << jsonPath << "\n\n";
@@ -163,6 +336,26 @@ void BM_EstimateRadius(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_EstimateRadius)->RangeMultiplier(4)->Range(256, 4096)->Complexity();
+
+void BM_EstimateRadiusBatched(benchmark::State& state) {
+  const Workload w;
+  validate::EstimatorOptions opts;
+  opts.directions = static_cast<std::size_t>(state.range(0));
+  opts.chunkSize = 64;
+  opts.horizon = 16.0;
+  opts.classifyMode = classify::Mode::Batched;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        validate::estimateEmpiricalRadius(w.pPhi, w.pOrig, opts).radius);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(opts.directions));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EstimateRadiusBatched)
+    ->RangeMultiplier(4)
+    ->Range(256, 4096)
+    ->Complexity();
 
 }  // namespace
 

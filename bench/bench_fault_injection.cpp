@@ -21,6 +21,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "fepia.hpp"
@@ -103,9 +104,12 @@ void printExperiment() {
             << " directions x " << dopts.generations << " generations"
             << (smoke ? "  [smoke mode]" : "") << "\n\n";
 
+  // threads=1 is always in the list: the single-worker pool must cost
+  // the same as the serial path (it runs parallelFor inline), and the
+  // regression guard checks the ratio.
   std::vector<Run> runs;
   runs.push_back(timedRun(w, opts, dopts, 0));
-  for (const std::size_t t : smoke ? std::vector<std::size_t>{2}
+  for (const std::size_t t : smoke ? std::vector<std::size_t>{1, 2}
                                    : std::vector<std::size_t>{1, 2, 4, 8}) {
     runs.push_back(timedRun(w, opts, dopts, t));
   }
@@ -124,10 +128,24 @@ void printExperiment() {
 
   bool identical = true;
   for (const Run& r : runs) identical &= sameEstimate(r.est, runs[0].est);
+
+  // threads=1 vs serial: the inline fast path makes a one-worker pool
+  // cost what the serial path costs. 2.0x is a generous noise bound —
+  // before the fix the ratio sat around 1.4x systematically.
+  double threads1Ratio = 0.0;
+  for (const Run& r : runs) {
+    if (r.threads == 1) threads1Ratio = r.seconds / runs[0].seconds;
+  }
+  const bool threads1WithinNoise = threads1Ratio > 0.0 && threads1Ratio <= 2.0;
+
   std::cout << "\nanalytic rho = " << report::num(runs[0].est.analyticRho, 8)
             << "  (critical: " << runs[0].est.criticalFeature << ")\n"
             << "degraded estimate identical across all runs: "
             << (identical ? "yes" : "NO — determinism contract broken")
+            << "\nthreads=1 wall / serial wall: "
+            << report::num(threads1Ratio, 3)
+            << (threads1WithinNoise ? "  (within noise)"
+                                    : "  (REGRESSION: pool overhead)")
             << "\n\n";
 
   const char* env = std::getenv("FEPIA_BENCH_JSON");
@@ -156,10 +174,14 @@ void printExperiment() {
       << ", \"downtime_seconds\": " << fc.downtimeSeconds
       << ", \"backoff_wait_seconds\": " << fc.backoffWaitSeconds
       << "},\n  \"degraded_runs_identical\": " << (identical ? "true" : "false")
-      << ",\n  \"runs\": [\n";
+      << ",\n  \"threads1_vs_serial_ratio\": " << threads1Ratio
+      << ",\n  \"threads1_within_serial_noise\": "
+      << (threads1WithinNoise ? "true" : "false") << ",\n  \"runs\": [\n";
+  const std::size_t hc = std::thread::hardware_concurrency();
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const Run& r = runs[i];
     out << "    {\"threads\": " << r.threads
+        << ", \"hardware_concurrency\": " << hc
         << ", \"degraded_radius\": " << r.est.degraded.radius
         << ", \"classifications\": " << r.est.degraded.classifications
         << ", \"classifications_per_sec\": "

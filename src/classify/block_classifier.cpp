@@ -1,0 +1,273 @@
+#include "classify/block_classifier.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+#include "feature/linear.hpp"
+#include "feature/quadratic.hpp"
+
+namespace fepia::classify {
+
+namespace {
+
+// Unit roundoff of IEEE binary32.
+constexpr double kF32Ulp = 0x1.0p-24;
+
+}  // namespace
+
+BlockClassifier::BlockClassifier(const feature::FeatureSet& phi, Mode mode)
+    : phi_(phi), mode_(mode), gather_(phi.dimension()) {
+  pure_.resize(phi_.size(), 0);
+  for (std::size_t f = 0; f < phi_.size(); ++f) {
+    const feature::PerformanceFeature* base = phi_[f].feature.get();
+    const bool isLinear =
+        dynamic_cast<const feature::LinearFeature*>(base) != nullptr;
+    const bool isQuadratic =
+        dynamic_cast<const feature::QuadraticFeature*>(base) != nullptr;
+    pure_[f] = (isLinear || isQuadratic) ? 1 : 0;
+  }
+  if (mode_ != Mode::BatchedF32) return;
+  f32_.resize(phi_.size());
+  for (std::size_t f = 0; f < phi_.size(); ++f) {
+    const auto* lin =
+        dynamic_cast<const feature::LinearFeature*>(phi_[f].feature.get());
+    if (lin == nullptr) continue;  // non-linear features stay in double
+    F32Kernel& kern = f32_[f];
+    kern.valid = true;
+    const la::Vector& k = lin->coefficients();
+    kern.k.resize(k.size());
+    for (std::size_t j = 0; j < k.size(); ++j) {
+      kern.k[j] = static_cast<float>(k[j]);
+    }
+    kern.offset = static_cast<float>(lin->offset());
+    kern.marginFactor =
+        4.0 * static_cast<double>(k.size() + 4) * kF32Ulp;
+  }
+}
+
+void BlockClassifier::classify(const la::PointBlock& block,
+                               std::span<std::uint8_t> safeOut) {
+  const std::size_t lanes = block.lanes();
+  if (!phi_.empty() && block.dimension() != phi_.dimension()) {
+    throw std::invalid_argument(
+        "classify::BlockClassifier: block dimension does not match the "
+        "feature set");
+  }
+  if (safeOut.size() < lanes) {
+    throw std::invalid_argument(
+        "classify::BlockClassifier: safeOut span too small");
+  }
+  ++stats_.blocks;
+  stats_.lanes += lanes;
+  for (std::size_t l = 0; l < lanes; ++l) safeOut[l] = 1;
+  if (lanes == 0 || phi_.empty()) return;
+  if (mode_ == Mode::Scalar || lanes < kWideLaneCutover) {
+    classifyScalar(block, safeOut);
+  } else {
+    classifyBatched(block, safeOut);
+  }
+}
+
+bool BlockClassifier::classifyPoint(const la::Vector& pi) {
+  if (single_.dimension() != pi.size() || single_.capacity() != 1) {
+    single_.reshape(pi.size(), 1);
+  }
+  single_.setPoint(0, pi.span());
+  std::uint8_t verdict = 0;
+  classify(single_, std::span<std::uint8_t>(&verdict, 1));
+  return verdict != 0;
+}
+
+void BlockClassifier::classifyScalar(const la::PointBlock& block,
+                                     std::span<std::uint8_t> safeOut) {
+  if (gather_.size() != block.dimension()) gather_.resize(block.dimension());
+  for (std::size_t l = 0; l < block.lanes(); ++l) {
+    block.gatherPoint(l, gather_.span());
+    safeOut[l] = phi_.allWithinBounds(gather_) ? 1 : 0;
+  }
+}
+
+void BlockClassifier::classifyBatched(const la::PointBlock& block,
+                                      std::span<std::uint8_t> safeOut) {
+  const std::size_t lanes = block.lanes();
+  values_.resize(lanes);
+  xfFresh_ = false;
+  std::size_t live = lanes;
+  for (std::size_t f = 0; f < phi_.size(); ++f) {
+    if (live == 0) return;
+    if (live < kWideLaneCutover) {
+      // Too few survivors for wide kernels to pay for themselves: finish
+      // the remaining features scalar-style (one gather per live lane,
+      // short-circuit across features) — bit-identical verdicts.
+      finishScalarTail(f, block, safeOut);
+      return;
+    }
+    if (pure_[f] == 0) {
+      evaluateFeatureNarrow(f, block, safeOut, live);
+    } else if (mode_ == Mode::BatchedF32 && f32_[f].valid) {
+      evaluateFeatureF32(f, block, safeOut, live);
+    } else {
+      phi_[f].feature->evaluateBlock(block, values_);
+      applyVerdictsWide(f, safeOut, lanes, live);
+    }
+  }
+}
+
+void BlockClassifier::applyVerdictsWide(std::size_t f,
+                                        std::span<std::uint8_t> safeOut,
+                                        std::size_t lanes, std::size_t& live) {
+  const feature::FeatureBounds& bounds = phi_[f].bounds;
+  const double bmin = bounds.betaMin();
+  const double bmax = bounds.betaMax();
+  // Branch-free sweep: `inside` is false for NaN (unordered compares),
+  // matching Containment::Outside masking; a NaN on a still-live lane is
+  // the typed error instead, flagged here and raised after the sweep.
+  std::uint8_t liveNan = 0;
+  std::size_t newLive = 0;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const double v = values_[l];
+    const std::uint8_t wasLive = safeOut[l];
+    const auto inside = static_cast<std::uint8_t>(v >= bmin && v <= bmax);
+    liveNan |= static_cast<std::uint8_t>(wasLive &
+                                         static_cast<std::uint8_t>(v != v));
+    safeOut[l] = wasLive & inside;
+    newLive += safeOut[l];
+  }
+  if (liveNan != 0) throwNonFinite(f);
+  live = newLive;
+}
+
+void BlockClassifier::evaluateFeatureNarrow(std::size_t f,
+                                            const la::PointBlock& block,
+                                            std::span<std::uint8_t> safeOut,
+                                            std::size_t& live) {
+  if (gather_.size() != block.dimension()) gather_.resize(block.dimension());
+  const feature::BoundedFeature& bf = phi_[f];
+  for (std::size_t l = 0; l < block.lanes(); ++l) {
+    if (safeOut[l] == 0) continue;
+    block.gatherPoint(l, gather_.span());
+    switch (bf.bounds.classify(bf.feature->evaluate(gather_))) {
+      case feature::FeatureBounds::Containment::Inside:
+        break;
+      case feature::FeatureBounds::Containment::Outside:
+        safeOut[l] = 0;
+        --live;
+        break;
+      case feature::FeatureBounds::Containment::NonFinite:
+        throwNonFinite(f);
+    }
+  }
+}
+
+void BlockClassifier::evaluateFeatureF32(std::size_t f,
+                                         const la::PointBlock& block,
+                                         std::span<std::uint8_t> safeOut,
+                                         std::size_t& live) {
+  const F32Kernel& kern = f32_[f];
+  const std::size_t lanes = block.lanes();
+  const std::size_t n = kern.k.size();
+  // The f32 image depends only on the block, which never changes within
+  // one classify() call — convert it once for all f32 features.
+  if (!xfFresh_) {
+    xf_.resize(n * lanes);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::span<const double> row = block.coordinate(j);
+      float* dst = xf_.data() + j * lanes;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        dst[l] = static_cast<float>(row[l]);
+      }
+    }
+    xfFresh_ = true;
+  }
+  vf_.assign(lanes, 0.0F);
+  af_.assign(lanes, 0.0F);
+  for (std::size_t j = 0; j < n; ++j) {
+    const float kj = kern.k[j];
+    const float* row = xf_.data() + j * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const float term = kj * row[l];
+      vf_[l] += term;
+      af_[l] += std::fabs(term);
+    }
+  }
+  const float absOffset = std::fabs(kern.offset);
+
+  // The margin m bounds |v32 - v64|; if the interval [v - m, v + m]
+  // clears a bound strictly, the double verdict is proven without
+  // computing it. Any non-finite f32 value is inconclusive (the double
+  // value may still be finite, or NaN — which must surface as the typed
+  // error), as is any lane the margin cannot separate from a bound.
+  const feature::FeatureBounds& bounds = phi_[f].bounds;
+  const double bmin = bounds.betaMin();
+  const double bmax = bounds.betaMax();
+  fallback_.clear();
+  std::uint64_t hits = 0;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (safeOut[l] == 0) continue;
+    const auto v = static_cast<double>(vf_[l] + kern.offset);
+    const auto a = static_cast<double>(af_[l] + absOffset);
+    if (std::isfinite(v) && std::isfinite(a)) {
+      const double m = kern.marginFactor * a;
+      if (v - m > bmin && v + m < bmax) {  // proven inside
+        ++hits;
+        continue;
+      }
+      if (v + m < bmin || v - m > bmax) {  // proven outside
+        ++hits;
+        safeOut[l] = 0;
+        --live;
+        continue;
+      }
+    }
+    fallback_.push_back(l);
+  }
+  stats_.f32Hits += hits;
+
+  // Re-run the inconclusive lanes through the double path so their
+  // verdicts (and any NaN error) are exactly the double path's.
+  if (fallback_.empty()) return;
+  stats_.doubleFallbacks += fallback_.size();
+  if (gather_.size() != block.dimension()) gather_.resize(block.dimension());
+  for (const std::size_t l : fallback_) {
+    block.gatherPoint(l, gather_.span());
+    switch (bounds.classify(phi_[f].feature->evaluate(gather_))) {
+      case feature::FeatureBounds::Containment::Inside:
+        break;
+      case feature::FeatureBounds::Containment::Outside:
+        safeOut[l] = 0;
+        --live;
+        break;
+      case feature::FeatureBounds::Containment::NonFinite:
+        throwNonFinite(f);
+    }
+  }
+}
+
+void BlockClassifier::finishScalarTail(std::size_t fStart,
+                                       const la::PointBlock& block,
+                                       std::span<std::uint8_t> safeOut) {
+  if (gather_.size() != block.dimension()) gather_.resize(block.dimension());
+  for (std::size_t l = 0; l < block.lanes(); ++l) {
+    if (safeOut[l] == 0) continue;
+    block.gatherPoint(l, gather_.span());
+    for (std::size_t f = fStart; f < phi_.size(); ++f) {
+      const feature::BoundedFeature& bf = phi_[f];
+      const auto verdict = bf.bounds.classify(bf.feature->evaluate(gather_));
+      if (verdict == feature::FeatureBounds::Containment::Inside) continue;
+      if (verdict == feature::FeatureBounds::Containment::NonFinite) {
+        throwNonFinite(f);
+      }
+      safeOut[l] = 0;
+      break;
+    }
+  }
+}
+
+void BlockClassifier::throwNonFinite(std::size_t f) const {
+  throw feature::NonFiniteFeatureError(
+      "feature '" + phi_[f].feature->name() +
+      "' evaluated to NaN; containment is undefined for an unordered value");
+}
+
+}  // namespace fepia::classify

@@ -36,6 +36,29 @@ bool FeatureBounds::contains(double value) const noexcept {
   return value >= min_ && value <= max_;
 }
 
+FeatureBounds::Containment FeatureBounds::classify(double value) const noexcept {
+  if (std::isnan(value)) return Containment::NonFinite;
+  return (value >= min_ && value <= max_) ? Containment::Inside
+                                          : Containment::Outside;
+}
+
+void PerformanceFeature::evaluateBlock(const la::PointBlock& block,
+                                       std::span<double> out) const {
+  if (block.dimension() != dimension()) {
+    throw std::invalid_argument("feature::evaluateBlock '" + name() +
+                                "': block dimension mismatch");
+  }
+  if (out.size() < block.lanes()) {
+    throw std::invalid_argument("feature::evaluateBlock '" + name() +
+                                "': output span too small");
+  }
+  la::Vector scratch(block.dimension());
+  for (std::size_t lane = 0; lane < block.lanes(); ++lane) {
+    block.gatherPoint(lane, scratch.span());
+    out[lane] = evaluate(scratch);
+  }
+}
+
 std::size_t FeatureSet::add(std::shared_ptr<const PerformanceFeature> feature,
                             FeatureBounds bounds) {
   if (!feature) throw std::invalid_argument("feature::FeatureSet::add: null");
@@ -53,7 +76,16 @@ std::size_t FeatureSet::add(std::shared_ptr<const PerformanceFeature> feature,
 
 bool FeatureSet::allWithinBounds(const la::Vector& pi) const {
   for (const BoundedFeature& bf : items_) {
-    if (!bf.bounds.contains(bf.feature->evaluate(pi))) return false;
+    switch (bf.bounds.classify(bf.feature->evaluate(pi))) {
+      case FeatureBounds::Containment::Inside:
+        break;
+      case FeatureBounds::Containment::Outside:
+        return false;
+      case FeatureBounds::Containment::NonFinite:
+        throw NonFiniteFeatureError("feature '" + bf.feature->name() +
+                                    "' evaluated to NaN; containment is "
+                                    "undefined for an unordered value");
+    }
   }
   return true;
 }

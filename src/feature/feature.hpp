@@ -9,13 +9,27 @@
 
 #include <limits>
 #include <memory>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "la/point_block.hpp"
 #include "la/vector.hpp"
 #include "units/unit.hpp"
 
 namespace fepia::feature {
+
+/// A feature evaluated to NaN inside a containment check. NaN has no
+/// order, so "within bounds" is undefined for it; silently treating it
+/// as a violation (the historical behaviour) hid model bugs inside
+/// Monte-Carlo estimates. Matches the finite-or-typed-error contract of
+/// the radius backends (tests/backend_fuzz_test.cpp): derives from
+/// std::domain_error, so existing typed-error handling catches it.
+class NonFiniteFeatureError : public std::domain_error {
+ public:
+  using std::domain_error::domain_error;
+};
 
 /// Abstract scalar performance feature phi = f(pi) over R^n.
 class PerformanceFeature {
@@ -31,6 +45,17 @@ class PerformanceFeature {
   /// Feature value at `pi`; throws std::invalid_argument on a dimension
   /// mismatch.
   [[nodiscard]] virtual double evaluate(const la::Vector& pi) const = 0;
+
+  /// Evaluates the feature at every live lane of `block`, writing lane
+  /// l's value to `out[l]`. The default gathers each lane and calls
+  /// evaluate(); closed-form subclasses override it with contiguous
+  /// structure-of-arrays kernels whose per-lane accumulation order
+  /// replicates evaluate() exactly, so block results are bit-identical
+  /// to point-at-a-time results in every implementation. Throws
+  /// std::invalid_argument on a dimension mismatch or when `out` has
+  /// fewer than block.lanes() elements.
+  virtual void evaluateBlock(const la::PointBlock& block,
+                             std::span<double> out) const;
 
   /// Gradient at `pi`. Exact for the closed-form subclasses; subclasses
   /// without analytic derivatives use forward-mode AD or central
@@ -65,8 +90,19 @@ class FeatureBounds {
   [[nodiscard]] bool hasMin() const noexcept;
   [[nodiscard]] bool hasMax() const noexcept;
 
+  /// Typed containment verdict of one feature value. ±inf still
+  /// compares (an infinite value is decisively outside a finite bound);
+  /// only NaN — which has no order — maps to NonFinite.
+  enum class Containment { Inside, Outside, NonFinite };
+
   /// True when `value` lies within the tolerable interval (inclusive).
+  /// NaN returns false; callers that must distinguish "violating" from
+  /// "not a number" use classify() instead.
   [[nodiscard]] bool contains(double value) const noexcept;
+
+  /// Containment with NaN reported as a typed NonFinite outcome instead
+  /// of silently counting as a violation.
+  [[nodiscard]] Containment classify(double value) const noexcept;
 
  private:
   double min_;
@@ -100,7 +136,10 @@ class FeatureSet {
   [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
 
   /// True when every feature value at `pi` lies within its bounds —
-  /// i.e. `pi` is inside the robust region.
+  /// i.e. `pi` is inside the robust region. Features are evaluated in
+  /// insertion order and the check returns false at the first finite
+  /// violation without evaluating later features. Throws
+  /// NonFiniteFeatureError when an evaluated feature value is NaN.
   [[nodiscard]] bool allWithinBounds(const la::Vector& pi) const;
 
   [[nodiscard]] auto begin() const noexcept { return items_.begin(); }

@@ -39,6 +39,44 @@ double QuadraticFeature::evaluate(const la::Vector& pi) const {
   return 0.5 * la::dot(pi, la::matvec(q_, pi)) + la::dot(k_, pi) + c_;
 }
 
+void QuadraticFeature::evaluateBlock(const la::PointBlock& block,
+                                     std::span<double> out) const {
+  const std::size_t n = k_.size();
+  if (block.dimension() != n) {
+    throw std::invalid_argument("feature::QuadraticFeature '" + name_ +
+                                "': block dimension mismatch");
+  }
+  const std::size_t lanes = block.lanes();
+  if (out.size() < lanes) {
+    throw std::invalid_argument("feature::QuadraticFeature '" + name_ +
+                                "': output span too small");
+  }
+  // Per lane this replays evaluate() exactly: mv[i] accumulates over j
+  // ascending (la::matvec), dot(pi, mv) accumulates over i ascending,
+  // dot(k, pi) over j ascending, combined as (0.5*q + lin) + c.
+  std::vector<double> quadAcc(lanes, 0.0);
+  std::vector<double> rowAcc(lanes);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t l = 0; l < lanes; ++l) rowAcc[l] = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double qij = q_(i, j);
+      const std::span<const double> xj = block.coordinate(j);
+      for (std::size_t l = 0; l < lanes; ++l) rowAcc[l] += qij * xj[l];
+    }
+    const std::span<const double> xi = block.coordinate(i);
+    for (std::size_t l = 0; l < lanes; ++l) quadAcc[l] += xi[l] * rowAcc[l];
+  }
+  for (std::size_t l = 0; l < lanes; ++l) out[l] = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double kj = k_[j];
+    const std::span<const double> xj = block.coordinate(j);
+    for (std::size_t l = 0; l < lanes; ++l) out[l] += kj * xj[l];
+  }
+  for (std::size_t l = 0; l < lanes; ++l) {
+    out[l] = 0.5 * quadAcc[l] + out[l] + c_;
+  }
+}
+
 la::Vector QuadraticFeature::gradient(const la::Vector& pi) const {
   if (pi.size() != k_.size()) {
     throw std::invalid_argument("feature::QuadraticFeature '" + name_ +

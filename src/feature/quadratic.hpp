@@ -28,6 +28,11 @@ class QuadraticFeature final : public PerformanceFeature {
     return k_.size();
   }
   [[nodiscard]] double evaluate(const la::Vector& pi) const override;
+  /// Contiguous SoA kernel replicating evaluate()'s exact accumulation
+  /// order per lane (matvec rows ascending, then the two dots, then
+  /// 0.5·q + k·pi + c in that association) — bit-identical to scalar.
+  void evaluateBlock(const la::PointBlock& block,
+                     std::span<double> out) const override;
   /// Exact gradient Q·pi + k.
   [[nodiscard]] la::Vector gradient(const la::Vector& pi) const override;
   [[nodiscard]] units::Unit unit() const override { return unit_; }

@@ -23,6 +23,7 @@
 #include "alloc/failure.hpp"
 #include "alloc/genetic.hpp"
 #include "alloc/search.hpp"
+#include "classify/block_classifier.hpp"
 #include "des/pipeline.hpp"
 #include "des/simulator.hpp"
 #include "etc/etc.hpp"
@@ -39,6 +40,7 @@
 #include "io/system_io.hpp"
 #include "la/cholesky.hpp"
 #include "la/geometry.hpp"
+#include "la/point_block.hpp"
 #include "la/lu.hpp"
 #include "la/matrix.hpp"
 #include "la/qr.hpp"

@@ -1,0 +1,67 @@
+#include "la/point_block.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace fepia::la {
+
+PointBlock::PointBlock(std::size_t dimension, std::size_t capacity) {
+  reshape(dimension, capacity);
+}
+
+void PointBlock::reshape(std::size_t dimension, std::size_t capacity) {
+  dim_ = dimension;
+  cap_ = capacity;
+  lanes_ = capacity;
+  data_.assign(dimension * capacity, 0.0);
+}
+
+void PointBlock::setLanes(std::size_t lanes) {
+  if (lanes > cap_) {
+    throw std::out_of_range("la::PointBlock::setLanes: " +
+                            std::to_string(lanes) + " lanes exceed capacity " +
+                            std::to_string(cap_));
+  }
+  lanes_ = lanes;
+}
+
+std::span<double> PointBlock::coordinate(std::size_t j) {
+  if (j >= dim_) {
+    throw std::out_of_range("la::PointBlock::coordinate: index " +
+                            std::to_string(j) + " out of range");
+  }
+  return {data_.data() + j * cap_, lanes_};
+}
+
+std::span<const double> PointBlock::coordinate(std::size_t j) const {
+  if (j >= dim_) {
+    throw std::out_of_range("la::PointBlock::coordinate: index " +
+                            std::to_string(j) + " out of range");
+  }
+  return {data_.data() + j * cap_, lanes_};
+}
+
+void PointBlock::setPoint(std::size_t lane, std::span<const double> x) {
+  if (lane >= lanes_) {
+    throw std::out_of_range("la::PointBlock::setPoint: dead lane " +
+                            std::to_string(lane));
+  }
+  if (x.size() != dim_) {
+    throw std::invalid_argument("la::PointBlock::setPoint: dimension mismatch");
+  }
+  for (std::size_t j = 0; j < dim_; ++j) data_[j * cap_ + lane] = x[j];
+}
+
+void PointBlock::gatherPoint(std::size_t lane, std::span<double> out) const {
+  if (lane >= lanes_) {
+    throw std::out_of_range("la::PointBlock::gatherPoint: dead lane " +
+                            std::to_string(lane));
+  }
+  if (out.size() != dim_) {
+    throw std::invalid_argument(
+        "la::PointBlock::gatherPoint: dimension mismatch");
+  }
+  for (std::size_t j = 0; j < dim_; ++j) out[j] = data_[j * cap_ + lane];
+}
+
+}  // namespace fepia::la

@@ -1,0 +1,63 @@
+// Structure-of-arrays block of perturbation points.
+//
+// The batched classification engine (src/classify) evaluates one
+// performance feature across many probe points per call. Laying the
+// points out coordinate-major — one contiguous row per coordinate j,
+// one column ("lane") per point — turns every feature kernel's inner
+// loop into independent streaming updates over a contiguous row, which
+// the compiler can vectorise without reassociating any per-point
+// accumulation. Per-lane arithmetic order is exactly the scalar order,
+// so block evaluation is bit-identical to point-at-a-time evaluation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fepia::la {
+
+/// Coordinate-major (SoA) block of up to `capacity` points in R^dim.
+/// Row j holds coordinate j of every lane: data[j * capacity + lane].
+/// `lanes` (<= capacity) is the number of points currently live; rows
+/// returned by coordinate() span exactly the live lanes.
+class PointBlock {
+ public:
+  PointBlock() = default;
+
+  /// Allocates a dim x capacity block with all lanes live and zeroed.
+  PointBlock(std::size_t dimension, std::size_t capacity);
+
+  /// Reallocates to a dim x capacity block (all lanes live, zeroed).
+  void reshape(std::size_t dimension, std::size_t capacity);
+
+  /// Sets the live-lane count; throws std::out_of_range when
+  /// `lanes > capacity()`. Does not touch the stored values.
+  void setLanes(std::size_t lanes);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+  [[nodiscard]] bool empty() const noexcept { return lanes_ == 0; }
+
+  /// Contiguous row of coordinate `j`, one element per live lane.
+  /// Throws std::out_of_range on j >= dimension().
+  [[nodiscard]] std::span<double> coordinate(std::size_t j);
+  [[nodiscard]] std::span<const double> coordinate(std::size_t j) const;
+
+  /// Scatters point `x` into `lane`. Throws std::out_of_range on a dead
+  /// lane and std::invalid_argument on a dimension mismatch.
+  void setPoint(std::size_t lane, std::span<const double> x);
+
+  /// Gathers `lane` into `out` (AoS view of one column). Throws
+  /// std::out_of_range on a dead lane and std::invalid_argument when
+  /// `out` is not exactly dimension() long.
+  void gatherPoint(std::size_t lane, std::span<double> out) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::size_t cap_ = 0;
+  std::size_t lanes_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace fepia::la

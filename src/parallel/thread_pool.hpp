@@ -84,6 +84,16 @@ class ThreadPool {
   /// (counters are read relaxed; the histogram under the queue lock).
   void exportMetrics(obs::Registry& out);
 
+  /// Records one parallelFor chunk executed inline on the caller's
+  /// thread (single-worker fast path): the chunk counts against worker
+  /// 0 and the submission total, so exportMetrics and span consumers
+  /// see the same task structure as the queued path.
+  void noteInlineTask() {
+    workerTasks_[0].fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++submitted_;
+  }
+
  private:
   struct Task {
     std::function<void()> fn;
@@ -106,7 +116,10 @@ class ThreadPool {
 /// complete. The first exception thrown by any iteration is rethrown;
 /// when other iterations also failed, the rethrown message is augmented
 /// with the number of suppressed failures. Iteration order across
-/// threads is unspecified; the body must not assume ordering. Throws
+/// threads is unspecified; the body must not assume ordering. A
+/// single-worker pool runs the chunks inline on the calling thread —
+/// same chunking, same exception aggregation, none of the queue
+/// overhead — so threads=1 costs the same as not using a pool. Throws
 /// std::invalid_argument on a null body.
 void parallelFor(ThreadPool& pool, std::size_t count,
                  const std::function<void(std::size_t)>& body);

@@ -59,6 +59,7 @@ namespace detail {
 int anchorAnalyticBackend();
 int anchorNumericBackend();
 int anchorEmpiricalBackend();
+int anchorEmpiricalBatchedBackend();
 int anchorDegradedBackend();
 }  // namespace detail
 

@@ -181,7 +181,11 @@ class Evaluator {
     rp.problem = &problem;
     rp.scheme = scheme;
     rbackend::RadiusRequest req;
-    req.backendOverride = "empirical";
+    // The batched kernel produces radii and classification counts
+    // bit-identical to "empirical" (same estimator, SoA classification),
+    // so routing the sweep through it changes throughput only — the S3.1
+    // surface guard (tools/baselines/s31_surface.json) holds it to that.
+    req.backendOverride = "empirical-batched";
     req.estimator = eo;
     const rbackend::RadiusOutcome out = rbackend::solveRadius(rp, req, nullptr);
     auto p = std::make_shared<EmpiricalPoint>();

@@ -1,9 +1,12 @@
 #include "validate/empirical.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/span.hpp"
 #include "rng/distributions.hpp"
@@ -28,14 +31,117 @@ void checkOptions(const EstimatorOptions& opts) {
   }
 }
 
+/// Builds the chunk predicates: called once per chunk id (0..chunks-1)
+/// before the parallel phase, plus once with id == chunks for the
+/// serial predicate used by the origin check and the polish. Lets the
+/// FeatureSet overload give every chunk its own BlockClassifier without
+/// the estimator knowing about classifiers.
+using BlockPredicateFactory =
+    std::function<BlockSafePredicate(std::size_t chunkId)>;
+
+/// One ray's march/bisection state machine. advance() consumes exactly
+/// one safe/unsafe verdict per round, replicating the scalar loop of
+/// boundaryDistanceAlong (same probe sequence, same exit conditions,
+/// same final 0.5*(lo+hi)), so lockstep execution is bit-identical to
+/// per-ray execution.
+struct RayState {
+  enum class Phase { March, Bisect, Done };
+
+  std::vector<double> u;  ///< unit direction
+  double lo = 0.0;        ///< known safe distance
+  double hi = 0.0;        ///< known unsafe distance (once bracketed)
+  double probe = 0.0;     ///< distance to classify next round
+  std::size_t iter = 0;   ///< bisection steps taken
+  Phase phase = Phase::March;
+  double dist = std::numeric_limits<double>::infinity();
+
+  /// Schedules the next bisection probe, or finishes the ray when the
+  /// iteration budget is spent or the bracket has collapsed to double
+  /// resolution — the scalar loop's exact exit tests, checked before
+  /// each evaluation.
+  void scheduleBisect(const EstimatorOptions& opts) {
+    if (iter >= opts.bisectIterations) {
+      finish(0.5 * (lo + hi));
+      return;
+    }
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= lo || mid >= hi) {
+      finish(0.5 * (lo + hi));
+      return;
+    }
+    probe = mid;
+  }
+
+  void advance(bool safe, const EstimatorOptions& opts) {
+    switch (phase) {
+      case Phase::March:
+        if (!safe) {
+          hi = probe;
+          phase = Phase::Bisect;
+          iter = 0;
+          scheduleBisect(opts);
+        } else {
+          lo = probe;
+          if (probe >= opts.horizon) {
+            finish(std::numeric_limits<double>::infinity());
+          } else {
+            probe = std::min(2.0 * probe, opts.horizon);
+          }
+        }
+        break;
+      case Phase::Bisect:
+        if (safe) {
+          lo = probe;
+        } else {
+          hi = probe;
+        }
+        ++iter;
+        scheduleBisect(opts);
+        break;
+      case Phase::Done:
+        break;
+    }
+  }
+
+  void finish(double d) {
+    dist = d;
+    phase = Phase::Done;
+  }
+};
+
+/// Adapts a block predicate to one-point probes (origin check, polish):
+/// a persistent 1-lane block, scattered and classified per call. The
+/// per-lane kernels are bit-identical to scalar evaluation, so this is
+/// interchangeable with a scalar predicate.
+class SingleLaneProbe {
+ public:
+  SingleLaneProbe(const BlockSafePredicate& pred, std::size_t n)
+      : pred_(pred), block_(n, 1) {}
+
+  bool operator()(const la::Vector& pi, std::size_t direction) {
+    block_.setPoint(0, pi.span());
+    dir_[0] = direction;
+    pred_(block_, dir_, std::span<std::uint8_t>(&verdict_, 1));
+    return verdict_ != 0;
+  }
+
+ private:
+  const BlockSafePredicate& pred_;
+  la::PointBlock block_;
+  std::array<std::size_t, 1> dir_{};
+  std::uint8_t verdict_ = 0;
+};
+
 /// First safe->unsafe transition distance along `u` from `origin`:
 /// geometric march from horizon * 2^-40 doubling up to the horizon, then
 /// bisection of the bracketing interval. Returns +inf when the whole ray
 /// stays safe. Rays that leave and re-enter the safe region below the
 /// march resolution are attributed to the first crossing the march sees
 /// (the same caveat as any sampling method on a non-convex region).
-double boundaryDistanceAlong(const IndexedSafePredicate& safe,
-                             std::size_t direction, const la::Vector& origin,
+/// Serial reference used by the polish; the chunk phase runs the same
+/// probe sequence through RayState in lockstep.
+double boundaryDistanceAlong(SingleLaneProbe& safe, std::size_t direction,
+                             const la::Vector& origin,
                              const std::vector<double>& u,
                              const EstimatorOptions& opts, la::Vector& probe,
                              std::size_t& evals) {
@@ -129,7 +235,7 @@ stats::Interval minimumCI(const std::vector<double>& finite, double m,
 /// renormalise, keep strict improvements, halve the step on a full
 /// sweep without one. Serial by design — runs after the parallel phase,
 /// so it cannot affect the thread-count invariance.
-double polishDirection(const IndexedSafePredicate& safe, std::size_t direction,
+double polishDirection(SingleLaneProbe& safe, std::size_t direction,
                        const la::Vector& origin, std::vector<double> u,
                        double d0, const EstimatorOptions& opts,
                        la::Vector& probe, std::size_t& evals) {
@@ -164,40 +270,37 @@ double polishDirection(const IndexedSafePredicate& safe, std::size_t direction,
   return best;
 }
 
-}  // namespace
-
-EmpiricalEstimate estimateEmpiricalRadius(const SafePredicate& safe,
-                                          const la::Vector& origin,
-                                          const EstimatorOptions& opts,
-                                          parallel::ThreadPool* pool) {
-  if (!safe) {
-    throw std::invalid_argument("validate: null safe predicate");
-  }
-  return estimateEmpiricalRadius(
-      IndexedSafePredicate(
-          [&safe](const la::Vector& pi, std::size_t) { return safe(pi); }),
-      origin, opts, pool);
-}
-
-EmpiricalEstimate estimateEmpiricalRadius(const IndexedSafePredicate& safe,
-                                          const la::Vector& origin,
-                                          const EstimatorOptions& opts,
-                                          parallel::ThreadPool* pool) {
+/// The estimator core, shared by every public overload. Builds one
+/// block predicate per chunk (plus a serial one), runs the chunks'
+/// lockstep march/bisection — in parallel when a pool is given — and
+/// reduces in direction order.
+EmpiricalEstimate runEstimator(const BlockPredicateFactory& factory,
+                               const la::Vector& origin,
+                               const EstimatorOptions& opts,
+                               parallel::ThreadPool* pool) {
   checkOptions(opts);
-  if (!safe) {
-    throw std::invalid_argument("validate: null safe predicate");
-  }
   if (origin.empty()) {
     throw std::invalid_argument("validate: empty origin");
   }
-  if (!safe(origin, 0)) {
+
+  const std::size_t n = origin.size();
+  const std::size_t chunks =
+      (opts.directions + opts.chunkSize - 1) / opts.chunkSize;
+
+  // Chunk predicates first (factory runs serially, so it may touch
+  // shared state), serial probe last at index `chunks`.
+  std::vector<BlockSafePredicate> preds(chunks + 1);
+  for (std::size_t c = 0; c <= chunks; ++c) preds[c] = factory(c);
+
+  SingleLaneProbe serialProbe(preds[chunks], n);
+  // Origin membership is a precondition, not part of the sample — it is
+  // deliberately excluded from est.classifications (as before).
+  if (!serialProbe(origin, 0)) {
     throw std::domain_error(
         "validate: the origin violates the robustness requirement (the paper "
         "assumes the assumed operating point satisfies QoS)");
   }
 
-  const std::size_t n = origin.size();
-  const std::size_t chunks = (opts.directions + opts.chunkSize - 1) / opts.chunkSize;
   std::vector<double> distances(opts.directions);
   std::vector<std::size_t> evalsPerChunk(chunks, 0);
   // Per-chunk argmin direction, kept for the polish. First-index wins on
@@ -210,22 +313,60 @@ EmpiricalEstimate estimateEmpiricalRadius(const IndexedSafePredicate& safe,
   const rng::Xoshiro256StarStar base(opts.seed);
   const auto runChunk = [&](std::size_t c) {
     FEPIA_SPAN_ARG("validate.chunk", "chunk", c);
-    rng::Xoshiro256StarStar g =
-        base.substream(static_cast<unsigned>(c));
-    la::Vector probe(n);
-    std::size_t evals = 0;
-    double chunkBest = std::numeric_limits<double>::infinity();
+    rng::Xoshiro256StarStar g = base.substream(static_cast<unsigned>(c));
     const std::size_t first = c * opts.chunkSize;
     const std::size_t last = std::min(first + opts.chunkSize, opts.directions);
-    for (std::size_t i = first; i < last; ++i) {
-      std::vector<double> u =
-          opts.nonnegativeDirections ? rng::unitSphereNonnegative(g, n)
-                                     : rng::unitSphere(g, n);
-      distances[i] =
-          boundaryDistanceAlong(safe, i, origin, u, opts, probe, evals);
-      if (distances[i] < chunkBest) {
-        chunkBest = distances[i];
-        bestDirPerChunk[c] = std::move(u);
+    const std::size_t count = last - first;
+
+    // Draw every direction of the chunk up front, in direction order.
+    // The predicate never touches this generator, so the draw sequence
+    // is the one the per-ray loop produced.
+    std::vector<RayState> rays(count);
+    const double t0 = std::ldexp(opts.horizon, -40);
+    for (std::size_t i = 0; i < count; ++i) {
+      rays[i].u = opts.nonnegativeDirections ? rng::unitSphereNonnegative(g, n)
+                                             : rng::unitSphere(g, n);
+      rays[i].probe = t0;
+    }
+
+    // Lockstep rounds: one SoA block per round holding every unfinished
+    // ray's next probe point, one predicate call per round.
+    const BlockSafePredicate& pred = preds[c];
+    la::PointBlock block(n, count);
+    std::vector<std::size_t> laneRay(count);
+    std::vector<std::size_t> dirIds(count);
+    std::vector<std::uint8_t> verdicts(count);
+    std::size_t evals = 0;
+    for (;;) {
+      std::size_t lanes = 0;
+      for (std::size_t r = 0; r < count; ++r) {
+        if (rays[r].phase != RayState::Phase::Done) laneRay[lanes++] = r;
+      }
+      if (lanes == 0) break;
+      block.setLanes(lanes);
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::span<double> row = block.coordinate(j);
+        const double oj = origin[j];
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const RayState& s = rays[laneRay[l]];
+          row[l] = oj + s.probe * s.u[j];
+        }
+      }
+      for (std::size_t l = 0; l < lanes; ++l) dirIds[l] = first + laneRay[l];
+      pred(block, std::span<const std::size_t>(dirIds.data(), lanes),
+           std::span<std::uint8_t>(verdicts.data(), lanes));
+      evals += lanes;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        rays[laneRay[l]].advance(verdicts[l] != 0, opts);
+      }
+    }
+
+    double chunkBest = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < count; ++i) {
+      distances[first + i] = rays[i].dist;
+      if (rays[i].dist < chunkBest) {
+        chunkBest = rays[i].dist;
+        bestDirPerChunk[c] = std::move(rays[i].u);
       }
     }
     evalsPerChunk[c] = evals;
@@ -261,7 +402,7 @@ EmpiricalEstimate estimateEmpiricalRadius(const IndexedSafePredicate& safe,
       la::Vector probe(n);
       std::size_t evals = 0;
       est.radius = polishDirection(
-          safe, est.criticalDirection, origin,
+          serialProbe, est.criticalDirection, origin,
           bestDirPerChunk[est.criticalDirection / opts.chunkSize], est.radius,
           opts, probe, evals);
       est.classifications += evals;
@@ -284,6 +425,59 @@ EmpiricalEstimate estimateEmpiricalRadius(const IndexedSafePredicate& safe,
   return est;
 }
 
+}  // namespace
+
+EmpiricalEstimate estimateEmpiricalRadius(const SafePredicate& safe,
+                                          const la::Vector& origin,
+                                          const EstimatorOptions& opts,
+                                          parallel::ThreadPool* pool) {
+  if (!safe) {
+    throw std::invalid_argument("validate: null safe predicate");
+  }
+  return estimateEmpiricalRadius(
+      IndexedSafePredicate(
+          [&safe](const la::Vector& pi, std::size_t) { return safe(pi); }),
+      origin, opts, pool);
+}
+
+EmpiricalEstimate estimateEmpiricalRadius(const IndexedSafePredicate& safe,
+                                          const la::Vector& origin,
+                                          const EstimatorOptions& opts,
+                                          parallel::ThreadPool* pool) {
+  if (!safe) {
+    throw std::invalid_argument("validate: null safe predicate");
+  }
+  // Lane-at-a-time adapter; each chunk's closure owns its gather
+  // scratch, so chunks stay thread-independent.
+  const std::size_t n = origin.size();
+  const BlockPredicateFactory factory =
+      [&safe, n](std::size_t) -> BlockSafePredicate {
+    return [&safe, scratch = la::Vector(n)](
+               const la::PointBlock& block,
+               std::span<const std::size_t> directions,
+               std::span<std::uint8_t> safeOut) mutable {
+      for (std::size_t l = 0; l < block.lanes(); ++l) {
+        block.gatherPoint(l, scratch.span());
+        safeOut[l] = safe(scratch, directions[l]) ? 1 : 0;
+      }
+    };
+  };
+  return runEstimator(factory, origin, opts, pool);
+}
+
+EmpiricalEstimate estimateEmpiricalRadius(const BlockSafePredicate& safe,
+                                          const la::Vector& origin,
+                                          const EstimatorOptions& opts,
+                                          parallel::ThreadPool* pool) {
+  if (!safe) {
+    throw std::invalid_argument("validate: null safe predicate");
+  }
+  // One copy of the callable per chunk: value-captured scratch inside
+  // the caller's predicate becomes per-chunk state automatically.
+  return runEstimator([&safe](std::size_t) { return safe; }, origin, opts,
+                      pool);
+}
+
 EmpiricalEstimate estimateEmpiricalRadius(const feature::FeatureSet& phi,
                                           const la::Vector& origin,
                                           const EstimatorOptions& opts,
@@ -295,9 +489,36 @@ EmpiricalEstimate estimateEmpiricalRadius(const feature::FeatureSet& phi,
     throw std::invalid_argument(
         "validate: origin dimension does not match the feature set");
   }
-  return estimateEmpiricalRadius(
-      [&phi](const la::Vector& pi) { return phi.allWithinBounds(pi); }, origin,
-      opts, pool);
+  checkOptions(opts);
+
+  const std::size_t chunks =
+      (opts.directions + opts.chunkSize - 1) / opts.chunkSize;
+  std::vector<std::unique_ptr<classify::BlockClassifier>> classifiers(chunks +
+                                                                      1);
+  const BlockPredicateFactory factory =
+      [&phi, &classifiers, &opts](std::size_t id) -> BlockSafePredicate {
+    classifiers[id] =
+        std::make_unique<classify::BlockClassifier>(phi, opts.classifyMode);
+    classify::BlockClassifier* cls = classifiers[id].get();
+    return [cls](const la::PointBlock& block, std::span<const std::size_t>,
+                 std::span<std::uint8_t> safeOut) {
+      cls->classify(block, safeOut);
+    };
+  };
+
+  EmpiricalEstimate est = runEstimator(factory, origin, opts, pool);
+  for (const auto& cls : classifiers) {
+    if (cls) est.classifyStats.merge(cls->stats());
+  }
+  if (opts.metrics != nullptr) {
+    auto& counters = opts.metrics->counters();
+    counters.bump("classify.blocks", est.classifyStats.blocks);
+    counters.bump("classify.lanes", est.classifyStats.lanes);
+    counters.bump("classify.f32_hits", est.classifyStats.f32Hits);
+    counters.bump("classify.double_fallbacks",
+                  est.classifyStats.doubleFallbacks);
+  }
+  return est;
 }
 
 double violationFraction(const EmpiricalEstimate& est, double r) {

@@ -16,14 +16,25 @@
 // (xoshiro256** jump-ahead), every direction's result lands in a
 // preallocated slot indexed by direction id, and all reductions run over
 // those slots in index order after the parallel phase.
+//
+// Within a chunk the rays advance in lockstep: each round gathers every
+// unfinished ray's next probe point into one SoA block (la::PointBlock)
+// and classifies the whole block in a single call — through the batched
+// kernels of src/classify for the FeatureSet overload. Per ray, the
+// sequence of probe distances, the evaluation count and the resulting
+// boundary distance are exactly those of the per-ray scalar loop, so
+// batching changes throughput only, never results.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <span>
 #include <vector>
 
+#include "classify/block_classifier.hpp"
 #include "feature/feature.hpp"
+#include "la/point_block.hpp"
 #include "la/vector.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
@@ -48,6 +59,19 @@ using SafePredicate = std::function<bool(const la::Vector&)>;
 /// Must be deterministic in both arguments.
 using IndexedSafePredicate =
     std::function<bool(const la::Vector&, std::size_t direction)>;
+
+/// Batched safe-region membership: writes 1/0 to `safeOut[l]` when lane
+/// l of `block` is safe/violating, with `directions[l]` the probe
+/// direction id of lane l (same contract as IndexedSafePredicate,
+/// block-wise). The estimator advances every ray of a chunk in lockstep
+/// and classifies one block per round, so a single call sees probe
+/// points from many rays at different march/bisection depths. Must be
+/// deterministic per lane; the estimator copies the callable once per
+/// chunk, so scratch captured by value is per-chunk (not shared across
+/// threads).
+using BlockSafePredicate = std::function<void(
+    const la::PointBlock& block, std::span<const std::size_t> directions,
+    std::span<std::uint8_t> safeOut)>;
 
 /// Sampling parameters for the empirical estimator.
 struct EstimatorOptions {
@@ -79,6 +103,13 @@ struct EstimatorOptions {
   double confidence = 0.95;
   /// Bootstrap resamples for the interval.
   std::size_t bootstrapResamples = 1000;
+  /// Classification kernel for the FeatureSet overload: Batched (the
+  /// SoA engine, default), BatchedF32 (certified float32 pre-pass), or
+  /// Scalar (point-at-a-time reference). Every mode produces the same
+  /// classification verdicts, so radii, distances and counts are
+  /// bit-identical across modes; only throughput differs. Ignored by
+  /// the predicate overloads (the predicate is the kernel there).
+  classify::Mode classifyMode = classify::Mode::Batched;
   /// Optional metrics sink. When set, the estimator records
   /// "validate.directions" / "validate.classifications" /
   /// "validate.boundary_hits" counters and the per-chunk classification
@@ -110,6 +141,10 @@ struct EmpiricalEstimate {
   std::size_t boundaryHits = 0;
   /// Total safe-predicate evaluations across all rays.
   std::size_t classifications = 0;
+  /// Kernel work counters of the FeatureSet overload (blocks, lanes,
+  /// f32 hits, double fallbacks), merged over all chunk classifiers in
+  /// chunk order. Zero for the predicate overloads.
+  classify::ClassifyStats classifyStats{};
   /// Summary over the finite (boundary-hitting) directional distances.
   stats::Summary distanceSummary{};
   /// Per-direction boundary distance, in direction order (+inf for
@@ -140,8 +175,23 @@ struct EmpiricalEstimate {
     const IndexedSafePredicate& safe, const la::Vector& origin,
     const EstimatorOptions& opts = {}, parallel::ThreadPool* pool = nullptr);
 
+/// Block-predicate overload: the caller supplies the batched kernel
+/// directly. The estimator marches and bisects every ray of a chunk in
+/// lockstep, classifying one block per round, so the predicate sees
+/// large lane counts even deep into bisection. Per-ray probe sequences,
+/// distances and evaluation counts are bit-identical to the scalar
+/// overloads for the same membership function.
+[[nodiscard]] EmpiricalEstimate estimateEmpiricalRadius(
+    const BlockSafePredicate& safe, const la::Vector& origin,
+    const EstimatorOptions& opts = {}, parallel::ThreadPool* pool = nullptr);
+
 /// Convenience overload: the safe region of a feature set —
-/// phi.allWithinBounds(pi) — around `origin`.
+/// phi.allWithinBounds(pi) — around `origin`. Classified through one
+/// classify::BlockClassifier per chunk in the kernel mode selected by
+/// opts.classifyMode; the result (including every bit of every radius)
+/// does not depend on the mode, and the kernels' work counters are
+/// returned in EmpiricalEstimate::classifyStats and recorded as
+/// "classify.*" counters when opts.metrics is set.
 [[nodiscard]] EmpiricalEstimate estimateEmpiricalRadius(
     const feature::FeatureSet& phi, const la::Vector& origin,
     const EstimatorOptions& opts = {}, parallel::ThreadPool* pool = nullptr);

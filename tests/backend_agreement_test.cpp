@@ -90,9 +90,10 @@ TEST_P(LinearBackendAgreement, CapableBackendsOverlap) {
   rp.scheme = scheme;
 
   const std::vector<Solved> solved = solveWithAllCapable(rp, 256);
-  // Linear features: the analytic, numeric and empirical kernels are all
-  // capable; the degraded kernel is not (no DES system).
-  ASSERT_EQ(solved.size(), 3u);
+  // Linear features: the analytic, numeric, empirical and
+  // empirical-batched kernels are all capable; the degraded kernel is
+  // not (no DES system).
+  ASSERT_EQ(solved.size(), 4u);
   const std::string tag = "seed=" + std::to_string(seed) +
                           " dim=" + std::to_string(dim) +
                           " cond=" + std::to_string(conditioning);
@@ -160,7 +161,7 @@ TEST(AllocBackendAgreement, FortySeedsOverlap) {
     rp.scheme = radius::MergeScheme::NormalizedByOriginal;
 
     const std::vector<Solved> solved = solveWithAllCapable(rp, 512);
-    ASSERT_EQ(solved.size(), 3u);
+    ASSERT_EQ(solved.size(), 4u);
     expectPairwiseAgreement(solved, "alloc seed=" + std::to_string(seed));
   }
 }
@@ -176,7 +177,7 @@ TEST(HiperdBackendAgreement, EightSeedsOverlap) {
     rp.scheme = radius::MergeScheme::NormalizedByOriginal;
 
     const std::vector<Solved> solved = solveWithAllCapable(rp, 512);
-    ASSERT_EQ(solved.size(), 3u);
+    ASSERT_EQ(solved.size(), 4u);
     expectPairwiseAgreement(solved, "hiperd seed=" + std::to_string(seed));
   }
 }

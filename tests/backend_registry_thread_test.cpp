@@ -33,7 +33,8 @@ struct Job {
 std::vector<Job> makeJobs() {
   std::vector<Job> jobs;
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-    for (const char* backend : {"", "analytic", "numeric", "empirical"}) {
+    for (const char* backend :
+         {"", "analytic", "numeric", "empirical", "empirical-batched"}) {
       Job j;
       j.problem = ft::makeLinearInstance(seed, 3);
       j.scheme = seed % 2 == 0 ? radius::MergeScheme::Sensitivity
@@ -80,7 +81,7 @@ std::vector<std::uint64_t> solveAll(const std::vector<Job>& jobs,
 
 TEST(BackendRegistryThread, StaticRegistrationIsOneTimeAndStable) {
   // The registrars ran before main; racing instance() from many threads
-  // must observe the same fully built registry (same object, same four
+  // must observe the same fully built registry (same object, same five
   // kernels) with no re-registration.
   constexpr std::size_t kThreads = 8;
   std::vector<const rb::BackendRegistry*> seen(kThreads, nullptr);
@@ -96,7 +97,7 @@ TEST(BackendRegistryThread, StaticRegistrationIsOneTimeAndStable) {
   for (std::thread& w : workers) w.join();
   for (std::size_t t = 0; t < kThreads; ++t) {
     EXPECT_EQ(seen[t], &rb::BackendRegistry::instance());
-    EXPECT_EQ(sizes[t], 4u);
+    EXPECT_EQ(sizes[t], 5u);
   }
 }
 
@@ -106,7 +107,7 @@ TEST(BackendRegistryThread, ConcurrentLookupsDuringSolves) {
   std::thread reader([] {
     for (int i = 0; i < 2000; ++i) {
       EXPECT_NE(rb::BackendRegistry::instance().find("analytic"), nullptr);
-      EXPECT_EQ(rb::BackendRegistry::instance().all().size(), 4u);
+      EXPECT_EQ(rb::BackendRegistry::instance().all().size(), 5u);
     }
   });
   (void)solveAll(jobs, 4);

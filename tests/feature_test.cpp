@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
@@ -36,6 +37,37 @@ TEST(FeatureBounds, OneSidedForms) {
   EXPECT_FALSE(lower.hasMax());
   EXPECT_TRUE(lower.contains(1e12));
   EXPECT_FALSE(lower.contains(1.9));
+}
+
+TEST(FeatureBounds, NanIsATypedNonFiniteOutcomeNotAViolation) {
+  // Regression: contains(NaN) used to silently count as "outside",
+  // hiding model bugs inside Monte-Carlo estimates. classify() now
+  // reports NaN as a typed NonFinite outcome, and allWithinBounds turns
+  // it into NonFiniteFeatureError instead of returning false.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const feature::FeatureBounds b(1.0, 3.0);
+  EXPECT_FALSE(b.contains(nan));  // documented legacy answer, unchanged
+  EXPECT_EQ(b.classify(nan), feature::FeatureBounds::Containment::NonFinite);
+  EXPECT_EQ(b.classify(2.0), feature::FeatureBounds::Containment::Inside);
+  EXPECT_EQ(b.classify(4.0), feature::FeatureBounds::Containment::Outside);
+  // ±inf has an order, so it classifies decisively rather than NonFinite.
+  EXPECT_EQ(b.classify(inf), feature::FeatureBounds::Containment::Outside);
+  EXPECT_EQ(b.classify(-inf), feature::FeatureBounds::Containment::Outside);
+  EXPECT_EQ(feature::FeatureBounds::upper(5.0).classify(-inf),
+            feature::FeatureBounds::Containment::Inside);
+
+  // A NaN-producing feature surfaces as the typed error from the set.
+  feature::FeatureSet phi;
+  phi.add(std::make_shared<feature::CallableFeature>(
+              "nan", 1,
+              [nan](const la::Vector& x) { return x[0] * nan; }),
+          feature::FeatureBounds::upper(1.0));
+  EXPECT_THROW((void)phi.allWithinBounds(la::Vector{1.0}),
+               feature::NonFiniteFeatureError);
+  // NonFiniteFeatureError is a std::domain_error, so the backends'
+  // typed-error contract (tests/backend_fuzz_test.cpp) already covers it.
+  EXPECT_THROW((void)phi.allWithinBounds(la::Vector{1.0}), std::domain_error);
 }
 
 TEST(FeatureBounds, RelativeUpperIsBetaTimesOriginal) {

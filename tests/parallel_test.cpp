@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "hiperd/factory.hpp"
 #include "radius/parallel_rho.hpp"
@@ -101,6 +102,44 @@ TEST(ParallelFor, SingleFailureKeepsOriginalExceptionType) {
     FAIL() << "parallelFor should have thrown";
   } catch (const std::domain_error& e) {
     EXPECT_STREQ(e.what(), "lonely failure");
+  }
+}
+
+TEST(ParallelFor, SingleWorkerPoolRunsInlineWithSameSemantics) {
+  // A one-worker pool executes parallelFor on the calling thread (no
+  // queue round-trip — the fix for the threads=1 fault-bench
+  // regression). Semantics must match the pooled path exactly: full
+  // coverage, first-exception propagation, suppressed-failure counting.
+  parallel::ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<int> hits(257, 0);
+  std::thread::id seen{};
+  parallel::parallelFor(pool, hits.size(), [&](std::size_t i) {
+    ++hits[i];
+    seen = std::this_thread::get_id();
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(seen, caller) << "threads=1 should not bounce through a worker";
+
+  EXPECT_THROW(parallel::parallelFor(pool, 10,
+                                     [](std::size_t i) {
+                                       if (i == 3) {
+                                         throw std::domain_error("inline");
+                                       }
+                                     }),
+               std::domain_error);
+  try {
+    // One failure per chunk (chunks = 4 * threadCount = 4): the first
+    // propagates, the rest are counted into the message.
+    parallel::parallelFor(pool, 4, [](std::size_t i) {
+      throw std::domain_error("bad index " + std::to_string(i));
+    });
+    FAIL() << "parallelFor should have thrown";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad index 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("3 additional task failure"), std::string::npos)
+        << what;
   }
 }
 

@@ -8,6 +8,7 @@ The schema format is deliberately tiny (no jsonschema dependency):
   {
     "required": ["bench", "runs", ...],      # top-level keys that must exist
     "manifest_required": ["git_sha", ...],   # keys of the "manifest" object
+    "runs_required": ["threads", ...],       # keys of every "runs" element
     "types": {"bench": "str", "runs": "list", "smoke": "bool", ...}
   }
 
@@ -57,6 +58,18 @@ def main():
                 f"{bench_path}: key '{key}' has type "
                 f"{type(doc[key]).__name__}, expected {type_name}"
             )
+
+    runs_required = schema.get("runs_required", [])
+    if runs_required:
+        runs = doc.get("runs")
+        if not isinstance(runs, list):
+            fail(f"{bench_path}: missing or non-array 'runs'")
+        for i, run in enumerate(runs):
+            if not isinstance(run, dict):
+                fail(f"{bench_path}: runs[{i}] is not a JSON object")
+            for key in runs_required:
+                if key not in run:
+                    fail(f"{bench_path}: runs[{i}] missing key '{key}'")
 
     manifest_required = schema.get("manifest_required", [])
     if manifest_required:

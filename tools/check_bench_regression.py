@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Guard against throughput collapse in BENCH_*.json smoke runs.
 
-Usage: check_bench_regression.py <smoke.json> <baseline.json> [--max-slowdown X]
+Usage: check_bench_regression.py <smoke.json> <baseline.json>
+           [--max-slowdown X] [--floor KEY=VALUE ...]
 
 Collects every numeric field whose key ends in "_per_sec" — at the top
 level and inside each element of the "runs" array — and compares the
@@ -12,13 +13,33 @@ smoke-vs-full workload differences, tight enough to catch a perf
 collapse (an accidentally quadratic loop, a lost parallel path)
 mechanically. A key present only in one file is reported but not fatal,
 so baselines regenerated with a newer bench layout do not break CI.
+
+Runs whose "threads" exceeds the machine's hardware concurrency (the
+per-run "hardware_concurrency" field, falling back to the manifest's)
+are excluded from the comparison: an oversubscribed pool measures
+scheduler behaviour, not the code under test, so its throughput must not
+be allowed to satisfy — or fail — a scaling assertion. Serial runs
+(threads == 0) and runs within the machine's parallelism always count.
+
+--floor KEY=VALUE (repeatable) additionally asserts an absolute minimum
+on the smoke run's best value for KEY — e.g. a classifications/sec
+floor on the batched kernel — independent of any baseline file.
 """
 import argparse
 import json
 import sys
 
 
-def collect_throughputs(doc):
+def machine_width(doc):
+    manifest = doc.get("manifest")
+    if isinstance(manifest, dict):
+        hc = manifest.get("hardware_concurrency")
+        if isinstance(hc, int) and hc > 0:
+            return hc
+    return None
+
+
+def collect_throughputs(doc, label):
     """Best value per *_per_sec key, from the top level and runs[]."""
     best = {}
 
@@ -30,12 +51,41 @@ def collect_throughputs(doc):
     for key, value in doc.items():
         if key.endswith("_per_sec"):
             note(key, value)
-    for run in doc.get("runs", []):
-        if isinstance(run, dict):
-            for key, value in run.items():
-                if key.endswith("_per_sec"):
-                    note(key, value)
+    fallback_width = machine_width(doc)
+    for i, run in enumerate(doc.get("runs", [])):
+        if not isinstance(run, dict):
+            continue
+        threads = run.get("threads")
+        width = run.get("hardware_concurrency")
+        if not (isinstance(width, int) and width > 0):
+            width = fallback_width
+        if (
+            isinstance(threads, int)
+            and threads > 0
+            and width is not None
+            and threads > width
+        ):
+            print(
+                f"  {label} runs[{i}]: threads={threads} > "
+                f"hardware_concurrency={width} (oversubscribed, skipped)"
+            )
+            continue
+        for key, value in run.items():
+            if key.endswith("_per_sec"):
+                note(key, value)
     return best
+
+
+def parse_floor(spec):
+    key, sep, value = spec.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"--floor expects KEY=VALUE, got {spec!r}"
+        )
+    try:
+        return key, float(value)
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(f"--floor {spec!r}: {e}") from e
 
 
 def main():
@@ -43,6 +93,13 @@ def main():
     parser.add_argument("smoke")
     parser.add_argument("baseline")
     parser.add_argument("--max-slowdown", type=float, default=5.0)
+    parser.add_argument(
+        "--floor",
+        type=parse_floor,
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+    )
     args = parser.parse_args()
 
     try:
@@ -53,8 +110,8 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"check_bench_regression: {e}")
 
-    smoke_best = collect_throughputs(smoke)
-    base_best = collect_throughputs(baseline)
+    smoke_best = collect_throughputs(smoke, "smoke")
+    base_best = collect_throughputs(baseline, "baseline")
     if not base_best:
         sys.exit(
             f"check_bench_regression: {args.baseline} has no *_per_sec "
@@ -78,11 +135,21 @@ def main():
     for key in sorted(set(smoke_best) - set(base_best)):
         print(f"  {key}: only in smoke run (skipped)")
 
+    for key, floor in args.floor:
+        current = smoke_best.get(key)
+        if current is None:
+            print(f"  floor {key}: missing from smoke run [FAIL]")
+            failures.append(key)
+            continue
+        status = "OK" if current >= floor else "FAIL"
+        print(f"  floor {key}: smoke {current:.3g}/s >= {floor:.3g}/s [{status}]")
+        if current < floor:
+            failures.append(key)
+
     if failures:
         sys.exit(
-            f"check_bench_regression: {args.smoke}: throughput collapsed "
-            f">{args.max_slowdown}x vs {args.baseline} on: "
-            + ", ".join(failures)
+            f"check_bench_regression: {args.smoke}: throughput check failed "
+            f"vs {args.baseline} on: " + ", ".join(sorted(set(failures)))
         )
     print(f"{args.smoke}: throughput within {args.max_slowdown}x of baseline")
 

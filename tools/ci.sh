@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # CI entry point: build the Release and ASan+UBSan configurations and run
 # the tier1 (fast) test suite under both, then build the TSan
-# configuration and run the backend-registry thread suite under it.
+# configuration and run the backend-registry and batched-classification
+# thread suites under it.
 # Mirrors the CMake presets in CMakePresets.json; run from anywhere.
 #
 #   tools/ci.sh            # all configs
 #   tools/ci.sh release    # one config
 #   tools/ci.sh asan-ubsan
-#   tools/ci.sh tsan       # ThreadSanitizer, registry thread suite only
+#   tools/ci.sh tsan       # ThreadSanitizer, registry + batched suites only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -58,6 +59,11 @@ with open(sys.argv[1]) as f:
     d = json.load(f)
 if not d["degraded_runs_identical"]:
     sys.exit("bench_fault_injection: degraded estimates differ across thread counts")
+if not d["threads1_within_serial_noise"]:
+    sys.exit(
+        "bench_fault_injection: threads=1 pool is not within noise of the "
+        f"serial path (ratio {d['threads1_vs_serial_ratio']:.3f})"
+    )
 print("bench_fault_injection smoke OK")
 EOF2
 
@@ -93,6 +99,20 @@ EOF2
       ./build/bench/bench_empirical_radius --benchmark_filter=NONE
     python3 tools/check_bench_json.py "$val_json" \
       tools/schemas/bench_validation.schema.json
+    python3 - "$val_json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+if not d["radius_identical"]:
+    sys.exit("bench_empirical_radius: radii differ within an engine family")
+if not d["batched_matches_scalar"]:
+    sys.exit("bench_empirical_radius: batched modes diverge from the scalar "
+             "reference (bit-identity contract broken)")
+if not d["classify_kernel_verdicts_agree"]:
+    sys.exit("bench_empirical_radius: raw kernel verdicts disagree with the "
+             "scalar predicate")
+print("bench_empirical_radius smoke OK")
+EOF
 
     # The CLI trace path: a search run with --trace must emit a JSON
     # document Chrome/Perfetto can load.
@@ -202,6 +222,14 @@ EOF
       --max-slowdown "$max_slowdown"
     python3 tools/check_bench_regression.py "$sweep_json" BENCH_sweep.json \
       --max-slowdown "$max_slowdown"
+    # The batched kernel also gets an absolute classifications/sec floor
+    # (override with FEPIA_BENCH_CLASSIFY_FLOOR): ~10x below the
+    # reference machine's rate, so only a real kernel collapse — not a
+    # slow runner — trips it.
+    classify_floor="${FEPIA_BENCH_CLASSIFY_FLOOR:-2000000}"
+    python3 tools/check_bench_regression.py "$val_json" \
+      BENCH_validation.json --max-slowdown "$max_slowdown" \
+      --floor "classify_batched_per_sec=$classify_floor"
   fi
 
   if [ "$cfg" = asan-ubsan ]; then
@@ -221,6 +249,13 @@ EOF
     ./build-asan/tools/fepia_cli fault-sim --samples 4 --seed 7 \
       --threads 2 >/dev/null
     echo "fepia_cli fault-sim asan smoke OK"
+
+    # The batched classification path (SoA kernels, f32 pre-pass inside
+    # the empirical-batched backend) under the sanitizers.
+    echo "=== [$cfg] fepia_cli validate --backend empirical-batched (asan-ubsan) ==="
+    ./build-asan/tools/fepia_cli validate examples/data/streaming_stage.fepia \
+      --samples 32 --seed 7 --threads 2 --backend empirical-batched >/dev/null
+    echo "fepia_cli validate empirical-batched asan smoke OK"
   fi
 done
 echo "CI OK"

@@ -18,9 +18,9 @@
 //   --echo                                 re-serialize the parsed problem
 //   --backend NAME                         force one radius backend
 //                                          (analytic|numeric|empirical|
-//                                          degraded — see docs/backends.md);
-//                                          also accepted by validate,
-//                                          fault-sim and sweep
+//                                          empirical-batched|degraded — see
+//                                          docs/backends.md); also accepted
+//                                          by validate, fault-sim and sweep
 //
 // --hiperd mode loads a HiPer-D topology (see src/io/system_io.hpp and
 // examples/data/fusion_pipeline.hiperd) and runs the load-space analysis
