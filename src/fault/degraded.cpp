@@ -64,9 +64,16 @@ DegradedEstimate estimateDegradedRadius(const hiperd::ReferenceSystem& ref,
     desOpts.generations = opts.generations;
     desOpts.serviceJitterCov = opts.serviceJitterCov;
     desOpts.faults = injectorFor(direction);
-    return des::simulatePipeline(ref.system, parts[0], parts[1],
-                                 ref.qos.minThroughput, desOpts)
-        .satisfies(ref.qos.maxLatencySeconds);
+    const des::PipelineResult run = des::simulatePipeline(
+        ref.system, parts[0], parts[1], ref.qos.minThroughput, desOpts);
+    if (opts.live != nullptr) {
+      opts.live->classifications.fetch_add(1, std::memory_order_relaxed);
+      opts.live->retries.fetch_add(run.faults.retries,
+                                   std::memory_order_relaxed);
+      opts.live->droppedMessages.fetch_add(run.faults.droppedMessages,
+                                           std::memory_order_relaxed);
+    }
+    return run.satisfies(ref.qos.maxLatencySeconds);
   };
 
   // Nominal run: scenario 0 at the unperturbed operating point. This is

@@ -13,6 +13,7 @@
 // — bit-for-bit, which the determinism tests assert.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -24,6 +25,16 @@
 #include "validate/empirical.hpp"
 
 namespace fepia::fault {
+
+/// Live degradation totals across every DES classification so far, for
+/// the telemetry sampler to watch while an estimation runs. All relaxed
+/// atomics; the estimator only ever adds to them — fault retry/drop
+/// *rates* are derived by the sampler from successive snapshots.
+struct LiveFaultStats {
+  std::atomic<std::uint64_t> classifications{0};  ///< DES runs completed
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> droppedMessages{0};
+};
 
 /// Knobs of the degraded estimate beyond the estimator's own options.
 struct DegradedOptions {
@@ -37,6 +48,10 @@ struct DegradedOptions {
   /// des::PipelineOptions (0 keeps every classification deterministic
   /// from its operating point alone — the STOCH sweep's knob).
   double serviceJitterCov = 0.0;
+  /// Optional telemetry sink: each DES classification adds its fault
+  /// counters here as it completes (relaxed adds on the worker threads;
+  /// never read back, so results are unaffected).
+  LiveFaultStats* live = nullptr;
 };
 
 /// Applies the DES-specific estimator tuning of `validate --des` to

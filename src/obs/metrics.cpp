@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
 
@@ -190,11 +191,37 @@ const Histogram* Registry::findHistogram(
   return nullptr;
 }
 
+namespace {
+
+std::string describeBounds(const std::vector<double>& bounds) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (i > 0) out += ", ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", bounds[i]);
+    out += buf;
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
 void Registry::merge(const Registry& other) {
   counters_.merge(other.counters_);
   for (const Gauge& g : other.gauges_) maxGauge(g.name, g.value);
   for (const auto& [name, h] : other.histograms_) {
-    histogram(name, h.upperBounds()).merge(h);
+    Histogram& mine = histogram(name, h.upperBounds());
+    // Diagnose the mismatch here, where the name is known — the bare
+    // Histogram::merge error cannot say *which* histogram clashed, and
+    // a merge of many shard registries needs that to be actionable.
+    if (mine.upperBounds() != h.upperBounds()) {
+      throw std::invalid_argument(
+          "obs::Registry::merge: histogram '" + name +
+          "' bucket bounds differ: have " + describeBounds(mine.upperBounds()) +
+          ", incoming " + describeBounds(h.upperBounds()));
+    }
+    mine.merge(h);
   }
 }
 

@@ -1,0 +1,62 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace fepia::obs {
+namespace {
+
+/// Sample-line value formatting. Prometheus accepts Go-syntax floats;
+/// %.17g round-trips doubles exactly, matching the JSON writers'
+/// precision so the two export paths can never disagree on a value.
+void writeValue(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+std::string prometheusName(std::string_view name) {
+  std::string out = "fepia_";
+  for (const char c : name) {
+    const bool legal = (std::isalnum(static_cast<unsigned char>(c)) != 0) ||
+                       c == '_' || c == ':';
+    out += legal ? c : '_';
+  }
+  return out;
+}
+
+void exportPrometheus(std::ostream& os, const Registry& reg) {
+  for (const Counter& c : reg.counters().all()) {
+    const std::string name = prometheusName(c.name) + "_total";
+    os << "# TYPE " << name << " counter\n"
+       << name << ' ' << c.value << '\n';
+  }
+  for (const Gauge& g : reg.gauges()) {
+    const std::string name = prometheusName(g.name);
+    os << "# TYPE " << name << " gauge\n" << name << ' ';
+    writeValue(os, g.value);
+    os << '\n';
+  }
+  for (const auto& [rawName, h] : reg.histograms()) {
+    const std::string name = prometheusName(rawName);
+    os << "# TYPE " << name << " histogram\n";
+    const auto& bounds = h.upperBounds();
+    const auto& counts = h.bucketCounts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      os << name << "_bucket{le=\"";
+      writeValue(os, bounds[i]);
+      os << "\"} " << cumulative << '\n';
+    }
+    cumulative += counts.back();
+    os << name << "_bucket{le=\"+Inf\"} " << cumulative << '\n'
+       << name << "_sum ";
+    writeValue(os, h.sum());
+    os << '\n' << name << "_count " << h.count() << '\n';
+  }
+}
+
+}  // namespace fepia::obs

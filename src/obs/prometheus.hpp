@@ -1,0 +1,34 @@
+// Prometheus text-exposition writer for the metrics registry.
+//
+// Maps the registry onto the Prometheus text format (version 0.0.4, the
+// format every Prometheus server scrapes): counters become
+// `fepia_<name>_total`, gauges `fepia_<name>`, histograms the standard
+// `_bucket{le=...}` / `_sum` / `_count` triple with *cumulative* bucket
+// counts and a closing `le="+Inf"` bucket. Metric names are sanitised to
+// the Prometheus grammar ([a-zA-Z_:][a-zA-Z0-9_:]*): dots and every
+// other illegal character map to '_'.
+//
+// This is the scrape payload of the future fepiad server's /metrics
+// endpoint; today the TelemetryHub serves it from its latest snapshot
+// and `fepia_cli --prom FILE` writes it at process exit.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace fepia::obs {
+
+/// `name` mangled into a legal Prometheus metric name, prefixed with
+/// "fepia_" ("sweep.points_per_sec" -> "fepia_sweep_points_per_sec").
+[[nodiscard]] std::string prometheusName(std::string_view name);
+
+/// Writes `reg` in the Prometheus text exposition format: one
+/// `# TYPE` line plus sample lines per metric, insertion order
+/// preserved, terminated by a newline. Deterministic for a fixed
+/// registry.
+void exportPrometheus(std::ostream& os, const Registry& reg);
+
+}  // namespace fepia::obs

@@ -1,0 +1,304 @@
+#include "obs/telemetry.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+#include "obs/prometheus.hpp"
+
+namespace fepia::obs {
+namespace {
+
+/// Appends `value` with the same %.17g round-trip formatting as the
+/// JSON number writer (telemetry records must re-parse exactly).
+void appendNumber(std::string& out, double value) {
+  std::ostringstream os;
+  writeJsonNumber(os, value);
+  out += os.str();
+}
+
+void appendString(std::string& out, const std::string& value) {
+  std::ostringstream os;
+  writeJsonString(os, value);
+  out += os.str();
+}
+
+/// Milliseconds with microsecond resolution — readable timestamps that
+/// still order samples taken within one interval.
+double relMillis(std::uint64_t relNs) {
+  return static_cast<double>(relNs / 1000) / 1000.0;
+}
+
+}  // namespace
+
+TelemetryEvent& TelemetryEvent::num(std::string key, double value) {
+  Field f;
+  f.kind = Field::Kind::Num;
+  f.key = std::move(key);
+  f.num = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+TelemetryEvent& TelemetryEvent::count(std::string key, std::uint64_t value) {
+  Field f;
+  f.kind = Field::Kind::Count;
+  f.key = std::move(key);
+  f.cnt = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+TelemetryEvent& TelemetryEvent::str(std::string key, std::string value) {
+  Field f;
+  f.kind = Field::Kind::Str;
+  f.key = std::move(key);
+  f.str = std::move(value);
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+TelemetryHub::TelemetryHub(TelemetryOptions opts, std::ostream* sink)
+    : opts_(std::move(opts)),
+      baseNs_(nowNanos()),
+      sink_(sink),
+      alerts_(opts_.alerts) {}
+
+TelemetryHub::~TelemetryHub() { stop(); }
+
+std::uint64_t TelemetryHub::nowRelNanos() const noexcept {
+  return nowNanos() - baseNs_;
+}
+
+std::size_t TelemetryHub::addSource(SourceFn fn) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t id = nextSourceId_++;
+  sources_.push_back(Source{id, std::move(fn)});
+  return id;
+}
+
+void TelemetryHub::removeSource(std::size_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = sources_.begin(); it != sources_.end(); ++it) {
+    if (it->id == id) {
+      sources_.erase(it);
+      return;
+    }
+  }
+}
+
+void TelemetryHub::publish(const Registry& reg) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  base_.merge(reg);
+}
+
+std::size_t TelemetryHub::addWatchdog(std::string name,
+                                      double deadlineSeconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto dog = std::make_unique<Watchdog>();
+  dog->id = nextWatchdogId_++;
+  dog->name = std::move(name);
+  dog->deadlineNs =
+      static_cast<std::uint64_t>(deadlineSeconds * 1e9);
+  dog->lastNs.store(nowRelNanos(), std::memory_order_relaxed);
+  const std::size_t id = dog->id;
+  watchdogs_.push_back(std::move(dog));
+  return id;
+}
+
+void TelemetryHub::noteProgress(std::size_t watchdogId) noexcept {
+  // The clock read stays outside the lock so a sampler mid-serialise
+  // cannot skew the progress timestamp.
+  const std::uint64_t now = nowRelNanos();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& dog : watchdogs_) {
+    if (dog->id == watchdogId) {
+      dog->lastNs.store(now, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void TelemetryHub::removeWatchdog(std::size_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = watchdogs_.begin(); it != watchdogs_.end(); ++it) {
+    if ((*it)->id == id) {
+      watchdogs_.erase(it);
+      return;
+    }
+  }
+}
+
+void TelemetryHub::start() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  stopRequested_ = false;
+  sampleLocked();  // the t=0 snapshot
+  sampler_ = std::thread([this] { samplerLoop(); });
+}
+
+void TelemetryHub::stop() {
+  std::thread joinable;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stopRequested_ = true;
+    joinable = std::move(sampler_);
+  }
+  wake_.notify_all();
+  if (joinable.joinable()) joinable.join();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+    sampleLocked();  // the final snapshot — guarantees >= 2 samples
+  }
+}
+
+void TelemetryHub::samplerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto interval = std::chrono::milliseconds(opts_.intervalMillis);
+  while (!stopRequested_) {
+    if (wake_.wait_for(lock, interval,
+                       [this] { return stopRequested_; })) {
+      break;
+    }
+    sampleLocked();
+  }
+}
+
+void TelemetryHub::sampleNow() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sampleLocked();
+}
+
+void TelemetryHub::sampleLocked() {
+  TelemetrySample sample;
+  sample.seq = sampleSeq_++;
+  sample.tNs = nowRelNanos();
+  sample.registry = base_;
+  for (const Source& src : sources_) src.fn(sample.registry);
+
+  // Serialise before moving into the ring.
+  std::ostringstream metricsJson;
+  sample.registry.writeJson(metricsJson);
+  std::string line = "{\"type\":\"sample\",\"seq\":";
+  line += std::to_string(sample.seq);
+  line += ",\"t_ms\":";
+  appendNumber(line, relMillis(sample.tNs));
+  line += ",\"metrics\":";
+  line += metricsJson.str();
+  line += '}';
+  writeRecordLocked(std::move(line));
+
+  for (const AlertCrossing& crossing : alerts_.evaluate(sample.registry)) {
+    TelemetryEvent event("alert");
+    event.str("kind", "threshold")
+        .str("rule", crossing.rule->str())
+        .str("metric", crossing.rule->metric)
+        .num("value", crossing.value)
+        .num("threshold", crossing.rule->threshold);
+    writeEventLocked(event, sample.tNs);
+  }
+
+  for (const auto& dog : watchdogs_) {
+    const std::uint64_t last = dog->lastNs.load(std::memory_order_relaxed);
+    const bool stalled =
+        sample.tNs > last && sample.tNs - last > dog->deadlineNs;
+    if (stalled && !dog->stalled) {
+      TelemetryEvent event("alert");
+      event.str("kind", "stall")
+          .str("watchdog", dog->name)
+          .num("idle_seconds",
+               static_cast<double>(sample.tNs - last) / 1e9)
+          .num("deadline_seconds",
+               static_cast<double>(dog->deadlineNs) / 1e9);
+      writeEventLocked(event, sample.tNs);
+    }
+    dog->stalled = stalled;
+  }
+
+  ring_.push_back(std::move(sample));
+  while (ring_.size() > opts_.ringCapacity && !ring_.empty()) {
+    ring_.pop_front();
+  }
+}
+
+void TelemetryHub::emit(const TelemetryEvent& event) {
+  const std::uint64_t tNs = nowRelNanos();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  writeEventLocked(event, tNs);
+}
+
+void TelemetryHub::writeEventLocked(const TelemetryEvent& event,
+                                    std::uint64_t tNs) {
+  std::string line = "{\"type\":";
+  appendString(line, event.type_);
+  line += ",\"t_ms\":";
+  appendNumber(line, relMillis(tNs));
+  for (const TelemetryEvent::Field& f : event.fields_) {
+    line += ',';
+    appendString(line, f.key);
+    line += ':';
+    switch (f.kind) {
+      case TelemetryEvent::Field::Kind::Num:
+        appendNumber(line, f.num);
+        break;
+      case TelemetryEvent::Field::Kind::Count:
+        line += std::to_string(f.cnt);
+        break;
+      case TelemetryEvent::Field::Kind::Str:
+        appendString(line, f.str);
+        break;
+    }
+  }
+  line += '}';
+  writeRecordLocked(std::move(line));
+}
+
+void TelemetryHub::writeRecordLocked(std::string line) {
+  if (sink_ != nullptr) {
+    *sink_ << line << '\n';
+    sink_->flush();
+  }
+  records_.push_back(std::move(line));
+}
+
+std::vector<TelemetrySample> TelemetryHub::samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<TelemetrySample>(ring_.begin(), ring_.end());
+}
+
+std::uint64_t TelemetryHub::sampleCount() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sampleSeq_;
+}
+
+std::vector<std::pair<std::uint64_t, double>> TelemetryHub::series(
+    const std::string& metric) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::uint64_t, double>> out;
+  out.reserve(ring_.size());
+  for (const TelemetrySample& s : ring_) {
+    double value = 0.0;
+    if (findMetricValue(s.registry, metric, value)) {
+      out.emplace_back(s.tNs, value);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> TelemetryHub::records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+void TelemetryHub::exportPrometheus(std::ostream& os) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.empty()) sampleLocked();
+  fepia::obs::exportPrometheus(os, ring_.back().registry);
+}
+
+}  // namespace fepia::obs

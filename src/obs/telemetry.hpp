@@ -1,0 +1,213 @@
+// Live telemetry hub: periodic metrics sampling, structured events,
+// threshold alerts, stall watchdogs, and a Prometheus-ready export.
+//
+// Everything the obs layer produced so far is post-mortem — spans become
+// one trace file and the Registry one JSON blob at process exit. The
+// TelemetryHub is the continuous-observation layer on top of the same
+// primitives: a background sampler thread wakes on a fixed interval,
+// assembles a snapshot Registry (the published base registry plus every
+// registered live-gauge source), stores it in a fixed-capacity ring
+// buffer, streams it as one JSONL record, evaluates the alert rules,
+// and checks the stall watchdogs. Subsystems additionally push
+// structured events (sweep heartbeats, straggler warnings) into the
+// same stream through emit().
+//
+// The hard guarantee carried over from the span layer: telemetry must
+// be invisible to the numerics. Sources hand the sampler *copies* read
+// from atomics or taken under short-lived locks — never a lock held
+// across kernel work — and nothing in the hub feeds back into any
+// computation, so every radius, surface, and journal byte is identical
+// with telemetry on or off at any thread count (asserted by
+// tests/telemetry_test.cpp at threads {1, 2, 8}).
+//
+// Record stream (one JSON object per line; tools/schemas/
+// telemetry.schema.json specifies it, docs/observability.md documents
+// it):
+//   {"type":"sample","seq":N,"t_ms":T,"metrics":{...}}    periodic
+//   {"type":"heartbeat","t_ms":T,...}                     per sweep shard
+//   {"type":"warning","kind":"straggler","t_ms":T,...}    slow shard
+//   {"type":"alert","kind":"threshold","t_ms":T,...}      rule crossing
+//   {"type":"alert","kind":"stall","t_ms":T,...}          watchdog
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/alert.hpp"
+#include "obs/metrics.hpp"
+
+namespace fepia::obs {
+
+/// Sampler configuration.
+struct TelemetryOptions {
+  /// Sampling period of the background thread.
+  std::uint64_t intervalMillis = 250;
+  /// Fixed capacity of the in-memory sample ring (oldest samples are
+  /// dropped first; the JSONL stream keeps everything).
+  std::size_t ringCapacity = 256;
+  /// Threshold rules evaluated against every sample.
+  std::vector<AlertRule> alerts;
+};
+
+/// One periodic snapshot: sequence number, monotonic time since the hub
+/// was constructed, and a copy of the merged registry.
+struct TelemetrySample {
+  std::uint64_t seq = 0;
+  std::uint64_t tNs = 0;
+  Registry registry;
+};
+
+/// A structured event for the telemetry stream, built fluently:
+///   hub.emit(TelemetryEvent("heartbeat").count("shard", s)
+///                .num("eta_seconds", eta));
+/// Keys are escaped through the shared JSON writer, so hostile names
+/// cannot break the stream.
+class TelemetryEvent {
+ public:
+  explicit TelemetryEvent(std::string type) : type_(std::move(type)) {}
+
+  TelemetryEvent& num(std::string key, double value);
+  TelemetryEvent& count(std::string key, std::uint64_t value);
+  TelemetryEvent& str(std::string key, std::string value);
+
+  [[nodiscard]] const std::string& type() const noexcept { return type_; }
+
+ private:
+  friend class TelemetryHub;
+
+  struct Field {
+    enum class Kind { Num, Count, Str } kind;
+    std::string key;
+    double num = 0.0;
+    std::uint64_t cnt = 0;
+    std::string str;
+  };
+
+  std::string type_;
+  std::vector<Field> fields_;
+};
+
+/// The hub. Construct, register sources/watchdogs, start(); stop() (or
+/// the destructor) joins the sampler after one final sample, so a run
+/// always emits at least the first and last snapshots regardless of the
+/// interval. All public methods are thread-safe.
+class TelemetryHub {
+ public:
+  /// A live-gauge source: called by the sampler with the snapshot under
+  /// construction; must only read atomics or take short-lived locks
+  /// (never a lock held across kernel work) and must stay valid until
+  /// removeSource.
+  using SourceFn = std::function<void(Registry&)>;
+
+  /// `sink` receives the JSONL stream (flushed per record); nullptr
+  /// keeps records in memory only. The hub does not own the stream.
+  explicit TelemetryHub(TelemetryOptions opts, std::ostream* sink = nullptr);
+  ~TelemetryHub();
+
+  TelemetryHub(const TelemetryHub&) = delete;
+  TelemetryHub& operator=(const TelemetryHub&) = delete;
+
+  /// Registers a live-gauge source; returns its id for removeSource.
+  std::size_t addSource(SourceFn fn);
+  void removeSource(std::size_t id);
+
+  /// Merges `reg` into the hub's base registry (the accumulated
+  /// post-join metrics every snapshot starts from).
+  void publish(const Registry& reg);
+
+  /// Registers a stall watchdog: when no noteProgress(id) call lands
+  /// within `deadlineSeconds`, the next sample emits one
+  /// {"type":"alert","kind":"stall"} event (re-armed by progress).
+  /// The watchdog starts "fed" at registration time.
+  std::size_t addWatchdog(std::string name, double deadlineSeconds);
+  /// Feeds watchdog `id`: a brief lookup under the hub lock plus one
+  /// relaxed store. Cheap enough for per-sweep-point use (points cost
+  /// whole estimator runs), but keep it off per-classification paths.
+  void noteProgress(std::size_t watchdogId) noexcept;
+  void removeWatchdog(std::size_t id);
+
+  /// Starts the background sampler (takes an immediate first sample).
+  /// No-op when already running.
+  void start();
+  /// Takes a final sample, stops and joins the sampler. Idempotent.
+  void stop();
+
+  /// Takes one sample synchronously (also evaluates alerts/watchdogs).
+  void sampleNow();
+
+  /// Emits one structured event into the stream (timestamped by the
+  /// hub's clock).
+  void emit(const TelemetryEvent& event);
+
+  /// Copy of the sample ring, oldest first.
+  [[nodiscard]] std::vector<TelemetrySample> samples() const;
+  /// Total samples taken (including those evicted from the ring).
+  [[nodiscard]] std::uint64_t sampleCount() const;
+  /// (tNs, value) series of one counter/gauge over the ring, oldest
+  /// first; samples where the metric is absent are skipped.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, double>> series(
+      const std::string& metric) const;
+  /// Every JSONL record produced so far (what the sink received), in
+  /// emission order.
+  [[nodiscard]] std::vector<std::string> records() const;
+
+  /// Writes the latest snapshot (taking a fresh one when none exists
+  /// yet) in the Prometheus text exposition format — the payload of the
+  /// future fepiad /metrics scrape endpoint.
+  void exportPrometheus(std::ostream& os);
+
+ private:
+  struct Source {
+    std::size_t id;
+    SourceFn fn;
+  };
+  struct Watchdog {
+    std::size_t id = 0;
+    std::string name;
+    std::uint64_t deadlineNs = 0;
+    std::atomic<std::uint64_t> lastNs{0};
+    bool stalled = false;  ///< sampler thread only (under mutex_)
+  };
+
+  void samplerLoop();
+  /// Assembles a snapshot, appends it to the ring, writes the sample
+  /// record, and runs alerts + watchdogs. Requires mutex_ held.
+  void sampleLocked();
+  /// Serialises `event` (with timestamp `tNs`) and appends it to the
+  /// stream. Requires mutex_ held.
+  void writeEventLocked(const TelemetryEvent& event, std::uint64_t tNs);
+  void writeRecordLocked(std::string line);
+  [[nodiscard]] std::uint64_t nowRelNanos() const noexcept;
+
+  const TelemetryOptions opts_;
+  const std::uint64_t baseNs_;
+  std::ostream* sink_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool running_ = false;
+  bool stopRequested_ = false;
+  std::thread sampler_;
+
+  std::vector<Source> sources_;
+  std::size_t nextSourceId_ = 0;
+  std::deque<std::unique_ptr<Watchdog>> watchdogs_;  ///< stable addresses
+  std::size_t nextWatchdogId_ = 0;
+  Registry base_;
+  AlertEngine alerts_;
+  std::deque<TelemetrySample> ring_;
+  std::uint64_t sampleSeq_ = 0;
+  std::vector<std::string> records_;
+};
+
+}  // namespace fepia::obs

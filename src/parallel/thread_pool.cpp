@@ -46,6 +46,7 @@ void ThreadPool::workerLoop(std::size_t workerIndex) {
       }
       task = std::move(queue_.front());
       queue_.pop();
+      queueDepth_.fetch_sub(1, std::memory_order_relaxed);
       if (task.submitNs != 0) {
         const std::uint64_t now = obs::nowNanos();
         waitHist_.record(static_cast<double>(now >= task.submitNs
@@ -55,9 +56,17 @@ void ThreadPool::workerLoop(std::size_t workerIndex) {
       }
     }
     workerTasks_[workerIndex].fetch_add(1, std::memory_order_relaxed);
+    activeWorkers_.fetch_add(1, std::memory_order_relaxed);
     FEPIA_SPAN_ARG("pool.task", "worker", workerIndex);
     task.fn();  // packaged_task captures exceptions into the future
+    activeWorkers_.fetch_sub(1, std::memory_order_relaxed);
   }
+}
+
+void ThreadPool::liveGauges(obs::Registry& out) const {
+  out.setGauge("pool.threads", static_cast<double>(workers_.size()));
+  out.setGauge("pool.queue_depth", static_cast<double>(queueDepth()));
+  out.setGauge("pool.active_workers", static_cast<double>(activeWorkers()));
 }
 
 void ThreadPool::exportMetrics(obs::Registry& out) {

@@ -72,6 +72,7 @@ class ThreadPool {
       }
       queue_.emplace(Task{[task] { (*task)(); }, submitNs});
       ++submitted_;
+      queueDepth_.fetch_add(1, std::memory_order_relaxed);
     }
     wake_.notify_one();
     return out;
@@ -83,6 +84,24 @@ class ThreadPool {
   /// wait histogram "pool.wait_us". Safe to call while workers run
   /// (counters are read relaxed; the histogram under the queue lock).
   void exportMetrics(obs::Registry& out);
+
+  /// Tasks enqueued but not yet picked up by a worker. A relaxed load —
+  /// an instantaneous reading for dashboards, not a synchronisation
+  /// point.
+  [[nodiscard]] std::size_t queueDepth() const noexcept {
+    return queueDepth_.load(std::memory_order_relaxed);
+  }
+
+  /// Workers currently inside a task body (relaxed load, same caveat).
+  [[nodiscard]] std::size_t activeWorkers() const noexcept {
+    return activeWorkers_.load(std::memory_order_relaxed);
+  }
+
+  /// Writes the pool's instantaneous occupancy gauges into `out`:
+  /// "pool.threads", "pool.queue_depth", "pool.active_workers". This is
+  /// the telemetry sampler's live-gauge source — purely relaxed atomic
+  /// reads, no pool lock taken.
+  void liveGauges(obs::Registry& out) const;
 
   /// Records one parallelFor chunk executed inline on the caller's
   /// thread (single-worker fast path): the chunk counts against worker
@@ -110,6 +129,8 @@ class ThreadPool {
   std::uint64_t submitted_ = 0;                          ///< under mutex_
   obs::Histogram waitHist_ = obs::Histogram::exponential(1.0, 4.0, 10);
   std::unique_ptr<std::atomic<std::uint64_t>[]> workerTasks_;
+  std::atomic<std::size_t> queueDepth_{0};     ///< enqueued, not started
+  std::atomic<std::size_t> activeWorkers_{0};  ///< inside a task body
 };
 
 /// Runs body(i) for i in [0, count) across the pool and blocks until all

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -132,11 +133,24 @@ struct EmpiricalPoint {
 
 // ---- the per-point evaluator ------------------------------------------
 
+/// Live progress counters for the telemetry sampler: relaxed atomics
+/// bumped on the worker threads, read by the hub's source callback.
+/// Nothing in the sweep ever reads them back.
+struct LiveSweepStats {
+  std::atomic<std::uint64_t> pointsDone{0};
+  std::atomic<std::uint64_t> shardsDone{0};
+  std::atomic<std::uint64_t> classifications{0};
+  fault::LiveFaultStats faults;
+};
+
 class Evaluator {
  public:
   Evaluator(const SweepSpec& spec, ResultCache& cache,
-            std::string backendOverride)
-      : spec_(spec), cache_(cache), backendOverride_(std::move(backendOverride)) {}
+            std::string backendOverride, LiveSweepStats* live = nullptr)
+      : spec_(spec),
+        cache_(cache),
+        backendOverride_(std::move(backendOverride)),
+        live_(live) {}
 
   [[nodiscard]] PointResult evaluate(std::size_t id) const {
     switch (spec_.workload) {
@@ -187,6 +201,9 @@ class Evaluator {
     // surface guard (tools/baselines/s31_surface.json) holds it to that.
     req.backendOverride = "empirical-batched";
     req.estimator = eo;
+    if (live_ != nullptr) {
+      req.estimator.liveClassifications = &live_->classifications;
+    }
     const rbackend::RadiusOutcome out = rbackend::solveRadius(rp, req, nullptr);
     auto p = std::make_shared<EmpiricalPoint>();
     p->radius = out.rho;
@@ -206,6 +223,10 @@ class Evaluator {
     req.backendOverride = "degraded";
     req.estimator = eo;
     req.degraded = dopts;
+    if (live_ != nullptr) {
+      req.estimator.liveClassifications = &live_->classifications;
+      req.degraded.live = &live_->faults;
+    }
     const rbackend::RadiusOutcome out = rbackend::solveRadius(rp, req, nullptr);
     auto p = std::make_shared<EmpiricalPoint>();
     p->radius = out.rho;
@@ -362,6 +383,7 @@ class Evaluator {
   const SweepSpec& spec_;
   ResultCache& cache_;
   std::string backendOverride_;
+  LiveSweepStats* live_ = nullptr;
 };
 
 }  // namespace
@@ -419,27 +441,147 @@ SweepSurface runSweep(const SweepSpec& spec, const SweepOptions& opts,
     pending.resize(opts.stopAfterShards);
   }
 
+  std::size_t pendingPoints = 0;
+  for (const std::size_t s : pending) {
+    const std::size_t first = s * surface.chunk;
+    pendingPoints += std::min(first + surface.chunk, surface.points) - first;
+  }
+
   ResultCache cache(opts.cacheEnabled);
-  const Evaluator evaluator(spec, cache, opts.backendOverride);
+  LiveSweepStats live;
+  const Evaluator evaluator(spec, cache, opts.backendOverride,
+                            opts.telemetry != nullptr ? &live : nullptr);
   const obs::Stopwatch sw;
+
+  // Telemetry wiring. The source callback runs on the hub's sampler
+  // thread and reads only relaxed atomics; heartbeats/stragglers are
+  // emitted under journalMutex, which already serialises shard commits.
+  obs::TelemetryHub* const hub = opts.telemetry;
+  std::size_t sourceId = 0;
+  std::size_t watchdogId = 0;
+  const bool watchdogOn = hub != nullptr && opts.stallDeadlineSeconds > 0.0;
+  if (hub != nullptr) {
+    sourceId = hub->addSource([&live, &cache, pendingPoints,
+                               totalShards = pending.size()](
+                                  obs::Registry& reg) {
+      reg.setGauge("sweep.live_points_done",
+                   static_cast<double>(
+                       live.pointsDone.load(std::memory_order_relaxed)));
+      reg.setGauge("sweep.live_points_total",
+                   static_cast<double>(pendingPoints));
+      reg.setGauge("sweep.live_shards_done",
+                   static_cast<double>(
+                       live.shardsDone.load(std::memory_order_relaxed)));
+      reg.setGauge("sweep.live_shards_total",
+                   static_cast<double>(totalShards));
+      reg.setGauge("sweep.live_classifications",
+                   static_cast<double>(live.classifications.load(
+                       std::memory_order_relaxed)));
+      reg.setGauge("sweep.live_cache_hits", static_cast<double>(cache.hits()));
+      reg.setGauge("sweep.live_cache_misses",
+                   static_cast<double>(cache.misses()));
+      reg.setGauge("fault.live_classifications",
+                   static_cast<double>(live.faults.classifications.load(
+                       std::memory_order_relaxed)));
+      reg.setGauge("fault.live_retries",
+                   static_cast<double>(live.faults.retries.load(
+                       std::memory_order_relaxed)));
+      reg.setGauge("fault.live_dropped",
+                   static_cast<double>(live.faults.droppedMessages.load(
+                       std::memory_order_relaxed)));
+    });
+    if (watchdogOn) {
+      watchdogId = hub->addWatchdog("sweep", opts.stallDeadlineSeconds);
+    }
+  }
+  std::vector<double> shardSeconds;  // completed shards, under journalMutex
+  shardSeconds.reserve(pending.size());
 
   const auto runShard = [&](std::size_t i) {
     FEPIA_SPAN("sweep.shard");
+    const obs::Stopwatch shardSw;
     const std::size_t s = pending[i];
     const std::size_t first = s * surface.chunk;
     const std::size_t last = std::min(first + surface.chunk, surface.points);
     for (std::size_t id = first; id < last; ++id) {
       surface.results[id] = evaluator.evaluate(id);
       surface.computed[id] = 1;
+      if (hub != nullptr) {
+        live.pointsDone.fetch_add(1, std::memory_order_relaxed);
+        if (watchdogOn) hub->noteProgress(watchdogId);
+      }
     }
+    const double shardWall = shardSw.elapsedSeconds();
     const std::lock_guard<std::mutex> lock(journalMutex);
     writer.appendShard(s, first, surface.results.data() + first, last - first);
+    if (hub == nullptr && !opts.progress) return;
+    live.shardsDone.fetch_add(1, std::memory_order_relaxed);
+
+    // Progress model over committed work: rate from the run's wall clock
+    // so cache-accelerated shards raise it honestly; ETA over the points
+    // this call still owes.
+    const std::uint64_t done =
+        live.pointsDone.load(std::memory_order_relaxed);
+    const double elapsed = sw.elapsedSeconds();
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+    const std::uint64_t left =
+        pendingPoints > done ? pendingPoints - done : 0;
+    const double eta = rate > 0.0 ? static_cast<double>(left) / rate : 0.0;
+
+    if (hub != nullptr) {
+      obs::TelemetryEvent beat("heartbeat");
+      beat.count("shard", s)
+          .count("points_done", done)
+          .count("points_total", pendingPoints)
+          .num("shard_seconds", shardWall)
+          .num("points_per_sec", rate)
+          .num("eta_seconds", eta);
+      hub->emit(beat);
+
+      // Straggler check against the median completed shard so far. Needs
+      // a few completed shards before "median" means anything.
+      shardSeconds.push_back(shardWall);
+      if (opts.stragglerFactor > 0.0 && shardSeconds.size() >= 4) {
+        std::vector<double> sorted = shardSeconds;
+        std::sort(sorted.begin(), sorted.end());
+        const double median = sorted[sorted.size() / 2];
+        if (median > 0.0 && shardWall > opts.stragglerFactor * median) {
+          obs::TelemetryEvent warn("warning");
+          warn.str("kind", "straggler")
+              .count("shard", s)
+              .num("shard_seconds", shardWall)
+              .num("median_seconds", median)
+              .num("factor", shardWall / median);
+          hub->emit(warn);
+        }
+      }
+    }
+
+    if (opts.progress) {
+      std::fprintf(stderr,
+                   "\rsweep: %llu/%llu points (%.1f pts/s, ETA %.0fs)   ",
+                   static_cast<unsigned long long>(done),
+                   static_cast<unsigned long long>(pendingPoints), rate, eta);
+      std::fflush(stderr);
+    }
   };
 
   if (pool != nullptr && pending.size() > 1) {
     parallel::parallelFor(*pool, pending.size(), runShard);
   } else {
     for (std::size_t i = 0; i < pending.size(); ++i) runShard(i);
+  }
+
+  if (opts.progress && !pending.empty()) {
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+  }
+  if (hub != nullptr) {
+    // The sampler must not call into this frame's locals past this
+    // point; unhook before the surface (and `live`) go away.
+    hub->removeSource(sourceId);
+    if (watchdogOn) hub->removeWatchdog(watchdogId);
   }
 
   surface.wallSeconds = sw.elapsedSeconds();
@@ -453,11 +595,7 @@ SweepSurface runSweep(const SweepSpec& spec, const SweepOptions& opts,
       surface.classifications += surface.results[id].classifications;
     }
   }
-  std::size_t computedPoints = 0;
-  for (const std::size_t s : pending) {
-    const std::size_t first = s * surface.chunk;
-    computedPoints += std::min(first + surface.chunk, surface.points) - first;
-  }
+  const std::size_t computedPoints = pendingPoints;
   surface.pointsPerSec = surface.wallSeconds > 0.0
                              ? static_cast<double>(computedPoints) /
                                    surface.wallSeconds

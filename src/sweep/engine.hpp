@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sweep/result.hpp"
 #include "sweep/spec.hpp"
@@ -65,6 +66,26 @@ struct SweepOptions {
   std::string backendOverride;
   /// Optional metrics sink (sweep.* counters, written after the joins).
   obs::Registry* metrics = nullptr;
+  /// Optional telemetry hub. When set, the run registers a live-gauge
+  /// source (sweep.live_* progress gauges sampled by the hub's thread),
+  /// emits one heartbeat event per completed shard (points/sec, ETA),
+  /// warns on straggler shards, and feeds a stall watchdog from every
+  /// committed point. All of it is observational: gauges are relaxed
+  /// atomic reads and events are emitted under the journal lock the
+  /// engine already takes per shard, so the surface stays byte-identical
+  /// with the hub attached or not (tests/telemetry_test.cpp).
+  obs::TelemetryHub* telemetry = nullptr;
+  /// Live status line on stderr (the CLI's --progress): rewritten after
+  /// every completed shard, erased by a newline when the sweep ends.
+  bool progress = false;
+  /// A completed shard slower than this multiple of the median completed
+  /// shard wall time triggers a straggler warning event (needs telemetry
+  /// and at least 4 completed shards; <= 0 disables).
+  double stragglerFactor = 4.0;
+  /// Stall-watchdog deadline: no point committed for this long raises a
+  /// {"type":"alert","kind":"stall"} event (needs telemetry; <= 0
+  /// disables the watchdog).
+  double stallDeadlineSeconds = 30.0;
 };
 
 /// A computed (possibly partial) sweep surface.

@@ -370,6 +370,9 @@ EmpiricalEstimate runEstimator(const BlockPredicateFactory& factory,
       }
     }
     evalsPerChunk[c] = evals;
+    if (opts.liveClassifications != nullptr) {
+      opts.liveClassifications->fetch_add(evals, std::memory_order_relaxed);
+    }
   };
 
   if (pool != nullptr && chunks > 1) {

@@ -26,6 +26,7 @@
 // batching changes throughput only, never results.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -117,6 +118,12 @@ struct EstimatorOptions {
   /// after the parallel phase (never touched by worker threads, so the
   /// determinism contract is unaffected).
   obs::Registry* metrics = nullptr;
+  /// Optional live progress counter for telemetry: each chunk adds its
+  /// classification-eval count here (one relaxed fetch_add per chunk)
+  /// as it completes, so a sampler thread can watch throughput while
+  /// the estimator runs. Purely observational — never read back by the
+  /// estimator, so results are unaffected.
+  std::atomic<std::uint64_t>* liveClassifications = nullptr;
 };
 
 /// Result of an empirical radius estimation.

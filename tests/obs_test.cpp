@@ -5,10 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "obs/clock.hpp"
@@ -117,6 +120,66 @@ TEST(ObsJson, ValidatorAcceptsAndRejects) {
   EXPECT_FALSE(obs::isValidJson("[1] [2]"));
   EXPECT_FALSE(obs::isValidJson("{'a': 1}"));
   EXPECT_FALSE(obs::isValidJson("[01]"));
+}
+
+/// The 17-significant-digit contract at the edges of the double grid:
+/// the printed text must strtod back to the exact same bits.
+TEST(ObsJson, NumberRoundTripsExtremeDoubles) {
+  const double cases[] = {
+      5e-324,                                    // smallest subnormal
+      2.2250738585072014e-308,                   // DBL_MIN
+      4.9406564584124654e-310,                   // mid-subnormal
+      1.7976931348623157e308,                    // DBL_MAX
+      -1.7976931348623157e308,
+      0.0,
+      9007199254740993.0,                        // 2^53 + 1 territory
+      1.0 / 3.0,
+  };
+  for (const double x : cases) {
+    std::ostringstream os;
+    obs::writeJsonNumber(os, x);
+    const std::string text = os.str();
+    SCOPED_TRACE(text);
+    EXPECT_TRUE(obs::isValidJson(text));
+    char* end = nullptr;
+    const double back = std::strtod(text.c_str(), &end);
+    EXPECT_EQ(end, text.c_str() + text.size());
+    EXPECT_EQ(std::memcmp(&back, &x, sizeof x), 0)
+        << "bits changed across the round trip";
+  }
+  // Negative zero must keep its sign through the writer.
+  std::ostringstream nz;
+  obs::writeJsonNumber(nz, -0.0);
+  const double back = std::strtod(nz.str().c_str(), nullptr);
+  EXPECT_TRUE(std::signbit(back));
+}
+
+TEST(ObsJson, ValidatorNumberAndDepthEdgeCases) {
+  // Number torture: a lone minus, bare dots, dangling exponents.
+  EXPECT_FALSE(obs::isValidJson("-"));
+  EXPECT_FALSE(obs::isValidJson("[-]"));
+  EXPECT_FALSE(obs::isValidJson("-."));
+  EXPECT_FALSE(obs::isValidJson("1."));
+  EXPECT_FALSE(obs::isValidJson(".5"));
+  EXPECT_FALSE(obs::isValidJson("1e"));
+  EXPECT_FALSE(obs::isValidJson("1e+"));
+  EXPECT_TRUE(obs::isValidJson("-0"));
+  EXPECT_TRUE(obs::isValidJson("1e+9"));
+  EXPECT_TRUE(obs::isValidJson("-0.5E-3"));
+
+  // Trailing garbage after a complete value.
+  EXPECT_FALSE(obs::isValidJson("123x"));
+  EXPECT_FALSE(obs::isValidJson("{} extra"));
+  EXPECT_FALSE(obs::isValidJson("truee"));
+  EXPECT_FALSE(obs::isValidJson("\"unterminated"));
+
+  // Nesting depth: comfortably deep parses, the recursion bomb is
+  // rejected instead of overflowing the checker's stack.
+  const auto nested = [](std::size_t depth) {
+    return std::string(depth, '[') + std::string(depth, ']');
+  };
+  EXPECT_TRUE(obs::isValidJson(nested(100)));
+  EXPECT_FALSE(obs::isValidJson(nested(100'000)));
 }
 
 // ----- counters (the escaping fix shared with src/trace) ---------------
@@ -243,6 +306,39 @@ TEST(ObsRegistry, MergeAddsCountersMaxesGaugesMergesHistograms) {
   const obs::Histogram* h = a.findHistogram("lat");
   ASSERT_NE(h, nullptr);
   EXPECT_EQ(h->count(), 2u);
+}
+
+// Regression: merging registries whose same-named histograms disagree on
+// bucket bounds used to die on a bare assert deep in Histogram::merge.
+// It must surface as a typed error that names the offending histogram
+// and both bound sets, so a sharded sweep can report which metric was
+// misconfigured.
+TEST(ObsRegistry, MergeMismatchedHistogramBoundsThrowsNamedError) {
+  obs::Registry a;
+  a.histogram("shard_ms", {1.0, 2.0, 4.0}).record(0.5);
+  obs::Registry b;
+  b.histogram("shard_ms", {1.0, 2.0, 8.0}).record(0.5);
+
+  try {
+    a.merge(b);
+    FAIL() << "merge with mismatched bounds did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard_ms"), std::string::npos) << what;
+    EXPECT_NE(what.find('4'), std::string::npos) << what;
+    EXPECT_NE(what.find('8'), std::string::npos) << what;
+  }
+
+  // The failed merge must not corrupt the destination.
+  const obs::Histogram* h = a.findHistogram("shard_ms");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+
+  // Matching bounds still merge fine after the error.
+  obs::Registry c;
+  c.histogram("shard_ms", {1.0, 2.0, 4.0}).record(3.0);
+  a.merge(c);
+  EXPECT_EQ(a.findHistogram("shard_ms")->count(), 2u);
 }
 
 TEST(ObsRegistry, WriteJsonIsValidAndInsertionOrdered) {

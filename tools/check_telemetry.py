@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate a fepia telemetry JSONL stream against a checked-in schema.
+
+Usage: check_telemetry.py <telemetry.jsonl> <schema.json> [options]
+
+Every line must be a standalone JSON object carrying a "type" key whose
+value names an entry in the schema's "record_types" table; that entry
+lists the record's required keys and their types (same tiny type names
+as check_bench_json.py: str, bool, int, float, list, dict — no
+jsonschema dependency). Unknown record types fail: the stream is a
+contract, and a consumer (Grafana pipeline, CI diff) should never meet
+a record it has no schema for.
+
+Beyond per-record shape the checker enforces stream-level invariants:
+sample "seq" values strictly increase, "t_ms" never runs backwards
+across the whole stream, and at least schema["min_samples"] samples are
+present (a hub is contractually obliged to sample at start and stop, so
+even a microscopic run yields 2).
+
+Options:
+  --min-samples N       override the schema's minimum sample count
+  --expect-type T       require >= 1 record of type T (repeatable),
+                        e.g. --expect-type heartbeat --expect-type alert
+
+Exits nonzero with a message on the first violation.
+"""
+import argparse
+import json
+import sys
+
+TYPES = {
+    "str": str,
+    "bool": bool,
+    "int": int,
+    "float": (int, float),
+    "list": list,
+    "dict": dict,
+}
+
+
+def fail(msg):
+    sys.exit(f"check_telemetry: {msg}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("stream")
+    ap.add_argument("schema")
+    ap.add_argument("--min-samples", type=int, default=None)
+    ap.add_argument("--expect-type", action="append", default=[])
+    args = ap.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+    record_types = schema.get("record_types", {})
+    min_samples = (
+        args.min_samples
+        if args.min_samples is not None
+        else schema.get("min_samples", 0)
+    )
+
+    counts = {}
+    last_seq = None
+    last_t = None
+    try:
+        stream = open(args.stream)
+    except OSError as e:
+        fail(str(e))
+    with stream:
+        for lineno, line in enumerate(stream, start=1):
+            if not line.strip():
+                fail(f"line {lineno}: blank line in JSONL stream")
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"line {lineno}: invalid JSON ({e})")
+            if not isinstance(rec, dict):
+                fail(f"line {lineno}: record is not a JSON object")
+            rtype = rec.get("type")
+            if not isinstance(rtype, str):
+                fail(f"line {lineno}: missing or non-string 'type'")
+            spec = record_types.get(rtype)
+            if spec is None:
+                fail(f"line {lineno}: unknown record type '{rtype}'")
+            for key in spec.get("required", []):
+                if key not in rec:
+                    fail(f"line {lineno}: {rtype} missing key '{key}'")
+            for key, tname in spec.get("types", {}).items():
+                if key in rec and not isinstance(rec[key], TYPES[tname]):
+                    fail(
+                        f"line {lineno}: {rtype} key '{key}' has type "
+                        f"{type(rec[key]).__name__}, expected {tname}"
+                    )
+            t = rec.get("t_ms")
+            if isinstance(t, (int, float)):
+                if last_t is not None and t < last_t:
+                    fail(f"line {lineno}: t_ms ran backwards ({t} < {last_t})")
+                last_t = t
+            if rtype == "sample":
+                seq = rec["seq"]
+                if last_seq is not None and seq <= last_seq:
+                    fail(
+                        f"line {lineno}: sample seq not strictly increasing "
+                        f"({seq} after {last_seq})"
+                    )
+                last_seq = seq
+            counts[rtype] = counts.get(rtype, 0) + 1
+
+    n_samples = counts.get("sample", 0)
+    if n_samples < min_samples:
+        fail(f"only {n_samples} sample records, need >= {min_samples}")
+    for rtype in args.expect_type:
+        if counts.get(rtype, 0) < 1:
+            fail(f"no '{rtype}' records in stream")
+
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"{args.stream}: OK ({summary})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,14 +1,14 @@
 #!/usr/bin/env bash
 # CI entry point: build the Release and ASan+UBSan configurations and run
 # the tier1 (fast) test suite under both, then build the TSan
-# configuration and run the backend-registry and batched-classification
-# thread suites under it.
+# configuration and run the backend-registry, batched-classification and
+# telemetry thread suites under it.
 # Mirrors the CMake presets in CMakePresets.json; run from anywhere.
 #
 #   tools/ci.sh            # all configs
 #   tools/ci.sh release    # one config
 #   tools/ci.sh asan-ubsan
-#   tools/ci.sh tsan       # ThreadSanitizer, registry + batched suites only
+#   tools/ci.sh tsan       # ThreadSanitizer, thread-heavy suites only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -111,6 +111,13 @@ if not d["batched_matches_scalar"]:
 if not d["classify_kernel_verdicts_agree"]:
     sys.exit("bench_empirical_radius: raw kernel verdicts disagree with the "
              "scalar predicate")
+if not d["telemetry_radius_identical"]:
+    sys.exit("bench_empirical_radius: attaching the telemetry hub changed "
+             "the radius (sampler fed back into the computation)")
+if not d["telemetry_overhead_ok"]:
+    sys.exit("bench_empirical_radius: telemetry overhead "
+             f"{d['telemetry_overhead_ratio']:.3f}x exceeds the "
+             f"{d['telemetry_max_ratio']:.2f}x budget")
 print("bench_empirical_radius smoke OK")
 EOF
 
@@ -167,6 +174,30 @@ def lines(path):
 cold, resumed = (lines(p) for p in sys.argv[1:3])
 assert cold == resumed, "resumed sweep JSON differs from the cold run"
 print("fepia_cli sweep resume smoke OK")
+EOF
+
+    # Telemetry smoke: the same smoke sweep with the hub attached must
+    # emit a schema-valid JSONL stream (>= 2 samples — the hub samples at
+    # start and stop — plus per-shard heartbeats and the threshold alert
+    # armed below), write a Prometheus exposition, and leave the surface
+    # JSON byte-identical to the hub-free run outside the manifest.
+    echo "=== [$cfg] fepia_cli telemetry smoke ==="
+    ./build/tools/fepia_cli sweep examples/sweeps/smoke.sweep --threads 2 \
+      --telemetry build/telemetry_smoke.jsonl --telemetry-interval 50 \
+      --alert 'sweep.points_computed>4' --prom build/telemetry_smoke.prom \
+      --json build/sweep_smoke_telemetry.json >/dev/null
+    python3 tools/check_telemetry.py build/telemetry_smoke.jsonl \
+      tools/schemas/telemetry.schema.json \
+      --expect-type heartbeat --expect-type alert
+    grep -q '^fepia_sweep_points_computed_total' build/telemetry_smoke.prom
+    python3 - build/sweep_smoke.json build/sweep_smoke_telemetry.json <<'EOF'
+import sys
+def lines(path):
+    with open(path) as f:
+        return [l for l in f if not l.lstrip().startswith('"manifest"')]
+plain, telemetry = (lines(p) for p in sys.argv[1:3])
+assert plain == telemetry, "telemetry changed the sweep surface JSON"
+print("fepia_cli telemetry smoke OK")
 EOF
 
     # Backend-registry byte-identity guard: the S3.1 sensitivity sweep,
@@ -226,10 +257,17 @@ EOF
     # (override with FEPIA_BENCH_CLASSIFY_FLOOR): ~10x below the
     # reference machine's rate, so only a real kernel collapse — not a
     # slow runner — trips it.
+    # Same idea for the telemetry-attached estimator: an absolute
+    # classifications/sec floor (~10x under the reference machine's
+    # batched serial rate) so the sampler can never silently turn the
+    # hot path into a crawl even if the relative overhead check is
+    # loosened; override with FEPIA_BENCH_TELEMETRY_FLOOR.
     classify_floor="${FEPIA_BENCH_CLASSIFY_FLOOR:-2000000}"
+    telemetry_floor="${FEPIA_BENCH_TELEMETRY_FLOOR:-500000}"
     python3 tools/check_bench_regression.py "$val_json" \
       BENCH_validation.json --max-slowdown "$max_slowdown" \
-      --floor "classify_batched_per_sec=$classify_floor"
+      --floor "classify_batched_per_sec=$classify_floor" \
+      --floor "telemetry_on_per_sec=$telemetry_floor"
   fi
 
   if [ "$cfg" = asan-ubsan ]; then
@@ -238,9 +276,38 @@ EOF
     # sanitizers and parse the trace it writes.
     echo "=== [$cfg] fepia_cli profile smoke (asan-ubsan) ==="
     ./build-asan/tools/fepia_cli profile --tasks 32 --machines 4 \
-      --trace build-asan/profile_smoke_trace.json >/dev/null
+      --trace build-asan/profile_smoke_trace.json \
+      --json build-asan/profile_smoke.json >/dev/null
     python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
       build-asan/profile_smoke_trace.json
+    # The machine-readable phase tree: top level matches the checked-in
+    # schema, and every node recursively carries exactly
+    # {name, total_ms, count, children}.
+    python3 tools/check_bench_json.py build-asan/profile_smoke.json \
+      tools/schemas/profile.schema.json
+    python3 - build-asan/profile_smoke.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+KEYS = {"name", "total_ms", "count", "children"}
+def walk(node, path):
+    assert isinstance(node, dict) and set(node) == KEYS, \
+        f"{path}: bad node keys {sorted(node)}"
+    assert isinstance(node["name"], str) and node["name"], f"{path}: bad name"
+    assert isinstance(node["total_ms"], (int, float)), f"{path}: bad total_ms"
+    assert isinstance(node["count"], int) and node["count"] >= 1, \
+        f"{path}: bad count"
+    for child in node["children"]:
+        walk(child, f"{path}/{child.get('name')}")
+phases = d["phases"]
+assert phases, "profile JSON has no phases"
+for p in phases:
+    walk(p, p.get("name", "?"))
+names = {p["name"] for p in phases}
+for expected in ("profile.search", "profile.des", "profile.validate"):
+    assert expected in names, f"profile JSON missing phase {expected!r}"
+print("profile --json schema OK")
+EOF
     echo "fepia_cli profile smoke OK"
 
     # One fault-injected run under the sanitizers: crash failover, loss

@@ -77,6 +77,7 @@
 //
 // See src/io/problem_io.hpp for the problem-file format; a worked sample
 // lives at examples/data/streaming_stage.fepia.
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -102,10 +103,14 @@
 #include "io/parse.hpp"
 #include "io/problem_io.hpp"
 #include "io/system_io.hpp"
+#include "obs/alert.hpp"
 #include "obs/clock.hpp"
+#include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 #include "radius/registry/scheduler.hpp"
 #include "report/table.hpp"
@@ -130,8 +135,34 @@ struct ObsCli {
   obs::Registry registry;
   obs::RunManifest manifest;
   obs::Stopwatch wall;
+  // Live telemetry (--telemetry FILE): the hub samples on its own
+  // thread for the whole process lifetime; modes hang their live-gauge
+  // sources off it. --prom FILE writes a Prometheus text exposition of
+  // the final registry state on exit.
+  std::string telemetryPath;            ///< --telemetry FILE
+  std::uint64_t telemetryIntervalMs = 250;  ///< --telemetry-interval MS
+  std::vector<obs::AlertRule> alerts;   ///< --alert RULE (repeatable)
+  std::string promPath;                 ///< --prom FILE
+  std::ofstream telemetryFile;
+  std::unique_ptr<obs::TelemetryHub> hub;
 };
 ObsCli g_obs;
+
+/// Unhooks a mode's live-gauge source before its locals (pool, atomics)
+/// go out of scope — the sampler thread must never call into a dead
+/// frame, including on early returns and exceptions.
+struct SourceGuard {
+  obs::TelemetryHub* hub = nullptr;
+  std::size_t id = 0;
+  SourceGuard() = default;
+  SourceGuard(obs::TelemetryHub* h, obs::TelemetryHub::SourceFn fn)
+      : hub(h), id(h != nullptr ? h->addSource(std::move(fn)) : 0) {}
+  SourceGuard(const SourceGuard&) = delete;
+  SourceGuard& operator=(const SourceGuard&) = delete;
+  ~SourceGuard() {
+    if (hub != nullptr) hub->removeSource(id);
+  }
+};
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
@@ -160,12 +191,18 @@ int usage(const char* argv0) {
             << "       " << argv0
             << " sweep <spec-file> [--threads T] [--chunk N] [--journal FILE]"
                " [--resume] [--stop-after N] [--no-cache] [--response AXIS]"
-               " [--backend NAME] [--csv] [--json FILE]\n"
+               " [--progress] [--backend NAME] [--csv] [--json FILE]\n"
             << "       " << argv0
-            << " profile [--tasks N] [--machines M] [--seed S] [--threads T]\n"
+            << " profile [--tasks N] [--machines M] [--seed S] [--threads T]"
+               " [--json FILE]\n"
             << "Every subcommand also accepts --trace FILE (write a Chrome"
-               " trace-event JSON; load in Perfetto or chrome://tracing) and"
-               " --metrics (dump the metrics registry as JSON on exit).\n"
+               " trace-event JSON; load in Perfetto or chrome://tracing),"
+               " --metrics (dump the metrics registry as JSON on exit),"
+               " --telemetry FILE (stream periodic JSONL metric samples and"
+               " events; --telemetry-interval MS sets the period, --alert"
+               " METRIC{>|>=|<|<=}VALUE adds threshold alerts), and --prom"
+               " FILE (write a Prometheus text exposition on exit). See"
+               " docs/observability.md.\n"
                "--backend NAME forces one radius backend (see docs/"
                "backends.md); omit it to let the cost-model scheduler"
                " choose.\n";
@@ -355,6 +392,20 @@ int runValidateMode(int argc, char** argv) {
   if (threads.has_value()) {
     pool = std::make_unique<parallel::ThreadPool>(*threads);
   }
+
+  // Live telemetry gauges: estimator probe counts as they accumulate,
+  // plus pool occupancy when a pool exists.
+  std::atomic<std::uint64_t> liveClassifications{0};
+  opts.liveClassifications = &liveClassifications;
+  const SourceGuard probeGauge(
+      g_obs.hub.get(), [&liveClassifications](obs::Registry& reg) {
+        reg.setGauge("validate.live_classifications",
+                     static_cast<double>(liveClassifications.load(
+                         std::memory_order_relaxed)));
+      });
+  const SourceGuard poolGauges(
+      pool != nullptr ? g_obs.hub.get() : nullptr,
+      [p = pool.get()](obs::Registry& reg) { p->liveGauges(reg); });
 
   std::vector<validate::Comparison> jsonRows;
   std::size_t misses = 0;
@@ -607,6 +658,31 @@ int runFaultSimMode(int argc, char** argv) {
   fault::DegradedOptions dopts;
   dopts.generations = generations;
   dopts.explicitDirections = samples.has_value();
+
+  // Live telemetry gauges: DES classification progress and the fault
+  // retry/drop totals (the sampler derives rates from the series).
+  std::atomic<std::uint64_t> liveClassifications{0};
+  fault::LiveFaultStats liveFaults;
+  est.liveClassifications = &liveClassifications;
+  dopts.live = &liveFaults;
+  const SourceGuard faultGauges(
+      g_obs.hub.get(), [&liveClassifications, &liveFaults](obs::Registry& reg) {
+        reg.setGauge("validate.live_classifications",
+                     static_cast<double>(liveClassifications.load(
+                         std::memory_order_relaxed)));
+        reg.setGauge("fault.live_classifications",
+                     static_cast<double>(liveFaults.classifications.load(
+                         std::memory_order_relaxed)));
+        reg.setGauge("fault.live_retries",
+                     static_cast<double>(liveFaults.retries.load(
+                         std::memory_order_relaxed)));
+        reg.setGauge("fault.live_dropped",
+                     static_cast<double>(liveFaults.droppedMessages.load(
+                         std::memory_order_relaxed)));
+      });
+  const SourceGuard poolGauges(
+      pool != nullptr ? g_obs.hub.get() : nullptr,
+      [p = pool.get()](obs::Registry& reg) { p->liveGauges(reg); });
 
   // Route through the backend registry: the degraded kernel forwards
   // these options verbatim to fault::estimateDegradedRadius, so the
@@ -902,17 +978,18 @@ int runSearchMode(int argc, char** argv) {
 /// hierarchy (parent id = child id minus its last ".N" segment) recovers
 /// the nesting; spans whose parent closed outside the collection window
 /// appear as roots.
-void printProfileTree(const std::vector<obs::SpanRecord>& records) {
-  struct Node {
-    std::uint64_t totalNs = 0;
-    std::size_t count = 0;
-    std::map<std::string, Node> children;  ///< name -> aggregate
-  };
+struct ProfileNode {
+  std::uint64_t totalNs = 0;
+  std::size_t count = 0;
+  std::map<std::string, ProfileNode> children;  ///< name -> aggregate
+};
+
+ProfileNode buildProfileTree(const std::vector<obs::SpanRecord>& records) {
   std::unordered_map<std::string, const obs::SpanRecord*> byId;
   byId.reserve(records.size());
   for (const obs::SpanRecord& r : records) byId.emplace(r.id, &r);
 
-  Node root;
+  ProfileNode root;
   for (const obs::SpanRecord& r : records) {
     std::vector<const obs::SpanRecord*> chain;  // leaf -> root
     const obs::SpanRecord* cur = &r;
@@ -924,16 +1001,19 @@ void printProfileTree(const std::vector<obs::SpanRecord>& records) {
       if (parent == byId.end()) break;
       cur = parent->second;
     }
-    Node* n = &root;
+    ProfileNode* n = &root;
     for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
       n = &n->children[(*it)->name];
     }
     n->totalNs += r.durNs;
     n->count += 1;
   }
+  return root;
+}
 
-  const std::function<void(const Node&, int)> printChildren =
-      [&](const Node& n, int depth) {
+void printProfileTree(const ProfileNode& root) {
+  const std::function<void(const ProfileNode&, int)> printChildren =
+      [&](const ProfileNode& n, int depth) {
         for (const auto& [name, child] : n.children) {
           std::cout << std::string(static_cast<std::size_t>(2 * depth), ' ')
                     << name << "  "
@@ -946,6 +1026,35 @@ void printProfileTree(const std::vector<obs::SpanRecord>& records) {
   printChildren(root, 1);
 }
 
+/// The machine-readable per-phase tree (profile --json): every node is
+/// {"name", "total_ms", "count", "children": [...]}, children in the
+/// tree's (name-sorted) order. tools/schemas/profile.schema.json
+/// specifies the document; ci.sh checks emitted files against it.
+void writeProfileJson(std::ostream& os, const ProfileNode& root) {
+  const std::function<void(const ProfileNode&)> writeChildren =
+      [&](const ProfileNode& n) {
+        os << '[';
+        bool first = true;
+        for (const auto& [name, child] : n.children) {
+          if (!first) os << ", ";
+          first = false;
+          os << "{\"name\": ";
+          obs::writeJsonString(os, name);
+          os << ", \"total_ms\": ";
+          obs::writeJsonNumber(os, static_cast<double>(child.totalNs) / 1e6);
+          os << ", \"count\": " << child.count << ", \"children\": ";
+          writeChildren(child);
+          os << '}';
+        }
+        os << ']';
+      };
+  os << "{\n  \"manifest\": ";
+  g_obs.manifest.writeJson(os);
+  os << ",\n  \"phases\": ";
+  writeChildren(root);
+  os << "\n}\n";
+}
+
 /// `fepia_cli profile`: runs one representative workload per subsystem
 /// (search, analytic radii, DES pipeline, Monte-Carlo validation) with
 /// tracing forced on and prints the per-phase timing tree. Also honors
@@ -955,6 +1064,7 @@ int runProfileMode(int argc, char** argv) {
   std::size_t machines = 8;
   std::uint64_t seed = 0x5EEDD1CEull;
   std::optional<std::size_t> threads;
+  std::string jsonPath;
 
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tasks") == 0 && i + 1 < argc) {
@@ -965,6 +1075,8 @@ int runProfileMode(int argc, char** argv) {
       seed = argUint("--seed", argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = argSize("--threads", argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
     } else {
       return usage(argv[0]);
     }
@@ -1042,7 +1154,19 @@ int runProfileMode(int argc, char** argv) {
 
   collector.stop();
   const std::vector<obs::SpanRecord> records = collector.collect();
-  printProfileTree(records);
+  const ProfileNode tree = buildProfileTree(records);
+  printProfileTree(tree);
+
+  if (!jsonPath.empty()) {
+    std::ofstream out(jsonPath);
+    if (!out) {
+      std::cerr << "error: cannot write '" << jsonPath << "'\n";
+      return 1;
+    }
+    g_obs.manifest.wallSeconds = g_obs.wall.elapsedSeconds();
+    writeProfileJson(out, tree);
+    std::cout << "wrote " << jsonPath << "\n";
+  }
 
   if (!g_obs.tracePath.empty()) {
     std::ofstream out(g_obs.tracePath);
@@ -1091,6 +1215,8 @@ int runSweepMode(int argc, char** argv) {
       opts.backendOverride = argv[++i];
     } else if (std::strcmp(argv[i], "--response") == 0 && i + 1 < argc) {
       responseAxis = argv[++i];
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      opts.progress = true;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -1105,11 +1231,15 @@ int runSweepMode(int argc, char** argv) {
   g_obs.manifest.seed = spec.seed;
   g_obs.manifest.threads = threads.value_or(0);
   opts.metrics = &g_obs.registry;
+  opts.telemetry = g_obs.hub.get();
 
   std::unique_ptr<parallel::ThreadPool> pool;
   if (threads.has_value()) {
     pool = std::make_unique<parallel::ThreadPool>(*threads);
   }
+  const SourceGuard poolGauges(
+      pool != nullptr ? g_obs.hub.get() : nullptr,
+      [p = pool.get()](obs::Registry& reg) { p->liveGauges(reg); });
 
   const sweep::SweepSurface surface = sweep::runSweep(spec, opts, pool.get());
   if (pool) pool->exportMetrics(g_obs.registry);
@@ -1319,20 +1449,78 @@ int main(int argc, char** argv) {
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   args.push_back(argv[0]);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      g_obs.tracePath = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics") == 0) {
-      g_obs.metrics = true;
-    } else {
-      args.push_back(argv[i]);
+  try {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        g_obs.tracePath = argv[++i];
+      } else if (std::strcmp(argv[i], "--metrics") == 0) {
+        g_obs.metrics = true;
+      } else if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
+        g_obs.telemetryPath = argv[++i];
+      } else if (std::strcmp(argv[i], "--telemetry-interval") == 0 &&
+                 i + 1 < argc) {
+        g_obs.telemetryIntervalMs =
+            argUint("--telemetry-interval", argv[++i]);
+        if (g_obs.telemetryIntervalMs == 0) {
+          throw std::invalid_argument(
+              "bad value for --telemetry-interval: '0' (expected a positive"
+              " millisecond count)");
+        }
+      } else if (std::strcmp(argv[i], "--alert") == 0 && i + 1 < argc) {
+        g_obs.alerts.push_back(obs::parseAlertRule(argv[++i]));
+      } else if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc) {
+        g_obs.promPath = argv[++i];
+      } else {
+        args.push_back(argv[i]);
+      }
     }
+    if (!g_obs.alerts.empty() && g_obs.telemetryPath.empty()) {
+      throw std::invalid_argument(
+          "--alert requires --telemetry FILE (alerts are emitted into the"
+          " telemetry stream)");
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
   }
 
   if (!g_obs.tracePath.empty()) obs::TraceCollector::instance().start();
   if (!g_obs.tracePath.empty() || g_obs.metrics) obs::setTimingEnabled(true);
 
+  if (!g_obs.telemetryPath.empty()) {
+    g_obs.telemetryFile.open(g_obs.telemetryPath);
+    if (!g_obs.telemetryFile) {
+      std::cerr << "error: cannot write '" << g_obs.telemetryPath << "'\n";
+      return 1;
+    }
+    obs::TelemetryOptions topts;
+    topts.intervalMillis = g_obs.telemetryIntervalMs;
+    topts.alerts = g_obs.alerts;
+    g_obs.hub =
+        std::make_unique<obs::TelemetryHub>(topts, &g_obs.telemetryFile);
+    g_obs.hub->start();
+  }
+
   int rc = dispatch(static_cast<int>(args.size()), args.data());
+
+  // Final telemetry snapshot with the modes' merged metrics, then join
+  // the sampler before any sink teardown.
+  if (g_obs.hub != nullptr) {
+    g_obs.hub->publish(g_obs.registry);
+    g_obs.hub->stop();
+  }
+
+  if (!g_obs.promPath.empty()) {
+    std::ofstream prom(g_obs.promPath);
+    if (!prom) {
+      std::cerr << "error: cannot write '" << g_obs.promPath << "'\n";
+      if (rc == 0) rc = 1;
+    } else if (g_obs.hub != nullptr) {
+      g_obs.hub->exportPrometheus(prom);
+    } else {
+      obs::exportPrometheus(prom, g_obs.registry);
+    }
+  }
 
   // profile mode already stopped the collector and wrote its own trace;
   // for every other mode the collector is still live here.
