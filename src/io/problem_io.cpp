@@ -3,6 +3,7 @@
 #include <cmath>
 #include <fstream>
 #include <limits>
+#include <locale>
 #include <memory>
 #include <optional>
 #include <set>
@@ -260,6 +261,17 @@ radius::FepiaProblem loadProblem(const std::string& path) {
 }
 
 void writeProblem(std::ostream& out, const radius::FepiaProblem& problem) {
+  // Problem files are re-parsed by the locale-independent io::parse
+  // helpers, so they must be *written* with '.' decimals too — pin the
+  // classic locale for the duration and restore the caller's on exit
+  // (including the throw path below).
+  struct LocaleGuard {
+    std::ostream& os;
+    std::locale prev;
+    LocaleGuard(std::ostream& s) : os(s), prev(s.imbue(std::locale::classic())) {}
+    ~LocaleGuard() { os.imbue(prev); }
+  } localeGuard(out);
+
   const auto quoteIfNeeded = [](const std::string& s) {
     return s.find(' ') == std::string::npos ? s : '"' + s + '"';
   };

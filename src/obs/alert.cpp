@@ -1,5 +1,6 @@
 #include "obs/alert.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -10,12 +11,17 @@ namespace fepia::obs {
 namespace {
 
 // obs sits below every other fepia library, so it cannot use io::parse;
-// this is the same full-token + finite contract, locally.
+// this is the same full-token + finite contract, locally. std::from_chars
+// instead of strtod so alert thresholds parse identically under any
+// LC_NUMERIC the embedding process set (rule values are plain decimals;
+// the exotic strtod compatibilities live in io::parseFiniteDouble).
 bool parseFiniteDouble(const std::string& token, double& out) {
   if (token.empty()) return false;
-  char* end = nullptr;
-  const double v = std::strtod(token.c_str(), &end);
-  if (end != token.c_str() + token.size()) return false;
+  double v = 0.0;
+  const char* const first = token.data();
+  const char* const last = token.data() + token.size();
+  const std::from_chars_result r = std::from_chars(first, last, v);
+  if (r.ec != std::errc() || r.ptr != last) return false;
   if (!std::isfinite(v)) return false;
   out = v;
   return true;

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <locale>
 #include <sstream>
 
 namespace fepia::obs {
@@ -51,7 +52,10 @@ void writeJsonNumber(std::ostream& os, double x) {
     os << "null";
     return;
   }
+  // Classic locale pinned: JSON requires '.' as the decimal separator
+  // regardless of any std::locale::global the host process installed.
   std::ostringstream tmp;
+  tmp.imbue(std::locale::classic());
   tmp.precision(17);
   tmp << x;
   os << tmp.str();

@@ -133,9 +133,11 @@ void TelemetryHub::removeWatchdog(std::size_t id) {
 
 void TelemetryHub::start() {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (running_) return;
-  running_ = true;
-  stopRequested_ = false;
+  // Only Idle -> Running starts a sampler; start() during Running is
+  // the documented no-op and start() racing a stop() in flight must not
+  // spawn a second thread into the slot being joined.
+  if (state_ != State::Idle) return;
+  state_ = State::Running;
   sampleLocked();  // the t=0 snapshot
   sampler_ = std::thread([this] { samplerLoop(); });
 }
@@ -144,25 +146,29 @@ void TelemetryHub::stop() {
   std::thread joinable;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (!running_) return;
-    stopRequested_ = true;
+    // Exactly one caller wins Running -> Stopping and owns the join +
+    // final sample. A stop() that never saw a start() (Idle) and a
+    // stop() racing the winner (Stopping) both return immediately —
+    // idempotent stop/double-stop/stop-without-start are all no-ops.
+    if (state_ != State::Running) return;
+    state_ = State::Stopping;
     joinable = std::move(sampler_);
   }
   wake_.notify_all();
   if (joinable.joinable()) joinable.join();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    running_ = false;
     sampleLocked();  // the final snapshot — guarantees >= 2 samples
+    state_ = State::Idle;
   }
 }
 
 void TelemetryHub::samplerLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   const auto interval = std::chrono::milliseconds(opts_.intervalMillis);
-  while (!stopRequested_) {
+  while (state_ == State::Running) {
     if (wake_.wait_for(lock, interval,
-                       [this] { return stopRequested_; })) {
+                       [this] { return state_ != State::Running; })) {
       break;
     }
     sampleLocked();

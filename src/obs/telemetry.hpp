@@ -179,6 +179,16 @@ class TelemetryHub {
     bool stalled = false;  ///< sampler thread only (under mutex_)
   };
 
+  /// Sampler lifecycle. A plain `running_` bool made concurrent stop()
+  /// racy: the second caller saw running_ still true, joined a
+  /// moved-from thread, and took a duplicate final sample. The explicit
+  /// state machine gives every transition one owner: start() only moves
+  /// Idle -> Running; the stop() call that wins the Running -> Stopping
+  /// transition is the only one that joins and takes the final sample
+  /// (back to Idle); every other start()/stop() is a no-op — so
+  /// stop-without-start, double-stop, and concurrent stop are all safe.
+  enum class State { Idle, Running, Stopping };
+
   void samplerLoop();
   /// Assembles a snapshot, appends it to the ring, writes the sample
   /// record, and runs alerts + watchdogs. Requires mutex_ held.
@@ -195,8 +205,7 @@ class TelemetryHub {
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;
-  bool running_ = false;
-  bool stopRequested_ = false;
+  State state_ = State::Idle;  ///< under mutex_
   std::thread sampler_;
 
   std::vector<Source> sources_;

@@ -136,15 +136,32 @@ void parallelFor(ThreadPool& pool, std::size_t count,
     }
   }
 
+  // Submission can itself fail (submit throws once shutdown started).
+  // Propagating that immediately would abandon the chunks already
+  // queued: they still reference `body` on this frame — a use-after-free
+  // once the caller unwinds — and any exception they captured would be
+  // dropped with their futures. So a submit failure only stops
+  // *submitting*; the already-queued futures are always drained below
+  // and the failure joins the aggregate like any task failure. This is
+  // the audit contract for every catch site in this file: a task
+  // exception is either rethrown or counted into the rethrown message —
+  // never silently swallowed (load-bearing for the resident fepiad
+  // server, where a swallowed exception is an invisibly wrong reply).
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
+  std::exception_ptr submitFailure;
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * per;
     const std::size_t end = std::min(count, begin + per);
     if (begin >= end) break;
-    futures.push_back(pool.submit([&body, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) body(i);
-    }));
+    try {
+      futures.push_back(pool.submit([&body, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      }));
+    } catch (...) {
+      submitFailure = std::current_exception();
+      break;
+    }
   }
   // Propagate the first failure; further failures are counted into the
   // rethrown message instead of vanishing silently.
@@ -159,6 +176,13 @@ void parallelFor(ThreadPool& pool, std::size_t count,
       } else {
         ++suppressed;
       }
+    }
+  }
+  if (submitFailure) {
+    if (!first) {
+      first = submitFailure;
+    } else {
+      ++suppressed;
     }
   }
   if (!first) return;

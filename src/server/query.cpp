@@ -1,0 +1,861 @@
+// Implementation notes: these four runners are the former mode bodies
+// of tools/fepia_cli.cpp, moved here wholesale so the CLI and fepiad
+// share them. Behavior-preserving transcription rules: std::cout became
+// the `out` parameter, the g_obs globals became QueryContext fields,
+// `return usage(argv[0])` became `throw UsageError(...)`, and the
+// "error: cannot write" early-returns became std::runtime_error with
+// the same message (the CLI's catch prints the identical line). Any
+// intentional behavior change belongs in *both* front ends by
+// construction — make it here.
+#include "server/query.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "des/pipeline.hpp"
+#include "fault/degraded.hpp"
+#include "fault/plan.hpp"
+#include "hiperd/factory.hpp"
+#include "io/parse.hpp"
+#include "io/problem_io.hpp"
+#include "io/system_io.hpp"
+#include "obs/clock.hpp"
+#include "radius/registry/scheduler.hpp"
+#include "server/session_cache.hpp"
+#include "sweep/engine.hpp"
+#include "sweep/output.hpp"
+#include "sweep/spec.hpp"
+#include "validate/empirical.hpp"
+#include "validate/scheme.hpp"
+
+namespace fepia::server {
+namespace {
+
+/// Resolves the compute pool for one invocation: a shared long-lived
+/// pool wins (server), else --threads creates a per-invocation pool
+/// (CLI), else everything runs serially. Results are bit-identical in
+/// all three cases; only the wall clock differs.
+struct PoolHandle {
+  parallel::ThreadPool* pool = nullptr;
+  std::unique_ptr<parallel::ThreadPool> owned;
+};
+
+PoolHandle makePool(QueryContext& ctx,
+                    const std::optional<std::size_t>& threads) {
+  PoolHandle h;
+  if (ctx.sharedPool != nullptr) {
+    h.pool = ctx.sharedPool;
+    return h;
+  }
+  if (threads.has_value()) {
+    h.owned = std::make_unique<parallel::ThreadPool>(*threads);
+    h.pool = h.owned.get();
+  }
+  return h;
+}
+
+std::shared_ptr<const radius::FepiaProblem> loadProblemHandle(
+    QueryContext& ctx, const std::string& path) {
+  if (ctx.cache != nullptr) return ctx.cache->problem(path);
+  return std::make_shared<const radius::FepiaProblem>(io::loadProblem(path));
+}
+
+std::shared_ptr<const hiperd::ReferenceSystem> loadSystemHandle(
+    QueryContext& ctx, const std::string& path) {
+  if (ctx.cache != nullptr) return ctx.cache->system(path);
+  return std::make_shared<const hiperd::ReferenceSystem>(
+      io::loadSystem(path));
+}
+
+/// Stores the captured JSON document into the result and, when a --json
+/// path was given, writes it to disk (failure keeps the CLI's exact
+/// "cannot write '<path>'" diagnostic via the dispatch-level catch).
+void finishJson(QueryResult& result, const std::string& jsonPath,
+                const std::string& doc) {
+  result.hasJson = true;
+  result.json = doc;
+  if (jsonPath.empty()) return;
+  std::ofstream file(jsonPath);
+  if (!file) {
+    throw std::runtime_error("cannot write '" + jsonPath + "'");
+  }
+  file << doc;
+}
+
+la::Vector parseValueList(const std::string& csv) {
+  la::Vector out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(argDouble("--check", item));
+  }
+  return out;
+}
+
+/// Splits a colon-separated flag value ("3:12.5:1" -> {"3","12.5","1"}).
+std::vector<std::string> splitColons(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ':')) out.push_back(item);
+  return out;
+}
+
+[[noreturn]] void badSpec(const char* flag, const std::string& value,
+                          const char* expected) {
+  throw std::invalid_argument(std::string("bad value for ") + flag + ": '" +
+                              value + "' (expected " + expected + ")");
+}
+
+/// Prints one scheme/region validation block and collects its rows for
+/// the JSON report. Returns the number of rows whose analytic radius
+/// missed the empirical CI.
+std::size_t emitValidation(std::ostream& out, const std::string& heading,
+                           std::vector<validate::Comparison> rows, bool csv,
+                           std::vector<validate::Comparison>& jsonRows) {
+  out << heading << "\n";
+  emitTable(out, validate::comparisonTable(rows), csv);
+  std::size_t misses = 0;
+  for (validate::Comparison& row : rows) {
+    if (!row.analyticWithinCI) ++misses;
+    row.label = heading + ": " + row.label;
+    jsonRows.push_back(std::move(row));
+  }
+  return misses;
+}
+
+}  // namespace
+
+double argDouble(const char* flag, const std::string& value) {
+  const std::optional<double> v = io::parseFiniteDouble(value);
+  if (!v.has_value()) {
+    throw std::invalid_argument(std::string("bad value for ") + flag + ": '" +
+                                value + "' (expected a finite number)");
+  }
+  return *v;
+}
+
+std::uint64_t argUint(const char* flag, const std::string& value) {
+  const std::optional<std::uint64_t> v = io::parseUint64(value);
+  if (!v.has_value()) {
+    throw std::invalid_argument(std::string("bad value for ") + flag + ": '" +
+                                value + "' (expected an unsigned integer)");
+  }
+  return *v;
+}
+
+std::size_t argSize(const char* flag, const std::string& value) {
+  return static_cast<std::size_t>(argUint(flag, value));
+}
+
+void emitTable(std::ostream& out, const report::Table& table, bool csv) {
+  if (csv) {
+    table.printCsv(out);
+  } else {
+    table.print(out);
+  }
+  out << '\n';
+}
+
+std::string jsonNum(double x) {
+  if (!std::isfinite(x)) return "null";
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(17);
+  os << x;
+  return os.str();
+}
+
+void printMerged(std::ostream& out, const radius::FepiaProblem& problem,
+                 radius::MergeScheme scheme, bool csv, obs::Registry* metrics,
+                 const std::string& backendOverride) {
+  namespace rb = radius::backend;
+  rb::RadiusProblem rp;
+  rp.problem = &problem;
+  rp.scheme = scheme;
+  rb::RadiusRequest req;
+  req.backendOverride = backendOverride;
+  req.metrics = metrics;
+  const rb::RadiusOutcome outcome = rb::solveRadius(rp, req);
+  out << "scheme: " << radius::mergeSchemeName(scheme) << "\n";
+  if (outcome.merged != nullptr) {
+    const auto& rep = *outcome.merged;
+    report::Table table({"feature", "radius (P-space)", "bound side", "exact"});
+    for (const auto& f : rep.features) {
+      table.addRow({f.featureName, report::num(f.radius.radius, 8),
+                    f.radius.side == radius::BoundSide::Max
+                        ? "upper"
+                        : (f.radius.side == radius::BoundSide::Min ? "lower"
+                                                                   : "none"),
+                    f.radius.exact ? "yes" : "no"});
+    }
+    emitTable(out, table, csv);
+  }
+  out << "rho = " << report::num(outcome.rho, 8) << "  (critical: "
+      << outcome.criticalFeature << ")\n"
+      << "backend: " << outcome.backendName << "\n\n";
+}
+
+QueryResult runRadiusQuery(const std::vector<std::string>& args,
+                           std::ostream& out, QueryContext& ctx) {
+  if (args.empty()) throw UsageError("missing problem file");
+  const std::string& path = args[0];
+  std::string schemeArg = "both";
+  std::string backendArg;
+  std::vector<la::Vector> checkPoint;
+  bool csv = false;
+  bool echo = false;
+
+  const std::size_t n = args.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    if (args[i] == "--scheme" && i + 1 < n) {
+      schemeArg = args[++i];
+    } else if (args[i] == "--backend" && i + 1 < n) {
+      backendArg = args[++i];
+    } else if (args[i] == "--check" && i + 1 < n) {
+      try {
+        checkPoint.push_back(parseValueList(args[++i]));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("bad --check value list");
+      }
+    } else if (args[i] == "--csv") {
+      csv = true;
+    } else if (args[i] == "--echo") {
+      echo = true;
+    } else {
+      throw UsageError("unrecognized argument '" + args[i] + "'");
+    }
+  }
+  if (schemeArg != "both" && schemeArg != "normalized" &&
+      schemeArg != "sensitivity") {
+    throw UsageError("bad --scheme value '" + schemeArg + "'");
+  }
+
+  const std::shared_ptr<const radius::FepiaProblem> handle =
+      loadProblemHandle(ctx, path);
+  const radius::FepiaProblem& problem = *handle;
+
+  if (echo) {
+    io::writeProblem(out, problem);
+    out << '\n';
+  }
+
+  // Problem summary.
+  report::Table kinds({"kind", "unit", "dim", "original values"});
+  for (std::size_t j = 0; j < problem.space().kindCount(); ++j) {
+    const auto& p = problem.space().kind(j);
+    std::ostringstream vals;
+    vals << p.original();
+    kinds.addRow({p.name(), p.unit().str(), std::to_string(p.size()),
+                  vals.str()});
+  }
+  emitTable(out, kinds, csv);
+
+  // Per-kind radii (always legal, one kind at a time).
+  report::Table perKind({"feature", "kind", "radius (kind units)"});
+  for (std::size_t i = 0; i < problem.features().size(); ++i) {
+    for (std::size_t j = 0; j < problem.space().kindCount(); ++j) {
+      const radius::RadiusResult r = problem.singleKindRadius(i, j);
+      perKind.addRow({problem.features()[i].feature->name(),
+                      problem.space().kind(j).name(),
+                      r.finite() ? report::num(r.radius, 8) : "inf"});
+    }
+  }
+  emitTable(out, perKind, csv);
+
+  if (schemeArg == "both" || schemeArg == "normalized") {
+    printMerged(out, problem, radius::MergeScheme::NormalizedByOriginal, csv,
+                ctx.registry, backendArg);
+  }
+  if (schemeArg == "both" || schemeArg == "sensitivity") {
+    printMerged(out, problem, radius::MergeScheme::Sensitivity, csv,
+                ctx.registry, backendArg);
+  }
+
+  QueryResult result;
+  if (!checkPoint.empty()) {
+    const radius::MergeScheme scheme =
+        schemeArg == "sensitivity" ? radius::MergeScheme::Sensitivity
+                                   : radius::MergeScheme::NormalizedByOriginal;
+    const radius::ToleranceCheck check =
+        problem.wouldTolerate(checkPoint, scheme);
+    out << "operating point "
+        << (check.tolerated ? "TOLERATED" : "NOT tolerated") << " under the "
+        << radius::mergeSchemeName(scheme) << " scheme (worst margin "
+        << report::num(check.worstMargin, 6) << ")\n";
+    result.exitCode = check.tolerated ? 0 : 2;
+  }
+  return result;
+}
+
+QueryResult runValidateQuery(const std::vector<std::string>& args,
+                             std::ostream& out, QueryContext& ctx) {
+  std::string path;
+  bool hiperd = false;
+  bool des = false;
+  bool csv = false;
+  std::string schemeArg = "both";
+  std::string jsonPath;
+  std::string backendArg;
+  std::optional<std::size_t> samples;
+  std::optional<std::size_t> threads;
+  validate::EstimatorOptions opts;
+
+  const std::size_t n = args.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (args[i] == "--hiperd" && i + 1 < n) {
+      hiperd = true;
+      path = args[++i];
+    } else if (args[i] == "--des") {
+      des = true;
+    } else if (args[i] == "--csv") {
+      csv = true;
+    } else if (args[i] == "--scheme" && i + 1 < n) {
+      schemeArg = args[++i];
+    } else if (args[i] == "--backend" && i + 1 < n) {
+      backendArg = args[++i];
+    } else if (args[i] == "--samples" && i + 1 < n) {
+      samples = argSize("--samples", args[++i]);
+    } else if (args[i] == "--seed" && i + 1 < n) {
+      opts.seed = argUint("--seed", args[++i]);
+    } else if (args[i] == "--threads" && i + 1 < n) {
+      threads = argSize("--threads", args[++i]);
+    } else if (args[i] == "--json" && i + 1 < n) {
+      jsonPath = args[++i];
+    } else if (path.empty() && (args[i].empty() || args[i][0] != '-')) {
+      path = args[i];
+    } else {
+      throw UsageError("unrecognized argument '" + args[i] + "'");
+    }
+  }
+  if (path.empty() || (des && !hiperd)) {
+    throw UsageError("validate needs a problem file or --hiperd SYSTEM");
+  }
+  if (schemeArg != "both" && schemeArg != "normalized" &&
+      schemeArg != "sensitivity") {
+    throw UsageError("bad --scheme value '" + schemeArg + "'");
+  }
+  if (samples.has_value()) opts.directions = *samples;
+  opts.metrics = ctx.registry;
+  ctx.manifest->tool = "fepia_cli validate";
+  ctx.manifest->seed = opts.seed;
+  ctx.manifest->threads = threads.value_or(0);
+
+  const PoolHandle pool = makePool(ctx, threads);
+
+  // Live telemetry gauges: estimator probe counts as they accumulate,
+  // plus pool occupancy when a pool exists.
+  std::atomic<std::uint64_t> liveClassifications{0};
+  opts.liveClassifications = &liveClassifications;
+  const SourceGuard probeGauge(
+      ctx.hub, [&liveClassifications](obs::Registry& reg) {
+        reg.setGauge("validate.live_classifications",
+                     static_cast<double>(liveClassifications.load(
+                         std::memory_order_relaxed)));
+      });
+  const SourceGuard poolGauges(
+      pool.pool != nullptr ? ctx.hub : nullptr,
+      [p = pool.pool](obs::Registry& reg) { p->liveGauges(reg); });
+
+  std::vector<validate::Comparison> jsonRows;
+  std::size_t misses = 0;
+
+  // Validation needs the cross-check rows, so the scheme solves pin the
+  // empirical kernel unless the user forces another backend — in which
+  // case the backend must still produce an empirical comparison.
+  namespace rb = radius::backend;
+  const auto validateScheme = [&](const radius::FepiaProblem& prob,
+                                  radius::MergeScheme scheme) {
+    rb::RadiusProblem rp;
+    rp.problem = &prob;
+    rp.scheme = scheme;
+    rb::RadiusRequest req;
+    req.backendOverride = backendArg.empty() ? "empirical" : backendArg;
+    req.estimator = opts;
+    req.metrics = ctx.registry;
+    const rb::RadiusOutcome outcome = rb::solveRadius(rp, req, pool.pool);
+    if (outcome.validation == nullptr) {
+      throw std::runtime_error("radius backend '" + outcome.backendName +
+                               "' does not produce an empirical comparison"
+                               " (validate needs the empirical backend)");
+    }
+    return outcome.validation;
+  };
+
+  if (hiperd) {
+    const std::shared_ptr<const hiperd::ReferenceSystem> refHandle =
+        loadSystemHandle(ctx, path);
+    const hiperd::ReferenceSystem& ref = *refHandle;
+    const radius::FepiaProblem mixed =
+        ref.system.executionMessageProblem(ref.qos);
+    const std::shared_ptr<const validate::SchemeValidation> v =
+        validateScheme(mixed, radius::MergeScheme::NormalizedByOriginal);
+    misses +=
+        emitValidation(out, "scheme: normalized", v->allRows(), csv, jsonRows);
+
+    if (des) {
+      // Classify the joint region by simulation: the shared degraded-mode
+      // machinery with no fault scenarios is exactly the DES cross-check
+      // (map each normalized P-space probe back to an (execution times ⋆
+      // message sizes) operating point, run the queueing model against
+      // the QoS) — `fault-sim --no-faults` reproduces this bit-for-bit.
+      rb::RadiusProblem rp;
+      rp.system = &ref;
+      rp.desClassification = true;
+      rb::RadiusRequest req;
+      req.backendOverride = backendArg;  // empty: scheduler picks degraded
+      req.estimator = opts;
+      req.degraded.explicitDirections = samples.has_value();
+      req.metrics = ctx.registry;
+      const rb::RadiusOutcome outcome = rb::solveRadius(rp, req, pool.pool);
+      if (outcome.degraded == nullptr) {
+        throw std::runtime_error("radius backend '" + outcome.backendName +
+                                 "' does not produce a DES estimate");
+      }
+      const fault::DegradedEstimate& d = *outcome.degraded;
+      // The DES adds queueing on top of the analytic stage-time model,
+      // so its region is a subset and the estimate legitimately comes in
+      // below rho: report the row but keep it out of the verdict.
+      emitValidation(
+          out,
+          "DES joint region (informational; queueing shrinks the region)",
+          {validate::compare("simulated vs analytic rho", d.analyticRho,
+                             d.degraded)},
+          csv, jsonRows);
+    }
+  } else {
+    const std::shared_ptr<const radius::FepiaProblem> handle =
+        loadProblemHandle(ctx, path);
+    const radius::FepiaProblem& problem = *handle;
+    if (schemeArg == "both" || schemeArg == "normalized") {
+      const std::shared_ptr<const validate::SchemeValidation> v =
+          validateScheme(problem, radius::MergeScheme::NormalizedByOriginal);
+      misses += emitValidation(out, "scheme: normalized", v->allRows(), csv,
+                               jsonRows);
+    }
+    if (schemeArg == "both" || schemeArg == "sensitivity") {
+      const std::shared_ptr<const validate::SchemeValidation> v =
+          validateScheme(problem, radius::MergeScheme::Sensitivity);
+      misses += emitValidation(out, "scheme: sensitivity", v->allRows(), csv,
+                               jsonRows);
+    }
+  }
+
+  if (pool.pool != nullptr) pool.pool->exportMetrics(*ctx.registry);
+
+  QueryResult result;
+  if (!jsonPath.empty() || ctx.captureJson) {
+    ctx.manifest->wallSeconds = ctx.wall->elapsedSeconds();
+    std::ostringstream doc;
+    validate::writeComparisonJson(doc, jsonRows, ctx.manifest);
+    finishJson(result, jsonPath, doc.str());
+  }
+
+  if (misses == 0) {
+    out << "VALIDATED: every analytic radius lies in its empirical CI\n";
+  } else {
+    out << "DISAGREEMENT: " << misses << " row(s) outside the empirical CI\n";
+  }
+  result.exitCode = misses == 0 ? 0 : 2;
+  return result;
+}
+
+QueryResult runFaultSimQuery(const std::vector<std::string>& args,
+                             std::ostream& out, QueryContext& ctx) {
+  std::string path;
+  std::optional<std::size_t> samples;
+  std::optional<std::size_t> threads;
+  std::uint64_t seed = 0x5EEDD1CEull;
+  std::size_t scenarios = 1;
+  std::size_t generations = 200;
+  bool noFaults = false;
+  bool csv = false;
+  std::string jsonPath;
+  std::string backendArg;
+
+  fault::FaultPlan explicitPlan;
+  bool haveExplicit = false;
+  std::optional<double> detect;
+  std::optional<std::size_t> retries;
+
+  const std::size_t n = args.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (args[i] == "--hiperd" && i + 1 < n) {
+      path = args[++i];
+    } else if (args[i] == "--samples" && i + 1 < n) {
+      samples = argSize("--samples", args[++i]);
+    } else if (args[i] == "--seed" && i + 1 < n) {
+      seed = argUint("--seed", args[++i]);
+    } else if (args[i] == "--threads" && i + 1 < n) {
+      threads = argSize("--threads", args[++i]);
+    } else if (args[i] == "--scenarios" && i + 1 < n) {
+      scenarios = argSize("--scenarios", args[++i]);
+    } else if (args[i] == "--gens" && i + 1 < n) {
+      generations = argSize("--gens", args[++i]);
+    } else if (args[i] == "--crash" && i + 1 < n) {
+      const std::string& spec = args[++i];
+      const auto parts = splitColons(spec);
+      if (parts.size() != 2 && parts.size() != 3) {
+        badSpec("--crash", spec, "MACHINE:TIME[:BACKUP]");
+      }
+      fault::MachineCrash c;
+      c.machine = argSize("--crash", parts[0]);
+      c.atSeconds = argDouble("--crash", parts[1]);
+      if (parts.size() == 3) c.backup = argSize("--crash", parts[2]);
+      explicitPlan.crashes.push_back(c);
+      haveExplicit = true;
+    } else if (args[i] == "--slow" && i + 1 < n) {
+      const std::string& spec = args[++i];
+      const auto parts = splitColons(spec);
+      if (parts.size() != 5 || (parts[0] != "machine" && parts[0] != "link")) {
+        badSpec("--slow", spec, "machine|link:INDEX:FROM:TO:FACTOR");
+      }
+      fault::Slowdown s;
+      s.target = parts[0] == "machine" ? fault::Slowdown::Target::Machine
+                                       : fault::Slowdown::Target::Link;
+      s.index = argSize("--slow", parts[1]);
+      s.fromSeconds = argDouble("--slow", parts[2]);
+      s.toSeconds = argDouble("--slow", parts[3]);
+      s.factor = argDouble("--slow", parts[4]);
+      explicitPlan.slowdowns.push_back(s);
+      haveExplicit = true;
+    } else if (args[i] == "--loss" && i + 1 < n) {
+      const std::string& spec = args[++i];
+      const auto parts = splitColons(spec);
+      if (parts.size() != 2) badSpec("--loss", spec, "LINK:PROBABILITY");
+      fault::MessageLoss ml;
+      ml.link = argSize("--loss", parts[0]);
+      ml.probability = argDouble("--loss", parts[1]);
+      explicitPlan.losses.push_back(ml);
+      haveExplicit = true;
+    } else if (args[i] == "--detect" && i + 1 < n) {
+      detect = argDouble("--detect", args[++i]);
+    } else if (args[i] == "--retries" && i + 1 < n) {
+      retries = argSize("--retries", args[++i]);
+    } else if (args[i] == "--no-faults") {
+      noFaults = true;
+    } else if (args[i] == "--backend" && i + 1 < n) {
+      backendArg = args[++i];
+    } else if (args[i] == "--csv") {
+      csv = true;
+    } else if (args[i] == "--json" && i + 1 < n) {
+      jsonPath = args[++i];
+    } else {
+      throw UsageError("unrecognized argument '" + args[i] + "'");
+    }
+  }
+
+  ctx.manifest->tool = "fepia_cli fault-sim";
+  ctx.manifest->seed = seed;
+  ctx.manifest->threads = threads.value_or(0);
+
+  const std::shared_ptr<const hiperd::ReferenceSystem> refHandle =
+      path.empty() ? std::make_shared<const hiperd::ReferenceSystem>(
+                         hiperd::makeReferenceSystem())
+                   : loadSystemHandle(ctx, path);
+  const hiperd::ReferenceSystem& ref = *refHandle;
+
+  // Assemble the scenario list: explicit flags define one plan;
+  // otherwise --scenarios plans are sampled from per-scenario seeds
+  // derived from --seed. --no-faults runs the fault-free cross-check
+  // (identical to `validate --des`).
+  std::vector<fault::FaultPlan> plans;
+  if (!noFaults) {
+    if (haveExplicit) {
+      plans.push_back(explicitPlan);
+    } else {
+      rng::SplitMix64 mixer(seed ^ 0xFA017ull);
+      fault::SamplerOptions sopts;
+      for (std::size_t s = 0; s < scenarios; ++s) {
+        plans.push_back(fault::samplePlan(ref.system, sopts, mixer.next()));
+      }
+    }
+    for (fault::FaultPlan& plan : plans) {
+      if (detect.has_value()) plan.policy.detectionTimeoutSeconds = *detect;
+      if (retries.has_value()) plan.policy.maxRetries = *retries;
+      plan.validateAgainst(ref.system);
+    }
+  }
+
+  const PoolHandle pool = makePool(ctx, threads);
+
+  validate::EstimatorOptions est;
+  est.seed = seed;
+  if (samples.has_value()) est.directions = *samples;
+  est.metrics = ctx.registry;
+  fault::DegradedOptions dopts;
+  dopts.generations = generations;
+  dopts.explicitDirections = samples.has_value();
+
+  // Live telemetry gauges: DES classification progress and the fault
+  // retry/drop totals (the sampler derives rates from the series).
+  std::atomic<std::uint64_t> liveClassifications{0};
+  fault::LiveFaultStats liveFaults;
+  est.liveClassifications = &liveClassifications;
+  dopts.live = &liveFaults;
+  const SourceGuard faultGauges(
+      ctx.hub, [&liveClassifications, &liveFaults](obs::Registry& reg) {
+        reg.setGauge("validate.live_classifications",
+                     static_cast<double>(liveClassifications.load(
+                         std::memory_order_relaxed)));
+        reg.setGauge("fault.live_classifications",
+                     static_cast<double>(liveFaults.classifications.load(
+                         std::memory_order_relaxed)));
+        reg.setGauge("fault.live_retries",
+                     static_cast<double>(liveFaults.retries.load(
+                         std::memory_order_relaxed)));
+        reg.setGauge("fault.live_dropped",
+                     static_cast<double>(liveFaults.droppedMessages.load(
+                         std::memory_order_relaxed)));
+      });
+  const SourceGuard poolGauges(
+      pool.pool != nullptr ? ctx.hub : nullptr,
+      [p = pool.pool](obs::Registry& reg) { p->liveGauges(reg); });
+
+  // Route through the backend registry: the degraded kernel forwards
+  // these options verbatim to fault::estimateDegradedRadius, so the
+  // results are bit-identical to the direct call; --backend surfaces an
+  // incapability diagnostic for any kernel that cannot honor a
+  // fault-scenario problem.
+  namespace rb = radius::backend;
+  rb::RadiusProblem rp;
+  rp.system = &ref;
+  rp.scenarios = plans;
+  rp.desClassification = true;
+  rb::RadiusRequest req;
+  req.backendOverride = backendArg;
+  req.estimator = est;
+  req.degraded = dopts;
+  req.metrics = ctx.registry;
+  const rb::RadiusOutcome outcome = rb::solveRadius(rp, req, pool.pool);
+  if (outcome.degraded == nullptr) {
+    throw std::runtime_error("radius backend '" + outcome.backendName +
+                             "' does not produce a degraded-mode estimate");
+  }
+  const fault::DegradedEstimate& d = *outcome.degraded;
+
+  const hiperd::System& sys = ref.system;
+  out << "HiPer-D system: " << sys.machineCount() << " machines, "
+      << sys.linkCount() << " links, " << sys.applicationCount() << " apps, "
+      << sys.messageCount() << " messages\n";
+  std::size_t crashes = 0, slowdowns = 0, losses = 0;
+  for (const fault::FaultPlan& p : plans) {
+    crashes += p.crashes.size();
+    slowdowns += p.slowdowns.size();
+    losses += p.losses.size();
+  }
+  out << "fault scenarios: " << plans.size() << " (" << crashes
+      << " crash(es), " << slowdowns << " slowdown(s), " << losses
+      << " loss rate(s))\n\n";
+
+  const des::FaultCounters& fc = d.nominal.faults;
+  report::Table counters({"counter", "value"});
+  counters.addRow({"failovers", std::to_string(fc.failovers)});
+  counters.addRow({"lost messages", std::to_string(fc.lostMessages)});
+  counters.addRow({"retries", std::to_string(fc.retries)});
+  counters.addRow({"dropped messages", std::to_string(fc.droppedMessages)});
+  counters.addRow({"unrecovered jobs", std::to_string(fc.unrecoveredJobs)});
+  counters.addRow({"downtime (s)", report::num(fc.downtimeSeconds, 6)});
+  counters.addRow({"backoff wait (s)", report::num(fc.backoffWaitSeconds, 6)});
+  out << "nominal run (scenario 0 at the operating point): QoS "
+      << (d.nominalSatisfies ? "satisfied" : "VIOLATED") << "\n";
+  emitTable(out, counters, csv);
+
+  report::Table radii({"quantity", "value"});
+  radii.addRow({"backend", outcome.backendName});
+  radii.addRow({"analytic rho (" + d.criticalFeature + ")",
+                report::num(d.analyticRho, 8)});
+  radii.addRow({"degraded empirical radius",
+                d.degraded.finite() ? report::num(d.degraded.radius, 8)
+                                    : "inf"});
+  radii.addRow({"CI", "[" + report::num(d.degraded.ci.lo, 8) + ", " +
+                          report::num(d.degraded.ci.hi, 8) + "]"});
+  radii.addRow({"directions", std::to_string(d.degraded.directions)});
+  radii.addRow({"boundary hits", std::to_string(d.degraded.boundaryHits)});
+  radii.addRow({"classifications", std::to_string(d.degraded.classifications)});
+  emitTable(out, radii, csv);
+
+  if (pool.pool != nullptr) pool.pool->exportMetrics(*ctx.registry);
+
+  QueryResult result;
+  if (!jsonPath.empty() || ctx.captureJson) {
+    ctx.manifest->wallSeconds = ctx.wall->elapsedSeconds();
+    std::ostringstream js;
+    js << "{\n  \"manifest\": ";
+    ctx.manifest->writeJson(js);
+    js << ",\n  \"config\": {\"seed\": " << seed << ", \"threads\": "
+       << (threads.has_value() ? std::to_string(*threads) : "null")
+       << ", \"scenarios\": " << plans.size() << ", \"generations\": "
+       << generations << "},\n  \"plan\": {\n    \"crashes\": [";
+    const fault::FaultPlan* p0 = plans.empty() ? nullptr : &plans.front();
+    if (p0 != nullptr) {
+      for (std::size_t i = 0; i < p0->crashes.size(); ++i) {
+        const fault::MachineCrash& c = p0->crashes[i];
+        js << (i ? ", " : "") << "{\"machine\": " << c.machine
+           << ", \"at_seconds\": " << jsonNum(c.atSeconds) << ", \"backup\": "
+           << (c.backup.has_value() ? std::to_string(*c.backup) : "null")
+           << "}";
+      }
+    }
+    js << "],\n    \"slowdowns\": [";
+    if (p0 != nullptr) {
+      for (std::size_t i = 0; i < p0->slowdowns.size(); ++i) {
+        const fault::Slowdown& s = p0->slowdowns[i];
+        js << (i ? ", " : "") << "{\"target\": \""
+           << (s.target == fault::Slowdown::Target::Machine ? "machine"
+                                                            : "link")
+           << "\", \"index\": " << s.index << ", \"from_seconds\": "
+           << jsonNum(s.fromSeconds) << ", \"to_seconds\": "
+           << jsonNum(s.toSeconds) << ", \"factor\": " << jsonNum(s.factor)
+           << "}";
+      }
+    }
+    js << "],\n    \"losses\": [";
+    if (p0 != nullptr) {
+      for (std::size_t i = 0; i < p0->losses.size(); ++i) {
+        js << (i ? ", " : "") << "{\"link\": " << p0->losses[i].link
+           << ", \"probability\": " << jsonNum(p0->losses[i].probability)
+           << "}";
+      }
+    }
+    js << "]\n  },\n  \"nominal\": {\"satisfies\": "
+       << (d.nominalSatisfies ? "true" : "false")
+       << ", \"max_observed_latency\": " << jsonNum(d.nominal.maxObservedLatency)
+       << ", \"throughput_sustained\": "
+       << (d.nominal.throughputSustained ? "true" : "false")
+       << ", \"incomplete_observations\": " << d.nominal.incompleteObservations
+       << ",\n    \"counters\": {\"failovers\": " << fc.failovers
+       << ", \"lost_messages\": " << fc.lostMessages << ", \"retries\": "
+       << fc.retries << ", \"dropped_messages\": " << fc.droppedMessages
+       << ", \"unrecovered_jobs\": " << fc.unrecoveredJobs
+       << ", \"downtime_seconds\": " << jsonNum(fc.downtimeSeconds)
+       << ", \"backoff_wait_seconds\": " << jsonNum(fc.backoffWaitSeconds)
+       << "}},\n  \"degraded\": {\"radius\": " << jsonNum(d.degraded.radius)
+       << ", \"ci_lo\": " << jsonNum(d.degraded.ci.lo) << ", \"ci_hi\": "
+       << jsonNum(d.degraded.ci.hi) << ", \"directions\": "
+       << d.degraded.directions << ", \"boundary_hits\": "
+       << d.degraded.boundaryHits << ", \"classifications\": "
+       << d.degraded.classifications << "},\n  \"analytic\": {\"rho\": "
+       << jsonNum(d.analyticRho) << ", \"critical_feature\": \""
+       << d.criticalFeature << "\"}\n}\n";
+    finishJson(result, jsonPath, js.str());
+  }
+  result.exitCode = d.nominalSatisfies ? 0 : 2;
+  return result;
+}
+
+QueryResult runSweepQuery(const std::vector<std::string>& args,
+                          std::ostream& out, QueryContext& ctx) {
+  if (args.empty() || (!args[0].empty() && args[0][0] == '-')) {
+    throw UsageError("sweep needs a spec file operand");
+  }
+  const std::string& specPath = args[0];
+  std::optional<std::size_t> threads;
+  sweep::SweepOptions opts;
+  std::string responseAxis;
+  bool csv = false;
+  std::string jsonPath;
+
+  const std::size_t n = args.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    if (args[i] == "--threads" && i + 1 < n) {
+      threads = argSize("--threads", args[++i]);
+    } else if (args[i] == "--chunk" && i + 1 < n) {
+      opts.chunkOverride = argSize("--chunk", args[++i]);
+      if (opts.chunkOverride == 0) {
+        throw std::invalid_argument("bad value for --chunk: '0' (expected a "
+                                    "positive integer)");
+      }
+    } else if (args[i] == "--journal" && i + 1 < n) {
+      opts.journalPath = args[++i];
+    } else if (args[i] == "--resume") {
+      opts.resume = true;
+    } else if (args[i] == "--stop-after" && i + 1 < n) {
+      opts.stopAfterShards = argSize("--stop-after", args[++i]);
+      if (opts.stopAfterShards == 0) {
+        throw std::invalid_argument("bad value for --stop-after: '0' "
+                                    "(expected a positive integer)");
+      }
+    } else if (args[i] == "--no-cache") {
+      opts.cacheEnabled = false;
+    } else if (args[i] == "--backend" && i + 1 < n) {
+      opts.backendOverride = args[++i];
+    } else if (args[i] == "--response" && i + 1 < n) {
+      responseAxis = args[++i];
+    } else if (args[i] == "--progress") {
+      opts.progress = true;
+    } else if (args[i] == "--csv") {
+      csv = true;
+    } else if (args[i] == "--json" && i + 1 < n) {
+      jsonPath = args[++i];
+    } else {
+      throw UsageError("unrecognized argument '" + args[i] + "'");
+    }
+  }
+
+  const sweep::SweepSpec spec = sweep::loadSweepSpec(specPath);
+  ctx.manifest->tool = "fepia_cli sweep";
+  ctx.manifest->seed = spec.seed;
+  ctx.manifest->threads = threads.value_or(0);
+  opts.metrics = ctx.registry;
+  opts.telemetry = ctx.hub;
+  // The resident server's warm cache: content-keyed, so sharing it
+  // across requests changes throughput only, never a surface byte.
+  if (ctx.cache != nullptr) opts.sharedCache = &ctx.cache->sweepCache();
+
+  const PoolHandle pool = makePool(ctx, threads);
+  const SourceGuard poolGauges(
+      pool.pool != nullptr ? ctx.hub : nullptr,
+      [p = pool.pool](obs::Registry& reg) { p->liveGauges(reg); });
+
+  const sweep::SweepSurface surface = sweep::runSweep(spec, opts, pool.pool);
+  if (pool.pool != nullptr) pool.pool->exportMetrics(*ctx.registry);
+
+  out << "sweep '" << spec.name << "' ("
+      << sweep::workloadName(spec.workload) << "): " << surface.points
+      << " points, " << surface.shards << " shards of " << surface.chunk
+      << "\n"
+      << "resumed " << surface.resumedShards << " shard(s), computed "
+      << surface.computedShards << " shard(s) in "
+      << report::num(surface.wallSeconds, 4) << " s ("
+      << report::num(surface.pointsPerSec, 4) << " points/s)\n"
+      << "cache: " << (surface.cacheEnabled ? "on" : "off") << ", "
+      << surface.cacheHits << " hit(s), " << surface.cacheMisses
+      << " miss(es); " << surface.classifications << " classification(s)\n\n";
+
+  if (!surface.complete) {
+    out << "sweep checkpointed after " << surface.computedShards
+        << " shard(s): rerun with --resume to continue\n";
+  } else {
+    emitTable(out, sweep::surfaceTable(spec, surface), csv);
+    if (!responseAxis.empty()) {
+      emitTable(out, sweep::axisResponseTable(spec, surface, responseAxis),
+                csv);
+    }
+    const sweep::SurfaceSummary summary = sweep::summarize(surface);
+    out << "analytic rho over " << summary.finitePoints
+        << " finite point(s): [" << report::num(summary.rhoMin, 9) << ", "
+        << report::num(summary.rhoMax, 9) << "]\n";
+    if (spec.workload == sweep::Workload::Linear) {
+      out << "worst |analytic - closed form| deviation: "
+          << report::num(summary.worstClosedFormDeviation, 6) << "\n";
+    }
+  }
+
+  QueryResult result;
+  if (!jsonPath.empty() || ctx.captureJson) {
+    ctx.manifest->wallSeconds = ctx.wall->elapsedSeconds();
+    std::ostringstream doc;
+    sweep::writeSurfaceJson(doc, spec, surface, ctx.manifest);
+    finishJson(result, jsonPath, doc.str());
+    if (!jsonPath.empty()) out << "wrote " << jsonPath << "\n";
+  }
+  return result;
+}
+
+}  // namespace fepia::server

@@ -1,0 +1,651 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <streambuf>
+
+#include "io/parse.hpp"
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "server/query.hpp"
+
+namespace fepia::server {
+namespace {
+
+/// How often the acceptor wakes to check for shutdown and reap finished
+/// reader threads even when no client connects.
+constexpr int kAcceptPollMillis = 200;
+
+/// Upper bound on the ping sleep_ms test hook — a typo must not park a
+/// worker for an hour.
+constexpr std::uint64_t kMaxPingSleepMillis = 10'000;
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::uint64_t configUint(const std::string& key, const std::string& value) {
+  const std::optional<std::uint64_t> v = io::parseUint64(value);
+  if (!v.has_value()) {
+    throw std::invalid_argument("bad value for " + key + ": '" + value +
+                                "' (expected an unsigned integer)");
+  }
+  return *v;
+}
+
+/// Wraps each complete line written through it into one progress frame
+/// on the request's connection:
+///   {"id": <echo>, "type": "progress", "event": <line verbatim>}
+/// The telemetry stream emits one JSON object per line, so embedding
+/// the line as the `event` value is itself valid JSON. Writes are
+/// already serialized by the emitting hub's mutex.
+class ProgressBuf : public std::streambuf {
+ public:
+  ProgressBuf(std::shared_ptr<std::atomic<bool>> connOpen,
+              std::function<bool(const std::string&)> send,
+              std::string idRaw)
+      : connOpen_(std::move(connOpen)),
+        send_(std::move(send)),
+        idRaw_(std::move(idRaw)) {}
+
+ protected:
+  int overflow(int ch) override {
+    if (ch == traits_type::eof()) return ch;
+    if (ch == '\n') {
+      if (!line_.empty()) {
+        send_("{\"id\":" + idRaw_ + ",\"type\":\"progress\",\"event\":" +
+              line_ + "}");
+        line_.clear();
+      }
+    } else {
+      line_.push_back(static_cast<char>(ch));
+    }
+    return ch;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> connOpen_;
+  std::function<bool(const std::string&)> send_;
+  std::string idRaw_;
+  std::string line_;
+};
+
+}  // namespace
+
+void parseServeConfigText(const std::string& text, ServeConfig& cfg) {
+  std::istringstream in(text);
+  std::string rawLine;
+  while (std::getline(in, rawLine)) {
+    const std::string line = trim(rawLine);
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("bad config line '" + line +
+                                  "' (expected key = value)");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key == "bind") {
+      cfg.bindAddress = value;
+    } else if (key == "port") {
+      const std::uint64_t p = configUint(key, value);
+      if (p > 65535) {
+        throw std::invalid_argument("bad value for port: '" + value +
+                                    "' (expected 0..65535)");
+      }
+      cfg.port = static_cast<std::uint16_t>(p);
+    } else if (key == "workers") {
+      cfg.workers = static_cast<std::size_t>(configUint(key, value));
+      if (cfg.workers == 0) {
+        throw std::invalid_argument(
+            "bad value for workers: '0' (expected a positive integer)");
+      }
+    } else if (key == "threads") {
+      cfg.threads = static_cast<std::size_t>(configUint(key, value));
+    } else if (key == "max_queue") {
+      cfg.maxQueue = static_cast<std::size_t>(configUint(key, value));
+      if (cfg.maxQueue == 0) {
+        throw std::invalid_argument(
+            "bad value for max_queue: '0' (expected a positive integer)");
+      }
+    } else if (key == "max_frame_bytes") {
+      cfg.maxFrameBytes = static_cast<std::size_t>(configUint(key, value));
+      if (cfg.maxFrameBytes < 16) {
+        throw std::invalid_argument("bad value for max_frame_bytes: '" +
+                                    value + "' (expected at least 16)");
+      }
+    } else if (key == "deadline_ms") {
+      cfg.defaultDeadlineMs = configUint(key, value);
+    } else {
+      throw std::invalid_argument("unknown config key '" + key + "'");
+    }
+  }
+}
+
+void parseServeConfigFile(const std::string& path, ServeConfig& cfg) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open '" + path + "'");
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  parseServeConfigText(os.str(), cfg);
+}
+
+// ---------------------------------------------------------------------
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+bool Server::Connection::write(const std::string& payload) {
+  const std::lock_guard<std::mutex> lock(writeMutex);
+  if (!open.load(std::memory_order_relaxed)) return false;
+  if (!writeFrame(fd, payload)) {
+    open.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+Server::Server(ServeConfig cfg, obs::TelemetryHub* hub)
+    : cfg_(std::move(cfg)),
+      hub_(hub),
+      maxQueue_(cfg_.maxQueue),
+      maxFrameBytes_(cfg_.maxFrameBytes),
+      defaultDeadlineMs_(cfg_.defaultDeadlineMs),
+      pool_(cfg_.threads) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listenFd_ >= 0) {
+      ::close(listenFd_);
+      listenFd_ = -1;
+    }
+    return false;
+  };
+
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.bindAddress.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "bad bind address '" + cfg_.bindAddress + "'";
+    }
+    ::close(listenFd_);
+    listenFd_ = -1;
+    return false;
+  }
+  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind " + cfg_.bindAddress + ":" + std::to_string(cfg_.port));
+  }
+  if (::listen(listenFd_, SOMAXCONN) != 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  if (hub_ != nullptr) {
+    hubSourceId_ = hub_->addSource([this](obs::Registry& reg) {
+      reg.setGauge("fepiad.open_connections",
+                   static_cast<double>(
+                       openConnections_.load(std::memory_order_relaxed)));
+      std::size_t depth = 0;
+      {
+        const std::lock_guard<std::mutex> lock(queueMutex_);
+        depth = queue_.size();
+      }
+      reg.setGauge("fepiad.queue_depth", static_cast<double>(depth));
+      reg.setGauge("fepiad.in_flight",
+                   static_cast<double>(
+                       inFlight_.load(std::memory_order_relaxed)));
+      reg.setGauge("fepiad.requests_served",
+                   static_cast<double>(
+                       served_.load(std::memory_order_relaxed)));
+    });
+    hubSourceAdded_ = true;
+  }
+
+  acceptor_ = std::thread([this] { acceptorLoop(); });
+  const std::size_t workers = cfg_.workers == 0 ? 1 : cfg_.workers;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+  return true;
+}
+
+void Server::requestStop() {
+  if (stopping_.exchange(true)) return;
+  // Wake the acceptor (its poll also times out on its own) and unblock
+  // every reader mid-read; write sides stay open so in-flight and
+  // queued requests still get their responses.
+  if (listenFd_ >= 0) ::shutdown(listenFd_, SHUT_RDWR);
+  {
+    const std::lock_guard<std::mutex> lock(connsMutex_);
+    for (const std::shared_ptr<Connection>& conn : conns_) {
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  queueCv_.notify_all();
+}
+
+void Server::stop() {
+  requestStop();
+  if (acceptor_.joinable()) acceptor_.join();
+  reapReaders(true);
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(connsMutex_);
+    conns_.clear();
+  }
+  if (hubSourceAdded_) {
+    hub_->removeSource(hubSourceId_);
+    hubSourceAdded_ = false;
+  }
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+}
+
+void Server::reload(const ServeConfig& cfg) {
+  maxQueue_.store(cfg.maxQueue, std::memory_order_relaxed);
+  maxFrameBytes_.store(cfg.maxFrameBytes, std::memory_order_relaxed);
+  defaultDeadlineMs_.store(cfg.defaultDeadlineMs, std::memory_order_relaxed);
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.overloaded = overloaded_.load(std::memory_order_relaxed);
+  s.deadlineExpired = deadlineExpired_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::reapReaders(bool joinAll) {
+  std::vector<ReaderSlot> finished;
+  {
+    const std::lock_guard<std::mutex> lock(readersMutex_);
+    for (std::size_t i = 0; i < readers_.size();) {
+      if (joinAll || readers_[i].done->load(std::memory_order_acquire)) {
+        finished.push_back(std::move(readers_[i]));
+        readers_.erase(readers_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (ReaderSlot& slot : finished) {
+    if (slot.thread.joinable()) slot.thread.join();
+  }
+}
+
+void Server::acceptorLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listenFd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kAcceptPollMillis);
+    reapReaders(false);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    openConnections_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>(fd);
+    {
+      const std::lock_guard<std::mutex> lock(connsMutex_);
+      conns_.push_back(conn);
+    }
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread reader([this, conn, done] { readerLoop(conn, done); });
+    const std::lock_guard<std::mutex> lock(readersMutex_);
+    readers_.push_back(ReaderSlot{std::move(reader), done});
+  }
+}
+
+void Server::readerLoop(std::shared_ptr<Connection> conn,
+                        std::shared_ptr<std::atomic<bool>> done) {
+  for (;;) {
+    const Frame frame =
+        readFrame(conn->fd, maxFrameBytes_.load(std::memory_order_relaxed));
+    if (frame.status == FrameStatus::Oversized) {
+      // The payload bytes were never read, so the stream cannot be
+      // re-synchronized — reject and close.
+      sendError(conn, "null", "bad_frame",
+                "frame of " + std::to_string(frame.declaredBytes) +
+                    " bytes exceeds the " +
+                    std::to_string(
+                        maxFrameBytes_.load(std::memory_order_relaxed)) +
+                    "-byte cap");
+      break;
+    }
+    if (frame.status != FrameStatus::Ok) break;  // Eof/Truncated/IoError
+    if (!routePayload(conn, frame.payload)) break;
+  }
+  // Queued requests keep their own reference; the fd closes (and any
+  // pending response write turns into a no-op) once the last one drops.
+  {
+    const std::lock_guard<std::mutex> lock(connsMutex_);
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      if (conns_[i] == conn) {
+        conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  openConnections_.fetch_sub(1, std::memory_order_relaxed);
+  done->store(true, std::memory_order_release);
+}
+
+bool Server::routePayload(const std::shared_ptr<Connection>& conn,
+                          const std::string& payload) {
+  std::string parseError;
+  const std::optional<JsonValue> doc = parseJson(payload, &parseError);
+  if (!doc.has_value()) {
+    // Framing is still intact (the payload was length-delimited), so
+    // the connection survives a garbage request body.
+    sendError(conn, "null", "bad_frame", "invalid JSON: " + parseError);
+    return true;
+  }
+  std::string idRaw = "null";
+  if (const JsonValue* id = doc->find("id")) idRaw = serializeJson(*id);
+  const JsonValue* kindValue = doc->find("kind");
+  if (!doc->isObject() || kindValue == nullptr || !kindValue->isString()) {
+    sendError(conn, idRaw, "bad_request",
+              "request must be a JSON object with a string \"kind\"");
+    return true;
+  }
+  const std::string& kind = kindValue->string;
+
+  if (kind == "stats") {
+    std::ostringstream os;
+    os << "{\"id\":" << idRaw << ",\"ok\":true,\"exit\":0,\"output\":\"\","
+       << "\"json\":";
+    obs::writeJsonString(os, statsJson());
+    os << "}";
+    conn->write(os.str());
+    served_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (kind == "shutdown") {
+    conn->write("{\"id\":" + idRaw +
+                ",\"ok\":true,\"exit\":0,\"output\":\"shutting down\\n\","
+                "\"json\":null}");
+    served_.fetch_add(1, std::memory_order_relaxed);
+    requestStop();
+    return false;
+  }
+  if (kind != "radius" && kind != "validate" && kind != "fault-sim" &&
+      kind != "sweep" && kind != "ping") {
+    sendError(conn, idRaw, "bad_request", "unknown kind '" + kind + "'");
+    return true;
+  }
+
+  Request req;
+  req.conn = conn;
+  req.idRaw = idRaw;
+  req.kind = kind;
+  if (const JsonValue* args = doc->find("args")) {
+    if (args->kind != JsonValue::Kind::Array) {
+      sendError(conn, idRaw, "bad_request", "\"args\" must be an array");
+      return true;
+    }
+    for (const JsonValue& arg : args->array) {
+      if (!arg.isString()) {
+        sendError(conn, idRaw, "bad_request",
+                  "\"args\" must contain only strings");
+        return true;
+      }
+      req.args.push_back(arg.string);
+    }
+  }
+  if (const JsonValue* stream = doc->find("stream")) {
+    req.stream = stream->kind == JsonValue::Kind::Bool && stream->boolean;
+  }
+  if (const JsonValue* deadline = doc->find("deadline_ms")) {
+    if (!deadline->isNumber() || deadline->number < 0) {
+      sendError(conn, idRaw, "bad_request",
+                "\"deadline_ms\" must be a non-negative number");
+      return true;
+    }
+    req.deadlineMs = static_cast<std::uint64_t>(deadline->number);
+  }
+  if (const JsonValue* sleepMs = doc->find("sleep_ms")) {
+    if (sleepMs->isNumber() && sleepMs->number > 0) {
+      req.sleepMs = static_cast<std::uint64_t>(sleepMs->number);
+      if (req.sleepMs > kMaxPingSleepMillis) req.sleepMs = kMaxPingSleepMillis;
+    }
+  }
+  req.enqueuedNs = obs::nowNanos();
+
+  {
+    const std::lock_guard<std::mutex> lock(queueMutex_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      sendError(conn, idRaw, "shutting_down", "server is shutting down");
+      return false;
+    }
+    if (queue_.size() >= maxQueue_.load(std::memory_order_relaxed)) {
+      overloaded_.fetch_add(1, std::memory_order_relaxed);
+      sendError(conn, idRaw, "overloaded",
+                "request queue is full (" +
+                    std::to_string(
+                        maxQueue_.load(std::memory_order_relaxed)) +
+                    " requests)");
+      return true;
+    }
+    queue_.push_back(std::move(req));
+  }
+  queueCv_.notify_one();
+  return true;
+}
+
+void Server::workerLoop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(queueMutex_);
+      queueCv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_relaxed) || !queue_.empty();
+      });
+      if (queue_.empty()) {
+        // stopping_ and an empty queue: every accepted request has been
+        // answered (readers reject new ones once stopping_ is set).
+        return;
+      }
+      req = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const std::uint64_t deadline =
+        req.deadlineMs != 0
+            ? req.deadlineMs
+            : defaultDeadlineMs_.load(std::memory_order_relaxed);
+    if (deadline != 0) {
+      const std::uint64_t waitedMs =
+          (obs::nowNanos() - req.enqueuedNs) / 1'000'000ull;
+      if (waitedMs > deadline) {
+        deadlineExpired_.fetch_add(1, std::memory_order_relaxed);
+        sendError(req.conn, req.idRaw, "deadline",
+                  "request waited " + std::to_string(waitedMs) +
+                      " ms in queue (deadline " + std::to_string(deadline) +
+                      " ms)");
+        continue;
+      }
+    }
+    handle(req);
+  }
+}
+
+void Server::handle(const Request& req) {
+  inFlight_.fetch_add(1, std::memory_order_relaxed);
+  struct InFlightGuard {
+    std::atomic<std::size_t>& counter;
+    ~InFlightGuard() { counter.fetch_sub(1, std::memory_order_relaxed); }
+  } guard{inFlight_};
+
+  if (req.kind == "ping") {
+    if (req.sleepMs != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(req.sleepMs));
+    }
+    if (req.conn->write("{\"id\":" + req.idRaw +
+                        ",\"ok\":true,\"exit\":0,\"output\":\"pong\\n\","
+                        "\"json\":null}")) {
+      served_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+
+  // Per-request observability state, exactly what a one-shot CLI run
+  // would have built in main(): a fresh registry, a manifest collected
+  // from the equivalent argv, and a wall stopwatch started now.
+  obs::Registry registry;
+  std::vector<std::string> fakeArgs;
+  fakeArgs.push_back("fepia_cli");
+  if (req.kind != "radius") fakeArgs.push_back(req.kind);
+  for (const std::string& arg : req.args) fakeArgs.push_back(arg);
+  std::vector<const char*> argvPtrs;
+  argvPtrs.reserve(fakeArgs.size());
+  for (const std::string& arg : fakeArgs) argvPtrs.push_back(arg.c_str());
+  obs::RunManifest manifest = obs::RunManifest::collect(
+      "fepia_cli", static_cast<int>(argvPtrs.size()), argvPtrs.data());
+  const obs::Stopwatch wall;
+
+  // Progressive results: a per-request hub (never started — no sampler
+  // thread) whose sink frames every emitted record as a progress
+  // message. The sweep engine's per-shard heartbeats flow through
+  // SweepOptions::telemetry unchanged.
+  std::unique_ptr<ProgressBuf> progressBuf;
+  std::unique_ptr<std::ostream> progressStream;
+  std::unique_ptr<obs::TelemetryHub> streamHub;
+  if (req.stream) {
+    const std::shared_ptr<Connection> conn = req.conn;
+    progressBuf = std::make_unique<ProgressBuf>(
+        nullptr,
+        [conn](const std::string& payload) { return conn->write(payload); },
+        req.idRaw);
+    progressStream = std::make_unique<std::ostream>(progressBuf.get());
+    streamHub = std::make_unique<obs::TelemetryHub>(obs::TelemetryOptions{},
+                                                    progressStream.get());
+  }
+
+  QueryContext ctx;
+  ctx.registry = &registry;
+  ctx.manifest = &manifest;
+  ctx.wall = &wall;
+  ctx.hub = streamHub.get();
+  ctx.sharedPool = &pool_;
+  ctx.cache = &cache_;
+  ctx.captureJson = true;
+
+  std::ostringstream out;
+  QueryResult result;
+  try {
+    if (req.kind == "radius") {
+      result = runRadiusQuery(req.args, out, ctx);
+    } else if (req.kind == "validate") {
+      result = runValidateQuery(req.args, out, ctx);
+    } else if (req.kind == "fault-sim") {
+      result = runFaultSimQuery(req.args, out, ctx);
+    } else {
+      result = runSweepQuery(req.args, out, ctx);
+    }
+  } catch (const UsageError& e) {
+    sendError(req.conn, req.idRaw, "bad_request", e.what());
+    return;
+  } catch (const std::exception& e) {
+    sendError(req.conn, req.idRaw, "failed", e.what());
+    return;
+  }
+
+  std::ostringstream response;
+  response << "{\"id\":" << req.idRaw << ",\"ok\":true,\"exit\":"
+           << result.exitCode << ",\"output\":";
+  obs::writeJsonString(response, out.str());
+  response << ",\"json\":";
+  if (result.hasJson) {
+    obs::writeJsonString(response, result.json);
+  } else {
+    response << "null";
+  }
+  response << "}";
+  if (req.conn->write(response.str())) {
+    served_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::sendError(const std::shared_ptr<Connection>& conn,
+                       const std::string& idRaw, const char* code,
+                       const std::string& message) {
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream os;
+  os << "{\"id\":" << idRaw << ",\"ok\":false,\"error\":{\"code\":\"" << code
+     << "\",\"message\":";
+  obs::writeJsonString(os, message);
+  os << "}}";
+  conn->write(os.str());
+}
+
+std::string Server::statsJson() {
+  const Stats s = stats();
+  const SessionCache::Stats cs = cache_.stats();
+  std::size_t depth = 0;
+  {
+    const std::lock_guard<std::mutex> lock(queueMutex_);
+    depth = queue_.size();
+  }
+  std::ostringstream os;
+  os << "{\"accepted\": " << s.accepted << ", \"served\": " << s.served
+     << ", \"errors\": " << s.errors << ", \"overloaded\": " << s.overloaded
+     << ", \"deadline_expired\": " << s.deadlineExpired
+     << ", \"open_connections\": "
+     << openConnections_.load(std::memory_order_relaxed)
+     << ", \"queue_depth\": " << depth << ", \"in_flight\": "
+     << inFlight_.load(std::memory_order_relaxed)
+     << ", \"pool_threads\": " << pool_.threadCount()
+     << ", \"cache\": {\"problem_hits\": " << cs.problemHits
+     << ", \"problem_misses\": " << cs.problemMisses
+     << ", \"system_hits\": " << cs.systemHits << ", \"system_misses\": "
+     << cs.systemMisses << ", \"sweep_hits\": " << cache_.sweepCache().hits()
+     << ", \"sweep_misses\": " << cache_.sweepCache().misses() << "}}";
+  return os.str();
+}
+
+}  // namespace fepia::server

@@ -1,0 +1,100 @@
+#include "server/session_cache.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "io/problem_io.hpp"
+#include "io/system_io.hpp"
+
+namespace fepia::server {
+namespace {
+
+/// FNV-1a over the file bytes, length mixed in so two contents that
+/// would collide at different sizes stay distinct. (A 64-bit content
+/// hash is ample for a cache whose worst failure is returning a parse
+/// of different bytes — and the entries are full parses of trusted
+/// local files, not adversarial input.)
+std::uint64_t contentKey(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  h ^= bytes.size() * 0x100000001b3ull;
+  return h;
+}
+
+/// Slurps `path`; nullopt when it cannot be opened (caller falls back
+/// to the canonical loader for its error message).
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return os.str();
+}
+
+}  // namespace
+
+std::shared_ptr<const radius::FepiaProblem> SessionCache::problem(
+    const std::string& path) {
+  const std::optional<std::string> bytes = slurp(path);
+  if (!bytes.has_value()) {
+    // Unreadable: produce the exact io::loadProblem diagnostic.
+    return std::make_shared<const radius::FepiaProblem>(
+        io::loadProblem(path));
+  }
+  const std::uint64_t key = contentKey(*bytes);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = problems_.find(key);
+    if (it != problems_.end()) {
+      problemHits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Parse outside the lock (same parser as the CLI, so parse errors are
+  // byte-identical); a racing request may parse the same bytes twice —
+  // both parses are identical, first insert wins.
+  auto parsed = std::make_shared<const radius::FepiaProblem>(
+      io::parseProblemString(*bytes));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  problemMisses_.fetch_add(1, std::memory_order_relaxed);
+  return problems_.emplace(key, std::move(parsed)).first->second;
+}
+
+std::shared_ptr<const hiperd::ReferenceSystem> SessionCache::system(
+    const std::string& path) {
+  const std::optional<std::string> bytes = slurp(path);
+  if (!bytes.has_value()) {
+    return std::make_shared<const hiperd::ReferenceSystem>(
+        io::loadSystem(path));
+  }
+  const std::uint64_t key = contentKey(*bytes);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = systems_.find(key);
+    if (it != systems_.end()) {
+      systemHits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  auto parsed = std::make_shared<const hiperd::ReferenceSystem>(
+      io::parseSystemString(*bytes));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  systemMisses_.fetch_add(1, std::memory_order_relaxed);
+  return systems_.emplace(key, std::move(parsed)).first->second;
+}
+
+SessionCache::Stats SessionCache::stats() const noexcept {
+  Stats s;
+  s.problemHits = problemHits_.load(std::memory_order_relaxed);
+  s.problemMisses = problemMisses_.load(std::memory_order_relaxed);
+  s.systemHits = systemHits_.load(std::memory_order_relaxed);
+  s.systemMisses = systemMisses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace fepia::server

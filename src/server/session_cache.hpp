@@ -1,0 +1,70 @@
+// Warm state a resident fepiad keeps between requests: parsed problem
+// and system files keyed by *content* hash, plus the sweep result cache
+// shared across runSweep calls.
+//
+// Content keying is what makes the cache byte-invisible: every request
+// re-reads the file and re-hashes its bytes, so an edited file is
+// re-parsed (no stale-mtime hazard) while an unchanged file costs one
+// read + hash instead of a full parse. Parse results are immutable
+// shared_ptr<const T>, so concurrent requests share them freely.
+//
+// Error behavior matches the one-shot CLI exactly: an unreadable path
+// falls through to io::loadProblem / io::loadSystem so the diagnostic
+// text is the canonical one, and parse errors (io::ParseError with a
+// line number) come from the same parser the CLI uses.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "hiperd/factory.hpp"
+#include "radius/fepia.hpp"
+#include "sweep/cache.hpp"
+
+namespace fepia::server {
+
+class SessionCache {
+ public:
+  /// Parsed problem for `path`'s current content (parses on first
+  /// sight of these bytes). Throws exactly what io::loadProblem would.
+  [[nodiscard]] std::shared_ptr<const radius::FepiaProblem> problem(
+      const std::string& path);
+
+  /// Parsed reference system, same contract as problem().
+  [[nodiscard]] std::shared_ptr<const hiperd::ReferenceSystem> system(
+      const std::string& path);
+
+  /// The cross-request sweep sub-computation cache (content-keyed, see
+  /// sweep::SweepOptions::sharedCache).
+  [[nodiscard]] sweep::ResultCache& sweepCache() noexcept {
+    return sweepCache_;
+  }
+
+  struct Stats {
+    std::uint64_t problemHits = 0;
+    std::uint64_t problemMisses = 0;
+    std::uint64_t systemHits = 0;
+    std::uint64_t systemMisses = 0;
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const radius::FepiaProblem>>
+      problems_;
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const hiperd::ReferenceSystem>>
+      systems_;
+  sweep::ResultCache sweepCache_{true};
+  std::atomic<std::uint64_t> problemHits_{0};
+  std::atomic<std::uint64_t> problemMisses_{0};
+  std::atomic<std::uint64_t> systemHits_{0};
+  std::atomic<std::uint64_t> systemMisses_{0};
+};
+
+}  // namespace fepia::server

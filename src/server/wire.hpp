@@ -1,0 +1,115 @@
+// fepiad wire protocol: length-prefixed JSON frames over a stream
+// socket, plus the small hand-rolled JSON reader the server uses to
+// decode requests (the repo's obs/json.hpp only *writes* and
+// syntax-checks JSON; nothing else in the tree parses it).
+//
+// Framing: every message is a 4-byte big-endian payload length followed
+// by exactly that many bytes of UTF-8 JSON. The prefix makes message
+// boundaries explicit — a reader never has to parse JSON incrementally
+// off a socket — and gives the server a cheap admission check: a frame
+// whose declared length exceeds the configured cap is rejected before a
+// single payload byte is read.
+//
+// Requests:  {"id": <any>, "kind": "radius|validate|fault-sim|sweep|
+//             ping|stats|shutdown", "args": ["--samples","64",...],
+//             "deadline_ms": N?, "stream": bool?, "sleep_ms": N?}
+// Success:   {"id": <echo>, "ok": true, "exit": N,
+//             "output": "<stdout bytes>", "json": "<--json bytes>"|null}
+// Error:     {"id": <echo>, "ok": false, "error": {"code":
+//             "bad_frame|bad_request|overloaded|deadline|failed|
+//              shutting_down", "message": "..."}}
+// Progress:  {"id": <echo>, "type": "progress", "event": {<one
+//             telemetry JSONL record, embedded verbatim>}}
+//
+// The JSON reader is deliberately small: UTF-8 passthrough, \uXXXX
+// decoded to UTF-8 (surrogate pairs included), numbers via
+// std::from_chars (locale-immune, round-trip exact), objects kept as
+// insertion-ordered key/value vectors, recursion capped at kMaxDepth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fepia::server {
+
+// ---------------------------------------------------------------------
+// JSON values.
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// Insertion-ordered object (request objects are tiny; linear lookup).
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  JsonArray array;
+  JsonObject object;
+
+  [[nodiscard]] bool isNull() const noexcept { return kind == Kind::Null; }
+  [[nodiscard]] bool isString() const noexcept {
+    return kind == Kind::String;
+  }
+  [[nodiscard]] bool isNumber() const noexcept {
+    return kind == Kind::Number;
+  }
+  [[nodiscard]] bool isObject() const noexcept {
+    return kind == Kind::Object;
+  }
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected). On failure returns nullopt and, when
+/// `error` is non-null, a one-line diagnostic.
+[[nodiscard]] std::optional<JsonValue> parseJson(const std::string& text,
+                                                 std::string* error = nullptr);
+
+/// Serializes a value back to compact JSON (numbers in the repo's
+/// %.17g round-trip form, non-finite numbers as null). Used to echo
+/// request ids verbatim into responses.
+[[nodiscard]] std::string serializeJson(const JsonValue& value);
+
+// ---------------------------------------------------------------------
+// Framing over file descriptors.
+
+/// Hard ceiling a server will accept unless configured lower.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;  // 4 MiB
+
+enum class FrameStatus {
+  Ok,         ///< payload holds a complete frame
+  Eof,        ///< clean EOF on a frame boundary
+  Truncated,  ///< EOF mid-prefix or mid-payload
+  Oversized,  ///< declared length exceeds the cap (stream unusable)
+  IoError,    ///< read(2) failed
+};
+
+struct Frame {
+  FrameStatus status = FrameStatus::Eof;
+  std::string payload;               ///< valid when status == Ok
+  std::uint32_t declaredBytes = 0;   ///< prefix value (set for Oversized)
+};
+
+/// Reads one frame, blocking until it is complete or the stream ends.
+[[nodiscard]] Frame readFrame(int fd, std::size_t maxBytes);
+
+/// Writes `payload` as one frame (prefix + body, full write, SIGPIPE
+/// suppressed). Returns false on any write failure.
+[[nodiscard]] bool writeFrame(int fd, const std::string& payload);
+
+/// Prepends the 4-byte big-endian prefix — exposed so tests can forge
+/// deliberately broken frames next to well-formed ones.
+[[nodiscard]] std::string encodeFrame(const std::string& payload);
+
+/// Connects to 127.0.0.1:port; returns the fd or -1. The loopback-only
+/// client used by the tests, the bench load generator and ci.sh.
+[[nodiscard]] int connectLoopback(std::uint16_t port);
+
+}  // namespace fepia::server

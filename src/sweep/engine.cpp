@@ -447,7 +447,17 @@ SweepSurface runSweep(const SweepSpec& spec, const SweepOptions& opts,
     pendingPoints += std::min(first + surface.chunk, surface.points) - first;
   }
 
-  ResultCache cache(opts.cacheEnabled);
+  // A caller-supplied shared cache (a resident server's warm cache)
+  // substitutes for the per-run one; entries are content-keyed, so only
+  // the wall clock can tell the difference. Hit/miss counters on a
+  // shared cache are cumulative across runs, so the surface reports
+  // this call's delta against the baseline read here.
+  ResultCache localCache(opts.cacheEnabled);
+  ResultCache& cache = (opts.sharedCache != nullptr && opts.cacheEnabled)
+                           ? *opts.sharedCache
+                           : localCache;
+  const std::uint64_t cacheHits0 = cache.hits();
+  const std::uint64_t cacheMisses0 = cache.misses();
   LiveSweepStats live;
   const Evaluator evaluator(spec, cache, opts.backendOverride,
                             opts.telemetry != nullptr ? &live : nullptr);
@@ -461,7 +471,8 @@ SweepSurface runSweep(const SweepSpec& spec, const SweepOptions& opts,
   std::size_t watchdogId = 0;
   const bool watchdogOn = hub != nullptr && opts.stallDeadlineSeconds > 0.0;
   if (hub != nullptr) {
-    sourceId = hub->addSource([&live, &cache, pendingPoints,
+    sourceId = hub->addSource([&live, &cache, cacheHits0, cacheMisses0,
+                               pendingPoints,
                                totalShards = pending.size()](
                                   obs::Registry& reg) {
       reg.setGauge("sweep.live_points_done",
@@ -477,9 +488,10 @@ SweepSurface runSweep(const SweepSpec& spec, const SweepOptions& opts,
       reg.setGauge("sweep.live_classifications",
                    static_cast<double>(live.classifications.load(
                        std::memory_order_relaxed)));
-      reg.setGauge("sweep.live_cache_hits", static_cast<double>(cache.hits()));
+      reg.setGauge("sweep.live_cache_hits",
+                   static_cast<double>(cache.hits() - cacheHits0));
       reg.setGauge("sweep.live_cache_misses",
-                   static_cast<double>(cache.misses()));
+                   static_cast<double>(cache.misses() - cacheMisses0));
       reg.setGauge("fault.live_classifications",
                    static_cast<double>(live.faults.classifications.load(
                        std::memory_order_relaxed)));
@@ -588,8 +600,8 @@ SweepSurface runSweep(const SweepSpec& spec, const SweepOptions& opts,
   surface.computedShards = pending.size();
   surface.complete = pending.size() == totalPending;
   surface.cacheEnabled = cache.enabled();
-  surface.cacheHits = cache.hits();
-  surface.cacheMisses = cache.misses();
+  surface.cacheHits = cache.hits() - cacheHits0;
+  surface.cacheMisses = cache.misses() - cacheMisses0;
   for (std::size_t id = 0; id < surface.points; ++id) {
     if (surface.computed[id]) {
       surface.classifications += surface.results[id].classifications;

@@ -34,6 +34,7 @@
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
+#include "sweep/cache.hpp"
 #include "sweep/result.hpp"
 #include "sweep/spec.hpp"
 
@@ -86,6 +87,14 @@ struct SweepOptions {
   /// {"type":"alert","kind":"stall"} event (needs telemetry; <= 0
   /// disables the watchdog).
   double stallDeadlineSeconds = 30.0;
+  /// External result cache shared *across* runSweep calls — the warm
+  /// cache a resident fepiad server keeps between requests. Because
+  /// every entry is content-keyed and sub-computation seeds derive from
+  /// the same keys, a shared cache changes throughput only, never a
+  /// byte of any surface. The surface's hit/miss counters report this
+  /// call's delta. Ignored when cacheEnabled is false (a --no-cache run
+  /// must actually compute). nullptr = a fresh per-run cache.
+  ResultCache* sharedCache = nullptr;
 };
 
 /// A computed (possibly partial) sweep surface.

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iomanip>
 #include <limits>
+#include <locale>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -17,6 +18,7 @@ constexpr const char* kMagic = "fepia-sweep-journal v1";
 
 std::string hex16(std::uint64_t v) {
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   os << std::hex << std::setw(16) << std::setfill('0') << v;
   return os.str();
 }
@@ -26,7 +28,11 @@ std::string hex16(std::uint64_t v) {
 std::string formatJournalDouble(double v) {
   if (std::isnan(v)) return "nan";
   if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  // Classic locale pinned: journal bytes must be identical no matter
+  // what std::locale::global an embedding process installed (a
+  // comma-decimal locale would otherwise corrupt the hexfloats).
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   os << std::hexfloat << v;
   return os.str();
 }
@@ -46,11 +52,14 @@ bool parseJournalDouble(const std::string& token, double& out) {
     out = -std::numeric_limits<double>::infinity();
     return true;
   }
-  // strtod accepts hexfloat; demand full-token consumption like io::parse.
-  const char* begin = token.c_str();
-  char* end = nullptr;
-  out = std::strtod(begin, &end);
-  return end == begin + token.size() && !token.empty();
+  // io::parseFiniteDouble consumes the hexfloat format the writer emits
+  // (full-token, locale-independent from_chars underneath); the
+  // non-finite sentinels were already handled above, so a finite-only
+  // parser is exactly right here.
+  const std::optional<double> v = io::parseFiniteDouble(token);
+  if (!v.has_value()) return false;
+  out = *v;
+  return true;
 }
 
 JournalContents readJournal(const std::string& path, std::uint64_t specHash,

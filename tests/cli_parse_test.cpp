@@ -122,6 +122,20 @@ TEST(CliParse, SweepModeRejectsBadInputsCleanly) {
   expectParseError("sweep " + ok + " --stop-after 1", "journal");
 }
 
+TEST(CliParse, TelemetryIntervalIsRangeChecked) {
+  // 0 would busy-spin the sampler; absurd values would silently disable
+  // sampling for a resident server's lifetime. Both are one-line
+  // diagnostics with exit 1, like every other checked flag.
+  expectParseError("--telemetry-interval 0",
+                   "bad value for --telemetry-interval");
+  expectParseError("--telemetry-interval 250000000",
+                   "bad value for --telemetry-interval");
+  expectParseError("--telemetry-interval abc",
+                   "bad value for --telemetry-interval");
+  expectParseError("--telemetry-interval -5",
+                   "bad value for --telemetry-interval");
+}
+
 TEST(CliParse, BackendOverrideDiagnosticsExitOne) {
   // --backend failures are one-line scheduler errors with status 1:
   // unknown names enumerate the registry, incapable backends explain

@@ -158,6 +158,80 @@ TEST(ParallelPool, ShutdownIsIdempotent) {
   EXPECT_THROW((void)pool.submit([] {}), std::runtime_error);
 }
 
+// Regression for the resident-server audit of the catch (...) sites:
+// a task exception must never be silently dropped, at any pool size.
+// threads=1 takes the inline path, threads>1 the queued path; both must
+// deliver the thrown error (with the repo's aggregation contract) while
+// still running every non-throwing iteration.
+TEST(ParallelFor, TaskExceptionsNeverDroppedAtAnyThreadCount) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    parallel::ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(64);
+    bool threw = false;
+    try {
+      parallel::parallelFor(pool, hits.size(), [&hits](std::size_t i) {
+        if (i == 17) throw std::runtime_error("task 17 failed");
+        ++hits[i];
+      });
+    } catch (const std::exception& e) {
+      threw = true;
+      EXPECT_NE(std::string(e.what()).find("task 17 failed"),
+                std::string::npos)
+          << e.what();
+    }
+    EXPECT_TRUE(threw);
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      if (i == 17) continue;
+      // Chunks sharing index 17's chunk may legally stop early; every
+      // other chunk must have completed despite the failure.
+      if (hits[i].load() == 0) {
+        // Only indices in 17's chunk are allowed to be skipped.
+        const std::size_t chunks =
+            std::min<std::size_t>(hits.size(), 4 * pool.threadCount());
+        const std::size_t per = (hits.size() + chunks - 1) / chunks;
+        EXPECT_EQ(i / per, std::size_t{17} / per) << "index " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, EveryFailingThreadCountAggregatesAllFailures) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    parallel::ThreadPool pool(threads);
+    try {
+      parallel::parallelFor(pool, 256, [](std::size_t i) {
+        throw std::runtime_error("bad index " + std::to_string(i));
+      });
+      FAIL() << "parallelFor swallowed every failure";
+    } catch (const std::exception& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("bad index"), std::string::npos) << what;
+      if (pool.threadCount() > 1 || 256 > 4 * pool.threadCount()) {
+        // More than one chunk failed, so the aggregate count must be
+        // present — proof the extra failures were counted, not dropped.
+        EXPECT_NE(what.find("additional task failure"), std::string::npos)
+            << what;
+      }
+    }
+  }
+}
+
+// A submit() that fails mid-fan-out (pool already shutting down) must
+// not abandon the chunks it managed to queue: parallelFor waits for
+// them — they reference the caller's frame — and the shutdown error is
+// reported instead of being masked or leaking a use-after-free.
+TEST(ParallelFor, SubmitFailureStillDrainsSubmittedChunks) {
+  parallel::ThreadPool pool(2);
+  pool.shutdown();
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      parallel::parallelFor(pool, 64, [&ran](std::size_t) { ++ran; }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 0);  // nothing was queued, nothing ran
+}
+
 TEST(ParallelRho, MatchesSerialExactly) {
   const hiperd::ReferenceSystem ref = hiperd::makeReferenceSystem();
   const auto phi = ref.system.loadFeatureSet(ref.qos);

@@ -467,4 +467,60 @@ TEST(Telemetry, SweepSurfaceByteIdenticalWithTelemetry) {
   }
 }
 
+// Lifecycle hardening for the resident-server use: a hub whose start()
+// never ran (or already finished) must tolerate stop() from any number
+// of threads without joining dead threads or double-counting the final
+// sample.
+TEST(Telemetry, StopWithoutStartIsANoop) {
+  obs::TelemetryHub hub(obs::TelemetryOptions{});
+  hub.stop();  // never started: no join, no sample
+  EXPECT_EQ(hub.sampleCount(), 0u);
+  hub.emit(obs::TelemetryEvent("late"));  // still usable un-started
+  EXPECT_EQ(hub.records().size(), 1u);
+}
+
+TEST(Telemetry, DoubleStopTakesExactlyOneFinalSample) {
+  obs::TelemetryOptions topts;
+  topts.intervalMillis = 3'600'000;  // no periodic samples during the test
+  obs::TelemetryHub hub(topts);
+  hub.start();
+  hub.stop();
+  const std::uint64_t afterFirstStop = hub.sampleCount();
+  EXPECT_EQ(afterFirstStop, 2u);  // t=0 + final
+  hub.stop();
+  hub.stop();
+  EXPECT_EQ(hub.sampleCount(), afterFirstStop);
+}
+
+TEST(Telemetry, ConcurrentStopIsRaceFree) {
+  for (int round = 0; round < 8; ++round) {
+    obs::TelemetryOptions topts;
+    topts.intervalMillis = 1;
+    obs::TelemetryHub hub(topts);
+    hub.start();
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      stoppers.emplace_back([&hub] { hub.stop(); });
+    }
+    for (std::thread& t : stoppers) t.join();
+    // Exactly one stopper won the final sample; the count is stable.
+    const std::uint64_t count = hub.sampleCount();
+    hub.stop();
+    EXPECT_EQ(hub.sampleCount(), count);
+    EXPECT_GE(count, 2u);
+  }
+}
+
+TEST(Telemetry, RestartAfterStopWorks) {
+  obs::TelemetryOptions topts;
+  topts.intervalMillis = 3'600'000;
+  obs::TelemetryHub hub(topts);
+  hub.start();
+  hub.stop();
+  hub.start();  // Idle again: a fresh sampler may start
+  hub.stop();
+  EXPECT_EQ(hub.sampleCount(), 4u);
+}
+
 }  // namespace

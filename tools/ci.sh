@@ -241,6 +241,93 @@ if not d["cache_identity"]:
 print("bench_sweep smoke OK")
 EOF
 
+    echo "=== [$cfg] bench_server smoke ==="
+    server_json=build/BENCH_server_smoke.json
+    FEPIA_BENCH_SMOKE=1 FEPIA_BENCH_JSON="$server_json" \
+      ./build/bench/bench_server --benchmark_filter=NONE
+    python3 tools/check_bench_json.py "$server_json" \
+      tools/schemas/bench_server.schema.json
+    python3 - "$server_json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+if d["failures"]:
+    sys.exit(f"bench_server: {d['failures']} request(s) failed under load")
+if not d["warm_faster_than_cold"]:
+    sys.exit("bench_server: warm sweep repeat was not faster than the cold "
+             f"run (speedup {d['warm_speedup']:.2f}x) — resident cache broken")
+print("bench_server smoke OK")
+EOF
+
+    # fepiad end-to-end smoke: boot `fepia_cli serve` on an ephemeral
+    # port, scrape the port from its machine-parseable banner, then run
+    # one scripted client session over the wire protocol — happy-path
+    # ping + stats, a malformed frame that must get a *typed* error
+    # without killing the connection, and a graceful shutdown request.
+    # The daemon must exit 0 and report its request tally.
+    echo "=== [$cfg] fepia_cli serve smoke ==="
+    rm -f build/serve_smoke.log
+    ./build/tools/fepia_cli serve --port 0 --workers 2 --threads 2 \
+      > build/serve_smoke.log &
+    serve_pid=$!
+    port=""
+    for _ in $(seq 50); do
+      port=$(sed -n 's/^fepiad listening on .*:\([0-9]*\)$/\1/p' \
+        build/serve_smoke.log)
+      [ -n "$port" ] && break
+      sleep 0.1
+    done
+    [ -n "$port" ] || { kill "$serve_pid" 2>/dev/null; \
+      echo "fepiad never printed its listening banner" >&2; exit 1; }
+    python3 - "$port" <<'EOF'
+import json, socket, struct, sys
+
+def send(sock, payload):
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+
+def recv(sock):
+    prefix = b""
+    while len(prefix) < 4:
+        chunk = sock.recv(4 - len(prefix))
+        assert chunk, "connection closed mid-prefix"
+        prefix += chunk
+    (n,) = struct.unpack(">I", prefix)
+    body = b""
+    while len(body) < n:
+        chunk = sock.recv(n - len(body))
+        assert chunk, "connection closed mid-payload"
+        body += chunk
+    return json.loads(body)
+
+sock = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=30)
+sock.settimeout(30)
+
+send(sock, b'{"id": 1, "kind": "ping"}')
+reply = recv(sock)
+assert reply["ok"] and reply["id"] == 1, f"bad ping reply: {reply}"
+
+send(sock, b"this is not json")
+reply = recv(sock)
+assert not reply["ok"], f"malformed frame was accepted: {reply}"
+assert reply["error"]["code"] == "bad_frame", f"untyped error: {reply}"
+
+send(sock, b'{"id": 2, "kind": "stats"}')
+reply = recv(sock)
+assert reply["ok"], f"stats failed after a malformed frame: {reply}"
+stats = json.loads(reply["json"])
+assert stats["served"] >= 1 and stats["errors"] >= 1, f"bad stats: {stats}"
+
+send(sock, b'{"id": 3, "kind": "shutdown"}')
+reply = recv(sock)
+assert reply["ok"] and "shutting down" in reply["output"], \
+    f"bad shutdown reply: {reply}"
+sock.close()
+print("serve wire session OK")
+EOF
+    wait "$serve_pid"
+    grep -q '^fepiad exiting: ' build/serve_smoke.log
+    echo "fepia_cli serve smoke OK"
+
     # Throughput guard: smoke runs must stay within a generous factor of
     # the checked-in full-run baselines — a mechanical trip-wire for perf
     # collapses. Looser than the script's 5x default because the

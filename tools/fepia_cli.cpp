@@ -8,6 +8,15 @@
 //   fepia_cli search [options]
 //   fepia_cli fault-sim [options]
 //   fepia_cli sweep <spec-file> [options]
+//   fepia_cli serve [options]
+//
+// serve mode starts fepiad, the resident robustness query server: a
+// loopback TCP endpoint speaking length-prefixed JSON frames that
+// answers radius/validate/fault-sim/sweep requests byte-identically to
+// the one-shot CLI while keeping parsed inputs, sweep sub-computations
+// and the thread pool warm across requests (see docs/server.md).
+// SIGHUP (or editing --config FILE) hot-reloads the runtime knobs
+// without dropping connections; SIGINT/SIGTERM drain and exit.
 //
 // Options (problem-file mode):
 //   --scheme normalized|sensitivity|both   merge scheme(s) (default both)
@@ -77,8 +86,12 @@
 //
 // See src/io/problem_io.hpp for the problem-file format; a worked sample
 // lives at examples/data/streaming_stage.fepia.
+#include <sys/stat.h>
+
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -88,6 +101,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -114,6 +128,8 @@
 #include "parallel/thread_pool.hpp"
 #include "radius/registry/scheduler.hpp"
 #include "report/table.hpp"
+#include "server/query.hpp"
+#include "server/server.hpp"
 #include "sweep/engine.hpp"
 #include "sweep/output.hpp"
 #include "sweep/spec.hpp"
@@ -148,21 +164,15 @@ struct ObsCli {
 };
 ObsCli g_obs;
 
-/// Unhooks a mode's live-gauge source before its locals (pool, atomics)
-/// go out of scope — the sampler thread must never call into a dead
-/// frame, including on early returns and exceptions.
-struct SourceGuard {
-  obs::TelemetryHub* hub = nullptr;
-  std::size_t id = 0;
-  SourceGuard() = default;
-  SourceGuard(obs::TelemetryHub* h, obs::TelemetryHub::SourceFn fn)
-      : hub(h), id(h != nullptr ? h->addSource(std::move(fn)) : 0) {}
-  SourceGuard(const SourceGuard&) = delete;
-  SourceGuard& operator=(const SourceGuard&) = delete;
-  ~SourceGuard() {
-    if (hub != nullptr) hub->removeSource(id);
-  }
-};
+// The four query modes (radius, validate, fault-sim, sweep) now live in
+// src/server/query.cpp so the resident fepiad server runs the exact same
+// code; the CLI keeps only its own plumbing (usage text, obs globals,
+// the CLI-only search/profile/--hiperd modes) plus these shared helper
+// aliases.
+using server::argDouble;
+using server::argSize;
+using server::argUint;
+using server::jsonNum;
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
@@ -195,6 +205,10 @@ int usage(const char* argv0) {
             << "       " << argv0
             << " profile [--tasks N] [--machines M] [--seed S] [--threads T]"
                " [--json FILE]\n"
+            << "       " << argv0
+            << " serve [--port N] [--bind ADDR] [--workers N] [--threads T]"
+               " [--max-queue N] [--max-frame BYTES] [--deadline-ms MS]"
+               " [--config FILE]\n"
             << "Every subcommand also accepts --trace FILE (write a Chrome"
                " trace-event JSON; load in Perfetto or chrome://tracing),"
                " --metrics (dump the metrics registry as JSON on exit),"
@@ -209,85 +223,8 @@ int usage(const char* argv0) {
   return 1;
 }
 
-/// Checked flag-value parsing. Every numeric argument goes through the
-/// shared io parser (full token, finite, range checked); a bad value
-/// raises std::invalid_argument naming the offending flag, which the
-/// dispatch-level catch turns into a one-line `error:` message and exit
-/// status 1 — never an uncaught std::stod/std::stoull exception.
-double argDouble(const char* flag, const std::string& value) {
-  const std::optional<double> v = io::parseFiniteDouble(value);
-  if (!v.has_value()) {
-    throw std::invalid_argument(std::string("bad value for ") + flag + ": '" +
-                                value + "' (expected a finite number)");
-  }
-  return *v;
-}
-
-std::uint64_t argUint(const char* flag, const std::string& value) {
-  const std::optional<std::uint64_t> v = io::parseUint64(value);
-  if (!v.has_value()) {
-    throw std::invalid_argument(std::string("bad value for ") + flag + ": '" +
-                                value + "' (expected an unsigned integer)");
-  }
-  return *v;
-}
-
-std::size_t argSize(const char* flag, const std::string& value) {
-  return static_cast<std::size_t>(argUint(flag, value));
-}
-
-la::Vector parseValueList(const std::string& csv) {
-  la::Vector out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    out.push_back(argDouble("--check", item));
-  }
-  return out;
-}
-
 void emit(const report::Table& table, bool csv) {
-  if (csv) {
-    table.printCsv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  std::cout << '\n';
-}
-
-/// Solves the merged-scheme radius through the backend registry. The
-/// per-feature table is printed only when the chosen backend produces a
-/// closed-form/numeric per-feature report (the empirical kernel
-/// estimates rho as one joint quantity); the rho summary and the chosen
-/// backend are always printed.
-void printMerged(const radius::FepiaProblem& problem,
-                 radius::MergeScheme scheme, bool csv,
-                 const std::string& backendOverride = {}) {
-  namespace rb = radius::backend;
-  rb::RadiusProblem rp;
-  rp.problem = &problem;
-  rp.scheme = scheme;
-  rb::RadiusRequest req;
-  req.backendOverride = backendOverride;
-  req.metrics = &g_obs.registry;
-  const rb::RadiusOutcome out = rb::solveRadius(rp, req);
-  std::cout << "scheme: " << radius::mergeSchemeName(scheme) << "\n";
-  if (out.merged != nullptr) {
-    const auto& rep = *out.merged;
-    report::Table table({"feature", "radius (P-space)", "bound side", "exact"});
-    for (const auto& f : rep.features) {
-      table.addRow({f.featureName, report::num(f.radius.radius, 8),
-                    f.radius.side == radius::BoundSide::Max
-                        ? "upper"
-                        : (f.radius.side == radius::BoundSide::Min ? "lower"
-                                                                   : "none"),
-                    f.radius.exact ? "yes" : "no"});
-    }
-    emit(table, csv);
-  }
-  std::cout << "rho = " << report::num(out.rho, 8) << "  (critical: "
-            << out.criticalFeature << ")\n"
-            << "backend: " << out.backendName << "\n\n";
+  server::emitTable(std::cout, table, csv);
 }
 
 int runHiperdMode(const std::string& path, bool csv) {
@@ -317,504 +254,11 @@ int runHiperdMode(const std::string& path, bool csv) {
 
   // Multi-kind (execution times ⋆ message sizes) analysis.
   const radius::FepiaProblem mixed = sys.executionMessageProblem(ref.qos);
-  printMerged(mixed, radius::MergeScheme::NormalizedByOriginal, csv);
-  printMerged(mixed, radius::MergeScheme::Sensitivity, csv);
+  server::printMerged(std::cout, mixed, radius::MergeScheme::NormalizedByOriginal,
+                      csv, &g_obs.registry);
+  server::printMerged(std::cout, mixed, radius::MergeScheme::Sensitivity, csv,
+                      &g_obs.registry);
   return 0;
-}
-
-/// Prints one scheme/region validation block and collects its rows for
-/// the JSON report. Returns the number of rows whose analytic radius
-/// missed the empirical CI.
-std::size_t emitValidation(const std::string& heading,
-                           std::vector<validate::Comparison> rows, bool csv,
-                           std::vector<validate::Comparison>& jsonRows) {
-  std::cout << heading << "\n";
-  emit(validate::comparisonTable(rows), csv);
-  std::size_t misses = 0;
-  for (validate::Comparison& row : rows) {
-    if (!row.analyticWithinCI) ++misses;
-    row.label = heading + ": " + row.label;
-    jsonRows.push_back(std::move(row));
-  }
-  return misses;
-}
-
-int runValidateMode(int argc, char** argv) {
-  std::string path;
-  bool hiperd = false;
-  bool des = false;
-  bool csv = false;
-  std::string schemeArg = "both";
-  std::string jsonPath;
-  std::string backendArg;
-  std::optional<std::size_t> samples;
-  std::optional<std::size_t> threads;
-  validate::EstimatorOptions opts;
-
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--hiperd") == 0 && i + 1 < argc) {
-      hiperd = true;
-      path = argv[++i];
-    } else if (std::strcmp(argv[i], "--des") == 0) {
-      des = true;
-    } else if (std::strcmp(argv[i], "--csv") == 0) {
-      csv = true;
-    } else if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
-      schemeArg = argv[++i];
-    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
-      backendArg = argv[++i];
-    } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
-      samples = argSize("--samples", argv[++i]);
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      opts.seed = argUint("--seed", argv[++i]);
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = argSize("--threads", argv[++i]);
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      jsonPath = argv[++i];
-    } else if (path.empty() && argv[i][0] != '-') {
-      path = argv[i];
-    } else {
-      return usage(argv[0]);
-    }
-  }
-  if (path.empty() || (des && !hiperd)) return usage(argv[0]);
-  if (schemeArg != "both" && schemeArg != "normalized" &&
-      schemeArg != "sensitivity") {
-    return usage(argv[0]);
-  }
-  if (samples.has_value()) opts.directions = *samples;
-  opts.metrics = &g_obs.registry;
-  g_obs.manifest.tool = "fepia_cli validate";
-  g_obs.manifest.seed = opts.seed;
-  g_obs.manifest.threads = threads.value_or(0);
-
-  std::unique_ptr<parallel::ThreadPool> pool;
-  if (threads.has_value()) {
-    pool = std::make_unique<parallel::ThreadPool>(*threads);
-  }
-
-  // Live telemetry gauges: estimator probe counts as they accumulate,
-  // plus pool occupancy when a pool exists.
-  std::atomic<std::uint64_t> liveClassifications{0};
-  opts.liveClassifications = &liveClassifications;
-  const SourceGuard probeGauge(
-      g_obs.hub.get(), [&liveClassifications](obs::Registry& reg) {
-        reg.setGauge("validate.live_classifications",
-                     static_cast<double>(liveClassifications.load(
-                         std::memory_order_relaxed)));
-      });
-  const SourceGuard poolGauges(
-      pool != nullptr ? g_obs.hub.get() : nullptr,
-      [p = pool.get()](obs::Registry& reg) { p->liveGauges(reg); });
-
-  std::vector<validate::Comparison> jsonRows;
-  std::size_t misses = 0;
-
-  // Validation needs the cross-check rows, so the scheme solves pin the
-  // empirical kernel unless the user forces another backend — in which
-  // case the backend must still produce an empirical comparison.
-  namespace rb = radius::backend;
-  const auto validateScheme = [&](const radius::FepiaProblem& prob,
-                                  radius::MergeScheme scheme) {
-    rb::RadiusProblem rp;
-    rp.problem = &prob;
-    rp.scheme = scheme;
-    rb::RadiusRequest req;
-    req.backendOverride = backendArg.empty() ? "empirical" : backendArg;
-    req.estimator = opts;
-    req.metrics = &g_obs.registry;
-    const rb::RadiusOutcome out = rb::solveRadius(rp, req, pool.get());
-    if (out.validation == nullptr) {
-      throw std::runtime_error("radius backend '" + out.backendName +
-                               "' does not produce an empirical comparison"
-                               " (validate needs the empirical backend)");
-    }
-    return out.validation;
-  };
-
-  if (hiperd) {
-    const hiperd::ReferenceSystem ref = io::loadSystem(path);
-    const radius::FepiaProblem mixed = ref.system.executionMessageProblem(ref.qos);
-    const std::shared_ptr<const validate::SchemeValidation> v =
-        validateScheme(mixed, radius::MergeScheme::NormalizedByOriginal);
-    misses += emitValidation("scheme: normalized", v->allRows(), csv, jsonRows);
-
-    if (des) {
-      // Classify the joint region by simulation: the shared degraded-mode
-      // machinery with no fault scenarios is exactly the DES cross-check
-      // (map each normalized P-space probe back to an (execution times ⋆
-      // message sizes) operating point, run the queueing model against
-      // the QoS) — `fault-sim --no-faults` reproduces this bit-for-bit.
-      rb::RadiusProblem rp;
-      rp.system = &ref;
-      rp.desClassification = true;
-      rb::RadiusRequest req;
-      req.backendOverride = backendArg;  // empty: scheduler picks degraded
-      req.estimator = opts;
-      req.degraded.explicitDirections = samples.has_value();
-      req.metrics = &g_obs.registry;
-      const rb::RadiusOutcome out = rb::solveRadius(rp, req, pool.get());
-      if (out.degraded == nullptr) {
-        throw std::runtime_error("radius backend '" + out.backendName +
-                                 "' does not produce a DES estimate");
-      }
-      const fault::DegradedEstimate& d = *out.degraded;
-      // The DES adds queueing on top of the analytic stage-time model,
-      // so its region is a subset and the estimate legitimately comes in
-      // below rho: report the row but keep it out of the verdict.
-      emitValidation(
-          "DES joint region (informational; queueing shrinks the region)",
-          {validate::compare("simulated vs analytic rho", d.analyticRho,
-                             d.degraded)},
-          csv, jsonRows);
-    }
-  } else {
-    const radius::FepiaProblem problem = io::loadProblem(path);
-    if (schemeArg == "both" || schemeArg == "normalized") {
-      const std::shared_ptr<const validate::SchemeValidation> v =
-          validateScheme(problem, radius::MergeScheme::NormalizedByOriginal);
-      misses += emitValidation("scheme: normalized", v->allRows(), csv,
-                               jsonRows);
-    }
-    if (schemeArg == "both" || schemeArg == "sensitivity") {
-      const std::shared_ptr<const validate::SchemeValidation> v =
-          validateScheme(problem, radius::MergeScheme::Sensitivity);
-      misses += emitValidation("scheme: sensitivity", v->allRows(), csv,
-                               jsonRows);
-    }
-  }
-
-  if (pool) pool->exportMetrics(g_obs.registry);
-
-  if (!jsonPath.empty()) {
-    std::ofstream out(jsonPath);
-    if (!out) {
-      std::cerr << "error: cannot write '" << jsonPath << "'\n";
-      return 1;
-    }
-    g_obs.manifest.wallSeconds = g_obs.wall.elapsedSeconds();
-    validate::writeComparisonJson(out, jsonRows, &g_obs.manifest);
-  }
-
-  if (misses == 0) {
-    std::cout << "VALIDATED: every analytic radius lies in its empirical CI\n";
-  } else {
-    std::cout << "DISAGREEMENT: " << misses
-              << " row(s) outside the empirical CI\n";
-  }
-  return misses == 0 ? 0 : 2;
-}
-
-/// JSON scalar for a possibly non-finite rho (JSON has no Infinity).
-std::string jsonNum(double x) {
-  if (!std::isfinite(x)) return "null";
-  std::ostringstream os;
-  os.precision(17);
-  os << x;
-  return os.str();
-}
-
-/// Splits a colon-separated flag value ("3:12.5:1" -> {"3","12.5","1"}).
-std::vector<std::string> splitColons(const std::string& s) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, ':')) out.push_back(item);
-  return out;
-}
-
-[[noreturn]] void badSpec(const char* flag, const std::string& value,
-                          const char* expected) {
-  throw std::invalid_argument(std::string("bad value for ") + flag + ": '" +
-                              value + "' (expected " + expected + ")");
-}
-
-/// `fepia_cli fault-sim`: simulate the pipeline under a fault plan
-/// (machine crashes with failover, transient slowdowns, message loss
-/// with retry) and estimate the degraded-mode robustness radius — the
-/// empirical radius of the joint (continuous perturbation x fault
-/// scenario) region — next to the analytic rho.
-int runFaultSimMode(int argc, char** argv) {
-  std::string path;
-  std::optional<std::size_t> samples;
-  std::optional<std::size_t> threads;
-  std::uint64_t seed = 0x5EEDD1CEull;
-  std::size_t scenarios = 1;
-  std::size_t generations = 200;
-  bool noFaults = false;
-  bool csv = false;
-  std::string jsonPath;
-  std::string backendArg;
-
-  fault::FaultPlan explicitPlan;
-  bool haveExplicit = false;
-  std::optional<double> detect;
-  std::optional<std::size_t> retries;
-
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--hiperd") == 0 && i + 1 < argc) {
-      path = argv[++i];
-    } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
-      samples = argSize("--samples", argv[++i]);
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = argUint("--seed", argv[++i]);
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = argSize("--threads", argv[++i]);
-    } else if (std::strcmp(argv[i], "--scenarios") == 0 && i + 1 < argc) {
-      scenarios = argSize("--scenarios", argv[++i]);
-    } else if (std::strcmp(argv[i], "--gens") == 0 && i + 1 < argc) {
-      generations = argSize("--gens", argv[++i]);
-    } else if (std::strcmp(argv[i], "--crash") == 0 && i + 1 < argc) {
-      const std::string spec = argv[++i];
-      const auto parts = splitColons(spec);
-      if (parts.size() != 2 && parts.size() != 3) {
-        badSpec("--crash", spec, "MACHINE:TIME[:BACKUP]");
-      }
-      fault::MachineCrash c;
-      c.machine = argSize("--crash", parts[0]);
-      c.atSeconds = argDouble("--crash", parts[1]);
-      if (parts.size() == 3) c.backup = argSize("--crash", parts[2]);
-      explicitPlan.crashes.push_back(c);
-      haveExplicit = true;
-    } else if (std::strcmp(argv[i], "--slow") == 0 && i + 1 < argc) {
-      const std::string spec = argv[++i];
-      const auto parts = splitColons(spec);
-      if (parts.size() != 5 || (parts[0] != "machine" && parts[0] != "link")) {
-        badSpec("--slow", spec, "machine|link:INDEX:FROM:TO:FACTOR");
-      }
-      fault::Slowdown s;
-      s.target = parts[0] == "machine" ? fault::Slowdown::Target::Machine
-                                       : fault::Slowdown::Target::Link;
-      s.index = argSize("--slow", parts[1]);
-      s.fromSeconds = argDouble("--slow", parts[2]);
-      s.toSeconds = argDouble("--slow", parts[3]);
-      s.factor = argDouble("--slow", parts[4]);
-      explicitPlan.slowdowns.push_back(s);
-      haveExplicit = true;
-    } else if (std::strcmp(argv[i], "--loss") == 0 && i + 1 < argc) {
-      const std::string spec = argv[++i];
-      const auto parts = splitColons(spec);
-      if (parts.size() != 2) badSpec("--loss", spec, "LINK:PROBABILITY");
-      fault::MessageLoss ml;
-      ml.link = argSize("--loss", parts[0]);
-      ml.probability = argDouble("--loss", parts[1]);
-      explicitPlan.losses.push_back(ml);
-      haveExplicit = true;
-    } else if (std::strcmp(argv[i], "--detect") == 0 && i + 1 < argc) {
-      detect = argDouble("--detect", argv[++i]);
-    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
-      retries = argSize("--retries", argv[++i]);
-    } else if (std::strcmp(argv[i], "--no-faults") == 0) {
-      noFaults = true;
-    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
-      backendArg = argv[++i];
-    } else if (std::strcmp(argv[i], "--csv") == 0) {
-      csv = true;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      jsonPath = argv[++i];
-    } else {
-      return usage(argv[0]);
-    }
-  }
-
-  g_obs.manifest.tool = "fepia_cli fault-sim";
-  g_obs.manifest.seed = seed;
-  g_obs.manifest.threads = threads.value_or(0);
-
-  const hiperd::ReferenceSystem ref =
-      path.empty() ? hiperd::makeReferenceSystem() : io::loadSystem(path);
-
-  // Assemble the scenario list: explicit flags define one plan;
-  // otherwise --scenarios plans are sampled from per-scenario seeds
-  // derived from --seed. --no-faults runs the fault-free cross-check
-  // (identical to `validate --des`).
-  std::vector<fault::FaultPlan> plans;
-  if (!noFaults) {
-    if (haveExplicit) {
-      plans.push_back(explicitPlan);
-    } else {
-      rng::SplitMix64 mixer(seed ^ 0xFA017ull);
-      fault::SamplerOptions sopts;
-      for (std::size_t s = 0; s < scenarios; ++s) {
-        plans.push_back(fault::samplePlan(ref.system, sopts, mixer.next()));
-      }
-    }
-    for (fault::FaultPlan& plan : plans) {
-      if (detect.has_value()) plan.policy.detectionTimeoutSeconds = *detect;
-      if (retries.has_value()) plan.policy.maxRetries = *retries;
-      plan.validateAgainst(ref.system);
-    }
-  }
-
-  std::unique_ptr<parallel::ThreadPool> pool;
-  if (threads.has_value()) {
-    pool = std::make_unique<parallel::ThreadPool>(*threads);
-  }
-
-  validate::EstimatorOptions est;
-  est.seed = seed;
-  if (samples.has_value()) est.directions = *samples;
-  est.metrics = &g_obs.registry;
-  fault::DegradedOptions dopts;
-  dopts.generations = generations;
-  dopts.explicitDirections = samples.has_value();
-
-  // Live telemetry gauges: DES classification progress and the fault
-  // retry/drop totals (the sampler derives rates from the series).
-  std::atomic<std::uint64_t> liveClassifications{0};
-  fault::LiveFaultStats liveFaults;
-  est.liveClassifications = &liveClassifications;
-  dopts.live = &liveFaults;
-  const SourceGuard faultGauges(
-      g_obs.hub.get(), [&liveClassifications, &liveFaults](obs::Registry& reg) {
-        reg.setGauge("validate.live_classifications",
-                     static_cast<double>(liveClassifications.load(
-                         std::memory_order_relaxed)));
-        reg.setGauge("fault.live_classifications",
-                     static_cast<double>(liveFaults.classifications.load(
-                         std::memory_order_relaxed)));
-        reg.setGauge("fault.live_retries",
-                     static_cast<double>(liveFaults.retries.load(
-                         std::memory_order_relaxed)));
-        reg.setGauge("fault.live_dropped",
-                     static_cast<double>(liveFaults.droppedMessages.load(
-                         std::memory_order_relaxed)));
-      });
-  const SourceGuard poolGauges(
-      pool != nullptr ? g_obs.hub.get() : nullptr,
-      [p = pool.get()](obs::Registry& reg) { p->liveGauges(reg); });
-
-  // Route through the backend registry: the degraded kernel forwards
-  // these options verbatim to fault::estimateDegradedRadius, so the
-  // results are bit-identical to the direct call; --backend surfaces an
-  // incapability diagnostic for any kernel that cannot honor a
-  // fault-scenario problem.
-  namespace rb = radius::backend;
-  rb::RadiusProblem rp;
-  rp.system = &ref;
-  rp.scenarios = plans;
-  rp.desClassification = true;
-  rb::RadiusRequest req;
-  req.backendOverride = backendArg;
-  req.estimator = est;
-  req.degraded = dopts;
-  req.metrics = &g_obs.registry;
-  const rb::RadiusOutcome outcome = rb::solveRadius(rp, req, pool.get());
-  if (outcome.degraded == nullptr) {
-    throw std::runtime_error("radius backend '" + outcome.backendName +
-                             "' does not produce a degraded-mode estimate");
-  }
-  const fault::DegradedEstimate& d = *outcome.degraded;
-
-  const hiperd::System& sys = ref.system;
-  std::cout << "HiPer-D system: " << sys.machineCount() << " machines, "
-            << sys.linkCount() << " links, " << sys.applicationCount()
-            << " apps, " << sys.messageCount() << " messages\n";
-  std::size_t crashes = 0, slowdowns = 0, losses = 0;
-  for (const fault::FaultPlan& p : plans) {
-    crashes += p.crashes.size();
-    slowdowns += p.slowdowns.size();
-    losses += p.losses.size();
-  }
-  std::cout << "fault scenarios: " << plans.size() << " (" << crashes
-            << " crash(es), " << slowdowns << " slowdown(s), " << losses
-            << " loss rate(s))\n\n";
-
-  const des::FaultCounters& fc = d.nominal.faults;
-  report::Table counters({"counter", "value"});
-  counters.addRow({"failovers", std::to_string(fc.failovers)});
-  counters.addRow({"lost messages", std::to_string(fc.lostMessages)});
-  counters.addRow({"retries", std::to_string(fc.retries)});
-  counters.addRow({"dropped messages", std::to_string(fc.droppedMessages)});
-  counters.addRow({"unrecovered jobs", std::to_string(fc.unrecoveredJobs)});
-  counters.addRow({"downtime (s)", report::num(fc.downtimeSeconds, 6)});
-  counters.addRow({"backoff wait (s)", report::num(fc.backoffWaitSeconds, 6)});
-  std::cout << "nominal run (scenario 0 at the operating point): QoS "
-            << (d.nominalSatisfies ? "satisfied" : "VIOLATED") << "\n";
-  emit(counters, csv);
-
-  report::Table radii({"quantity", "value"});
-  radii.addRow({"backend", outcome.backendName});
-  radii.addRow({"analytic rho (" + d.criticalFeature + ")",
-                report::num(d.analyticRho, 8)});
-  radii.addRow({"degraded empirical radius",
-                d.degraded.finite() ? report::num(d.degraded.radius, 8)
-                                    : "inf"});
-  radii.addRow({"CI", "[" + report::num(d.degraded.ci.lo, 8) + ", " +
-                          report::num(d.degraded.ci.hi, 8) + "]"});
-  radii.addRow({"directions", std::to_string(d.degraded.directions)});
-  radii.addRow({"boundary hits", std::to_string(d.degraded.boundaryHits)});
-  radii.addRow({"classifications", std::to_string(d.degraded.classifications)});
-  emit(radii, csv);
-
-  if (pool) pool->exportMetrics(g_obs.registry);
-
-  if (!jsonPath.empty()) {
-    std::ofstream out(jsonPath);
-    if (!out) {
-      std::cerr << "error: cannot write '" << jsonPath << "'\n";
-      return 1;
-    }
-    g_obs.manifest.wallSeconds = g_obs.wall.elapsedSeconds();
-    out << "{\n  \"manifest\": ";
-    g_obs.manifest.writeJson(out);
-    out << ",\n  \"config\": {\"seed\": " << seed << ", \"threads\": "
-        << (threads.has_value() ? std::to_string(*threads) : "null")
-        << ", \"scenarios\": " << plans.size() << ", \"generations\": "
-        << generations << "},\n  \"plan\": {\n    \"crashes\": [";
-    const fault::FaultPlan* p0 = plans.empty() ? nullptr : &plans.front();
-    if (p0 != nullptr) {
-      for (std::size_t i = 0; i < p0->crashes.size(); ++i) {
-        const fault::MachineCrash& c = p0->crashes[i];
-        out << (i ? ", " : "") << "{\"machine\": " << c.machine
-            << ", \"at_seconds\": " << jsonNum(c.atSeconds) << ", \"backup\": "
-            << (c.backup.has_value() ? std::to_string(*c.backup) : "null")
-            << "}";
-      }
-    }
-    out << "],\n    \"slowdowns\": [";
-    if (p0 != nullptr) {
-      for (std::size_t i = 0; i < p0->slowdowns.size(); ++i) {
-        const fault::Slowdown& s = p0->slowdowns[i];
-        out << (i ? ", " : "") << "{\"target\": \""
-            << (s.target == fault::Slowdown::Target::Machine ? "machine"
-                                                             : "link")
-            << "\", \"index\": " << s.index << ", \"from_seconds\": "
-            << jsonNum(s.fromSeconds) << ", \"to_seconds\": "
-            << jsonNum(s.toSeconds) << ", \"factor\": " << jsonNum(s.factor)
-            << "}";
-      }
-    }
-    out << "],\n    \"losses\": [";
-    if (p0 != nullptr) {
-      for (std::size_t i = 0; i < p0->losses.size(); ++i) {
-        out << (i ? ", " : "") << "{\"link\": " << p0->losses[i].link
-            << ", \"probability\": " << jsonNum(p0->losses[i].probability)
-            << "}";
-      }
-    }
-    out << "]\n  },\n  \"nominal\": {\"satisfies\": "
-        << (d.nominalSatisfies ? "true" : "false")
-        << ", \"max_observed_latency\": " << jsonNum(d.nominal.maxObservedLatency)
-        << ", \"throughput_sustained\": "
-        << (d.nominal.throughputSustained ? "true" : "false")
-        << ", \"incomplete_observations\": " << d.nominal.incompleteObservations
-        << ",\n    \"counters\": {\"failovers\": " << fc.failovers
-        << ", \"lost_messages\": " << fc.lostMessages << ", \"retries\": "
-        << fc.retries << ", \"dropped_messages\": " << fc.droppedMessages
-        << ", \"unrecovered_jobs\": " << fc.unrecoveredJobs
-        << ", \"downtime_seconds\": " << jsonNum(fc.downtimeSeconds)
-        << ", \"backoff_wait_seconds\": " << jsonNum(fc.backoffWaitSeconds)
-        << "}},\n  \"degraded\": {\"radius\": " << jsonNum(d.degraded.radius)
-        << ", \"ci_lo\": " << jsonNum(d.degraded.ci.lo) << ", \"ci_hi\": "
-        << jsonNum(d.degraded.ci.hi) << ", \"directions\": "
-        << d.degraded.directions << ", \"boundary_hits\": "
-        << d.degraded.boundaryHits << ", \"classifications\": "
-        << d.degraded.classifications << "},\n  \"analytic\": {\"rho\": "
-        << jsonNum(d.analyticRho) << ", \"critical_feature\": \""
-        << d.criticalFeature << "\"}\n}\n";
-  }
-  return d.nominalSatisfies ? 0 : 2;
 }
 
 int runSearchMode(int argc, char** argv) {
@@ -1179,112 +623,168 @@ int runProfileMode(int argc, char** argv) {
   return 0;
 }
 
-int runSweepMode(int argc, char** argv) {
-  if (argc < 3 || argv[2][0] == '-') {
-    return usage(argv[0]);
-  }
-  const std::string specPath = argv[2];
-  std::optional<std::size_t> threads;
-  sweep::SweepOptions opts;
-  std::string responseAxis;
-  bool csv = false;
-  std::string jsonPath;
+/// Builds a QueryContext over the CLI's process-wide observability
+/// globals — no shared pool or session cache: a one-shot invocation
+/// creates its pool from --threads and parses its inputs fresh, exactly
+/// as before the runner extraction.
+server::QueryContext cliContext() {
+  server::QueryContext ctx;
+  ctx.registry = &g_obs.registry;
+  ctx.manifest = &g_obs.manifest;
+  ctx.wall = &g_obs.wall;
+  ctx.hub = g_obs.hub.get();
+  return ctx;
+}
 
-  for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = argSize("--threads", argv[++i]);
-    } else if (std::strcmp(argv[i], "--chunk") == 0 && i + 1 < argc) {
-      opts.chunkOverride = argSize("--chunk", argv[++i]);
-      if (opts.chunkOverride == 0) {
-        throw std::invalid_argument("bad value for --chunk: '0' (expected a "
-                                    "positive integer)");
+/// Runs one extracted query mode with the CLI's error contract:
+/// UsageError prints the usage text, anything else prints one
+/// "error: ..." line and exits 1.
+template <typename Runner>
+int runQuery(Runner runner, int argc, char** argv, int firstArg) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc - firstArg));
+  for (int i = firstArg; i < argc; ++i) args.emplace_back(argv[i]);
+  server::QueryContext ctx = cliContext();
+  try {
+    return runner(args, std::cout, ctx).exitCode;
+  } catch (const server::UsageError&) {
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+// `fepia_cli serve`: the resident fepiad query server. Signal flags are
+// sig_atomic_t set from handlers and polled by the main loop — the loop
+// (not the handler) does the actual stop/reload work.
+volatile std::sig_atomic_t g_serveStop = 0;
+volatile std::sig_atomic_t g_serveReload = 0;
+
+void onServeSignal(int sig) {
+  if (sig == SIGHUP) {
+    g_serveReload = 1;
+  } else {
+    g_serveStop = 1;
+  }
+}
+
+int runServeMode(int argc, char** argv) {
+  server::ServeConfig cfg;
+  std::string configPath;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      const std::uint64_t p = argUint("--port", argv[++i]);
+      if (p > 65535) {
+        throw std::invalid_argument(std::string("bad value for --port: '") +
+                                    argv[i] + "' (expected 0..65535)");
       }
-    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
-      opts.journalPath = argv[++i];
-    } else if (std::strcmp(argv[i], "--resume") == 0) {
-      opts.resume = true;
-    } else if (std::strcmp(argv[i], "--stop-after") == 0 && i + 1 < argc) {
-      opts.stopAfterShards = argSize("--stop-after", argv[++i]);
-      if (opts.stopAfterShards == 0) {
-        throw std::invalid_argument("bad value for --stop-after: '0' "
-                                    "(expected a positive integer)");
+      cfg.port = static_cast<std::uint16_t>(p);
+    } else if (std::strcmp(argv[i], "--bind") == 0 && i + 1 < argc) {
+      cfg.bindAddress = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      cfg.workers = argSize("--workers", argv[++i]);
+      if (cfg.workers == 0) {
+        throw std::invalid_argument(
+            "bad value for --workers: '0' (expected a positive integer)");
       }
-    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
-      opts.cacheEnabled = false;
-    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
-      opts.backendOverride = argv[++i];
-    } else if (std::strcmp(argv[i], "--response") == 0 && i + 1 < argc) {
-      responseAxis = argv[++i];
-    } else if (std::strcmp(argv[i], "--progress") == 0) {
-      opts.progress = true;
-    } else if (std::strcmp(argv[i], "--csv") == 0) {
-      csv = true;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      jsonPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      cfg.threads = argSize("--threads", argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-queue") == 0 && i + 1 < argc) {
+      cfg.maxQueue = argSize("--max-queue", argv[++i]);
+      if (cfg.maxQueue == 0) {
+        throw std::invalid_argument(
+            "bad value for --max-queue: '0' (expected a positive integer)");
+      }
+    } else if (std::strcmp(argv[i], "--max-frame") == 0 && i + 1 < argc) {
+      cfg.maxFrameBytes = argSize("--max-frame", argv[++i]);
+      if (cfg.maxFrameBytes < 16) {
+        throw std::invalid_argument(std::string(
+            "bad value for --max-frame: '") + argv[i] +
+            "' (expected at least 16)");
+      }
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      cfg.defaultDeadlineMs = argUint("--deadline-ms", argv[++i]);
+    } else if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
+      // Applied in flag order, so flags after --config override the
+      // file and flags before it are overridden — last writer wins.
+      configPath = argv[++i];
+      server::parseServeConfigFile(configPath, cfg);
     } else {
       return usage(argv[0]);
     }
   }
 
-  const sweep::SweepSpec spec = sweep::loadSweepSpec(specPath);
-  g_obs.manifest.tool = "fepia_cli sweep";
-  g_obs.manifest.seed = spec.seed;
-  g_obs.manifest.threads = threads.value_or(0);
-  opts.metrics = &g_obs.registry;
-  opts.telemetry = g_obs.hub.get();
+  g_obs.manifest.tool = "fepia_cli serve";
+  g_obs.manifest.threads = cfg.threads;
 
-  std::unique_ptr<parallel::ThreadPool> pool;
-  if (threads.has_value()) {
-    pool = std::make_unique<parallel::ThreadPool>(*threads);
+  server::Server srv(cfg, g_obs.hub.get());
+  std::string error;
+  if (!srv.start(&error)) {
+    std::cerr << "error: " << error << '\n';
+    return 1;
   }
-  const SourceGuard poolGauges(
-      pool != nullptr ? g_obs.hub.get() : nullptr,
-      [p = pool.get()](obs::Registry& reg) { p->liveGauges(reg); });
-
-  const sweep::SweepSurface surface = sweep::runSweep(spec, opts, pool.get());
-  if (pool) pool->exportMetrics(g_obs.registry);
-
-  std::cout << "sweep '" << spec.name << "' ("
-            << sweep::workloadName(spec.workload) << "): " << surface.points
-            << " points, " << surface.shards << " shards of " << surface.chunk
+  // Machine-parseable: ci.sh and the tests scrape the actual port from
+  // this line when --port 0 asked for an ephemeral one.
+  std::cout << "fepiad listening on " << cfg.bindAddress << ":" << srv.port()
             << "\n"
-            << "resumed " << surface.resumedShards << " shard(s), computed "
-            << surface.computedShards << " shard(s) in "
-            << report::num(surface.wallSeconds, 4) << " s ("
-            << report::num(surface.pointsPerSec, 4) << " points/s)\n"
-            << "cache: " << (surface.cacheEnabled ? "on" : "off") << ", "
-            << surface.cacheHits << " hit(s), " << surface.cacheMisses
-            << " miss(es); " << surface.classifications
-            << " classification(s)\n\n";
+            << std::flush;
 
-  if (!surface.complete) {
-    std::cout << "sweep checkpointed after " << surface.computedShards
-              << " shard(s): rerun with --resume to continue\n";
-  } else {
-    emit(sweep::surfaceTable(spec, surface), csv);
-    if (!responseAxis.empty()) {
-      emit(sweep::axisResponseTable(spec, surface, responseAxis), csv);
+  struct sigaction sa{};
+  sa.sa_handler = onServeSignal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGHUP, &sa, nullptr);
+
+  // Config hot reload: SIGHUP or an mtime change on --config FILE
+  // re-parses the file and re-applies the runtime knobs; structural
+  // settings (bind/port/workers/threads) keep their boot values. A
+  // reload never touches open connections or queued requests. The
+  // mtime check is cheap stat polling (~2/s) — no inotify dependency.
+  const auto reloadConfig = [&](const char* why) {
+    if (configPath.empty()) return;
+    server::ServeConfig fresh = cfg;
+    try {
+      server::parseServeConfigFile(configPath, fresh);
+    } catch (const std::exception& e) {
+      std::cerr << "fepiad: reload failed (" << e.what()
+                << "); keeping the previous configuration\n";
+      return;
     }
-    const sweep::SurfaceSummary summary = sweep::summarize(surface);
-    std::cout << "analytic rho over " << summary.finitePoints
-              << " finite point(s): [" << report::num(summary.rhoMin, 9)
-              << ", " << report::num(summary.rhoMax, 9) << "]\n";
-    if (spec.workload == sweep::Workload::Linear) {
-      std::cout << "worst |analytic - closed form| deviation: "
-                << report::num(summary.worstClosedFormDeviation, 6) << "\n";
+    srv.reload(fresh);
+    std::cout << "fepiad reloaded '" << configPath << "' (" << why << ")\n"
+              << std::flush;
+  };
+  const auto configMtime = [&]() -> std::int64_t {
+    struct stat st{};
+    if (configPath.empty() || ::stat(configPath.c_str(), &st) != 0) return -1;
+    return static_cast<std::int64_t>(st.st_mtime);
+  };
+  std::int64_t lastMtime = configMtime();
+
+  int tick = 0;
+  while (g_serveStop == 0 && !srv.stopping()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (g_serveReload != 0) {
+      g_serveReload = 0;
+      reloadConfig("SIGHUP");
+      lastMtime = configMtime();
+    }
+    if (!configPath.empty() && ++tick % 3 == 0) {
+      const std::int64_t now = configMtime();
+      if (now != -1 && now != lastMtime) {
+        lastMtime = now;
+        reloadConfig("file changed");
+      }
     }
   }
 
-  if (!jsonPath.empty()) {
-    std::ofstream out(jsonPath);
-    if (!out) {
-      std::cerr << "error: cannot write '" << jsonPath << "'\n";
-      return 1;
-    }
-    g_obs.manifest.wallSeconds = g_obs.wall.elapsedSeconds();
-    sweep::writeSurfaceJson(out, spec, surface, &g_obs.manifest);
-    std::cout << "wrote " << jsonPath << "\n";
-  }
+  srv.stop();
+  const server::Server::Stats stats = srv.stats();
+  std::cout << "fepiad exiting: " << stats.served << " request(s) served, "
+            << stats.errors << " error(s) (" << stats.overloaded
+            << " overloaded, " << stats.deadlineExpired << " past deadline)\n";
   return 0;
 }
 
@@ -1292,12 +792,7 @@ int dispatch(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
 
   if (std::strcmp(argv[1], "sweep") == 0) {
-    try {
-      return runSweepMode(argc, argv);
-    } catch (const std::exception& e) {
-      std::cerr << "error: " << e.what() << '\n';
-      return 1;
-    }
+    return runQuery(server::runSweepQuery, argc, argv, 2);
   }
 
   if (std::strcmp(argv[1], "profile") == 0) {
@@ -1318,23 +813,21 @@ int dispatch(int argc, char** argv) {
     }
   }
 
-  if (std::strcmp(argv[1], "fault-sim") == 0) {
+  if (std::strcmp(argv[1], "serve") == 0) {
     try {
-      return runFaultSimMode(argc, argv);
+      return runServeMode(argc, argv);
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << '\n';
       return 1;
     }
   }
 
+  if (std::strcmp(argv[1], "fault-sim") == 0) {
+    return runQuery(server::runFaultSimQuery, argc, argv, 2);
+  }
+
   if (std::strcmp(argv[1], "validate") == 0) {
-    if (argc < 3) return usage(argv[0]);
-    try {
-      return runValidateMode(argc, argv);
-    } catch (const std::exception& e) {
-      std::cerr << "error: " << e.what() << '\n';
-      return 1;
-    }
+    return runQuery(server::runValidateQuery, argc, argv, 2);
   }
 
   if (std::strcmp(argv[1], "--hiperd") == 0) {
@@ -1348,95 +841,7 @@ int dispatch(int argc, char** argv) {
     }
   }
 
-  std::string schemeArg = "both";
-  std::string backendArg;
-  std::vector<la::Vector> checkPoint;
-  bool csv = false;
-  bool echo = false;
-  const std::string path = argv[1];
-
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
-      schemeArg = argv[++i];
-    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
-      backendArg = argv[++i];
-    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
-      try {
-        checkPoint.push_back(parseValueList(argv[++i]));
-      } catch (const std::exception&) {
-        std::cerr << "error: bad --check value list\n";
-        return 1;
-      }
-    } else if (std::strcmp(argv[i], "--csv") == 0) {
-      csv = true;
-    } else if (std::strcmp(argv[i], "--echo") == 0) {
-      echo = true;
-    } else {
-      return usage(argv[0]);
-    }
-  }
-  if (schemeArg != "both" && schemeArg != "normalized" &&
-      schemeArg != "sensitivity") {
-    return usage(argv[0]);
-  }
-
-  try {
-    const radius::FepiaProblem problem = io::loadProblem(path);
-
-    if (echo) {
-      io::writeProblem(std::cout, problem);
-      std::cout << '\n';
-    }
-
-    // Problem summary.
-    report::Table kinds({"kind", "unit", "dim", "original values"});
-    for (std::size_t j = 0; j < problem.space().kindCount(); ++j) {
-      const auto& p = problem.space().kind(j);
-      std::ostringstream vals;
-      vals << p.original();
-      kinds.addRow({p.name(), p.unit().str(), std::to_string(p.size()),
-                    vals.str()});
-    }
-    emit(kinds, csv);
-
-    // Per-kind radii (always legal, one kind at a time).
-    report::Table perKind({"feature", "kind", "radius (kind units)"});
-    for (std::size_t i = 0; i < problem.features().size(); ++i) {
-      for (std::size_t j = 0; j < problem.space().kindCount(); ++j) {
-        const radius::RadiusResult r = problem.singleKindRadius(i, j);
-        perKind.addRow({problem.features()[i].feature->name(),
-                        problem.space().kind(j).name(),
-                        r.finite() ? report::num(r.radius, 8) : "inf"});
-      }
-    }
-    emit(perKind, csv);
-
-    if (schemeArg == "both" || schemeArg == "normalized") {
-      printMerged(problem, radius::MergeScheme::NormalizedByOriginal, csv,
-                  backendArg);
-    }
-    if (schemeArg == "both" || schemeArg == "sensitivity") {
-      printMerged(problem, radius::MergeScheme::Sensitivity, csv, backendArg);
-    }
-
-    if (!checkPoint.empty()) {
-      const radius::MergeScheme scheme =
-          schemeArg == "sensitivity" ? radius::MergeScheme::Sensitivity
-                                     : radius::MergeScheme::NormalizedByOriginal;
-      const radius::ToleranceCheck check =
-          problem.wouldTolerate(checkPoint, scheme);
-      std::cout << "operating point "
-                << (check.tolerated ? "TOLERATED" : "NOT tolerated")
-                << " under the " << radius::mergeSchemeName(scheme)
-                << " scheme (worst margin " << report::num(check.worstMargin, 6)
-                << ")\n";
-      return check.tolerated ? 0 : 2;
-    }
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
+  return runQuery(server::runRadiusQuery, argc, argv, 1);
 }
 
 }  // namespace
@@ -1459,12 +864,17 @@ int main(int argc, char** argv) {
         g_obs.telemetryPath = argv[++i];
       } else if (std::strcmp(argv[i], "--telemetry-interval") == 0 &&
                  i + 1 < argc) {
-        g_obs.telemetryIntervalMs =
-            argUint("--telemetry-interval", argv[++i]);
-        if (g_obs.telemetryIntervalMs == 0) {
+        // Reject 0 (a busy-spinning sampler) and cap at one hour (a
+        // fat-fingered 250000000 would silently disable sampling for
+        // the lifetime of a resident server).
+        constexpr std::uint64_t kMaxIntervalMs = 3'600'000;
+        const char* const value = argv[++i];
+        g_obs.telemetryIntervalMs = argUint("--telemetry-interval", value);
+        if (g_obs.telemetryIntervalMs == 0 ||
+            g_obs.telemetryIntervalMs > kMaxIntervalMs) {
           throw std::invalid_argument(
-              "bad value for --telemetry-interval: '0' (expected a positive"
-              " millisecond count)");
+              std::string("bad value for --telemetry-interval: '") + value +
+              "' (expected 1..3600000 milliseconds)");
         }
       } else if (std::strcmp(argv[i], "--alert") == 0 && i + 1 < argc) {
         g_obs.alerts.push_back(obs::parseAlertRule(argv[++i]));
