@@ -3,11 +3,15 @@
 //
 // One linear (S3.1/S3.2-family) grid with empirical estimation on, run
 // serial and at growing thread counts, plus once with the result cache
-// disabled. Three properties on display: (1) the surface is bit-identical
-// at every thread count, (2) cache-on equals cache-off bit-for-bit (the
-// cache only changes throughput), and (3) the points/sec scaling of
-// shard-level parallelism. Structured results land in BENCH_sweep.json
-// (override with FEPIA_BENCH_JSON).
+// disabled, plus distributed through the coordinator/worker lease
+// protocol at 1, 2 and 4 in-process workers. Four properties on
+// display: (1) the surface is bit-identical at every thread count,
+// (2) cache-on equals cache-off bit-for-bit (the cache only changes
+// throughput), (3) the points/sec scaling of shard-level parallelism,
+// and (4) the distributed surface is bit-identical at every worker
+// count, with dist_1worker_efficiency_per_sec quantifying the wire
+// protocol's overhead against the in-process serial run. Structured
+// results land in BENCH_sweep.json (override with FEPIA_BENCH_JSON).
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
@@ -15,12 +19,15 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fepia.hpp"
 #include "obs/clock.hpp"
 #include "obs/manifest.hpp"
+#include "server/dist_sweep.hpp"
 
 namespace {
 
@@ -62,6 +69,41 @@ Run timedRun(const sweep::SweepSpec& spec, std::size_t threads,
   const obs::Stopwatch sw;
   r.surface = sweep::runSweep(spec, opts, pool.get());
   r.seconds = sw.elapsedSeconds();
+  return r;
+}
+
+struct DistRun {
+  std::size_t workers = 0;
+  double seconds = 0.0;
+  sweep::SweepSurface surface;
+  server::SweepCoordinator::Stats stats;
+};
+
+/// In-process coordinator + N worker threads over loopback: the full
+/// wire protocol (frames, leases, hexfloat commits), minus process
+/// boundaries — which is what the 1-worker overhead figure isolates.
+DistRun timedDistRun(const sweep::SweepSpec& spec, std::size_t workers) {
+  DistRun r;
+  r.workers = workers;
+  server::SweepCoordinator coordinator(spec, {});
+  std::string error;
+  if (!coordinator.start(&error)) {
+    throw std::runtime_error("bench_sweep: coordinator start: " + error);
+  }
+  const obs::Stopwatch sw;
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads.emplace_back([&spec, &coordinator, i] {
+      server::SweepWorkerConfig wc;
+      wc.port = coordinator.port();
+      wc.name = "bench-w" + std::to_string(i);
+      (void)server::runSweepWorker(spec, wc);
+    });
+  }
+  r.surface = coordinator.wait();
+  for (std::thread& t : threads) t.join();
+  r.seconds = sw.elapsedSeconds();
+  r.stats = coordinator.stats();
   return r;
 }
 
@@ -108,14 +150,44 @@ void printExperiment() {
                 report::num(noCache.seconds, 3)});
   table.print(std::cout);
 
+  std::vector<DistRun> dist;
+  for (const std::size_t w : {1u, 2u, 4u}) dist.push_back(timedDistRun(spec, w));
+
+  report::Table distTable({"workers", "points", "commits", "duplicates",
+                           "steals", "points/s", "wall (s)"});
+  for (const DistRun& r : dist) {
+    distTable.addRow({std::to_string(r.workers),
+                      std::to_string(r.surface.points),
+                      std::to_string(r.stats.commits),
+                      std::to_string(r.stats.duplicateCommits),
+                      std::to_string(r.stats.steals),
+                      report::num(r.surface.pointsPerSec, 5),
+                      report::num(r.seconds, 3)});
+  }
+  std::cout << "\ndistributed (coordinator + N local workers over the wire "
+               "protocol):\n";
+  distTable.print(std::cout);
+
   bool identical = true;
   for (const Run& r : runs) identical &= sameSurface(r.surface, runs[0].surface);
   const bool cacheIdentity = sameSurface(noCache.surface, runs[0].surface);
+  bool distIdentical = true;
+  for (const DistRun& r : dist) {
+    distIdentical &= sameSurface(r.surface, runs[0].surface);
+  }
+  // The wire protocol's toll at parity conditions: 1 distributed worker
+  // vs the in-process serial run (>= 1.0 would mean free distribution).
+  const double serialPps = runs[0].surface.pointsPerSec;
+  const double distEfficiency =
+      serialPps > 0.0 ? dist[0].surface.pointsPerSec / serialPps : 0.0;
   std::cout << "\nsurface identical across all thread counts: "
             << (identical ? "yes" : "NO — determinism contract broken")
             << "\ncache-off surface identical to cache-on: "
             << (cacheIdentity ? "yes" : "NO — the cache changed results")
-            << "\n\n";
+            << "\ndistributed surface identical at 1/2/4 workers: "
+            << (distIdentical ? "yes" : "NO — worker-count invariance broken")
+            << "\n1-worker distributed efficiency vs serial: "
+            << report::num(distEfficiency, 4) << "\n\n";
 
   const char* env = std::getenv("FEPIA_BENCH_JSON");
   const std::string jsonPath = env != nullptr ? env : "BENCH_sweep.json";
@@ -132,6 +204,9 @@ void printExperiment() {
       << ",\n  \"points\": " << runs[0].surface.points
       << ",\n  \"surface_identical\": " << (identical ? "true" : "false")
       << ",\n  \"cache_identity\": " << (cacheIdentity ? "true" : "false")
+      << ",\n  \"dist_surface_identical\": "
+      << (distIdentical ? "true" : "false")
+      << ",\n  \"dist_1worker_efficiency_per_sec\": " << distEfficiency
       << ",\n  \"cache\": {\"hits\": " << runs[0].surface.cacheHits
       << ", \"misses\": " << runs[0].surface.cacheMisses
       << "},\n  \"runs\": [\n";
@@ -143,6 +218,18 @@ void printExperiment() {
         << ", \"points_per_sec\": " << r.surface.pointsPerSec
         << ", \"wall_seconds\": " << r.seconds << "}"
         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"distributed\": [\n";
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    const DistRun& r = dist[i];
+    out << "    {\"workers\": " << r.workers
+        << ", \"points\": " << r.surface.points
+        << ", \"commits\": " << r.stats.commits
+        << ", \"duplicate_commits\": " << r.stats.duplicateCommits
+        << ", \"steals\": " << r.stats.steals
+        << ", \"dist_points_per_sec\": " << r.surface.pointsPerSec
+        << ", \"wall_seconds\": " << r.seconds << "}"
+        << (i + 1 < dist.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << jsonPath << "\n\n";

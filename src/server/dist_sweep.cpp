@@ -1,0 +1,1039 @@
+#include "server/dist_sweep.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/journal.hpp"
+#include "sweep/lease.hpp"
+#include "sweep/pcache.hpp"
+
+namespace fepia::server {
+namespace {
+
+constexpr int kAcceptPollMillis = 100;
+constexpr int kWaitRetryMillis = 100;
+/// After the last shard commits, how long the coordinator keeps serving
+/// so connected workers can hear "drained" and leave cleanly.
+constexpr double kDrainGraceSeconds = 10.0;
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+// JSON builders over the wire value type — requests and replies are
+// assembled as JsonValue trees and serialized, never hand-concatenated,
+// so worker names with quotes or backslashes cannot corrupt a frame.
+JsonValue jStr(std::string s) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::String;
+  v.string = std::move(s);
+  return v;
+}
+JsonValue jNum(double d) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::Number;
+  v.number = d;
+  return v;
+}
+JsonValue jBool(bool b) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::Bool;
+  v.boolean = b;
+  return v;
+}
+JsonValue jArr(JsonArray a) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::Array;
+  v.array = std::move(a);
+  return v;
+}
+JsonValue jObj(JsonObject o) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::Object;
+  v.object = std::move(o);
+  return v;
+}
+
+std::string okReply(JsonObject fields) {
+  JsonObject o;
+  o.emplace_back("ok", jBool(true));
+  for (auto& f : fields) o.push_back(std::move(f));
+  return serializeJson(jObj(std::move(o)));
+}
+
+std::string errorReply(const std::string& code, const std::string& message) {
+  return serializeJson(jObj({{"ok", jBool(false)},
+                             {"error", jObj({{"code", jStr(code)},
+                                             {"message", jStr(message)}})}}));
+}
+
+/// Decimal-string round trip for std::size_t / uint64 — JSON numbers
+/// are doubles and could silently round a large classification count.
+bool parseU64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (UINT64_MAX - static_cast<std::uint64_t>(c - '0')) / 10u) {
+      return false;
+    }
+    v = v * 10u + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+/// One commit row: [id, analytic, closed, empirical, degraded, makespan,
+/// classifications], doubles in the journal's exact hexfloat form.
+JsonValue encodePointRow(std::size_t id, const sweep::PointResult& r) {
+  JsonArray row;
+  row.push_back(jStr(std::to_string(id)));
+  row.push_back(jStr(sweep::formatJournalDouble(r.analyticRho)));
+  row.push_back(jStr(sweep::formatJournalDouble(r.closedForm)));
+  row.push_back(jStr(sweep::formatJournalDouble(r.empirical)));
+  row.push_back(jStr(sweep::formatJournalDouble(r.degraded)));
+  row.push_back(jStr(sweep::formatJournalDouble(r.makespan)));
+  row.push_back(jStr(std::to_string(r.classifications)));
+  return jArr(std::move(row));
+}
+
+bool decodePointRow(const JsonValue& row, std::size_t expectId,
+                    sweep::PointResult& out) {
+  if (row.kind != JsonValue::Kind::Array || row.array.size() != 7) {
+    return false;
+  }
+  for (const JsonValue& cell : row.array) {
+    if (!cell.isString()) return false;
+  }
+  std::uint64_t id = 0;
+  if (!parseU64(row.array[0].string, id) || id != expectId) return false;
+  if (!sweep::parseJournalDouble(row.array[1].string, out.analyticRho) ||
+      !sweep::parseJournalDouble(row.array[2].string, out.closedForm) ||
+      !sweep::parseJournalDouble(row.array[3].string, out.empirical) ||
+      !sweep::parseJournalDouble(row.array[4].string, out.degraded) ||
+      !sweep::parseJournalDouble(row.array[5].string, out.makespan)) {
+    return false;
+  }
+  return parseU64(row.array[6].string, out.classifications);
+}
+
+const JsonValue* findString(const JsonValue& req, const char* key) {
+  const JsonValue* v = req.find(key);
+  return (v != nullptr && v->isString()) ? v : nullptr;
+}
+
+const JsonValue* findNumber(const JsonValue& req, const char* key) {
+  const JsonValue* v = req.find(key);
+  return (v != nullptr && v->isNumber()) ? v : nullptr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Coordinator.
+
+struct SweepCoordinator::Impl {
+  sweep::SweepSpec spec;
+  DistSweepConfig cfg;
+  obs::Stopwatch clock;  ///< the `now` source the lease table sees
+
+  // Shard/grid geometry, fixed after start().
+  std::size_t points = 0;
+  std::size_t chunk = 0;
+  std::size_t shards = 0;
+  std::size_t pendingPoints = 0;  ///< points this run must compute
+  std::string specHashHex;
+
+  // All mutable sweep state — lease table, result slots, journal —
+  // under one mutex. Commits are tiny next to shard compute times.
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::unique_ptr<sweep::LeaseTable> lease;
+  sweep::SweepSurface surface;
+  sweep::JournalWriter journal;
+  double lastProgressAt = 0.0;  ///< last commit or worker arrival
+
+  // What the telemetry sampler reads. A separate, leaf-level mutex:
+  // the sampler takes only this one, and no thread holding it ever
+  // emits into the hub — so hub-internal locks cannot invert with it.
+  mutable std::mutex statsMutex;
+  std::set<std::string> workersSeen;
+  std::map<std::string, std::uint64_t> workerCommits;
+  std::size_t liveWorkers = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t duplicateCommits = 0;
+  std::uint64_t reissues = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t pointsDone = 0;
+
+  // Listener plumbing (mirrors server.cpp: poll-based acceptor woken
+  // by shutdown(2), reader thread per connection, fds closed only
+  // after their reader joined).
+  int listenFd = -1;
+  std::atomic<bool> stopping{false};
+  std::thread acceptor;
+  struct Conn {
+    int fd = -1;
+    std::thread reader;
+    std::atomic<bool> done{false};
+  };
+  std::mutex connsMutex;
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::size_t sourceId = 0;
+  bool sourceAdded = false;
+  bool torndown = false;
+
+  void logLine(const std::string& line) {
+    if (cfg.log == nullptr) return;
+    const std::lock_guard<std::mutex> lock(logMutex);
+    *cfg.log << line << '\n';
+    cfg.log->flush();
+  }
+  std::mutex logMutex;
+
+  [[nodiscard]] std::size_t shardCount(std::size_t s) const noexcept {
+    const std::size_t first = s * chunk;
+    return std::min(chunk, points - first);
+  }
+
+  void mirrorLeaseCounters() {  // caller holds `mutex`
+    const std::lock_guard<std::mutex> lock(statsMutex);
+    reissues = lease->reissues();
+    steals = lease->steals();
+    duplicateCommits = lease->duplicateCommits();
+  }
+
+  std::string handleHello(const JsonValue& req, std::string& helloName);
+  std::string handleLease(const std::string& helloName);
+  std::string handleCommit(const JsonValue& req, const std::string& helloName);
+  std::string handleHeartbeat(const JsonValue& req);
+  std::string handle(const JsonValue& req, std::string& helloName);
+  void readerLoop(Conn* conn);
+  void acceptorLoop();
+  void reapDone(bool all);
+  void teardown();
+};
+
+std::string SweepCoordinator::Impl::handleHello(const JsonValue& req,
+                                                std::string& helloName) {
+  const JsonValue* hash = findString(req, "spec_hash");
+  const JsonValue* pts = findNumber(req, "points");
+  const JsonValue* worker = findString(req, "worker");
+  if (hash == nullptr || pts == nullptr || worker == nullptr ||
+      worker->string.empty()) {
+    return errorReply("bad_request", "hello needs spec_hash, points, worker");
+  }
+  if (hash->string != specHashHex ||
+      pts->number != static_cast<double>(points)) {
+    logLine("coordinator: refused worker '" + worker->string +
+            "': spec mismatch (got " + hash->string + ", want " + specHashHex +
+            ")");
+    return errorReply("spec_mismatch",
+                      "worker spec hash " + hash->string + " / " +
+                          "coordinator " + specHashHex +
+                          " — refusing to lease against a different sweep");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(statsMutex);
+    workersSeen.insert(worker->string);
+    if (helloName.empty()) ++liveWorkers;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    lastProgressAt = clock.elapsedSeconds();
+  }
+  helloName = worker->string;
+  logLine("coordinator: worker '" + helloName + "' connected");
+  return okReply({{"kind", jStr("welcome")},
+                  {"lease_ms", jNum(cfg.leaseSeconds * 1000.0)},
+                  {"points", jNum(static_cast<double>(points))},
+                  {"chunk", jNum(static_cast<double>(chunk))},
+                  {"shards", jNum(static_cast<double>(shards))}});
+}
+
+std::string SweepCoordinator::Impl::handleLease(const std::string& helloName) {
+  if (helloName.empty()) {
+    return errorReply("bad_request", "lease before hello");
+  }
+  std::optional<sweep::LeaseTable::Grant> grant;
+  bool drained = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    grant = lease->acquire(helloName, clock.elapsedSeconds());
+    drained = !grant.has_value() && lease->allCommitted();
+    mirrorLeaseCounters();
+  }
+  if (!grant.has_value()) {
+    if (drained) return okReply({{"kind", jStr("drained")}});
+    return okReply({{"kind", jStr("wait")},
+                    {"retry_ms", jNum(static_cast<double>(kWaitRetryMillis))}});
+  }
+  const std::size_t s = grant->shard;
+  std::string line = "coordinator: leased shard " + std::to_string(s) +
+                     " to '" + helloName + "'";
+  if (grant->stolen) {
+    line += " (stolen from straggler, generation " +
+            std::to_string(grant->generation) + ")";
+  } else if (grant->generation > 0) {
+    line += " (reissue, generation " + std::to_string(grant->generation) + ")";
+  }
+  logLine(line);
+  if (cfg.telemetry != nullptr && (grant->stolen || grant->generation > 0)) {
+    obs::TelemetryEvent warn("warning");
+    warn.str("kind", grant->stolen ? "straggler" : "lease-reissue")
+        .count("shard", s)
+        .count("generation", grant->generation)
+        .str("worker", helloName);
+    cfg.telemetry->emit(warn);
+  }
+  return okReply(
+      {{"kind", jStr("lease")},
+       {"shard", jNum(static_cast<double>(s))},
+       {"first", jNum(static_cast<double>(s * chunk))},
+       {"count", jNum(static_cast<double>(shardCount(s)))},
+       {"generation", jNum(static_cast<double>(grant->generation))},
+       {"stolen", jBool(grant->stolen)}});
+}
+
+std::string SweepCoordinator::Impl::handleCommit(
+    const JsonValue& req, const std::string& helloName) {
+  if (helloName.empty()) {
+    return errorReply("bad_request", "commit before hello");
+  }
+  const JsonValue* shardV = findNumber(req, "shard");
+  const JsonValue* rows = req.find("results");
+  if (shardV == nullptr || rows == nullptr ||
+      rows->kind != JsonValue::Kind::Array) {
+    return errorReply("bad_request", "commit needs shard and results");
+  }
+  const std::size_t s = static_cast<std::size_t>(shardV->number);
+  if (shardV->number < 0 || s >= shards) {
+    return errorReply("bad_request",
+                      "shard " + std::to_string(s) + " out of range");
+  }
+  const std::size_t first = s * chunk;
+  const std::size_t count = shardCount(s);
+  if (rows->array.size() != count) {
+    return errorReply("bad_request",
+                      "shard " + std::to_string(s) + " expects " +
+                          std::to_string(count) + " points, got " +
+                          std::to_string(rows->array.size()));
+  }
+  // Decode off-lock; only the accept itself serializes.
+  std::vector<sweep::PointResult> decoded(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!decodePointRow(rows->array[i], first + i, decoded[i])) {
+      return errorReply("bad_request", "malformed result row in shard " +
+                                           std::to_string(s));
+    }
+  }
+  bool fresh = false;
+  std::uint64_t done = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    fresh = lease->commit(s);
+    if (fresh) {
+      std::copy(decoded.begin(), decoded.end(), surface.results.begin() +
+                                                    static_cast<long>(first));
+      std::fill(surface.computed.begin() + static_cast<long>(first),
+                surface.computed.begin() + static_cast<long>(first + count),
+                static_cast<std::uint8_t>(1));
+      if (journal.active()) {
+        journal.appendShard(s, first, surface.results.data() + first, count);
+      }
+      lastProgressAt = clock.elapsedSeconds();
+      cv.notify_all();
+    }
+    mirrorLeaseCounters();
+  }
+  if (fresh) {
+    {
+      const std::lock_guard<std::mutex> lock(statsMutex);
+      ++commits;
+      pointsDone += count;
+      ++workerCommits[helloName];
+      done = pointsDone;
+    }
+    logLine("coordinator: shard " + std::to_string(s) + " committed by '" +
+            helloName + "' (" + std::to_string(done) + "/" +
+            std::to_string(pendingPoints) + " points)");
+    if (cfg.telemetry != nullptr) {
+      const double elapsed = clock.elapsedSeconds();
+      const double rate =
+          elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+      obs::TelemetryEvent beat("heartbeat");
+      beat.count("shard", s)
+          .count("points_done", done)
+          .count("points_total", pendingPoints)
+          .num("points_per_sec", rate)
+          .str("worker", helloName);
+      cfg.telemetry->emit(beat);
+    }
+  } else {
+    logLine("coordinator: duplicate commit of shard " + std::to_string(s) +
+            " from '" + helloName + "' (discarded)");
+  }
+  return okReply({{"committed", jBool(fresh)}});
+}
+
+std::string SweepCoordinator::Impl::handleHeartbeat(const JsonValue& req) {
+  const JsonValue* worker = findString(req, "worker");
+  const JsonValue* shardV = findNumber(req, "shard");
+  if (worker == nullptr || shardV == nullptr) {
+    return errorReply("bad_request", "heartbeat needs worker and shard");
+  }
+  const std::lock_guard<std::mutex> lock(mutex);
+  lease->heartbeat(static_cast<std::size_t>(shardV->number), worker->string,
+                   clock.elapsedSeconds());
+  return okReply({});
+}
+
+std::string SweepCoordinator::Impl::handle(const JsonValue& req,
+                                           std::string& helloName) {
+  const JsonValue* kind = findString(req, "kind");
+  if (kind == nullptr) return errorReply("bad_request", "missing kind");
+  if (kind->string == "hello") return handleHello(req, helloName);
+  if (kind->string == "lease") return handleLease(helloName);
+  if (kind->string == "commit") return handleCommit(req, helloName);
+  if (kind->string == "heartbeat") return handleHeartbeat(req);
+  if (kind->string == "done") {
+    logLine("coordinator: worker '" +
+            (helloName.empty() ? std::string("?") : helloName) + "' done");
+    return okReply({});
+  }
+  return errorReply("bad_request", "unknown kind '" + kind->string + "'");
+}
+
+void SweepCoordinator::Impl::readerLoop(Conn* conn) {
+  std::string helloName;
+  for (;;) {
+    const Frame frame = readFrame(conn->fd, cfg.maxFrameBytes);
+    if (frame.status != FrameStatus::Ok) break;
+    std::string parseError;
+    const std::optional<JsonValue> req = parseJson(frame.payload, &parseError);
+    const std::string reply = req.has_value()
+                                  ? handle(*req, helloName)
+                                  : errorReply("bad_frame", parseError);
+    if (!writeFrame(conn->fd, reply)) break;
+  }
+  if (!helloName.empty()) {
+    std::vector<std::size_t> reissued;
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      reissued = lease->releaseWorker(helloName);
+      mirrorLeaseCounters();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(statsMutex);
+      if (liveWorkers > 0) --liveWorkers;
+    }
+    std::string line = "coordinator: worker '" + helloName + "' disconnected";
+    if (!reissued.empty()) {
+      line += "; reissued shard(s)";
+      for (const std::size_t s : reissued) line += " " + std::to_string(s);
+    }
+    logLine(line);
+    if (cfg.telemetry != nullptr && !reissued.empty()) {
+      obs::TelemetryEvent warn("warning");
+      warn.str("kind", "lease-reissue")
+          .str("worker", helloName)
+          .count("shards", reissued.size());
+      cfg.telemetry->emit(warn);
+    }
+    cv.notify_all();
+  }
+  conn->done.store(true, std::memory_order_release);
+}
+
+void SweepCoordinator::Impl::reapDone(bool all) {
+  const std::lock_guard<std::mutex> lock(connsMutex);
+  auto it = conns.begin();
+  while (it != conns.end()) {
+    Conn& c = **it;
+    if (!all && !c.done.load(std::memory_order_acquire)) {
+      ++it;
+      continue;
+    }
+    if (c.reader.joinable()) c.reader.join();
+    if (c.fd >= 0) ::close(c.fd);
+    it = conns.erase(it);
+  }
+}
+
+void SweepCoordinator::Impl::acceptorLoop() {
+  while (!stopping.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listenFd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kAcceptPollMillis);
+    reapDone(false);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Register under connsMutex *before* spawning the reader, and
+    // re-check stopping under the same lock: teardown's conn-shutdown
+    // sweep also holds it, so a connection either lands in the list in
+    // time to be shut down or observes stopping and is dropped here.
+    const std::lock_guard<std::mutex> lock(connsMutex);
+    if (stopping.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    conns.push_back(std::move(conn));
+    raw->reader = std::thread([this, raw] { readerLoop(raw); });
+  }
+}
+
+void SweepCoordinator::Impl::teardown() {
+  if (!torndown) {
+    torndown = true;
+    {
+      const std::lock_guard<std::mutex> lock(connsMutex);
+      stopping.store(true, std::memory_order_release);
+      for (const std::unique_ptr<Conn>& c : conns) {
+        if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+      }
+    }
+    if (listenFd >= 0) ::shutdown(listenFd, SHUT_RDWR);
+  }
+  if (acceptor.joinable()) acceptor.join();
+  reapDone(true);
+  if (listenFd >= 0) {
+    ::close(listenFd);
+    listenFd = -1;
+  }
+  if (sourceAdded && cfg.telemetry != nullptr) {
+    cfg.telemetry->removeSource(sourceId);
+    sourceAdded = false;
+  }
+}
+
+SweepCoordinator::SweepCoordinator(sweep::SweepSpec spec, DistSweepConfig cfg)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->spec = std::move(spec);
+  impl_->cfg = std::move(cfg);
+}
+
+SweepCoordinator::~SweepCoordinator() {
+  if (impl_ != nullptr) impl_->teardown();
+}
+
+bool SweepCoordinator::start(std::string* error) {
+  Impl& im = *impl_;
+  im.points = im.spec.pointCount();
+  im.chunk = im.cfg.chunkOverride != 0 ? im.cfg.chunkOverride : im.spec.chunk;
+  if (im.chunk == 0) im.chunk = 1;
+  im.shards = im.points == 0 ? 0 : (im.points + im.chunk - 1) / im.chunk;
+  im.specHashHex = hex16(im.spec.hash());
+
+  sweep::SweepSurface& surface = im.surface;
+  surface.points = im.points;
+  surface.chunk = im.chunk;
+  surface.shards = im.shards;
+  surface.results.assign(im.points, sweep::PointResult{});
+  surface.computed.assign(im.points, 0);
+
+  std::vector<bool> shardDone(im.shards, false);
+  if (im.cfg.resume) {
+    if (im.cfg.journalPath.empty()) {
+      throw std::invalid_argument(
+          "sweep coordinator: --resume requires a journal path");
+    }
+    const sweep::JournalContents replay =
+        sweep::readJournal(im.cfg.journalPath, im.spec.hash(), im.points,
+                           im.chunk, im.shards);
+    shardDone = replay.shardDone;
+    for (std::size_t s = 0; s < im.shards; ++s) {
+      if (!shardDone[s]) continue;
+      const std::size_t first = s * im.chunk;
+      const std::size_t count = im.shardCount(s);
+      for (std::size_t i = 0; i < count; ++i) {
+        surface.results[first + i] = replay.results[first + i];
+        surface.computed[first + i] = 1;
+      }
+      ++surface.resumedShards;
+    }
+  }
+  std::vector<std::size_t> pending;
+  for (std::size_t s = 0; s < im.shards; ++s) {
+    if (!shardDone[s]) {
+      pending.push_back(s);
+      im.pendingPoints += im.shardCount(s);
+    }
+  }
+  im.lease = std::make_unique<sweep::LeaseTable>(
+      std::move(pending), im.cfg.leaseSeconds, im.cfg.stealAfterSeconds);
+  if (!im.cfg.journalPath.empty()) {
+    im.journal.open(im.cfg.journalPath, im.cfg.resume, im.spec.hash(),
+                    im.points, im.chunk);
+  }
+
+  // Socket setup, same recipe as Server::start.
+  im.listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (im.listenFd < 0) {
+    if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(im.listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(im.cfg.port);
+  if (::inet_pton(AF_INET, im.cfg.bindAddress.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "bad bind address '" + im.cfg.bindAddress + "'";
+    }
+    ::close(im.listenFd);
+    im.listenFd = -1;
+    return false;
+  }
+  if (::bind(im.listenFd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(im.listenFd, SOMAXCONN) != 0) {
+    if (error != nullptr) {
+      *error = "bind/listen " + im.cfg.bindAddress + ":" +
+               std::to_string(im.cfg.port) + ": " + strerror(errno);
+    }
+    ::close(im.listenFd);
+    im.listenFd = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(im.listenFd, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  im.lastProgressAt = im.clock.elapsedSeconds();
+  if (im.cfg.telemetry != nullptr) {
+    Impl* imp = impl_.get();
+    im.sourceId = im.cfg.telemetry->addSource([imp](obs::Registry& reg) {
+      const std::lock_guard<std::mutex> lock(imp->statsMutex);
+      reg.setGauge("sweep.dist_live_workers",
+                   static_cast<double>(imp->liveWorkers));
+      reg.setGauge("sweep.dist_points_done",
+                   static_cast<double>(imp->pointsDone));
+      reg.setGauge("sweep.dist_points_total",
+                   static_cast<double>(imp->pendingPoints));
+      reg.setGauge("sweep.dist_shards_committed",
+                   static_cast<double>(imp->commits));
+      reg.setGauge("sweep.dist_reissues", static_cast<double>(imp->reissues));
+      reg.setGauge("sweep.dist_steals", static_cast<double>(imp->steals));
+      reg.setGauge("sweep.dist_duplicate_commits",
+                   static_cast<double>(imp->duplicateCommits));
+      for (const auto& [name, count] : imp->workerCommits) {
+        reg.setGauge("sweep.dist_worker_commits." + name,
+                     static_cast<double>(count));
+      }
+    });
+    im.sourceAdded = true;
+  }
+
+  im.acceptor = std::thread([imp = impl_.get()] { imp->acceptorLoop(); });
+  im.logLine("coordinator: serving " + std::to_string(im.shards -
+             surface.resumedShards) + " shard(s) of " +
+             std::to_string(im.shards) + " (" + std::to_string(im.points) +
+             " points, chunk " + std::to_string(im.chunk) + ")");
+  return true;
+}
+
+sweep::SweepSurface SweepCoordinator::wait() {
+  Impl& im = *impl_;
+  {
+    std::unique_lock<std::mutex> lk(im.mutex);
+    while (!im.lease->allCommitted()) {
+      im.cv.wait_for(lk, std::chrono::milliseconds(250));
+      if (im.cfg.drainTimeoutSeconds > 0.0 && !im.lease->allCommitted()) {
+        const double now = im.clock.elapsedSeconds();
+        if (now - im.lastProgressAt > im.cfg.drainTimeoutSeconds) {
+          const std::size_t committed = im.lease->committedCount();
+          const std::size_t total = im.shards - im.surface.resumedShards;
+          lk.unlock();
+          im.teardown();
+          throw std::runtime_error(
+              "sweep coordinator: no progress for " +
+              std::to_string(im.cfg.drainTimeoutSeconds) + "s with " +
+              std::to_string(total - committed) + " shard(s) outstanding");
+        }
+      }
+    }
+  }
+  // Grace period: keep serving so connected workers can hear "drained"
+  // and disconnect on their own before we pull the sockets out.
+  const double drainedAt = im.clock.elapsedSeconds();
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(im.statsMutex);
+      if (im.liveWorkers == 0) break;
+    }
+    if (im.clock.elapsedSeconds() - drainedAt > kDrainGraceSeconds) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  im.teardown();
+
+  sweep::SweepSurface& surface = im.surface;
+  surface.complete = true;
+  surface.computedShards = im.shards - surface.resumedShards;
+  surface.cacheEnabled = true;
+  for (std::size_t id = 0; id < surface.points; ++id) {
+    if (surface.computed[id]) {
+      surface.classifications += surface.results[id].classifications;
+    }
+  }
+  surface.wallSeconds = im.clock.elapsedSeconds();
+  surface.pointsPerSec =
+      surface.wallSeconds > 0.0
+          ? static_cast<double>(im.pendingPoints) / surface.wallSeconds
+          : 0.0;
+
+  const Stats st = stats();
+  im.logLine("coordinator: drained; " + std::to_string(st.commits) +
+             " commit(s) from " + std::to_string(st.workersSeen) +
+             " worker(s), " + std::to_string(st.duplicateCommits) +
+             " duplicate(s), " + std::to_string(st.reissues) +
+             " reissue(s), " + std::to_string(st.steals) + " steal(s)");
+  if (im.cfg.metrics != nullptr) {
+    obs::Registry& reg = *im.cfg.metrics;
+    reg.counters().bump("sweep.dist_shards_committed", st.commits);
+    reg.counters().bump("sweep.dist_duplicate_commits", st.duplicateCommits);
+    reg.counters().bump("sweep.dist_reissues", st.reissues);
+    reg.counters().bump("sweep.dist_steals", st.steals);
+    reg.counters().bump("sweep.dist_workers", st.workersSeen);
+    reg.setGauge("sweep.points_per_sec", surface.pointsPerSec);
+  }
+  return std::move(surface);
+}
+
+SweepCoordinator::Stats SweepCoordinator::stats() const {
+  const Impl& im = *impl_;
+  const std::lock_guard<std::mutex> lock(im.statsMutex);
+  Stats st;
+  st.workersSeen = im.workersSeen.size();
+  st.commits = im.commits;
+  st.duplicateCommits = im.duplicateCommits;
+  st.reissues = im.reissues;
+  st.steals = im.steals;
+  return st;
+}
+
+// ---------------------------------------------------------------------
+// Worker.
+
+namespace {
+
+/// One request/reply round trip. Returns nullopt on a lost connection
+/// (the caller decides whether that is fatal); throws on a coordinator
+/// refusal ({"ok": false}).
+std::optional<JsonValue> rpc(int fd, const JsonValue& request,
+                             std::size_t maxBytes) {
+  if (!writeFrame(fd, serializeJson(request))) return std::nullopt;
+  const Frame frame = readFrame(fd, maxBytes);
+  if (frame.status != FrameStatus::Ok) return std::nullopt;
+  std::string parseError;
+  std::optional<JsonValue> reply = parseJson(frame.payload, &parseError);
+  if (!reply.has_value()) {
+    throw std::runtime_error("sweep worker: unparseable reply: " + parseError);
+  }
+  const JsonValue* ok = reply->find("ok");
+  if (ok == nullptr || ok->kind != JsonValue::Kind::Bool || !ok->boolean) {
+    std::string code = "unknown";
+    std::string message;
+    if (const JsonValue* err = reply->find("error")) {
+      if (const JsonValue* c = err->find("code")) code = c->string;
+      if (const JsonValue* m = err->find("message")) message = m->string;
+    }
+    throw std::runtime_error("sweep worker: coordinator refused (" + code +
+                             "): " + message);
+  }
+  return reply;
+}
+
+/// Background lease renewal on its own connection, so heartbeats never
+/// interleave with the compute connection's request/reply frames.
+class HeartbeatThread {
+ public:
+  HeartbeatThread(const SweepWorkerConfig& cfg, const std::string& worker,
+                  double leaseMs)
+      : cfg_(cfg), worker_(worker) {
+    intervalMs_ = std::max(50.0, leaseMs / 3.0);
+    fd_ = connectHost(cfg.host, cfg.port);
+    if (fd_ >= 0) thread_ = std::thread([this] { loop(); });
+  }
+  ~HeartbeatThread() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    if (fd_ >= 0) ::close(fd_);
+  }
+  /// The shard whose lease to renew; -1 between leases.
+  void setShard(long shard) {
+    current_.store(shard, std::memory_order_relaxed);
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lk(mutex_);
+    while (!stop_) {
+      cv_.wait_for(lk, std::chrono::milliseconds(
+                           static_cast<long>(intervalMs_)));
+      if (stop_) break;
+      const long shard = current_.load(std::memory_order_relaxed);
+      if (shard < 0) continue;
+      lk.unlock();
+      const JsonValue beat =
+          jObj({{"kind", jStr("heartbeat")},
+                {"worker", jStr(worker_)},
+                {"shard", jNum(static_cast<double>(shard))}});
+      bool alive = writeFrame(fd_, serializeJson(beat));
+      if (alive) {
+        alive = readFrame(fd_, cfg_.maxFrameBytes).status == FrameStatus::Ok;
+      }
+      lk.lock();
+      if (!alive) break;  // coordinator gone; expiry takes over
+    }
+  }
+
+  const SweepWorkerConfig& cfg_;
+  std::string worker_;
+  double intervalMs_ = 3000.0;
+  int fd_ = -1;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<long> current_{-1};
+};
+
+}  // namespace
+
+SweepWorkerReport runSweepWorker(const sweep::SweepSpec& spec,
+                                 const SweepWorkerConfig& cfg) {
+  const std::string name =
+      cfg.name.empty() ? "worker-" + std::to_string(::getpid()) : cfg.name;
+  obs::Stopwatch wall;
+  const auto logLine = [&cfg](const std::string& line) {
+    if (cfg.log == nullptr) return;
+    *cfg.log << line << '\n';
+    cfg.log->flush();
+  };
+
+  int fd = -1;
+  for (int attempt = 0; attempt < std::max(1, cfg.connectAttempts); ++attempt) {
+    fd = connectHost(cfg.host, cfg.port);
+    if (fd >= 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (fd < 0) {
+    throw std::runtime_error("sweep worker: cannot connect to " + cfg.host +
+                             ":" + std::to_string(cfg.port));
+  }
+  struct FdGuard {
+    int fd;
+    ~FdGuard() { ::close(fd); }
+  } fdGuard{fd};
+
+  const JsonValue hello =
+      jObj({{"kind", jStr("hello")},
+            {"spec_hash", jStr(hex16(spec.hash()))},
+            {"points", jNum(static_cast<double>(spec.pointCount()))},
+            {"worker", jStr(name)}});
+  const std::optional<JsonValue> welcome = rpc(fd, hello, cfg.maxFrameBytes);
+  if (!welcome.has_value()) {
+    throw std::runtime_error(
+        "sweep worker: connection lost during handshake");
+  }
+  double leaseMs = 10000.0;
+  if (const JsonValue* v = findNumber(*welcome, "lease_ms")) {
+    leaseMs = v->number;
+  }
+  logLine("worker '" + name + "': connected to " + cfg.host + ":" +
+          std::to_string(cfg.port) + " (lease " +
+          std::to_string(static_cast<long>(leaseMs)) + " ms)");
+
+  sweep::ResultCache cache(cfg.cacheEnabled);
+  std::unique_ptr<sweep::PersistentCache> persistent;
+  if (!cfg.cacheDir.empty() && cfg.cacheEnabled) {
+    persistent = std::make_unique<sweep::PersistentCache>(cfg.cacheDir);
+  }
+
+  // Live gauges for the worker process's own telemetry hub.
+  std::atomic<std::uint64_t> pointsDoneA{0};
+  std::atomic<std::uint64_t> shardsDoneA{0};
+  std::size_t sourceId = 0;
+  if (cfg.telemetry != nullptr) {
+    sourceId = cfg.telemetry->addSource(
+        [&pointsDoneA, &shardsDoneA, pc = persistent.get()](
+            obs::Registry& reg) {
+          reg.setGauge("sweep.worker_points_computed",
+                       static_cast<double>(
+                           pointsDoneA.load(std::memory_order_relaxed)));
+          reg.setGauge("sweep.worker_shards_computed",
+                       static_cast<double>(
+                           shardsDoneA.load(std::memory_order_relaxed)));
+          if (pc != nullptr) {
+            reg.setGauge("sweep.live_persistent_hits",
+                         static_cast<double>(pc->hits()));
+            reg.setGauge("sweep.live_persistent_misses",
+                         static_cast<double>(pc->misses()));
+          }
+        });
+  }
+  struct SourceGuard {
+    obs::TelemetryHub* hub;
+    std::size_t id;
+    ~SourceGuard() {
+      if (hub != nullptr) hub->removeSource(id);
+    }
+  } sourceGuard{cfg.telemetry, sourceId};
+
+  HeartbeatThread heartbeat(cfg, name, leaseMs);
+
+  SweepWorkerReport report;
+  std::vector<sweep::PointResult> buffer;
+  bool lostConnection = false;
+  for (;;) {
+    const std::optional<JsonValue> reply =
+        rpc(fd, jObj({{"kind", jStr("lease")}, {"worker", jStr(name)}}),
+            cfg.maxFrameBytes);
+    if (!reply.has_value()) {
+      lostConnection = true;
+      break;
+    }
+    const JsonValue* kind = findString(*reply, "kind");
+    if (kind == nullptr) {
+      throw std::runtime_error("sweep worker: lease reply without kind");
+    }
+    if (kind->string == "drained") break;
+    if (kind->string == "wait") {
+      double retryMs = kWaitRetryMillis;
+      if (const JsonValue* v = findNumber(*reply, "retry_ms")) {
+        retryMs = v->number;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(retryMs)));
+      continue;
+    }
+    if (kind->string != "lease") {
+      throw std::runtime_error("sweep worker: unexpected lease reply kind '" +
+                               kind->string + "'");
+    }
+    const JsonValue* shardV = findNumber(*reply, "shard");
+    const JsonValue* firstV = findNumber(*reply, "first");
+    const JsonValue* countV = findNumber(*reply, "count");
+    if (shardV == nullptr || firstV == nullptr || countV == nullptr) {
+      throw std::runtime_error("sweep worker: malformed lease reply");
+    }
+    const std::size_t shard = static_cast<std::size_t>(shardV->number);
+    const std::size_t first = static_cast<std::size_t>(firstV->number);
+    const std::size_t count = static_cast<std::size_t>(countV->number);
+    std::uint64_t generation = 0;
+    if (const JsonValue* v = findNumber(*reply, "generation")) {
+      generation = static_cast<std::uint64_t>(v->number);
+    }
+    logLine("worker '" + name + "': leased shard " + std::to_string(shard) +
+            " (" + std::to_string(count) + " points, generation " +
+            std::to_string(generation) + ")");
+
+    heartbeat.setShard(static_cast<long>(shard));
+    buffer.assign(count, sweep::PointResult{});
+    sweep::evaluatePointRange(spec, cache, persistent.get(),
+                              cfg.backendOverride, first, count,
+                              buffer.data());
+    heartbeat.setShard(-1);
+    ++report.shardsComputed;
+    report.pointsComputed += count;
+    shardsDoneA.fetch_add(1, std::memory_order_relaxed);
+    pointsDoneA.fetch_add(count, std::memory_order_relaxed);
+
+    JsonArray rows;
+    rows.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      rows.push_back(encodePointRow(first + i, buffer[i]));
+    }
+    const std::optional<JsonValue> commitReply =
+        rpc(fd,
+            jObj({{"kind", jStr("commit")},
+                  {"worker", jStr(name)},
+                  {"shard", jNum(static_cast<double>(shard))},
+                  {"results", jArr(std::move(rows))}}),
+            cfg.maxFrameBytes);
+    if (!commitReply.has_value()) {
+      lostConnection = true;
+      break;
+    }
+    const JsonValue* committed = commitReply->find("committed");
+    const bool fresh = committed != nullptr &&
+                       committed->kind == JsonValue::Kind::Bool &&
+                       committed->boolean;
+    if (!fresh) ++report.duplicateCommits;
+    logLine("worker '" + name + "': " +
+            (fresh ? "committed" : "duplicate commit of") + " shard " +
+            std::to_string(shard));
+  }
+
+  if (lostConnection) {
+    // The coordinator drains and closes once every shard is committed;
+    // a post-handshake loss therefore means the sweep finished (or the
+    // coordinator aborted — in which case *its* process reports the
+    // failure). Either way this worker has nothing left to compute.
+    logLine("worker '" + name +
+            "': connection closed by coordinator; assuming drained");
+  } else {
+    (void)rpc(fd, jObj({{"kind", jStr("done")}, {"worker", jStr(name)}}),
+              cfg.maxFrameBytes);
+  }
+
+  if (persistent != nullptr) {
+    report.persistentHits = persistent->hits();
+    report.persistentMisses = persistent->misses();
+  }
+  report.wallSeconds = wall.elapsedSeconds();
+  logLine("worker '" + name + "': drained; computed " +
+          std::to_string(report.shardsComputed) + " shard(s), " +
+          std::to_string(report.pointsComputed) + " point(s), " +
+          std::to_string(report.duplicateCommits) + " duplicate(s)");
+  if (cfg.metrics != nullptr) {
+    obs::Registry& reg = *cfg.metrics;
+    reg.counters().bump("sweep.worker_shards_computed", report.shardsComputed);
+    reg.counters().bump("sweep.worker_points_computed", report.pointsComputed);
+    reg.counters().bump("sweep.worker_duplicate_commits",
+                        report.duplicateCommits);
+    reg.counters().bump("sweep.persistent_hits", report.persistentHits);
+    reg.counters().bump("sweep.persistent_misses", report.persistentMisses);
+  }
+  return report;
+}
+
+}  // namespace fepia::server

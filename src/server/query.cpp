@@ -26,6 +26,7 @@
 #include "io/system_io.hpp"
 #include "obs/clock.hpp"
 #include "radius/registry/scheduler.hpp"
+#include "server/dist_sweep.hpp"
 #include "server/session_cache.hpp"
 #include "sweep/engine.hpp"
 #include "sweep/output.hpp"
@@ -110,6 +111,21 @@ std::vector<std::string> splitColons(const std::string& s) {
                           const char* expected) {
   throw std::invalid_argument(std::string("bad value for ") + flag + ": '" +
                               value + "' (expected " + expected + ")");
+}
+
+/// "HOST:PORT" for --serve/--worker. Port 0 is allowed (--serve binds
+/// an ephemeral port and prints it); an empty host means loopback.
+std::pair<std::string, std::uint16_t> parseHostPort(const char* flag,
+                                                    const std::string& value) {
+  const std::size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon + 1 == value.size()) {
+    badSpec(flag, value, "HOST:PORT");
+  }
+  const std::string host =
+      colon == 0 ? std::string("127.0.0.1") : value.substr(0, colon);
+  const std::size_t port = argSize(flag, value.substr(colon + 1));
+  if (port > 65535) badSpec(flag, value, "a port in [0, 65535]");
+  return {host, static_cast<std::uint16_t>(port)};
 }
 
 /// Prints one scheme/region validation block and collects its rows for
@@ -760,6 +776,11 @@ QueryResult runSweepQuery(const std::vector<std::string>& args,
   std::string responseAxis;
   bool csv = false;
   std::string jsonPath;
+  std::optional<std::string> serveTarget;
+  std::optional<std::string> workerTarget;
+  std::optional<double> leaseMs;
+  std::optional<double> drainTimeout;
+  std::string workerName;
 
   const std::size_t n = args.size();
   for (std::size_t i = 1; i < n; ++i) {
@@ -793,15 +814,182 @@ QueryResult runSweepQuery(const std::vector<std::string>& args,
       csv = true;
     } else if (args[i] == "--json" && i + 1 < n) {
       jsonPath = args[++i];
+    } else if (args[i] == "--cache-dir" && i + 1 < n) {
+      opts.cacheDir = args[++i];
+    } else if (args[i] == "--serve" && i + 1 < n) {
+      serveTarget = args[++i];
+    } else if (args[i] == "--worker" && i + 1 < n) {
+      workerTarget = args[++i];
+    } else if (args[i] == "--lease-ms" && i + 1 < n) {
+      leaseMs = argDouble("--lease-ms", args[++i]);
+      if (*leaseMs <= 0.0) {
+        throw std::invalid_argument("bad value for --lease-ms: '" + args[i] +
+                                    "' (expected a positive duration)");
+      }
+    } else if (args[i] == "--drain-timeout" && i + 1 < n) {
+      drainTimeout = argDouble("--drain-timeout", args[++i]);
+    } else if (args[i] == "--worker-name" && i + 1 < n) {
+      workerName = args[++i];
     } else {
       throw UsageError("unrecognized argument '" + args[i] + "'");
     }
+  }
+
+  if (serveTarget.has_value() && workerTarget.has_value()) {
+    throw UsageError("--serve and --worker are mutually exclusive");
+  }
+  if (serveTarget.has_value()) {
+    // The coordinator never computes: compute-side knobs belong on the
+    // workers, and refusing them beats silently ignoring them.
+    if (threads.has_value()) throw UsageError("--serve ignores --threads");
+    if (opts.stopAfterShards != 0) {
+      throw UsageError("--stop-after is not supported with --serve");
+    }
+    if (!opts.cacheEnabled) {
+      throw UsageError("--no-cache belongs on the workers, not --serve");
+    }
+    if (!opts.backendOverride.empty()) {
+      throw UsageError("--backend belongs on the workers, not --serve");
+    }
+    if (!opts.cacheDir.empty()) {
+      throw UsageError("--cache-dir belongs on the workers, not --serve");
+    }
+    if (opts.progress) {
+      throw UsageError("--progress is not supported with --serve");
+    }
+    if (!workerName.empty()) throw UsageError("--worker-name needs --worker");
+  } else if (workerTarget.has_value()) {
+    // A worker computes what it is told and prints a report; it owns no
+    // journal, no surface and no output tables.
+    if (threads.has_value()) throw UsageError("--worker ignores --threads");
+    if (opts.chunkOverride != 0) {
+      throw UsageError("--chunk is the coordinator's call, not --worker's");
+    }
+    if (!opts.journalPath.empty() || opts.resume) {
+      throw UsageError("--journal/--resume live on the coordinator");
+    }
+    if (opts.stopAfterShards != 0) {
+      throw UsageError("--stop-after is not supported with --worker");
+    }
+    if (!responseAxis.empty() || csv || !jsonPath.empty()) {
+      throw UsageError("--worker produces no surface output");
+    }
+    if (opts.progress) {
+      throw UsageError("--progress is not supported with --worker");
+    }
+    if (leaseMs.has_value() || drainTimeout.has_value()) {
+      throw UsageError("--lease-ms/--drain-timeout live on the coordinator");
+    }
+  } else if (leaseMs.has_value() || drainTimeout.has_value() ||
+             !workerName.empty()) {
+    throw UsageError(
+        "--lease-ms/--drain-timeout/--worker-name need --serve or --worker");
   }
 
   const sweep::SweepSpec spec = sweep::loadSweepSpec(specPath);
   ctx.manifest->tool = "fepia_cli sweep";
   ctx.manifest->seed = spec.seed;
   ctx.manifest->threads = threads.value_or(0);
+
+  QueryResult result;
+
+  // Shared output tail: tables, summary, JSON document. Distributed and
+  // in-process runs both funnel through this, so --serve's JSON is the
+  // same writer on the same surface struct — byte-identity of the
+  // distributed surface reduces to byte-identity of the struct.
+  const auto emitSurface = [&](const sweep::SweepSurface& surface) {
+    if (!surface.complete) {
+      out << "sweep checkpointed after " << surface.computedShards
+          << " shard(s): rerun with --resume to continue\n";
+    } else {
+      emitTable(out, sweep::surfaceTable(spec, surface), csv);
+      if (!responseAxis.empty()) {
+        emitTable(out, sweep::axisResponseTable(spec, surface, responseAxis),
+                  csv);
+      }
+      const sweep::SurfaceSummary summary = sweep::summarize(surface);
+      out << "analytic rho over " << summary.finitePoints
+          << " finite point(s): [" << report::num(summary.rhoMin, 9) << ", "
+          << report::num(summary.rhoMax, 9) << "]\n";
+      if (spec.workload == sweep::Workload::Linear) {
+        out << "worst |analytic - closed form| deviation: "
+            << report::num(summary.worstClosedFormDeviation, 6) << "\n";
+      }
+    }
+    if (!jsonPath.empty() || ctx.captureJson) {
+      ctx.manifest->wallSeconds = ctx.wall->elapsedSeconds();
+      std::ostringstream doc;
+      sweep::writeSurfaceJson(doc, spec, surface, ctx.manifest);
+      finishJson(result, jsonPath, doc.str());
+      if (!jsonPath.empty()) out << "wrote " << jsonPath << "\n";
+    }
+  };
+
+  if (workerTarget.has_value()) {
+    const auto [host, port] = parseHostPort("--worker", *workerTarget);
+    if (port == 0) badSpec("--worker", *workerTarget, "HOST:PORT");
+    SweepWorkerConfig wc;
+    wc.host = host;
+    wc.port = port;
+    wc.name = workerName;
+    wc.cacheDir = opts.cacheDir;
+    wc.backendOverride = opts.backendOverride;
+    wc.cacheEnabled = opts.cacheEnabled;
+    wc.metrics = ctx.registry;
+    wc.telemetry = ctx.hub;
+    wc.log = &out;
+    const SweepWorkerReport rep = runSweepWorker(spec, wc);
+    out << "sweep worker drained: " << rep.shardsComputed << " shard(s), "
+        << rep.pointsComputed << " point(s), " << rep.duplicateCommits
+        << " duplicate commit(s) in " << report::num(rep.wallSeconds, 4)
+        << " s\n";
+    if (!opts.cacheDir.empty() && opts.cacheEnabled) {
+      out << "persistent cache: " << rep.persistentHits << " hit(s), "
+          << rep.persistentMisses << " miss(es)\n";
+    }
+    return result;
+  }
+
+  if (serveTarget.has_value()) {
+    const auto [host, port] = parseHostPort("--serve", *serveTarget);
+    DistSweepConfig dc;
+    dc.bindAddress = host;
+    dc.port = port;
+    dc.chunkOverride = opts.chunkOverride;
+    if (leaseMs.has_value()) dc.leaseSeconds = *leaseMs / 1000.0;
+    dc.journalPath = opts.journalPath;
+    dc.resume = opts.resume;
+    if (drainTimeout.has_value()) dc.drainTimeoutSeconds = *drainTimeout;
+    dc.metrics = ctx.registry;
+    dc.telemetry = ctx.hub;
+    dc.log = &out;
+    SweepCoordinator coordinator(spec, dc);
+    std::string error;
+    if (!coordinator.start(&error)) {
+      throw std::runtime_error("sweep --serve: " + error);
+    }
+    // ci.sh scrapes this banner for the bound (possibly ephemeral) port.
+    out << "fepia-sweep-coordinator listening on " << host << ":"
+        << coordinator.port() << "\n";
+    out.flush();
+    const sweep::SweepSurface surface = coordinator.wait();
+    const SweepCoordinator::Stats st = coordinator.stats();
+
+    out << "sweep '" << spec.name << "' ("
+        << sweep::workloadName(spec.workload) << "): " << surface.points
+        << " points, " << surface.shards << " shards of " << surface.chunk
+        << "\n"
+        << "resumed " << surface.resumedShards << " shard(s), committed "
+        << st.commits << " shard(s) from " << st.workersSeen
+        << " worker(s) in " << report::num(surface.wallSeconds, 4) << " s ("
+        << report::num(surface.pointsPerSec, 4) << " points/s)\n"
+        << "leases: " << st.reissues << " reissue(s), " << st.steals
+        << " steal(s), " << st.duplicateCommits << " duplicate commit(s); "
+        << surface.classifications << " classification(s)\n\n";
+    emitSurface(surface);
+    return result;
+  }
+
   opts.metrics = ctx.registry;
   opts.telemetry = ctx.hub;
   // The resident server's warm cache: content-keyed, so sharing it
@@ -826,35 +1014,13 @@ QueryResult runSweepQuery(const std::vector<std::string>& args,
       << report::num(surface.pointsPerSec, 4) << " points/s)\n"
       << "cache: " << (surface.cacheEnabled ? "on" : "off") << ", "
       << surface.cacheHits << " hit(s), " << surface.cacheMisses
-      << " miss(es); " << surface.classifications << " classification(s)\n\n";
-
-  if (!surface.complete) {
-    out << "sweep checkpointed after " << surface.computedShards
-        << " shard(s): rerun with --resume to continue\n";
-  } else {
-    emitTable(out, sweep::surfaceTable(spec, surface), csv);
-    if (!responseAxis.empty()) {
-      emitTable(out, sweep::axisResponseTable(spec, surface, responseAxis),
-                csv);
-    }
-    const sweep::SurfaceSummary summary = sweep::summarize(surface);
-    out << "analytic rho over " << summary.finitePoints
-        << " finite point(s): [" << report::num(summary.rhoMin, 9) << ", "
-        << report::num(summary.rhoMax, 9) << "]\n";
-    if (spec.workload == sweep::Workload::Linear) {
-      out << "worst |analytic - closed form| deviation: "
-          << report::num(summary.worstClosedFormDeviation, 6) << "\n";
-    }
+      << " miss(es); " << surface.classifications << " classification(s)";
+  if (!opts.cacheDir.empty() && opts.cacheEnabled) {
+    out << "\npersistent cache: " << surface.persistentHits << " hit(s), "
+        << surface.persistentMisses << " miss(es)";
   }
-
-  QueryResult result;
-  if (!jsonPath.empty() || ctx.captureJson) {
-    ctx.manifest->wallSeconds = ctx.wall->elapsedSeconds();
-    std::ostringstream doc;
-    sweep::writeSurfaceJson(doc, spec, surface, ctx.manifest);
-    finishJson(result, jsonPath, doc.str());
-    if (!jsonPath.empty()) out << "wrote " << jsonPath << "\n";
-  }
+  out << "\n\n";
+  emitSurface(surface);
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "server/wire.hpp"
 
 #include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -481,6 +482,28 @@ int connectLoopback(std::uint16_t port) {
     ::close(fd);
     return -1;
   }
+  return fd;
+}
+
+int connectHost(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    return -1;
+  }
+  int fd = -1;
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
   return fd;
 }
 

@@ -112,4 +112,8 @@ struct Frame {
 /// client used by the tests, the bench load generator and ci.sh.
 [[nodiscard]] int connectLoopback(std::uint16_t port);
 
+/// Connects to host:port (numeric IPv4 or a resolvable name); returns
+/// the fd or -1. The distributed sweep worker's client side.
+[[nodiscard]] int connectHost(const std::string& host, std::uint16_t port);
+
 }  // namespace fepia::server

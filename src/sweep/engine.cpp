@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -26,6 +27,7 @@
 #include "rng/xoshiro.hpp"
 #include "sweep/cache.hpp"
 #include "sweep/journal.hpp"
+#include "sweep/pcache.hpp"
 #include "validate/scheme.hpp"
 
 namespace fepia::sweep {
@@ -146,11 +148,13 @@ struct LiveSweepStats {
 class Evaluator {
  public:
   Evaluator(const SweepSpec& spec, ResultCache& cache,
-            std::string backendOverride, LiveSweepStats* live = nullptr)
+            std::string backendOverride, LiveSweepStats* live = nullptr,
+            PersistentCache* persistent = nullptr)
       : spec_(spec),
         cache_(cache),
         backendOverride_(std::move(backendOverride)),
-        live_(live) {}
+        live_(live),
+        persistent_(persistent) {}
 
   [[nodiscard]] PointResult evaluate(std::size_t id) const {
     switch (spec_.workload) {
@@ -234,6 +238,33 @@ class Evaluator {
     return p;
   }
 
+  /// Cached empirical/degraded estimate: in-memory entry first, then
+  /// the persistent on-disk cache, then `compute`. A persistent hit is
+  /// bit-identical to recomputation (content-derived seeds, exact
+  /// hexfloat storage), so the layering is invisible in the surface.
+  template <typename Fn>
+  [[nodiscard]] std::shared_ptr<const EmpiricalPoint> cachedEstimate(
+      const std::string& key, Fn&& compute) const {
+    return cache_.get<EmpiricalPoint>(key, [&] {
+      if (persistent_ != nullptr) {
+        if (const std::optional<PersistentCache::Value> v =
+                persistent_->lookup(key)) {
+          auto p = std::make_shared<EmpiricalPoint>();
+          p->radius = v->radius;
+          p->classifications = v->classifications;
+          return p;
+        }
+      }
+      std::shared_ptr<EmpiricalPoint> p = compute();
+      if (persistent_ != nullptr) {
+        persistent_->store(key,
+                           PersistentCache::Value{p->radius,
+                                                  p->classifications});
+      }
+      return p;
+    });
+  }
+
   [[nodiscard]] PointResult evaluateLinear(std::size_t id) const {
     const std::size_t n = static_cast<std::size_t>(num(id, "n"));
     const double beta = num(id, "beta");
@@ -261,7 +292,7 @@ class Evaluator {
                                  ";beta=" + tok(id, "beta") +
                                  ";emp;samples=" + std::to_string(spec_.samples);
       const std::shared_ptr<const EmpiricalPoint> emp =
-          cache_.get<EmpiricalPoint>(empKey, [&] {
+          cachedEstimate(empKey, [&] {
             validate::EstimatorOptions eo;
             eo.directions = spec_.samples;
             eo.seed = deriveSeed(spec_.seed, empKey);
@@ -339,7 +370,7 @@ class Evaluator {
       const std::string empKey =
           instKey + ";emp;samples=" + std::to_string(spec_.samples);
       const std::shared_ptr<const EmpiricalPoint> emp =
-          cache_.get<EmpiricalPoint>(empKey, [&] {
+          cachedEstimate(empKey, [&] {
             const radius::FepiaProblem problem =
                 inst->ref.system.executionMessageProblem(inst->ref.qos);
             validate::EstimatorOptions eo;
@@ -358,7 +389,7 @@ class Evaluator {
           ";samples=" + std::to_string(spec_.samples) +
           ";gens=" + std::to_string(spec_.generations);
       const std::shared_ptr<const EmpiricalPoint> deg =
-          cache_.get<EmpiricalPoint>(degKey, [&] {
+          cachedEstimate(degKey, [&] {
             std::vector<fault::FaultPlan> plans;
             if (tok(id, "faults") == "on") {
               plans.push_back(fault::samplePlan(
@@ -384,6 +415,7 @@ class Evaluator {
   ResultCache& cache_;
   std::string backendOverride_;
   LiveSweepStats* live_ = nullptr;
+  PersistentCache* persistent_ = nullptr;
 };
 
 }  // namespace
@@ -458,9 +490,16 @@ SweepSurface runSweep(const SweepSpec& spec, const SweepOptions& opts,
                            : localCache;
   const std::uint64_t cacheHits0 = cache.hits();
   const std::uint64_t cacheMisses0 = cache.misses();
+  // The persistent estimate cache is opened per call: loading is one
+  // directory scan, and per-call hit/miss deltas come free.
+  std::unique_ptr<PersistentCache> persistent;
+  if (!opts.cacheDir.empty() && opts.cacheEnabled) {
+    persistent = std::make_unique<PersistentCache>(opts.cacheDir);
+  }
   LiveSweepStats live;
   const Evaluator evaluator(spec, cache, opts.backendOverride,
-                            opts.telemetry != nullptr ? &live : nullptr);
+                            opts.telemetry != nullptr ? &live : nullptr,
+                            persistent.get());
   const obs::Stopwatch sw;
 
   // Telemetry wiring. The source callback runs on the hub's sampler
@@ -472,7 +511,7 @@ SweepSurface runSweep(const SweepSpec& spec, const SweepOptions& opts,
   const bool watchdogOn = hub != nullptr && opts.stallDeadlineSeconds > 0.0;
   if (hub != nullptr) {
     sourceId = hub->addSource([&live, &cache, cacheHits0, cacheMisses0,
-                               pendingPoints,
+                               pendingPoints, pc = persistent.get(),
                                totalShards = pending.size()](
                                   obs::Registry& reg) {
       reg.setGauge("sweep.live_points_done",
@@ -492,6 +531,12 @@ SweepSurface runSweep(const SweepSpec& spec, const SweepOptions& opts,
                    static_cast<double>(cache.hits() - cacheHits0));
       reg.setGauge("sweep.live_cache_misses",
                    static_cast<double>(cache.misses() - cacheMisses0));
+      if (pc != nullptr) {
+        reg.setGauge("sweep.live_persistent_hits",
+                     static_cast<double>(pc->hits()));
+        reg.setGauge("sweep.live_persistent_misses",
+                     static_cast<double>(pc->misses()));
+      }
       reg.setGauge("fault.live_classifications",
                    static_cast<double>(live.faults.classifications.load(
                        std::memory_order_relaxed)));
@@ -602,6 +647,10 @@ SweepSurface runSweep(const SweepSpec& spec, const SweepOptions& opts,
   surface.cacheEnabled = cache.enabled();
   surface.cacheHits = cache.hits() - cacheHits0;
   surface.cacheMisses = cache.misses() - cacheMisses0;
+  if (persistent != nullptr) {
+    surface.persistentHits = persistent->hits();
+    surface.persistentMisses = persistent->misses();
+  }
   for (std::size_t id = 0; id < surface.points; ++id) {
     if (surface.computed[id]) {
       surface.classifications += surface.results[id].classifications;
@@ -620,10 +669,22 @@ SweepSurface runSweep(const SweepSpec& spec, const SweepOptions& opts,
     reg.counters().bump("sweep.shards_resumed", surface.resumedShards);
     reg.counters().bump("sweep.cache_hits", surface.cacheHits);
     reg.counters().bump("sweep.cache_misses", surface.cacheMisses);
+    reg.counters().bump("sweep.persistent_hits", surface.persistentHits);
+    reg.counters().bump("sweep.persistent_misses", surface.persistentMisses);
     reg.counters().bump("sweep.classifications", surface.classifications);
     reg.setGauge("sweep.points_per_sec", surface.pointsPerSec);
   }
   return surface;
+}
+
+void evaluatePointRange(const SweepSpec& spec, ResultCache& cache,
+                        PersistentCache* persistent,
+                        const std::string& backendOverride, std::size_t first,
+                        std::size_t count, PointResult* out) {
+  const Evaluator evaluator(spec, cache, backendOverride, nullptr, persistent);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = evaluator.evaluate(first + i);
+  }
 }
 
 }  // namespace fepia::sweep

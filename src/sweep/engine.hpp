@@ -40,6 +40,8 @@
 
 namespace fepia::sweep {
 
+class PersistentCache;
+
 /// Execution knobs orthogonal to the spec.
 struct SweepOptions {
   /// Deduplicate shared sub-computations (off only to prove the cache
@@ -95,6 +97,13 @@ struct SweepOptions {
   /// call's delta. Ignored when cacheEnabled is false (a --no-cache run
   /// must actually compute). nullptr = a fresh per-run cache.
   ResultCache* sharedCache = nullptr;
+  /// Directory of the persistent on-disk estimate cache (sweep::
+  /// PersistentCache) — the CLI's --cache-dir. Empty disables it.
+  /// Entries are content-keyed and stored in exact hexfloat form, so a
+  /// warm cache changes throughput only, never a surface byte. Ignored
+  /// when cacheEnabled is false. Throws std::runtime_error from
+  /// runSweep when the directory cannot be created or read.
+  std::string cacheDir;
 };
 
 /// A computed (possibly partial) sweep surface.
@@ -113,6 +122,8 @@ struct SweepSurface {
   bool cacheEnabled = true;
   std::uint64_t cacheHits = 0;
   std::uint64_t cacheMisses = 0;
+  std::uint64_t persistentHits = 0;    ///< on-disk cache hits (--cache-dir)
+  std::uint64_t persistentMisses = 0;  ///< on-disk cache misses
   std::uint64_t classifications = 0; ///< summed over computed points
   double wallSeconds = 0.0;
   double pointsPerSec = 0.0;         ///< computed points / wall
@@ -126,5 +137,17 @@ struct SweepSurface {
 [[nodiscard]] SweepSurface runSweep(const SweepSpec& spec,
                                     const SweepOptions& opts = {},
                                     parallel::ThreadPool* pool = nullptr);
+
+/// Evaluates points [first, first + count) of `spec` into out[0..count)
+/// with the exact per-point computation runSweep uses (same evaluator,
+/// same content-keyed sub-computation seeds), so a result computed here
+/// is bit-identical to the same point computed by runSweep at any
+/// thread count. This is the distributed worker's compute entry point:
+/// a leased shard is one such range. `persistent` (optional) is the
+/// shared on-disk estimate cache.
+void evaluatePointRange(const SweepSpec& spec, ResultCache& cache,
+                        PersistentCache* persistent,
+                        const std::string& backendOverride, std::size_t first,
+                        std::size_t count, PointResult* out);
 
 }  // namespace fepia::sweep

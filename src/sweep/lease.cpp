@@ -1,0 +1,143 @@
+#include "sweep/lease.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace fepia::sweep {
+
+LeaseTable::LeaseTable(std::vector<std::size_t> shards, double leaseSeconds,
+                       double stealAfterSeconds)
+    : shardIds_(std::move(shards)),
+      shards_(shardIds_.size()),
+      leaseSeconds_(leaseSeconds > 0.0 ? leaseSeconds : 10.0),
+      stealAfterSeconds_(stealAfterSeconds > 0.0 ? stealAfterSeconds
+                                                 : leaseSeconds_ / 2.0) {
+  for (std::size_t slot = 0; slot < shards_.size(); ++slot) {
+    pending_.push_back(slot);
+  }
+}
+
+void LeaseTable::expire(double now) {
+  for (std::size_t slot = 0; slot < shards_.size(); ++slot) {
+    Shard& sh = shards_[slot];
+    if (sh.state != State::Active) continue;
+    sh.leases.erase(std::remove_if(sh.leases.begin(), sh.leases.end(),
+                                   [now](const Lease& l) {
+                                     return l.deadline < now;
+                                   }),
+                    sh.leases.end());
+    if (sh.leases.empty()) {
+      sh.state = State::Pending;
+      pending_.push_back(slot);
+      ++reissues_;
+    }
+  }
+}
+
+LeaseTable::Grant LeaseTable::grantOn(std::size_t slot,
+                                      const std::string& worker, double now,
+                                      bool stolen) {
+  Shard& sh = shards_[slot];
+  sh.state = State::Active;
+  sh.leases.push_back(Lease{worker, now, now + leaseSeconds_});
+  Grant g;
+  g.shard = shardIds_[slot];
+  g.generation = sh.generation++;
+  g.stolen = stolen;
+  return g;
+}
+
+std::optional<LeaseTable::Grant> LeaseTable::acquire(const std::string& worker,
+                                                     double now) {
+  expire(now);
+  if (!pending_.empty()) {
+    const std::size_t slot = pending_.front();
+    pending_.pop_front();
+    return grantOn(slot, worker, now, /*stolen=*/false);
+  }
+  // Work stealing: the in-flight shard whose oldest lease is oldest (the
+  // likeliest straggler), provided it is old enough, has a free lease
+  // slot, and is not already held by this worker.
+  std::size_t best = shards_.size();
+  double bestIssued = 0.0;
+  for (std::size_t slot = 0; slot < shards_.size(); ++slot) {
+    const Shard& sh = shards_[slot];
+    if (sh.state != State::Active || sh.leases.size() >= 2) continue;
+    const Lease& l = sh.leases.front();
+    if (now - l.issuedAt < stealAfterSeconds_) continue;
+    if (l.worker == worker) continue;
+    if (best == shards_.size() || l.issuedAt < bestIssued) {
+      best = slot;
+      bestIssued = l.issuedAt;
+    }
+  }
+  if (best == shards_.size()) return std::nullopt;
+  ++steals_;
+  return grantOn(best, worker, now, /*stolen=*/true);
+}
+
+bool LeaseTable::commit(std::size_t shard) {
+  for (std::size_t slot = 0; slot < shards_.size(); ++slot) {
+    if (shardIds_[slot] != shard) continue;
+    Shard& sh = shards_[slot];
+    if (sh.state == State::Committed) {
+      ++duplicates_;
+      return false;
+    }
+    if (sh.state == State::Pending) {
+      // An expired lease's commit arrived before the shard was
+      // reissued: accept it and pull the shard off the queue.
+      pending_.erase(std::remove(pending_.begin(), pending_.end(), slot),
+                     pending_.end());
+    }
+    sh.state = State::Committed;
+    sh.leases.clear();
+    ++committed_;
+    return true;
+  }
+  ++duplicates_;  // unknown shard (e.g. replayed from an old journal)
+  return false;
+}
+
+void LeaseTable::heartbeat(std::size_t shard, const std::string& worker,
+                           double now) {
+  for (std::size_t slot = 0; slot < shards_.size(); ++slot) {
+    if (shardIds_[slot] != shard) continue;
+    for (Lease& l : shards_[slot].leases) {
+      if (l.worker == worker) l.deadline = now + leaseSeconds_;
+    }
+    return;
+  }
+}
+
+std::vector<std::size_t> LeaseTable::releaseWorker(const std::string& worker) {
+  std::vector<std::size_t> reissued;
+  for (std::size_t slot = 0; slot < shards_.size(); ++slot) {
+    Shard& sh = shards_[slot];
+    if (sh.state != State::Active) continue;
+    sh.leases.erase(std::remove_if(sh.leases.begin(), sh.leases.end(),
+                                   [&worker](const Lease& l) {
+                                     return l.worker == worker;
+                                   }),
+                    sh.leases.end());
+    if (sh.leases.empty()) {
+      sh.state = State::Pending;
+      pending_.push_back(slot);
+      ++reissues_;
+      reissued.push_back(shardIds_[slot]);
+    }
+  }
+  return reissued;
+}
+
+bool LeaseTable::allCommitted() const noexcept {
+  return committed_ == shards_.size();
+}
+
+std::size_t LeaseTable::activeLeases() const noexcept {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) n += sh.leases.size();
+  return n;
+}
+
+}  // namespace fepia::sweep

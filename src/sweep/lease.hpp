@@ -1,0 +1,126 @@
+// Shard lease table for the distributed sweep coordinator.
+//
+// The coordinator hands out *leases* on shards: a worker that leases
+// shard s promises to compute points [s*chunk, (s+1)*chunk) and commit
+// them back. Leases expire (a worker that died mid-shard loses its
+// claim and the shard is reissued), are released en masse when a
+// worker's connection drops, and — once no pending shard is left — are
+// *stolen*: a second lease on the slowest in-flight shard, so a
+// straggling worker can never hold the whole sweep hostage. The first
+// commit of a shard wins; later commits of the same shard are counted
+// and discarded. Because every computation is content-seeded and the
+// reduction is index-ordered, duplicated work changes wall clock only,
+// never a byte of the surface.
+//
+// The table is deliberately pure: time enters exclusively through the
+// `now` parameters (monotonic seconds, any origin), so the expiry and
+// stealing policies are unit-testable without sleeping. It performs no
+// locking of its own — the coordinator serializes access under its
+// state mutex, which it already holds to write result slots and the
+// journal.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fepia::sweep {
+
+class LeaseTable {
+ public:
+  /// `shards`: the shard indices to hand out, granted in the given
+  /// order. `leaseSeconds`: a lease not renewed for this long is
+  /// expired and the shard reissued. `stealAfterSeconds`: once no
+  /// pending shard remains, an in-flight shard whose oldest lease is at
+  /// least this old gets a second, concurrent lease (<= 0 picks
+  /// leaseSeconds / 2). At most two live leases per shard.
+  explicit LeaseTable(std::vector<std::size_t> shards,
+                      double leaseSeconds = 10.0,
+                      double stealAfterSeconds = 0.0);
+
+  /// One granted lease.
+  struct Grant {
+    std::size_t shard = 0;
+    /// How many leases this shard had been granted before this one —
+    /// 0 on first issue; > 0 marks a reissue or a steal.
+    std::uint64_t generation = 0;
+    /// True when this grant is a second, concurrent lease on a shard
+    /// another worker is still computing (work stealing).
+    bool stolen = false;
+  };
+
+  /// Expires overdue leases, then grants: the first pending shard if
+  /// any, else a steal of the longest-in-flight shard (subject to
+  /// stealAfterSeconds, the two-lease cap, and never a shard `worker`
+  /// already holds). nullopt when there is nothing to hand out — all
+  /// remaining shards are committed or already saturated with leases.
+  [[nodiscard]] std::optional<Grant> acquire(const std::string& worker,
+                                             double now);
+
+  /// Records shard `shard` as committed and drops its live leases.
+  /// Returns true on the first commit; false (and counts a duplicate)
+  /// when the shard was already committed. A commit is accepted no
+  /// matter which lease — even an expired one — produced it: the work
+  /// is deterministic, so any completed copy is the right answer.
+  bool commit(std::size_t shard);
+
+  /// Renews `worker`'s lease on `shard` (no-op if it holds none).
+  void heartbeat(std::size_t shard, const std::string& worker, double now);
+
+  /// Drops every lease `worker` holds (its connection died); shards
+  /// left without any live lease return to the pending queue. Returns
+  /// the shard indices that went back to pending (for the
+  /// coordinator's reissue warnings).
+  std::vector<std::size_t> releaseWorker(const std::string& worker);
+
+  [[nodiscard]] bool allCommitted() const noexcept;
+  [[nodiscard]] std::size_t committedCount() const noexcept {
+    return committed_;
+  }
+  [[nodiscard]] std::size_t pendingCount() const noexcept {
+    return pending_.size();
+  }
+  /// Live leases across all shards (a stolen shard counts twice).
+  [[nodiscard]] std::size_t activeLeases() const noexcept;
+
+  /// Shards that returned to the pending queue after losing every lease
+  /// (expiry or worker loss).
+  [[nodiscard]] std::uint64_t reissues() const noexcept { return reissues_; }
+  /// Second leases granted on in-flight shards.
+  [[nodiscard]] std::uint64_t steals() const noexcept { return steals_; }
+  /// Commits of already-committed shards (discarded).
+  [[nodiscard]] std::uint64_t duplicateCommits() const noexcept {
+    return duplicates_;
+  }
+
+ private:
+  struct Lease {
+    std::string worker;
+    double issuedAt = 0.0;
+    double deadline = 0.0;
+  };
+  enum class State { Pending, Active, Committed };
+  struct Shard {
+    State state = State::Pending;
+    std::vector<Lease> leases;      ///< live leases (<= 2)
+    std::uint64_t generation = 0;   ///< leases ever granted
+  };
+
+  void expire(double now);
+  [[nodiscard]] Grant grantOn(std::size_t shard, const std::string& worker,
+                              double now, bool stolen);
+
+  std::vector<std::size_t> shardIds_;  ///< dense slot -> shard index
+  std::vector<Shard> shards_;          ///< parallel to shardIds_
+  std::deque<std::size_t> pending_;    ///< dense slots awaiting a lease
+  double leaseSeconds_;
+  double stealAfterSeconds_;
+  std::size_t committed_ = 0;
+  std::uint64_t reissues_ = 0;
+  std::uint64_t steals_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace fepia::sweep

@@ -1,0 +1,385 @@
+// Distributed sweep: the lease table's expiry/steal/dedup policies in
+// isolation (pure, clock-injected), the persistent on-disk estimate
+// cache's round-trip and crash-debris tolerance, and the
+// coordinator/worker stack end to end on loopback — where the contract
+// under test is the headline one: the surface is byte-identical to the
+// in-process sweep at any worker count, with a cold or a warm
+// persistent cache, and across a journal checkpoint/resume handoff
+// between the two engines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "server/dist_sweep.hpp"
+#include "sweep/engine.hpp"
+#include "sweep/journal.hpp"
+#include "sweep/lease.hpp"
+#include "sweep/output.hpp"
+#include "sweep/pcache.hpp"
+#include "sweep/spec.hpp"
+
+namespace {
+
+using namespace fepia;
+
+std::string tmpPath(const std::string& leaf) {
+  return ::testing::TempDir() + leaf;
+}
+
+/// TempDir persists across runs; cache tests need a clean slate.
+std::string freshDir(const std::string& leaf) {
+  const std::string dir = tmpPath(leaf);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Same grid as the engine determinism suite: every dedup path of the
+/// linear family plus Monte-Carlo substreams, 8 points in 4 shards.
+sweep::SweepSpec referenceSpec() {
+  return sweep::parseSweepSpecString(
+      "sweep distributed\nworkload linear\n"
+      "axis scheme sensitivity normalized\naxis n 2 4\n"
+      "axis beta 1.2 2.0\naxis kscale 1.0 100.0\n"
+      "empirical on\nsamples 8\nseed 33\nchunk 2\n");
+}
+
+void expectSameSurface(const sweep::SweepSurface& a,
+                       const sweep::SweepSurface& b, const char* what) {
+  ASSERT_EQ(a.results.size(), b.results.size()) << what;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_TRUE(sweep::bitIdentical(a.results[i], b.results[i]))
+        << what << " diverges at point " << i;
+  }
+  EXPECT_EQ(a.classifications, b.classifications) << what;
+}
+
+std::string renderJson(const sweep::SweepSpec& spec,
+                       const sweep::SweepSurface& surface) {
+  std::ostringstream os;
+  sweep::writeSurfaceJson(os, spec, surface);
+  return os.str();
+}
+
+/// Drops the run-metadata lines that legitimately differ between an
+/// in-process and a distributed run — the same filter ci.sh applies.
+std::string stripRunMetadata(const std::string& json) {
+  std::istringstream in(json);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t start = line.find_first_not_of(' ');
+    const std::string_view body =
+        start == std::string::npos ? std::string_view{}
+                                   : std::string_view(line).substr(start);
+    if (body.rfind("\"resumed_shards\"", 0) == 0) continue;
+    if (body.rfind("\"cache\"", 0) == 0) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+struct DistRun {
+  sweep::SweepSurface surface;
+  std::vector<server::SweepWorkerReport> reports;
+  server::SweepCoordinator::Stats stats;
+};
+
+/// In-process coordinator + `workers` worker threads on loopback: the
+/// full wire protocol, minus process boundaries.
+DistRun runDistributed(const sweep::SweepSpec& spec, std::size_t workers,
+                       server::DistSweepConfig dc = {},
+                       const std::string& cacheDir = {}) {
+  server::SweepCoordinator coordinator(spec, dc);
+  std::string error;
+  if (!coordinator.start(&error)) {
+    throw std::runtime_error("coordinator start failed: " + error);
+  }
+  DistRun run;
+  run.reports.resize(workers);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads.emplace_back([&, i] {
+      server::SweepWorkerConfig wc;
+      wc.port = coordinator.port();
+      wc.name = "w" + std::to_string(i);
+      wc.cacheDir = cacheDir;
+      try {
+        run.reports[i] = server::runSweepWorker(spec, wc);
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  run.surface = coordinator.wait();
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0) << "a worker thread threw";
+  run.stats = coordinator.stats();
+  return run;
+}
+
+// ---------------------------------------------------------------------
+// Lease table.
+
+TEST(LeaseTable, GrantsPendingShardsInOrderThenNothing) {
+  sweep::LeaseTable table({4, 7, 9}, 10.0, 1000.0);
+  EXPECT_EQ(table.pendingCount(), 3u);
+  const auto a = table.acquire("a", 0.0);
+  const auto b = table.acquire("b", 0.0);
+  const auto c = table.acquire("a", 0.0);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->shard, 4u);
+  EXPECT_EQ(b->shard, 7u);
+  EXPECT_EQ(c->shard, 9u);
+  EXPECT_EQ(a->generation, 0u);
+  EXPECT_FALSE(a->stolen);
+  // Nothing pending and stealing is out of reach: nothing to grant.
+  EXPECT_FALSE(table.acquire("b", 1.0).has_value());
+  EXPECT_EQ(table.activeLeases(), 3u);
+}
+
+TEST(LeaseTable, ExpiredLeaseIsReissued) {
+  sweep::LeaseTable table({0}, 10.0, 1000.0);
+  ASSERT_TRUE(table.acquire("a", 0.0).has_value());
+  EXPECT_FALSE(table.acquire("b", 5.0).has_value());  // still live
+  const auto regrant = table.acquire("b", 11.0);      // a's lease expired
+  ASSERT_TRUE(regrant.has_value());
+  EXPECT_EQ(regrant->shard, 0u);
+  EXPECT_EQ(regrant->generation, 1u);
+  EXPECT_FALSE(regrant->stolen);
+  EXPECT_EQ(table.reissues(), 1u);
+}
+
+TEST(LeaseTable, HeartbeatRenewsTheLease) {
+  sweep::LeaseTable table({0}, 10.0, 1000.0);
+  ASSERT_TRUE(table.acquire("a", 0.0).has_value());
+  table.heartbeat(0, "a", 8.0);  // deadline now 18
+  EXPECT_FALSE(table.acquire("b", 15.0).has_value());
+  EXPECT_EQ(table.reissues(), 0u);
+  // No heartbeat past 18: expired.
+  EXPECT_TRUE(table.acquire("b", 19.0).has_value());
+  EXPECT_EQ(table.reissues(), 1u);
+}
+
+TEST(LeaseTable, StealGrantsASecondLeaseAndFirstCommitWins) {
+  sweep::LeaseTable table({0}, 10.0, 2.0);
+  ASSERT_TRUE(table.acquire("slow", 0.0).has_value());
+  // Too early to steal, and a worker never steals from itself.
+  EXPECT_FALSE(table.acquire("fast", 1.0).has_value());
+  EXPECT_FALSE(table.acquire("slow", 3.0).has_value());
+  const auto stolen = table.acquire("fast", 3.0);
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_TRUE(stolen->stolen);
+  EXPECT_EQ(stolen->generation, 1u);
+  EXPECT_EQ(table.steals(), 1u);
+  // Two-lease cap: a third worker gets nothing.
+  EXPECT_FALSE(table.acquire("third", 4.0).has_value());
+  EXPECT_EQ(table.activeLeases(), 2u);
+  // First commit wins; the straggler's copy is a counted duplicate.
+  EXPECT_TRUE(table.commit(0));
+  EXPECT_FALSE(table.commit(0));
+  EXPECT_EQ(table.duplicateCommits(), 1u);
+  EXPECT_TRUE(table.allCommitted());
+}
+
+TEST(LeaseTable, CommitFromAnExpiredLeaseStillCounts) {
+  sweep::LeaseTable table({0}, 1.0, 1000.0);
+  ASSERT_TRUE(table.acquire("a", 0.0).has_value());
+  // a's lease expires during this acquire; the shard is reissued to b.
+  const auto regrant = table.acquire("b", 2.0);
+  ASSERT_TRUE(regrant.has_value());
+  EXPECT_EQ(regrant->shard, 0u);
+  EXPECT_EQ(regrant->generation, 1u);
+  // a finishes anyway: deterministic work, any completed copy is right.
+  EXPECT_TRUE(table.commit(0));
+  EXPECT_FALSE(table.commit(0));  // b's copy arrives second
+  EXPECT_EQ(table.committedCount(), 1u);
+  EXPECT_TRUE(table.allCommitted());
+}
+
+TEST(LeaseTable, ReleaseWorkerRequeuesItsShards) {
+  sweep::LeaseTable table({3, 5}, 10.0, 1000.0);
+  ASSERT_TRUE(table.acquire("a", 0.0).has_value());
+  ASSERT_TRUE(table.acquire("a", 0.0).has_value());
+  EXPECT_EQ(table.pendingCount(), 0u);
+  const std::vector<std::size_t> reissued = table.releaseWorker("a");
+  EXPECT_EQ(reissued, (std::vector<std::size_t>{3, 5}));
+  EXPECT_EQ(table.pendingCount(), 2u);
+  EXPECT_EQ(table.reissues(), 2u);
+  // The requeued shards grant again, at a higher generation.
+  const auto regrant = table.acquire("b", 1.0);
+  ASSERT_TRUE(regrant.has_value());
+  EXPECT_EQ(regrant->generation, 1u);
+}
+
+TEST(LeaseTable, UnknownShardCommitIsADuplicate) {
+  sweep::LeaseTable table({0}, 10.0, 1000.0);
+  EXPECT_FALSE(table.commit(99));
+  EXPECT_EQ(table.duplicateCommits(), 1u);
+}
+
+TEST(LeaseTable, EmptyTableIsDrainedFromTheStart) {
+  sweep::LeaseTable table({});
+  EXPECT_TRUE(table.allCommitted());
+  EXPECT_FALSE(table.acquire("a", 0.0).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Persistent cache.
+
+TEST(PersistentCache, RoundTripsExactBitsAcrossInstances) {
+  const std::string dir = freshDir("pcache_roundtrip");
+  const double weird = -0x1.fffffffffffffp-3;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  {
+    sweep::PersistentCache cache(dir);
+    EXPECT_FALSE(cache.lookup("emp|n=2|key with spaces").has_value());
+    cache.store("emp|n=2|key with spaces", {weird, 12345});
+    cache.store("emp|nan-point", {nan, 0});
+    EXPECT_EQ(cache.misses(), 1u);
+  }
+  sweep::PersistentCache reopened(dir);
+  EXPECT_EQ(reopened.loadedEntries(), 2u);
+  const auto v = reopened.lookup("emp|n=2|key with spaces");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(sweep::bitIdentical(v->radius, weird));
+  EXPECT_EQ(v->classifications, 12345u);
+  const auto nv = reopened.lookup("emp|nan-point");
+  ASSERT_TRUE(nv.has_value());
+  EXPECT_TRUE(sweep::bitIdentical(nv->radius, nan));
+  EXPECT_EQ(reopened.hits(), 2u);
+}
+
+TEST(PersistentCache, TornSegmentLinesAreQuarantinedOnOpen) {
+  const std::string dir = freshDir("pcache_torn");
+  {
+    sweep::PersistentCache seedWriter(dir);  // creates the directory
+    seedWriter.store("good-key", {1.5, 3});
+  }
+  {
+    std::ofstream torn(dir + "/seg-zz-torn.seg");
+    torn << "fepia-sweep-pcache v1\n"
+         << "entry 0x1.8p+0 7 survivor\n"
+         << "entry 0x1.8p+0 7\n"        // missing key
+         << "entry notadouble 7 key\n"  // bad radius
+         << "entry 0x1.8p+0";           // torn tail (crash mid-append)
+  }
+  {
+    std::ofstream headerless(dir + "/seg-zz-headerless.seg");
+    headerless << "entry 0x1p+0 1 orphan\n";
+  }
+  sweep::PersistentCache cache(dir);
+  EXPECT_EQ(cache.loadedEntries(), 2u);  // good-key + survivor
+  EXPECT_GE(cache.quarantinedLines(), 3u);
+  EXPECT_TRUE(cache.lookup("good-key").has_value());
+  EXPECT_TRUE(cache.lookup("survivor").has_value());
+  EXPECT_FALSE(cache.lookup("orphan").has_value());
+}
+
+// ---------------------------------------------------------------------
+// Coordinator/worker end to end.
+
+TEST(SweepDistributed, SurfaceIsByteIdenticalAtAnyWorkerCount) {
+  const sweep::SweepSpec spec = referenceSpec();
+  const sweep::SweepSurface serial = sweep::runSweep(spec);
+  const std::string want = stripRunMetadata(renderJson(spec, serial));
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    const DistRun dist = runDistributed(spec, workers);
+    expectSameSurface(serial, dist.surface, "distributed vs serial");
+    EXPECT_EQ(stripRunMetadata(renderJson(spec, dist.surface)), want)
+        << "JSON differs at " << workers << " worker(s)";
+    EXPECT_TRUE(dist.surface.complete);
+    EXPECT_EQ(dist.stats.commits, serial.shards);
+    std::size_t points = 0;
+    for (const auto& r : dist.reports) points += r.pointsComputed;
+    EXPECT_GE(points, serial.points);  // duplicates may overshoot
+  }
+}
+
+TEST(SweepDistributed, SpecHashMismatchIsRefused) {
+  const sweep::SweepSpec spec = referenceSpec();
+  sweep::SweepSpec other = spec;
+  other.seed += 1;
+  ASSERT_NE(spec.hash(), other.hash());
+  server::SweepCoordinator coordinator(spec, {});
+  std::string error;
+  ASSERT_TRUE(coordinator.start(&error)) << error;
+  server::SweepWorkerConfig wc;
+  wc.port = coordinator.port();
+  wc.name = "mismatched";
+  try {
+    (void)server::runSweepWorker(other, wc);
+    FAIL() << "mismatched worker was not refused";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("spec_mismatch"), std::string::npos)
+        << e.what();
+  }
+  // No wait(): the destructor must tear down a never-drained coordinator.
+}
+
+TEST(SweepDistributed, WarmPersistentCacheChangesNoByte) {
+  const sweep::SweepSpec spec = referenceSpec();
+  const std::string dir = freshDir("pcache_dist");
+  const sweep::SweepSurface serial = sweep::runSweep(spec);
+
+  const DistRun cold = runDistributed(spec, 2, {}, dir);
+  expectSameSurface(serial, cold.surface, "cold persistent cache");
+  std::uint64_t coldMisses = 0;
+  for (const auto& r : cold.reports) coldMisses += r.persistentMisses;
+  EXPECT_GT(coldMisses, 0u);
+
+  const DistRun warm = runDistributed(spec, 2, {}, dir);
+  expectSameSurface(serial, warm.surface, "warm persistent cache");
+  std::uint64_t warmHits = 0;
+  std::uint64_t warmMisses = 0;
+  for (const auto& r : warm.reports) {
+    warmHits += r.persistentHits;
+    warmMisses += r.persistentMisses;
+  }
+  EXPECT_GT(warmHits, 0u);
+  EXPECT_EQ(warmMisses, 0u);
+}
+
+TEST(SweepDistributed, ResumesAnInProcessJournal) {
+  const sweep::SweepSpec spec = referenceSpec();
+  const std::string journal = tmpPath("dist_resume.journal");
+  std::remove(journal.c_str());
+
+  sweep::SweepOptions stop;
+  stop.journalPath = journal;
+  stop.stopAfterShards = 2;
+  const sweep::SweepSurface partial = sweep::runSweep(spec, stop);
+  ASSERT_FALSE(partial.complete);
+
+  server::DistSweepConfig dc;
+  dc.journalPath = journal;
+  dc.resume = true;
+  const DistRun dist = runDistributed(spec, 2, dc);
+  EXPECT_EQ(dist.surface.resumedShards, 2u);
+  EXPECT_EQ(dist.stats.commits, dist.surface.shards - 2u);
+  const sweep::SweepSurface serial = sweep::runSweep(spec);
+  expectSameSurface(serial, dist.surface, "resumed distributed vs serial");
+  std::remove(journal.c_str());
+}
+
+TEST(SweepDistributed, DrainTimeoutAbortsAWorkerlessSweep) {
+  server::DistSweepConfig dc;
+  dc.drainTimeoutSeconds = 0.4;
+  server::SweepCoordinator coordinator(referenceSpec(), dc);
+  std::string error;
+  ASSERT_TRUE(coordinator.start(&error)) << error;
+  EXPECT_THROW((void)coordinator.wait(), std::runtime_error);
+}
+
+}  // namespace

@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
 # CI entry point: build the Release and ASan+UBSan configurations and run
 # the tier1 (fast) test suite under both, then build the TSan
-# configuration and run the backend-registry, batched-classification and
-# telemetry thread suites under it.
+# configuration and run the backend-registry, batched-classification,
+# telemetry, server and distributed-sweep thread suites under it. The
+# release config additionally smokes the distributed sweep end to end:
+# coordinator + 3 workers over the wire protocol (worker-count
+# invariance), a SIGKILLed worker whose lease must be reissued, and a
+# warm persistent-cache rerun — all byte-compared against
+# single-process runs.
 # Mirrors the CMake presets in CMakePresets.json; run from anywhere.
 #
 #   tools/ci.sh            # all configs
@@ -15,6 +20,37 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 2)
 [ $# -gt 0 ] && configs=("$@") || configs=(release asan-ubsan tsan)
 
+# Scrape the bound (ephemeral) port from a backgrounded
+# `sweep --serve` coordinator's banner line. Prints the port, or
+# nothing if the banner never appears; callers check for emptiness so
+# they can reap the coordinator before bailing.
+dist_port() {
+  local log=$1 port="" _
+  for _ in $(seq 100); do
+    port=$(sed -n \
+      's/^fepia-sweep-coordinator listening on .*:\([0-9]*\)$/\1/p' \
+      "$log" 2>/dev/null)
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  echo "$port"
+}
+
+# Byte-compare two sweep surface JSON documents outside the per-run
+# metadata lines (manifest, cache counters, resumed-shard count) — the
+# same filter the checkpoint/resume smoke uses.
+same_surface() {
+  python3 - "$1" "$2" <<'EOF'
+import sys
+SKIP = ('"manifest"', '"resumed_shards"', '"cache"')
+def lines(path):
+    with open(path) as f:
+        return [l for l in f if not l.lstrip().startswith(SKIP)]
+a, b = (lines(p) for p in sys.argv[1:3])
+assert a == b, f"{sys.argv[2]} differs from {sys.argv[1]}"
+EOF
+}
+
 for cfg in "${configs[@]}"; do
   case "$cfg" in
     release) test_preset=tier1 ;;
@@ -26,7 +62,9 @@ for cfg in "${configs[@]}"; do
   cmake --preset "$cfg"
   cmake --build --preset "$cfg" -j "$jobs"
   echo "=== [$cfg] ctest --preset $test_preset ==="
-  ctest --preset "$test_preset" -j "$jobs"
+  # --stop-on-failure: fail fast so a broken suite surfaces immediately
+  # instead of after every remaining row has run.
+  ctest --preset "$test_preset" -j "$jobs" --stop-on-failure
 
   if [ "$cfg" = release ]; then
     # Quick smoke of the search bench: must run, emit JSON matching the
@@ -224,6 +262,116 @@ for path in sys.argv[1:4]:
 print("sweep s31 byte-identity smoke OK")
 EOF
 
+    # Distributed sweep smoke: a coordinator on an ephemeral port plus
+    # three pull-based workers over the fepiad wire protocol must
+    # reproduce the single-process s31 surface (build/s31_t1.json from
+    # the block above) byte-for-byte outside the per-run metadata —
+    # worker-count invariance, the core distributed-sweep contract.
+    echo "=== [$cfg] sweep distributed 3-worker smoke ==="
+    rm -f build/dist_s31_coord.log
+    ./build/tools/fepia_cli sweep examples/sweeps/s31_sensitivity.sweep \
+      --serve 127.0.0.1:0 --json build/s31_dist.json \
+      > build/dist_s31_coord.log &
+    coord_pid=$!
+    port=$(dist_port build/dist_s31_coord.log)
+    [ -n "$port" ] || { kill "$coord_pid" 2>/dev/null; \
+      echo "sweep coordinator never printed its banner" >&2; exit 1; }
+    worker_pids=()
+    for w in 1 2 3; do
+      ./build/tools/fepia_cli sweep examples/sweeps/s31_sensitivity.sweep \
+        --worker 127.0.0.1:"$port" --worker-name "ci-w$w" \
+        > "build/dist_s31_worker$w.log" &
+      worker_pids+=($!)
+    done
+    wait "$coord_pid"
+    for pid in "${worker_pids[@]}"; do wait "$pid"; done
+    same_surface build/s31_t1.json build/s31_dist.json
+    echo "sweep distributed 3-worker smoke OK"
+
+    # Worker-kill smoke: SIGKILL one worker right after it leases a
+    # (deliberately slow) shard. The dropped connection must reissue
+    # the orphaned lease to the surviving worker, and the surface must
+    # still match a single-process run byte-for-byte. Both workers
+    # share an on-disk persistent cache; a second, warm run must serve
+    # every point from it (counted in the telemetry stream) and change
+    # no output byte.
+    echo "=== [$cfg] sweep distributed worker-kill + warm-cache smoke ==="
+    ./build/tools/fepia_cli sweep examples/sweeps/dist_kill.sweep \
+      --threads 2 --json build/dist_kill_ref.json >/dev/null
+    rm -rf build/dist_kill_pcache build/dist_kill_coord.log
+    ./build/tools/fepia_cli sweep examples/sweeps/dist_kill.sweep \
+      --serve 127.0.0.1:0 --lease-ms 500 --drain-timeout 120 \
+      --json build/dist_kill_dist.json > build/dist_kill_coord.log &
+    coord_pid=$!
+    port=$(dist_port build/dist_kill_coord.log)
+    [ -n "$port" ] || { kill "$coord_pid" 2>/dev/null; \
+      echo "kill-smoke coordinator never printed its banner" >&2; exit 1; }
+    ./build/tools/fepia_cli sweep examples/sweeps/dist_kill.sweep \
+      --worker 127.0.0.1:"$port" --worker-name victim \
+      --cache-dir build/dist_kill_pcache > build/dist_kill_victim.log &
+    victim_pid=$!
+    leased=""
+    for _ in $(seq 200); do
+      grep -q "leased shard" build/dist_kill_victim.log 2>/dev/null \
+        && { leased=yes; break; }
+      sleep 0.05
+    done
+    [ -n "$leased" ] || { kill "$coord_pid" "$victim_pid" 2>/dev/null; \
+      echo "victim worker never leased a shard" >&2; exit 1; }
+    kill -9 "$victim_pid"
+    wait "$victim_pid" 2>/dev/null || true
+    ./build/tools/fepia_cli sweep examples/sweeps/dist_kill.sweep \
+      --worker 127.0.0.1:"$port" --worker-name survivor \
+      --cache-dir build/dist_kill_pcache > build/dist_kill_survivor.log &
+    survivor_pid=$!
+    wait "$coord_pid"
+    wait "$survivor_pid"
+    grep -q "reissued shard(s)" build/dist_kill_coord.log || {
+      echo "coordinator never reissued the killed worker's shard" >&2;
+      exit 1; }
+    same_surface build/dist_kill_ref.json build/dist_kill_dist.json
+    rm -f build/dist_warm_coord.log build/dist_warm_telemetry.jsonl
+    ./build/tools/fepia_cli sweep examples/sweeps/dist_kill.sweep \
+      --serve 127.0.0.1:0 --json build/dist_kill_warm.json \
+      > build/dist_warm_coord.log &
+    coord_pid=$!
+    port=$(dist_port build/dist_warm_coord.log)
+    [ -n "$port" ] || { kill "$coord_pid" 2>/dev/null; \
+      echo "warm-run coordinator never printed its banner" >&2; exit 1; }
+    ./build/tools/fepia_cli sweep examples/sweeps/dist_kill.sweep \
+      --worker 127.0.0.1:"$port" --worker-name warm \
+      --cache-dir build/dist_kill_pcache \
+      --telemetry build/dist_warm_telemetry.jsonl --telemetry-interval 50 \
+      > build/dist_warm_worker.log &
+    worker_pid=$!
+    wait "$coord_pid"
+    wait "$worker_pid"
+    same_surface build/dist_kill_ref.json build/dist_kill_warm.json
+    python3 - build/dist_warm_telemetry.jsonl <<'EOF'
+import json, sys
+# The worker's persistent-cache tallies appear live as gauges
+# (sweep.live_persistent_*) while it runs and as counters
+# (sweep.persistent_*) in the final stop-sample; a warm run can finish
+# inside one sampling interval, so take the max over both forms.
+hits = misses = 0.0
+with open(sys.argv[1]) as f:
+    for line in f:
+        rec = json.loads(line)
+        if rec.get("type") != "sample":
+            continue
+        m = rec["metrics"]
+        hits = max(hits, m["gauges"].get("sweep.live_persistent_hits", 0.0),
+                   m["counters"].get("sweep.persistent_hits", 0.0))
+        misses = max(misses,
+                     m["gauges"].get("sweep.live_persistent_misses", 0.0),
+                     m["counters"].get("sweep.persistent_misses", 0.0))
+assert hits > 0, "warm worker telemetry shows no persistent-cache hits"
+assert misses == 0, \
+    f"warm worker re-missed {int(misses)} point(s) against a warm cache"
+print(f"warm persistent cache: {int(hits)} hit(s), 0 miss(es)")
+EOF
+    echo "sweep distributed worker-kill + warm-cache smoke OK"
+
     echo "=== [$cfg] bench_sweep smoke ==="
     sweep_json=build/BENCH_sweep_smoke.json
     FEPIA_BENCH_SMOKE=1 FEPIA_BENCH_JSON="$sweep_json" \
@@ -338,8 +486,15 @@ EOF
     max_slowdown="${FEPIA_BENCH_MAX_SLOWDOWN:-10}"
     python3 tools/check_bench_regression.py "$fault_json" BENCH_fault.json \
       --max-slowdown "$max_slowdown"
+    # The distributed 1-worker efficiency figure (wire-protocol overhead
+    # vs the in-process serial run) gets an absolute floor: the full
+    # baseline measures ~0.87 and smoke mode ~0.33 on the reference
+    # machine, so 0.15 only trips on a protocol-level collapse, not a
+    # slow runner; override with FEPIA_BENCH_DIST_FLOOR.
+    dist_floor="${FEPIA_BENCH_DIST_FLOOR:-0.15}"
     python3 tools/check_bench_regression.py "$sweep_json" BENCH_sweep.json \
-      --max-slowdown "$max_slowdown"
+      --max-slowdown "$max_slowdown" \
+      --floor "dist_1worker_efficiency_per_sec=$dist_floor"
     # The batched kernel also gets an absolute classifications/sec floor
     # (override with FEPIA_BENCH_CLASSIFY_FLOOR): ~10x below the
     # reference machine's rate, so only a real kernel collapse — not a
@@ -410,6 +565,35 @@ EOF
     ./build-asan/tools/fepia_cli validate examples/data/streaming_stage.fepia \
       --samples 32 --seed 7 --threads 2 --backend empirical-batched >/dev/null
     echo "fepia_cli validate empirical-batched asan smoke OK"
+  fi
+
+  if [ "$cfg" = tsan ]; then
+    # The coordinator/worker handoff under ThreadSanitizer: acceptor,
+    # reader, heartbeat and sampler threads all race-checked in one
+    # multi-process run over loopback, compared byte-for-byte against a
+    # single-process run of the same (tsan) binary.
+    echo "=== [$cfg] sweep distributed smoke (tsan) ==="
+    ./build-tsan/tools/fepia_cli sweep examples/sweeps/smoke.sweep \
+      --threads 1 --json build-tsan/dist_smoke_ref.json >/dev/null
+    rm -f build-tsan/dist_smoke_coord.log
+    ./build-tsan/tools/fepia_cli sweep examples/sweeps/smoke.sweep \
+      --serve 127.0.0.1:0 --json build-tsan/dist_smoke.json \
+      > build-tsan/dist_smoke_coord.log &
+    coord_pid=$!
+    port=$(dist_port build-tsan/dist_smoke_coord.log)
+    [ -n "$port" ] || { kill "$coord_pid" 2>/dev/null; \
+      echo "tsan sweep coordinator never printed its banner" >&2; exit 1; }
+    worker_pids=()
+    for w in 1 2; do
+      ./build-tsan/tools/fepia_cli sweep examples/sweeps/smoke.sweep \
+        --worker 127.0.0.1:"$port" --worker-name "tsan-w$w" \
+        > "build-tsan/dist_smoke_worker$w.log" &
+      worker_pids+=($!)
+    done
+    wait "$coord_pid"
+    for pid in "${worker_pids[@]}"; do wait "$pid"; done
+    same_surface build-tsan/dist_smoke_ref.json build-tsan/dist_smoke.json
+    echo "sweep distributed tsan smoke OK"
   fi
 done
 echo "CI OK"

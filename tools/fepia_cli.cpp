@@ -76,7 +76,13 @@
 // surfaces at any thread count, checkpointed per shard to --journal, and
 // resumable with --resume. --stop-after N interrupts after N shards;
 // --no-cache disables sub-computation deduplication (results unchanged);
-// --response AXIS prints the analytic-rho response along one axis.
+// --response AXIS prints the analytic-rho response along one axis;
+// --cache-dir DIR keeps empirical estimates in a persistent on-disk
+// cache shared across runs and workers (throughput only, never a byte).
+// --serve HOST:PORT runs the distributed-sweep coordinator (shard
+// leases over the fepiad wire protocol, byte-identical surface at any
+// worker count) and --worker HOST:PORT a pull-based compute worker —
+// see docs/sweep.md.
 //
 // Exit status: 0 on success (and, with --check, when the point is
 // tolerated; with validate, when every analytic radius falls inside its
@@ -200,8 +206,17 @@ int usage(const char* argv0) {
                " [--backend NAME] [--csv] [--json FILE]\n"
             << "       " << argv0
             << " sweep <spec-file> [--threads T] [--chunk N] [--journal FILE]"
-               " [--resume] [--stop-after N] [--no-cache] [--response AXIS]"
+               " [--resume] [--stop-after N] [--no-cache] [--cache-dir DIR]"
+               " [--response AXIS]"
                " [--progress] [--backend NAME] [--csv] [--json FILE]\n"
+            << "       " << argv0
+            << " sweep <spec-file> --serve HOST:PORT [--chunk N]"
+               " [--journal FILE] [--resume] [--lease-ms N]"
+               " [--drain-timeout SEC] [--response AXIS] [--csv]"
+               " [--json FILE]\n"
+            << "       " << argv0
+            << " sweep <spec-file> --worker HOST:PORT [--worker-name NAME]"
+               " [--cache-dir DIR] [--no-cache] [--backend NAME]\n"
             << "       " << argv0
             << " profile [--tasks N] [--machines M] [--seed S] [--threads T]"
                " [--json FILE]\n"
